@@ -1,0 +1,46 @@
+"""Shared helpers for the figure/table reproduction benchmarks.
+
+Every benchmark regenerates one artifact of the paper's evaluation and
+
+* times the regeneration with pytest-benchmark (rounds=1 — these are
+  experiments, not microbenchmarks),
+* prints the rendered table, and
+* persists it under ``results/<experiment id>.txt`` so EXPERIMENTS.md can
+  reference the measured numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def save_result():
+    """Persist and print an ExperimentResult."""
+
+    def _save(result, suffix: str = ""):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        name = result.experiment_id + (f"_{suffix}" if suffix else "")
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(str(result) + "\n")
+        print()
+        print(result)
+        return path
+
+    return _save
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run

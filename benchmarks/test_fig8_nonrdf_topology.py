@@ -1,0 +1,45 @@
+"""Figures 8(a)/(b) — accuracy vs topology on AIDS and Human.
+
+Paper findings: WJ outperforms; IMPR is *more* accurate on AIDS/Human
+than on YAGO because fewer labels mean fewer walk failures; JSUB
+overestimates cyclic topologies (cycle/petal/flower) since it bounds them
+by an acyclic subquery.
+"""
+
+from repro.bench import figures
+from repro.metrics.qerror import is_underestimate
+
+
+def test_fig8a_aids_topology(run_once, save_result):
+    result = run_once(figures.fig8a_aids_topology)
+    save_result(result)
+    records = result.data["records"]
+    # JSUB's estimates on cyclic topologies skew upward (upper bound on
+    # the acyclic subquery) — verify it does not *under*estimate more
+    # often than it overestimates there
+    cyclic = [
+        r
+        for r in records
+        if r.technique == "jsub"
+        and not r.failed
+        and r.groups.get("topology") in ("cycle", "petal", "flower")
+        and r.estimate > 0
+    ]
+    if len(cyclic) >= 4:
+        over = sum(
+            1
+            for r in cyclic
+            if not is_underestimate(r.true_cardinality, r.estimate)
+        )
+        assert over >= len(cyclic) * 0.4
+
+
+def test_fig8b_human_topology(run_once, save_result):
+    result = run_once(figures.fig8b_human_topology)
+    save_result(result)
+    summaries = result.data["summaries"]
+    # IMPR performs comparatively well on Human (few labels -> fewer
+    # sampling failures): it must produce estimates for 3-5 vertex groups
+    impr = summaries.get("impr", {})
+    processed = [s for s in impr.values() if s.count > 0]
+    assert processed, "IMPR processed no Human queries at all"

@@ -1,0 +1,26 @@
+"""Figure 9 — accuracy vs query size on AIDS.
+
+Paper findings: IMPR cannot process queries with more than five vertices;
+SumRDF struggles with 12-edge queries (timeout); BS error grows with
+query size; WJ stays the best performer.
+"""
+
+from repro.bench import figures
+
+
+def test_fig9_aids_size(run_once, save_result):
+    result = run_once(figures.fig9_aids_size)
+    save_result(result)
+    summaries = result.data["summaries"]
+    records = result.data["records"]
+
+    # IMPR must reject all size-9/12 queries (> 5 vertices)
+    big = [
+        r
+        for r in records
+        if r.technique == "impr" and r.groups.get("size") in ("9", "12")
+    ]
+    assert big and all(r.error == "unsupported" for r in big)
+
+    wj = summaries.get("wj", {})
+    assert any(s.count for s in wj.values())

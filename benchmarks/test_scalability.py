@@ -1,0 +1,82 @@
+"""Scalability — "How scalable are these techniques?" (intro, Section 1).
+
+The paper's fourth evaluation question.  We sweep the LUBM scale factor
+(number of universities) and measure off-line preparation time and mean
+on-line per-query estimation time for every technique on the benchmark
+queryset.  Expected shapes: summary construction grows with |G| (BS the
+steepest — it scans every relation per partition size); the walk-based
+samplers' per-query times grow sublinearly (walk count is p*|E| but walks
+are short); C-SET stays cheapest overall.
+"""
+
+from repro.bench import figures
+from repro.bench.runner import EvaluationRunner, NamedQuery
+from repro.datasets import load_dataset
+from repro.matching.homomorphism import count_embeddings
+from repro.metrics.report import render_table
+from repro.workload.lubm_queries import benchmark_queries
+
+SCALES = (1, 2, 4, 8)
+TECHNIQUES = ("cset", "impr", "sumrdf", "cs", "wj", "jsub", "bs")
+
+
+def test_scalability_lubm(run_once, save_result):
+    def experiment():
+        prep_rows, online_rows = [], []
+        data_out = {}
+        for scale in SCALES:
+            dataset = load_dataset("lubm", seed=1, universities=scale)
+            queries = [
+                NamedQuery(
+                    name, q,
+                    count_embeddings(dataset.graph, q, time_limit=60).count,
+                )
+                for name, q in benchmark_queries().items()
+            ]
+            runner = EvaluationRunner(
+                dataset.graph, TECHNIQUES, sampling_ratio=0.03,
+                time_limit=20.0,
+            )
+            prep = runner.prepare()
+            records = runner.run(queries, runs=1)
+            from repro.bench.runner import mean_elapsed
+
+            online = mean_elapsed(records)
+            edges = dataset.graph.num_edges
+            prep_rows.append(
+                [scale, edges] + [prep[t] for t in TECHNIQUES]
+            )
+            online_rows.append(
+                [scale, edges]
+                + [online.get(t, {}).get("all") for t in TECHNIQUES]
+            )
+            data_out[scale] = {"prep": prep, "online": online, "edges": edges}
+        table = (
+            render_table(
+                ["scale", "|E|"] + [t.upper() for t in TECHNIQUES],
+                prep_rows,
+                title="off-line preparation time [s] vs LUBM scale",
+            )
+            + "\n\n"
+            + render_table(
+                ["scale", "|E|"] + [t.upper() for t in TECHNIQUES],
+                online_rows,
+                title="mean on-line per-query time [s] vs LUBM scale",
+            )
+        )
+        return figures.ExperimentResult(
+            "Scal", "Technique scalability on LUBM", table, data_out
+        )
+
+    result = run_once(experiment)
+    save_result(result)
+    data = result.data
+    smallest, largest = SCALES[0], SCALES[-1]
+    # summary construction grows with the data
+    for technique in ("cset", "sumrdf", "bs"):
+        assert data[largest]["prep"][technique] >= data[smallest]["prep"][technique] * 0.8
+    # nothing becomes pathological: per-query time stays under the budget
+    for scale in SCALES:
+        for technique in TECHNIQUES:
+            elapsed = data[scale]["online"].get(technique, {}).get("all")
+            assert elapsed is None or elapsed < 20.0

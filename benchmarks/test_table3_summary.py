@@ -1,0 +1,35 @@
+"""Table 3 — the summarized accurate/inaccurate comparison matrix.
+
+Derived from measured records of the LUBM queryset and the YAGO workload.
+Paper finding: WJ is the only technique accurate across all columns.
+"""
+
+from repro.bench import figures
+from repro.bench.tables import ACCURATE, render_table3, table3_matrix
+
+
+def _experiment():
+    lubm = figures.fig6a_lubm_accuracy(runs=1)
+    yago = figures.fig6c_yago_topology()
+    records = list(lubm.data["records"]) + list(yago.data["records"])
+    matrix = table3_matrix(records)
+    return figures.ExperimentResult(
+        "T3",
+        "Summarized comparison of techniques (Table 3)",
+        render_table3(matrix),
+        {"matrix": matrix},
+    )
+
+
+def test_table3_summary(run_once, save_result):
+    result = run_once(_experiment)
+    save_result(result)
+    matrix = result.data["matrix"]
+
+    # WJ's row dominates: accurate in at least as many columns as anyone
+    def score(technique):
+        return sum(1 for v in matrix[technique].values() if v == ACCURATE)
+
+    wj_score = score("wj")
+    assert wj_score >= max(score(t) for t in matrix)
+    assert wj_score >= 5

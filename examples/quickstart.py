@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Quickstart: estimate the cardinality of a subgraph matching query.
+
+Builds the paper's running example (Figure 1), counts the true number of
+embeddings, and runs all seven cardinality estimation techniques through
+the G-CARE framework.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import count_embeddings, create_estimator, available_techniques
+from repro.datasets.example import figure1_graph, figure1_query
+from repro.metrics import qerror
+
+
+def main() -> None:
+    graph = figure1_graph()
+    query = figure1_query()
+    print(f"data graph : {graph}")
+    print(f"query      : triangle u0(A) --a--> u1 --b--> u2 --c--> u0")
+
+    truth = count_embeddings(graph, query)
+    print(f"true cardinality: {truth.count} (exact matcher, "
+          f"{truth.elapsed * 1000:.2f} ms)\n")
+
+    print(f"{'technique':10s} {'estimate':>10s} {'q-error':>8s} "
+          f"{'substructures':>14s}")
+    for name in available_techniques():
+        estimator = create_estimator(
+            name, graph, sampling_ratio=1.0, seed=7,
+            # the 3% summary-size rule degenerates on an 11-edge toy graph
+            **({"size_threshold": 1.0} if name == "sumrdf" else {}),
+        )
+        result = estimator.estimate(query)
+        error = qerror(truth.count, result.estimate)
+        print(f"{estimator.display_name:10s} {result.estimate:10.2f} "
+              f"{error:8.2f} {result.num_substructures:14d}")
+
+
+if __name__ == "__main__":
+    main()

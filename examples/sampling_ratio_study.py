@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Sampling-ratio sensitivity study (Section 6.3 of the paper).
+
+Sweeps the sampling ratio for the four sampling-based techniques on a
+chosen dataset and prints median q-errors per ratio, reproducing the
+paper's finding that WanderJoin stays robust even at 0.01% while CS and
+IMPR underestimate across the board.
+
+Run:  python examples/sampling_ratio_study.py [--dataset yago|aids]
+"""
+
+import argparse
+
+from repro.bench import figures
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="aids", choices=["yago", "aids"])
+    parser.add_argument(
+        "--ratios",
+        type=float,
+        nargs="+",
+        default=[0.0001, 0.001, 0.01, 0.03],
+        help="sampling ratios as fractions (paper: 0.0001 .. 0.03)",
+    )
+    args = parser.parse_args()
+
+    result = figures.sec63_sampling_ratio(
+        dataset_name=args.dataset, ratios=tuple(args.ratios)
+    )
+    print(result)
+
+    per_ratio = result.data["per_ratio"]
+    smallest, largest = min(per_ratio), max(per_ratio)
+    wj_small = per_ratio[smallest].get("wj")
+    wj_large = per_ratio[largest].get("wj")
+    print(
+        f"\nWJ median q-error at p={smallest:.2%}: {wj_small:.2f} "
+        f"vs p={largest:.2%}: {wj_large:.2f} "
+        f"(robustness across two orders of magnitude of sampling effort)"
+    )
+
+
+if __name__ == "__main__":
+    main()

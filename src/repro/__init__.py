@@ -1,0 +1,70 @@
+"""G-CARE: a framework for benchmarking cardinality estimation techniques
+for subgraph matching (reproduction of Park et al., SIGMOD 2020).
+
+Public API highlights:
+
+* :class:`repro.graph.Graph` / :class:`repro.graph.QueryGraph` — data and
+  query graph models.
+* :func:`repro.matching.count_embeddings` — exact homomorphism counting
+  (ground truth).
+* :class:`repro.core.Estimator` — the G-CARE framework (Algorithm 1).
+* :func:`repro.core.create_estimator` — instantiate any of the seven
+  techniques ("cset", "impr", "sumrdf", "cs", "wj", "jsub", "bs").
+* :mod:`repro.datasets` — synthetic stand-ins for LUBM, YAGO, DBpedia,
+  AIDS and Human.
+* :mod:`repro.workload` — topology/size/result-size controlled query
+  generation.
+* :mod:`repro.metrics` — q-error and report utilities.
+* :mod:`repro.plans` — the RDF-3X-style plan-quality study (Section 6.5).
+"""
+
+from .core.errors import (
+    EstimationTimeout,
+    GCareError,
+    PreparationError,
+    UnsupportedQueryError,
+)
+from .core.framework import Estimator
+from .core.registry import (
+    ALL_TECHNIQUES,
+    GRAPH_BASED,
+    RELATIONAL_BASED,
+    available_techniques,
+    create_estimator,
+    estimator_class,
+)
+from .core.result import EstimationResult
+from .graph.digraph import Graph, GraphStats
+from .graph.query import QueryGraph
+from .graph.topology import Topology, classify
+from .matching.homomorphism import MatchResult, count_embeddings
+from .matching.treecount import count_embeddings_auto, count_tree_embeddings
+from .workload.patterns import format_query, parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_TECHNIQUES",
+    "EstimationResult",
+    "EstimationTimeout",
+    "Estimator",
+    "GCareError",
+    "GRAPH_BASED",
+    "Graph",
+    "GraphStats",
+    "MatchResult",
+    "PreparationError",
+    "QueryGraph",
+    "RELATIONAL_BASED",
+    "Topology",
+    "UnsupportedQueryError",
+    "available_techniques",
+    "classify",
+    "count_embeddings",
+    "count_embeddings_auto",
+    "count_tree_embeddings",
+    "create_estimator",
+    "estimator_class",
+    "format_query",
+    "parse_query",
+]

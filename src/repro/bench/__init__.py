@@ -1,0 +1,26 @@
+"""Benchmark harness: per-figure experiment runners and report tables."""
+
+from . import figures, regression, tables, workloads
+from .figures import ExperimentResult
+from .runner import (
+    EvalRecord,
+    EvaluationRunner,
+    NamedQuery,
+    group_by,
+    mean_elapsed,
+    summarize,
+)
+
+__all__ = [
+    "EvalRecord",
+    "EvaluationRunner",
+    "ExperimentResult",
+    "NamedQuery",
+    "figures",
+    "regression",
+    "group_by",
+    "mean_elapsed",
+    "summarize",
+    "tables",
+    "workloads",
+]

@@ -1,0 +1,205 @@
+"""Command-line interface: ``gcare <experiment> [options]``.
+
+Regenerates any of the paper's tables and figures from the terminal::
+
+    gcare list                 # show available experiments
+    gcare t2                   # Table 2 dataset statistics
+    gcare f6a --runs 3         # LUBM accuracy (Figure 6a)
+    gcare f8a                  # AIDS topology accuracy (Figure 8a)
+    gcare s63 --dataset aids   # sampling-ratio sensitivity
+    gcare f10                  # efficiency
+    gcare f11                  # plan quality
+    gcare t3                   # summary verdict matrix
+
+Dataset and workload export (the official G-CARE text format / JSON)::
+
+    gcare export-dataset yago --out yago.txt
+    gcare export-workload aids --out aids_queries.json
+
+One-off estimation of a query file against a graph file::
+
+    gcare estimate --graph yago.txt --query q.txt --technique wj
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from . import figures
+from .tables import render_table3, table3_matrix
+
+
+def _t3() -> figures.ExperimentResult:
+    """Table 3 needs records from the LUBM and YAGO experiments."""
+    lubm = figures.fig6a_lubm_accuracy(runs=1)
+    yago = figures.fig6c_yago_topology()
+    records = list(lubm.data["records"]) + list(yago.data["records"])
+    matrix = table3_matrix(records)
+    return figures.ExperimentResult(
+        "T3",
+        "Summarized comparison (Table 3)",
+        render_table3(matrix),
+        {"matrix": matrix},
+    )
+
+
+EXPERIMENTS: Dict[str, Callable[..., figures.ExperimentResult]] = {
+    "t2": figures.table2_statistics,
+    "f6a": figures.fig6a_lubm_accuracy,
+    "f6b": figures.fig6b_yago_result_size,
+    "f6c": figures.fig6c_yago_topology,
+    "f6d": figures.fig6d_yago_size,
+    "f7a": figures.fig7a_aids_result_size,
+    "f7b": figures.fig7b_human_result_size,
+    "f8a": figures.fig8a_aids_topology,
+    "f8b": figures.fig8b_human_topology,
+    "f9": figures.fig9_aids_size,
+    "s63": figures.sec63_sampling_ratio,
+    "f10": figures.fig10_efficiency,
+    "f11": figures.fig11_plan_quality,
+    "t3": _t3,
+}
+
+
+def _export_dataset(name: str, out: str, seed: int) -> int:
+    from ..datasets import load_dataset
+    from ..graph.io import dump_graph
+
+    dataset = load_dataset(name, seed=seed)
+    dump_graph(dataset.graph, out)
+    print(f"wrote {dataset.graph} to {out} ({dataset.notes})")
+    return 0
+
+
+def _export_workload(dataset_name: str, out: str, seed: int) -> int:
+    from . import workloads
+    from ..workload.store import save_workload
+    from ..workload.generator import WorkloadQuery
+    from ..graph.topology import Topology
+
+    named = workloads.workload(dataset_name, per_combination=2, seed=seed)
+    raw = [
+        WorkloadQuery(
+            q.query, Topology(q.groups["topology"]), q.true_cardinality
+        )
+        for q in named
+    ]
+    save_workload(raw, out)
+    print(f"wrote {len(raw)} queries with true cardinalities to {out}")
+    return 0
+
+
+def _estimate(graph_path: str, query_path: str, technique: str,
+              sampling_ratio: float, seed: int) -> int:
+    from ..graph.io import load_graph, load_query
+    from ..matching.homomorphism import count_embeddings
+    from ..metrics.qerror import signed_qerror
+    from .runner import EvaluationRunner  # noqa: F401 (import check)
+    from ..core.registry import create_estimator
+
+    graph = load_graph(graph_path)
+    query = load_query(query_path)
+    print(f"graph: {graph}")
+    print(f"query: |V|={query.num_vertices} |E|={query.num_edges}")
+    estimator = create_estimator(
+        technique, graph, sampling_ratio=sampling_ratio, seed=seed,
+        time_limit=300.0,
+    )
+    result = estimator.estimate(query)
+    print(f"{estimator.display_name} estimate: {result.estimate:.4f} "
+          f"({result.elapsed * 1000:.1f} ms, "
+          f"{result.num_substructures} substructures)")
+    truth = count_embeddings(graph, query, time_limit=300.0)
+    if truth.complete:
+        signed = signed_qerror(truth.count, result.estimate)
+        direction = "under" if signed < 0 else "over"
+        print(f"true cardinality: {truth.count} "
+              f"(signed q-error {signed:+.2f}, {direction}estimate)")
+    else:
+        print("true cardinality: (counting exceeded the time budget)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="gcare",
+        description="Regenerate the G-CARE paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default="list",
+        help=(
+            "experiment id (t2, f6a..f11, s63, t3), "
+            "'export-dataset', 'export-workload', or 'list'"
+        ),
+    )
+    parser.add_argument(
+        "target", nargs="?", default=None,
+        help="dataset name for export commands",
+    )
+    parser.add_argument("--runs", type=int, default=None, help="runs per query")
+    parser.add_argument(
+        "--dataset", default=None, help="dataset override for s63"
+    )
+    parser.add_argument(
+        "--sampling-ratio", type=float, default=None, help="sampling ratio p"
+    )
+    parser.add_argument("--out", default=None, help="output path for exports")
+    parser.add_argument("--seed", type=int, default=1, help="dataset seed")
+    parser.add_argument("--graph", default=None, help="graph file (estimate)")
+    parser.add_argument("--query", default=None, help="query file (estimate)")
+    parser.add_argument(
+        "--technique", default="wj", help="technique for estimate"
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "estimate":
+        if not args.graph or not args.query:
+            print("usage: gcare estimate --graph g.txt --query q.txt "
+                  "[--technique wj]")
+            return 2
+        return _estimate(
+            args.graph, args.query, args.technique,
+            args.sampling_ratio or 0.03, args.seed,
+        )
+
+    if args.experiment in ("export-dataset", "export-workload"):
+        if not args.target or not args.out:
+            print(f"usage: gcare {args.experiment} <dataset> --out <path>")
+            return 2
+        if args.experiment == "export-dataset":
+            return _export_dataset(args.target, args.out, args.seed)
+        return _export_workload(args.target, args.out, args.seed)
+
+    if args.experiment == "list":
+        print("available experiments:")
+        for key, fn in EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"  {key:5s} {doc}")
+        return 0
+
+    experiment = EXPERIMENTS.get(args.experiment.lower())
+    if experiment is None:
+        print(f"unknown experiment {args.experiment!r}; try 'gcare list'")
+        return 2
+    kwargs = {}
+    if args.runs is not None and args.experiment.lower() == "f6a":
+        kwargs["runs"] = args.runs
+    if args.dataset is not None and args.experiment.lower() == "s63":
+        kwargs["dataset_name"] = args.dataset
+    if args.sampling_ratio is not None and args.experiment.lower() not in (
+        "t2",
+        "t3",
+        "s63",
+    ):
+        kwargs["sampling_ratio"] = args.sampling_ratio
+    result = experiment(**kwargs)
+    print(result)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

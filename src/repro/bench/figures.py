@@ -1,0 +1,489 @@
+"""Reproductions of every table and figure in the paper's evaluation.
+
+Each function regenerates one artifact of Section 5/6 at laptop scale and
+returns an :class:`ExperimentResult` whose ``table`` is a printable text
+rendition of the paper's figure (rows = the figure's x-axis groups,
+columns = techniques) and whose ``data`` carries the raw aggregates for
+programmatic assertions.  The ``benchmarks/`` suite and the ``gcare`` CLI
+are thin wrappers over this module.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..core.registry import ALL_TECHNIQUES, create_estimator
+from ..datasets import DATASET_NAMES
+from ..graph.topology import Topology
+from ..matching.homomorphism import count_embeddings
+from ..metrics.charts import render_signed_chart
+from ..metrics.qerror import QErrorSummary, signed_qerror
+from ..metrics.report import render_table
+from ..plans.study import PlanQualityStudy, records_as_table
+from ..workload import dbpedia_queries, lubm_queries
+from ..workload.buckets import bucket_label, bucket_of
+from . import workloads
+from .runner import EvalRecord, EvaluationRunner, NamedQuery, group_by, summarize
+
+#: sampling-based techniques (Section 6.3 varies their sampling ratio)
+SAMPLING_TECHNIQUES = ("impr", "cs", "wj", "jsub")
+
+#: default per-query time limit for the laptop-scale reproduction
+DEFAULT_TIME_LIMIT = 10.0
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced artifact: identifier, printable table, raw data."""
+
+    experiment_id: str
+    title: str
+    table: str
+    data: Dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"== {self.experiment_id}: {self.title} ==\n{self.table}"
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — dataset statistics
+# ---------------------------------------------------------------------------
+def table2_statistics(seed: int = 1) -> ExperimentResult:
+    """Regenerate Table 2 for the five (scaled) datasets."""
+    rows = []
+    data = {}
+    columns: List[str] = []
+    per_dataset = {}
+    for name in DATASET_NAMES:
+        stats = workloads.dataset(name, seed=seed).stats_row()
+        per_dataset[name] = stats
+        columns = list(stats)
+    for metric in columns:
+        rows.append([metric] + [per_dataset[n][metric] for n in DATASET_NAMES])
+    table = render_table(["statistic"] + list(DATASET_NAMES), rows)
+    data["stats"] = per_dataset
+    return ExperimentResult("T2", "Statistics of datasets (Table 2)", table, data)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6(a) — accuracy on the LUBM benchmark queries
+# ---------------------------------------------------------------------------
+def fig6a_lubm_accuracy(
+    universities: int = 4,
+    sampling_ratio: float = 0.03,
+    runs: int = 5,
+    seed: int = 0,
+    techniques: Sequence[str] = ALL_TECHNIQUES,
+    time_limit: float = DEFAULT_TIME_LIMIT,
+) -> ExperimentResult:
+    """Mean (+/- std) q-error per LUBM benchmark query per technique.
+
+    The paper reports averages of 30 runs; ``runs`` trades repetitions for
+    wall-clock at laptop scale.
+    """
+    data = workloads.dataset("lubm", seed=1, universities=universities)
+    queries: List[NamedQuery] = []
+    for name, query in lubm_queries.benchmark_queries().items():
+        truth = count_embeddings(data.graph, query, time_limit=60.0)
+        queries.append(NamedQuery(name, query, truth.count))
+    runner = EvaluationRunner(
+        data.graph,
+        techniques,
+        sampling_ratio=sampling_ratio,
+        seed=seed,
+        time_limit=time_limit,
+    )
+    records = runner.run(queries, runs=runs)
+    per_query = summarize(records, lambda r: r.query_name)
+    query_names = [q.name for q in queries]
+    rows = []
+    for name in query_names:
+        row: List[object] = [name]
+        truth = next(q.true_cardinality for q in queries if q.name == name)
+        row.append(truth)
+        for technique in techniques:
+            summary = per_query.get(technique, {}).get(name)
+            if summary is None or summary.count == 0:
+                row.append(None)
+            else:
+                row.append(summary.mean)
+        rows.append(row)
+    table = render_table(
+        ["query", "true card"] + [t.upper() for t in techniques],
+        rows,
+        title="mean q-error over runs ('-' = unsupported/timeout)",
+    )
+    return ExperimentResult(
+        "F6a",
+        "Accuracy on the LUBM benchmark (Figure 6a)",
+        table,
+        {"records": records, "summaries": per_query},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 6(b)-(d), 7, 8, 9 — grouped accuracy on generated workloads
+# ---------------------------------------------------------------------------
+def accuracy_grouped(
+    experiment_id: str,
+    dataset_name: str,
+    group_field: str,
+    topologies: Sequence[Topology] = workloads.ALL_TOPOLOGIES,
+    sizes: Sequence[int] = workloads.QUERY_SIZES,
+    per_combination: int = 2,
+    sampling_ratio: float = 0.03,
+    runs: int = 1,
+    seed: int = 0,
+    techniques: Sequence[str] = ALL_TECHNIQUES,
+    time_limit: float = DEFAULT_TIME_LIMIT,
+) -> ExperimentResult:
+    """Shared engine for the grouped-accuracy figures.
+
+    ``group_field`` is one of ``"bucket"`` (result size), ``"topology"`` or
+    ``"size"``; rows follow the paper's x-axis of the matching figure.
+    """
+    data = workloads.dataset(dataset_name)
+    queries = workloads.workload(
+        dataset_name,
+        topologies=topologies,
+        sizes=sizes,
+        per_combination=per_combination,
+    )
+    runner = EvaluationRunner(
+        data.graph,
+        techniques,
+        sampling_ratio=sampling_ratio,
+        seed=seed,
+        time_limit=time_limit,
+    )
+    records = runner.run(queries, runs=runs)
+    summaries = summarize(records, group_by(group_field))
+    groups = _ordered_groups(queries, group_field)
+    rows = []
+    for group in groups:
+        row: List[object] = [group]
+        for technique in techniques:
+            summary = summaries.get(technique, {}).get(group)
+            row.append(
+                summary.median if summary and summary.count else None
+            )
+        rows.append(row)
+    table = render_table(
+        [group_field] + [t.upper() for t in techniques],
+        rows,
+        title="median q-error ('-' = unsupported/timeout)",
+    )
+    chart = render_signed_chart(
+        group_field,
+        groups,
+        _signed_medians(records, techniques, group_field),
+        title="signed q-error (median; '<' under-, '>' over-estimation)",
+    )
+    return ExperimentResult(
+        experiment_id,
+        f"Accuracy on {dataset_name} grouped by {group_field}",
+        table + "\n\n" + chart,
+        {
+            "records": records,
+            "summaries": summaries,
+            "groups": groups,
+            "num_queries": len(queries),
+        },
+    )
+
+
+def _signed_medians(
+    records: Sequence[EvalRecord],
+    techniques: Sequence[str],
+    group_field: str,
+) -> Dict[str, Dict[str, Optional[float]]]:
+    """Median signed q-error per technique and group (None = no data)."""
+    values: Dict[str, Dict[str, List[float]]] = {}
+    for record in records:
+        if record.failed:
+            continue
+        group = record.groups.get(group_field, "?")
+        values.setdefault(record.technique, {}).setdefault(group, []).append(
+            signed_qerror(record.true_cardinality, record.estimate)
+        )
+    result: Dict[str, Dict[str, Optional[float]]] = {}
+    for technique in techniques:
+        result[technique] = {}
+        for group, signed in values.get(technique, {}).items():
+            signed.sort(key=abs)
+            result[technique][group] = signed[len(signed) // 2]
+    return result
+
+
+def _ordered_groups(queries: Sequence[NamedQuery], field_name: str) -> List[str]:
+    values = {q.groups[field_name] for q in queries}
+    if field_name == "size":
+        return sorted(values, key=int)
+    if field_name == "bucket":
+        order = [bucket_label(b) for b in _all_buckets()]
+        return [v for v in order if v in values]
+    order = [t.value for t in Topology]
+    return [v for v in order if v in values] + sorted(
+        v for v in values if v not in order
+    )
+
+
+def _all_buckets():
+    from ..workload.buckets import RESULT_SIZE_BUCKETS
+
+    return RESULT_SIZE_BUCKETS
+
+
+def fig6b_yago_result_size(**kwargs) -> ExperimentResult:
+    """Figure 6(b): q-error vs query result size on YAGO."""
+    return accuracy_grouped("F6b", "yago", "bucket", **kwargs)
+
+
+def fig6c_yago_topology(**kwargs) -> ExperimentResult:
+    """Figure 6(c): q-error vs query topology on YAGO."""
+    return accuracy_grouped("F6c", "yago", "topology", **kwargs)
+
+
+def fig6d_yago_size(**kwargs) -> ExperimentResult:
+    """Figure 6(d): q-error vs query size on YAGO."""
+    return accuracy_grouped("F6d", "yago", "size", **kwargs)
+
+
+def fig7a_aids_result_size(**kwargs) -> ExperimentResult:
+    """Figure 7(a): q-error vs result size on AIDS."""
+    return accuracy_grouped("F7a", "aids", "bucket", **kwargs)
+
+
+def fig7b_human_result_size(**kwargs) -> ExperimentResult:
+    """Figure 7(b): q-error vs result size on Human."""
+    return accuracy_grouped("F7b", "human", "bucket", **kwargs)
+
+
+def fig8a_aids_topology(**kwargs) -> ExperimentResult:
+    """Figure 8(a): q-error vs topology on AIDS."""
+    return accuracy_grouped("F8a", "aids", "topology", **kwargs)
+
+
+def fig8b_human_topology(**kwargs) -> ExperimentResult:
+    """Figure 8(b): q-error vs topology on Human."""
+    return accuracy_grouped("F8b", "human", "topology", **kwargs)
+
+
+def fig9_aids_size(**kwargs) -> ExperimentResult:
+    """Figure 9: q-error vs query size on AIDS."""
+    return accuracy_grouped("F9", "aids", "size", **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Section 6.3 — varying the sampling ratio
+# ---------------------------------------------------------------------------
+def sec63_sampling_ratio(
+    dataset_name: str = "yago",
+    ratios: Sequence[float] = (0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03),
+    techniques: Sequence[str] = SAMPLING_TECHNIQUES,
+    per_combination: int = 1,
+    runs: int = 1,
+    seed: int = 0,
+    time_limit: float = DEFAULT_TIME_LIMIT,
+) -> ExperimentResult:
+    """Median q-error of each sampling technique per sampling ratio.
+
+    The paper's ratios are {0.01, 0.03, 0.1, 0.3, 1, 3}% — i.e. fractions
+    0.0001 .. 0.03 — on YAGO and AIDS.
+    """
+    data = workloads.dataset(dataset_name)
+    queries = [
+        q
+        for q in workloads.workload(dataset_name, per_combination=2)
+        # sampling sensitivity only shows on non-trivial cardinalities
+        if q.true_cardinality > 10
+    ][: max(4, per_combination * 8)]
+    per_ratio: Dict[float, Dict[str, Optional[float]]] = {}
+    all_records: Dict[float, List[EvalRecord]] = {}
+    for ratio in ratios:
+        runner = EvaluationRunner(
+            data.graph,
+            techniques,
+            sampling_ratio=ratio,
+            seed=seed,
+            time_limit=time_limit,
+        )
+        records = runner.run(queries, runs=runs)
+        all_records[ratio] = records
+        summaries = summarize(records)
+        per_ratio[ratio] = {
+            technique: (
+                summaries[technique]["all"].median
+                if technique in summaries and summaries[technique]["all"].count
+                else None
+            )
+            for technique in techniques
+        }
+    rows = [
+        [f"{ratio * 100:g}%"] + [per_ratio[ratio][t] for t in techniques]
+        for ratio in ratios
+    ]
+    table = render_table(
+        ["sampling ratio"] + [t.upper() for t in techniques],
+        rows,
+        title=f"median q-error on {dataset_name} (Section 6.3)",
+    )
+    return ExperimentResult(
+        "S63",
+        f"Varying sampling ratio on {dataset_name}",
+        table,
+        {"per_ratio": per_ratio, "records": all_records},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — efficiency (off-line preparation + on-line estimation)
+# ---------------------------------------------------------------------------
+def fig10_efficiency(
+    dataset_names: Sequence[str] = ("lubm", "aids"),
+    techniques: Sequence[str] = ALL_TECHNIQUES,
+    sampling_ratio: float = 0.03,
+    seed: int = 0,
+    time_limit: float = DEFAULT_TIME_LIMIT,
+    per_combination: int = 1,
+) -> ExperimentResult:
+    """Preparation times and mean per-query estimation times (Figure 10).
+
+    The paper reports off-line summary construction (C-SET < SumRDF < BS)
+    and on-line per-query times grouped by dataset.
+    """
+    prep_rows = []
+    online_rows = []
+    data_out: Dict[str, Dict] = {}
+    for dataset_name in dataset_names:
+        data = workloads.dataset(dataset_name)
+        queries = workloads.workload(
+            dataset_name, per_combination=per_combination
+        )
+        runner = EvaluationRunner(
+            data.graph,
+            techniques,
+            sampling_ratio=sampling_ratio,
+            seed=seed,
+            time_limit=time_limit,
+        )
+        prep = runner.prepare()
+        records = runner.run(queries, runs=1)
+        from .runner import mean_elapsed
+
+        online = mean_elapsed(records)
+        prep_rows.append(
+            [dataset_name] + [prep.get(t) for t in techniques]
+        )
+        online_rows.append(
+            [dataset_name]
+            + [online.get(t, {}).get("all") for t in techniques]
+        )
+        data_out[dataset_name] = {
+            "preparation": prep,
+            "online": {t: online.get(t, {}).get("all") for t in techniques},
+            "records": records,
+        }
+    prep_table = render_table(
+        ["dataset"] + [t.upper() for t in techniques],
+        prep_rows,
+        title="off-line preparation time [s] (summary construction)",
+    )
+    online_table = render_table(
+        ["dataset"] + [t.upper() for t in techniques],
+        online_rows,
+        title="mean on-line per-query estimation time [s]",
+    )
+    return ExperimentResult(
+        "F10",
+        "Efficiency tests (Figure 10)",
+        prep_table + "\n\n" + online_table,
+        data_out,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 — impact on plan quality
+# ---------------------------------------------------------------------------
+def fig11_plan_quality(
+    techniques: Sequence[str] = ALL_TECHNIQUES,
+    sampling_ratio: float = 0.03,
+    seed: int = 0,
+    time_limit: float = DEFAULT_TIME_LIMIT,
+    include_dbpedia: bool = True,
+) -> ExperimentResult:
+    """Execute optimizer plans fed by each technique's estimates.
+
+    Reproduces Figure 11: per query, the elapsed execution time of the plan
+    chosen under each technique's cardinalities, next to the plan built
+    from true cardinalities (TC).
+    """
+    sections = []
+    data_out: Dict[str, Dict] = {}
+    # -- LUBM queries (Figure 11a) -------------------------------------
+    lubm_data = workloads.dataset("lubm")
+    study = PlanQualityStudy(lubm_data.graph)
+    estimators = {
+        name: create_estimator(
+            name,
+            lubm_data.graph,
+            sampling_ratio=sampling_ratio,
+            seed=seed,
+            time_limit=time_limit,
+        )
+        for name in techniques
+    }
+    records = study.run(lubm_queries.benchmark_queries(), estimators)
+    table = records_as_table(records)
+    names = lubm_queries.query_names()
+    rows = [
+        [tech] + [table.get(tech, {}).get(q) for q in names]
+        for tech in table
+    ]
+    sections.append(
+        render_table(
+            ["technique"] + names,
+            rows,
+            title="LUBM: plan execution time [s] per estimator (Figure 11a)",
+        )
+    )
+    data_out["lubm"] = {"records": records, "table": table}
+    # -- DBpedia log-query analogues (Figure 11b) ----------------------
+    if include_dbpedia:
+        dbp_data = workloads.dataset("dbpedia")
+        profile_queries = dbpedia_queries.benchmark_queries(dbp_data)
+        study = PlanQualityStudy(dbp_data.graph)
+        estimators = {
+            name: create_estimator(
+                name,
+                dbp_data.graph,
+                sampling_ratio=sampling_ratio,
+                seed=seed,
+                time_limit=time_limit,
+            )
+            for name in techniques
+        }
+        queries = {name: wq.query for name, wq in profile_queries.items()}
+        records = study.run(queries, estimators)
+        table = records_as_table(records)
+        names = list(queries)
+        rows = [
+            [tech] + [table.get(tech, {}).get(q) for q in names]
+            for tech in table
+        ]
+        sections.append(
+            render_table(
+                ["technique"] + names,
+                rows,
+                title="DBpedia: plan execution time [s] per estimator (Figure 11b)",
+            )
+        )
+        data_out["dbpedia"] = {"records": records, "table": table}
+    return ExperimentResult(
+        "F11",
+        "Impact on plan quality (Figure 11)",
+        "\n\n".join(sections),
+        data_out,
+    )

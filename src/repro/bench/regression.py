@@ -1,0 +1,194 @@
+"""Regression tracking for benchmark results.
+
+A benchmark framework's results are only useful if they are comparable
+across runs — of different techniques, versions, or machines.  This
+module persists *summaries* of experiment results (per technique/group
+median q-errors, failure counts) as JSON snapshots and diffs two
+snapshots, flagging regressions beyond a tolerance factor.
+
+Typical use::
+
+    from repro.bench import figures, regression
+
+    result = figures.fig6c_yago_topology()
+    snapshot = regression.snapshot_from_result(result)
+    regression.save_snapshot(snapshot, "baselines/F6c.json")
+
+    # ... after changing an estimator ...
+    report = regression.compare(
+        regression.load_snapshot("baselines/F6c.json"),
+        regression.snapshot_from_result(figures.fig6c_yago_topology()),
+    )
+    assert not report.regressions, report.describe()
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+PathLike = Union[str, Path]
+
+#: snapshot format version
+FORMAT_VERSION = 1
+
+
+@dataclass
+class Snapshot:
+    """Persisted summary of one experiment run."""
+
+    experiment_id: str
+    #: {technique: {group: median q-error}}
+    medians: Dict[str, Dict[str, float]]
+    #: {technique: {group: failure count}}
+    failures: Dict[str, Dict[str, int]]
+
+    def to_dict(self) -> dict:
+        return {
+            "version": FORMAT_VERSION,
+            "experiment_id": self.experiment_id,
+            "medians": self.medians,
+            "failures": self.failures,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Snapshot":
+        if payload.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported snapshot version {payload.get('version')!r}"
+            )
+        return cls(
+            experiment_id=payload["experiment_id"],
+            medians=payload["medians"],
+            failures=payload["failures"],
+        )
+
+
+@dataclass
+class Difference:
+    """One changed cell between two snapshots."""
+
+    technique: str
+    group: str
+    kind: str  # "median" | "failures" | "missing" | "new"
+    before: Optional[float]
+    after: Optional[float]
+
+    def describe(self) -> str:
+        return (
+            f"{self.technique}/{self.group} [{self.kind}]: "
+            f"{self.before} -> {self.after}"
+        )
+
+
+@dataclass
+class ComparisonReport:
+    """Outcome of comparing a new snapshot against a baseline."""
+
+    regressions: List[Difference] = field(default_factory=list)
+    improvements: List[Difference] = field(default_factory=list)
+    other_changes: List[Difference] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.regressions
+
+    def describe(self) -> str:
+        lines: List[str] = []
+        for title, diffs in (
+            ("REGRESSIONS", self.regressions),
+            ("improvements", self.improvements),
+            ("other changes", self.other_changes),
+        ):
+            if diffs:
+                lines.append(f"{title}:")
+                lines.extend(f"  {d.describe()}" for d in diffs)
+        return "\n".join(lines) or "no changes"
+
+
+def snapshot_from_result(result) -> Snapshot:
+    """Build a snapshot from an ExperimentResult with 'summaries' data.
+
+    Works with any result of the grouped-accuracy experiments (F6b..F9);
+    other experiments can construct :class:`Snapshot` directly.
+    """
+    summaries = result.data.get("summaries", {})
+    medians: Dict[str, Dict[str, float]] = {}
+    failures: Dict[str, Dict[str, int]] = {}
+    for technique, groups in summaries.items():
+        medians[technique] = {}
+        failures[technique] = {}
+        for group, summary in groups.items():
+            if summary.count:
+                medians[technique][group] = summary.median
+            failures[technique][group] = summary.failures
+    return Snapshot(result.experiment_id, medians, failures)
+
+
+def save_snapshot(snapshot: Snapshot, path: PathLike) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(snapshot.to_dict(), indent=1))
+
+
+def load_snapshot(path: PathLike) -> Snapshot:
+    return Snapshot.from_dict(json.loads(Path(path).read_text()))
+
+
+def compare(
+    baseline: Snapshot,
+    current: Snapshot,
+    tolerance_factor: float = 3.0,
+) -> ComparisonReport:
+    """Diff two snapshots of the same experiment.
+
+    A *regression* is a median q-error growing beyond
+    ``tolerance_factor`` times the baseline (or new failures appearing);
+    shrinking beyond the same factor counts as an improvement; anything
+    else within tolerance is ignored, and appearing/disappearing cells
+    are listed as other changes.
+    """
+    if baseline.experiment_id != current.experiment_id:
+        raise ValueError(
+            f"cannot compare {baseline.experiment_id!r} "
+            f"with {current.experiment_id!r}"
+        )
+    report = ComparisonReport()
+    techniques = set(baseline.medians) | set(current.medians)
+    for technique in sorted(techniques):
+        base_groups = baseline.medians.get(technique, {})
+        cur_groups = current.medians.get(technique, {})
+        for group in sorted(set(base_groups) | set(cur_groups)):
+            before = base_groups.get(group)
+            after = cur_groups.get(group)
+            if before is None and after is not None:
+                report.other_changes.append(
+                    Difference(technique, group, "new", None, after)
+                )
+            elif before is not None and after is None:
+                report.other_changes.append(
+                    Difference(technique, group, "missing", before, None)
+                )
+            elif before is not None and after is not None:
+                if after > before * tolerance_factor:
+                    report.regressions.append(
+                        Difference(technique, group, "median", before, after)
+                    )
+                elif before > after * tolerance_factor:
+                    report.improvements.append(
+                        Difference(technique, group, "median", before, after)
+                    )
+        base_failures = baseline.failures.get(technique, {})
+        cur_failures = current.failures.get(technique, {})
+        for group in sorted(set(base_failures) | set(cur_failures)):
+            before_f = base_failures.get(group, 0)
+            after_f = cur_failures.get(group, 0)
+            if after_f > before_f:
+                report.regressions.append(
+                    Difference(
+                        technique, group, "failures", before_f, after_f
+                    )
+                )
+    return report

@@ -1,0 +1,220 @@
+"""Evaluation harness: run techniques over query workloads, collect q-errors.
+
+This is the engine behind every figure/table reproduction in
+``benchmarks/``: it prepares each technique once (off-line summary
+construction), runs every query the configured number of times (the paper
+runs each query 30 times), and records per-run estimates, q-errors, times
+and failures (unsupported queries, timeouts).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..core.errors import EstimationTimeout, GCareError, UnsupportedQueryError
+from ..core.framework import Estimator
+from ..core.registry import create_estimator
+from ..graph.digraph import Graph
+from ..graph.query import QueryGraph
+from ..metrics.qerror import QErrorSummary, qerror
+from ..workload.generator import WorkloadQuery
+
+
+@dataclass
+class NamedQuery:
+    """A query with ground truth and grouping metadata."""
+
+    name: str
+    query: QueryGraph
+    true_cardinality: int
+    groups: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_workload(
+        cls, prefix: str, index: int, workload_query: WorkloadQuery
+    ) -> "NamedQuery":
+        return cls(
+            name=f"{prefix}{index}",
+            query=workload_query.query,
+            true_cardinality=workload_query.true_cardinality,
+            groups={
+                "topology": workload_query.topology.value,
+                "size": str(workload_query.size),
+                "bucket": workload_query.bucket_name,
+            },
+        )
+
+
+@dataclass
+class EvalRecord:
+    """Outcome of one estimation run of one technique on one query."""
+
+    technique: str
+    query_name: str
+    run: int
+    true_cardinality: int
+    estimate: Optional[float]
+    elapsed: float
+    groups: Dict[str, str] = field(default_factory=dict)
+    error: Optional[str] = None  # "unsupported" | "timeout" | other
+
+    @property
+    def qerror(self) -> Optional[float]:
+        if self.estimate is None:
+            return None
+        return qerror(self.true_cardinality, self.estimate)
+
+    @property
+    def failed(self) -> bool:
+        return self.estimate is None
+
+
+class EvaluationRunner:
+    """Runs a set of techniques over a set of queries."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        techniques: Sequence[str],
+        sampling_ratio: float = 0.03,
+        seed: int = 0,
+        time_limit: float = 20.0,
+        estimator_kwargs: Optional[Mapping[str, Mapping]] = None,
+    ) -> None:
+        self.graph = graph
+        self.technique_names = list(techniques)
+        self.estimators: Dict[str, Estimator] = {}
+        self.preparation_times: Dict[str, float] = {}
+        extra = estimator_kwargs or {}
+        for name in self.technique_names:
+            kwargs = dict(extra.get(name, {}))
+            self.estimators[name] = create_estimator(
+                name,
+                graph,
+                sampling_ratio=sampling_ratio,
+                seed=seed,
+                time_limit=time_limit,
+                **kwargs,
+            )
+
+    def prepare(self) -> Dict[str, float]:
+        """Run off-line preparation for every technique; returns times."""
+        for name, estimator in self.estimators.items():
+            self.preparation_times[name] = estimator.prepare()
+        return dict(self.preparation_times)
+
+    def run(
+        self,
+        queries: Sequence[NamedQuery],
+        runs: int = 1,
+        reseed: bool = True,
+    ) -> List[EvalRecord]:
+        """Estimate every query ``runs`` times with every technique.
+
+        When ``reseed`` is set, run ``r`` uses seed ``base_seed + r`` so
+        sampling-based techniques produce independent repetitions.
+        """
+        self.prepare()
+        records: List[EvalRecord] = []
+        for name, estimator in self.estimators.items():
+            base_seed = estimator.seed
+            for named in queries:
+                for run in range(runs):
+                    if reseed:
+                        estimator.seed = base_seed + run
+                    records.append(self._run_one(name, estimator, named, run))
+            estimator.seed = base_seed
+        return records
+
+    @staticmethod
+    def _run_one(
+        name: str, estimator: Estimator, named: NamedQuery, run: int
+    ) -> EvalRecord:
+        start = time.monotonic()
+        error: Optional[str] = None
+        estimate: Optional[float] = None
+        try:
+            estimate = estimator.estimate(named.query).estimate
+        except UnsupportedQueryError:
+            error = "unsupported"
+        except EstimationTimeout:
+            error = "timeout"
+        except GCareError as exc:  # pragma: no cover - defensive
+            error = f"error: {exc}"
+        elapsed = time.monotonic() - start
+        return EvalRecord(
+            technique=name,
+            query_name=named.name,
+            run=run,
+            true_cardinality=named.true_cardinality,
+            estimate=estimate,
+            elapsed=elapsed,
+            groups=dict(named.groups),
+            error=error,
+        )
+
+
+# ---------------------------------------------------------------------------
+# aggregation helpers
+# ---------------------------------------------------------------------------
+def summarize(
+    records: Iterable[EvalRecord],
+    group_key: Optional[Callable[[EvalRecord], str]] = None,
+) -> Dict[str, Dict[str, QErrorSummary]]:
+    """Summarize q-errors per technique (optionally per group).
+
+    Returns ``{technique: {group: QErrorSummary}}``; without a group key the
+    single group is named ``"all"``.  Failed runs count toward
+    ``QErrorSummary.failures`` of their group.
+    """
+    grouped: Dict[str, Dict[str, List]] = {}
+    failures: Dict[str, Dict[str, int]] = {}
+    for record in records:
+        group = group_key(record) if group_key else "all"
+        if record.failed:
+            failures.setdefault(record.technique, {}).setdefault(group, 0)
+            failures[record.technique][group] += 1
+            grouped.setdefault(record.technique, {}).setdefault(group, [])
+            continue
+        grouped.setdefault(record.technique, {}).setdefault(group, []).append(
+            (record.true_cardinality, record.estimate)
+        )
+    result: Dict[str, Dict[str, QErrorSummary]] = {}
+    for technique, groups in grouped.items():
+        result[technique] = {}
+        for group, pairs in groups.items():
+            fail_count = failures.get(technique, {}).get(group, 0)
+            result[technique][group] = QErrorSummary.from_pairs(
+                pairs, failures=fail_count
+            )
+    return result
+
+
+def group_by(field_name: str) -> Callable[[EvalRecord], str]:
+    """Group-key factory over the query's metadata (topology/size/bucket)."""
+
+    def key(record: EvalRecord) -> str:
+        return record.groups.get(field_name, "?")
+
+    return key
+
+
+def mean_elapsed(
+    records: Iterable[EvalRecord],
+    group_key: Optional[Callable[[EvalRecord], str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Average per-query estimation time per technique (and group)."""
+    sums: Dict[str, Dict[str, List[float]]] = {}
+    for record in records:
+        group = group_key(record) if group_key else "all"
+        sums.setdefault(record.technique, {}).setdefault(group, []).append(
+            record.elapsed
+        )
+    return {
+        technique: {
+            group: sum(values) / len(values) for group, values in groups.items()
+        }
+        for technique, groups in sums.items()
+    }

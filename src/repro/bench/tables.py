@@ -1,0 +1,121 @@
+"""Table 3 — the summarized accurate/inaccurate comparison matrix.
+
+The paper condenses all experiments into a per-technique verdict over six
+query-feature columns (LUBM queryset; #embeddings below/above 10^3; query
+size 3-6 / 9-12; tree vs graph topology).  We derive the same matrix from
+our measured records: a technique is *accurate* for a column when its
+median q-error is within a threshold and it successfully processed at
+least half of the column's runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..core.registry import ALL_TECHNIQUES
+from ..graph.topology import ACYCLIC_TOPOLOGIES, Topology
+from ..metrics.qerror import QErrorSummary
+from ..metrics.report import render_table
+from .runner import EvalRecord
+
+#: median q-error at or below which a technique counts as accurate
+ACCURACY_THRESHOLD = 10.0
+
+ACCURATE = "✓"
+INACCURATE = "✗"
+NO_DATA = "-"
+
+#: column ids in Table 3 order
+COLUMNS = (
+    "LUBM queryset",
+    "#emb <= 10^3",
+    "#emb > 10^3",
+    "size 3~6",
+    "size 9~12",
+    "tree",
+    "graph",
+)
+
+
+def _verdict(pairs: List, failures: int) -> str:
+    total = len(pairs) + failures
+    if total == 0:
+        return NO_DATA
+    if failures > total / 2:
+        return INACCURATE
+    if not pairs:
+        return INACCURATE
+    summary = QErrorSummary.from_pairs(pairs, failures=failures)
+    return ACCURATE if summary.median <= ACCURACY_THRESHOLD else INACCURATE
+
+
+def _column_of(record: EvalRecord) -> List[str]:
+    """All Table 3 columns a record contributes to."""
+    columns: List[str] = []
+    if record.query_name.startswith("Q"):
+        columns.append("LUBM queryset")
+        return columns
+    if record.true_cardinality <= 10**3:
+        columns.append("#emb <= 10^3")
+    else:
+        columns.append("#emb > 10^3")
+    size = int(record.groups.get("size", "0"))
+    if 3 <= size <= 6:
+        columns.append("size 3~6")
+    elif 9 <= size <= 12:
+        columns.append("size 9~12")
+    topology = record.groups.get("topology")
+    if topology in {t.value for t in ACYCLIC_TOPOLOGIES}:
+        columns.append("tree")
+    elif topology is not None:
+        columns.append("graph")
+    return columns
+
+
+def table3_matrix(
+    records: Iterable[EvalRecord],
+    techniques: Sequence[str] = ALL_TECHNIQUES,
+) -> Dict[str, Dict[str, str]]:
+    """Compute {technique: {column: verdict}} from evaluation records."""
+    pairs: Dict[str, Dict[str, List]] = {
+        t: {c: [] for c in COLUMNS} for t in techniques
+    }
+    failures: Dict[str, Dict[str, int]] = {
+        t: {c: 0 for c in COLUMNS} for t in techniques
+    }
+    for record in records:
+        if record.technique not in pairs:
+            continue
+        for column in _column_of(record):
+            if record.failed:
+                failures[record.technique][column] += 1
+            else:
+                pairs[record.technique][column].append(
+                    (record.true_cardinality, record.estimate)
+                )
+    return {
+        technique: {
+            column: _verdict(
+                pairs[technique][column], failures[technique][column]
+            )
+            for column in COLUMNS
+        }
+        for technique in techniques
+    }
+
+
+def render_table3(matrix: Dict[str, Dict[str, str]]) -> str:
+    """Render the verdict matrix as a Table 3 style text table."""
+    rows = [
+        [technique.upper()] + [matrix[technique][c] for c in COLUMNS]
+        for technique in matrix
+    ]
+    return render_table(
+        ["technique"] + list(COLUMNS),
+        rows,
+        title=(
+            f"accurate ({ACCURATE}) = median q-error <= {ACCURACY_THRESHOLD} "
+            f"and <50% failures (Table 3)"
+        ),
+    )

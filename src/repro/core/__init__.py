@@ -1,0 +1,35 @@
+"""The G-CARE framework core (Algorithm 1, results, registry)."""
+
+from .errors import (
+    EstimationTimeout,
+    GCareError,
+    PreparationError,
+    UnsupportedQueryError,
+)
+from .framework import DEFAULT_SAMPLING_RATIO, DEFAULT_TIME_LIMIT, Estimator
+from .registry import (
+    ALL_TECHNIQUES,
+    GRAPH_BASED,
+    RELATIONAL_BASED,
+    available_techniques,
+    create_estimator,
+    estimator_class,
+)
+from .result import EstimationResult
+
+__all__ = [
+    "ALL_TECHNIQUES",
+    "DEFAULT_SAMPLING_RATIO",
+    "DEFAULT_TIME_LIMIT",
+    "EstimationResult",
+    "EstimationTimeout",
+    "Estimator",
+    "GCareError",
+    "GRAPH_BASED",
+    "PreparationError",
+    "RELATIONAL_BASED",
+    "UnsupportedQueryError",
+    "available_techniques",
+    "create_estimator",
+    "estimator_class",
+]

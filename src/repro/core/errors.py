@@ -1,0 +1,27 @@
+"""Exceptions shared across the G-CARE framework."""
+
+from __future__ import annotations
+
+
+class GCareError(Exception):
+    """Base class for framework errors."""
+
+
+class UnsupportedQueryError(GCareError):
+    """The technique cannot process this query.
+
+    Example from the paper: IMPR only supports queries with 3, 4 or 5
+    vertices, so it "cannot process Q4" of LUBM (Section 6.1.1).
+    """
+
+
+class EstimationTimeout(GCareError):
+    """The per-query time budget was exhausted before an estimate was made.
+
+    Example from the paper: SumRDF "fails to process queries with 12 edges
+    due to the timeout" (Section 6.2.3).
+    """
+
+
+class PreparationError(GCareError):
+    """Building the summary structure failed."""

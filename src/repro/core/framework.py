@@ -1,0 +1,190 @@
+"""The G-CARE framework (Algorithm 1 of the paper).
+
+Every cardinality estimation technique is expressed through five hooks:
+
+* ``prepare_summary_structure`` — off-line; summary-based techniques build
+  their summary here, sampling-based techniques do nothing.
+* ``decompose_query`` — split the query into subqueries ``(q_1 .. q_m)``.
+* ``get_substructures`` — yield *target substructures* for a subquery: a
+  sampling unit with its probability for sampling-based techniques, or a
+  matched summary substructure for summary-based techniques.
+* ``est_card`` — estimate the subquery cardinality from one substructure.
+* ``agg_card`` — aggregate the per-substructure estimates (SUM / AVG / MIN).
+
+``estimate`` is the template method: it runs the hooks exactly as Algorithm
+1 does and multiplies the subquery cardinalities by ``selectivity``.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+import time
+from typing import Any, Iterable, Iterator, List, Optional, Sequence
+
+from ..graph.digraph import Graph
+from ..graph.query import QueryGraph
+from .errors import EstimationTimeout
+from .result import EstimationResult
+
+#: Default sampling ratio (3%, the paper's default — Section 5.3).
+DEFAULT_SAMPLING_RATIO = 0.03
+
+#: Default per-query timeout in seconds.  The paper uses 5 minutes on a
+#: large Xeon server; the library default is lower to match laptop-scale
+#: graphs, and every benchmark overrides it explicitly.
+DEFAULT_TIME_LIMIT = 60.0
+
+
+class Estimator(abc.ABC):
+    """Base class for all cardinality estimation techniques.
+
+    Parameters
+    ----------
+    graph:
+        The data graph.
+    sampling_ratio:
+        Fraction ``p`` controlling the number of target substructures for
+        sampling-based techniques (ignored by summary-based ones).
+    seed:
+        Seed for the technique's private RNG; runs are reproducible.
+    time_limit:
+        Per-query wall-clock budget in seconds; exceeded budgets raise
+        :class:`~repro.core.errors.EstimationTimeout`.
+    """
+
+    #: short identifier used in reports ("cset", "wj", ...)
+    name: str = "base"
+    #: display name used in tables ("C-SET", "WJ", ...)
+    display_name: str = "Base"
+    #: whether the technique draws samples at estimation time
+    is_sampling_based: bool = False
+
+    def __init__(
+        self,
+        graph: Graph,
+        sampling_ratio: float = DEFAULT_SAMPLING_RATIO,
+        seed: int = 0,
+        time_limit: Optional[float] = DEFAULT_TIME_LIMIT,
+    ) -> None:
+        if not 0 < sampling_ratio <= 1:
+            raise ValueError("sampling_ratio must be in (0, 1]")
+        self.graph = graph
+        self.sampling_ratio = sampling_ratio
+        self.seed = seed
+        self.time_limit = time_limit
+        self.rng = random.Random(seed)
+        self._prepared = False
+        self.preparation_time = 0.0
+        self._deadline = float("inf")
+
+    # ------------------------------------------------------------------
+    # framework hooks (Algorithm 1)
+    # ------------------------------------------------------------------
+    def prepare_summary_structure(self) -> None:
+        """Build the off-line summary (no-op for sampling-based techniques)."""
+
+    @abc.abstractmethod
+    def decompose_query(self, query: QueryGraph) -> Sequence[Any]:
+        """Split the query into subqueries ``(q_1, ..., q_m)``."""
+
+    @abc.abstractmethod
+    def get_substructures(self, query: QueryGraph, subquery: Any) -> Iterator[Any]:
+        """Yield target substructures for one subquery."""
+
+    @abc.abstractmethod
+    def est_card(self, query: QueryGraph, subquery: Any, substructure: Any) -> float:
+        """Estimate the subquery cardinality from one target substructure."""
+
+    @abc.abstractmethod
+    def agg_card(self, card_vec: Sequence[float]) -> float:
+        """Aggregate the per-substructure estimates of one subquery."""
+
+    def selectivity(self, query: QueryGraph, subqueries: Sequence[Any]) -> float:
+        """Selectivity correction ``sel(q_1, ..., q_m)``; defaults to 1."""
+        return 1.0
+
+    # ------------------------------------------------------------------
+    # template methods
+    # ------------------------------------------------------------------
+    def prepare(self) -> float:
+        """Run off-line preparation once; return the build time in seconds."""
+        if not self._prepared:
+            start = time.monotonic()
+            self.prepare_summary_structure()
+            self.preparation_time = time.monotonic() - start
+            self._prepared = True
+        return self.preparation_time
+
+    def estimate(self, query: QueryGraph) -> EstimationResult:
+        """Estimate the cardinality of ``query`` (Algorithm 1).
+
+        The result's ``info["timings"]`` breaks the on-line time into the
+        framework's phases (decompose / substructure loop / selectivity),
+        which is how the efficiency analysis attributes costs — e.g.
+        SumRDF "spends most of the time on GetSubstructure and EstCard"
+        (Section 6.4).
+        """
+        self.prepare()
+        self.rng = random.Random(self.seed)  # reproducible per query
+        start = time.monotonic()
+        self._deadline = (
+            start + self.time_limit if self.time_limit else float("inf")
+        )
+        subqueries = self.decompose_query(query)
+        decompose_done = time.monotonic()
+        total_substructures = 0
+        subquery_cards: List[float] = []
+        for subquery in subqueries:
+            card_vec: List[float] = []
+            for substructure in self.get_substructures(query, subquery):
+                self.check_deadline()
+                card_vec.append(self.est_card(query, subquery, substructure))
+            total_substructures += len(card_vec)
+            subquery_cards.append(self.agg_card(card_vec))
+        loop_done = time.monotonic()
+        estimate = self.selectivity(query, subqueries)
+        for card in subquery_cards:
+            estimate *= card
+        end = time.monotonic()
+        info = dict(self.estimation_info())
+        info["timings"] = {
+            "decompose": decompose_done - start,
+            "substructures": loop_done - decompose_done,
+            "selectivity": end - loop_done,
+        }
+        return EstimationResult(
+            estimate=max(0.0, estimate),
+            elapsed=end - start,
+            num_substructures=total_substructures,
+            num_subqueries=len(subqueries),
+            info=info,
+        )
+
+    def estimation_info(self) -> dict:
+        """Technique-specific diagnostics attached to each result."""
+        return {}
+
+    def check_deadline(self) -> None:
+        """Raise :class:`EstimationTimeout` once the per-query budget is gone."""
+        if time.monotonic() > self._deadline:
+            raise EstimationTimeout(
+                f"{self.display_name} exceeded {self.time_limit}s"
+            )
+
+    def remaining_time(self) -> float:
+        """Seconds left in the per-query budget (inf when unlimited)."""
+        return self._deadline - time.monotonic()
+
+    # ------------------------------------------------------------------
+    def num_samples(self, population: int) -> int:
+        """Number of sampling iterations implied by the sampling ratio.
+
+        The paper: "p determines the number of iterations (the number of
+        target substructures)" — we draw ``ceil(p * population)`` samples,
+        with a floor of one.
+        """
+        return max(1, round(self.sampling_ratio * population))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}(p={self.sampling_ratio})"

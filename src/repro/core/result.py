@@ -1,0 +1,42 @@
+"""Estimation results and evaluation records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class EstimationResult:
+    """Outcome of one cardinality estimation run.
+
+    Attributes
+    ----------
+    estimate:
+        The estimated cardinality (never negative; may be 0.0 when every
+        sample failed — the paper observes this for several techniques).
+    elapsed:
+        On-line per-query estimation time in seconds (excludes summary
+        construction, which is off-line preparation; see Section 6.4).
+    num_substructures:
+        Number of target substructures consumed (samples drawn or summary
+        matches found) — the framework's loop count in Algorithm 1.
+    num_subqueries:
+        Number of subqueries produced by DecomposeQuery.
+    info:
+        Technique-specific diagnostics (e.g. WanderJoin's chosen walk order,
+        sampling failure rates, number of bounding formulas).
+    """
+
+    estimate: float
+    elapsed: float = 0.0
+    num_substructures: int = 0
+    num_subqueries: int = 1
+    info: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.estimate < 0:
+            raise ValueError("cardinality estimates cannot be negative")
+
+    def __float__(self) -> float:
+        return self.estimate

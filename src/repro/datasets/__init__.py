@@ -1,0 +1,40 @@
+"""Synthetic stand-ins for the paper's five evaluation datasets.
+
+Real LUBM/YAGO/DBpedia/AIDS/Human dumps are unavailable offline and beyond
+pure-Python scale; each generator reproduces its dataset's distinguishing
+statistics at reduced scale (see DESIGN.md, "Substitutions").
+"""
+
+from typing import Callable, Dict
+
+from . import aids, dbpedia, human, lubm, yago
+from .base import Dataset, ZipfSampler
+from .example import figure1_graph, figure1_query
+
+_GENERATORS: Dict[str, Callable[..., Dataset]] = {
+    "lubm": lubm.generate,
+    "yago": yago.generate,
+    "dbpedia": dbpedia.generate,
+    "aids": aids.generate,
+    "human": human.generate,
+}
+
+#: dataset names in the paper's Table 2 order
+DATASET_NAMES = ("lubm", "yago", "dbpedia", "aids", "human")
+
+
+def load_dataset(name: str, **kwargs) -> Dataset:
+    """Generate one of the five evaluation datasets by name."""
+    if name not in _GENERATORS:
+        raise KeyError(f"unknown dataset {name!r}; available: {DATASET_NAMES}")
+    return _GENERATORS[name](**kwargs)
+
+
+__all__ = [
+    "DATASET_NAMES",
+    "Dataset",
+    "ZipfSampler",
+    "figure1_graph",
+    "figure1_query",
+    "load_dataset",
+]

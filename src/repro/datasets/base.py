@@ -1,0 +1,76 @@
+"""Shared infrastructure for the synthetic dataset generators.
+
+The paper evaluates on LUBM, YAGO, DBpedia, AIDS and Human (Table 2).  Real
+dumps are unavailable offline and far beyond pure-Python scale, so each
+generator reproduces its dataset's *distinguishing statistics* at a reduced
+scale — label vocabulary sizes, degree skew, predicate skew, and the
+collection-vs-single-graph distinction — because those are what drive the
+estimator behaviours the paper reports (see DESIGN.md, "Substitutions").
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..graph.digraph import Graph
+
+
+@dataclass
+class Dataset:
+    """A named data graph with optional label-name dictionaries."""
+
+    name: str
+    graph: Graph
+    vertex_label_names: Dict[int, str] = field(default_factory=dict)
+    edge_label_names: Dict[int, str] = field(default_factory=dict)
+    #: free-form provenance notes (scale, seed, generator parameters)
+    notes: str = ""
+
+    def stats_row(self) -> Dict[str, object]:
+        return self.graph.stats().as_row()
+
+
+def zipf_weights(n: int, exponent: float = 1.0) -> List[float]:
+    """Unnormalized Zipf weights ``1/rank^exponent`` for ranks 1..n."""
+    return [1.0 / (rank ** exponent) for rank in range(1, n + 1)]
+
+
+class ZipfSampler:
+    """Samples ranks 0..n-1 with Zipf-distributed probabilities.
+
+    Uses the inverse-CDF over precomputed cumulative weights; sampling is
+    O(log n) and fully deterministic given the caller's RNG.
+    """
+
+    def __init__(self, n: int, exponent: float = 1.0) -> None:
+        if n <= 0:
+            raise ValueError("ZipfSampler needs a positive support size")
+        weights = zipf_weights(n, exponent)
+        total = 0.0
+        self._cumulative: List[float] = []
+        for w in weights:
+            total += w
+            self._cumulative.append(total)
+        self._total = total
+
+    def sample(self, rng: random.Random) -> int:
+        target = rng.random() * self._total
+        lo, hi = 0, len(self._cumulative) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cumulative[mid] < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+
+def preferential_targets(
+    rng: random.Random, num_vertices: int, num_samples: int, exponent: float
+) -> List[int]:
+    """Vertex ids sampled with rank-Zipf skew (hubs get low ids)."""
+    sampler = ZipfSampler(num_vertices, exponent)
+    return [sampler.sample(rng) for _ in range(num_samples)]

@@ -1,0 +1,86 @@
+"""The paper's running example (Figure 1).
+
+The figure itself is not reproduced in the text, but its structure is fully
+determined by the worked examples:
+
+* Figure 2's characteristic sets: ``({A}, {a, c})`` with count 1 and
+  frequencies a=2, c=1 (center v0); ``({A}, {a, b, d})`` with count 1 and
+  frequencies 1/1/1 (center v1); ``({C}, {c})`` with count 2, frequency 2
+  (centers v4, v5).
+* Section 2's three embeddings of the triangle query
+  ``u0 --a--> u1 --b--> u2 --c--> u0`` with ``L(u0) = {A}``:
+  ``{(u0,v0),(u1,v2),(u2,v4)}``, ``{(u0,v1),(u1,v3),(u2,v5)}`` and
+  ``{(u0,v0),(u1,v1),(u2,v0)}`` (the last uses the c-labeled self loop
+  at v0).
+* Section 3.4's IMPR walkthrough: the visible subgraph of walk <v0, v1>
+  excludes v7 and the edges (v2,v4), (v3,v5), (v3,v7).
+* Section 4's eight relations R_A, R_B, R_C, R_a..R_e.
+
+These pin the data graph to the one built below; the module doubles as a
+cross-validation asset — several tests check our estimators against the
+numbers worked out in the paper.
+"""
+
+from __future__ import annotations
+
+from ..graph.digraph import Graph
+from ..graph.query import QueryGraph
+
+# vertex labels
+LABEL_A, LABEL_B, LABEL_C = 0, 1, 2
+# edge labels
+EDGE_A, EDGE_B, EDGE_C, EDGE_D, EDGE_E = 0, 1, 2, 3, 4
+
+VERTEX_LABEL_NAMES = {LABEL_A: "A", LABEL_B: "B", LABEL_C: "C"}
+EDGE_LABEL_NAMES = {
+    EDGE_A: "a",
+    EDGE_B: "b",
+    EDGE_C: "c",
+    EDGE_D: "d",
+    EDGE_E: "e",
+}
+
+
+def figure1_graph() -> Graph:
+    """The data graph G of Figure 1(b)."""
+    graph = Graph()
+    labels = {
+        0: (LABEL_A,),
+        1: (LABEL_A,),
+        2: (LABEL_B,),
+        3: (LABEL_B,),
+        4: (LABEL_C,),
+        5: (LABEL_C,),
+        6: (),
+        7: (),
+    }
+    for v in range(8):
+        graph.add_vertex(labels[v])
+    for src, dst, label in (
+        (0, 2, EDGE_A),
+        (0, 1, EDGE_A),
+        (1, 3, EDGE_A),
+        (2, 4, EDGE_B),
+        (3, 5, EDGE_B),
+        (1, 0, EDGE_B),
+        (4, 0, EDGE_C),
+        (5, 1, EDGE_C),
+        (0, 0, EDGE_C),
+        (1, 6, EDGE_D),
+        (3, 7, EDGE_E),
+    ):
+        graph.add_edge(src, dst, label)
+    return graph
+
+
+def figure1_query() -> QueryGraph:
+    """The triangle query Q of Figure 1(a); its true cardinality in G is 3."""
+    return QueryGraph(
+        vertex_labels=[(LABEL_A,), (), ()],
+        edges=[(0, 1, EDGE_A), (1, 2, EDGE_B), (2, 0, EDGE_C)],
+    )
+
+
+#: the true cardinality of the Figure 1 query (Section 2 lists the three
+#: embeddings explicitly)
+FIGURE1_TRUE_CARDINALITY = 3

@@ -1,0 +1,212 @@
+"""LUBM-like synthetic university RDF data.
+
+LUBM (Guo, Pan & Heflin 2005) is itself a synthetic generator: universities
+contain departments, departments employ professors and lecturers and enroll
+students, students take courses and have advisors, publications have
+authors.  The paper populates LUBM with scale factor 80 (12.3M edges, 35
+vertex and 35 edge labels); we implement the same schema with a
+``universities`` scale knob at laptop scale.
+
+The generator follows LUBM's published cardinality ranges (e.g. 15..25
+departments per university, ~1:8..14 faculty:undergrad ratio, 2..4
+courses per faculty) so the join selectivities the benchmark queries
+exercise have the same shape as the original data.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..graph.digraph import Graph
+from .base import Dataset
+
+# ---------------------------------------------------------------------------
+# vertex labels (entity types)
+# ---------------------------------------------------------------------------
+UNIVERSITY = 0
+DEPARTMENT = 1
+FULL_PROFESSOR = 2
+ASSOCIATE_PROFESSOR = 3
+ASSISTANT_PROFESSOR = 4
+LECTURER = 5
+GRADUATE_STUDENT = 6
+UNDERGRADUATE_STUDENT = 7
+COURSE = 8
+GRADUATE_COURSE = 9
+PUBLICATION = 10
+RESEARCH_GROUP = 11
+#: every professor rank also carries the generic label
+PROFESSOR = 12
+#: every student kind also carries the generic label
+STUDENT = 13
+CHAIR = 14
+
+VERTEX_LABEL_NAMES = {
+    UNIVERSITY: "University",
+    DEPARTMENT: "Department",
+    FULL_PROFESSOR: "FullProfessor",
+    ASSOCIATE_PROFESSOR: "AssociateProfessor",
+    ASSISTANT_PROFESSOR: "AssistantProfessor",
+    LECTURER: "Lecturer",
+    GRADUATE_STUDENT: "GraduateStudent",
+    UNDERGRADUATE_STUDENT: "UndergraduateStudent",
+    COURSE: "Course",
+    GRADUATE_COURSE: "GraduateCourse",
+    PUBLICATION: "Publication",
+    RESEARCH_GROUP: "ResearchGroup",
+    PROFESSOR: "Professor",
+    STUDENT: "Student",
+    CHAIR: "Chair",
+}
+
+# ---------------------------------------------------------------------------
+# edge labels (predicates)
+# ---------------------------------------------------------------------------
+SUB_ORGANIZATION_OF = 0
+WORKS_FOR = 1
+MEMBER_OF = 2
+ADVISOR = 3
+TEACHER_OF = 4
+TAKES_COURSE = 5
+PUBLICATION_AUTHOR = 6
+UNDERGRADUATE_DEGREE_FROM = 7
+MASTERS_DEGREE_FROM = 8
+DOCTORAL_DEGREE_FROM = 9
+HEAD_OF = 10
+TEACHING_ASSISTANT_OF = 11
+
+EDGE_LABEL_NAMES = {
+    SUB_ORGANIZATION_OF: "subOrganizationOf",
+    WORKS_FOR: "worksFor",
+    MEMBER_OF: "memberOf",
+    ADVISOR: "advisor",
+    TEACHER_OF: "teacherOf",
+    TAKES_COURSE: "takesCourse",
+    PUBLICATION_AUTHOR: "publicationAuthor",
+    UNDERGRADUATE_DEGREE_FROM: "undergraduateDegreeFrom",
+    MASTERS_DEGREE_FROM: "mastersDegreeFrom",
+    DOCTORAL_DEGREE_FROM: "doctoralDegreeFrom",
+    HEAD_OF: "headOf",
+    TEACHING_ASSISTANT_OF: "teachingAssistantOf",
+}
+
+
+def generate(universities: int = 4, seed: int = 0) -> Dataset:
+    """Generate a LUBM-like graph with the given number of universities."""
+    rng = random.Random(seed)
+    graph = Graph()
+    university_ids: List[int] = [
+        graph.add_vertex((UNIVERSITY,)) for _ in range(universities)
+    ]
+
+    for university in university_ids:
+        _populate_university(graph, rng, university, university_ids)
+
+    return Dataset(
+        name="lubm",
+        graph=graph,
+        vertex_label_names=VERTEX_LABEL_NAMES,
+        edge_label_names=EDGE_LABEL_NAMES,
+        notes=f"LUBM-like, universities={universities}, seed={seed}",
+    )
+
+
+def _populate_university(
+    graph: Graph,
+    rng: random.Random,
+    university: int,
+    all_universities: List[int],
+) -> None:
+    for _ in range(rng.randint(4, 8)):
+        _populate_department(graph, rng, university, all_universities)
+
+
+def _populate_department(
+    graph: Graph,
+    rng: random.Random,
+    university: int,
+    all_universities: List[int],
+) -> None:
+    department = graph.add_vertex((DEPARTMENT,))
+    graph.add_edge(department, university, SUB_ORGANIZATION_OF)
+    for _ in range(rng.randint(1, 2)):
+        group = graph.add_vertex((RESEARCH_GROUP,))
+        graph.add_edge(group, department, SUB_ORGANIZATION_OF)
+
+    faculty: List[int] = []
+    courses: List[int] = []
+    graduate_courses: List[int] = []
+    for rank, low, high in (
+        (FULL_PROFESSOR, 2, 4),
+        (ASSOCIATE_PROFESSOR, 3, 5),
+        (ASSISTANT_PROFESSOR, 3, 5),
+        (LECTURER, 2, 4),
+    ):
+        for _ in range(rng.randint(low, high)):
+            labels = (rank, PROFESSOR) if rank != LECTURER else (rank,)
+            member = graph.add_vertex(labels)
+            faculty.append(member)
+            graph.add_edge(member, department, WORKS_FOR)
+            graph.add_edge(
+                member, rng.choice(all_universities), UNDERGRADUATE_DEGREE_FROM
+            )
+            if rank != LECTURER:
+                graph.add_edge(
+                    member, rng.choice(all_universities), MASTERS_DEGREE_FROM
+                )
+                graph.add_edge(
+                    member, rng.choice(all_universities), DOCTORAL_DEGREE_FROM
+                )
+            # every faculty member teaches 1-2 courses and 1-2 grad courses
+            for _ in range(rng.randint(1, 2)):
+                course = graph.add_vertex((COURSE,))
+                courses.append(course)
+                graph.add_edge(member, course, TEACHER_OF)
+            for _ in range(rng.randint(1, 2)):
+                course = graph.add_vertex((GRADUATE_COURSE, COURSE))
+                graduate_courses.append(course)
+                graph.add_edge(member, course, TEACHER_OF)
+
+    # the chair is a full professor heading the department
+    chair = faculty[0]
+    graph.add_vertex_label(chair, CHAIR)
+    graph.add_edge(chair, department, HEAD_OF)
+
+    professors = [f for f in faculty if PROFESSOR in graph.vertex_labels(f)]
+
+    graduate_students: List[int] = []
+    for _ in range(rng.randint(len(faculty) * 2, len(faculty) * 3)):
+        student = graph.add_vertex((GRADUATE_STUDENT, STUDENT))
+        graduate_students.append(student)
+        graph.add_edge(student, department, MEMBER_OF)
+        graph.add_edge(student, rng.choice(professors), ADVISOR)
+        graph.add_edge(
+            student, rng.choice(all_universities), UNDERGRADUATE_DEGREE_FROM
+        )
+        for course in rng.sample(graduate_courses, min(rng.randint(1, 3), len(graduate_courses))):
+            graph.add_edge(student, course, TAKES_COURSE)
+        if courses and rng.random() < 0.2:
+            graph.add_edge(
+                student, rng.choice(courses), TEACHING_ASSISTANT_OF
+            )
+
+    for _ in range(rng.randint(len(faculty) * 8, len(faculty) * 14)):
+        student = graph.add_vertex((UNDERGRADUATE_STUDENT, STUDENT))
+        graph.add_edge(student, department, MEMBER_OF)
+        if rng.random() < 0.15:
+            graph.add_edge(student, rng.choice(professors), ADVISOR)
+        for course in rng.sample(courses, min(rng.randint(2, 4), len(courses))):
+            graph.add_edge(student, course, TAKES_COURSE)
+
+    # publications: authored by faculty and their graduate students
+    for author in faculty:
+        for _ in range(rng.randint(0, 5)):
+            publication = graph.add_vertex((PUBLICATION,))
+            graph.add_edge(publication, author, PUBLICATION_AUTHOR)
+            if graduate_students and rng.random() < 0.6:
+                graph.add_edge(
+                    publication,
+                    rng.choice(graduate_students),
+                    PUBLICATION_AUTHOR,
+                )

@@ -1,0 +1,28 @@
+"""The seven cardinality estimation techniques studied in the paper."""
+
+from .bernoulli import BernoulliSampling
+from .boundsketch import BoundSketch
+from .correlated import CorrelatedSampling
+from .cset import CharacteristicSets
+from .hybrid import CSetWanderJoinHybrid
+from .impr import Impr
+from .jsub import Jsub
+from .online import OnlineSnapshot, OnlineWanderJoin
+from .sumrdf import SumRDF
+from .truecard import TrueCardinality
+from .wanderjoin import WanderJoin
+
+__all__ = [
+    "BernoulliSampling",
+    "BoundSketch",
+    "CSetWanderJoinHybrid",
+    "CharacteristicSets",
+    "CorrelatedSampling",
+    "Impr",
+    "Jsub",
+    "OnlineSnapshot",
+    "OnlineWanderJoin",
+    "SumRDF",
+    "TrueCardinality",
+    "WanderJoin",
+]

@@ -1,0 +1,311 @@
+"""BoundSketch (BS) — Cai, Balazinska & Suciu, SIGMOD 2019.
+
+Summary-based relational technique computing a *guaranteed upper bound*
+(paper, Section 4.4).  Each relation may appear in a bounding formula as a
+count term ``c_R = |R|`` or a maximum-degree term ``d_R^a``; a formula is
+valid when every query attribute is covered (count terms cover all of a
+relation's attributes, a degree term on ``a`` covers the rest provided
+``a`` is covered by another appearing relation).
+
+To tighten the bound, every relation is hash-partitioned on its attributes
+into ``M`` buckets per attribute, with ``M`` chosen from a *budget* so the
+partitioned summation has at most ``budget`` terms (default 4096, as in
+the paper).  The estimate of one formula is
+
+    sum_{m in [M]^{|A_Q|}}  prod_terms  term(R^(m))
+
+which we evaluate as a tensor contraction (einsum) over the per-relation
+sketch tensors.  AggCard takes the MIN over formulas — the tightest bound.
+
+The paper's observations fall out of the math: BS always >= the true
+cardinality, and its error grows with query size because larger formulas
+multiply more count/degree factors (Sections 6.1.4 and 6.2.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.errors import UnsupportedQueryError
+from ..core.framework import Estimator
+from ..graph.digraph import Graph
+from ..graph.query import QueryGraph
+
+_MASK = (1 << 64) - 1
+
+#: cap on the number of valid bounding formulas evaluated per query
+MAX_FORMULAS = 512
+
+
+def _splitmix64(x: int) -> int:
+    x = (x + 0x9E3779B97F4A7C15) & _MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+    return x ^ (x >> 31)
+
+
+@dataclass(frozen=True)
+class _RelationDesc:
+    """One relation instance of the join query, as BS sees it."""
+
+    kind: str  # "edge" or "vertex"
+    label: int
+    attrs: Tuple[int, ...]  # distinct query vertices, in tensor axis order
+    self_loop: bool = False
+
+
+@dataclass(frozen=True)
+class _Term:
+    """One term of a bounding formula."""
+
+    relation: _RelationDesc
+    role: str  # "count" or "degree"
+    hinge: Optional[int] = None  # degree attribute for "degree" terms
+
+    def covers(self) -> FrozenSet[int]:
+        if self.role == "count":
+            return frozenset(self.relation.attrs)
+        return frozenset(a for a in self.relation.attrs if a != self.hinge)
+
+
+Formula = Tuple[_Term, ...]
+
+
+def _acyclic_coverage(terms: Sequence[_Term]) -> bool:
+    """Check that the terms admit a valid derivation order.
+
+    A degree term ``d_R^a`` conditions on ``a``, so ``a`` must be covered by
+    terms processed *before* it (the entropy argument behind the bounds pays
+    ``H(attrs | a)`` and needs ``H(a)`` paid first).  Circular coverage —
+    two degree terms covering each other's hinges — is not a valid bound.
+    """
+    remaining = list(terms)
+    covered: Set[int] = set()
+    while remaining:
+        progress = False
+        for term in list(remaining):
+            if term.role == "count" or term.hinge in covered:
+                covered |= term.covers()
+                remaining.remove(term)
+                progress = True
+        if not progress:
+            return False
+    return True
+
+
+class BoundSketch(Estimator):
+    """The BS technique expressed in the G-CARE framework."""
+
+    name = "bs"
+    display_name = "BS"
+    is_sampling_based = False
+
+    def __init__(self, graph: Graph, budget: int = 4096, **kwargs) -> None:
+        """``budget`` bounds the partitioned summation size M^|A_Q| and thus
+        selects the per-attribute partition count M (paper default 4096)."""
+        super().__init__(graph, **kwargs)
+        self.budget = budget
+        self._salt = 0x5DEECE66D ^ (self.seed * 0x9E3779B9)
+        # sketch cache: (kind, label, M, variant) -> numpy tensor
+        self._sketches: Dict[Tuple, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # PrepareSummaryStructure
+    # ------------------------------------------------------------------
+    def prepare_summary_structure(self) -> None:
+        """Pre-build sketches of all relations at the common partition sizes.
+
+        The paper populates the sketches of all relations before query
+        processing (on-demand builds dominate estimation time); we pre-build
+        at the M values implied by the budget for the query sizes in Table 1.
+        """
+        for num_attrs in (3, 4, 7, 10, 13):
+            partitions = self.partitions_for(num_attrs)
+            for label in self.graph.edge_labels():
+                self._edge_sketches(label, partitions, self_loop=False)
+            for label in self.graph.all_vertex_labels():
+                self._vertex_sketches(label, partitions)
+
+    def partitions_for(self, num_attrs: int) -> int:
+        """M = floor(budget^(1/|A_Q|)), at least 1."""
+        if num_attrs <= 0:
+            return 1
+        # epsilon guards against 4096**(1/3) = 15.999... flooring to 15
+        return max(1, int(self.budget ** (1.0 / num_attrs) + 1e-9))
+
+    def _bucket(self, value: int, partitions: int) -> int:
+        if partitions <= 1:
+            return 0
+        return _splitmix64(value ^ self._salt) % partitions
+
+    # -- edge relation sketches -----------------------------------------
+    def _edge_sketches(
+        self, label: int, partitions: int, self_loop: bool
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(count, max-degree-over-src, max-degree-over-dst) tensors."""
+        key = ("edge", label, partitions, self_loop)
+        cached = self._sketches.get(key)
+        if cached is not None:
+            return cached
+        pairs = self.graph.edges_with_label(label)
+        if self_loop:
+            buckets = [self._bucket(s, partitions) for s, d in pairs if s == d]
+            count = np.zeros(partitions, dtype=np.float64)
+            for i in buckets:
+                count[i] += 1
+            # degree of a value on the single attribute = its self-loop count
+            per_value: Dict[int, int] = {}
+            for s, d in pairs:
+                if s == d:
+                    per_value[s] = per_value.get(s, 0) + 1
+            degree = np.zeros(partitions, dtype=np.float64)
+            for value, deg in per_value.items():
+                i = self._bucket(value, partitions)
+                degree[i] = max(degree[i], deg)
+            result = (count, degree, degree)
+        else:
+            count = np.zeros((partitions, partitions), dtype=np.float64)
+            src_group: Dict[Tuple[int, int], int] = {}
+            dst_group: Dict[Tuple[int, int], int] = {}
+            for s, d in pairs:
+                i, j = self._bucket(s, partitions), self._bucket(d, partitions)
+                count[i, j] += 1
+                src_group[(s, j)] = src_group.get((s, j), 0) + 1
+                dst_group[(d, i)] = dst_group.get((d, i), 0) + 1
+            deg_src = np.zeros_like(count)
+            for (s, j), deg in src_group.items():
+                i = self._bucket(s, partitions)
+                deg_src[i, j] = max(deg_src[i, j], deg)
+            deg_dst = np.zeros_like(count)
+            for (d, i), deg in dst_group.items():
+                j = self._bucket(d, partitions)
+                deg_dst[i, j] = max(deg_dst[i, j], deg)
+            result = (count, deg_src, deg_dst)
+        self._sketches[key] = result
+        return result
+
+    # -- vertex relation sketches ----------------------------------------
+    def _vertex_sketches(self, label: int, partitions: int) -> np.ndarray:
+        key = ("vertex", label, partitions, False)
+        cached = self._sketches.get(key)
+        if cached is not None:
+            return cached
+        count = np.zeros(partitions, dtype=np.float64)
+        for v in self.graph.vertices_with_label(label):
+            count[self._bucket(v, partitions)] += 1
+        self._sketches[key] = count
+        return count
+
+    # ------------------------------------------------------------------
+    # DecomposeQuery: the whole query; GetSubstructure: bounding formulas
+    # ------------------------------------------------------------------
+    def decompose_query(self, query: QueryGraph) -> Sequence[QueryGraph]:
+        if query.num_vertices > 26:
+            raise UnsupportedQueryError("BoundSketch supports <= 26 attributes")
+        return [query]
+
+    def _relations(self, query: QueryGraph) -> List[_RelationDesc]:
+        relations: List[_RelationDesc] = []
+        for u, v, label in query.edges:
+            if u == v:
+                relations.append(_RelationDesc("edge", label, (u,), True))
+            else:
+                relations.append(_RelationDesc("edge", label, (u, v)))
+        for u in range(query.num_vertices):
+            for label in sorted(query.vertex_labels[u]):
+                relations.append(_RelationDesc("vertex", label, (u,)))
+        return relations
+
+    def get_substructures(
+        self, query: QueryGraph, subquery: QueryGraph
+    ) -> Iterator[Formula]:
+        """Enumerate valid bounding formulas (capped at MAX_FORMULAS)."""
+        relations = self._relations(subquery)
+        attributes = frozenset(range(subquery.num_vertices))
+        emitted = 0
+
+        def roles(relation: _RelationDesc) -> List[Optional[_Term]]:
+            options: List[Optional[_Term]] = [None, _Term(relation, "count")]
+            if relation.kind == "edge" and not relation.self_loop:
+                options.append(_Term(relation, "degree", relation.attrs[0]))
+                options.append(_Term(relation, "degree", relation.attrs[1]))
+            return options
+
+        def assign(
+            index: int, chosen: List[_Term], covered: Set[int]
+        ) -> Iterator[Formula]:
+            nonlocal emitted
+            if emitted >= MAX_FORMULAS:
+                return
+            if index == len(relations):
+                if covered != attributes or not _acyclic_coverage(chosen):
+                    return
+                emitted += 1
+                yield tuple(chosen)
+                return
+            # prune: can the remaining relations still cover everything?
+            remaining_cover = set().union(
+                *(r.attrs for r in relations[index:])
+            ) if index < len(relations) else set()
+            if not attributes <= (covered | remaining_cover):
+                return
+            for term in roles(relations[index]):
+                if term is None:
+                    yield from assign(index + 1, chosen, covered)
+                else:
+                    chosen.append(term)
+                    yield from assign(index + 1, chosen, covered | term.covers())
+                    chosen.pop()
+
+        yield from assign(0, [], set())
+
+    # ------------------------------------------------------------------
+    # EstCard: partitioned evaluation of one formula via einsum
+    # ------------------------------------------------------------------
+    def est_card(
+        self, query: QueryGraph, subquery: QueryGraph, substructure: Formula
+    ) -> float:
+        formula = substructure
+        partitions = self.partitions_for(subquery.num_vertices)
+        operands: List[np.ndarray] = []
+        subscripts: List[str] = []
+        letters = {a: chr(ord("a") + a) for a in range(subquery.num_vertices)}
+        for term in formula:
+            relation = term.relation
+            tensor = self._term_tensor(relation, term, partitions)
+            operands.append(tensor)
+            subscripts.append("".join(letters[a] for a in relation.attrs))
+        # attributes covered by no term's axes still contribute a factor of
+        # M each to the partition summation... they cannot occur: a valid
+        # formula covers every attribute, and covering requires the axis.
+        expression = ",".join(subscripts) + "->"
+        try:
+            value = float(np.einsum(expression, *operands, optimize="greedy"))
+        except MemoryError:  # pragma: no cover - defensive
+            value = float("inf")
+        return value
+
+    def _term_tensor(
+        self, relation: _RelationDesc, term: _Term, partitions: int
+    ) -> np.ndarray:
+        if relation.kind == "vertex":
+            return self._vertex_sketches(relation.label, partitions)
+        count, deg_src, deg_dst = self._edge_sketches(
+            relation.label, partitions, relation.self_loop
+        )
+        if term.role == "count":
+            return count
+        if term.hinge == relation.attrs[0]:
+            return deg_src
+        return deg_dst
+
+    def agg_card(self, card_vec: Sequence[float]) -> float:
+        """MIN over bounding formulas: the tightest upper bound."""
+        finite = [c for c in card_vec if c != float("inf")]
+        if not finite:
+            return 0.0
+        return float(min(finite))

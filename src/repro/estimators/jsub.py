@@ -1,0 +1,253 @@
+"""JSUB — join sampling with upper bounds (paper, Section 4.3).
+
+Derived from Zhao et al.'s random-sampling-over-joins framework (SIGMOD
+2018).  JSUB extracts a *maximal acyclic subquery* ``q_1`` (a spanning tree
+of the query), estimates ``|q_1|`` by sampling tuples from the first
+relation and computing their Exact Weight ``w(t)`` — the number of join
+results of ``t`` with the remaining tree relations — and returns
+``avg(w(t)) * |R_1| * M(q_1)`` with ``M(q_1) = 1`` as in the paper.
+
+For a cyclic query ``|q_1| >= |Q|``, so JSUB reports an upper bound; this
+is the overestimation on cycle/petal/flower queries the paper observes
+(Section 6.2.2).  The spanning tree and its root relation are chosen by
+short trial runs, picking the (q_1, order) with the *smallest* estimate; if
+no trial obtains a valid sample the estimate is 0 — the decomposition
+sampling failure that the paper blames for JSUB's underestimation on Q4,
+Q7 and Q12 of LUBM.
+
+Exact weights are computed by dynamic programming over the tree: subtree
+extension counts are memoized per (query vertex, data vertex), as in the
+original framework ("computes W(t) only if t is sampled").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..core.framework import Estimator
+from ..graph.digraph import Graph
+from ..graph.query import QueryGraph
+
+QueryEdge = Tuple[int, int, int]
+
+#: number of trial samples used to score one (tree, root) candidate
+TRIAL_SAMPLES = 10
+#: cap on (spanning tree, root edge) candidates scored during decomposition
+MAX_CANDIDATES = 32
+
+
+class _TreeSampler:
+    """Exact-weight sampler over one rooted spanning tree."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        query: QueryGraph,
+        tree_edges: List[int],
+        root_edge: int,
+    ) -> None:
+        self.graph = graph
+        self.query = query
+        self.tree_edges = tree_edges
+        self.root_edge = root_edge
+        # orient the tree away from the root edge's endpoints
+        u, v, _ = query.edges[root_edge]
+        self._children: Dict[int, List[QueryEdge]] = {}
+        visited = {u, v}
+        frontier = [u, v]
+        remaining = [i for i in tree_edges if i != root_edge]
+        while frontier:
+            x = frontier.pop()
+            for i in list(remaining):
+                a, b, label = query.edges[i]
+                if a == x and b not in visited:
+                    self._children.setdefault(x, []).append((a, b, label))
+                    visited.add(b)
+                    frontier.append(b)
+                    remaining.remove(i)
+                elif b == x and a not in visited:
+                    self._children.setdefault(x, []).append((a, b, label))
+                    visited.add(a)
+                    frontier.append(a)
+                    remaining.remove(i)
+        self._memo: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    def root_relation_size(self) -> int:
+        _, _, label = self.query.edges[self.root_edge]
+        return self.graph.edge_label_count(label)
+
+    def sample_root(self, rng) -> Optional[Tuple[int, int]]:
+        _, _, label = self.query.edges[self.root_edge]
+        pairs = self.graph.edges_with_label(label)
+        if not pairs:
+            return None
+        return pairs[rng.randrange(len(pairs))]
+
+    def exact_weight(self, root_tuple: Tuple[int, int]) -> int:
+        """w(t): join results of the root tuple with the rest of the tree."""
+        u, v, _ = self.query.edges[self.root_edge]
+        a, b = root_tuple
+        if not self._labels_ok(u, a) or not self._labels_ok(v, b):
+            return 0
+        if u == v and a != b:  # self-loop query edge
+            return 0
+        weight = self._branch_product(u, a)
+        if weight == 0:
+            return 0
+        if v != u:
+            weight *= self._branch_product(v, b)
+        return weight
+
+    # ------------------------------------------------------------------
+    def _labels_ok(self, query_vertex: int, value: int) -> bool:
+        labels = self.query.vertex_labels[query_vertex]
+        return not labels or labels <= self.graph.vertex_labels(value)
+
+    def _branch_product(self, query_vertex: int, value: int) -> int:
+        product = 1
+        for a, b, label in self._children.get(query_vertex, ()):  # child edges
+            if a == query_vertex:  # query_vertex --label--> child b
+                child, candidates = b, self.graph.out_neighbors(value, label)
+            else:  # child a --label--> query_vertex
+                child, candidates = a, self.graph.in_neighbors(value, label)
+            branch = 0
+            for w in candidates:
+                branch += self._subtree_count(child, w)
+            product *= branch
+            if product == 0:
+                return 0
+        return product
+
+    def _subtree_count(self, query_vertex: int, value: int) -> int:
+        if not self._labels_ok(query_vertex, value):
+            return 0
+        key = (query_vertex, value)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        count = self._branch_product(query_vertex, value)
+        self._memo[key] = count
+        return count
+
+
+class Jsub(Estimator):
+    """The JSUB technique expressed in the G-CARE framework."""
+
+    name = "jsub"
+    display_name = "JSUB"
+    is_sampling_based = True
+
+    def __init__(self, graph: Graph, **kwargs) -> None:
+        super().__init__(graph, **kwargs)
+        self._chosen: Optional[_TreeSampler] = None
+
+    # ------------------------------------------------------------------
+    # DecomposeQuery: pick (q_1, o) = argmin of trial estimates
+    # ------------------------------------------------------------------
+    def decompose_query(self, query: QueryGraph) -> Sequence[_TreeSampler]:
+        candidates = self._candidate_samplers(query)
+        best: Optional[_TreeSampler] = None
+        best_estimate = float("inf")
+        for sampler in candidates:
+            self.check_deadline()
+            estimate = self._trial_estimate(sampler)
+            if estimate is not None and estimate < best_estimate:
+                best, best_estimate = sampler, estimate
+        if best is None:
+            # no valid sample from any (q_1, o): the paper returns 0
+            self._chosen = None
+            return [None]
+        self._chosen = best
+        return [best]
+
+    def _candidate_samplers(self, query: QueryGraph) -> List[_TreeSampler]:
+        trees = self._spanning_trees(query)
+        samplers: List[_TreeSampler] = []
+        for tree in trees:
+            for root_edge in tree:
+                samplers.append(_TreeSampler(self.graph, query, tree, root_edge))
+                if len(samplers) >= MAX_CANDIDATES:
+                    return samplers
+        return samplers
+
+    def _spanning_trees(self, query: QueryGraph) -> List[List[int]]:
+        """BFS spanning trees from each query vertex (deduplicated)."""
+        seen: Set[FrozenSet[int]] = set()
+        trees: List[List[int]] = []
+        for start in range(query.num_vertices):
+            tree: List[int] = []
+            visited = {start}
+            frontier = [start]
+            while frontier:
+                x = frontier.pop(0)
+                for i, (a, b, _) in enumerate(query.edges):
+                    if a == x and b not in visited:
+                        visited.add(b)
+                        frontier.append(b)
+                        tree.append(i)
+                    elif b == x and a not in visited:
+                        visited.add(a)
+                        frontier.append(a)
+                        tree.append(i)
+            key = frozenset(tree)
+            if key not in seen:
+                seen.add(key)
+                trees.append(sorted(tree))
+        return trees
+
+    def _trial_estimate(self, sampler: _TreeSampler) -> Optional[float]:
+        """Mean of a few exact-weight samples; None if no valid sample."""
+        size = sampler.root_relation_size()
+        if size == 0:
+            return None
+        total = 0.0
+        valid = False
+        for _ in range(TRIAL_SAMPLES):
+            root_tuple = sampler.sample_root(self.rng)
+            if root_tuple is None:
+                return None
+            weight = sampler.exact_weight(root_tuple)
+            if weight > 0:
+                valid = True
+            total += weight * size
+        return total / TRIAL_SAMPLES if valid else None
+
+    # ------------------------------------------------------------------
+    # GetSubstructure / EstCard / AggCard
+    # ------------------------------------------------------------------
+    def get_substructures(
+        self, query: QueryGraph, subquery: Optional[_TreeSampler]
+    ) -> Iterator[float]:
+        if subquery is None:
+            yield 0.0
+            return
+        sampler = subquery
+        size = sampler.root_relation_size()
+        budget = self.num_samples(size)
+        for i in range(budget):
+            root_tuple = sampler.sample_root(self.rng)
+            if root_tuple is None:
+                yield 0.0
+                continue
+            # W(t)/P(t) with W(t) = w(t) (Exact Weight) and P(t) = 1/|R_1|
+            yield sampler.exact_weight(root_tuple) * size
+            if i % 64 == 0:
+                self.check_deadline()
+
+    def est_card(
+        self, query: QueryGraph, subquery: Optional[_TreeSampler], substructure: float
+    ) -> float:
+        return substructure
+
+    def agg_card(self, card_vec: Sequence[float]) -> float:
+        if not card_vec:
+            return 0.0
+        return float(sum(card_vec) / len(card_vec))
+
+    def estimation_info(self) -> dict:
+        chosen = self._chosen
+        return {
+            "tree_edges": chosen.tree_edges if chosen else None,
+            "root_edge": chosen.root_edge if chosen else None,
+        }

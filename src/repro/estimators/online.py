@@ -1,0 +1,171 @@
+"""Online aggregation over WanderJoin walks.
+
+WanderJoin was designed for *online aggregation* (Section 4.2: "the
+estimates for aggregation results are updated over time until a certain
+stop condition is met"); the paper adapts it to one-shot cardinality
+estimation by fixing the number of walks.  This module restores the
+original interface: a stream of ``(estimate, confidence half-width)``
+snapshots that tightens as walks accumulate, with pluggable stop
+conditions (walk budget, wall-clock, target relative confidence).
+
+The stream is useful beyond faithfulness: an optimizer can stop sampling
+the moment the interval is tight enough to discriminate between plans.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..graph.digraph import Graph
+from ..graph.query import QueryGraph
+from .wanderjoin import WanderJoin
+
+
+@dataclass
+class OnlineSnapshot:
+    """The running COUNT estimate after ``walks`` random walks."""
+
+    walks: int
+    valid_walks: int
+    estimate: float
+    ci_half_width: float
+    elapsed: float
+
+    @property
+    def relative_half_width(self) -> float:
+        """CI half-width as a fraction of the estimate (inf when 0)."""
+        if self.estimate <= 0.0:
+            return float("inf")
+        return self.ci_half_width / self.estimate
+
+
+class OnlineWanderJoin:
+    """Streaming WanderJoin: consume snapshots until satisfied.
+
+    Parameters mirror :class:`WanderJoin`; ``report_every`` controls the
+    snapshot granularity.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        seed: int = 0,
+        tau: int = 100,
+        max_orders: int = 64,
+        report_every: int = 16,
+    ) -> None:
+        self.graph = graph
+        self.seed = seed
+        self.tau = tau
+        self.max_orders = max_orders
+        self.report_every = max(1, report_every)
+
+    def stream(
+        self,
+        query: QueryGraph,
+        max_walks: int = 100_000,
+        time_limit: Optional[float] = None,
+        target_relative_ci: Optional[float] = None,
+    ) -> Iterator[OnlineSnapshot]:
+        """Yield snapshots until a stop condition fires.
+
+        Stop conditions (whichever comes first): ``max_walks`` walks, the
+        wall-clock ``time_limit``, or the 95% CI half-width dropping below
+        ``target_relative_ci * estimate`` (checked once at least tau
+        walks have been taken, so an early lucky streak cannot stop the
+        stream prematurely).
+        """
+        # reuse WanderJoin's order-selection machinery
+        estimator = WanderJoin(
+            self.graph,
+            sampling_ratio=1.0,
+            seed=self.seed,
+            time_limit=None,
+            tau=self.tau,
+            max_orders=self.max_orders,
+        )
+        join_graph = estimator.decompose_query(query)[0]
+        orders = join_graph.walk_orders(self.max_orders)
+        start = time.monotonic()
+        if not orders:
+            yield OnlineSnapshot(0, 0, 0.0, float("inf"), 0.0)
+            return
+        rng = estimator.rng
+        count = 0
+        valid = 0
+        mean = 0.0
+        m2 = 0.0
+        chosen: Optional[tuple] = None
+        order_stats = {order: [0, 0.0] for order in orders}  # [valid, sum]
+        position = 0
+        while count < max_walks:
+            if time_limit is not None and time.monotonic() - start > time_limit:
+                break
+            if chosen is None:
+                order = orders[position % len(orders)]
+                position += 1
+            else:
+                order = chosen
+            ok, weight = join_graph.random_walk(order, rng)
+            value = weight if ok else 0.0
+            count += 1
+            valid += 1 if ok else 0
+            delta = value - mean
+            mean += delta / count
+            m2 += delta * (value - mean)
+            if chosen is None and ok:
+                stats = order_stats[order]
+                stats[0] += 1
+                stats[1] += weight
+                if stats[0] >= self.tau or count >= max_walks // 2:
+                    chosen = order
+            if count % self.report_every == 0 or count == max_walks:
+                snapshot = self._snapshot(count, valid, mean, m2, start)
+                yield snapshot
+                if (
+                    target_relative_ci is not None
+                    and count >= self.tau
+                    and snapshot.relative_half_width <= target_relative_ci
+                ):
+                    return
+        if count % self.report_every != 0:
+            yield self._snapshot(count, valid, mean, m2, start)
+
+    @staticmethod
+    def _snapshot(
+        count: int, valid: int, mean: float, m2: float, start: float
+    ) -> OnlineSnapshot:
+        if count > 1:
+            variance = m2 / (count - 1)
+            half_width = 1.96 * math.sqrt(variance / count)
+        else:
+            half_width = float("inf")
+        return OnlineSnapshot(
+            walks=count,
+            valid_walks=valid,
+            estimate=mean,
+            ci_half_width=half_width,
+            elapsed=time.monotonic() - start,
+        )
+
+    def estimate_to_confidence(
+        self,
+        query: QueryGraph,
+        target_relative_ci: float = 0.1,
+        max_walks: int = 100_000,
+        time_limit: Optional[float] = None,
+    ) -> OnlineSnapshot:
+        """Run the stream to a target confidence and return the final state."""
+        last: Optional[OnlineSnapshot] = None
+        for snapshot in self.stream(
+            query,
+            max_walks=max_walks,
+            time_limit=time_limit,
+            target_relative_ci=target_relative_ci,
+        ):
+            last = snapshot
+        assert last is not None
+        return last

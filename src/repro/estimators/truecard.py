@@ -1,0 +1,53 @@
+"""TrueCardinality — the exact counter wrapped as an Estimator.
+
+Not an estimation technique: it runs the exact matcher and returns the
+true count (the "TC" rows of Figure 11).  Wrapping it in the framework
+lets every harness — the accuracy runner, the plan-quality study, the CLI
+— treat ground truth as just another technique, which is how the paper's
+plots include it.
+
+Budget behaviour: the per-query ``time_limit`` applies; when counting
+cannot finish, the run raises
+:class:`~repro.core.errors.EstimationTimeout` (reported as a failure)
+rather than returning a truncated lower bound as if it were exact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..core.errors import EstimationTimeout
+from ..core.framework import Estimator
+from ..graph.query import QueryGraph
+from ..matching.homomorphism import count_embeddings
+
+
+class TrueCardinality(Estimator):
+    """Exact counting expressed in the G-CARE framework (the TC baseline)."""
+
+    name = "tc"
+    display_name = "TC"
+    is_sampling_based = False
+
+    def decompose_query(self, query: QueryGraph) -> Sequence[QueryGraph]:
+        return [query]
+
+    def get_substructures(
+        self, query: QueryGraph, subquery: QueryGraph
+    ) -> Iterator[QueryGraph]:
+        yield subquery
+
+    def est_card(
+        self, query: QueryGraph, subquery: QueryGraph, substructure: QueryGraph
+    ) -> float:
+        result = count_embeddings(
+            self.graph, substructure, time_limit=self.remaining_time()
+        )
+        if not result.complete:
+            raise EstimationTimeout(
+                "exact counting exceeded the per-query budget"
+            )
+        return float(result.count)
+
+    def agg_card(self, card_vec: Sequence[float]) -> float:
+        return card_vec[0] if card_vec else 0.0

@@ -1,0 +1,182 @@
+"""WanderJoin (WJ) — Li, Wu, Yi et al., SIGMOD 2016.
+
+Online-aggregation technique adapted to cardinality estimation (paper,
+Section 4.2) by using COUNT aggregation and a sampling ratio as the stop
+condition.  The join query graph Q' has one vertex per relation instance
+and an edge per join condition; a random walk follows a *walk order* — an
+ordering where each relation joins some earlier one — sampling the first
+tuple uniformly from ``R_1`` and each subsequent tuple uniformly from the
+join with its spanning-tree parent's tuple.  Non-tree join conditions are
+validated at the end; valid walks contribute the Horvitz-Thompson weight
+``1/P(s) = |R_1| * prod |t_p(i) |><| R_i|``, invalid walks contribute zero,
+and AggCard averages.
+
+Walk-order selection follows the paper: all (capped) walk orders are tried
+round-robin; each valid sample increments the order's counter; once some
+counter reaches the threshold ``tau`` (default 100), the order with the
+smallest estimate variance among those with counter >= tau/2 is chosen and
+used for the remaining samples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.framework import Estimator
+from ..graph.digraph import Graph
+from ..graph.query import QueryGraph
+from ..relational.catalog import filtered_edge_relations
+from ..relational.joingraph import JoinQueryGraph, WalkOrder
+
+
+class _OrderStats:
+    """Running mean/variance (Welford) of one walk order's estimates."""
+
+    __slots__ = ("trials", "valid", "mean", "m2")
+
+    def __init__(self) -> None:
+        self.trials = 0
+        self.valid = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def update(self, value: float, is_valid: bool) -> None:
+        self.trials += 1
+        if is_valid:
+            self.valid += 1
+        delta = value - self.mean
+        self.mean += delta / self.trials
+        self.m2 += delta * (value - self.mean)
+
+    @property
+    def variance(self) -> float:
+        if self.trials < 2:
+            return float("inf")
+        return self.m2 / (self.trials - 1)
+
+
+class WanderJoin(Estimator):
+    """The WJ technique expressed in the G-CARE framework."""
+
+    name = "wj"
+    display_name = "WJ"
+    is_sampling_based = True
+
+    def __init__(
+        self,
+        graph: Graph,
+        tau: int = 100,
+        max_orders: int = 64,
+        **kwargs,
+    ) -> None:
+        """``tau`` is the valid-sample counter threshold triggering walk
+        order selection; ``max_orders`` caps walk-order enumeration."""
+        super().__init__(graph, **kwargs)
+        self.tau = tau
+        self.max_orders = max_orders
+        self._chosen_order: Optional[WalkOrder] = None
+        self._walks = 0
+        self._valid_walks = 0
+
+    # ------------------------------------------------------------------
+    def decompose_query(self, query: QueryGraph) -> Sequence[JoinQueryGraph]:
+        # one relation instance per query edge, with the query's vertex
+        # labels pushed down as selection filters (the RDF access-path view
+        # the original implementation walks over)
+        relations = filtered_edge_relations(query, self.graph)
+        return [JoinQueryGraph(relations)]
+
+    def get_substructures(
+        self, query: QueryGraph, subquery: JoinQueryGraph
+    ) -> Iterator[float]:
+        """Yield the HT estimate of each random walk (0.0 when invalid).
+
+        The sample itself is a tuple list; its per-walk estimate is already
+        the inverse sampling probability, so we yield that weight and let
+        ``est_card`` pass it through.
+        """
+        join_graph = subquery
+        self._chosen_order = None
+        self._walks = 0
+        self._valid_walks = 0
+        orders = join_graph.walk_orders(self.max_orders)
+        if not orders:
+            return
+        budget = self.num_samples(self.graph.num_edges)
+        stats: Dict[WalkOrder, _OrderStats] = {o: _OrderStats() for o in orders}
+        emitted = 0
+        # --- trial phase: round-robin until a counter reaches tau ---------
+        # With small sample budgets the round-robin phase could consume the
+        # whole budget without any counter reaching tau; cap it at half the
+        # budget so an order is always locked in for exploitation.
+        trial_budget = max(len(orders), budget // 2)
+        position = 0
+        while (
+            emitted < min(budget, trial_budget)
+            and self._chosen_order is None
+        ):
+            order = orders[position % len(orders)]
+            position += 1
+            valid, inv_probability = join_graph.random_walk(order, self.rng)
+            value = inv_probability if valid else 0.0
+            stats[order].update(value, valid)
+            self._walks += 1
+            self._valid_walks += 1 if valid else 0
+            emitted += 1
+            yield value
+            if stats[order].valid >= self.tau:
+                self._chosen_order = self._select_order(stats)
+            if position % len(orders) == 0:
+                self.check_deadline()
+        # --- exploitation phase: the chosen order only -------------------
+        order = self._chosen_order or self._select_order(stats)
+        self._chosen_order = order
+        while emitted < budget:
+            valid, inv_probability = join_graph.random_walk(order, self.rng)
+            self._walks += 1
+            self._valid_walks += 1 if valid else 0
+            emitted += 1
+            yield inv_probability if valid else 0.0
+            if emitted % 256 == 0:
+                self.check_deadline()
+
+    def _select_order(self, stats: Dict[WalkOrder, _OrderStats]) -> WalkOrder:
+        """Smallest-variance order among those with counter >= tau/2."""
+        eligible = [
+            order for order, s in stats.items() if s.valid >= self.tau / 2
+        ]
+        if not eligible:
+            eligible = list(stats)
+        return min(eligible, key=lambda o: (stats[o].variance, o))
+
+    def est_card(
+        self, query: QueryGraph, subquery: JoinQueryGraph, substructure: float
+    ) -> float:
+        return substructure
+
+    def agg_card(self, card_vec: Sequence[float]) -> float:
+        if not card_vec:
+            self._ci_half_width = float("inf")
+            return 0.0
+        n = len(card_vec)
+        mean = sum(card_vec) / n
+        if n > 1:
+            variance = sum((v - mean) ** 2 for v in card_vec) / (n - 1)
+            # CLT-based 95% confidence half-width, as in online aggregation
+            # (the original WanderJoin reports exactly this to its users)
+            self._ci_half_width = 1.96 * math.sqrt(variance / n)
+        else:
+            self._ci_half_width = float("inf")
+        return float(mean)
+
+    def estimation_info(self) -> dict:
+        return {
+            "chosen_order": self._chosen_order,
+            "walks": self._walks,
+            "valid_walks": self._valid_walks,
+            "success_rate": (self._valid_walks / self._walks)
+            if self._walks
+            else 0.0,
+            "ci_95_half_width": getattr(self, "_ci_half_width", float("inf")),
+        }

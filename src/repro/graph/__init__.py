@@ -1,0 +1,25 @@
+"""Graph substrate: data graphs, query graphs, I/O, topologies."""
+
+from .digraph import Graph, GraphStats, UNLABELED
+from .io import dump_graph, dump_query, load_graph, load_query, load_triples
+from .query import QueryGraph
+from .schema import SchemaGraph, extract_schema
+from .topology import ACYCLIC_TOPOLOGIES, CYCLIC_TOPOLOGIES, Topology, classify
+
+__all__ = [
+    "ACYCLIC_TOPOLOGIES",
+    "CYCLIC_TOPOLOGIES",
+    "Graph",
+    "GraphStats",
+    "QueryGraph",
+    "SchemaGraph",
+    "Topology",
+    "UNLABELED",
+    "classify",
+    "dump_graph",
+    "extract_schema",
+    "dump_query",
+    "load_graph",
+    "load_query",
+    "load_triples",
+]

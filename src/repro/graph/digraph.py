@@ -1,0 +1,276 @@
+"""Directed labeled multigraph used as the data substrate for all estimators.
+
+The paper represents every dataset (RDF, property graphs, undirected and
+unlabeled graphs) as a directed labeled graph ``G = (V, E, L)``:
+
+* undirected edges become two directed edges,
+* unlabeled edges receive label ``0``,
+* RDF triples ``(s, p, o)`` become edges ``s --p--> o``.
+
+Vertices may carry a *set* of labels (RDF types / molecule atom types);
+edges carry exactly one label.  The class keeps per-vertex adjacency grouped
+by edge label plus global label indexes, which is what the estimators need:
+``C-SET`` scans vertices, ``WanderJoin`` walks edges by label, ``BoundSketch``
+scans relations (= all edges of one label), and the exact matcher filters
+candidates by vertex label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+Edge = Tuple[int, int, int]
+
+#: Edge label used for unlabeled graphs (paper, Section 2).
+UNLABELED = 0
+
+
+@dataclass
+class GraphStats:
+    """Dataset statistics in the shape of Table 2 of the paper."""
+
+    num_graphs: int
+    num_vertices: int
+    num_edges: int
+    avg_degree: float
+    max_degree: int
+    num_vertex_labels: int
+    num_edge_labels: int
+    max_triples_per_predicate: int
+    min_triples_per_predicate: int
+
+    def as_row(self) -> Dict[str, object]:
+        """Return the statistics as an ordered mapping for table printing."""
+        return {
+            "# of graphs": self.num_graphs,
+            "# of vertices": self.num_vertices,
+            "# of edges": self.num_edges,
+            "Avg. degree": round(self.avg_degree, 2),
+            "Max. degree": self.max_degree,
+            "# of distinct v. labels": self.num_vertex_labels,
+            "# of distinct e. labels": self.num_edge_labels,
+            "Max triples per pred.": self.max_triples_per_predicate,
+            "Min triples per pred.": self.min_triples_per_predicate,
+        }
+
+
+class Graph:
+    """A directed labeled multigraph with label indexes.
+
+    Vertices are dense integer ids assigned by :meth:`add_vertex`.  Edges are
+    ``(src, dst, label)`` triples; parallel edges with distinct labels are
+    allowed, duplicate ``(src, dst, label)`` triples are ignored (set
+    semantics, matching RDF triple stores).
+    """
+
+    def __init__(self, num_graphs: int = 1) -> None:
+        self._vlabels: List[FrozenSet[int]] = []
+        # adjacency grouped by edge label: _out[v][label] -> [dst, ...]
+        self._out: List[Dict[int, List[int]]] = []
+        self._in: List[Dict[int, List[int]]] = []
+        self._edge_set: set = set()
+        self._vindex: Dict[int, List[int]] = {}
+        self._eindex: Dict[int, List[Tuple[int, int]]] = {}
+        self._num_edges = 0
+        #: number of member graphs when this graph is a disjoint union of a
+        #: collection (the AIDS dataset); embeddings aggregate across members.
+        self.num_graphs = num_graphs
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, labels: Iterable[int] = ()) -> int:
+        """Add a vertex with the given label set and return its id."""
+        vid = len(self._vlabels)
+        labels = frozenset(labels)
+        self._vlabels.append(labels)
+        self._out.append({})
+        self._in.append({})
+        for label in labels:
+            self._vindex.setdefault(label, []).append(vid)
+        return vid
+
+    def add_vertex_label(self, v: int, label: int) -> None:
+        """Attach an additional label to an existing vertex."""
+        if label in self._vlabels[v]:
+            return
+        self._vlabels[v] = self._vlabels[v] | {label}
+        self._vindex.setdefault(label, []).append(v)
+
+    def add_edge(self, src: int, dst: int, label: int = UNLABELED) -> bool:
+        """Add a directed labeled edge; return False if it already existed."""
+        key = (src, dst, label)
+        if key in self._edge_set:
+            return False
+        self._edge_set.add(key)
+        self._out[src].setdefault(label, []).append(dst)
+        self._in[dst].setdefault(label, []).append(src)
+        self._eindex.setdefault(label, []).append((src, dst))
+        self._num_edges += 1
+        return True
+
+    def add_undirected_edge(self, u: int, v: int, label: int = UNLABELED) -> None:
+        """Add both directions of an undirected edge (paper, Section 2)."""
+        self.add_edge(u, v, label)
+        self.add_edge(v, u, label)
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Sequence[Edge],
+        vertex_labels: Optional[Dict[int, Iterable[int]]] = None,
+        num_vertices: Optional[int] = None,
+    ) -> "Graph":
+        """Build a graph from an edge list and an optional vertex label map."""
+        vertex_labels = vertex_labels or {}
+        if num_vertices is None:
+            num_vertices = 0
+            for src, dst, _ in edges:
+                num_vertices = max(num_vertices, src + 1, dst + 1)
+            for vid in vertex_labels:
+                num_vertices = max(num_vertices, vid + 1)
+        graph = cls()
+        for vid in range(num_vertices):
+            graph.add_vertex(vertex_labels.get(vid, ()))
+        for src, dst, label in edges:
+            graph.add_edge(src, dst, label)
+        return graph
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vlabels)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def __len__(self) -> int:
+        """Graph size |G| is the number of edges (paper, Section 2)."""
+        return self._num_edges
+
+    def vertices(self) -> range:
+        return range(len(self._vlabels))
+
+    def vertex_labels(self, v: int) -> FrozenSet[int]:
+        return self._vlabels[v]
+
+    def edges(self) -> Iterator[Edge]:
+        for label, pairs in self._eindex.items():
+            for src, dst in pairs:
+                yield (src, dst, label)
+
+    def has_edge(self, src: int, dst: int, label: int) -> bool:
+        return (src, dst, label) in self._edge_set
+
+    # ------------------------------------------------------------------
+    # adjacency
+    # ------------------------------------------------------------------
+    def out_neighbors(self, v: int, label: Optional[int] = None) -> List[int]:
+        """Destinations of out-edges of ``v`` (optionally of one label)."""
+        if label is None:
+            result: List[int] = []
+            for dsts in self._out[v].values():
+                result.extend(dsts)
+            return result
+        return self._out[v].get(label, [])
+
+    def in_neighbors(self, v: int, label: Optional[int] = None) -> List[int]:
+        """Sources of in-edges of ``v`` (optionally of one label)."""
+        if label is None:
+            result: List[int] = []
+            for srcs in self._in[v].values():
+                result.extend(srcs)
+            return result
+        return self._in[v].get(label, [])
+
+    def out_label_map(self, v: int) -> Dict[int, List[int]]:
+        return self._out[v]
+
+    def in_label_map(self, v: int) -> Dict[int, List[int]]:
+        return self._in[v]
+
+    def out_degree(self, v: int) -> int:
+        return sum(len(dsts) for dsts in self._out[v].values())
+
+    def in_degree(self, v: int) -> int:
+        return sum(len(srcs) for srcs in self._in[v].values())
+
+    def degree(self, v: int) -> int:
+        """Total degree (in + out), used for random-walk stationary probs."""
+        return self.out_degree(v) + self.in_degree(v)
+
+    def neighborhood(self, v: int) -> set:
+        """Distinct vertices adjacent to ``v`` in either direction."""
+        result = set()
+        for dsts in self._out[v].values():
+            result.update(dsts)
+        for srcs in self._in[v].values():
+            result.update(srcs)
+        return result
+
+    # ------------------------------------------------------------------
+    # label indexes
+    # ------------------------------------------------------------------
+    def vertices_with_label(self, label: int) -> List[int]:
+        return self._vindex.get(label, [])
+
+    def vertices_with_labels(self, labels: FrozenSet[int]) -> List[int]:
+        """Vertices carrying *all* of the given labels (empty = all)."""
+        if not labels:
+            return list(self.vertices())
+        candidate_lists = sorted(
+            (self._vindex.get(label, []) for label in labels), key=len
+        )
+        result = candidate_lists[0]
+        for other in candidate_lists[1:]:
+            other_set = set(other)
+            result = [v for v in result if v in other_set]
+        return list(result)
+
+    def edges_with_label(self, label: int) -> List[Tuple[int, int]]:
+        return self._eindex.get(label, [])
+
+    def edge_label_count(self, label: int) -> int:
+        return len(self._eindex.get(label, ()))
+
+    def edge_labels(self) -> List[int]:
+        return list(self._eindex.keys())
+
+    def all_vertex_labels(self) -> List[int]:
+        return list(self._vindex.keys())
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> GraphStats:
+        """Compute the Table 2 statistics for this graph."""
+        n = self.num_vertices
+        max_degree = max((self.degree(v) for v in self.vertices()), default=0)
+        # Table 2 reports avg degree as 2|E|/|V| (each edge touches two ends).
+        avg_degree = (2.0 * self._num_edges / n) if n else 0.0
+        predicate_counts = [len(pairs) for pairs in self._eindex.values()]
+        nontrivial_edge_labels = [l for l in self._eindex if l != UNLABELED]
+        num_edge_labels = (
+            len(self._eindex) if nontrivial_edge_labels else 0
+        )
+        return GraphStats(
+            num_graphs=self.num_graphs,
+            num_vertices=n,
+            num_edges=self._num_edges,
+            avg_degree=avg_degree,
+            max_degree=max_degree,
+            num_vertex_labels=len(self._vindex),
+            num_edge_labels=num_edge_labels,
+            max_triples_per_predicate=max(predicate_counts, default=0),
+            min_triples_per_predicate=min(predicate_counts, default=0),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Graph(|V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"vlabels={len(self._vindex)}, elabels={len(self._eindex)})"
+        )

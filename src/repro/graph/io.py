@@ -1,0 +1,148 @@
+"""Text serialization for data and query graphs.
+
+We support the formats used by the original G-CARE release:
+
+**Data / query graph format** (one graph per file)::
+
+    t # 0
+    v <id> <label> [<label> ...]
+    e <src> <dst> <label>
+
+A vertex label of ``-1`` means *unlabeled* (wildcard for queries, no label
+for data vertices).  Collections (the AIDS dataset) concatenate multiple
+``t # i`` sections; we load those as a disjoint union with
+``Graph.num_graphs`` recording the member count.
+
+**RDF triple format**: whitespace-separated ``<subject> <predicate>
+<object>`` lines with arbitrary string tokens; strings are dictionary-encoded
+to dense integer ids.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from .digraph import Graph
+from .query import QueryGraph
+
+PathLike = Union[str, Path]
+
+#: Sentinel label meaning "no label" in the text format.
+NO_LABEL = -1
+
+
+def load_graph(path: PathLike) -> Graph:
+    """Load a data graph (or collection) from the G-CARE text format."""
+    graph = Graph()
+    num_graphs = 0
+    offset = 0
+    local_count = 0
+    with open(path) as handle:
+        for line in handle:
+            parts = line.split()
+            if not parts or parts[0].startswith("#"):
+                continue
+            kind = parts[0]
+            if kind == "t":
+                num_graphs += 1
+                offset += local_count
+                local_count = 0
+            elif kind == "v":
+                labels = [int(x) for x in parts[2:] if int(x) != NO_LABEL]
+                graph.add_vertex(labels)
+                local_count += 1
+            elif kind == "e":
+                src, dst, label = int(parts[1]), int(parts[2]), int(parts[3])
+                graph.add_edge(offset + src, offset + dst, label)
+            else:
+                raise ValueError(f"unrecognized line kind {kind!r} in {path}")
+    graph.num_graphs = max(num_graphs, 1)
+    return graph
+
+
+def dump_graph(graph: Graph, path: PathLike) -> None:
+    """Write a data graph in the G-CARE text format (single ``t`` section)."""
+    with open(path, "w") as handle:
+        handle.write("t # 0\n")
+        for v in graph.vertices():
+            labels = sorted(graph.vertex_labels(v)) or [NO_LABEL]
+            handle.write("v %d %s\n" % (v, " ".join(map(str, labels))))
+        for src, dst, label in sorted(graph.edges()):
+            handle.write(f"e {src} {dst} {label}\n")
+
+
+def load_query(path: PathLike) -> QueryGraph:
+    """Load a query graph from the G-CARE text format."""
+    vertex_labels: List[List[int]] = []
+    edges: List[Tuple[int, int, int]] = []
+    with open(path) as handle:
+        for line in handle:
+            parts = line.split()
+            if not parts or parts[0] in ("t", "#") or parts[0].startswith("#"):
+                continue
+            kind = parts[0]
+            if kind == "v":
+                vertex_labels.append(
+                    [int(x) for x in parts[2:] if int(x) != NO_LABEL]
+                )
+            elif kind == "e":
+                edges.append((int(parts[1]), int(parts[2]), int(parts[3])))
+            else:
+                raise ValueError(f"unrecognized line kind {kind!r} in {path}")
+    return QueryGraph(vertex_labels, edges)
+
+
+def dump_query(query: QueryGraph, path: PathLike) -> None:
+    """Write a query graph in the G-CARE text format."""
+    with open(path, "w") as handle:
+        handle.write("t # 0\n")
+        for v in range(query.num_vertices):
+            labels = sorted(query.vertex_labels[v]) or [NO_LABEL]
+            handle.write("v %d %s\n" % (v, " ".join(map(str, labels))))
+        for src, dst, label in query.edges:
+            handle.write(f"e {src} {dst} {label}\n")
+
+
+def load_triples(path: PathLike) -> Tuple[Graph, Dict[str, int], Dict[str, int]]:
+    """Load RDF-style triples, dictionary-encoding strings to dense ids.
+
+    Returns ``(graph, vertex_dict, predicate_dict)`` mapping the original
+    string tokens to the integer ids used in the graph.
+    """
+    vertex_ids: Dict[str, int] = {}
+    predicate_ids: Dict[str, int] = {}
+    graph = Graph()
+
+    def vertex(token: str) -> int:
+        vid = vertex_ids.get(token)
+        if vid is None:
+            vid = graph.add_vertex()
+            vertex_ids[token] = vid
+        return vid
+
+    with open(path) as handle:
+        for line in handle:
+            parts = line.split()
+            if len(parts) < 3 or parts[0].startswith("#"):
+                continue
+            subj, pred, obj = parts[0], parts[1], parts[2]
+            pid = predicate_ids.setdefault(pred, len(predicate_ids))
+            graph.add_edge(vertex(subj), vertex(obj), pid)
+    return graph, vertex_ids, predicate_ids
+
+
+def graph_from_triples(
+    triples: Iterable[Tuple[str, str, str]],
+) -> Tuple[Graph, Dict[str, int], Dict[str, int]]:
+    """Dictionary-encode an in-memory triple iterable into a Graph."""
+    vertex_ids: Dict[str, int] = {}
+    predicate_ids: Dict[str, int] = {}
+    graph = Graph()
+    for subj, pred, obj in triples:
+        for token in (subj, obj):
+            if token not in vertex_ids:
+                vertex_ids[token] = graph.add_vertex()
+        pid = predicate_ids.setdefault(pred, len(predicate_ids))
+        graph.add_edge(vertex_ids[subj], vertex_ids[obj], pid)
+    return graph, vertex_ids, predicate_ids

@@ -1,0 +1,186 @@
+"""Query graph model.
+
+A query graph is a small directed labeled pattern.  Query vertices carry a
+(possibly empty) label set — an empty set is a *wildcard* that matches any
+data vertex (paper, Section 2).  Query edges carry exactly one label.
+
+The query *size* is its number of edges, matching the paper's Table 1
+(sizes 3, 6, 9, 12).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+QueryEdge = Tuple[int, int, int]
+
+
+class QueryGraph:
+    """A directed labeled pattern graph.
+
+    Parameters
+    ----------
+    vertex_labels:
+        One label set per query vertex; an empty set matches any data vertex.
+    edges:
+        ``(u, v, label)`` triples over vertex indices.
+    """
+
+    def __init__(
+        self,
+        vertex_labels: Sequence[Iterable[int]],
+        edges: Sequence[QueryEdge],
+    ) -> None:
+        self.vertex_labels: List[FrozenSet[int]] = [
+            frozenset(labels) for labels in vertex_labels
+        ]
+        self.edges: List[QueryEdge] = list(edges)
+        n = len(self.vertex_labels)
+        for u, v, _ in self.edges:
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(f"edge endpoint out of range: {(u, v)}")
+        self._out: Dict[int, List[Tuple[int, int]]] = {u: [] for u in range(n)}
+        self._in: Dict[int, List[Tuple[int, int]]] = {u: [] for u in range(n)}
+        for u, v, label in self.edges:
+            self._out[u].append((v, label))
+            self._in[v].append((u, label))
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertex_labels)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def __len__(self) -> int:
+        """Query size = number of edges (paper, Table 1)."""
+        return len(self.edges)
+
+    def out_edges(self, u: int) -> List[Tuple[int, int]]:
+        """(destination, label) pairs for out-edges of ``u``."""
+        return self._out[u]
+
+    def in_edges(self, v: int) -> List[Tuple[int, int]]:
+        """(source, label) pairs for in-edges of ``v``."""
+        return self._in[v]
+
+    def out_degree(self, u: int) -> int:
+        return len(self._out[u])
+
+    def in_degree(self, u: int) -> int:
+        return len(self._in[u])
+
+    def degree(self, u: int) -> int:
+        return len(self._out[u]) + len(self._in[u])
+
+    def neighbors(self, u: int) -> Set[int]:
+        """Distinct vertices adjacent to ``u`` ignoring direction."""
+        result = {v for v, _ in self._out[u]}
+        result.update(v for v, _ in self._in[u])
+        return result
+
+    def incident_edges(self, u: int) -> List[QueryEdge]:
+        """All edges touching ``u`` (as stored, with direction)."""
+        return [e for e in self.edges if e[0] == u or e[1] == u]
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def undirected_adjacency(self) -> Dict[int, Set[int]]:
+        adj: Dict[int, Set[int]] = {u: set() for u in range(self.num_vertices)}
+        for u, v, _ in self.edges:
+            adj[u].add(v)
+            adj[v].add(u)
+        return adj
+
+    def is_connected(self) -> bool:
+        """True iff the undirected skeleton is connected (and non-empty)."""
+        if self.num_vertices == 0:
+            return False
+        adj = self.undirected_adjacency()
+        seen = {0}
+        stack = [0]
+        while stack:
+            u = stack.pop()
+            for v in adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return len(seen) == self.num_vertices
+
+    def has_cycle(self) -> bool:
+        """True iff the undirected skeleton contains a cycle.
+
+        Parallel/antiparallel edge pairs between the same vertices count as a
+        cycle, consistent with viewing the query as a join query graph.
+        """
+        seen_pairs = set()
+        for u, v, _ in self.edges:
+            pair = (min(u, v), max(u, v))
+            if pair in seen_pairs or u == v:
+                return True
+            seen_pairs.add(pair)
+        # union-find over distinct undirected pairs
+        parent = list(range(self.num_vertices))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for u, v in seen_pairs:
+            ru, rv = find(u), find(v)
+            if ru == rv:
+                return True
+            parent[ru] = rv
+        return False
+
+    def subquery(self, edge_indices: Iterable[int]) -> "QueryGraph":
+        """Pattern induced by a subset of edges (keeps vertex numbering).
+
+        Vertices not touched by the kept edges remain present but isolated;
+        use :meth:`compact` to renumber.
+        """
+        kept = [self.edges[i] for i in edge_indices]
+        return QueryGraph(self.vertex_labels, kept)
+
+    def compact(self) -> Tuple["QueryGraph", Dict[int, int]]:
+        """Drop isolated vertices; return the new query and old->new map."""
+        used = sorted({u for u, v, _ in self.edges} | {v for _, v, _ in self.edges})
+        mapping = {old: new for new, old in enumerate(used)}
+        labels = [self.vertex_labels[old] for old in used]
+        edges = [(mapping[u], mapping[v], l) for u, v, l in self.edges]
+        return QueryGraph(labels, edges), mapping
+
+    def relabel_vertices(self, labels: Dict[int, Iterable[int]]) -> "QueryGraph":
+        """Return a copy with some vertex label sets replaced."""
+        new_labels = list(self.vertex_labels)
+        for vid, lab in labels.items():
+            new_labels[vid] = frozenset(lab)
+        return QueryGraph(new_labels, self.edges)
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def canonical_key(self) -> Tuple:
+        """A hashable key identifying this exact pattern (not isomorphism)."""
+        return (
+            tuple(tuple(sorted(ls)) for ls in self.vertex_labels),
+            tuple(sorted(self.edges)),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QueryGraph):
+            return NotImplemented
+        return self.canonical_key() == other.canonical_key()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"QueryGraph(|V|={self.num_vertices}, |E|={self.num_edges})"

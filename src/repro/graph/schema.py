@@ -1,0 +1,92 @@
+"""Schema graph extraction.
+
+The paper's query generator "traverses the schema graph" (Section 5.3).
+A schema graph is the label-level quotient of the data graph: one node
+per vertex label (plus one for unlabeled vertices) and one edge per
+observed (source label, edge label, destination label) combination, with
+occurrence counts.  It answers questions like "which edge labels connect
+Professors to Courses?" without touching instances, and is useful both
+for query authoring and as a compact dataset fingerprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from .digraph import Graph
+
+#: schema node used for vertices without any label
+UNLABELED_NODE = -1
+
+SchemaEdge = Tuple[int, int, int]  # (src label, dst label, edge label)
+
+
+@dataclass
+class SchemaGraph:
+    """Label-level quotient of a data graph with occurrence counts."""
+
+    #: vertex label -> number of data vertices carrying it
+    label_counts: Dict[int, int] = field(default_factory=dict)
+    #: (src label, dst label, edge label) -> number of data edges
+    edge_counts: Dict[SchemaEdge, int] = field(default_factory=dict)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.label_counts)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edge_counts)
+
+    def edges(self) -> Iterator[SchemaEdge]:
+        return iter(self.edge_counts)
+
+    def out_labels(self, vertex_label: int) -> Set[int]:
+        """Edge labels observed leaving vertices with ``vertex_label``."""
+        return {
+            el for (sl, _, el) in self.edge_counts if sl == vertex_label
+        }
+
+    def in_labels(self, vertex_label: int) -> Set[int]:
+        """Edge labels observed entering vertices with ``vertex_label``."""
+        return {
+            el for (_, dl, el) in self.edge_counts if dl == vertex_label
+        }
+
+    def targets(self, vertex_label: int, edge_label: int) -> Set[int]:
+        """Destination vertex labels of ``edge_label`` edges from a label."""
+        return {
+            dl
+            for (sl, dl, el) in self.edge_counts
+            if sl == vertex_label and el == edge_label
+        }
+
+    def connects(
+        self, src_label: int, dst_label: int, edge_label: int
+    ) -> bool:
+        return (src_label, dst_label, edge_label) in self.edge_counts
+
+    def count(self, src_label: int, dst_label: int, edge_label: int) -> int:
+        return self.edge_counts.get((src_label, dst_label, edge_label), 0)
+
+
+def extract_schema(graph: Graph) -> SchemaGraph:
+    """Build the schema graph of a data graph in one pass over its edges.
+
+    Multi-labeled vertices contribute one schema node per label; an
+    unlabeled vertex contributes the :data:`UNLABELED_NODE` node.
+    """
+    schema = SchemaGraph()
+    for v in graph.vertices():
+        labels = graph.vertex_labels(v) or frozenset({UNLABELED_NODE})
+        for label in labels:
+            schema.label_counts[label] = schema.label_counts.get(label, 0) + 1
+    for src, dst, edge_label in graph.edges():
+        src_labels = graph.vertex_labels(src) or frozenset({UNLABELED_NODE})
+        dst_labels = graph.vertex_labels(dst) or frozenset({UNLABELED_NODE})
+        for sl in src_labels:
+            for dl in dst_labels:
+                key = (sl, dl, edge_label)
+                schema.edge_counts[key] = schema.edge_counts.get(key, 0) + 1
+    return schema

@@ -1,0 +1,194 @@
+"""Query topology classification.
+
+The paper generates eight classes of test queries (Table 1): chain, star,
+tree, cycle, clique, petal, flower and graph.  Definitions (Section 5.3):
+
+* **chain** — a path ``u0 - u1 - ... - un``.
+* **star** — ``u1..un`` all connected to a center ``u0``.
+* **tree** — any acyclic query that is neither chain nor star.
+* **cycle** — a single simple cycle.
+* **clique** — complete graph.
+* **petal** — a source, a destination, and >= 2 vertex-disjoint paths
+  between them (a cycle is the 2-path special case and is classified first).
+* **flower** — a source vertex with chain / tree / petal attachments,
+  at least one of them a petal (otherwise the query would be a tree).
+* **graph** — any other (cyclic) query.
+
+Classification ignores edge directions and labels: it is a property of the
+undirected simple skeleton.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Set, Tuple
+
+from .query import QueryGraph
+
+
+class Topology(enum.Enum):
+    CHAIN = "chain"
+    STAR = "star"
+    TREE = "tree"
+    CYCLE = "cycle"
+    CLIQUE = "clique"
+    PETAL = "petal"
+    FLOWER = "flower"
+    GRAPH = "graph"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Topologies whose skeleton is acyclic.
+ACYCLIC_TOPOLOGIES = (Topology.CHAIN, Topology.STAR, Topology.TREE)
+#: Topologies whose skeleton contains a cycle.
+CYCLIC_TOPOLOGIES = (
+    Topology.CYCLE,
+    Topology.CLIQUE,
+    Topology.PETAL,
+    Topology.FLOWER,
+    Topology.GRAPH,
+)
+
+
+def _skeleton(query: QueryGraph) -> Dict[int, Set[int]]:
+    """Undirected simple adjacency over non-isolated vertices."""
+    adj: Dict[int, Set[int]] = {}
+    for u, v, _ in query.edges:
+        if u == v:
+            continue
+        adj.setdefault(u, set()).add(v)
+        adj.setdefault(v, set()).add(u)
+    return adj
+
+
+def _is_connected(adj: Dict[int, Set[int]]) -> bool:
+    if not adj:
+        return False
+    start = next(iter(adj))
+    seen = {start}
+    stack = [start]
+    while stack:
+        u = stack.pop()
+        for v in adj[u]:
+            if v not in seen:
+                seen.add(v)
+                stack.append(v)
+    return len(seen) == len(adj)
+
+
+def _num_skeleton_edges(adj: Dict[int, Set[int]]) -> int:
+    return sum(len(nbrs) for nbrs in adj.values()) // 2
+
+
+def _is_petal(adj: Dict[int, Set[int]]) -> bool:
+    """True iff the skeleton is >= 2 internally vertex-disjoint s-t paths."""
+    return _petal_endpoints(adj) is not None
+
+
+def _petal_endpoints(adj: Dict[int, Set[int]]):
+    """The (source, destination) pair of a petal skeleton, or None."""
+    high = [v for v, nbrs in adj.items() if len(nbrs) != 2]
+    if len(high) != 2:
+        return None
+    s, t = high
+    if len(adj[s]) != len(adj[t]) or len(adj[s]) < 2:
+        return None
+    # Walk from s along each neighbor; every walk must reach t through
+    # degree-2 internal vertices without revisiting anything.
+    visited_internal: Set[int] = set()
+    for first in adj[s]:
+        prev, cur = s, first
+        while cur != t:
+            if cur in visited_internal or len(adj[cur]) != 2:
+                return None
+            visited_internal.add(cur)
+            nxt = next(v for v in adj[cur] if v != prev)
+            prev, cur = cur, nxt
+    # all internal vertices accounted for
+    if len(visited_internal) != len(adj) - 2:
+        return None
+    return (s, t)
+
+
+def _is_flower(adj: Dict[int, Set[int]]) -> bool:
+    """True iff some vertex's removal leaves chain/tree/petal attachments.
+
+    Each attachment, with the source vertex added back, must be acyclic or a
+    petal; at least one petal is required (else the whole query is a tree).
+    """
+    for c in adj:
+        components = _components_without(adj, c)
+        if len(components) < 2:
+            continue
+        saw_petal = False
+        ok = True
+        for comp in components:
+            sub = {
+                v: (adj[v] & (comp | {c}))
+                for v in comp
+            }
+            sub[c] = adj[c] & comp
+            edges = _num_skeleton_edges(sub)
+            if edges == len(sub) - 1:
+                continue  # acyclic attachment: chain or tree
+            endpoints = _petal_endpoints(sub)
+            if endpoints is not None and c in endpoints:
+                # a petal attachment must have the flower's source vertex
+                # as its own source
+                saw_petal = True
+                continue
+            ok = False
+            break
+        if ok and saw_petal:
+            return True
+    return False
+
+
+def _components_without(
+    adj: Dict[int, Set[int]], removed: int
+) -> List[Set[int]]:
+    remaining = set(adj) - {removed}
+    components: List[Set[int]] = []
+    while remaining:
+        start = next(iter(remaining))
+        comp = {start}
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for v in adj[u]:
+                if v != removed and v not in comp:
+                    comp.add(v)
+                    stack.append(v)
+        components.append(comp)
+        remaining -= comp
+    return components
+
+
+def classify(query: QueryGraph) -> Topology:
+    """Classify a connected query into one of the paper's eight topologies."""
+    adj = _skeleton(query)
+    if not adj:
+        raise ValueError("cannot classify an empty query")
+    if not _is_connected(adj):
+        raise ValueError("cannot classify a disconnected query")
+    n = len(adj)
+    m = _num_skeleton_edges(adj)
+    degrees = sorted(len(nbrs) for nbrs in adj.values())
+    if m == n - 1:  # acyclic
+        if degrees[-1] <= 2:
+            return Topology.CHAIN
+        if n >= 3 and degrees[-1] == n - 1 and degrees[-2] == 1:
+            return Topology.STAR
+        return Topology.TREE
+    # cyclic
+    if degrees[0] == 2 and degrees[-1] == 2:
+        return Topology.CYCLE
+    if n >= 3 and m == n * (n - 1) // 2:
+        return Topology.CLIQUE
+    if _is_petal(adj):
+        return Topology.PETAL
+    if _is_flower(adj):
+        return Topology.FLOWER
+    return Topology.GRAPH

@@ -1,0 +1,22 @@
+"""Exact subgraph matching (ground-truth cardinality counting)."""
+
+from .homomorphism import HomomorphismCounter, MatchResult, count_embeddings
+from .treecount import (
+    CyclicQueryError,
+    count_embeddings_auto,
+    count_tree_embeddings,
+    is_tree_query,
+)
+from .visible import VisibleSubgraph, visible_subgraph
+
+__all__ = [
+    "CyclicQueryError",
+    "HomomorphismCounter",
+    "MatchResult",
+    "VisibleSubgraph",
+    "count_embeddings",
+    "count_embeddings_auto",
+    "count_tree_embeddings",
+    "is_tree_query",
+    "visible_subgraph",
+]

@@ -1,0 +1,272 @@
+"""Exact subgraph matching by graph homomorphism.
+
+The paper defines subgraph matching via graph homomorphism (Section 2):
+an embedding maps query vertices to data vertices such that vertex labels
+are contained, and every query edge maps to a data edge with the same label.
+Homomorphisms are *not* required to be injective.
+
+This module provides the ground-truth cardinality counter used to compute
+true cardinalities for q-error evaluation, and is reused by estimators that
+execute (sub)queries over restricted data (CorrelatedSampling counts the
+join over its samples; SumRDF matches the query against its summary graph).
+
+The counter is a backtracking search with:
+
+* a matching order that starts from the most selective query vertex and
+  grows along query edges (so every subsequent vertex is constrained by at
+  least one assigned neighbor when the query is connected),
+* candidate generation from the smallest adjacency list,
+* a *leaf product* shortcut: when all remaining query vertices are mutually
+  non-adjacent and fully constrained by assigned vertices, the number of
+  completions is the product of their candidate counts,
+* optional per-query-edge candidate restrictions, a wall-clock budget and a
+  count cap.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..graph.digraph import Graph
+from ..graph.query import QueryGraph
+
+try:  # typing helper for vertex filter predicates
+    from typing import Callable
+
+    VertexFilter = Callable[[int], bool]
+except ImportError:  # pragma: no cover
+    pass
+
+
+@dataclass
+class MatchResult:
+    """Outcome of a counting run.
+
+    ``complete`` is False when the run stopped early (timeout or count cap);
+    ``count`` is then a lower bound on the true cardinality.
+    """
+
+    count: int
+    complete: bool
+    elapsed: float
+
+    def __int__(self) -> int:
+        return self.count
+
+
+class BudgetExceeded(Exception):
+    """Internal signal: wall-clock or count budget exhausted."""
+
+
+# A constraint of an unassigned query vertex u against an assigned vertex:
+# (assigned query vertex, direction, edge label, edge index).
+_Constraint = Tuple[int, str, int, int]
+
+
+class HomomorphismCounter:
+    """Counts homomorphic embeddings of a query in a data graph."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        query: QueryGraph,
+        edge_candidates: Optional[Dict[int, Set[Tuple[int, int]]]] = None,
+        vertex_filters: Optional[Dict[int, "VertexFilter"]] = None,
+    ) -> None:
+        """``edge_candidates`` optionally restricts which data edge may match
+        a given query edge (keyed by index into ``query.edges``);
+        ``vertex_filters`` optionally restricts which data vertex may match a
+        query vertex (keyed by query vertex, value is a predicate)."""
+        self.graph = graph
+        self.query = query
+        self.edge_candidates = edge_candidates or {}
+        self.vertex_filters = vertex_filters or {}
+        self._order = self._matching_order()
+        self._deadline = 0.0
+        self._cap = 0
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    def count(
+        self,
+        time_limit: Optional[float] = None,
+        max_count: Optional[int] = None,
+    ) -> MatchResult:
+        """Count embeddings, stopping early at a time or count budget."""
+        start = time.monotonic()
+        self._deadline = start + time_limit if time_limit else float("inf")
+        self._cap = max_count if max_count else 1 << 62
+        self._count = 0
+        assignment: Dict[int, int] = {}
+        complete = True
+        try:
+            self._search(0, assignment)
+        except BudgetExceeded:
+            complete = False
+        return MatchResult(self._count, complete, time.monotonic() - start)
+
+    # ------------------------------------------------------------------
+    def _matching_order(self) -> List[int]:
+        """Selective-first, connectivity-respecting vertex order."""
+        query, graph = self.query, self.graph
+
+        def selectivity(u: int) -> Tuple[int, int]:
+            labels = query.vertex_labels[u]
+            if labels:
+                cand = min(
+                    len(graph.vertices_with_label(l)) for l in labels
+                )
+            else:
+                cand = graph.num_vertices
+            return (cand, -query.degree(u))
+
+        remaining = set(range(query.num_vertices))
+        order: List[int] = []
+        while remaining:
+            frontier = {
+                u
+                for u in remaining
+                if any(v in set(order) for v in query.neighbors(u))
+            }
+            pool = frontier or remaining
+            best = min(pool, key=selectivity)
+            order.append(best)
+            remaining.discard(best)
+        return order
+
+    def _constraints(self, u: int, assigned: Set[int]) -> List[_Constraint]:
+        """Edges between ``u`` and already-assigned vertices (and self loops)."""
+        result: List[_Constraint] = []
+        for idx, (a, b, label) in enumerate(self.query.edges):
+            if a == u and (b in assigned or b == u):
+                result.append((b, "out", label, idx))
+            elif b == u and a in assigned:
+                result.append((a, "in", label, idx))
+        return result
+
+    def _candidates(
+        self, u: int, assignment: Dict[int, int]
+    ) -> Optional[List[int]]:
+        """Data vertices that can match ``u`` given the partial assignment.
+
+        Returns None when the candidate set is the whole vertex set (only
+        possible for an unconstrained wildcard vertex).
+        """
+        graph, query = self.graph, self.query
+        constraints = self._constraints(u, set(assignment))
+        labels = query.vertex_labels[u]
+
+        adjacency_lists: List[Sequence[int]] = []
+        pair_checks: List[Tuple[str, int, int, int]] = []
+        for other, direction, label, idx in constraints:
+            if other == u:  # self loop: defer to the filter stage
+                pair_checks.append((direction, label, idx, -1))
+                continue
+            anchor = assignment[other]
+            if direction == "out":  # u --label--> other
+                adjacency_lists.append(graph.in_neighbors(anchor, label))
+            else:  # other --label--> u
+                adjacency_lists.append(graph.out_neighbors(anchor, label))
+
+        if not adjacency_lists:
+            if labels:
+                base: Sequence[int] = graph.vertices_with_labels(labels)
+            else:
+                base = graph.vertices()
+            candidates = [
+                v for v in base if self._vertex_ok(v, u, assignment, constraints)
+            ]
+            return candidates
+
+        adjacency_lists.sort(key=len)
+        candidates = [
+            v
+            for v in adjacency_lists[0]
+            if self._vertex_ok(v, u, assignment, constraints)
+        ]
+        return candidates
+
+    def _vertex_ok(
+        self,
+        v: int,
+        u: int,
+        assignment: Dict[int, int],
+        constraints: List[_Constraint],
+    ) -> bool:
+        """Full check of labels and all constraint edges for ``u -> v``."""
+        graph = self.graph
+        labels = self.query.vertex_labels[u]
+        if labels and not labels <= graph.vertex_labels(v):
+            return False
+        vertex_filter = self.vertex_filters.get(u)
+        if vertex_filter is not None and not vertex_filter(v):
+            return False
+        for other, direction, label, idx in constraints:
+            anchor = v if other == u else assignment[other]
+            if direction == "out":
+                src, dst = v, anchor
+            else:
+                src, dst = anchor, v
+            if not graph.has_edge(src, dst, label):
+                return False
+            allowed = self.edge_candidates.get(idx)
+            if allowed is not None and (src, dst) not in allowed:
+                return False
+        return True
+
+    def _leaf_product(
+        self, depth: int, assignment: Dict[int, int]
+    ) -> Optional[int]:
+        """Product shortcut when all remaining vertices are independent."""
+        remaining = self._order[depth:]
+        remaining_set = set(remaining)
+        for u in remaining:
+            if self.query.neighbors(u) & remaining_set:
+                return None
+        product = 1
+        for u in remaining:
+            candidates = self._candidates(u, assignment)
+            product *= len(candidates)
+            if product == 0:
+                return 0
+        return product
+
+    def _search(self, depth: int, assignment: Dict[int, int]) -> None:
+        if time.monotonic() > self._deadline:
+            raise BudgetExceeded
+        if depth == len(self._order):
+            self._count += 1
+            if self._count >= self._cap:
+                raise BudgetExceeded
+            return
+        if depth > 0:
+            product = self._leaf_product(depth, assignment)
+            if product is not None:
+                self._count += product
+                if self._count >= self._cap:
+                    self._count = self._cap
+                    raise BudgetExceeded
+                return
+        u = self._order[depth]
+        for v in self._candidates(u, assignment):
+            assignment[u] = v
+            self._search(depth + 1, assignment)
+            del assignment[u]
+
+
+def count_embeddings(
+    graph: Graph,
+    query: QueryGraph,
+    time_limit: Optional[float] = None,
+    max_count: Optional[int] = None,
+    edge_candidates: Optional[Dict[int, Set[Tuple[int, int]]]] = None,
+    vertex_filters: Optional[Dict[int, "VertexFilter"]] = None,
+) -> MatchResult:
+    """Count homomorphic embeddings of ``query`` in ``graph``.
+
+    Convenience wrapper over :class:`HomomorphismCounter`.
+    """
+    counter = HomomorphismCounter(graph, query, edge_candidates, vertex_filters)
+    return counter.count(time_limit=time_limit, max_count=max_count)

@@ -1,0 +1,131 @@
+"""Exact homomorphism counting for acyclic queries by dynamic programming.
+
+For a query whose undirected skeleton is a tree, the number of
+homomorphisms factorizes over the tree: rooting the query anywhere, the
+count of embeddings mapping vertex ``u`` to data vertex ``v`` is the
+product over ``u``'s children of the sums of their counts over the
+adjacent candidates.  This runs in ``O(|E_Q| * |E_G|)`` — no backtracking
+— and is how JSUB's Exact Weight oracle generalizes to whole-query
+counting.
+
+The module serves two purposes:
+
+* a fast ground-truth path for the (very common) acyclic workload
+  queries, and
+* an independent implementation to cross-validate the backtracking
+  matcher (`tests/test_treecount.py` checks they always agree).
+
+Queries whose skeleton contains a cycle (including parallel query edges
+between the same vertex pair, and self loops) are rejected — use
+:func:`repro.matching.homomorphism.count_embeddings` for those.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..graph.digraph import Graph
+from ..graph.query import QueryGraph
+
+QueryEdge = Tuple[int, int, int]
+
+
+class CyclicQueryError(ValueError):
+    """The query's skeleton is not a tree."""
+
+
+def is_tree_query(query: QueryGraph) -> bool:
+    """True iff the query is connected and its skeleton is a simple tree."""
+    if query.num_edges == 0 or not query.is_connected():
+        return False
+    pairs = set()
+    for u, v, _ in query.edges:
+        if u == v:
+            return False
+        pair = (min(u, v), max(u, v))
+        if pair in pairs:
+            return False  # parallel/antiparallel edges form a 2-cycle
+        pairs.add(pair)
+    return len(pairs) == query.num_vertices - 1
+
+
+def count_tree_embeddings(graph: Graph, query: QueryGraph) -> int:
+    """Count homomorphic embeddings of an acyclic query exactly.
+
+    Raises :class:`CyclicQueryError` for non-tree queries.
+    """
+    if not is_tree_query(query):
+        raise CyclicQueryError("count_tree_embeddings requires a tree query")
+    root = 0
+    children = _orient(query, root)
+    memo: Dict[Tuple[int, int], int] = {}
+
+    def subtree_count(u: int, v: int) -> int:
+        """Embeddings of u's subtree with u fixed to data vertex v."""
+        labels = query.vertex_labels[u]
+        if labels and not labels <= graph.vertex_labels(v):
+            return 0
+        key = (u, v)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        product = 1
+        for child, edge in children[u]:
+            a, b, label = edge
+            if a == u:  # u --label--> child
+                candidates = graph.out_neighbors(v, label)
+            else:  # child --label--> u
+                candidates = graph.in_neighbors(v, label)
+            branch = 0
+            for w in candidates:
+                branch += subtree_count(child, w)
+            product *= branch
+            if product == 0:
+                break
+        memo[key] = product
+        return product
+
+    root_labels = query.vertex_labels[root]
+    if root_labels:
+        candidates = graph.vertices_with_labels(root_labels)
+    else:
+        candidates = graph.vertices()
+    return sum(subtree_count(root, v) for v in candidates)
+
+
+def _orient(
+    query: QueryGraph, root: int
+) -> List[List[Tuple[int, QueryEdge]]]:
+    """Parent -> [(child, connecting edge)] lists for the rooted tree."""
+    children: List[List[Tuple[int, QueryEdge]]] = [
+        [] for _ in range(query.num_vertices)
+    ]
+    visited = {root}
+    frontier = [root]
+    remaining = list(query.edges)
+    while frontier:
+        u = frontier.pop()
+        still_remaining = []
+        for edge in remaining:
+            a, b, _ = edge
+            if a == u and b not in visited:
+                children[u].append((b, edge))
+                visited.add(b)
+                frontier.append(b)
+            elif b == u and a not in visited:
+                children[u].append((a, edge))
+                visited.add(a)
+                frontier.append(a)
+            else:
+                still_remaining.append(edge)
+        remaining = still_remaining
+    return children
+
+
+def count_embeddings_auto(graph: Graph, query: QueryGraph) -> int:
+    """Tree DP when possible, backtracking otherwise."""
+    if is_tree_query(query):
+        return count_tree_embeddings(graph, query)
+    from .homomorphism import count_embeddings
+
+    return count_embeddings(graph, query).count

@@ -1,0 +1,71 @@
+"""Visible subgraphs of random walks (IMPR's sampling unit).
+
+Section 3.4: for a walk ``s`` over vertices ``V_s``, the *visible
+subgraph* ``g_s`` contains the walk's vertices, their neighbours, and
+only the edges incident to walk vertices (edges between two neighbours
+are invisible).  IMPR counts query embeddings inside ``g_s`` that cover
+every walk vertex and use at most one extra (neighbour) vertex.
+
+This module gives the visible subgraph a first-class representation so
+it can be inspected and tested directly; the IMPR estimator uses the same
+counting logic through :class:`repro.estimators.impr.Impr`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Set, Tuple
+
+from ..graph.digraph import Graph
+
+Edge = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class VisibleSubgraph:
+    """The visible subgraph of a walk: vertices, neighbours, and edges."""
+
+    walk: Tuple[int, ...]
+    neighbors: FrozenSet[int]
+    edges: FrozenSet[Edge]
+
+    @property
+    def vertices(self) -> FrozenSet[int]:
+        return frozenset(self.walk) | self.neighbors
+
+    def has_edge(self, src: int, dst: int, label: int) -> bool:
+        return (src, dst, label) in self.edges
+
+
+def visible_subgraph(
+    graph: Graph,
+    walk: Iterable[int],
+    edge_labels: Iterable[int] = (),
+) -> VisibleSubgraph:
+    """Compute the visible subgraph of a walk.
+
+    ``edge_labels`` optionally restricts visibility to the labels present
+    in a query — the G-CARE extension that makes IMPR's walks label-aware.
+    Edges are visible iff at least one endpoint is a walk vertex.
+    """
+    walk = tuple(walk)
+    walk_set = set(walk)
+    allowed = set(edge_labels)
+    neighbors: Set[int] = set()
+    edges: Set[Edge] = set()
+    for v in walk_set:
+        for label, dsts in graph.out_label_map(v).items():
+            if allowed and label not in allowed:
+                continue
+            for dst in dsts:
+                edges.add((v, dst, label))
+                if dst not in walk_set:
+                    neighbors.add(dst)
+        for label, srcs in graph.in_label_map(v).items():
+            if allowed and label not in allowed:
+                continue
+            for src in srcs:
+                edges.add((src, v, label))
+                if src not in walk_set:
+                    neighbors.add(src)
+    return VisibleSubgraph(walk, frozenset(neighbors), frozenset(edges))

@@ -1,0 +1,26 @@
+"""Evaluation measures (paper, Section 5.1)."""
+
+from .charts import bar, render_signed_chart
+from .qerror import (
+    QErrorSummary,
+    geometric_mean,
+    is_underestimate,
+    percentile,
+    qerror,
+    signed_qerror,
+)
+from .report import format_value, render_grouped_qerrors, render_table
+
+__all__ = [
+    "QErrorSummary",
+    "bar",
+    "render_signed_chart",
+    "format_value",
+    "geometric_mean",
+    "is_underestimate",
+    "percentile",
+    "qerror",
+    "render_grouped_qerrors",
+    "render_table",
+    "signed_qerror",
+]

@@ -1,0 +1,78 @@
+"""ASCII bar charts for signed q-errors.
+
+The paper's accuracy figures are log-scale bar charts whose y-axis is the
+q-error with the under/over-estimation direction made explicit (Section
+5.1: "since the q-error alone does not differentiate the under/over-
+estimation, we represent it explicitly on the y-axis").  This module
+renders the same form in plain text: one row per group, one bar per
+technique, bars growing left for underestimation and right for
+overestimation, with log-scaled lengths.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence
+
+#: glyphs for the two directions
+UNDER_GLYPH = "<"
+OVER_GLYPH = ">"
+
+
+def bar(signed_qerror: float, half_width: int = 20, max_magnitude: float = 1e6) -> str:
+    """Render one signed q-error as a centered ASCII bar.
+
+    ``signed_qerror`` follows :func:`repro.metrics.qerror.signed_qerror`:
+    magnitude >= 1, sign = estimation direction.  The bar is log-scaled:
+    each character is a constant factor, the full half-width spans
+    ``max_magnitude``.
+    """
+    magnitude = abs(signed_qerror)
+    if magnitude < 1.0 or math.isnan(magnitude):
+        magnitude = 1.0
+    scale = math.log10(max(magnitude, 1.0)) / math.log10(max_magnitude)
+    length = min(half_width, int(round(scale * half_width)))
+    if signed_qerror < 0:
+        left = UNDER_GLYPH * length
+        return left.rjust(half_width) + "|" + " " * half_width
+    right = OVER_GLYPH * length
+    return " " * half_width + "|" + right.ljust(half_width)
+
+
+def render_signed_chart(
+    group_name: str,
+    groups: Sequence[str],
+    per_technique: Mapping[str, Mapping[str, Optional[float]]],
+    half_width: int = 20,
+    max_magnitude: float = 1e6,
+    title: Optional[str] = None,
+) -> str:
+    """Figure-style chart: per group, one signed bar per technique.
+
+    ``per_technique[technique][group]`` is a signed q-error (None for
+    unsupported combinations).  The chart is the textual cousin of the
+    paper's Figures 6-9: direction at a glance, magnitude on a log scale.
+    """
+    label_width = max(
+        [len(g) for g in groups] + [len(t) for t in per_technique] + [4]
+    )
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    axis = (
+        " " * (label_width + 2)
+        + f"under {UNDER_GLYPH * 3}".ljust(half_width)
+        + "1"
+        + f"{OVER_GLYPH * 3} over".rjust(half_width)
+    )
+    lines.append(axis)
+    for group in groups:
+        lines.append(f"{group}:")
+        for technique, values in per_technique.items():
+            value = values.get(group)
+            if value is None:
+                body = "(cannot process)".center(2 * half_width + 1)
+            else:
+                body = bar(value, half_width, max_magnitude)
+            lines.append(f"  {technique.rjust(label_width)} {body}")
+    return "\n".join(lines)

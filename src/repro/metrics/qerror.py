@@ -1,0 +1,98 @@
+"""The q-error accuracy measure (paper, Section 5.1).
+
+q-error = max( max(1,c)/max(1,c_hat), max(1,c_hat)/max(1,c) )
+
+where ``c`` is the true cardinality and ``c_hat`` the estimate.  Because
+the q-error alone does not distinguish under- from over-estimation, the
+paper plots it with an explicit sign; :func:`signed_qerror` returns the
+negative q-error for underestimates accordingly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+
+def qerror(true_cardinality: float, estimate: float) -> float:
+    """The q-error of an estimate (>= 1.0; 1.0 is a perfect estimate)."""
+    if true_cardinality < 0 or estimate < 0:
+        raise ValueError("cardinalities cannot be negative")
+    true_clamped = max(1.0, true_cardinality)
+    estimate_clamped = max(1.0, estimate)
+    return max(true_clamped / estimate_clamped, estimate_clamped / true_clamped)
+
+
+def signed_qerror(true_cardinality: float, estimate: float) -> float:
+    """q-error with sign: negative for underestimation (paper's y-axis)."""
+    value = qerror(true_cardinality, estimate)
+    if max(1.0, estimate) < max(1.0, true_cardinality):
+        return -value
+    return value
+
+
+def is_underestimate(true_cardinality: float, estimate: float) -> bool:
+    return max(1.0, estimate) < max(1.0, true_cardinality)
+
+
+@dataclass
+class QErrorSummary:
+    """Distributional summary of q-errors over a query set.
+
+    The paper reports mean and standard deviation for LUBM and the
+    5/25/50/75/95 percentiles for the other datasets (Section 5.1).
+    """
+
+    count: int
+    mean: float
+    std: float
+    percentiles: Dict[int, float]
+    underestimated_fraction: float
+    failures: int = 0
+
+    @classmethod
+    def from_pairs(
+        cls,
+        pairs: Sequence[tuple],
+        failures: int = 0,
+    ) -> "QErrorSummary":
+        """Build a summary from (true_cardinality, estimate) pairs."""
+        values = sorted(qerror(c, e) for c, e in pairs)
+        if not values:
+            return cls(0, float("nan"), float("nan"), {}, float("nan"), failures)
+        n = len(values)
+        mean = sum(values) / n
+        variance = sum((v - mean) ** 2 for v in values) / n
+        percentiles = {
+            p: percentile(values, p) for p in (5, 25, 50, 75, 95)
+        }
+        under = sum(1 for c, e in pairs if is_underestimate(c, e)) / n
+        return cls(n, mean, math.sqrt(variance), percentiles, under, failures)
+
+    @property
+    def median(self) -> float:
+        return self.percentiles.get(50, float("nan"))
+
+
+def percentile(sorted_values: Sequence[float], p: float) -> float:
+    """Linear-interpolation percentile of pre-sorted values."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty sequence")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = (p / 100.0) * (len(sorted_values) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return sorted_values[low]
+    fraction = rank - low
+    return sorted_values[low] * (1 - fraction) + sorted_values[high] * fraction
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, the natural average for ratio-scale q-errors."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    return math.exp(sum(math.log(max(v, 1e-300)) for v in values) / len(values))

@@ -1,0 +1,70 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harness regenerates the paper's figures as text tables: one
+row per group (query / bucket / topology / size) and one column block per
+technique.  Keeping rendering here lets every bench print consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_value(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000 or (0 < abs(value) < 0.01):
+            return f"{value:.2e}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    formatted = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in formatted)
+    return "\n".join(lines)
+
+
+def render_grouped_qerrors(
+    group_name: str,
+    groups: Sequence[str],
+    per_technique: Mapping[str, Mapping[str, object]],
+    metric: str = "median q-error",
+    title: Optional[str] = None,
+) -> str:
+    """Table with one row per group and one column per technique.
+
+    ``per_technique[technique][group]`` holds the metric value (or None for
+    unsupported/failed combinations, rendered as '-').
+    """
+    headers = [group_name] + list(per_technique.keys())
+    rows = []
+    for group in groups:
+        row: List[object] = [group]
+        for technique in per_technique:
+            row.append(per_technique[technique].get(group))
+        rows.append(row)
+    return render_table(headers, rows, title=title)

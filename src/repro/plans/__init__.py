@@ -1,0 +1,30 @@
+"""RDF-3X-style plan-quality study substrate (paper, Section 6.5)."""
+
+from .calibrate import CalibrationReport, calibrate
+from .cost import CostModel
+from .executor import ExecutionResult, PlanExecutor
+from .optimizer import (
+    CardinalityOracle,
+    EstimatorOracle,
+    Plan,
+    PlanOptimizer,
+    TrueCardinalityOracle,
+)
+from .study import PlanQualityRecord, PlanQualityStudy, records_as_table
+
+__all__ = [
+    "CalibrationReport",
+    "CardinalityOracle",
+    "CostModel",
+    "EstimationResult",
+    "EstimatorOracle",
+    "ExecutionResult",
+    "Plan",
+    "PlanExecutor",
+    "PlanOptimizer",
+    "PlanQualityRecord",
+    "PlanQualityStudy",
+    "TrueCardinalityOracle",
+    "calibrate",
+    "records_as_table",
+]

@@ -1,0 +1,455 @@
+"""Cost-based join optimizer in the style of RDF-3X (paper, Section 6.5).
+
+The optimizer enumerates plans bottom-up over *connected* subqueries
+(dynamic programming a la Selinger / RDF-3X), tracking interesting orders:
+every base relation can be delivered sorted on either of its attributes
+(RDF-3X's six triple indexes), merge join is used when both inputs are
+sorted on the join attribute, hash join otherwise, and — the strategy the
+paper added — a sort enforcer on a small unsorted input can turn a hash
+join into a (cheaper) merge join.
+
+Cardinalities of intermediate results come from a pluggable
+:class:`CardinalityOracle`; Section 6.5 feeds the oracle from each
+estimation technique (and from true cardinalities, "TC") and compares the
+resulting plans' execution times.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..core.errors import GCareError, UnsupportedQueryError
+from ..graph.digraph import Graph
+from ..graph.query import QueryGraph
+from ..matching.homomorphism import count_embeddings
+from .cost import CostModel
+
+EdgeSet = FrozenSet[int]
+
+
+# ---------------------------------------------------------------------------
+# cardinality oracles
+# ---------------------------------------------------------------------------
+class CardinalityOracle(abc.ABC):
+    """Supplies cardinalities of connected subqueries to the optimizer."""
+
+    @abc.abstractmethod
+    def cardinality(self, query: QueryGraph, edge_indices: EdgeSet) -> float:
+        """Estimated cardinality of the subquery on the given edges."""
+
+
+class TrueCardinalityOracle(CardinalityOracle):
+    """Exact cardinalities (the paper's "TC" baseline), memoized."""
+
+    def __init__(self, graph: Graph, time_limit: float = 30.0) -> None:
+        self.graph = graph
+        self.time_limit = time_limit
+        self._cache: Dict[Tuple, float] = {}
+
+    def cardinality(self, query: QueryGraph, edge_indices: EdgeSet) -> float:
+        subquery, _ = query.subquery(sorted(edge_indices)).compact()
+        key = subquery.canonical_key()
+        cached = self._cache.get(key)
+        if cached is None:
+            result = count_embeddings(
+                self.graph, subquery, time_limit=self.time_limit
+            )
+            cached = float(result.count)
+            self._cache[key] = cached
+        return cached
+
+
+class EstimatorOracle(CardinalityOracle):
+    """Cardinalities from one estimation technique, memoized.
+
+    Failures (unsupported query shapes, timeouts) fall back to a pessimistic
+    default, mirroring how an optimizer must cope when its estimator cannot
+    produce a number.
+    """
+
+    def __init__(self, estimator, fallback: float = 1.0) -> None:
+        self.estimator = estimator
+        self.fallback = fallback
+        self._cache: Dict[Tuple, float] = {}
+
+    def cardinality(self, query: QueryGraph, edge_indices: EdgeSet) -> float:
+        subquery, _ = query.subquery(sorted(edge_indices)).compact()
+        key = subquery.canonical_key()
+        cached = self._cache.get(key)
+        if cached is None:
+            try:
+                cached = self.estimator.estimate(subquery).estimate
+            except GCareError:
+                cached = self.fallback
+            self._cache[key] = cached
+        return cached
+
+
+# ---------------------------------------------------------------------------
+# plan nodes
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Plan:
+    """A physical plan node (immutable; children embedded)."""
+
+    op: str  # "scan" | "sort" | "merge" | "hash" | "inl"
+    edges: EdgeSet
+    cost: float
+    cardinality: float
+    sorted_on: Optional[int]  # query vertex the output is sorted on
+    scan_edge: Optional[int] = None
+    sort_attr: Optional[int] = None
+    left: Optional["Plan"] = None
+    right: Optional["Plan"] = None
+    join_attrs: Tuple[int, ...] = ()
+
+    def describe(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        if self.op == "scan":
+            me = f"{pad}Scan(edge={self.scan_edge}, sorted_on=u{self.sorted_on})"
+        elif self.op == "sort":
+            me = f"{pad}Sort(on=u{self.sort_attr})"
+        else:
+            name = {"merge": "MergeJoin", "hash": "HashJoin",
+                    "inl": "IndexNLJoin"}[self.op]
+            attrs = ",".join(f"u{a}" for a in self.join_attrs)
+            me = f"{pad}{name}(on={attrs})"
+        me += f"  [card~{self.cardinality:.0f}, cost~{self.cost:.0f}]"
+        parts = [me]
+        for child in (self.left, self.right):
+            if child is not None:
+                parts.append(child.describe(indent + 1))
+        return "\n".join(parts)
+
+    def count_ops(self, op: str) -> int:
+        total = 1 if self.op == op else 0
+        for child in (self.left, self.right):
+            if child is not None:
+                total += child.count_ops(op)
+        return total
+
+
+# ---------------------------------------------------------------------------
+# the optimizer
+# ---------------------------------------------------------------------------
+class PlanOptimizer:
+    """DP over connected subqueries with interesting orders."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        oracle: CardinalityOracle,
+        cost_model: Optional[CostModel] = None,
+        max_edges: int = 10,
+        enable_nested_loop: bool = False,
+    ) -> None:
+        """``enable_nested_loop`` adds index nested-loop join plans — the
+        paper notes that with more diverse plans such as nested loop join,
+        "bad estimates can easily lead to suboptimal plans" (Section 6.5);
+        the flag lets the study quantify exactly that."""
+        self.graph = graph
+        self.oracle = oracle
+        self.cost_model = cost_model or CostModel()
+        self.max_edges = max_edges
+        self.enable_nested_loop = enable_nested_loop
+
+    def optimize(self, query: QueryGraph) -> Plan:
+        """Find the cheapest plan for the query under the oracle's cards."""
+        n = query.num_edges
+        if n == 0:
+            raise UnsupportedQueryError("cannot plan an empty query")
+        if n > self.max_edges:
+            raise UnsupportedQueryError(
+                f"plan search supports up to {self.max_edges} edges, got {n}"
+            )
+        # best[edge_set][sorted_on] -> Plan ; sorted_on None = no order
+        best: Dict[EdgeSet, Dict[Optional[int], Plan]] = {}
+
+        def consider(plans: Dict[Optional[int], Plan], candidate: Plan) -> None:
+            existing = plans.get(candidate.sorted_on)
+            if existing is None or candidate.cost < existing.cost:
+                plans[candidate.sorted_on] = candidate
+
+        # base case: single-edge scans, one per deliverable order
+        for i, (u, v, label) in enumerate(query.edges):
+            edge_set = frozenset([i])
+            cardinality = self.oracle.cardinality(query, edge_set)
+            plans: Dict[Optional[int], Plan] = {}
+            for sorted_on in {u, v}:
+                consider(
+                    plans,
+                    Plan(
+                        op="scan",
+                        edges=edge_set,
+                        cost=self.cost_model.scan(cardinality),
+                        cardinality=cardinality,
+                        sorted_on=sorted_on,
+                        scan_edge=i,
+                    ),
+                )
+            best[edge_set] = plans
+
+        # DP over subset sizes
+        all_edges = frozenset(range(n))
+        for size in range(2, n + 1):
+            for subset in map(frozenset, combinations(range(n), size)):
+                if not self._connected(query, subset):
+                    continue
+                cardinality = self.oracle.cardinality(query, subset)
+                plans: Dict[Optional[int], Plan] = {}
+                for left_set, right_set in self._splits(query, subset):
+                    left_plans = best.get(left_set)
+                    right_plans = best.get(right_set)
+                    if not left_plans or not right_plans:
+                        continue
+                    join_attrs = self._shared_attrs(query, left_set, right_set)
+                    if not join_attrs:
+                        continue
+                    for left in left_plans.values():
+                        for right in right_plans.values():
+                            for candidate in self._join_candidates(
+                                query, left, right, subset, join_attrs,
+                                cardinality,
+                            ):
+                                consider(plans, candidate)
+                if plans:
+                    best[subset] = plans
+        final = best.get(all_edges)
+        if not final:
+            raise UnsupportedQueryError("query is disconnected; cannot plan")
+        return min(final.values(), key=lambda p: p.cost)
+
+    # ------------------------------------------------------------------
+    def _join_candidates(
+        self,
+        query: QueryGraph,
+        left: Plan,
+        right: Plan,
+        subset: EdgeSet,
+        join_attrs: Tuple[int, ...],
+        cardinality: float,
+    ) -> List[Plan]:
+        model = self.cost_model
+        candidates: List[Plan] = []
+        # hash join: no order requirement; output unsorted
+        candidates.append(
+            Plan(
+                op="hash",
+                edges=subset,
+                cost=left.cost
+                + right.cost
+                + model.hash_join(left.cardinality, right.cardinality, cardinality),
+                cardinality=cardinality,
+                sorted_on=None,
+                left=left,
+                right=right,
+                join_attrs=join_attrs,
+            )
+        )
+        # index nested-loop join: probe the right side's *single* base
+        # relation with an index lookup per left tuple; only available when
+        # the right side is one scanned edge (an index exists)
+        right_is_probe_friendly = (
+            right.op == "scan"
+            and right.scan_edge is not None
+            and query.edges[right.scan_edge][0] != query.edges[right.scan_edge][1]
+        )
+        if (
+            self.enable_nested_loop
+            and right_is_probe_friendly
+            and len(join_attrs) >= 1
+        ):
+            candidates.append(
+                Plan(
+                    op="inl",
+                    edges=subset,
+                    cost=left.cost
+                    + model.index_nested_loop(left.cardinality, cardinality),
+                    cardinality=cardinality,
+                    sorted_on=left.sorted_on,
+                    left=left,
+                    right=right,
+                    join_attrs=join_attrs,
+                )
+            )
+        # merge join on each shared attribute, adding sorts where needed
+        for attr in join_attrs:
+            merge_left, merge_right = left, right
+            if merge_left.sorted_on != attr:
+                merge_left = Plan(
+                    op="sort",
+                    edges=merge_left.edges,
+                    cost=merge_left.cost + model.sort(merge_left.cardinality),
+                    cardinality=merge_left.cardinality,
+                    sorted_on=attr,
+                    sort_attr=attr,
+                    left=merge_left,
+                )
+            if merge_right.sorted_on != attr:
+                merge_right = Plan(
+                    op="sort",
+                    edges=merge_right.edges,
+                    cost=merge_right.cost + model.sort(merge_right.cardinality),
+                    cardinality=merge_right.cardinality,
+                    sorted_on=attr,
+                    sort_attr=attr,
+                    left=merge_right,
+                )
+            candidates.append(
+                Plan(
+                    op="merge",
+                    edges=subset,
+                    cost=merge_left.cost
+                    + merge_right.cost
+                    + model.merge_join(
+                        merge_left.cardinality,
+                        merge_right.cardinality,
+                        cardinality,
+                    ),
+                    cardinality=cardinality,
+                    sorted_on=attr,
+                    left=merge_left,
+                    right=merge_right,
+                    join_attrs=(attr,),
+                )
+            )
+        return candidates
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _connected(query: QueryGraph, subset: EdgeSet) -> bool:
+        edges = [query.edges[i] for i in subset]
+        vertices = {u for u, _, _ in edges} | {v for _, v, _ in edges}
+        if not vertices:
+            return False
+        adjacency: Dict[int, set] = {v: set() for v in vertices}
+        for u, v, _ in edges:
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+        start = next(iter(vertices))
+        seen = {start}
+        stack = [start]
+        while stack:
+            x = stack.pop()
+            for y in adjacency[x]:
+                if y not in seen:
+                    seen.add(y)
+                    stack.append(y)
+        return seen == vertices
+
+    def _splits(
+        self, query: QueryGraph, subset: EdgeSet
+    ) -> List[Tuple[EdgeSet, EdgeSet]]:
+        """Connected (left, right) partitions of the subset."""
+        items = sorted(subset)
+        result = []
+        # iterate proper non-empty subsets; avoid mirrored duplicates by
+        # pinning the first element to the left side
+        rest = items[1:]
+        for mask in range(1 << len(rest)):
+            left = {items[0]}
+            for bit, edge in enumerate(rest):
+                if mask & (1 << bit):
+                    left.add(edge)
+            right = subset - left
+            if not right:
+                continue
+            left_frozen = frozenset(left)
+            right_frozen = frozenset(right)
+            if self._connected(query, left_frozen) and self._connected(
+                query, right_frozen
+            ):
+                result.append((left_frozen, right_frozen))
+        return result
+
+    @staticmethod
+    def _shared_attrs(
+        query: QueryGraph, left: EdgeSet, right: EdgeSet
+    ) -> Tuple[int, ...]:
+        def vertices(edge_set: EdgeSet) -> set:
+            result = set()
+            for i in edge_set:
+                u, v, _ = query.edges[i]
+                result.update((u, v))
+            return result
+
+        return tuple(sorted(vertices(left) & vertices(right)))
+
+
+# ---------------------------------------------------------------------------
+# validity ranges (Section 6.5's analysis tool, after Markl et al. [27])
+# ---------------------------------------------------------------------------
+def validity_range(
+    optimizer: "PlanOptimizer",
+    query: QueryGraph,
+    plan: Plan,
+    subset: EdgeSet,
+    factors: Sequence[float] = (
+        0.01, 0.03, 0.1, 0.3, 0.5, 2.0, 3.0, 10.0, 30.0, 100.0,
+    ),
+) -> Tuple[float, float]:
+    """Cardinality range of a subquery within which ``plan`` stays optimal.
+
+    The paper explains plan robustness through *validity ranges*: "a range
+    on the number of rows flowing through, such that if the range is not
+    violated at runtime, we can guarantee that P is optimal with respect to
+    the cost model".  Wide ranges mean bad estimates are harmless (the
+    star-query effect); narrow ranges mean slight errors flip the plan.
+
+    We approximate the range by parametric search: re-optimize with the
+    subquery's cardinality scaled by each factor and record the largest
+    contiguous interval around 1.0 in which the chosen plan's structure is
+    unchanged.  Returns ``(low, high)`` as multiples of the true value.
+    """
+    base = optimizer.oracle.cardinality(query, subset)
+    reference = _plan_signature(plan)
+    low, high = 1.0, 1.0
+    for factor in sorted((f for f in factors if f < 1.0), reverse=True):
+        scaled = _ScaledOracle(optimizer.oracle, subset, factor)
+        candidate = PlanOptimizer(
+            optimizer.graph, scaled, optimizer.cost_model,
+            optimizer.max_edges, optimizer.enable_nested_loop,
+        ).optimize(query)
+        if _plan_signature(candidate) != reference:
+            break
+        low = factor
+    for factor in sorted(f for f in factors if f > 1.0):
+        scaled = _ScaledOracle(optimizer.oracle, subset, factor)
+        candidate = PlanOptimizer(
+            optimizer.graph, scaled, optimizer.cost_model,
+            optimizer.max_edges, optimizer.enable_nested_loop,
+        ).optimize(query)
+        if _plan_signature(candidate) != reference:
+            break
+        high = factor
+    return (low * base, high * base)
+
+
+def _plan_signature(plan: Plan) -> Tuple:
+    """Structural identity of a plan (operators + shape, not costs)."""
+    children = tuple(
+        _plan_signature(child)
+        for child in (plan.left, plan.right)
+        if child is not None
+    )
+    return (plan.op, plan.scan_edge, plan.sort_attr, plan.join_attrs, children)
+
+
+class _ScaledOracle(CardinalityOracle):
+    """Wraps an oracle, scaling one subquery's cardinality by a factor."""
+
+    def __init__(
+        self, base: CardinalityOracle, subset: EdgeSet, factor: float
+    ) -> None:
+        self.base = base
+        self.subset = subset
+        self.factor = factor
+
+    def cardinality(self, query: QueryGraph, edge_indices: EdgeSet) -> float:
+        value = self.base.cardinality(query, edge_indices)
+        if edge_indices == self.subset:
+            return value * self.factor
+        return value

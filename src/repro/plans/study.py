@@ -1,0 +1,100 @@
+"""The plan-quality study (paper, Section 6.5).
+
+For each query and each estimation technique, feed the technique's
+cardinalities into the optimizer, execute the resulting plan, and compare
+execution times against the plan built from true cardinalities ("TC").
+The paper's conclusions — bad estimates can produce significantly worse
+plans, star queries are robust (wide validity ranges), accurate
+cardinality estimation should be the first priority — are reproduced by
+this harness.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..core.errors import GCareError
+from ..core.framework import Estimator
+from ..graph.digraph import Graph
+from ..graph.query import QueryGraph
+from .cost import CostModel
+from .executor import ExecutionResult, PlanExecutor
+from .optimizer import (
+    CardinalityOracle,
+    EstimatorOracle,
+    Plan,
+    PlanOptimizer,
+    TrueCardinalityOracle,
+)
+
+
+@dataclass
+class PlanQualityRecord:
+    """Outcome of planning + executing one query with one oracle."""
+
+    query_name: str
+    technique: str
+    plan: Optional[Plan]
+    execution: Optional[ExecutionResult]
+    error: Optional[str] = None
+
+    @property
+    def elapsed(self) -> Optional[float]:
+        return self.execution.elapsed if self.execution else None
+
+
+@dataclass
+class PlanQualityStudy:
+    """Runs Section 6.5 for a set of queries and techniques."""
+
+    graph: Graph
+    cost_model: CostModel = field(default_factory=CostModel)
+
+    def run(
+        self,
+        queries: Mapping[str, QueryGraph],
+        estimators: Mapping[str, Estimator],
+        include_true_cardinality: bool = True,
+    ) -> List[PlanQualityRecord]:
+        """Plan and execute every query under every technique's estimates."""
+        executor = PlanExecutor(self.graph)
+        oracles: Dict[str, CardinalityOracle] = {}
+        if include_true_cardinality:
+            oracles["TC"] = TrueCardinalityOracle(self.graph)
+        for name, estimator in estimators.items():
+            oracles[name] = EstimatorOracle(estimator)
+        records: List[PlanQualityRecord] = []
+        for query_name, query in queries.items():
+            for technique, oracle in oracles.items():
+                records.append(
+                    self._run_one(executor, query_name, query, technique, oracle)
+                )
+        return records
+
+    def _run_one(
+        self,
+        executor: PlanExecutor,
+        query_name: str,
+        query: QueryGraph,
+        technique: str,
+        oracle: CardinalityOracle,
+    ) -> PlanQualityRecord:
+        optimizer = PlanOptimizer(self.graph, oracle, self.cost_model)
+        try:
+            plan = optimizer.optimize(query)
+        except GCareError as exc:
+            return PlanQualityRecord(query_name, technique, None, None, str(exc))
+        execution = executor.execute(query, plan)
+        return PlanQualityRecord(query_name, technique, plan, execution)
+
+
+def records_as_table(
+    records: Sequence[PlanQualityRecord],
+) -> Dict[str, Dict[str, Optional[float]]]:
+    """Pivot records into {technique: {query: elapsed seconds}}."""
+    table: Dict[str, Dict[str, Optional[float]]] = {}
+    for record in records:
+        table.setdefault(record.technique, {})[record.query_name] = record.elapsed
+    return table

@@ -1,0 +1,14 @@
+"""Relational view of subgraph queries (Section 4 of the paper)."""
+
+from .catalog import build_relations, edge_relations
+from .joingraph import JoinQueryGraph
+from .relation import EdgeRelation, RelationInstance, VertexRelation
+
+__all__ = [
+    "EdgeRelation",
+    "JoinQueryGraph",
+    "RelationInstance",
+    "VertexRelation",
+    "build_relations",
+    "edge_relations",
+]

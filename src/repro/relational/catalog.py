@@ -1,0 +1,59 @@
+"""Translation of a subgraph query into its relational join query."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..graph.digraph import Graph
+from ..graph.query import QueryGraph
+from .relation import EdgeRelation, RelationInstance, VertexRelation
+
+
+def build_relations(
+    query: QueryGraph,
+    graph: Graph,
+    include_vertex_relations: bool = True,
+) -> List[RelationInstance]:
+    """Build the relation instances of the join query for ``query``.
+
+    One :class:`EdgeRelation` per query edge and, when
+    ``include_vertex_relations`` is set, one :class:`VertexRelation` per
+    (query vertex, vertex label) pair — Section 4's vertical-partitioning
+    encoding of the data graph.
+    """
+    instances: List[RelationInstance] = [
+        EdgeRelation(graph, u, v, label) for u, v, label in query.edges
+    ]
+    if include_vertex_relations:
+        for u in range(query.num_vertices):
+            for label in sorted(query.vertex_labels[u]):
+                instances.append(VertexRelation(graph, u, label))
+    return instances
+
+
+def filtered_edge_relations(
+    query: QueryGraph, graph: Graph
+) -> List[EdgeRelation]:
+    """Edge relations with the query's vertex labels pushed down as filters.
+
+    This is the access-path view WanderJoin walks over: label predicates
+    prune candidate tuples during the walk rather than invalidating the
+    sample afterwards (and they keep the join query graph small — one
+    instance per query edge).
+    """
+    return [
+        EdgeRelation(
+            graph,
+            u,
+            v,
+            label,
+            src_labels=query.vertex_labels[u],
+            dst_labels=query.vertex_labels[v],
+        )
+        for u, v, label in query.edges
+    ]
+
+
+def edge_relations(query: QueryGraph, graph: Graph) -> List[EdgeRelation]:
+    """Only the binary (edge) relation instances of the join query."""
+    return [EdgeRelation(graph, u, v, label) for u, v, label in query.edges]

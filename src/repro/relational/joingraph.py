@@ -1,0 +1,144 @@
+"""Join query graph (Q') over relation instances.
+
+WanderJoin (Section 4.2) views the join query as a graph whose vertices are
+the relation instances and whose edges are join conditions (shared query
+vertices).  A *walk order* is an ordering of the instances in which every
+instance after the first shares an attribute with some earlier instance; the
+earliest such instance is its spanning-tree parent ``p(i)``.  Random walks
+sample a tuple per instance from the join with the parent tuple only, and
+the remaining (non-tree) join conditions are validated at the end.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .relation import Binding, RelationInstance
+
+WalkOrder = Tuple[int, ...]
+
+
+class JoinQueryGraph:
+    """The join query graph Q' over a list of relation instances."""
+
+    def __init__(self, instances: Sequence[RelationInstance]) -> None:
+        self.instances = list(instances)
+        n = len(self.instances)
+        self.adjacency: List[Set[int]] = [set() for _ in range(n)]
+        for i in range(n):
+            for j in range(i + 1, n):
+                if set(self.instances[i].attrs) & set(self.instances[j].attrs):
+                    self.adjacency[i].add(j)
+                    self.adjacency[j].add(i)
+
+    @property
+    def num_instances(self) -> int:
+        return len(self.instances)
+
+    def attributes(self) -> Set[int]:
+        """All join attributes (query vertices) of the join query."""
+        result: Set[int] = set()
+        for inst in self.instances:
+            result.update(inst.attrs)
+        return result
+
+    def is_connected(self) -> bool:
+        if not self.instances:
+            return False
+        seen = {0}
+        stack = [0]
+        while stack:
+            i = stack.pop()
+            for j in self.adjacency[i]:
+                if j not in seen:
+                    seen.add(j)
+                    stack.append(j)
+        return len(seen) == len(self.instances)
+
+    # ------------------------------------------------------------------
+    # walk orders
+    # ------------------------------------------------------------------
+    def walk_orders(self, max_orders: int = 64) -> List[WalkOrder]:
+        """Enumerate walk orders (connected orderings), up to a cap.
+
+        The paper enumerates all possible walk orders; their number grows
+        exponentially with the query size, so we enumerate depth-first from
+        every start instance and stop at ``max_orders``.  The enumeration is
+        deterministic, which keeps experiments reproducible.
+        """
+        n = len(self.instances)
+        orders: List[WalkOrder] = []
+
+        def extend(prefix: List[int], used: Set[int]) -> None:
+            if len(orders) >= max_orders:
+                return
+            if len(prefix) == n:
+                orders.append(tuple(prefix))
+                return
+            frontier = sorted(
+                j
+                for j in range(n)
+                if j not in used and any(j in self.adjacency[i] for i in prefix)
+            )
+            for j in frontier:
+                prefix.append(j)
+                used.add(j)
+                extend(prefix, used)
+                prefix.pop()
+                used.discard(j)
+                if len(orders) >= max_orders:
+                    return
+
+        for start in range(n):
+            extend([start], {start})
+            if len(orders) >= max_orders:
+                break
+        return orders
+
+    def parent(self, order: WalkOrder, position: int) -> int:
+        """Spanning-tree parent p(i): earliest joinable predecessor."""
+        i = order[position]
+        for earlier_pos in range(position):
+            j = order[earlier_pos]
+            if j in self.adjacency[i]:
+                return j
+        raise ValueError("order is not a walk order")
+
+    # ------------------------------------------------------------------
+    # random walks
+    # ------------------------------------------------------------------
+    def random_walk(
+        self, order: WalkOrder, rng: random.Random
+    ) -> Tuple[bool, float]:
+        """Perform one WanderJoin random walk along ``order``.
+
+        Returns ``(valid, inverse_probability)``; invalid walks (a dead end
+        or a failed non-tree join condition) return ``(False, 0.0)``.
+        """
+        binding: Binding = {}
+        inverse_probability = 1.0
+        for position, idx in enumerate(order):
+            inst = self.instances[idx]
+            if position == 0:
+                size = inst.size()
+                if size == 0:
+                    return False, 0.0
+                chosen = inst.sample(rng)
+                inverse_probability *= size
+            else:
+                parent_idx = self.parent(order, position)
+                shared = set(self.instances[parent_idx].attrs) & set(inst.attrs)
+                parent_binding = {a: binding[a] for a in shared}
+                extensions = inst.extensions(parent_binding)
+                if not extensions:
+                    return False, 0.0
+                chosen = extensions[rng.randrange(len(extensions))]
+                inverse_probability *= len(extensions)
+                # validate non-tree join conditions against the full binding
+                for attr, value in zip(inst.attrs, chosen):
+                    if attr in binding and binding[attr] != value:
+                        return False, 0.0
+            for attr, value in zip(inst.attrs, chosen):
+                binding[attr] = value
+        return True, inverse_probability

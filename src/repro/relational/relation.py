@@ -1,0 +1,199 @@
+"""Relational view of a graph query.
+
+Section 4 of the paper: an edge with label ``l`` is a tuple of the binary
+relation ``R_l(src, dst)`` and a vertex with label ``A`` is a tuple of the
+unary relation ``R_A(v)``.  A subgraph query then becomes a join query whose
+join attributes are the query vertices.
+
+A :class:`RelationInstance` is one *occurrence* of a base relation in the
+join query — e.g. a triangle query uses three instances that may share the
+same base edge relation.  Instances know their join attributes (the query
+vertices they bind) and answer the access-path questions the relational
+estimators ask:
+
+* enumerate / count all tuples (CorrelatedSampling, BoundSketch),
+* uniformly sample a tuple (WanderJoin's first step, JSUB),
+* enumerate / count the tuples compatible with a partial binding of the
+  query vertices (WanderJoin's walk step, JSUB's exact-weight DP).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..graph.digraph import Graph
+
+Binding = Dict[int, int]
+
+
+class RelationInstance:
+    """Base class: one occurrence of a relation in a join query."""
+
+    #: query vertices bound by this instance, in tuple position order
+    attrs: Tuple[int, ...]
+    #: human-readable name, e.g. "R_a(u0,u1)"
+    name: str
+
+    def size(self) -> int:
+        """|R| — the number of tuples in the base relation."""
+        raise NotImplementedError
+
+    def tuples(self) -> Iterator[Tuple[int, ...]]:
+        """All tuples of the base relation."""
+        raise NotImplementedError
+
+    def sample(self, rng: random.Random) -> Optional[Tuple[int, ...]]:
+        """A uniformly random tuple, or None if the relation is empty."""
+        raise NotImplementedError
+
+    def extensions(self, binding: Binding) -> List[Tuple[int, ...]]:
+        """Tuples consistent with the bound subset of this instance's attrs."""
+        raise NotImplementedError
+
+    def count_extensions(self, binding: Binding) -> int:
+        return len(self.extensions(binding))
+
+    def bound_attrs(self, binding: Binding) -> List[int]:
+        return [a for a in self.attrs if a in binding]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return self.name
+
+
+class EdgeRelation(RelationInstance):
+    """Binary relation R_l(src, dst) for one query edge ``u --l--> v``.
+
+    Optional endpoint label sets turn the relation into the *filtered*
+    view ``sigma_labels(R_l)`` — the access path a triple store with
+    type-aware indexes exposes.  WanderJoin walks over filtered edge
+    relations so vertex-label predicates prune the walk instead of
+    failing it afterwards.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        u: int,
+        v: int,
+        label: int,
+        src_labels: frozenset = frozenset(),
+        dst_labels: frozenset = frozenset(),
+    ) -> None:
+        self.graph = graph
+        self.label = label
+        self.attrs = (u, v)
+        self.src_labels = frozenset(src_labels)
+        self.dst_labels = frozenset(dst_labels)
+        self.name = f"R_e{label}(u{u},u{v})"
+        self._filtered: Optional[List[Tuple[int, int]]] = None
+
+    def _endpoint_ok(self, value: int, labels: frozenset) -> bool:
+        return not labels or labels <= self.graph.vertex_labels(value)
+
+    def _pairs(self) -> List[Tuple[int, int]]:
+        if not self.src_labels and not self.dst_labels:
+            return self.graph.edges_with_label(self.label)
+        if self._filtered is None:
+            self._filtered = [
+                (s, d)
+                for s, d in self.graph.edges_with_label(self.label)
+                if self._endpoint_ok(s, self.src_labels)
+                and self._endpoint_ok(d, self.dst_labels)
+            ]
+        return self._filtered
+
+    def size(self) -> int:
+        return len(self._pairs())
+
+    def tuples(self) -> Iterator[Tuple[int, ...]]:
+        return iter(self._pairs())
+
+    def sample(self, rng: random.Random) -> Optional[Tuple[int, ...]]:
+        pairs = self._pairs()
+        if not pairs:
+            return None
+        return pairs[rng.randrange(len(pairs))]
+
+    def extensions(self, binding: Binding) -> List[Tuple[int, ...]]:
+        u, v = self.attrs
+        src = binding.get(u)
+        dst = binding.get(v)
+        if src is not None and dst is not None:
+            if (
+                self.graph.has_edge(src, dst, self.label)
+                and self._endpoint_ok(src, self.src_labels)
+                and self._endpoint_ok(dst, self.dst_labels)
+            ):
+                return [(src, dst)]
+            return []
+        if src is not None:
+            if not self._endpoint_ok(src, self.src_labels):
+                return []
+            return [
+                (src, w)
+                for w in self.graph.out_neighbors(src, self.label)
+                if self._endpoint_ok(w, self.dst_labels)
+            ]
+        if dst is not None:
+            if not self._endpoint_ok(dst, self.dst_labels):
+                return []
+            return [
+                (w, dst)
+                for w in self.graph.in_neighbors(dst, self.label)
+                if self._endpoint_ok(w, self.src_labels)
+            ]
+        return list(self.tuples())
+
+    def count_extensions(self, binding: Binding) -> int:
+        u, v = self.attrs
+        src = binding.get(u)
+        dst = binding.get(v)
+        if src is None and dst is None:
+            return self.size()
+        if (src is None) != (dst is None) and not (
+            self.src_labels or self.dst_labels
+        ):
+            # unfiltered single-endpoint case: adjacency list length
+            if src is not None:
+                return len(self.graph.out_neighbors(src, self.label))
+            return len(self.graph.in_neighbors(dst, self.label))
+        return len(self.extensions(binding))
+
+
+class VertexRelation(RelationInstance):
+    """Unary relation R_A(v) for one label of a labeled query vertex."""
+
+    def __init__(self, graph: Graph, u: int, label: int) -> None:
+        self.graph = graph
+        self.label = label
+        self.attrs = (u,)
+        self.name = f"R_v{label}(u{u})"
+
+    def size(self) -> int:
+        return len(self.graph.vertices_with_label(self.label))
+
+    def tuples(self) -> Iterator[Tuple[int, ...]]:
+        return ((v,) for v in self.graph.vertices_with_label(self.label))
+
+    def sample(self, rng: random.Random) -> Optional[Tuple[int, ...]]:
+        vertices = self.graph.vertices_with_label(self.label)
+        if not vertices:
+            return None
+        return (vertices[rng.randrange(len(vertices))],)
+
+    def extensions(self, binding: Binding) -> List[Tuple[int, ...]]:
+        (u,) = self.attrs
+        value = binding.get(u)
+        if value is not None:
+            if self.label in self.graph.vertex_labels(value):
+                return [(value,)]
+            return []
+        return [(v,) for v in self.graph.vertices_with_label(self.label)]
+
+    def count_extensions(self, binding: Binding) -> int:
+        (u,) = self.attrs
+        value = binding.get(u)
+        if value is not None:
+            return 1 if self.label in self.graph.vertex_labels(value) else 0
+        return self.size()

@@ -1,0 +1,29 @@
+"""Test query workloads (paper, Section 5.3)."""
+
+from . import dbpedia_queries, lubm_queries
+from .buckets import (
+    MAX_RESULT_SIZE,
+    RESULT_SIZE_BUCKETS,
+    bucket_label,
+    bucket_labels,
+    bucket_of,
+)
+from .generator import QueryGenerator, WorkloadQuery
+from .patterns import format_query, parse_query
+from .store import load_workload, save_workload
+
+__all__ = [
+    "MAX_RESULT_SIZE",
+    "QueryGenerator",
+    "RESULT_SIZE_BUCKETS",
+    "WorkloadQuery",
+    "bucket_label",
+    "bucket_labels",
+    "bucket_of",
+    "dbpedia_queries",
+    "format_query",
+    "load_workload",
+    "parse_query",
+    "lubm_queries",
+    "save_workload",
+]

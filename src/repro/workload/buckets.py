@@ -1,0 +1,46 @@
+"""Result-size buckets (paper, Table 1)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+#: (low, high] result-size buckets used throughout the evaluation
+RESULT_SIZE_BUCKETS: Tuple[Tuple[int, int], ...] = (
+    (0, 10),
+    (10, 10**2),
+    (10**2, 10**3),
+    (10**3, 10**4),
+    (10**4, 10**5),
+    (10**5, 10**6),
+)
+
+#: the largest cardinality the evaluation considers
+MAX_RESULT_SIZE = RESULT_SIZE_BUCKETS[-1][1]
+
+
+def bucket_of(cardinality: int) -> Optional[Tuple[int, int]]:
+    """The (low, high] bucket containing ``cardinality``, if any."""
+    for low, high in RESULT_SIZE_BUCKETS:
+        if low < cardinality <= high:
+            return (low, high)
+    return None
+
+
+def bucket_label(bucket: Tuple[int, int]) -> str:
+    """Human-readable bucket name, e.g. ``"(10^2,10^3]"``."""
+
+    def fmt(value: int) -> str:
+        if value == 0:
+            return "0"
+        exponent = len(str(value)) - 1
+        if value == 10**exponent:
+            return "10" if exponent == 1 else f"10^{exponent}"
+        return str(value)
+
+    low, high = bucket
+    return f"({fmt(low)},{fmt(high)}]"
+
+
+def bucket_labels() -> List[str]:
+    """Labels of all buckets, smallest first."""
+    return [bucket_label(b) for b in RESULT_SIZE_BUCKETS]

@@ -1,0 +1,47 @@
+"""Analogues of the paper's DBpedia log queries P1-P6.
+
+The paper extracts P1-P6 from real SPARQL endpoint logs via FEASIBLE
+(Section 6.5); the logs are not available offline, so we draw queries with
+the same topology mix from the DBpedia-like graph: P1 and P2 star-shaped,
+P3 and P4 graph-shaped, P5 tree-shaped, and P6 cyclic — matching the
+shapes the paper discusses for each query.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..datasets.base import Dataset
+from ..graph.topology import Topology
+from .generator import QueryGenerator, WorkloadQuery
+
+#: (name, topology, size) for each log-query analogue
+_PROFILES = (
+    ("P1", Topology.STAR, 4),
+    ("P2", Topology.STAR, 3),
+    ("P3", Topology.GRAPH, 5),
+    ("P4", Topology.GRAPH, 4),
+    ("P5", Topology.TREE, 4),
+    ("P6", Topology.CYCLE, 3),
+)
+
+
+def benchmark_queries(
+    dataset: Dataset, seed: int = 7
+) -> Dict[str, WorkloadQuery]:
+    """Generate the P1-P6 analogues from a DBpedia-like dataset.
+
+    Deterministic for a given dataset and seed.  A profile that cannot be
+    extracted (extremely unlikely at default scales) is skipped.
+    """
+    generator = QueryGenerator(dataset.graph, seed=seed)
+    queries: Dict[str, WorkloadQuery] = {}
+    for name, topology, size in _PROFILES:
+        found = generator.generate(topology, size, count=1, max_attempts=800)
+        if found:
+            queries[name] = found[0]
+    return queries
+
+
+def query_names() -> List[str]:
+    return [name for name, _, _ in _PROFILES]

@@ -1,0 +1,557 @@
+"""Test query generation (paper, Section 5.3).
+
+"Given a query topology, query size, and result size, we generate queries
+by traversing the schema graph randomly for each data graph matching a
+target topology."  We traverse the *data* graph directly: an instance
+subgraph matching the target topology is extracted, its edge labels become
+the query's edge labels (so the query is guaranteed at least one
+embedding), and vertex labels are kept with a tunable probability to
+spread queries across the result-size buckets of Table 1.
+
+True cardinalities are computed with the exact matcher; queries that time
+out or exceed the largest bucket (10^6) are discarded.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..graph.digraph import Graph
+from ..graph.query import QueryGraph
+from ..graph.topology import Topology, classify
+from ..matching.homomorphism import count_embeddings
+from ..matching.treecount import count_tree_embeddings, is_tree_query
+from .buckets import MAX_RESULT_SIZE, bucket_label, bucket_of
+
+DataEdge = Tuple[int, int, int]
+
+
+@dataclass
+class WorkloadQuery:
+    """A generated test query with its ground truth."""
+
+    query: QueryGraph
+    topology: Topology
+    true_cardinality: int
+
+    @property
+    def size(self) -> int:
+        return self.query.num_edges
+
+    @property
+    def bucket(self) -> Optional[Tuple[int, int]]:
+        return bucket_of(self.true_cardinality)
+
+    @property
+    def bucket_name(self) -> str:
+        bucket = self.bucket
+        return bucket_label(bucket) if bucket else "none"
+
+
+class QueryGenerator:
+    """Extracts topology/size-controlled queries from a data graph."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        seed: int = 0,
+        count_time_limit: float = 5.0,
+        label_keep_probability: Optional[float] = None,
+    ) -> None:
+        """``label_keep_probability`` of None mixes probabilities across
+        queries (0.0 / 0.3 / 0.6 / 1.0), spreading the workload over the
+        result-size buckets of Table 1."""
+        self.graph = graph
+        self.rng = random.Random(seed)
+        self.count_time_limit = count_time_limit
+        self.label_keep_probability = label_keep_probability
+        # undirected incidence: vertex -> [(neighbor, src, dst, label)]
+        self._incidence: Dict[int, List[Tuple[int, int, int, int]]] = {}
+        for src, dst, label in graph.edges():
+            self._incidence.setdefault(src, []).append((dst, src, dst, label))
+            self._incidence.setdefault(dst, []).append((src, src, dst, label))
+        self._active = [v for v in graph.vertices() if v in self._incidence]
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        topology: Topology,
+        size: int,
+        count: int = 1,
+        max_attempts: int = 400,
+        label_keep_probability: Optional[float] = None,
+        time_budget: float = 30.0,
+    ) -> List[WorkloadQuery]:
+        """Generate up to ``count`` queries of one topology and size.
+
+        Stops early after ``time_budget`` seconds; generation on hub-heavy
+        graphs is dominated by true-cardinality counting.
+        """
+        import time as _time
+
+        if label_keep_probability is None:
+            label_keep_probability = self.label_keep_probability
+        deadline = _time.monotonic() + time_budget
+        results: List[WorkloadQuery] = []
+        seen: Set[Tuple] = set()
+        attempts = 0
+        while len(results) < count and attempts < max_attempts:
+            if _time.monotonic() > deadline:
+                break
+            attempts += 1
+            instance = self._extract_instance(topology, size)
+            if instance is None:
+                continue
+            if label_keep_probability is None:
+                keep = self.rng.choice((0.0, 0.3, 0.6, 1.0))
+            else:
+                keep = label_keep_probability
+            query = self._instance_to_query(instance, keep)
+            if query is None or query.num_edges != size:
+                continue
+            try:
+                actual_topology = classify(query)
+            except ValueError:
+                continue
+            if actual_topology is not topology:
+                continue
+            key = query.canonical_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            count = self._true_cardinality(query)
+            if count is None or count > MAX_RESULT_SIZE:
+                continue
+            if count == 0:
+                continue  # instance-extracted queries always match >= 1
+            results.append(WorkloadQuery(query, topology, count))
+        return results
+
+    def generate_diverse(
+        self,
+        topology: Topology,
+        size: int,
+        count: int = 1,
+        pool_factor: int = 3,
+        **kwargs,
+    ) -> List[WorkloadQuery]:
+        """Generate ``count`` queries spread across result-size buckets.
+
+        The paper generates queries *per result size* (Table 1).  We build
+        a candidate pool and pick round-robin across the buckets actually
+        reachable at this data scale, so accuracy figures are not dominated
+        by cardinality-1 queries.
+        """
+        pool = self.generate(
+            topology, size, count=count * pool_factor, **kwargs
+        )
+        by_bucket: Dict[object, List[WorkloadQuery]] = {}
+        for wq in pool:
+            by_bucket.setdefault(wq.bucket, []).append(wq)
+        # largest buckets first: high-cardinality queries are the scarce
+        # resource, pick them before filling up with tiny ones
+        buckets = sorted(
+            by_bucket, key=lambda b: -(b[1] if b else 0)
+        )
+        selected: List[WorkloadQuery] = []
+        while len(selected) < count and any(by_bucket.values()):
+            for bucket in buckets:
+                if by_bucket[bucket] and len(selected) < count:
+                    selected.append(by_bucket[bucket].pop(0))
+        return selected
+
+    def generate_workload(
+        self,
+        topologies: Iterable[Topology],
+        sizes: Iterable[int],
+        per_combination: int = 3,
+    ) -> List[WorkloadQuery]:
+        """Generate a full factorial workload over topologies x sizes."""
+        workload: List[WorkloadQuery] = []
+        for topology in topologies:
+            for size in sizes:
+                if not _feasible(topology, size):
+                    continue
+                workload.extend(self.generate(topology, size, per_combination))
+        return workload
+
+    def _true_cardinality(self, query: QueryGraph) -> Optional[int]:
+        """Exact count, or None when the counting budget is exceeded.
+
+        Acyclic queries take the dynamic-programming fast path (exact, no
+        enumeration); cyclic ones use budgeted backtracking.
+        """
+        if is_tree_query(query):
+            return count_tree_embeddings(self.graph, query)
+        truth = count_embeddings(
+            self.graph,
+            query,
+            time_limit=self.count_time_limit,
+            max_count=MAX_RESULT_SIZE + 1,
+        )
+        if not truth.complete:
+            return None
+        return truth.count
+
+    # ------------------------------------------------------------------
+    # instance extraction per topology
+    # ------------------------------------------------------------------
+    def _extract_instance(
+        self, topology: Topology, size: int
+    ) -> Optional[Set[DataEdge]]:
+        if not self._active:
+            return None
+        extractors = {
+            Topology.CHAIN: self._extract_chain,
+            Topology.STAR: self._extract_star,
+            Topology.TREE: self._extract_tree,
+            Topology.CYCLE: self._extract_cycle,
+            Topology.CLIQUE: self._extract_clique,
+            Topology.PETAL: self._extract_petal,
+            Topology.FLOWER: self._extract_flower,
+            Topology.GRAPH: self._extract_graph,
+        }
+        return extractors[topology](size)
+
+    def _random_vertex(self) -> int:
+        return self._active[self.rng.randrange(len(self._active))]
+
+    def _random_star_center(self, size: int) -> Optional[int]:
+        """A vertex with at least ``size`` distinct neighbors, if any."""
+        if not hasattr(self, "_centers_by_degree"):
+            self._centers_by_degree = sorted(
+                self._active,
+                key=lambda v: -len({n for n, *_ in self._incidence[v]}),
+            )
+            self._distinct_degree = {
+                v: len({n for n, *_ in self._incidence[v]})
+                for v in self._active
+            }
+        eligible_count = 0
+        for v in self._centers_by_degree:
+            if self._distinct_degree[v] >= size:
+                eligible_count += 1
+            else:
+                break
+        if eligible_count == 0:
+            return None
+        return self._centers_by_degree[self.rng.randrange(eligible_count)]
+
+    def _extract_chain(self, size: int) -> Optional[Set[DataEdge]]:
+        start = self._random_vertex()
+        found = self._find_path(start, None, size, set())
+        if found is None:
+            return None
+        path_edges, _ = found
+        return set(path_edges)
+
+    def _extract_star(self, size: int) -> Optional[Set[DataEdge]]:
+        center = self._random_star_center(size)
+        if center is None:
+            return None
+        incident = self._incidence.get(center, ())
+        distinct = {}
+        for n, s, d, l in incident:
+            if n != center:
+                distinct.setdefault(n, (s, d, l))
+        if len(distinct) < size:
+            return None
+        chosen = self.rng.sample(sorted(distinct), size)
+        return {distinct[n] for n in chosen}
+
+    def _extract_tree(self, size: int) -> Optional[Set[DataEdge]]:
+        start = self._random_vertex()
+        vertices = {start}
+        edges: Set[DataEdge] = set()
+        for _ in range(size):
+            frontier = sorted(vertices)
+            self.rng.shuffle(frontier)
+            grown = False
+            for v in frontier:
+                options = [
+                    (n, s, d, l)
+                    for n, s, d, l in self._incidence.get(v, ())
+                    if n not in vertices
+                ]
+                if options:
+                    n, s, d, l = options[self.rng.randrange(len(options))]
+                    vertices.add(n)
+                    edges.add((s, d, l))
+                    grown = True
+                    break
+            if not grown:
+                return None
+        return edges
+
+    def _extract_cycle(self, size: int) -> Optional[Set[DataEdge]]:
+        """A simple cycle of ``size`` edges found by randomized DFS."""
+        start = self._random_vertex()
+        return self._find_cycle_from(start, size)
+
+    def _find_cycle_from(self, start: int, size: int) -> Optional[Set[DataEdge]]:
+        path = [start]
+        edges: List[DataEdge] = []
+        expansions = [0]
+
+        def dfs(current: int, depth: int) -> bool:
+            expansions[0] += 1
+            if expansions[0] > 20000:
+                return False
+            options = list(self._incidence.get(current, ()))
+            self.rng.shuffle(options)
+            for n, s, d, l in options:
+                if depth == size - 1:
+                    if n == start and (s, d, l) not in edges:
+                        edges.append((s, d, l))
+                        return True
+                    continue
+                if n in path or n == start:
+                    continue
+                path.append(n)
+                edges.append((s, d, l))
+                if dfs(n, depth + 1):
+                    return True
+                path.pop()
+                edges.pop()
+            return False
+
+        if dfs(start, 0):
+            return set(edges)
+        return None
+
+    def _extract_clique(self, size: int) -> Optional[Set[DataEdge]]:
+        """A clique whose undirected skeleton has ``size`` edges."""
+        num_vertices = _clique_vertices(size)
+        if num_vertices is None:
+            return None
+        seed_vertex = self._random_vertex()
+        members = [seed_vertex]
+        candidates = {n for n, *_ in self._incidence.get(seed_vertex, ())}
+        candidates.discard(seed_vertex)
+        while len(members) < num_vertices:
+            viable = [
+                c
+                for c in sorted(candidates)
+                if all(self._adjacent(c, m) for m in members)
+            ]
+            if not viable:
+                return None
+            chosen = viable[self.rng.randrange(len(viable))]
+            members.append(chosen)
+            candidates.discard(chosen)
+        edges: Set[DataEdge] = set()
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                edge = self._pick_edge_between(u, v)
+                if edge is None:
+                    return None
+                edges.add(edge)
+        return edges if len(edges) == size else None
+
+    def _extract_petal(self, size: int) -> Optional[Set[DataEdge]]:
+        """A theta graph: three internally disjoint paths between s and t."""
+        if size < 6:
+            return None
+        # split the edges into three path lengths, at most one of length 1
+        # (two direct s-t edges would collapse in the undirected skeleton)
+        while True:
+            l1 = self.rng.randint(1, size - 4)
+            l2 = self.rng.randint(2, size - l1 - 2)
+            l3 = size - l1 - l2
+            if l3 >= 2 and (l1 > 1 or l2 > 1):
+                break
+        start = self._random_vertex()
+        first = self._find_path(start, None, l1, set())
+        if first is None:
+            return None
+        path1, end = first
+        if end == start:
+            return None
+        used = _internal_vertices(path1, start, end)
+        second = self._find_path(start, end, l2, used)
+        if second is None:
+            return None
+        path2, _ = second
+        used |= _internal_vertices(path2, start, end)
+        third = self._find_path(start, end, l3, used)
+        if third is None:
+            return None
+        path3, _ = third
+        edges = set(path1) | set(path2) | set(path3)
+        return edges if len(edges) == size else None
+
+    def _extract_flower(self, size: int) -> Optional[Set[DataEdge]]:
+        """A petal (theta) at a source plus a chain attachment."""
+        if size < 7:
+            return None
+        chain_length = self.rng.randint(1, max(1, size - 6))
+        petal_size = size - chain_length
+        petal = self._extract_petal(petal_size)
+        if petal is None:
+            return None
+        petal_vertices = {v for s, d, _ in petal for v in (s, d)}
+        degree: Dict[int, int] = {}
+        for s, d, _ in petal:
+            degree[s] = degree.get(s, 0) + 1
+            degree[d] = degree.get(d, 0) + 1
+        anchors = [v for v, deg in degree.items() if deg >= 3]
+        if not anchors:
+            return None
+        source = anchors[self.rng.randrange(len(anchors))]
+        chain: Set[DataEdge] = set()
+        current = source
+        visited = set(petal_vertices)
+        for _ in range(chain_length):
+            options = [
+                (n, s, d, l)
+                for n, s, d, l in self._incidence.get(current, ())
+                if n not in visited
+            ]
+            if not options:
+                return None
+            n, s, d, l = options[self.rng.randrange(len(options))]
+            chain.add((s, d, l))
+            visited.add(n)
+            current = n
+        edges = petal | chain
+        return edges if len(edges) == size else None
+
+    def _extract_graph(self, size: int) -> Optional[Set[DataEdge]]:
+        """A connected subgraph with at least one extra (cycle) edge."""
+        tree_size = max(2, size - self.rng.randint(1, max(1, size // 3)))
+        tree = self._extract_tree(tree_size)
+        if tree is None:
+            return None
+        edges = set(tree)
+        vertices = sorted({v for s, d, _ in edges for v in (s, d)})
+        extra_needed = size - len(edges)
+        candidates: List[DataEdge] = []
+        vertex_set = set(vertices)
+        for v in vertices:
+            for n, s, d, l in self._incidence.get(v, ()):
+                if n in vertex_set and (s, d, l) not in edges:
+                    candidates.append((s, d, l))
+        self.rng.shuffle(candidates)
+        for edge in candidates:
+            if extra_needed == 0:
+                break
+            if edge not in edges:
+                edges.add(edge)
+                extra_needed -= 1
+        return edges if len(edges) == size else None
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _adjacent(self, u: int, v: int) -> bool:
+        return any(n == v for n, *_ in self._incidence.get(u, ()))
+
+    def _pick_edge_between(self, u: int, v: int) -> Optional[DataEdge]:
+        options = [
+            (s, d, l) for n, s, d, l in self._incidence.get(u, ()) if n == v
+        ]
+        if not options:
+            return None
+        return options[self.rng.randrange(len(options))]
+
+    def _find_path(
+        self,
+        start: int,
+        end: Optional[int],
+        length: int,
+        forbidden_internal: Set[int],
+    ) -> Optional[Tuple[List[DataEdge], int]]:
+        """A simple path of ``length`` edges from start (to ``end`` if set),
+        avoiding ``forbidden_internal`` as internal vertices."""
+        path_edges: List[DataEdge] = []
+        visited = {start}
+        expansions = [0]
+
+        def dfs(current: int, depth: int) -> Optional[int]:
+            expansions[0] += 1
+            if expansions[0] > 20000:
+                return None
+            options = list(self._incidence.get(current, ()))
+            self.rng.shuffle(options)
+            for n, s, d, l in options:
+                if depth == length - 1:
+                    if end is not None and n != end:
+                        continue
+                    if end is None and (n in visited or n in forbidden_internal):
+                        continue
+                    if (s, d, l) in path_edges:
+                        continue
+                    path_edges.append((s, d, l))
+                    return n
+                if n in visited or n in forbidden_internal or n == end:
+                    continue
+                visited.add(n)
+                path_edges.append((s, d, l))
+                result = dfs(n, depth + 1)
+                if result is not None:
+                    return result
+                visited.discard(n)
+                path_edges.pop()
+            return None
+
+        final = dfs(start, 0)
+        if final is None:
+            return None
+        return path_edges, final
+
+    def _instance_to_query(
+        self, instance: Set[DataEdge], keep_probability: float
+    ) -> Optional[QueryGraph]:
+        vertices = sorted({v for s, d, _ in instance for v in (s, d)})
+        mapping = {v: i for i, v in enumerate(vertices)}
+        labels: List[Set[int]] = []
+        for v in vertices:
+            vlabels = self.graph.vertex_labels(v)
+            if vlabels and self.rng.random() < keep_probability:
+                labels.append({self.rng.choice(sorted(vlabels))})
+            else:
+                labels.append(set())
+        edges = [(mapping[s], mapping[d], l) for s, d, l in sorted(instance)]
+        return QueryGraph(labels, edges)
+
+
+def _internal_vertices(
+    path: List[DataEdge], start: int, end: int
+) -> Set[int]:
+    vertices = {v for s, d, _ in path for v in (s, d)}
+    return vertices - {start, end}
+
+
+def _clique_vertices(num_edges: int) -> Optional[int]:
+    """k such that k(k-1)/2 == num_edges, if any."""
+    k = 2
+    while k * (k - 1) // 2 < num_edges:
+        k += 1
+    return k if k * (k - 1) // 2 == num_edges else None
+
+
+def _feasible(topology: Topology, size: int) -> bool:
+    """Whether the (topology, size) combination exists at all.
+
+    Matches the paper's constraints: "the minimum query size is six for
+    clique, petal, and flower" (flower needs one more edge than a petal).
+    """
+    if topology is Topology.STAR or topology is Topology.CHAIN:
+        return size >= 2
+    if topology is Topology.TREE:
+        return size >= 4  # every 3-edge tree is a chain or a star
+    if topology is Topology.CYCLE:
+        return size >= 3
+    if topology is Topology.CLIQUE:
+        # a 3-edge clique is a triangle, classified as a cycle; the paper
+        # notes "the minimum query size is six for clique, petal, and flower"
+        return _clique_vertices(size) is not None and size >= 6
+    if topology is Topology.PETAL:
+        return size >= 6
+    if topology is Topology.FLOWER:
+        return size >= 7
+    return size >= 4  # 3-edge cyclic queries are triangles (cycles)

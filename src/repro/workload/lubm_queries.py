@@ -1,0 +1,143 @@
+"""Analogues of the LUBM benchmark queries used in the paper.
+
+The paper evaluates on LUBM queries Q2, Q4, Q7, Q8, Q9 and Q12 (Section
+5.3), excluding queries with at most two triple patterns.  The original
+queries select on constants (a specific university / department /
+professor); our query model expresses selections through vertex labels, so
+each analogue keeps the original's *join structure and topology*:
+
+* Q2 — triangle: graduate student member of a department that is a
+  sub-organization of the university the student got their undergraduate
+  degree from.
+* Q4 — star: a professor with worksFor / teacherOf / degree edges
+  (the original asks a professor's properties within one department).
+* Q7 — tree: students taking courses taught by an associate professor.
+* Q8 — tree: undergraduate students of departments of a university.
+* Q9 — triangle: student whose advisor teaches a course the student takes.
+* Q12 — chain-with-branch: a chair heading a department that is a
+  sub-organization of a university.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..graph.query import QueryGraph
+from ..datasets import lubm
+
+
+def q2() -> QueryGraph:
+    """Triangle: GradStudent --memberOf--> Dept --subOrgOf--> Univ,
+    GradStudent --undergraduateDegreeFrom--> Univ."""
+    return QueryGraph(
+        vertex_labels=[
+            (lubm.GRADUATE_STUDENT,),
+            (lubm.DEPARTMENT,),
+            (lubm.UNIVERSITY,),
+        ],
+        edges=[
+            (0, 1, lubm.MEMBER_OF),
+            (1, 2, lubm.SUB_ORGANIZATION_OF),
+            (0, 2, lubm.UNDERGRADUATE_DEGREE_FROM),
+        ],
+    )
+
+
+def q4() -> QueryGraph:
+    """Star around a professor: worksFor, teacherOf, doctoralDegreeFrom."""
+    return QueryGraph(
+        vertex_labels=[
+            (lubm.PROFESSOR,),
+            (lubm.DEPARTMENT,),
+            (lubm.COURSE,),
+            (lubm.UNIVERSITY,),
+        ],
+        edges=[
+            (0, 1, lubm.WORKS_FOR),
+            (0, 2, lubm.TEACHER_OF),
+            (0, 3, lubm.DOCTORAL_DEGREE_FROM),
+        ],
+    )
+
+
+def q7() -> QueryGraph:
+    """Tree: Student --takesCourse--> Course <--teacherOf-- AssocProf."""
+    return QueryGraph(
+        vertex_labels=[
+            (lubm.STUDENT,),
+            (lubm.COURSE,),
+            (lubm.ASSOCIATE_PROFESSOR,),
+        ],
+        edges=[
+            (0, 1, lubm.TAKES_COURSE),
+            (2, 1, lubm.TEACHER_OF),
+        ],
+    )
+
+
+def q8() -> QueryGraph:
+    """Tree: UndergradStudent --memberOf--> Dept --subOrgOf--> Univ, with
+    a second student of the same department."""
+    return QueryGraph(
+        vertex_labels=[
+            (lubm.UNDERGRADUATE_STUDENT,),
+            (lubm.DEPARTMENT,),
+            (lubm.UNIVERSITY,),
+            (lubm.GRADUATE_STUDENT,),
+        ],
+        edges=[
+            (0, 1, lubm.MEMBER_OF),
+            (1, 2, lubm.SUB_ORGANIZATION_OF),
+            (3, 1, lubm.MEMBER_OF),
+        ],
+    )
+
+
+def q9() -> QueryGraph:
+    """Triangle: Student --advisor--> Prof --teacherOf--> Course
+    <--takesCourse-- Student."""
+    return QueryGraph(
+        vertex_labels=[
+            (lubm.STUDENT,),
+            (lubm.PROFESSOR,),
+            (lubm.COURSE,),
+        ],
+        edges=[
+            (0, 1, lubm.ADVISOR),
+            (1, 2, lubm.TEACHER_OF),
+            (0, 2, lubm.TAKES_COURSE),
+        ],
+    )
+
+
+def q12() -> QueryGraph:
+    """Chain with a branch: Chair --headOf--> Dept --subOrgOf--> Univ,
+    Chair --worksFor--> Dept."""
+    return QueryGraph(
+        vertex_labels=[
+            (lubm.CHAIR,),
+            (lubm.DEPARTMENT,),
+            (lubm.UNIVERSITY,),
+        ],
+        edges=[
+            (0, 1, lubm.HEAD_OF),
+            (1, 2, lubm.SUB_ORGANIZATION_OF),
+            (0, 1, lubm.WORKS_FOR),
+        ],
+    )
+
+
+def benchmark_queries() -> Dict[str, QueryGraph]:
+    """The six LUBM benchmark queries used throughout Section 6."""
+    return {
+        "Q2": q2(),
+        "Q4": q4(),
+        "Q7": q7(),
+        "Q8": q8(),
+        "Q9": q9(),
+        "Q12": q12(),
+    }
+
+
+def query_names() -> List[str]:
+    return ["Q2", "Q4", "Q7", "Q8", "Q9", "Q12"]

@@ -1,0 +1,130 @@
+"""A small triple-pattern language for authoring query graphs.
+
+Queries in the paper's world are SPARQL basic graph patterns; writing
+:class:`~repro.graph.query.QueryGraph` literals by hand is tedious and
+error-prone.  This module parses a compact textual form::
+
+    ?student :advisor ?prof .
+    ?prof    :teacherOf ?course .
+    ?student :takesCourse ?course .
+    ?student a GraduateStudent .
+
+* ``?name`` introduces a query vertex (first mention assigns its index);
+* ``:predicate`` (or any bare token in the middle position) names an edge
+  label, resolved through a predicate dictionary;
+* ``a`` / ``rdf:type`` statements attach vertex labels, resolved through
+  a vertex label dictionary;
+* patterns are separated by ``.`` or newlines; ``#`` starts a comment.
+
+Dictionaries map names to the integer labels of a dataset; the dataset
+generators export them (e.g. ``repro.datasets.lubm.EDGE_LABEL_NAMES``).
+Integer tokens are accepted directly, so the language also works for
+datasets without name dictionaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..graph.query import QueryGraph
+
+#: tokens treated as the rdf:type keyword
+TYPE_KEYWORDS = ("a", "rdf:type", "type")
+
+
+class PatternSyntaxError(ValueError):
+    """Raised when a triple pattern string cannot be parsed."""
+
+
+def _invert(names: Optional[Mapping[int, str]]) -> Dict[str, int]:
+    if not names:
+        return {}
+    return {name: label for label, name in names.items()}
+
+
+def _resolve(
+    token: str, table: Dict[str, int], kind: str
+) -> int:
+    cleaned = token.lstrip(":")
+    if cleaned in table:
+        return table[cleaned]
+    try:
+        return int(cleaned)
+    except ValueError:
+        raise PatternSyntaxError(
+            f"unknown {kind} {token!r}; known: {sorted(table) or 'integers'}"
+        ) from None
+
+
+def parse_query(
+    text: str,
+    edge_labels: Optional[Mapping[int, str]] = None,
+    vertex_labels: Optional[Mapping[int, str]] = None,
+) -> QueryGraph:
+    """Parse triple patterns into a :class:`QueryGraph`.
+
+    ``edge_labels`` / ``vertex_labels`` are the dataset's id->name
+    dictionaries (as exported by the generators); names in the text are
+    resolved through them, integers are accepted verbatim.
+    """
+    edge_table = _invert(edge_labels)
+    vertex_table = _invert(vertex_labels)
+    vertex_ids: Dict[str, int] = {}
+    labels: List[set] = []
+    edges: List[Tuple[int, int, int]] = []
+
+    def vertex(token: str) -> int:
+        if not token.startswith("?"):
+            raise PatternSyntaxError(
+                f"expected a ?variable in subject/object position, got {token!r}"
+            )
+        if token not in vertex_ids:
+            vertex_ids[token] = len(labels)
+            labels.append(set())
+        return vertex_ids[token]
+
+    for raw_line in text.replace(" . ", "\n").split("\n"):
+        line = raw_line.split("#", 1)[0].strip().rstrip(".").strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise PatternSyntaxError(
+                f"expected 'subject predicate object', got {line!r}"
+            )
+        subject, predicate, obj = parts
+        if predicate in TYPE_KEYWORDS:
+            labels[vertex(subject)].add(
+                _resolve(obj, vertex_table, "vertex label")
+            )
+        else:
+            edges.append(
+                (
+                    vertex(subject),
+                    vertex(obj),
+                    _resolve(predicate, edge_table, "edge label"),
+                )
+            )
+    if not edges:
+        raise PatternSyntaxError("the pattern contains no edges")
+    return QueryGraph(labels, edges)
+
+
+def format_query(
+    query: QueryGraph,
+    edge_labels: Optional[Mapping[int, str]] = None,
+    vertex_labels: Optional[Mapping[int, str]] = None,
+) -> str:
+    """Inverse of :func:`parse_query`: render a query as triple patterns."""
+    edge_names = dict(edge_labels or {})
+    vertex_names = dict(vertex_labels or {})
+    lines: List[str] = []
+    for u in range(query.num_vertices):
+        for label in sorted(query.vertex_labels[u]):
+            name = vertex_names.get(label, str(label))
+            lines.append(f"?u{u} a {name} .")
+    for u, v, label in query.edges:
+        name = edge_names.get(label, str(label))
+        prefix = ":" if not name.isdigit() else ""
+        lines.append(f"?u{u} {prefix}{name} ?u{v} .")
+    return "\n".join(lines)

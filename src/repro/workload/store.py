@@ -1,0 +1,80 @@
+"""Persistence for generated workloads.
+
+Generating queries is dominated by exact true-cardinality counting, so a
+benchmark session wants to compute each workload once and reuse it across
+processes (and so does anyone comparing a new technique against the same
+queryset — the framework's stated purpose).  Workloads serialize to a
+small JSON document: vertex label sets, edges, topology, and the true
+cardinality.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from ..graph.query import QueryGraph
+from ..graph.topology import Topology
+from .generator import WorkloadQuery
+
+PathLike = Union[str, Path]
+
+#: schema version written into every file (bump on format changes)
+FORMAT_VERSION = 1
+
+
+def workload_to_dict(queries: List[WorkloadQuery]) -> dict:
+    """Serialize a workload to a JSON-compatible dict."""
+    return {
+        "version": FORMAT_VERSION,
+        "queries": [
+            {
+                "vertex_labels": [
+                    sorted(labels) for labels in wq.query.vertex_labels
+                ],
+                "edges": [list(edge) for edge in wq.query.edges],
+                "topology": wq.topology.value,
+                "true_cardinality": wq.true_cardinality,
+            }
+            for wq in queries
+        ],
+    }
+
+
+def workload_from_dict(payload: dict) -> List[WorkloadQuery]:
+    """Deserialize a workload (inverse of :func:`workload_to_dict`)."""
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported workload format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    queries: List[WorkloadQuery] = []
+    for item in payload["queries"]:
+        query = QueryGraph(
+            vertex_labels=[tuple(ls) for ls in item["vertex_labels"]],
+            edges=[tuple(edge) for edge in item["edges"]],
+        )
+        queries.append(
+            WorkloadQuery(
+                query=query,
+                topology=Topology(item["topology"]),
+                true_cardinality=int(item["true_cardinality"]),
+            )
+        )
+    return queries
+
+
+def save_workload(queries: List[WorkloadQuery], path: PathLike) -> None:
+    """Write a workload to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(workload_to_dict(queries), handle, indent=1)
+
+
+def load_workload(path: PathLike) -> List[WorkloadQuery]:
+    """Read a workload from a JSON file."""
+    with open(path) as handle:
+        return workload_from_dict(json.load(handle))

@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.datasets.example import figure1_graph, figure1_query
+from repro.graph.digraph import Graph
+from repro.graph.query import QueryGraph
+
+
+@pytest.fixture
+def fig1_graph() -> Graph:
+    return figure1_graph()
+
+
+@pytest.fixture
+def fig1_query() -> QueryGraph:
+    return figure1_query()
+
+
+@pytest.fixture
+def tiny_graph() -> Graph:
+    """A 4-vertex graph with two labels and a cycle, handy for matchers.
+
+    v0(L0) --0--> v1(L1) --0--> v2(L0) --1--> v0 ; v1 --1--> v3(L1)
+    """
+    graph = Graph()
+    graph.add_vertex((0,))
+    graph.add_vertex((1,))
+    graph.add_vertex((0,))
+    graph.add_vertex((1,))
+    graph.add_edge(0, 1, 0)
+    graph.add_edge(1, 2, 0)
+    graph.add_edge(2, 0, 1)
+    graph.add_edge(1, 3, 1)
+    return graph
+
+
+def brute_force_count(graph: Graph, query: QueryGraph) -> int:
+    """Reference homomorphism counter by exhaustive assignment enumeration.
+
+    Exponential; only usable for tiny graphs/queries, which is exactly what
+    the property tests need to cross-check the real matcher.
+    """
+    count = 0
+    vertices = list(graph.vertices())
+    for assignment in itertools.product(vertices, repeat=query.num_vertices):
+        ok = True
+        for u in range(query.num_vertices):
+            labels = query.vertex_labels[u]
+            if labels and not labels <= graph.vertex_labels(assignment[u]):
+                ok = False
+                break
+        if not ok:
+            continue
+        for u, v, label in query.edges:
+            if not graph.has_edge(assignment[u], assignment[v], label):
+                ok = False
+                break
+        if ok:
+            count += 1
+    return count
+
+
+@pytest.fixture
+def brute_force():
+    return brute_force_count

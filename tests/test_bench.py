@@ -1,0 +1,223 @@
+"""Unit tests for the benchmark harness (runner, tables, CLI)."""
+
+import pytest
+
+from repro.bench.runner import (
+    EvalRecord,
+    EvaluationRunner,
+    NamedQuery,
+    group_by,
+    mean_elapsed,
+    summarize,
+)
+from repro.bench.tables import (
+    ACCURATE,
+    COLUMNS,
+    INACCURATE,
+    render_table3,
+    table3_matrix,
+)
+from repro.bench import cli
+from repro.datasets.example import figure1_graph, figure1_query
+from repro.graph.topology import Topology
+from repro.workload.generator import WorkloadQuery
+
+
+@pytest.fixture
+def graph():
+    return figure1_graph()
+
+
+@pytest.fixture
+def named_query():
+    return NamedQuery("tri", figure1_query(), 3, {"topology": "cycle"})
+
+
+class TestRunner:
+    def test_run_produces_record_per_technique_per_run(self, graph, named_query):
+        runner = EvaluationRunner(
+            graph, ["cset", "bs"], sampling_ratio=1.0, time_limit=10
+        )
+        records = runner.run([named_query], runs=2)
+        assert len(records) == 4
+        assert {r.technique for r in records} == {"cset", "bs"}
+        assert {r.run for r in records} == {0, 1}
+
+    def test_prepare_records_times(self, graph):
+        runner = EvaluationRunner(graph, ["cset", "bs"])
+        times = runner.prepare()
+        assert set(times) == {"cset", "bs"}
+        assert all(t >= 0 for t in times.values())
+
+    def test_unsupported_recorded_not_raised(self, graph):
+        # IMPR rejects 2-vertex queries
+        from repro.graph.query import QueryGraph
+
+        query = NamedQuery("edge", QueryGraph([(), ()], [(0, 1, 0)]), 3)
+        runner = EvaluationRunner(graph, ["impr"], sampling_ratio=1.0)
+        records = runner.run([query])
+        assert records[0].error == "unsupported"
+        assert records[0].failed
+        assert records[0].qerror is None
+
+    def test_reseed_gives_run_variation(self, graph, named_query):
+        runner = EvaluationRunner(
+            graph, ["wj"], sampling_ratio=0.5, seed=0, time_limit=10
+        )
+        records = runner.run([named_query], runs=4, reseed=True)
+        estimates = {r.estimate for r in records}
+        assert len(estimates) > 1  # different seeds -> different estimates
+
+    def test_named_query_from_workload(self):
+        wq = WorkloadQuery(figure1_query(), Topology.CYCLE, 3)
+        named = NamedQuery.from_workload("yago_", 7, wq)
+        assert named.name == "yago_7"
+        assert named.groups["topology"] == "cycle"
+        assert named.groups["size"] == "3"
+
+
+class TestAggregation:
+    def _record(self, technique, group, truth, estimate, error=None):
+        return EvalRecord(
+            technique=technique,
+            query_name="q",
+            run=0,
+            true_cardinality=truth,
+            estimate=estimate,
+            elapsed=0.5,
+            groups={"topology": group},
+            error=error,
+        )
+
+    def test_summarize_groups(self):
+        records = [
+            self._record("wj", "chain", 10, 10),
+            self._record("wj", "star", 10, 100),
+            self._record("bs", "chain", 10, 1000),
+        ]
+        summaries = summarize(records, group_by("topology"))
+        assert summaries["wj"]["chain"].median == 1.0
+        assert summaries["wj"]["star"].median == 10.0
+        assert summaries["bs"]["chain"].median == 100.0
+
+    def test_summarize_counts_failures(self):
+        records = [
+            self._record("impr", "chain", 10, None, error="unsupported"),
+            self._record("impr", "chain", 10, 10),
+        ]
+        summaries = summarize(records, group_by("topology"))
+        assert summaries["impr"]["chain"].failures == 1
+        assert summaries["impr"]["chain"].count == 1
+
+    def test_mean_elapsed(self):
+        records = [
+            self._record("wj", "chain", 1, 1),
+            self._record("wj", "chain", 1, 1),
+        ]
+        elapsed = mean_elapsed(records)
+        assert elapsed["wj"]["all"] == pytest.approx(0.5)
+
+
+class TestTable3:
+    def _record(self, technique, truth, estimate, size="3", topo="chain",
+                name="yago_0", error=None):
+        return EvalRecord(
+            technique=technique,
+            query_name=name,
+            run=0,
+            true_cardinality=truth,
+            estimate=estimate,
+            elapsed=0.0,
+            groups={"topology": topo, "size": size},
+            error=error,
+        )
+
+    def test_accurate_verdict(self):
+        records = [self._record("wj", 100, 110)]
+        matrix = table3_matrix(records, techniques=("wj",))
+        assert matrix["wj"]["#emb <= 10^3"] == ACCURATE
+        assert matrix["wj"]["size 3~6"] == ACCURATE
+        assert matrix["wj"]["tree"] == ACCURATE
+
+    def test_inaccurate_verdict(self):
+        records = [self._record("cs", 10000, 1)]
+        matrix = table3_matrix(records, techniques=("cs",))
+        assert matrix["cs"]["#emb > 10^3"] == INACCURATE
+
+    def test_failures_make_inaccurate(self):
+        records = [
+            self._record("impr", 10, None, error="unsupported"),
+            self._record("impr", 10, None, error="unsupported"),
+            self._record("impr", 10, 10),
+        ]
+        matrix = table3_matrix(records, techniques=("impr",))
+        assert matrix["impr"]["#emb <= 10^3"] == INACCURATE
+
+    def test_lubm_column_from_query_names(self):
+        records = [self._record("wj", 100, 100, name="Q2")]
+        matrix = table3_matrix(records, techniques=("wj",))
+        assert matrix["wj"]["LUBM queryset"] == ACCURATE
+        assert matrix["wj"]["tree"] == "-"
+
+    def test_render_contains_all_columns(self):
+        matrix = table3_matrix([], techniques=("wj",))
+        text = render_table3(matrix)
+        for column in COLUMNS:
+            assert column in text
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "f6a" in out and "t2" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert cli.main(["zzz"]) == 2
+
+    def test_t2_runs(self, capsys):
+        assert cli.main(["t2"]) == 0
+        out = capsys.readouterr().out
+        assert "# of vertices" in out
+
+
+class TestCliExports:
+    def test_export_dataset(self, tmp_path, capsys):
+        out = tmp_path / "aids.txt"
+        assert cli.main(["export-dataset", "aids", "--out", str(out)]) == 0
+        from repro.graph.io import load_graph
+
+        graph = load_graph(out)
+        assert graph.num_edges > 0
+
+    def test_export_requires_out(self, capsys):
+        assert cli.main(["export-dataset", "aids"]) == 2
+
+    def test_export_unknown_dataset(self, tmp_path):
+        import pytest as _pytest
+
+        with _pytest.raises(KeyError):
+            cli.main(
+                ["export-dataset", "nope", "--out", str(tmp_path / "x.txt")]
+            )
+
+
+class TestCliEstimate:
+    def test_estimate_roundtrip(self, tmp_path, capsys):
+        from repro.datasets.example import figure1_graph, figure1_query
+        from repro.graph.io import dump_graph, dump_query
+
+        gpath, qpath = tmp_path / "g.txt", tmp_path / "q.txt"
+        dump_graph(figure1_graph(), gpath)
+        dump_query(figure1_query(), qpath)
+        code = cli.main([
+            "estimate", "--graph", str(gpath), "--query", str(qpath),
+            "--technique", "bs",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "true cardinality: 3" in out
+        assert "BS estimate" in out
+
+    def test_estimate_requires_files(self, capsys):
+        assert cli.main(["estimate"]) == 2

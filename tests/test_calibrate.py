@@ -1,0 +1,65 @@
+"""Unit tests for cost-model calibration."""
+
+import pytest
+
+from repro.datasets.example import figure1_graph, figure1_query
+from repro.plans.calibrate import CalibrationReport, _fit_per_tuple, calibrate
+from repro.plans.executor import PlanExecutor
+from repro.plans.optimizer import PlanOptimizer, TrueCardinalityOracle
+
+
+class TestFitting:
+    def test_fit_exact_linear(self):
+        points = [(10, 1.0), (20, 2.0), (40, 4.0)]
+        assert _fit_per_tuple(points) == pytest.approx(0.1)
+
+    def test_fit_noisy_positive(self):
+        points = [(10, 1.1), (20, 1.9), (40, 4.2)]
+        slope = _fit_per_tuple(points)
+        assert 0.08 < slope < 0.12
+
+    def test_fit_degenerate(self):
+        assert _fit_per_tuple([]) == 0.0
+        assert _fit_per_tuple([(0, 1.0)]) == 0.0
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return calibrate(sizes=(500, 2000), repeats=2)
+
+    def test_all_coefficients_positive(self, report):
+        model = report.model
+        for field_name in (
+            "scan_cost", "sort_cost", "merge_cost",
+            "hash_build_cost", "output_cost", "index_lookup_cost",
+        ):
+            assert getattr(model, field_name) > 0.0
+
+    def test_coefficients_are_microsecond_scale(self, report):
+        """Per-tuple Python costs live between 1ns and 100us."""
+        assert 1e-9 < report.model.scan_cost < 1e-4
+        assert 1e-9 < report.model.hash_build_cost < 1e-4
+
+    def test_describe_lists_all_fields(self, report):
+        text = report.describe()
+        assert "scan_cost" in text and "merge_cost" in text
+
+    def test_calibrated_model_predicts_execution_scale(self, report):
+        """Plan cost under the calibrated model should land within two
+        orders of magnitude of measured execution time (the calibration's
+        purpose: comparable units)."""
+        graph = figure1_graph()
+        query = figure1_query()
+        optimizer = PlanOptimizer(
+            graph, TrueCardinalityOracle(graph), report.model
+        )
+        plan = optimizer.optimize(query)
+        result = PlanExecutor(graph).execute(query, plan)
+        if result.elapsed > 1e-4:  # too tiny to compare meaningfully
+            assert plan.cost < result.elapsed * 100
+            assert plan.cost > result.elapsed / 100
+
+    def test_measurements_recorded(self, report):
+        assert set(report.measurements) >= {"scan", "sort", "merge", "hash"}
+        assert all(len(v) == 2 for v in report.measurements.values())

@@ -1,0 +1,56 @@
+"""Unit tests for the signed q-error ASCII charts."""
+
+from repro.metrics.charts import OVER_GLYPH, UNDER_GLYPH, bar, render_signed_chart
+
+
+class TestBar:
+    def test_perfect_estimate_is_empty_bar(self):
+        rendered = bar(1.0, half_width=10)
+        assert UNDER_GLYPH not in rendered
+        assert OVER_GLYPH not in rendered
+        assert "|" in rendered
+
+    def test_direction_glyphs(self):
+        assert UNDER_GLYPH in bar(-100.0)
+        assert OVER_GLYPH in bar(100.0)
+        assert OVER_GLYPH not in bar(-100.0)
+
+    def test_log_scaling_monotone(self):
+        widths = [
+            bar(v, half_width=20).count(OVER_GLYPH)
+            for v in (10.0, 1000.0, 100000.0)
+        ]
+        assert widths == sorted(widths)
+        assert widths[0] < widths[-1]
+
+    def test_magnitude_capped_at_half_width(self):
+        assert bar(1e30, half_width=10).count(OVER_GLYPH) == 10
+
+    def test_fixed_total_width(self):
+        for value in (-1e5, 1.0, 1e5):
+            assert len(bar(value, half_width=12)) == 25
+
+
+class TestChart:
+    def test_chart_structure(self):
+        text = render_signed_chart(
+            "topology",
+            ["chain", "star"],
+            {
+                "wj": {"chain": 1.1, "star": -2.0},
+                "bs": {"chain": 1e4, "star": None},
+            },
+            title="demo",
+        )
+        assert "demo" in text
+        assert "chain:" in text and "star:" in text
+        assert "(cannot process)" in text  # the None cell
+        assert OVER_GLYPH in text and UNDER_GLYPH in text
+
+    def test_chart_alignment(self):
+        text = render_signed_chart(
+            "g", ["a"], {"technique": {"a": 5.0}}, half_width=8
+        )
+        bar_lines = [l for l in text.splitlines() if "|" in l and ":" not in l]
+        assert bar_lines
+        assert len({len(l) for l in bar_lines}) == 1

@@ -1,0 +1,86 @@
+"""Unit tests for CorrelatedSampling (CS)."""
+
+import pytest
+
+from repro.core.errors import EstimationTimeout
+from repro.datasets.example import figure1_graph, figure1_query
+from repro.estimators.correlated import CorrelatedSampling, _splitmix64
+from repro.graph.query import QueryGraph
+from repro.matching.homomorphism import count_embeddings
+
+
+class TestHash:
+    def test_splitmix_deterministic(self):
+        assert _splitmix64(42) == _splitmix64(42)
+
+    def test_splitmix_range(self):
+        for x in range(100):
+            assert 0 <= _splitmix64(x) < (1 << 64)
+
+    def test_splitmix_spreads(self):
+        values = {_splitmix64(x) >> 56 for x in range(256)}
+        assert len(values) > 100  # top byte well spread
+
+
+class TestThresholds:
+    def test_thresholds_per_attribute(self, fig1_graph, fig1_query):
+        est = CorrelatedSampling(fig1_graph, sampling_ratio=0.04)
+        (thresholds,) = list(
+            est.get_substructures(fig1_query, fig1_query)
+        )
+        # u0 is labeled: min(p^(1/2), p) = p ; u1, u2 unlabeled: p^(1/2)
+        assert thresholds[0] == pytest.approx(0.04)
+        assert thresholds[1] == pytest.approx(0.2)
+        assert thresholds[2] == pytest.approx(0.2)
+
+    def test_isolated_unlabeled_vertex_threshold_one(self, fig1_graph):
+        query = QueryGraph([(), (), ()], [(0, 1, 0)])  # vertex 2 isolated
+        est = CorrelatedSampling(fig1_graph, sampling_ratio=0.25)
+        (thresholds,) = list(est.get_substructures(query, query))
+        assert thresholds[2] == 1.0
+
+
+class TestEstimates:
+    def test_full_sampling_is_exact(self, fig1_graph, fig1_query):
+        est = CorrelatedSampling(fig1_graph, sampling_ratio=1.0)
+        truth = count_embeddings(fig1_graph, fig1_query).count
+        assert est.estimate(fig1_query).estimate == pytest.approx(float(truth))
+
+    def test_deterministic_per_seed(self, fig1_graph, fig1_query):
+        a = CorrelatedSampling(fig1_graph, sampling_ratio=0.5, seed=5)
+        b = CorrelatedSampling(fig1_graph, sampling_ratio=0.5, seed=5)
+        assert a.estimate(fig1_query).estimate == b.estimate(fig1_query).estimate
+
+    def test_small_ratio_often_underestimates_to_zero(self, fig1_graph, fig1_query):
+        """The paper's CS failure mode: no sampled tuples join -> estimate 0."""
+        zeros = 0
+        for seed in range(10):
+            est = CorrelatedSampling(
+                fig1_graph, sampling_ratio=0.01, seed=seed
+            )
+            if est.estimate(fig1_query).estimate == 0.0:
+                zeros += 1
+        assert zeros >= 8  # tiny graph + tiny ratio: samples almost never join
+
+    def test_unbiased_over_seeds(self, fig1_graph):
+        """Averaging estimates over many hash seeds approaches the truth."""
+        query = QueryGraph([(), ()], [(0, 1, 0)])  # single 'a' edge
+        truth = count_embeddings(fig1_graph, query).count
+        estimates = [
+            CorrelatedSampling(fig1_graph, sampling_ratio=0.5, seed=s)
+            .estimate(query)
+            .estimate
+            for s in range(300)
+        ]
+        mean = sum(estimates) / len(estimates)
+        assert truth * 0.7 <= mean <= truth * 1.3
+
+    def test_timeout_propagates(self, fig1_graph, fig1_query):
+        est = CorrelatedSampling(fig1_graph, sampling_ratio=1.0, time_limit=1e-9)
+        with pytest.raises(EstimationTimeout):
+            est.estimate(fig1_query)
+
+    def test_info_reports_sampled_join_count(self, fig1_graph, fig1_query):
+        est = CorrelatedSampling(fig1_graph, sampling_ratio=1.0)
+        result = est.estimate(fig1_query)
+        assert result.info["sampled_join_count"] == 3

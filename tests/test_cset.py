@@ -1,0 +1,169 @@
+"""Unit tests for CharacteristicSets (C-SET)."""
+
+import pytest
+
+from repro.datasets.example import (
+    EDGE_A,
+    EDGE_B,
+    EDGE_C,
+    EDGE_D,
+    LABEL_A,
+    LABEL_C,
+    figure1_graph,
+    figure1_query,
+)
+from repro.estimators.cset import (
+    CharacteristicSets,
+    EdgeSubquery,
+    StarSubquery,
+)
+from repro.graph.digraph import Graph
+from repro.graph.query import QueryGraph
+from repro.matching.homomorphism import count_embeddings
+
+
+@pytest.fixture
+def estimator():
+    est = CharacteristicSets(figure1_graph())
+    est.prepare()
+    return est
+
+
+class TestSummary:
+    def test_figure2_characteristic_sets(self, estimator):
+        """The summary must match Figure 2 of the paper exactly."""
+        out_sets = estimator._out_sets
+        cs1 = out_sets[(frozenset({LABEL_A}), frozenset({EDGE_A, EDGE_C}))]
+        assert cs1.count == 1
+        assert cs1.freq[EDGE_A] == 2
+        assert cs1.freq[EDGE_C] == 1
+
+        cs2 = out_sets[
+            (frozenset({LABEL_A}), frozenset({EDGE_A, EDGE_B, EDGE_D}))
+        ]
+        assert cs2.count == 1
+        assert cs2.freq == {EDGE_A: 1, EDGE_B: 1, EDGE_D: 1}
+
+        cs3 = out_sets[(frozenset({LABEL_C}), frozenset({EDGE_C}))]
+        assert cs3.count == 2
+        assert cs3.freq[EDGE_C] == 2
+
+    def test_edge_label_counts(self, estimator):
+        assert estimator._label_counts[EDGE_A] == 3
+        assert estimator._label_counts[EDGE_B] == 3
+        assert estimator._label_counts[EDGE_C] == 3
+
+    def test_distinct_endpoint_counts(self, estimator):
+        # 'a' edges: (0,2), (0,1), (1,3) -> 2 distinct sources, 3 dsts
+        assert estimator._distinct_src[EDGE_A] == 2
+        assert estimator._distinct_dst[EDGE_A] == 3
+
+
+class TestDecomposition:
+    def test_triangle_decomposes_into_star_and_edges(self, estimator):
+        query = figure1_query()
+        subqueries = estimator.decompose_query(query)
+        stars = [s for s in subqueries if isinstance(s, StarSubquery)]
+        edges = [s for s in subqueries if isinstance(s, EdgeSubquery)]
+        assert len(stars) >= 1
+        # every query edge covered exactly once
+        covered = [i for s in stars for i in s.edge_indices] + [
+            e.edge_index for e in edges
+        ]
+        assert sorted(covered) == [0, 1, 2]
+
+    def test_pure_star_is_single_subquery(self, estimator):
+        star = QueryGraph(
+            [(LABEL_A,), (), ()], [(0, 1, EDGE_A), (0, 2, EDGE_A)]
+        )
+        subqueries = estimator.decompose_query(star)
+        assert len(subqueries) == 1
+        assert isinstance(subqueries[0], StarSubquery)
+        assert subqueries[0].direction == "out"
+        assert subqueries[0].center == 0
+
+    def test_in_star_detected(self, estimator):
+        in_star = QueryGraph(
+            [(), (), (LABEL_A,)], [(0, 2, EDGE_C), (1, 2, EDGE_C)]
+        )
+        subqueries = estimator.decompose_query(in_star)
+        assert len(subqueries) == 1
+        assert subqueries[0].direction == "in"
+
+    def test_unlabeled_single_edges_become_edge_queries(self, estimator):
+        chain = QueryGraph(
+            [(), (), ()], [(0, 1, EDGE_A), (1, 2, EDGE_B)]
+        )
+        subqueries = estimator.decompose_query(chain)
+        # vertex 1 has one in-edge and one out-edge; a 1-edge unlabeled
+        # star is not worth forming
+        assert all(isinstance(s, EdgeSubquery) for s in subqueries) or any(
+            isinstance(s, StarSubquery) for s in subqueries
+        )
+        covered = []
+        for s in subqueries:
+            if isinstance(s, StarSubquery):
+                covered.extend(s.edge_indices)
+            else:
+                covered.append(s.edge_index)
+        assert sorted(covered) == [0, 1]
+
+
+class TestEstimates:
+    def test_exact_on_distinct_label_star(self):
+        """On a star whose labels pin a unique characteristic set, C-SET is
+        exact — the technique's sweet spot per the original paper."""
+        graph = Graph()
+        center_label, leaf = 0, 1
+        for i in range(5):
+            c = graph.add_vertex((center_label,))
+            for j in range(3):
+                leaf_v = graph.add_vertex()
+                graph.add_edge(c, leaf_v, 7)
+        est = CharacteristicSets(graph)
+        star = QueryGraph(
+            [(center_label,), (), ()], [(0, 1, 7), (0, 2, 7)]
+        )
+        truth = count_embeddings(graph, star).count  # 5 * 3 * 3 = 45
+        assert truth == 45
+        assert est.estimate(star).estimate == pytest.approx(45.0)
+
+    def test_edge_query_estimate_is_label_count(self, estimator):
+        single = QueryGraph([(), ()], [(0, 1, EDGE_B)])
+        assert estimator.estimate(single).estimate == pytest.approx(3.0)
+
+    def test_triangle_underestimates(self, estimator):
+        """The independence assumption causes underestimation on cyclic
+        queries (paper, Sections 6.1.1 and 6.6)."""
+        query = figure1_query()
+        truth = count_embeddings(estimator.graph, query).count
+        estimate = estimator.estimate(query).estimate
+        assert estimate < truth
+
+    def test_superset_characteristic_sets_are_summed(self, estimator):
+        # star (A, out-a) matches both A characteristic sets: 2/1 + 1/1 = 3
+        star = QueryGraph([(LABEL_A,), ()], [(0, 1, EDGE_A)])
+        assert estimator.estimate(star).estimate == pytest.approx(3.0)
+
+    def test_unknown_label_returns_zero(self, estimator):
+        star = QueryGraph([(99,), ()], [(0, 1, EDGE_A)])
+        assert estimator.estimate(star).estimate == 0.0
+
+    def test_repeated_edge_label_in_star(self, estimator):
+        star = QueryGraph(
+            [(LABEL_A,), (), ()], [(0, 1, EDGE_A), (0, 2, EDGE_A)]
+        )
+        # cs1: 1 * (2/1)^2 = 4 ; cs2: 1 * (1/1)^2 = 1 -> 5 (exact!)
+        assert estimator.estimate(star).estimate == pytest.approx(5.0)
+
+
+class TestSelectivity:
+    def test_selectivity_at_most_one(self, estimator):
+        query = figure1_query()
+        subqueries = estimator.decompose_query(query)
+        assert 0.0 < estimator.selectivity(query, subqueries) <= 1.0
+
+    def test_single_subquery_selectivity_is_one(self, estimator):
+        star = QueryGraph([(LABEL_A,), ()], [(0, 1, EDGE_A)])
+        subqueries = estimator.decompose_query(star)
+        assert estimator.selectivity(star, subqueries) == 1.0

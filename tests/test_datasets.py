@@ -1,0 +1,137 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.datasets import DATASET_NAMES, load_dataset
+from repro.datasets.base import ZipfSampler, zipf_weights
+from repro.datasets import aids, dbpedia, human, lubm, yago
+import random
+
+
+class TestZipf:
+    def test_weights_decrease(self):
+        weights = zipf_weights(5, 1.0)
+        assert weights == sorted(weights, reverse=True)
+        assert weights[0] == 1.0
+
+    def test_sampler_skews_to_low_ranks(self):
+        sampler = ZipfSampler(100, exponent=1.2)
+        rng = random.Random(0)
+        samples = [sampler.sample(rng) for _ in range(2000)]
+        assert samples.count(0) > samples.count(50)
+        assert all(0 <= s < 100 for s in samples)
+
+    def test_sampler_rejects_empty_support(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+
+    def test_sampler_deterministic_given_rng(self):
+        a = [ZipfSampler(10).sample(random.Random(1)) for _ in range(5)]
+        b = [ZipfSampler(10).sample(random.Random(1)) for _ in range(5)]
+        assert a == b
+
+
+class TestRegistry:
+    def test_all_names_loadable(self):
+        for name in DATASET_NAMES:
+            ds = load_dataset(name, seed=0)
+            assert ds.graph.num_edges > 0
+            assert ds.name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("freebase")
+
+    def test_determinism(self):
+        a = load_dataset("yago", seed=5, num_vertices=500, num_edges=800)
+        b = load_dataset("yago", seed=5, num_vertices=500, num_edges=800)
+        assert set(a.graph.edges()) == set(b.graph.edges())
+
+    def test_seeds_differ(self):
+        a = load_dataset("yago", seed=1, num_vertices=500, num_edges=800)
+        b = load_dataset("yago", seed=2, num_vertices=500, num_edges=800)
+        assert set(a.graph.edges()) != set(b.graph.edges())
+
+
+class TestProfiles:
+    """Each generator must reproduce its dataset's distinguishing stats."""
+
+    def test_lubm_schema_profile(self):
+        ds = lubm.generate(universities=2, seed=0)
+        stats = ds.graph.stats()
+        assert stats.num_edge_labels == len(lubm.EDGE_LABEL_NAMES)
+        assert stats.num_vertex_labels == len(lubm.VERTEX_LABEL_NAMES)
+        # every department belongs to a university
+        dept = ds.graph.vertices_with_label(lubm.DEPARTMENT)
+        assert all(
+            ds.graph.out_neighbors(d, lubm.SUB_ORGANIZATION_OF) for d in dept
+        )
+
+    def test_lubm_scales_with_universities(self):
+        small = lubm.generate(universities=1, seed=0).graph.num_edges
+        large = lubm.generate(universities=3, seed=0).graph.num_edges
+        assert large > 2 * small
+
+    def test_yago_profile(self):
+        ds = yago.generate(num_vertices=2000, num_edges=3000, seed=0)
+        stats = ds.graph.stats()
+        assert stats.num_edge_labels <= yago.NUM_EDGE_LABELS
+        assert stats.num_edge_labels > 50
+        # very diverse vertex labels relative to size (the YAGO contrast)
+        assert stats.num_vertex_labels > 100
+        assert stats.avg_degree < 5
+
+    def test_dbpedia_profile(self):
+        ds = dbpedia.generate(
+            num_vertices=2000, num_edges=6000, num_edge_labels=300, seed=0
+        )
+        stats = ds.graph.stats()
+        # extreme predicate skew: top predicate owns a big share, the tail
+        # is tiny (paper: 98.7M vs 1)
+        assert stats.max_triples_per_predicate > 1000
+        assert stats.min_triples_per_predicate <= 5
+        assert stats.max_degree > 100  # mega hubs
+
+    def test_aids_profile(self):
+        ds = aids.generate(num_graphs=50, seed=0)
+        stats = ds.graph.stats()
+        assert stats.num_graphs == 50
+        assert stats.num_edge_labels <= aids.NUM_EDGE_LABELS
+        assert stats.max_degree <= 30  # molecules are sparse
+        # undirected storage: in-degree == out-degree for every vertex
+        g = ds.graph
+        assert all(g.in_degree(v) == g.out_degree(v) for v in g.vertices())
+
+    def test_human_profile(self):
+        ds = human.generate(num_vertices=400, avg_degree=10, seed=0)
+        stats = ds.graph.stats()
+        # the paper's key Human contrast: zero distinct edge labels
+        assert stats.num_edge_labels == 0
+        assert stats.avg_degree > 8  # dense
+        assert stats.num_vertex_labels > 30
+
+    def test_table2_contrasts_hold_at_defaults(self):
+        """The cross-dataset contrasts the paper leans on must hold."""
+        stats = {
+            name: load_dataset(name, seed=1).graph.stats()
+            for name in DATASET_NAMES
+        }
+        # Human is the densest; AIDS has the smallest max degree
+        assert stats["human"].avg_degree == max(
+            s.avg_degree for s in stats.values()
+        )
+        assert stats["aids"].max_degree == min(
+            s.max_degree for s in stats.values()
+        )
+        # YAGO has the most vertex labels; DBpedia the most edge labels
+        assert stats["yago"].num_vertex_labels == max(
+            s.num_vertex_labels for s in stats.values()
+        )
+        assert stats["dbpedia"].num_edge_labels == max(
+            s.num_edge_labels for s in stats.values()
+        )
+        # only AIDS is a collection
+        assert stats["aids"].num_graphs > 1
+        assert all(
+            stats[n].num_graphs == 1 for n in DATASET_NAMES if n != "aids"
+        )

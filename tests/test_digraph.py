@@ -1,0 +1,210 @@
+"""Unit and property tests for the directed labeled multigraph."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.digraph import Graph, UNLABELED
+
+
+class TestConstruction:
+    def test_add_vertex_returns_dense_ids(self):
+        graph = Graph()
+        assert graph.add_vertex() == 0
+        assert graph.add_vertex((1, 2)) == 1
+        assert graph.num_vertices == 2
+
+    def test_vertex_labels_are_frozen_sets(self):
+        graph = Graph()
+        v = graph.add_vertex([3, 1, 3])
+        assert graph.vertex_labels(v) == frozenset({1, 3})
+
+    def test_add_vertex_label_updates_index(self):
+        graph = Graph()
+        v = graph.add_vertex((0,))
+        graph.add_vertex_label(v, 5)
+        assert v in graph.vertices_with_label(5)
+        assert graph.vertex_labels(v) == frozenset({0, 5})
+
+    def test_add_vertex_label_idempotent(self):
+        graph = Graph()
+        v = graph.add_vertex((5,))
+        graph.add_vertex_label(v, 5)
+        assert graph.vertices_with_label(5) == [v]
+
+    def test_add_edge_deduplicates(self):
+        graph = Graph()
+        graph.add_vertex()
+        graph.add_vertex()
+        assert graph.add_edge(0, 1, 7) is True
+        assert graph.add_edge(0, 1, 7) is False
+        assert graph.num_edges == 1
+
+    def test_parallel_edges_with_distinct_labels(self):
+        graph = Graph()
+        graph.add_vertex()
+        graph.add_vertex()
+        graph.add_edge(0, 1, 0)
+        graph.add_edge(0, 1, 1)
+        assert graph.num_edges == 2
+        assert graph.has_edge(0, 1, 0) and graph.has_edge(0, 1, 1)
+
+    def test_undirected_edge_creates_both_directions(self):
+        graph = Graph()
+        graph.add_vertex()
+        graph.add_vertex()
+        graph.add_undirected_edge(0, 1, 2)
+        assert graph.has_edge(0, 1, 2) and graph.has_edge(1, 0, 2)
+        assert graph.num_edges == 2
+
+    def test_from_edges_infers_vertex_count(self):
+        graph = Graph.from_edges([(0, 3, 1)])
+        assert graph.num_vertices == 4
+        assert graph.has_edge(0, 3, 1)
+
+    def test_from_edges_with_labels(self):
+        graph = Graph.from_edges(
+            [(0, 1, 0)], vertex_labels={0: (9,), 2: (5,)}
+        )
+        assert graph.num_vertices == 3
+        assert graph.vertex_labels(0) == frozenset({9})
+        assert 2 in graph.vertices_with_label(5)
+
+    def test_len_is_edge_count(self):
+        graph = Graph.from_edges([(0, 1, 0), (1, 0, 0)])
+        assert len(graph) == 2
+
+
+class TestAdjacency:
+    @pytest.fixture
+    def graph(self):
+        g = Graph()
+        for _ in range(4):
+            g.add_vertex()
+        g.add_edge(0, 1, 0)
+        g.add_edge(0, 2, 0)
+        g.add_edge(0, 3, 1)
+        g.add_edge(2, 0, 1)
+        return g
+
+    def test_out_neighbors_by_label(self, graph):
+        assert sorted(graph.out_neighbors(0, 0)) == [1, 2]
+        assert graph.out_neighbors(0, 1) == [3]
+        assert graph.out_neighbors(0, 9) == []
+
+    def test_out_neighbors_all_labels(self, graph):
+        assert sorted(graph.out_neighbors(0)) == [1, 2, 3]
+
+    def test_in_neighbors(self, graph):
+        assert graph.in_neighbors(0, 1) == [2]
+        assert graph.in_neighbors(1) == [0]
+
+    def test_degrees(self, graph):
+        assert graph.out_degree(0) == 3
+        assert graph.in_degree(0) == 1
+        assert graph.degree(0) == 4
+
+    def test_neighborhood_is_distinct(self, graph):
+        assert graph.neighborhood(0) == {1, 2, 3}
+
+    def test_self_loop_in_neighborhood(self):
+        g = Graph()
+        g.add_vertex()
+        g.add_edge(0, 0, 0)
+        assert g.neighborhood(0) == {0}
+        assert g.degree(0) == 2
+
+
+class TestIndexes:
+    def test_vertices_with_labels_intersection(self):
+        graph = Graph()
+        graph.add_vertex((0, 1))
+        graph.add_vertex((0,))
+        graph.add_vertex((1,))
+        assert graph.vertices_with_labels(frozenset({0, 1})) == [0]
+        assert sorted(graph.vertices_with_labels(frozenset({0}))) == [0, 1]
+
+    def test_vertices_with_labels_empty_means_all(self):
+        graph = Graph()
+        graph.add_vertex()
+        graph.add_vertex((1,))
+        assert sorted(graph.vertices_with_labels(frozenset())) == [0, 1]
+
+    def test_edges_with_label(self):
+        graph = Graph.from_edges([(0, 1, 5), (1, 2, 5), (2, 0, 3)])
+        assert sorted(graph.edges_with_label(5)) == [(0, 1), (1, 2)]
+        assert graph.edge_label_count(3) == 1
+        assert graph.edge_label_count(99) == 0
+
+    def test_edge_labels_and_vertex_labels_lists(self):
+        graph = Graph.from_edges([(0, 1, 5)], vertex_labels={0: (7,)})
+        assert graph.edge_labels() == [5]
+        assert graph.all_vertex_labels() == [7]
+
+
+class TestStats:
+    def test_stats_of_figure1(self, fig1_graph):
+        stats = fig1_graph.stats()
+        assert stats.num_vertices == 8
+        assert stats.num_edges == 11
+        assert stats.num_vertex_labels == 3
+        assert stats.num_edge_labels == 5
+        assert stats.max_degree == max(
+            fig1_graph.degree(v) for v in fig1_graph.vertices()
+        )
+
+    def test_stats_unlabeled_graph_reports_zero_edge_labels(self):
+        graph = Graph.from_edges([(0, 1, UNLABELED), (1, 2, UNLABELED)])
+        assert graph.stats().num_edge_labels == 0
+
+    def test_stats_empty_graph(self):
+        stats = Graph().stats()
+        assert stats.num_vertices == 0
+        assert stats.avg_degree == 0.0
+        assert stats.max_degree == 0
+
+    def test_stats_as_row_keys(self):
+        row = Graph().stats().as_row()
+        assert "# of vertices" in row and "Avg. degree" in row
+
+
+# ---------------------------------------------------------------------------
+# property tests
+# ---------------------------------------------------------------------------
+edge_lists = st.lists(
+    st.tuples(
+        st.integers(0, 7), st.integers(0, 7), st.integers(0, 3)
+    ),
+    max_size=40,
+)
+
+
+@given(edges=edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_degree_sums_match_edge_count(edges):
+    graph = Graph.from_edges(edges, num_vertices=8)
+    total_out = sum(graph.out_degree(v) for v in graph.vertices())
+    total_in = sum(graph.in_degree(v) for v in graph.vertices())
+    assert total_out == graph.num_edges
+    assert total_in == graph.num_edges
+
+
+@given(edges=edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_edges_iterator_consistent_with_has_edge(edges):
+    graph = Graph.from_edges(edges, num_vertices=8)
+    listed = set(graph.edges())
+    assert len(listed) == graph.num_edges
+    for src, dst, label in listed:
+        assert graph.has_edge(src, dst, label)
+        assert dst in graph.out_neighbors(src, label)
+        assert src in graph.in_neighbors(dst, label)
+
+
+@given(edges=edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_label_index_partition(edges):
+    """Every edge appears under exactly its own label's index."""
+    graph = Graph.from_edges(edges, num_vertices=8)
+    total = sum(graph.edge_label_count(l) for l in graph.edge_labels())
+    assert total == graph.num_edges

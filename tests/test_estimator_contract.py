@@ -1,0 +1,92 @@
+"""Contract tests: every registered technique obeys the framework's API.
+
+One parametrized suite over all techniques (the paper's seven plus the
+extensions) so that any new estimator added to the registry is held to
+the same behavioural contract automatically.
+"""
+
+import pytest
+
+from repro.core.errors import GCareError, UnsupportedQueryError
+from repro.core.framework import Estimator
+from repro.core.registry import ALL_TECHNIQUES, EXTENSIONS, create_estimator
+from repro.core.result import EstimationResult
+from repro.datasets.example import figure1_graph, figure1_query
+from repro.graph.query import QueryGraph
+
+EVERY_TECHNIQUE = tuple(ALL_TECHNIQUES) + tuple(EXTENSIONS)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return figure1_graph()
+
+
+def make(name, graph, **kwargs):
+    kwargs.setdefault("sampling_ratio", 1.0)
+    kwargs.setdefault("time_limit", 30.0)
+    return create_estimator(name, graph, **kwargs)
+
+
+@pytest.mark.parametrize("name", EVERY_TECHNIQUE)
+class TestContract:
+    def test_is_estimator_subclass(self, name, graph):
+        assert isinstance(make(name, graph), Estimator)
+
+    def test_returns_estimation_result(self, name, graph, fig1_query):
+        estimator = make(name, graph)
+        try:
+            result = estimator.estimate(fig1_query)
+        except UnsupportedQueryError:
+            pytest.skip(f"{name} does not support this query shape")
+        assert isinstance(result, EstimationResult)
+        assert result.estimate >= 0.0
+        assert result.elapsed >= 0.0
+        assert result.num_subqueries >= 1
+
+    def test_deterministic_with_same_seed(self, name, graph, fig1_query):
+        try:
+            first = make(name, graph, seed=11).estimate(fig1_query).estimate
+            second = make(name, graph, seed=11).estimate(fig1_query).estimate
+        except UnsupportedQueryError:
+            pytest.skip(f"{name} does not support this query shape")
+        assert first == second
+
+    def test_prepare_idempotent(self, name, graph):
+        estimator = make(name, graph)
+        first = estimator.prepare()
+        assert estimator.prepare() == first
+
+    def test_impossible_label_estimates_low(self, name, graph):
+        """A query over a nonexistent edge label has truth 0; estimates
+        must not hallucinate significant mass."""
+        query = QueryGraph([(), (), ()], [(0, 1, 77), (1, 2, 78)])
+        estimator = make(name, graph)
+        try:
+            estimate = estimator.estimate(query).estimate
+        except UnsupportedQueryError:
+            pytest.skip(f"{name} does not support this query shape")
+        assert estimate <= 1.0
+
+    def test_single_edge_query(self, name, graph):
+        query = QueryGraph([(), ()], [(0, 1, 0)])  # 3 'a' edges
+        estimator = make(name, graph)
+        try:
+            estimate = estimator.estimate(query).estimate
+        except UnsupportedQueryError:
+            pytest.skip(f"{name} does not support this query shape")
+        # every technique should land within a factor 4 on a bare scan
+        assert 0.75 <= estimate <= 12.0
+
+    def test_timings_present(self, name, graph, fig1_query):
+        estimator = make(name, graph)
+        try:
+            result = estimator.estimate(fig1_query)
+        except UnsupportedQueryError:
+            pytest.skip(f"{name} does not support this query shape")
+        assert "timings" in result.info
+
+
+@pytest.fixture
+def fig1_query():
+    return figure1_query()

@@ -1,0 +1,117 @@
+"""Unit tests for IMPR."""
+
+import pytest
+
+from repro.core.errors import UnsupportedQueryError
+from repro.datasets.example import figure1_graph, figure1_query
+from repro.estimators.impr import Impr
+from repro.graph.digraph import Graph
+from repro.graph.query import QueryGraph
+from repro.matching.homomorphism import count_embeddings
+
+
+def clique_graph(n: int) -> Graph:
+    """An n-clique with unlabeled edges in both directions."""
+    graph = Graph()
+    for _ in range(n):
+        graph.add_vertex()
+    for i in range(n):
+        for j in range(i + 1, n):
+            graph.add_undirected_edge(i, j, 0)
+    return graph
+
+
+def triangle_query() -> QueryGraph:
+    return QueryGraph([(), (), ()], [(0, 1, 0), (1, 2, 0), (2, 0, 0)])
+
+
+class TestQuerySupport:
+    @pytest.mark.parametrize("num_vertices", [2, 6, 7])
+    def test_rejects_unsupported_sizes(self, num_vertices):
+        graph = clique_graph(4)
+        query = QueryGraph(
+            [()] * num_vertices,
+            [(i, i + 1, 0) for i in range(num_vertices - 1)],
+        )
+        est = Impr(graph)
+        with pytest.raises(UnsupportedQueryError):
+            est.estimate(query)
+
+    @pytest.mark.parametrize("num_vertices", [3, 4, 5])
+    def test_accepts_3_4_5(self, num_vertices):
+        graph = clique_graph(6)
+        query = QueryGraph(
+            [()] * num_vertices,
+            [(i, i + 1, 0) for i in range(num_vertices - 1)],
+        )
+        est = Impr(graph, sampling_ratio=0.2)
+        result = est.estimate(query)  # should not raise
+        assert result.estimate >= 0.0
+
+
+class TestWeights:
+    def test_beta_of_triangle(self):
+        est = Impr(clique_graph(4))
+        # walks of 2 distinct vertices in a triangle: 3 * 2 = 6
+        assert est._beta(triangle_query()) == 6
+
+    def test_beta_of_4_chain(self):
+        est = Impr(clique_graph(4))
+        chain = QueryGraph([()] * 4, [(0, 1, 0), (1, 2, 0), (2, 3, 0)])
+        # 3-vertex walks in a path 0-1-2-3: [0,1,2],[1,2,3] and reverses = 4
+        assert est._beta(chain) == 4
+
+    def test_walk_probability_sums_to_at_most_one(self):
+        est = Impr(clique_graph(4))
+        est._build_walk_structure(frozenset({0}))
+        total = 0.0
+        for a in range(4):
+            for b in range(4):
+                if a != b:
+                    total += est._walk_probability((a, b))
+        assert total == pytest.approx(1.0)
+
+    def test_walk_orderings_on_clique(self):
+        est = Impr(clique_graph(4))
+        est._build_walk_structure(frozenset({0}))
+        assert len(est._walk_orderings({0, 1, 2})) == 6  # all 3! orders walk
+
+
+class TestEstimates:
+    def test_triangle_on_clique_close_to_truth(self):
+        """On a clique with full sampling, IMPR should land near the exact
+        embedding count (its home turf: small unlabeled graphlets)."""
+        graph = clique_graph(7)
+        query = triangle_query()
+        truth = count_embeddings(graph, query).count
+        estimates = []
+        for seed in range(5):
+            est = Impr(graph, sampling_ratio=1.0, seed=seed)
+            estimates.append(est.estimate(query).estimate)
+        mean = sum(estimates) / len(estimates)
+        assert truth * 0.5 <= mean <= truth * 1.7
+
+    def test_labeled_walk_restriction(self, fig1_graph, fig1_query):
+        """Walks only traverse edges whose labels occur in the query."""
+        est = Impr(fig1_graph, sampling_ratio=1.0, seed=3)
+        result = est.estimate(fig1_query)
+        # labels a, b, c have 9 edges; d/e edges excluded from walks
+        assert est._num_edges == 9
+        assert result.estimate >= 0.0
+
+    def test_no_matching_labels_yields_zero(self, fig1_graph):
+        query = QueryGraph([(), (), ()], [(0, 1, 99), (1, 2, 99)])
+        est = Impr(fig1_graph)
+        assert est.estimate(query).estimate == 0.0
+
+    def test_failure_counter_in_info(self, fig1_graph, fig1_query):
+        est = Impr(fig1_graph, sampling_ratio=1.0, seed=0)
+        result = est.estimate(fig1_query)
+        assert result.info["walk_samples"] >= result.info["walk_failures"]
+
+    def test_visible_embedding_example_from_paper(self, fig1_graph):
+        """Section 3.4: walk <v0, v1> sees exactly one embedding of Q."""
+        est = Impr(fig1_graph)
+        query = figure1_query()
+        est._build_walk_structure(frozenset(l for _, _, l in query.edges))
+        assert est._count_visible_embeddings(query, (0, 1)) == 1

@@ -1,0 +1,89 @@
+"""Unit tests for graph/query text serialization."""
+
+import pytest
+
+from repro.graph.digraph import Graph
+from repro.graph.io import (
+    dump_graph,
+    dump_query,
+    load_graph,
+    load_query,
+    load_triples,
+)
+from repro.graph.query import QueryGraph
+
+
+class TestGraphRoundtrip:
+    def test_roundtrip_preserves_structure(self, tmp_path, fig1_graph):
+        path = tmp_path / "g.txt"
+        dump_graph(fig1_graph, path)
+        loaded = load_graph(path)
+        assert loaded.num_vertices == fig1_graph.num_vertices
+        assert set(loaded.edges()) == set(fig1_graph.edges())
+        for v in fig1_graph.vertices():
+            assert loaded.vertex_labels(v) == fig1_graph.vertex_labels(v)
+
+    def test_unlabeled_vertices_roundtrip(self, tmp_path):
+        graph = Graph()
+        graph.add_vertex()
+        graph.add_vertex((3,))
+        graph.add_edge(0, 1, 0)
+        path = tmp_path / "g.txt"
+        dump_graph(graph, path)
+        loaded = load_graph(path)
+        assert loaded.vertex_labels(0) == frozenset()
+        assert loaded.vertex_labels(1) == frozenset({3})
+
+    def test_collection_loading_offsets_ids(self, tmp_path):
+        path = tmp_path / "coll.txt"
+        path.write_text(
+            "t # 0\nv 0 1\nv 1 2\ne 0 1 0\n"
+            "t # 1\nv 0 1\nv 1 1\ne 1 0 5\n"
+        )
+        graph = load_graph(path)
+        assert graph.num_graphs == 2
+        assert graph.num_vertices == 4
+        assert graph.has_edge(0, 1, 0)
+        assert graph.has_edge(3, 2, 5)  # second section offset by 2
+
+    def test_unknown_line_kind_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("x 1 2 3\n")
+        with pytest.raises(ValueError):
+            load_graph(path)
+
+
+class TestQueryRoundtrip:
+    def test_roundtrip(self, tmp_path, fig1_query):
+        path = tmp_path / "q.txt"
+        dump_query(fig1_query, path)
+        loaded = load_query(path)
+        assert loaded == fig1_query
+
+    def test_wildcard_vertices(self, tmp_path):
+        query = QueryGraph([(), (2,)], [(0, 1, 3)])
+        path = tmp_path / "q.txt"
+        dump_query(query, path)
+        assert load_query(path) == query
+
+
+class TestTriples:
+    def test_load_triples_dictionary_encodes(self, tmp_path):
+        path = tmp_path / "t.nt"
+        path.write_text(
+            "alice knows bob\nbob knows carol\nalice likes carol\n"
+        )
+        graph, vertices, predicates = load_triples(path)
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 3
+        assert set(predicates) == {"knows", "likes"}
+        assert graph.has_edge(
+            vertices["alice"], vertices["bob"], predicates["knows"]
+        )
+
+    def test_load_triples_skips_comments_and_short_lines(self, tmp_path):
+        path = tmp_path / "t.nt"
+        path.write_text("# comment\nsingleton\n a b c \n")
+        graph, vertices, __ = load_triples(path)
+        assert graph.num_edges == 1
+        assert set(vertices) == {"a", "c"}

@@ -1,0 +1,117 @@
+"""Unit tests for JSUB."""
+
+import pytest
+
+from repro.datasets.example import figure1_graph, figure1_query
+from repro.estimators.jsub import Jsub, _TreeSampler
+from repro.graph.digraph import Graph
+from repro.graph.query import QueryGraph
+from repro.matching.homomorphism import count_embeddings
+
+
+def path_query():
+    """u0 --a--> u1 --b--> u2 (acyclic)."""
+    return QueryGraph([(), (), ()], [(0, 1, 0), (1, 2, 1)])
+
+
+class TestSpanningTrees:
+    def test_acyclic_query_tree_is_whole_query(self, fig1_graph):
+        est = Jsub(fig1_graph)
+        trees = est._spanning_trees(path_query())
+        assert all(sorted(t) == [0, 1] for t in trees)
+
+    def test_triangle_trees_drop_one_edge(self, fig1_graph, fig1_query):
+        est = Jsub(fig1_graph)
+        trees = est._spanning_trees(fig1_query)
+        assert all(len(t) == 2 for t in trees)
+        assert len(trees) >= 2  # different BFS roots give different trees
+
+
+class TestExactWeight:
+    def test_exact_weight_counts_extensions(self, fig1_graph):
+        query = path_query()
+        sampler = _TreeSampler(fig1_graph, query, [0, 1], 0)
+        # root tuple (0, 2) on edge 'a': extensions via (2, 4, b) -> 1
+        assert sampler.exact_weight((0, 2)) == 1
+        # root tuple (1, 3): (3, 5, b) -> 1
+        assert sampler.exact_weight((1, 3)) == 1
+        # root tuple (0, 1): v1 has out-b to v0 -> 1
+        assert sampler.exact_weight((0, 1)) == 1
+
+    def test_exact_weight_respects_vertex_labels(self, fig1_graph):
+        query = QueryGraph([(0,), (), (2,)], [(0, 1, 0), (1, 2, 1)])
+        sampler = _TreeSampler(fig1_graph, query, [0, 1], 0)
+        # (0,2): extension v4 has label C -> ok ; (0,1): v1 -b-> v0 is A
+        assert sampler.exact_weight((0, 2)) == 1
+        assert sampler.exact_weight((0, 1)) == 0
+
+    def test_exact_weight_memoizes(self, fig1_graph):
+        sampler = _TreeSampler(fig1_graph, path_query(), [0, 1], 0)
+        sampler.exact_weight((0, 2))
+        assert sampler._memo  # subtree counts cached
+
+    def test_sum_of_exact_weights_is_true_cardinality(self, fig1_graph):
+        """Summing w(t) over the whole root relation counts the tree query
+        exactly — the identity that makes the estimator unbiased."""
+        query = path_query()
+        sampler = _TreeSampler(fig1_graph, query, [0, 1], 0)
+        total = sum(
+            sampler.exact_weight(t)
+            for t in fig1_graph.edges_with_label(0)
+        )
+        truth = count_embeddings(fig1_graph, query).count
+        assert total == truth
+
+
+class TestEstimates:
+    def test_unbiased_on_tree_queries(self, fig1_graph):
+        query = path_query()
+        truth = count_embeddings(fig1_graph, query).count
+        estimates = [
+            Jsub(fig1_graph, sampling_ratio=1.0, seed=s)
+            .estimate(query)
+            .estimate
+            for s in range(20)
+        ]
+        mean = sum(estimates) / len(estimates)
+        assert truth * 0.6 <= mean <= truth * 1.4
+
+    def test_cyclic_query_estimates_acyclic_upper_bound(self, fig1_graph, fig1_query):
+        """For cyclic Q, JSUB estimates |q_1| >= |Q| (upper bound)."""
+        truth = count_embeddings(fig1_graph, fig1_query).count
+        # average over seeds: |q_1| for any 2-edge tree of the triangle is
+        # >= 3, so the mean estimate must not collapse below the truth
+        estimates = [
+            Jsub(fig1_graph, sampling_ratio=1.0, seed=s)
+            .estimate(fig1_query)
+            .estimate
+            for s in range(20)
+        ]
+        mean = sum(estimates) / len(estimates)
+        assert mean >= truth * 0.6
+
+    def test_impossible_query_returns_zero(self, fig1_graph):
+        query = QueryGraph([(), ()], [(0, 1, 99)])
+        est = Jsub(fig1_graph, sampling_ratio=1.0)
+        assert est.estimate(query).estimate == 0.0
+
+    def test_decomposition_failure_returns_zero(self, fig1_graph):
+        """No (q_1, o) with a valid sample -> estimate 0 (the paper's JSUB
+        underestimation failure)."""
+        # 'd' then 'e': no d-edge endpoint continues into an e-edge
+        query = QueryGraph([(), (), ()], [(0, 1, 3), (1, 2, 4)])
+        est = Jsub(fig1_graph, sampling_ratio=1.0)
+        assert est.estimate(query).estimate == 0.0
+
+    def test_info_reports_chosen_tree(self, fig1_graph, fig1_query):
+        est = Jsub(fig1_graph, sampling_ratio=1.0, seed=0)
+        result = est.estimate(fig1_query)
+        assert result.info["tree_edges"] is not None
+        assert len(result.info["tree_edges"]) == 2
+
+    def test_deterministic_per_seed(self, fig1_graph, fig1_query):
+        a = Jsub(fig1_graph, sampling_ratio=0.5, seed=4)
+        b = Jsub(fig1_graph, sampling_ratio=0.5, seed=4)
+        assert (
+            a.estimate(fig1_query).estimate == b.estimate(fig1_query).estimate
+        )

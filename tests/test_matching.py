@@ -1,0 +1,134 @@
+"""Unit and property tests for the exact homomorphism counter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.example import FIGURE1_TRUE_CARDINALITY
+from repro.graph.digraph import Graph
+from repro.graph.query import QueryGraph
+from repro.matching.homomorphism import HomomorphismCounter, count_embeddings
+
+from tests.conftest import brute_force_count
+
+
+class TestBasics:
+    def test_figure1_has_three_embeddings(self, fig1_graph, fig1_query):
+        result = count_embeddings(fig1_graph, fig1_query)
+        assert result.count == FIGURE1_TRUE_CARDINALITY
+        assert result.complete
+
+    def test_single_edge_query_counts_label_edges(self, fig1_graph):
+        query = QueryGraph([(), ()], [(0, 1, 0)])  # any a-labeled edge
+        result = count_embeddings(fig1_graph, query)
+        assert result.count == fig1_graph.edge_label_count(0)
+
+    def test_vertex_labels_restrict_matches(self, tiny_graph):
+        unlabeled = QueryGraph([(), ()], [(0, 1, 0)])
+        labeled = QueryGraph([(0,), (1,)], [(0, 1, 0)])
+        assert count_embeddings(tiny_graph, unlabeled).count == 2
+        assert count_embeddings(tiny_graph, labeled).count == 1
+
+    def test_homomorphism_not_injective(self):
+        # square query on a single undirected edge: u0-u1-u0-u1 folds
+        graph = Graph.from_edges([(0, 1, 0), (1, 0, 0)])
+        square = QueryGraph(
+            [()] * 4, [(0, 1, 0), (1, 2, 0), (2, 3, 0), (3, 0, 0)]
+        )
+        assert count_embeddings(graph, square).count == 2
+
+    def test_self_loop_query(self):
+        graph = Graph.from_edges([(0, 0, 1), (0, 1, 0)])
+        loop = QueryGraph([()], [(0, 0, 1)])
+        assert count_embeddings(graph, loop).count == 1
+
+    def test_no_match_returns_zero(self, tiny_graph):
+        query = QueryGraph([(), ()], [(0, 1, 99)])
+        assert count_embeddings(tiny_graph, query).count == 0
+
+    def test_star_uses_leaf_product(self, fig1_graph):
+        # star with two 'a' out-edges from an A vertex: v0 has 2 out-a edges
+        star = QueryGraph([(0,), (), ()], [(0, 1, 0), (0, 2, 0)])
+        # v0: 2*2 = 4; v1: 1*1 = 1  -> 5 embeddings
+        assert count_embeddings(fig1_graph, star).count == 5
+
+
+class TestBudgets:
+    def test_max_count_truncates(self, fig1_graph):
+        query = QueryGraph([(), ()], [(0, 1, 0)])
+        result = count_embeddings(fig1_graph, query, max_count=2)
+        assert result.count == 2
+        assert not result.complete
+
+    def test_time_limit_zero_truncates(self, fig1_graph, fig1_query):
+        result = count_embeddings(fig1_graph, fig1_query, time_limit=1e-9)
+        assert not result.complete
+
+    def test_generous_budgets_complete(self, fig1_graph, fig1_query):
+        result = count_embeddings(
+            fig1_graph, fig1_query, time_limit=60, max_count=10**9
+        )
+        assert result.complete
+
+
+class TestRestrictions:
+    def test_edge_candidates_restrict(self, fig1_graph, fig1_query):
+        # restrict the 'a' query edge to the single data edge (v0, v2)
+        restricted = count_embeddings(
+            fig1_graph, fig1_query, edge_candidates={0: {(0, 2)}}
+        )
+        assert restricted.count == 1
+
+    def test_vertex_filters_restrict(self, fig1_graph, fig1_query):
+        # forbid v0 as the image of u0: kills embeddings M1 and M3
+        result = count_embeddings(
+            fig1_graph, fig1_query, vertex_filters={0: lambda v: v != 0}
+        )
+        assert result.count == 1
+
+    def test_vertex_filter_on_all_vertices(self, fig1_graph, fig1_query):
+        result = count_embeddings(
+            fig1_graph,
+            fig1_query,
+            vertex_filters={u: (lambda v: True) for u in range(3)},
+        )
+        assert result.count == FIGURE1_TRUE_CARDINALITY
+
+
+# ---------------------------------------------------------------------------
+# property tests: agree with brute force on random tiny instances
+# ---------------------------------------------------------------------------
+graphs = st.lists(
+    st.tuples(st.integers(0, 4), st.integers(0, 4), st.integers(0, 1)),
+    max_size=14,
+)
+query_edges = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 1)),
+    min_size=1,
+    max_size=4,
+)
+query_labels = st.lists(
+    st.sets(st.integers(0, 1), max_size=1), min_size=3, max_size=3
+)
+
+
+@given(edges=graphs, qedges=query_edges, qlabels=query_labels)
+@settings(max_examples=120, deadline=None)
+def test_matcher_agrees_with_brute_force(edges, qedges, qlabels):
+    graph = Graph.from_edges(
+        edges, vertex_labels={0: (0,), 1: (1,), 2: (0, 1)}, num_vertices=5
+    )
+    query = QueryGraph(qlabels, qedges)
+    expected = brute_force_count(graph, query)
+    assert count_embeddings(graph, query).count == expected
+
+
+@given(edges=graphs, qedges=query_edges)
+@settings(max_examples=60, deadline=None)
+def test_max_count_is_monotone_lower_bound(edges, qedges):
+    graph = Graph.from_edges(edges, num_vertices=5)
+    query = QueryGraph([set(), set(), set()], qedges)
+    full = count_embeddings(graph, query).count
+    capped = count_embeddings(graph, query, max_count=3)
+    assert capped.count == min(full, 3)
+    assert capped.complete == (full < 3) or full == 3

@@ -1,0 +1,137 @@
+"""Unit and property tests for the evaluation metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.qerror import (
+    QErrorSummary,
+    geometric_mean,
+    is_underestimate,
+    percentile,
+    qerror,
+    signed_qerror,
+)
+from repro.metrics.report import format_value, render_grouped_qerrors, render_table
+
+
+class TestQError:
+    def test_perfect_estimate(self):
+        assert qerror(100, 100) == 1.0
+
+    def test_symmetry_of_ratio(self):
+        assert qerror(10, 100) == qerror(100, 10) == 10.0
+
+    def test_zero_clamping(self):
+        assert qerror(0, 0) == 1.0
+        assert qerror(100, 0) == 100.0
+        assert qerror(0, 7) == 7.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            qerror(-1, 5)
+
+    def test_signed_underestimate_negative(self):
+        assert signed_qerror(100, 10) == -10.0
+        assert signed_qerror(10, 100) == 10.0
+        assert signed_qerror(5, 5) == 5 / 5
+
+    def test_is_underestimate(self):
+        assert is_underestimate(100, 10)
+        assert not is_underestimate(10, 100)
+        assert not is_underestimate(5, 5)
+        assert not is_underestimate(0.5, 0.4)  # both clamp to 1
+
+    @given(
+        c=st.floats(0, 1e6, allow_nan=False),
+        e=st.floats(0, 1e6, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_qerror_at_least_one(self, c, e):
+        assert qerror(c, e) >= 1.0
+
+    @given(c=st.floats(1, 1e6), factor=st.floats(1, 1e3))
+    @settings(max_examples=100, deadline=None)
+    def test_qerror_of_scaled_estimate(self, c, factor):
+        assert qerror(c, c * factor) == pytest.approx(factor, rel=1e-9)
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([1, 2, 9], 50) == 2
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = list(range(11))
+        assert percentile(values, 0) == 0
+        assert percentile(values, 100) == 10
+
+    def test_single_value(self):
+        assert percentile([7], 95) == 7
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestSummary:
+    def test_from_pairs(self):
+        pairs = [(100, 100), (100, 10), (10, 100)]
+        summary = QErrorSummary.from_pairs(pairs)
+        assert summary.count == 3
+        assert summary.median == 10.0
+        assert summary.mean == pytest.approx((1 + 10 + 10) / 3)
+        assert summary.underestimated_fraction == pytest.approx(1 / 3)
+
+    def test_failures_recorded(self):
+        summary = QErrorSummary.from_pairs([(1, 1)], failures=4)
+        assert summary.failures == 4
+
+    def test_empty_pairs(self):
+        summary = QErrorSummary.from_pairs([])
+        assert summary.count == 0
+        assert math.isnan(summary.mean)
+
+    def test_percentile_keys(self):
+        summary = QErrorSummary.from_pairs([(1, 1)] * 10)
+        assert set(summary.percentiles) == {5, 25, 50, 75, 95}
+
+
+class TestGeometricMean:
+    def test_basics(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+        assert geometric_mean([7]) == pytest.approx(7.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestReport:
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(float("nan")) == "-"
+        assert format_value(float("inf")) == "inf"
+        assert format_value(3.14159) == "3.14"
+        assert format_value(123456.0) == "1.23e+05"
+        assert format_value("x") == "x"
+
+    def test_render_table_aligns(self):
+        table = render_table(["a", "bb"], [[1, 2], [33, 4]], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_grouped(self):
+        text = render_grouped_qerrors(
+            "topology",
+            ["chain", "star"],
+            {"wj": {"chain": 1.0}, "bs": {"chain": 5.0, "star": 2.0}},
+        )
+        assert "chain" in text and "star" in text
+        assert "-" in text  # missing wj/star cell

@@ -1,0 +1,74 @@
+"""Unit tests for online-aggregation WanderJoin."""
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.datasets.example import figure1_graph, figure1_query
+from repro.estimators.online import OnlineSnapshot, OnlineWanderJoin
+from repro.graph.query import QueryGraph
+from repro.matching.homomorphism import count_embeddings
+
+
+class TestStream:
+    def test_snapshots_accumulate_walks(self, fig1_graph, fig1_query):
+        online = OnlineWanderJoin(fig1_graph, seed=0, report_every=8)
+        snapshots = list(online.stream(fig1_query, max_walks=64))
+        assert snapshots
+        walks = [s.walks for s in snapshots]
+        assert walks == sorted(walks)
+        assert walks[-1] == 64
+
+    def test_final_estimate_near_truth(self, fig1_graph, fig1_query):
+        truth = count_embeddings(fig1_graph, fig1_query).count
+        online = OnlineWanderJoin(fig1_graph, seed=3, report_every=64)
+        final = list(online.stream(fig1_query, max_walks=4000))[-1]
+        assert truth * 0.7 <= final.estimate <= truth * 1.3
+
+    def test_ci_tightens_over_time(self, fig1_graph, fig1_query):
+        online = OnlineWanderJoin(fig1_graph, seed=1, report_every=32)
+        snapshots = list(online.stream(fig1_query, max_walks=2048))
+        early = snapshots[1].ci_half_width
+        late = snapshots[-1].ci_half_width
+        assert late < early
+
+    def test_impossible_query_stays_zero(self, fig1_graph):
+        query = QueryGraph([(), ()], [(0, 1, 99)])
+        online = OnlineWanderJoin(fig1_graph, seed=0)
+        final = list(online.stream(query, max_walks=32))[-1]
+        assert final.estimate == 0.0
+        assert final.relative_half_width == float("inf")
+
+    def test_time_limit_stops_stream(self, fig1_graph, fig1_query):
+        online = OnlineWanderJoin(fig1_graph, seed=0, report_every=4)
+        snapshots = list(
+            online.stream(fig1_query, max_walks=10**7, time_limit=0.05)
+        )
+        assert snapshots[-1].elapsed <= 1.0
+        assert snapshots[-1].walks < 10**7
+
+
+class TestStopAtConfidence:
+    def test_reaches_target_on_lubm(self):
+        ds = load_dataset("lubm", seed=1, universities=1)
+        from repro.workload.lubm_queries import q4
+
+        online = OnlineWanderJoin(ds.graph, seed=0, report_every=32)
+        final = online.estimate_to_confidence(
+            q4(), target_relative_ci=0.25, max_walks=20_000
+        )
+        truth = count_embeddings(ds.graph, q4()).count
+        assert final.relative_half_width <= 0.25 or final.walks == 20_000
+        # the interval should actually cover or near-cover the truth
+        assert abs(final.estimate - truth) <= max(
+            3 * final.ci_half_width, truth * 0.5
+        )
+
+    def test_confidence_needs_minimum_walks(self, fig1_graph, fig1_query):
+        online = OnlineWanderJoin(fig1_graph, seed=0, tau=50, report_every=1)
+        snapshots = list(
+            online.stream(
+                fig1_query, max_walks=1000, target_relative_ci=10.0
+            )
+        )
+        # the generous target must not fire before tau walks
+        assert snapshots[-1].walks >= 50 or snapshots[-1].walks == 1000

@@ -1,0 +1,112 @@
+"""Unit tests for the triple-pattern query language."""
+
+import pytest
+
+from repro.datasets import lubm
+from repro.graph.query import QueryGraph
+from repro.matching.homomorphism import count_embeddings
+from repro.workload.lubm_queries import q9
+from repro.workload.patterns import (
+    PatternSyntaxError,
+    format_query,
+    parse_query,
+)
+
+
+class TestParsing:
+    def test_simple_chain(self):
+        query = parse_query("?x 0 ?y .\n?y 1 ?z .")
+        assert query.num_vertices == 3
+        assert query.edges == [(0, 1, 0), (1, 2, 1)]
+
+    def test_named_predicates(self):
+        query = parse_query(
+            "?s :advisor ?p .\n?p :teacherOf ?c .\n?s :takesCourse ?c .",
+            edge_labels=lubm.EDGE_LABEL_NAMES,
+        )
+        assert (0, 1, lubm.ADVISOR) in query.edges
+        assert (1, 2, lubm.TEACHER_OF) in query.edges
+
+    def test_type_statements_attach_labels(self):
+        query = parse_query(
+            "?s a GraduateStudent .\n?s :advisor ?p .",
+            edge_labels=lubm.EDGE_LABEL_NAMES,
+            vertex_labels=lubm.VERTEX_LABEL_NAMES,
+        )
+        assert lubm.GRADUATE_STUDENT in query.vertex_labels[0]
+        assert query.vertex_labels[1] == frozenset()
+
+    def test_equivalent_to_handwritten_q9(self):
+        text = """
+        ?s a Student .        # any student
+        ?p a Professor .
+        ?c a Course .
+        ?s :advisor ?p .
+        ?p :teacherOf ?c .
+        ?s :takesCourse ?c .
+        """
+        parsed = parse_query(
+            text,
+            edge_labels=lubm.EDGE_LABEL_NAMES,
+            vertex_labels=lubm.VERTEX_LABEL_NAMES,
+        )
+        assert parsed == q9()
+
+    def test_inline_dot_separator(self):
+        query = parse_query("?a 0 ?b . ?b 1 ?c")
+        assert query.num_edges == 2
+
+    def test_comments_and_blank_lines(self):
+        query = parse_query("# header\n\n?a 0 ?b .\n# trailing\n")
+        assert query.num_edges == 1
+
+    def test_roundtrip_through_format(self):
+        original = q9()
+        text = format_query(
+            original,
+            edge_labels=lubm.EDGE_LABEL_NAMES,
+            vertex_labels=lubm.VERTEX_LABEL_NAMES,
+        )
+        parsed = parse_query(
+            text,
+            edge_labels=lubm.EDGE_LABEL_NAMES,
+            vertex_labels=lubm.VERTEX_LABEL_NAMES,
+        )
+        assert parsed == original
+
+
+class TestErrors:
+    def test_unknown_predicate(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_query("?a :nope ?b", edge_labels=lubm.EDGE_LABEL_NAMES)
+
+    def test_non_variable_subject(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_query("alice 0 ?b")
+
+    def test_malformed_triple(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_query("?a 0")
+
+    def test_empty_pattern(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_query("# nothing here")
+
+    def test_type_only_pattern_rejected(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_query("?a a Student", vertex_labels=lubm.VERTEX_LABEL_NAMES)
+
+
+class TestSemantics:
+    def test_parsed_query_counts_correctly(self):
+        from repro.datasets import load_dataset
+
+        ds = load_dataset("lubm", seed=1, universities=1)
+        parsed = parse_query(
+            "?s a Student . ?p a Professor . ?c a Course . "
+            "?s :advisor ?p . ?p :teacherOf ?c . ?s :takesCourse ?c",
+            edge_labels=lubm.EDGE_LABEL_NAMES,
+            vertex_labels=lubm.VERTEX_LABEL_NAMES,
+        )
+        direct = count_embeddings(ds.graph, q9()).count
+        assert count_embeddings(ds.graph, parsed).count == direct

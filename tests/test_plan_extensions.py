@@ -1,0 +1,121 @@
+"""Tests for the plan-layer extensions: index nested-loop joins and
+validity ranges (Section 6.5's analysis tool)."""
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.datasets.example import figure1_graph, figure1_query
+from repro.graph.query import QueryGraph
+from repro.matching.homomorphism import count_embeddings
+from repro.plans.cost import CostModel
+from repro.plans.executor import PlanExecutor
+from repro.plans.optimizer import (
+    PlanOptimizer,
+    TrueCardinalityOracle,
+    _plan_signature,
+    validity_range,
+)
+from repro.workload.lubm_queries import q4, q9
+
+
+@pytest.fixture
+def graph():
+    return figure1_graph()
+
+
+class TestIndexNestedLoop:
+    def test_nested_loop_disabled_by_default(self, graph):
+        optimizer = PlanOptimizer(graph, TrueCardinalityOracle(graph))
+        plan = optimizer.optimize(figure1_query())
+        assert plan.count_ops("inl") == 0
+
+    def test_nested_loop_chosen_for_tiny_outer(self, graph):
+        """With a very selective outer, INL probes beat building a hash."""
+        optimizer = PlanOptimizer(
+            graph, TrueCardinalityOracle(graph), enable_nested_loop=True
+        )
+        # outer: the 'e' edge (1 tuple), inner: 'b' edges via index probe
+        query = QueryGraph([(), (), ()], [(0, 1, 4), (0, 2, 1)])
+        plan = optimizer.optimize(query)
+        result = PlanExecutor(graph).execute(query, plan)
+        assert result.cardinality == count_embeddings(graph, query).count
+
+    def test_nested_loop_plans_execute_correctly(self, graph):
+        optimizer = PlanOptimizer(
+            graph, TrueCardinalityOracle(graph), enable_nested_loop=True
+        )
+        for query in (
+            figure1_query(),
+            QueryGraph([(), (), ()], [(0, 1, 0), (1, 2, 1)]),
+        ):
+            plan = optimizer.optimize(query)
+            result = PlanExecutor(graph).execute(query, plan)
+            assert result.cardinality == count_embeddings(graph, query).count
+
+    def test_inl_not_used_on_self_loop_scans(self, graph):
+        optimizer = PlanOptimizer(
+            graph, TrueCardinalityOracle(graph), enable_nested_loop=True
+        )
+        query = QueryGraph([(), ()], [(0, 0, 2), (0, 1, 0)])
+        plan = optimizer.optimize(query)
+        # the self-loop side must not be an INL probe target
+        def check(node):
+            if node is None:
+                return
+            if node.op == "inl":
+                u, v, _ = query.edges[node.right.scan_edge]
+                assert u != v
+            check(node.left)
+            check(node.right)
+
+        check(plan)
+        result = PlanExecutor(graph).execute(query, plan)
+        assert result.cardinality == count_embeddings(graph, query).count
+
+    def test_cost_model_inl(self):
+        model = CostModel()
+        assert model.index_nested_loop(1, 1) < model.hash_join(1, 1000, 1)
+
+
+class TestPlanSignature:
+    def test_same_plan_same_signature(self, graph):
+        optimizer = PlanOptimizer(graph, TrueCardinalityOracle(graph))
+        a = optimizer.optimize(figure1_query())
+        b = optimizer.optimize(figure1_query())
+        assert _plan_signature(a) == _plan_signature(b)
+
+    def test_signature_ignores_costs(self, graph):
+        optimizer = PlanOptimizer(graph, TrueCardinalityOracle(graph))
+        plan = optimizer.optimize(figure1_query())
+        bumped = PlanOptimizer(
+            graph, TrueCardinalityOracle(graph), CostModel(scan_cost=0.31)
+        ).optimize(figure1_query())
+        # slightly different cost coefficients, same structure expected
+        assert _plan_signature(plan) == _plan_signature(bumped)
+
+
+class TestValidityRanges:
+    @pytest.fixture(scope="class")
+    def lubm(self):
+        return load_dataset("lubm", seed=1, universities=1)
+
+    def test_range_contains_true_value(self, lubm):
+        optimizer = PlanOptimizer(lubm.graph, TrueCardinalityOracle(lubm.graph))
+        query = q9()
+        plan = optimizer.optimize(query)
+        subset = frozenset({0})
+        low, high = validity_range(optimizer, query, plan, subset)
+        truth = optimizer.oracle.cardinality(query, subset)
+        assert low <= truth <= high
+
+    def test_star_query_has_wide_ranges(self, lubm):
+        """The paper: star queries yield robust plans — their validity
+        ranges are wide, so even bad estimates keep the plan optimal."""
+        optimizer = PlanOptimizer(lubm.graph, TrueCardinalityOracle(lubm.graph))
+        query = q4()
+        plan = optimizer.optimize(query)
+        subset = frozenset({0})
+        low, high = validity_range(optimizer, query, plan, subset)
+        truth = optimizer.oracle.cardinality(query, subset)
+        # at least one order of magnitude of slack in one direction
+        assert high >= truth * 10 or low <= truth / 10

@@ -1,0 +1,174 @@
+"""Cross-cutting property tests (hypothesis).
+
+These complement the per-module property tests with invariants that span
+layers: serialization roundtrips, classifier invariance, relational-view
+consistency with the matcher, and estimator sanity over random inputs.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.digraph import Graph
+from repro.graph.io import dump_graph, dump_query, load_graph, load_query
+from repro.graph.query import QueryGraph
+from repro.graph.topology import Topology, classify
+from repro.matching.homomorphism import count_embeddings
+from repro.relational.catalog import edge_relations
+from repro.relational.joingraph import JoinQueryGraph
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(0, 2)),
+    max_size=20,
+)
+label_maps = st.dictionaries(
+    st.integers(0, 5), st.sets(st.integers(0, 3), max_size=2), max_size=6
+)
+
+
+@given(edges=edge_lists, labels=label_maps)
+@settings(max_examples=60, deadline=None)
+def test_graph_io_roundtrip_property(tmp_path_factory, edges, labels):
+    graph = Graph.from_edges(edges, vertex_labels=labels, num_vertices=6)
+    path = tmp_path_factory.mktemp("io") / "g.txt"
+    dump_graph(graph, path)
+    loaded = load_graph(path)
+    assert set(loaded.edges()) == set(graph.edges())
+    assert loaded.num_vertices == graph.num_vertices
+    for v in graph.vertices():
+        assert loaded.vertex_labels(v) == graph.vertex_labels(v)
+
+
+query_strategies = st.builds(
+    QueryGraph,
+    st.lists(st.sets(st.integers(0, 2), max_size=2), min_size=4, max_size=4),
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 2)),
+        min_size=1,
+        max_size=5,
+    ),
+)
+
+
+@given(query=query_strategies)
+@settings(max_examples=80, deadline=None)
+def test_query_io_roundtrip_property(tmp_path_factory, query):
+    path = tmp_path_factory.mktemp("io") / "q.txt"
+    dump_query(query, path)
+    assert load_query(path) == query
+
+
+@given(query=query_strategies)
+@settings(max_examples=80, deadline=None)
+def test_classifier_invariant_under_edge_direction(query):
+    """Topology is a property of the undirected skeleton: flipping any
+    edge's direction must not change the class."""
+    try:
+        baseline = classify(query)
+    except ValueError:
+        return  # disconnected or empty skeleton: nothing to compare
+    flipped_edges = [(v, u, l) for u, v, l in query.edges]
+    flipped = QueryGraph(query.vertex_labels, flipped_edges)
+    assert classify(flipped) is baseline
+
+
+@given(query=query_strategies)
+@settings(max_examples=80, deadline=None)
+def test_classifier_invariant_under_labels(query):
+    """Topology ignores vertex and edge labels entirely."""
+    try:
+        baseline = classify(query)
+    except ValueError:
+        return
+    unlabeled = QueryGraph(
+        [()] * query.num_vertices,
+        [(u, v, 0) for u, v, _ in query.edges],
+    )
+    try:
+        relabeled_class = classify(unlabeled)
+    except ValueError:
+        return  # label-stripping can merge parallel edges into one
+    # stripping labels can merge parallel edges in the *multigraph* but
+    # the simple skeleton is unchanged, so the class must be unchanged
+    assert relabeled_class is baseline
+
+
+@given(edges=edge_lists)
+@settings(max_examples=50, deadline=None)
+def test_walk_order_estimates_agree_across_orders(edges):
+    """Every walk order of a join query graph yields estimates with the
+    same expectation: with exhaustive sampling, per-order means must
+    bracket the true count within sampling noise."""
+    graph = Graph.from_edges(edges, num_vertices=6)
+    query = QueryGraph([(), (), ()], [(0, 1, 0), (1, 2, 1)])
+    truth = count_embeddings(graph, query).count
+    join_graph = JoinQueryGraph(edge_relations(query, graph))
+    if not join_graph.is_connected():
+        return
+    rng = random.Random(0)
+    for order in join_graph.walk_orders(4):
+        samples = [join_graph.random_walk(order, rng) for _ in range(400)]
+        mean = sum(w for ok, w in samples if ok) / len(samples)
+        if truth == 0:
+            assert mean == 0.0
+        else:
+            assert 0.4 * truth <= mean <= 2.5 * truth
+
+
+@given(edges=edge_lists)
+@settings(max_examples=40, deadline=None)
+def test_subquery_cardinality_monotone(edges):
+    """Dropping a query edge never decreases the number of embeddings
+    (embeddings of the superquery restrict to the subquery)."""
+    graph = Graph.from_edges(edges, num_vertices=6)
+    query = QueryGraph(
+        [(), (), ()], [(0, 1, 0), (1, 2, 1), (2, 0, 0)]
+    )
+    full = count_embeddings(graph, query).count
+    sub, _ = query.subquery([0, 1]).compact()
+    partial = count_embeddings(graph, sub).count
+    assert partial >= full
+
+
+@given(
+    edges=edge_lists,
+    permutation_seed=st.integers(0, 1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_count_invariant_under_vertex_renaming(edges, permutation_seed):
+    """Relabeling data vertex ids by any permutation preserves counts —
+    the matcher must not depend on vertex identity."""
+    graph = Graph.from_edges(edges, num_vertices=6)
+    query = QueryGraph([(), (), ()], [(0, 1, 0), (1, 2, 1)])
+    baseline = count_embeddings(graph, query).count
+
+    rng = random.Random(permutation_seed)
+    mapping = list(range(6))
+    rng.shuffle(mapping)
+    renamed = Graph.from_edges(
+        [(mapping[s], mapping[d], l) for s, d, l in graph.edges()],
+        num_vertices=6,
+    )
+    assert count_embeddings(renamed, query).count == baseline
+
+
+@given(edges=edge_lists, label_shift=st.integers(1, 5))
+@settings(max_examples=60, deadline=None)
+def test_count_invariant_under_label_renaming(edges, label_shift):
+    """Bijectively renaming edge labels in both graph and query preserves
+    counts."""
+    graph = Graph.from_edges(edges, num_vertices=6)
+    query = QueryGraph([(), (), ()], [(0, 1, 0), (1, 2, 1)])
+    baseline = count_embeddings(graph, query).count
+
+    renamed_graph = Graph.from_edges(
+        [(s, d, l + label_shift) for s, d, l in graph.edges()],
+        num_vertices=6,
+    )
+    renamed_query = QueryGraph(
+        query.vertex_labels,
+        [(u, v, l + label_shift) for u, v, l in query.edges],
+    )
+    assert count_embeddings(renamed_graph, renamed_query).count == baseline

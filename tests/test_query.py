@@ -1,0 +1,107 @@
+"""Unit tests for the query graph model."""
+
+import pytest
+
+from repro.graph.query import QueryGraph
+
+
+def chain_query(n):
+    return QueryGraph([()] * (n + 1), [(i, i + 1, 0) for i in range(n)])
+
+
+class TestBasics:
+    def test_size_is_edge_count(self):
+        q = chain_query(3)
+        assert len(q) == 3
+        assert q.num_edges == 3
+        assert q.num_vertices == 4
+
+    def test_out_in_edges(self):
+        q = QueryGraph([(), (), ()], [(0, 1, 5), (2, 1, 7)])
+        assert q.out_edges(0) == [(1, 5)]
+        assert q.in_edges(1) == [(0, 5), (2, 7)]
+        assert q.out_degree(1) == 0
+        assert q.in_degree(1) == 2
+        assert q.degree(1) == 2
+
+    def test_neighbors_ignore_direction(self):
+        q = QueryGraph([(), (), ()], [(0, 1, 0), (2, 0, 0)])
+        assert q.neighbors(0) == {1, 2}
+
+    def test_incident_edges(self):
+        q = QueryGraph([(), (), ()], [(0, 1, 0), (1, 2, 1)])
+        assert q.incident_edges(1) == [(0, 1, 0), (1, 2, 1)]
+
+    def test_edge_endpoint_validation(self):
+        with pytest.raises(ValueError):
+            QueryGraph([()], [(0, 1, 0)])
+
+    def test_wildcard_labels(self):
+        q = QueryGraph([(), (3,)], [(0, 1, 0)])
+        assert q.vertex_labels[0] == frozenset()
+        assert q.vertex_labels[1] == frozenset({3})
+
+
+class TestStructure:
+    def test_connected(self):
+        assert chain_query(2).is_connected()
+
+    def test_disconnected(self):
+        q = QueryGraph([()] * 4, [(0, 1, 0), (2, 3, 0)])
+        assert not q.is_connected()
+
+    def test_empty_not_connected(self):
+        assert not QueryGraph([], []).is_connected()
+
+    def test_has_cycle_triangle(self):
+        q = QueryGraph([()] * 3, [(0, 1, 0), (1, 2, 0), (2, 0, 0)])
+        assert q.has_cycle()
+
+    def test_has_cycle_chain_false(self):
+        assert not chain_query(3).has_cycle()
+
+    def test_parallel_edges_count_as_cycle(self):
+        q = QueryGraph([(), ()], [(0, 1, 0), (0, 1, 1)])
+        assert q.has_cycle()
+
+    def test_antiparallel_edges_count_as_cycle(self):
+        q = QueryGraph([(), ()], [(0, 1, 0), (1, 0, 0)])
+        assert q.has_cycle()
+
+    def test_self_loop_is_cycle(self):
+        q = QueryGraph([()], [(0, 0, 0)])
+        assert q.has_cycle()
+
+
+class TestTransforms:
+    def test_subquery_keeps_numbering(self):
+        q = QueryGraph([()] * 3, [(0, 1, 0), (1, 2, 1)])
+        sub = q.subquery([1])
+        assert sub.edges == [(1, 2, 1)]
+        assert sub.num_vertices == 3
+
+    def test_compact_renumbers(self):
+        q = QueryGraph([(), (1,), (2,)], [(1, 2, 9)])
+        compacted, mapping = q.compact()
+        assert compacted.num_vertices == 2
+        assert compacted.edges == [(0, 1, 9)]
+        assert mapping == {1: 0, 2: 1}
+        assert compacted.vertex_labels[0] == frozenset({1})
+
+    def test_relabel_vertices(self):
+        q = chain_query(1)
+        relabeled = q.relabel_vertices({0: (5,)})
+        assert relabeled.vertex_labels[0] == frozenset({5})
+        assert q.vertex_labels[0] == frozenset()  # original untouched
+
+    def test_equality_and_hash(self):
+        a = chain_query(2)
+        b = chain_query(2)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != QueryGraph([()] * 3, [(0, 1, 0), (1, 2, 5)])
+
+    def test_equality_not_isomorphism(self):
+        a = QueryGraph([(), ()], [(0, 1, 0)])
+        b = QueryGraph([(), ()], [(1, 0, 0)])
+        assert a != b

@@ -1,0 +1,100 @@
+"""Unit tests for benchmark regression tracking."""
+
+import pytest
+
+from repro.bench.regression import (
+    ComparisonReport,
+    Snapshot,
+    compare,
+    load_snapshot,
+    save_snapshot,
+    snapshot_from_result,
+)
+
+
+def snap(medians, failures=None, experiment="F6c"):
+    return Snapshot(experiment, medians, failures or {})
+
+
+class TestSnapshotIo:
+    def test_roundtrip(self, tmp_path):
+        original = snap({"wj": {"chain": 1.5}}, {"wj": {"chain": 0}})
+        path = tmp_path / "base" / "s.json"
+        save_snapshot(original, path)
+        loaded = load_snapshot(path)
+        assert loaded.medians == original.medians
+        assert loaded.failures == original.failures
+        assert loaded.experiment_id == "F6c"
+
+    def test_version_guard(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text('{"version": 99}')
+        with pytest.raises(ValueError):
+            load_snapshot(path)
+
+
+class TestCompare:
+    def test_identical_snapshots_clean(self):
+        a = snap({"wj": {"chain": 1.5}})
+        report = compare(a, snap({"wj": {"chain": 1.5}}))
+        assert report.clean
+        assert report.describe() == "no changes"
+
+    def test_regression_flagged(self):
+        base = snap({"wj": {"chain": 1.5}})
+        worse = snap({"wj": {"chain": 50.0}})
+        report = compare(base, worse)
+        assert not report.clean
+        assert report.regressions[0].kind == "median"
+
+    def test_improvement_flagged(self):
+        base = snap({"cset": {"chain": 100.0}})
+        better = snap({"cset": {"chain": 2.0}})
+        report = compare(base, better)
+        assert report.clean
+        assert report.improvements
+
+    def test_within_tolerance_ignored(self):
+        base = snap({"wj": {"chain": 2.0}})
+        slightly = snap({"wj": {"chain": 4.0}})
+        assert compare(base, slightly, tolerance_factor=3.0).clean
+
+    def test_new_failures_are_regressions(self):
+        base = snap({"impr": {"star": 5.0}}, {"impr": {"star": 0}})
+        failing = snap({"impr": {"star": 5.0}}, {"impr": {"star": 3}})
+        report = compare(base, failing)
+        assert not report.clean
+        assert report.regressions[0].kind == "failures"
+
+    def test_appearing_and_disappearing_cells(self):
+        base = snap({"wj": {"chain": 1.0}})
+        current = snap({"wj": {"star": 2.0}})
+        report = compare(base, current)
+        kinds = {d.kind for d in report.other_changes}
+        assert kinds == {"new", "missing"}
+
+    def test_mismatched_experiments_rejected(self):
+        with pytest.raises(ValueError):
+            compare(snap({}, experiment="F6b"), snap({}, experiment="F6c"))
+
+
+class TestFromResult:
+    def test_snapshot_from_grouped_result(self):
+        from repro.bench import figures
+        from repro.graph.topology import Topology
+
+        result = figures.accuracy_grouped(
+            "F6c",  # reuse a real experiment id
+            "aids",
+            "topology",
+            topologies=(Topology.CHAIN,),
+            sizes=(3,),
+            per_combination=1,
+            techniques=("wj",),
+            time_limit=10.0,
+        )
+        snapshot = snapshot_from_result(result)
+        assert snapshot.experiment_id == "F6c"
+        assert "wj" in snapshot.medians
+        # compare against itself: always clean
+        assert compare(snapshot, snapshot).clean

@@ -1,0 +1,143 @@
+"""Unit tests for the relational view and join query graph."""
+
+import random
+
+import pytest
+
+from repro.datasets.example import figure1_graph, figure1_query
+from repro.graph.query import QueryGraph
+from repro.matching.homomorphism import count_embeddings
+from repro.relational.catalog import build_relations, edge_relations
+from repro.relational.joingraph import JoinQueryGraph
+from repro.relational.relation import EdgeRelation, VertexRelation
+
+
+@pytest.fixture
+def graph():
+    return figure1_graph()
+
+
+@pytest.fixture
+def query():
+    return figure1_query()
+
+
+class TestEdgeRelation:
+    def test_size_and_tuples(self, graph):
+        rel = EdgeRelation(graph, 0, 1, 0)  # label 'a'
+        assert rel.size() == 3
+        assert set(rel.tuples()) == {(0, 2), (0, 1), (1, 3)}
+
+    def test_extensions_src_bound(self, graph):
+        rel = EdgeRelation(graph, 0, 1, 0)
+        assert set(rel.extensions({0: 0})) == {(0, 2), (0, 1)}
+        assert rel.count_extensions({0: 0}) == 2
+
+    def test_extensions_dst_bound(self, graph):
+        rel = EdgeRelation(graph, 0, 1, 0)
+        assert rel.extensions({1: 3}) == [(1, 3)]
+
+    def test_extensions_both_bound(self, graph):
+        rel = EdgeRelation(graph, 0, 1, 0)
+        assert rel.extensions({0: 0, 1: 2}) == [(0, 2)]
+        assert rel.extensions({0: 0, 1: 3}) == []
+        assert rel.count_extensions({0: 2, 1: 4}) == 0
+
+    def test_extensions_unbound_is_full_relation(self, graph):
+        rel = EdgeRelation(graph, 0, 1, 0)
+        assert set(rel.extensions({})) == set(rel.tuples())
+
+    def test_sample_uniform_support(self, graph):
+        rel = EdgeRelation(graph, 0, 1, 0)
+        rng = random.Random(0)
+        seen = {rel.sample(rng) for _ in range(200)}
+        assert seen == set(rel.tuples())
+
+    def test_sample_empty_relation(self, graph):
+        rel = EdgeRelation(graph, 0, 1, 99)
+        assert rel.sample(random.Random(0)) is None
+
+
+class TestVertexRelation:
+    def test_size_and_tuples(self, graph):
+        rel = VertexRelation(graph, 0, 2)  # label C: v4, v5
+        assert rel.size() == 2
+        assert set(rel.tuples()) == {(4,), (5,)}
+
+    def test_extensions_bound(self, graph):
+        rel = VertexRelation(graph, 0, 2)
+        assert rel.extensions({0: 4}) == [(4,)]
+        assert rel.extensions({0: 0}) == []
+        assert rel.count_extensions({0: 5}) == 1
+
+
+class TestCatalog:
+    def test_build_relations_counts(self, graph, query):
+        relations = build_relations(query, graph)
+        # 3 edge relations + 1 vertex relation (u0 labeled A)
+        assert len(relations) == 4
+        kinds = [type(r).__name__ for r in relations]
+        assert kinds.count("EdgeRelation") == 3
+        assert kinds.count("VertexRelation") == 1
+
+    def test_edge_relations_only(self, graph, query):
+        assert len(edge_relations(query, graph)) == 3
+
+    def test_exclude_vertex_relations(self, graph, query):
+        relations = build_relations(query, graph, include_vertex_relations=False)
+        assert len(relations) == 3
+
+
+class TestJoinQueryGraph:
+    def test_adjacency_via_shared_attrs(self, graph, query):
+        jg = JoinQueryGraph(edge_relations(query, graph))
+        # triangle: every pair of edge relations shares a query vertex
+        assert all(len(adj) == 2 for adj in jg.adjacency)
+        assert jg.is_connected()
+
+    def test_attributes(self, graph, query):
+        jg = JoinQueryGraph(edge_relations(query, graph))
+        assert jg.attributes() == {0, 1, 2}
+
+    def test_walk_orders_are_connected_orderings(self, graph, query):
+        jg = JoinQueryGraph(edge_relations(query, graph))
+        orders = jg.walk_orders(max_orders=100)
+        assert orders
+        for order in orders:
+            for position in range(1, len(order)):
+                parent = jg.parent(order, position)
+                assert parent in order[:position]
+
+    def test_walk_orders_cap(self, graph, query):
+        jg = JoinQueryGraph(edge_relations(query, graph))
+        assert len(jg.walk_orders(max_orders=2)) == 2
+
+    def test_parent_raises_for_invalid_order(self, graph):
+        # two disjoint relations: second has no joinable predecessor
+        r1 = EdgeRelation(graph, 0, 1, 0)
+        r2 = EdgeRelation(graph, 2, 3, 1)
+        jg = JoinQueryGraph([r1, r2])
+        with pytest.raises(ValueError):
+            jg.parent((0, 1), 1)
+
+    def test_random_walk_estimates_are_unbiased(self, graph, query):
+        """The average HT weight over many walks approximates the truth."""
+        truth = count_embeddings(graph, query).count
+        jg = JoinQueryGraph(edge_relations(query, graph))
+        order = jg.walk_orders()[0]
+        rng = random.Random(7)
+        samples = [jg.random_walk(order, rng) for _ in range(6000)]
+        estimate = sum(w for ok, w in samples if ok) / len(samples)
+        # Figure 1's unlabeled triangle has 4 embeddings (3 labeled + one
+        # through B vertices is impossible; recompute directly):
+        unlabeled = QueryGraph([(), (), ()], query.edges)
+        truth_unlabeled = count_embeddings(graph, unlabeled).count
+        assert truth_unlabeled * 0.7 <= estimate <= truth_unlabeled * 1.3
+
+    def test_random_walk_dead_end_invalid(self, graph):
+        # relation chain that cannot be completed: label 'e' then label 'a'
+        r1 = EdgeRelation(graph, 0, 1, 4)  # only (3, 7)
+        r2 = EdgeRelation(graph, 1, 2, 0)  # 'a' edges never start at v7
+        jg = JoinQueryGraph([r1, r2])
+        ok, weight = jg.random_walk((0, 1), random.Random(0))
+        assert not ok and weight == 0.0

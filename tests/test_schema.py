@@ -1,0 +1,79 @@
+"""Unit tests for schema graph extraction."""
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.datasets.example import (
+    EDGE_A,
+    EDGE_B,
+    EDGE_C,
+    LABEL_A,
+    LABEL_B,
+    LABEL_C,
+    figure1_graph,
+)
+from repro.datasets import lubm
+from repro.graph.digraph import Graph
+from repro.graph.schema import UNLABELED_NODE, extract_schema
+
+
+class TestExtraction:
+    def test_label_counts(self, fig1_graph):
+        schema = extract_schema(fig1_graph)
+        assert schema.label_counts[LABEL_A] == 2
+        assert schema.label_counts[LABEL_B] == 2
+        assert schema.label_counts[LABEL_C] == 2
+        assert schema.label_counts[UNLABELED_NODE] == 2  # v6, v7
+
+    def test_edge_counts(self, fig1_graph):
+        schema = extract_schema(fig1_graph)
+        # A --a--> B: edges (0,2) and (1,3)
+        assert schema.count(LABEL_A, LABEL_B, EDGE_A) == 2
+        # A --a--> A: edge (0,1)
+        assert schema.count(LABEL_A, LABEL_A, EDGE_A) == 1
+        # C --c--> A: edges (4,0), (5,1)
+        assert schema.count(LABEL_C, LABEL_A, EDGE_C) == 2
+
+    def test_out_in_labels(self, fig1_graph):
+        schema = extract_schema(fig1_graph)
+        assert EDGE_A in schema.out_labels(LABEL_A)
+        assert EDGE_C in schema.in_labels(LABEL_A)
+        assert schema.out_labels(UNLABELED_NODE) == set()
+
+    def test_targets(self, fig1_graph):
+        schema = extract_schema(fig1_graph)
+        assert schema.targets(LABEL_A, EDGE_A) == {LABEL_A, LABEL_B}
+
+    def test_connects(self, fig1_graph):
+        schema = extract_schema(fig1_graph)
+        assert schema.connects(LABEL_A, LABEL_B, EDGE_A)
+        assert not schema.connects(LABEL_B, LABEL_A, EDGE_A)
+
+    def test_multilabel_vertices_fan_out(self):
+        graph = Graph()
+        graph.add_vertex((0, 1))
+        graph.add_vertex((2,))
+        graph.add_edge(0, 1, 9)
+        schema = extract_schema(graph)
+        assert schema.count(0, 2, 9) == 1
+        assert schema.count(1, 2, 9) == 1
+
+    def test_edge_count_conservation_single_labels(self):
+        """With single-labeled endpoints, schema edge counts sum to |E|."""
+        ds = load_dataset("dbpedia", seed=1, num_vertices=500, num_edges=1500)
+        schema = extract_schema(ds.graph)
+        assert sum(schema.edge_counts.values()) == ds.graph.num_edges
+
+
+class TestOnLubm:
+    def test_lubm_schema_has_expected_structure(self):
+        ds = load_dataset("lubm", seed=1, universities=1)
+        schema = extract_schema(ds.graph)
+        # departments are sub-organizations of universities
+        assert schema.connects(
+            lubm.DEPARTMENT, lubm.UNIVERSITY, lubm.SUB_ORGANIZATION_OF
+        )
+        # students never teach
+        assert not schema.connects(
+            lubm.UNDERGRADUATE_STUDENT, lubm.COURSE, lubm.TEACHER_OF
+        )

@@ -1,0 +1,129 @@
+"""Unit tests for SumRDF."""
+
+import pytest
+
+from repro.datasets.example import figure1_graph, figure1_query
+from repro.estimators.sumrdf import SumRDF
+from repro.graph.digraph import Graph
+from repro.graph.query import QueryGraph
+from repro.matching.homomorphism import count_embeddings
+
+
+def distinct_type_graph() -> Graph:
+    """A graph where every vertex has a unique type (label set).
+
+    Level-0 summarization then produces singleton buckets and SumRDF's
+    estimate must equal the exact count.
+    """
+    graph = Graph()
+    for i in range(6):
+        graph.add_vertex((i,))
+    for src, dst, label in (
+        (0, 1, 0), (1, 2, 0), (2, 3, 1), (3, 0, 1), (4, 0, 2), (5, 4, 0),
+    ):
+        graph.add_edge(src, dst, label)
+    return graph
+
+
+class TestSummarization:
+    def test_singleton_buckets_for_distinct_types(self):
+        est = SumRDF(distinct_type_graph(), size_threshold=1.0)
+        est.prepare()
+        assert est.summary.num_buckets == 6
+        assert all(w == 1 for w in est.summary.weights)
+
+    def test_same_type_vertices_merge(self, fig1_graph):
+        est = SumRDF(fig1_graph, size_threshold=1.0)
+        est.prepare()
+        # v4 and v5 share type ({C}, out {c}, in {b}) and merge
+        assert est.summary.num_buckets == 7
+
+    def test_weights_count_members(self, fig1_graph):
+        est = SumRDF(fig1_graph, size_threshold=1.0)
+        est.prepare()
+        assert sorted(est.summary.weights) == [1, 1, 1, 1, 1, 1, 2]
+        assert sum(est.summary.weights) == fig1_graph.num_vertices
+
+    def test_edge_weights_sum_to_edge_count(self, fig1_graph):
+        est = SumRDF(fig1_graph, size_threshold=1.0)
+        est.prepare()
+        assert sum(est.summary.edge_weights.values()) == fig1_graph.num_edges
+
+    def test_threshold_forces_coarsening(self, fig1_graph):
+        est = SumRDF(fig1_graph, size_threshold=0.03)
+        est.prepare()
+        # 3% of 11 edges ~ 1 summary edge: must coarsen beyond level 0
+        last = len(SumRDF.COARSENING_LEVELS) - 1
+        assert est._coarsening_level > 0
+        assert est.summary.num_edges <= max(
+            1, int(0.03 * fig1_graph.num_edges)
+        ) or est._coarsening_level == last
+
+    def test_coarser_levels_shrink_summary(self, fig1_graph):
+        est = SumRDF(fig1_graph)
+        levels = range(len(SumRDF.COARSENING_LEVELS))
+        sizes = [est._build_summary(level).num_buckets for level in levels]
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+        # the coarsest level merges all label sets (degree bands remain)
+        assert sizes[-1] <= 4
+
+    def test_effective_weight_filters_labels(self, fig1_graph):
+        est = SumRDF(fig1_graph, size_threshold=1.0)
+        est.prepare()
+        summary = est.summary
+        merged = summary.weights.index(2)  # the {v4, v5} bucket
+        assert summary.effective_weight(merged, frozenset({2})) == 2  # C
+        assert summary.effective_weight(merged, frozenset({0})) == 0
+        assert summary.effective_weight(merged, frozenset()) == 2
+
+
+class TestEstimates:
+    def test_exact_with_singleton_buckets(self):
+        graph = distinct_type_graph()
+        est = SumRDF(graph, size_threshold=1.0)
+        square = QueryGraph(
+            [()] * 4, [(0, 1, 0), (1, 2, 0), (2, 3, 1), (3, 0, 1)]
+        )
+        truth = count_embeddings(graph, square).count
+        assert truth >= 1
+        assert est.estimate(square).estimate == pytest.approx(float(truth))
+
+    def test_figure1_example_value(self, fig1_graph, fig1_query):
+        """Hand-computed possible-world estimate for the level-0 summary."""
+        est = SumRDF(fig1_graph, size_threshold=1.0)
+        assert est.estimate(fig1_query).estimate == pytest.approx(2.0)
+
+    def test_merging_unlabeled_edges_overestimates(self):
+        """With no edge labels, merging buckets aggregates all edge weights
+        — the Human overestimation effect (paper, Section 6.2.1)."""
+        graph = Graph()
+        # v0(L1) -- v1(L2), v2(L2) -- v3(L3): v1 and v2 share a type and
+        # merge; the merged bucket invents an L1 ... L3 connection.
+        graph.add_vertex((1,))
+        graph.add_vertex((2,))
+        graph.add_vertex((2,))
+        graph.add_vertex((3,))
+        graph.add_undirected_edge(0, 1, 0)
+        graph.add_undirected_edge(2, 3, 0)
+        query = QueryGraph([(1,), (), (3,)], [(0, 1, 0), (1, 2, 0)])
+        truth = count_embeddings(graph, query).count
+        assert truth == 0
+        est = SumRDF(graph, size_threshold=1.0)
+        estimate = est.estimate(query).estimate
+        assert estimate > truth
+
+    def test_no_match_returns_zero(self, fig1_graph):
+        est = SumRDF(fig1_graph, size_threshold=1.0)
+        missing = QueryGraph([(), ()], [(0, 1, 99)])
+        assert est.estimate(missing).estimate == 0.0
+
+    def test_max_embeddings_guard(self, fig1_graph, fig1_query):
+        est = SumRDF(fig1_graph, size_threshold=1.0, max_embeddings=1)
+        result = est.estimate(fig1_query)
+        assert result.num_substructures <= 1
+
+    def test_estimation_info(self, fig1_graph, fig1_query):
+        est = SumRDF(fig1_graph, size_threshold=1.0)
+        result = est.estimate(fig1_query)
+        assert result.info["summary_buckets"] == 7
+        assert result.info["coarsening_level"] == 0

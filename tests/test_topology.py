@@ -1,0 +1,98 @@
+"""Unit tests for the topology classifier."""
+
+import pytest
+
+from repro.graph.query import QueryGraph
+from repro.graph.topology import Topology, classify
+
+
+def q(n_vertices, edges):
+    return QueryGraph([()] * n_vertices, [(u, v, 0) for u, v in edges])
+
+
+class TestAcyclic:
+    def test_single_edge_is_chain(self):
+        assert classify(q(2, [(0, 1)])) is Topology.CHAIN
+
+    def test_chain(self):
+        assert classify(q(4, [(0, 1), (1, 2), (2, 3)])) is Topology.CHAIN
+
+    def test_chain_direction_irrelevant(self):
+        assert classify(q(4, [(1, 0), (1, 2), (3, 2)])) is Topology.CHAIN
+
+    def test_star(self):
+        assert classify(q(4, [(0, 1), (0, 2), (3, 0)])) is Topology.STAR
+
+    def test_tree(self):
+        # a "T": path of 3 plus a branch
+        edges = [(0, 1), (1, 2), (2, 3), (1, 4)]
+        assert classify(q(5, edges)) is Topology.TREE
+
+
+class TestCyclic:
+    def test_triangle_is_cycle(self):
+        assert classify(q(3, [(0, 1), (1, 2), (2, 0)])) is Topology.CYCLE
+
+    def test_square_cycle(self):
+        assert classify(q(4, [(0, 1), (1, 2), (2, 3), (3, 0)])) is Topology.CYCLE
+
+    def test_four_clique(self):
+        edges = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        assert classify(q(4, edges)) is Topology.CLIQUE
+
+    def test_petal_theta_graph(self):
+        # s=0, t=3, three disjoint paths: 0-1-3, 0-2-3, 0-4-5-3
+        edges = [(0, 1), (1, 3), (0, 2), (2, 3), (0, 4), (4, 5), (5, 3)]
+        assert classify(q(6, edges)) is Topology.PETAL
+
+    def test_petal_with_direct_edge(self):
+        # paths: 0-3 (direct), 0-1-3, 0-2-3
+        edges = [(0, 3), (0, 1), (1, 3), (0, 2), (2, 3)]
+        assert classify(q(4, edges)) is Topology.PETAL
+
+    def test_flower_petal_plus_chain(self):
+        # theta on {0,1,2,3,4,5} with source 0, plus chain 0-6-7
+        edges = [
+            (0, 1), (1, 3), (0, 2), (2, 3), (0, 4), (4, 5), (5, 3),
+            (0, 6), (6, 7),
+        ]
+        assert classify(q(8, edges)) is Topology.FLOWER
+
+    def test_flower_petal_plus_tree(self):
+        edges = [
+            (0, 1), (1, 3), (0, 2), (2, 3), (0, 4), (4, 5), (5, 3),
+            (0, 6), (6, 7), (6, 8),
+        ]
+        assert classify(q(9, edges)) is Topology.FLOWER
+
+    def test_two_triangles_sharing_vertex_is_graph(self):
+        # "bowtie": not a petal (two high-degree vertices required), and the
+        # cut vertex's attachments are cycles, not petals => graph
+        edges = [(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]
+        assert classify(q(5, edges)) is Topology.GRAPH
+
+    def test_cycle_with_chord_and_tail_is_graph(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 4), (4, 5)]
+        assert classify(q(6, edges)) is Topology.GRAPH
+
+
+class TestEdgeCases:
+    def test_empty_query_raises(self):
+        with pytest.raises(ValueError):
+            classify(QueryGraph([], []))
+
+    def test_disconnected_raises(self):
+        with pytest.raises(ValueError):
+            classify(q(4, [(0, 1), (2, 3)]))
+
+    def test_self_loops_ignored_in_skeleton(self):
+        query = QueryGraph([(), ()], [(0, 1, 0), (0, 0, 1)])
+        assert classify(query) is Topology.CHAIN
+
+    def test_parallel_edges_collapse_in_skeleton(self):
+        query = QueryGraph([(), (), ()], [(0, 1, 0), (0, 1, 1), (1, 2, 0)])
+        assert classify(query) is Topology.CHAIN
+
+    def test_labels_irrelevant(self):
+        labeled = QueryGraph([(1,), (2,), (3,)], [(0, 1, 4), (1, 2, 5)])
+        assert classify(labeled) is Topology.CHAIN

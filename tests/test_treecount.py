@@ -1,0 +1,105 @@
+"""Unit and property tests for the acyclic-query DP counter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import load_dataset
+from repro.graph.digraph import Graph
+from repro.graph.query import QueryGraph
+from repro.matching.homomorphism import count_embeddings
+from repro.matching.treecount import (
+    CyclicQueryError,
+    count_embeddings_auto,
+    count_tree_embeddings,
+    is_tree_query,
+)
+
+
+def chain(n, label=0):
+    return QueryGraph([()] * (n + 1), [(i, i + 1, label) for i in range(n)])
+
+
+class TestIsTreeQuery:
+    def test_chain_is_tree(self):
+        assert is_tree_query(chain(3))
+
+    def test_star_is_tree(self):
+        assert is_tree_query(QueryGraph([()] * 3, [(0, 1, 0), (0, 2, 0)]))
+
+    def test_triangle_is_not(self):
+        q = QueryGraph([()] * 3, [(0, 1, 0), (1, 2, 0), (2, 0, 0)])
+        assert not is_tree_query(q)
+
+    def test_parallel_edges_are_not(self):
+        assert not is_tree_query(QueryGraph([(), ()], [(0, 1, 0), (0, 1, 1)]))
+
+    def test_antiparallel_edges_are_not(self):
+        assert not is_tree_query(QueryGraph([(), ()], [(0, 1, 0), (1, 0, 0)]))
+
+    def test_self_loop_is_not(self):
+        assert not is_tree_query(QueryGraph([()], [(0, 0, 0)]))
+
+    def test_disconnected_is_not(self):
+        q = QueryGraph([()] * 4, [(0, 1, 0), (2, 3, 0)])
+        assert not is_tree_query(q)
+
+
+class TestCounting:
+    def test_cyclic_rejected(self, fig1_graph, fig1_query):
+        with pytest.raises(CyclicQueryError):
+            count_tree_embeddings(fig1_graph, fig1_query)
+
+    def test_matches_backtracker_on_figure1_paths(self, fig1_graph):
+        for query in (
+            chain(1),
+            chain(2),
+            QueryGraph([(0,), (), ()], [(0, 1, 0), (0, 2, 2)]),
+            QueryGraph([(), (), (2,)], [(0, 1, 1), (2, 1, 2)]),
+        ):
+            expected = count_embeddings(fig1_graph, query).count
+            assert count_tree_embeddings(fig1_graph, query) == expected
+
+    def test_auto_dispatches_both_ways(self, fig1_graph, fig1_query):
+        assert count_embeddings_auto(fig1_graph, fig1_query) == 3
+        assert count_embeddings_auto(fig1_graph, chain(2)) == (
+            count_embeddings(fig1_graph, chain(2)).count
+        )
+
+    def test_large_tree_on_lubm(self):
+        """The DP path handles queries whose result sets would be costly
+        to enumerate: counts agree with the (capped) backtracker."""
+        from repro.workload.lubm_queries import q8
+
+        ds = load_dataset("lubm", seed=1, universities=1)
+        query = q8()
+        dp = count_tree_embeddings(ds.graph, query)
+        bt = count_embeddings(ds.graph, query).count
+        assert dp == bt
+
+
+graph_edges = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(0, 1)),
+    max_size=20,
+)
+tree_queries = st.sampled_from(
+    [
+        chain(1),
+        chain(2),
+        chain(3),
+        QueryGraph([()] * 4, [(0, 1, 0), (0, 2, 1), (0, 3, 0)]),
+        QueryGraph([()] * 4, [(0, 1, 0), (1, 2, 1), (1, 3, 0)]),
+        QueryGraph([(0,), (), (1,)], [(0, 1, 0), (2, 1, 1)]),
+        QueryGraph([()] * 5, [(0, 1, 0), (1, 2, 0), (2, 3, 1), (2, 4, 1)]),
+    ]
+)
+
+
+@given(edges=graph_edges, query=tree_queries)
+@settings(max_examples=120, deadline=None)
+def test_dp_agrees_with_backtracking(edges, query):
+    graph = Graph.from_edges(
+        edges, vertex_labels={0: (0,), 1: (1,)}, num_vertices=6
+    )
+    expected = count_embeddings(graph, query).count
+    assert count_tree_embeddings(graph, query) == expected

@@ -1,0 +1,31 @@
+"""Unit tests for visible subgraphs (IMPR's sampling unit)."""
+
+from repro.datasets.example import figure1_graph
+from repro.matching.visible import visible_subgraph
+
+
+class TestVisibleSubgraph:
+    def test_paper_example_walk_v0_v1(self, fig1_graph):
+        """Section 3.4: the walk <v0, v1> sees V \\ {v7} and loses the
+        edges (v2,v4), (v3,v5), (v3,v7)."""
+        visible = visible_subgraph(fig1_graph, (0, 1))
+        assert 7 not in visible.vertices
+        assert visible.vertices == set(range(7))
+        all_edges = set(fig1_graph.edges())
+        missing = all_edges - set(visible.edges)
+        assert {(s, d) for s, d, _ in missing} == {(2, 4), (3, 5), (3, 7)}
+
+    def test_label_restriction(self, fig1_graph):
+        from repro.datasets.example import EDGE_A
+
+        visible = visible_subgraph(fig1_graph, (0,), edge_labels=(EDGE_A,))
+        assert all(label == EDGE_A for _, _, label in visible.edges)
+
+    def test_neighbors_exclude_walk(self, fig1_graph):
+        visible = visible_subgraph(fig1_graph, (0, 1))
+        assert not set(visible.walk) & visible.neighbors
+
+    def test_has_edge(self, fig1_graph):
+        visible = visible_subgraph(fig1_graph, (0,))
+        assert visible.has_edge(0, 2, 0)
+        assert not visible.has_edge(3, 7, 4)

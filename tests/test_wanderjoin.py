@@ -1,0 +1,144 @@
+"""Unit tests for WanderJoin (WJ)."""
+
+import pytest
+
+from repro.datasets.example import figure1_graph, figure1_query
+from repro.estimators.wanderjoin import WanderJoin, _OrderStats
+from repro.graph.digraph import Graph
+from repro.graph.query import QueryGraph
+from repro.matching.homomorphism import count_embeddings
+
+
+class TestOrderStats:
+    def test_welford_mean_and_variance(self):
+        stats = _OrderStats()
+        for value in (2.0, 4.0, 6.0):
+            stats.update(value, True)
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.variance == pytest.approx(4.0)
+        assert stats.valid == 3
+
+    def test_variance_undefined_below_two_samples(self):
+        stats = _OrderStats()
+        stats.update(1.0, True)
+        assert stats.variance == float("inf")
+
+    def test_invalid_samples_counted_in_trials(self):
+        stats = _OrderStats()
+        stats.update(0.0, False)
+        stats.update(10.0, True)
+        assert stats.trials == 2
+        assert stats.valid == 1
+
+
+class TestEstimates:
+    def test_unbiased_on_figure1(self, fig1_graph, fig1_query):
+        truth = count_embeddings(fig1_graph, fig1_query).count
+        estimates = []
+        for seed in range(30):
+            est = WanderJoin(fig1_graph, sampling_ratio=1.0, seed=seed)
+            estimates.append(est.estimate(fig1_query).estimate)
+        mean = sum(estimates) / len(estimates)
+        assert truth * 0.75 <= mean <= truth * 1.25
+
+    def test_exact_on_functional_chain(self):
+        """A chain where every step has exactly one continuation is sampled
+        with probability 1/|R_1| -> every valid walk contributes |R_1| and
+        the estimate equals the number of chains exactly."""
+        graph = Graph()
+        for _ in range(6):
+            graph.add_vertex()
+        graph.add_edge(0, 1, 0)
+        graph.add_edge(2, 3, 0)
+        graph.add_edge(4, 5, 0)
+        graph.add_edge(1, 4, 1)  # only one 0-edge continues into a 1-edge
+        query = QueryGraph([(), (), ()], [(0, 1, 0), (1, 2, 1)])
+        truth = count_embeddings(graph, query).count
+        assert truth == 1
+        est = WanderJoin(graph, sampling_ratio=1.0, seed=0)
+        result = est.estimate(query)
+        # each walk starts at one of 3 edges; exactly one continues, with
+        # inverse probability 3 * 1 -> average over walks approaches 1
+        assert 0.0 < result.estimate <= 3.0
+
+    def test_zero_for_impossible_query(self, fig1_graph):
+        query = QueryGraph([(), ()], [(0, 1, 99)])
+        est = WanderJoin(fig1_graph, sampling_ratio=1.0)
+        assert est.estimate(query).estimate == 0.0
+
+    def test_respects_vertex_labels(self, fig1_graph):
+        labeled = QueryGraph([(0,), ()], [(0, 1, 0)])   # A --a-->
+        unlabeled = QueryGraph([(), ()], [(0, 1, 0)])
+        est_l = WanderJoin(fig1_graph, sampling_ratio=1.0, seed=1)
+        est_u = WanderJoin(fig1_graph, sampling_ratio=1.0, seed=1)
+        truth_l = count_embeddings(fig1_graph, labeled).count
+        truth_u = count_embeddings(fig1_graph, unlabeled).count
+        assert truth_l == truth_u == 3  # all 'a' sources are A-labeled
+        assert est_l.estimate(labeled).estimate > 0
+        assert est_u.estimate(unlabeled).estimate > 0
+
+    def test_deterministic_per_seed(self, fig1_graph, fig1_query):
+        a = WanderJoin(fig1_graph, sampling_ratio=0.5, seed=9)
+        b = WanderJoin(fig1_graph, sampling_ratio=0.5, seed=9)
+        assert (
+            a.estimate(fig1_query).estimate == b.estimate(fig1_query).estimate
+        )
+
+
+class TestOrderSelection:
+    def test_chosen_order_reported(self, fig1_graph, fig1_query):
+        est = WanderJoin(fig1_graph, sampling_ratio=1.0, seed=0, tau=2)
+        result = est.estimate(fig1_query)
+        assert result.info["chosen_order"] is not None
+        assert result.info["walks"] == result.num_substructures
+
+    def test_high_tau_keeps_round_robin(self, fig1_graph, fig1_query):
+        est = WanderJoin(fig1_graph, sampling_ratio=1.0, seed=0, tau=10**9)
+        result = est.estimate(fig1_query)
+        # the trial phase never ends; an order is still chosen at the end
+        assert result.info["walks"] > 0
+
+    def test_success_rate_between_zero_and_one(self, fig1_graph, fig1_query):
+        est = WanderJoin(fig1_graph, sampling_ratio=1.0, seed=0)
+        result = est.estimate(fig1_query)
+        assert 0.0 <= result.info["success_rate"] <= 1.0
+
+    def test_max_orders_cap(self, fig1_graph, fig1_query):
+        est = WanderJoin(fig1_graph, sampling_ratio=1.0, seed=0, max_orders=3)
+        join_graph = est.decompose_query(fig1_query)[0]
+        assert len(join_graph.walk_orders(3)) <= 3
+
+
+class TestConfidenceIntervals:
+    def test_ci_reported(self, fig1_graph, fig1_query):
+        est = WanderJoin(fig1_graph, sampling_ratio=1.0, seed=0)
+        result = est.estimate(fig1_query)
+        assert "ci_95_half_width" in result.info
+        assert result.info["ci_95_half_width"] >= 0.0
+
+    def test_ci_shrinks_with_more_samples(self, fig1_graph, fig1_query):
+        """More walks -> tighter CLT confidence interval (on average)."""
+        import statistics
+
+        def half_width(ratio, seed):
+            est = WanderJoin(fig1_graph, sampling_ratio=ratio, seed=seed)
+            return est.estimate(fig1_query).info["ci_95_half_width"]
+
+        small = statistics.median(half_width(0.3, s) for s in range(9))
+        large = statistics.median(half_width(1.0, s) for s in range(9))
+        assert large <= small * 1.5
+
+    def test_ci_often_covers_truth(self, fig1_graph, fig1_query):
+        from repro.matching.homomorphism import count_embeddings
+
+        truth = count_embeddings(fig1_graph, fig1_query).count
+        covered = 0
+        runs = 20
+        for seed in range(runs):
+            est = WanderJoin(fig1_graph, sampling_ratio=1.0, seed=seed)
+            result = est.estimate(fig1_query)
+            half = result.info["ci_95_half_width"]
+            if abs(result.estimate - truth) <= half:
+                covered += 1
+        # CLT coverage is approximate on 11 walks; expect a majority
+        assert covered >= runs * 0.5

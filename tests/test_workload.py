@@ -1,0 +1,150 @@
+"""Unit tests for workload generation and the benchmark querysets."""
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.graph.topology import Topology, classify
+from repro.matching.homomorphism import count_embeddings
+from repro.workload.buckets import (
+    MAX_RESULT_SIZE,
+    RESULT_SIZE_BUCKETS,
+    bucket_label,
+    bucket_labels,
+    bucket_of,
+)
+from repro.workload.generator import QueryGenerator, _clique_vertices, _feasible
+from repro.workload import dbpedia_queries, lubm_queries
+
+
+class TestBuckets:
+    def test_bucket_boundaries_half_open(self):
+        assert bucket_of(1) == (0, 10)
+        assert bucket_of(10) == (0, 10)
+        assert bucket_of(11) == (10, 100)
+        assert bucket_of(10**6) == (10**5, 10**6)
+
+    def test_out_of_range(self):
+        assert bucket_of(0) is None
+        assert bucket_of(10**6 + 1) is None
+
+    def test_labels(self):
+        assert bucket_label((0, 10)) == "(0,10]"
+        assert bucket_label((100, 1000)) == "(10^2,10^3]"
+        assert len(bucket_labels()) == len(RESULT_SIZE_BUCKETS)
+
+    def test_max_result_size(self):
+        assert MAX_RESULT_SIZE == 10**6
+
+
+class TestFeasibility:
+    def test_clique_vertices(self):
+        assert _clique_vertices(3) == 3
+        assert _clique_vertices(6) == 4
+        assert _clique_vertices(10) == 5
+        assert _clique_vertices(7) is None
+
+    def test_feasible_matrix(self):
+        assert _feasible(Topology.CHAIN, 3)
+        assert not _feasible(Topology.TREE, 3)  # 3-edge trees are chains/stars
+        assert not _feasible(Topology.CLIQUE, 3)  # triangles classify as cycles
+        assert _feasible(Topology.CLIQUE, 6)
+        assert not _feasible(Topology.CLIQUE, 7)
+        assert _feasible(Topology.PETAL, 6)
+        assert not _feasible(Topology.PETAL, 5)
+        assert _feasible(Topology.FLOWER, 7)
+        assert not _feasible(Topology.GRAPH, 3)
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def yago(self):
+        return load_dataset("yago", seed=1, num_vertices=3000, num_edges=5000)
+
+    @pytest.mark.parametrize(
+        "topology,size",
+        [
+            (Topology.CHAIN, 3),
+            (Topology.CHAIN, 6),
+            (Topology.STAR, 3),
+            (Topology.TREE, 6),
+            (Topology.CYCLE, 3),
+            (Topology.GRAPH, 6),
+        ],
+    )
+    def test_generated_query_matches_request(self, yago, topology, size):
+        generator = QueryGenerator(yago.graph, seed=7)
+        queries = generator.generate(topology, size, count=1, time_budget=20)
+        assert queries, f"no {topology} of size {size} generated"
+        wq = queries[0]
+        assert wq.size == size
+        assert classify(wq.query) is topology
+        assert wq.topology is topology
+
+    def test_true_cardinality_is_exact(self, yago):
+        generator = QueryGenerator(yago.graph, seed=11)
+        queries = generator.generate(Topology.CHAIN, 3, count=2, time_budget=20)
+        for wq in queries:
+            recount = count_embeddings(yago.graph, wq.query).count
+            assert recount == wq.true_cardinality
+            assert 1 <= wq.true_cardinality <= MAX_RESULT_SIZE
+
+    def test_determinism(self, yago):
+        a = QueryGenerator(yago.graph, seed=13).generate(
+            Topology.STAR, 3, count=2, time_budget=20
+        )
+        b = QueryGenerator(yago.graph, seed=13).generate(
+            Topology.STAR, 3, count=2, time_budget=20
+        )
+        assert [q.query for q in a] == [q.query for q in b]
+
+    def test_no_duplicate_queries(self, yago):
+        queries = QueryGenerator(yago.graph, seed=17).generate(
+            Topology.CHAIN, 3, count=5, time_budget=20
+        )
+        keys = [q.query.canonical_key() for q in queries]
+        assert len(keys) == len(set(keys))
+
+    def test_bucket_metadata(self, yago):
+        queries = QueryGenerator(yago.graph, seed=19).generate(
+            Topology.CHAIN, 3, count=1, time_budget=20
+        )
+        assert queries[0].bucket is not None
+        assert queries[0].bucket_name.startswith("(")
+
+    def test_workload_respects_feasibility(self, yago):
+        generator = QueryGenerator(yago.graph, seed=23)
+        workload = generator.generate_workload(
+            [Topology.CLIQUE], sizes=[3, 7], per_combination=1
+        )
+        assert workload == []  # clique-3 and clique-7 are infeasible
+
+
+class TestLubmQueries:
+    @pytest.fixture(scope="class")
+    def lubm(self):
+        return load_dataset("lubm", seed=1, universities=1)
+
+    def test_all_six_queries_present(self):
+        queries = lubm_queries.benchmark_queries()
+        assert list(queries) == lubm_queries.query_names()
+
+    def test_queries_have_nonzero_truth(self, lubm):
+        for name, query in lubm_queries.benchmark_queries().items():
+            truth = count_embeddings(lubm.graph, query, time_limit=30)
+            assert truth.complete
+            assert truth.count > 0, f"{name} matches nothing"
+
+    def test_topology_mix(self):
+        queries = lubm_queries.benchmark_queries()
+        assert queries["Q2"].has_cycle()
+        assert queries["Q9"].has_cycle()
+        assert classify(queries["Q4"]) is Topology.STAR
+
+
+class TestDbpediaQueries:
+    def test_profiles_generated(self):
+        ds = load_dataset("dbpedia", seed=1, num_vertices=3000, num_edges=9000)
+        queries = dbpedia_queries.benchmark_queries(ds)
+        assert len(queries) >= 4  # most profiles extractable
+        for name, wq in queries.items():
+            assert wq.true_cardinality >= 1

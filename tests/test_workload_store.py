@@ -1,0 +1,98 @@
+"""Unit tests for workload persistence."""
+
+import json
+
+import pytest
+
+from repro.graph.query import QueryGraph
+from repro.graph.topology import Topology
+from repro.workload.generator import WorkloadQuery
+from repro.workload.store import (
+    FORMAT_VERSION,
+    load_workload,
+    save_workload,
+    workload_from_dict,
+    workload_to_dict,
+)
+
+
+@pytest.fixture
+def workload():
+    triangle = QueryGraph(
+        [(1,), (), ()], [(0, 1, 0), (1, 2, 1), (2, 0, 2)]
+    )
+    chain = QueryGraph([(), (), ()], [(0, 1, 5), (1, 2, 5)])
+    return [
+        WorkloadQuery(triangle, Topology.CYCLE, 42),
+        WorkloadQuery(chain, Topology.CHAIN, 7),
+    ]
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip(self, workload):
+        restored = workload_from_dict(workload_to_dict(workload))
+        assert [w.query for w in restored] == [w.query for w in workload]
+        assert [w.topology for w in restored] == [w.topology for w in workload]
+        assert [w.true_cardinality for w in restored] == [42, 7]
+
+    def test_file_roundtrip(self, workload, tmp_path):
+        path = tmp_path / "nested" / "w.json"
+        save_workload(workload, path)  # creates parent dirs
+        restored = load_workload(path)
+        assert len(restored) == 2
+        assert restored[0].bucket_name == workload[0].bucket_name
+
+    def test_file_is_valid_json(self, workload, tmp_path):
+        path = tmp_path / "w.json"
+        save_workload(workload, path)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == FORMAT_VERSION
+        assert len(payload["queries"]) == 2
+
+    def test_labels_preserved_as_sets(self, workload, tmp_path):
+        path = tmp_path / "w.json"
+        save_workload(workload, path)
+        restored = load_workload(path)
+        assert restored[0].query.vertex_labels[0] == frozenset({1})
+        assert restored[0].query.vertex_labels[1] == frozenset()
+
+
+class TestVersioning:
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError):
+            workload_from_dict({"version": 999, "queries": []})
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(ValueError):
+            workload_from_dict({"queries": []})
+
+
+class TestBenchCacheIntegration:
+    def test_disk_cache_roundtrip(self, tmp_path, monkeypatch):
+        from repro.bench import workloads as bench_workloads
+
+        monkeypatch.setattr(
+            bench_workloads, "WORKLOAD_CACHE_DIR", str(tmp_path)
+        )
+        bench_workloads.clear_caches()
+        from repro.graph.topology import Topology
+
+        first = bench_workloads.workload(
+            "aids",
+            topologies=(Topology.CHAIN,),
+            sizes=(3,),
+            per_combination=1,
+        )
+        assert list(tmp_path.glob("workload_*.json"))
+        bench_workloads.clear_caches()
+        second = bench_workloads.workload(
+            "aids",
+            topologies=(Topology.CHAIN,),
+            sizes=(3,),
+            per_combination=1,
+        )
+        assert [q.query for q in first] == [q.query for q in second]
+        assert [q.true_cardinality for q in first] == [
+            q.true_cardinality for q in second
+        ]
+        bench_workloads.clear_caches()
