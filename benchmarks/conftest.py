@@ -7,6 +7,12 @@ Every benchmark regenerates one artifact of the paper's evaluation and
 * prints the rendered table, and
 * persists it under ``results/<experiment id>.txt`` so EXPERIMENTS.md can
   reference the measured numbers.
+
+Run with ``--gcare-workers N`` (N > 1) to fan each experiment's
+evaluation grid out over worker processes with hard per-query timeouts
+(``repro.bench.parallel``); thanks to deterministic per-cell seeding the
+reproduced numbers are identical to a serial run.  The default stays
+serial — worker startup dominates on the laptop-scale graphs.
 """
 
 from __future__ import annotations
@@ -16,6 +22,23 @@ import pathlib
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--gcare-workers",
+        type=int,
+        default=None,
+        help="worker processes for the evaluation grids (>1 = parallel)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _gcare_workers(request, monkeypatch):
+    """Export the worker count to the figure functions' runner factory."""
+    workers = request.config.getoption("--gcare-workers")
+    if workers is not None:
+        monkeypatch.setenv("GCARE_WORKERS", str(workers))
 
 
 @pytest.fixture

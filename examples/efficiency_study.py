@@ -5,12 +5,17 @@ Measures off-line summary construction and on-line per-query estimation
 times for all techniques across LUBM scale factors — the paper's fourth
 evaluation question ("How scalable are these techniques?").
 
-Run:  python examples/efficiency_study.py [--scales 1 2 4]
+Run:  python examples/efficiency_study.py [--scales 1 2 4] [--workers 4]
+
+With ``--workers N`` (N > 1) the per-scale evaluation grid fans out over
+worker processes with hard per-query timeouts; per-cell seed derivation
+keeps the estimates identical to the serial run.
 """
 
 import argparse
 
 from repro import available_techniques
+from repro.bench.parallel import ParallelEvaluationRunner
 from repro.bench.runner import EvaluationRunner, NamedQuery, mean_elapsed
 from repro.datasets import load_dataset
 from repro.matching.homomorphism import count_embeddings
@@ -22,6 +27,10 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scales", type=int, nargs="+", default=[1, 2, 4])
     parser.add_argument("--sampling-ratio", type=float, default=0.03)
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (>1 = parallel runner with hard timeouts)",
+    )
     args = parser.parse_args()
 
     techniques = available_techniques()
@@ -35,11 +44,18 @@ def main() -> None:
             )
             for name, query in benchmark_queries().items()
         ]
-        runner = EvaluationRunner(
+        runner_cls = (
+            ParallelEvaluationRunner if args.workers > 1 else EvaluationRunner
+        )
+        runner_kwargs = (
+            {"workers": args.workers} if args.workers > 1 else {}
+        )
+        runner = runner_cls(
             dataset.graph,
             techniques,
             sampling_ratio=args.sampling_ratio,
             time_limit=30.0,
+            **runner_kwargs,
         )
         prep = runner.prepare()
         records = runner.run(queries)

@@ -2,12 +2,16 @@
 
 from . import figures, regression, tables, workloads
 from .figures import ExperimentResult
+from .parallel import ParallelEvaluationRunner
+from .results_log import ResultsLog
 from .runner import (
     EvalRecord,
     EvaluationRunner,
     NamedQuery,
+    derive_seed,
     group_by,
     mean_elapsed,
+    run_cell,
     summarize,
 )
 
@@ -16,10 +20,14 @@ __all__ = [
     "EvaluationRunner",
     "ExperimentResult",
     "NamedQuery",
+    "ParallelEvaluationRunner",
+    "ResultsLog",
+    "derive_seed",
     "figures",
     "regression",
     "group_by",
     "mean_elapsed",
+    "run_cell",
     "summarize",
     "tables",
     "workloads",

@@ -19,6 +19,14 @@ Dataset and workload export (the official G-CARE text format / JSON)::
 One-off estimation of a query file against a graph file::
 
     gcare estimate --graph yago.txt --query q.txt --technique wj
+
+Parallel full-grid sweep with hard timeouts and a resumable results log
+(re-running the same command skips every cell already in the log)::
+
+    gcare sweep aids --workers 4 --runs 5 --results-log aids.jsonl
+
+Accuracy experiments also accept ``--workers N`` to fan their evaluation
+grid out over worker processes (e.g. ``gcare f6c --workers 4``).
 """
 
 from __future__ import annotations
@@ -91,6 +99,76 @@ def _export_workload(dataset_name: str, out: str, seed: int) -> int:
     return 0
 
 
+def _sweep(
+    dataset_name: str,
+    techniques: str,
+    workers: int,
+    results_log: str,
+    runs: int,
+    sampling_ratio: float,
+    seed: int,
+    time_limit: float,
+) -> int:
+    """Run the full (technique, query, run) grid, parallel and resumable."""
+    from ..core.registry import available_techniques
+    from ..metrics.report import render_table
+    from . import workloads
+    from .parallel import ParallelEvaluationRunner
+    from .results_log import ResultsLog
+    from .runner import summarize
+
+    names = (
+        [t.strip() for t in techniques.split(",") if t.strip()]
+        if techniques
+        else available_techniques()
+    )
+    data = workloads.dataset(dataset_name, seed=1)
+    queries = workloads.workload(dataset_name)
+    runner = ParallelEvaluationRunner(
+        data.graph,
+        names,
+        sampling_ratio=sampling_ratio,
+        seed=seed,
+        time_limit=time_limit,
+        workers=workers,
+    )
+    log = ResultsLog(results_log) if results_log else None
+    records = runner.run(queries, runs=runs, results_log=log)
+    stats = runner.last_run_stats
+    print(
+        f"{stats.get('cells', len(records))} cells: "
+        f"{stats.get('executed', 0)} executed, "
+        f"{stats.get('resumed', 0)} resumed from log, "
+        f"{stats.get('timeouts', 0)} hard timeouts"
+    )
+    if log is not None:
+        print(f"results log: {log.path}")
+    summaries = summarize(records)
+    rows = []
+    for name in names:
+        summary = summaries.get(name, {}).get("all")
+        if summary is None:
+            rows.append([name.upper(), None, None, 0])
+        else:
+            rows.append(
+                [
+                    name.upper(),
+                    summary.median if summary.count else None,
+                    summary.mean if summary.count else None,
+                    summary.failures,
+                ]
+            )
+    print()
+    print(
+        render_table(
+            ["technique", "median q-error", "mean q-error", "failures"],
+            rows,
+            title=f"{dataset_name}: {len(queries)} queries x {runs} runs",
+        )
+    )
+    return 0
+
+
 def _estimate(graph_path: str, query_path: str, technique: str,
               sampling_ratio: float, seed: int) -> int:
     from ..graph.io import load_graph, load_query
@@ -132,13 +210,29 @@ def main(argv=None) -> int:
         nargs="?",
         default="list",
         help=(
-            "experiment id (t2, f6a..f11, s63, t3), "
+            "experiment id (t2, f6a..f11, s63, t3), 'sweep', "
             "'export-dataset', 'export-workload', or 'list'"
         ),
     )
     parser.add_argument(
         "target", nargs="?", default=None,
-        help="dataset name for export commands",
+        help="dataset name for sweep/export commands",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes (>1 enables the parallel runner)",
+    )
+    parser.add_argument(
+        "--results-log", default=None,
+        help="JSONL results log for checkpoint/resume (sweep)",
+    )
+    parser.add_argument(
+        "--techniques", default=None,
+        help="comma-separated technique names (sweep; default: all)",
+    )
+    parser.add_argument(
+        "--time-limit", type=float, default=10.0,
+        help="per-query time budget in seconds (sweep)",
     )
     parser.add_argument("--runs", type=int, default=None, help="runs per query")
     parser.add_argument(
@@ -164,6 +258,22 @@ def main(argv=None) -> int:
         return _estimate(
             args.graph, args.query, args.technique,
             args.sampling_ratio or 0.03, args.seed,
+        )
+
+    if args.experiment == "sweep":
+        if not args.target:
+            print("usage: gcare sweep <dataset> [--workers N] "
+                  "[--results-log path] [--techniques a,b] [--runs N]")
+            return 2
+        return _sweep(
+            args.target,
+            args.techniques,
+            args.workers,
+            args.results_log,
+            args.runs or 1,
+            args.sampling_ratio or 0.03,
+            args.seed,
+            args.time_limit,
         )
 
     if args.experiment in ("export-dataset", "export-workload"):
@@ -196,6 +306,10 @@ def main(argv=None) -> int:
         "s63",
     ):
         kwargs["sampling_ratio"] = args.sampling_ratio
+    if args.workers > 1 and args.experiment.lower() in (
+        "f6a", "f6b", "f6c", "f6d", "f7a", "f7b", "f8a", "f8b", "f9", "s63",
+    ):
+        kwargs["workers"] = args.workers
     result = experiment(**kwargs)
     print(result)
     return 0

@@ -10,6 +10,7 @@ are thin wrappers over this module.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
@@ -32,6 +33,43 @@ SAMPLING_TECHNIQUES = ("impr", "cs", "wj", "jsub")
 
 #: default per-query time limit for the laptop-scale reproduction
 DEFAULT_TIME_LIMIT = 10.0
+
+
+def _make_runner(
+    graph,
+    techniques: Sequence[str],
+    sampling_ratio: float,
+    seed: int,
+    time_limit: float,
+    workers: Optional[int] = None,
+) -> EvaluationRunner:
+    """Runner factory for the figure reproductions.
+
+    Serial by default — the reproduction graphs are tiny and worker
+    startup would dominate.  ``workers > 1`` (or the ``GCARE_WORKERS``
+    environment variable, e.g. exported by ``pytest --gcare-workers``)
+    switches to the process-parallel runner with hard timeouts.
+    """
+    if workers is None:
+        workers = int(os.environ.get("GCARE_WORKERS", "0") or 0)
+    if workers > 1:
+        from .parallel import ParallelEvaluationRunner
+
+        return ParallelEvaluationRunner(
+            graph,
+            techniques,
+            sampling_ratio=sampling_ratio,
+            seed=seed,
+            time_limit=time_limit,
+            workers=workers,
+        )
+    return EvaluationRunner(
+        graph,
+        techniques,
+        sampling_ratio=sampling_ratio,
+        seed=seed,
+        time_limit=time_limit,
+    )
 
 
 @dataclass
@@ -77,6 +115,7 @@ def fig6a_lubm_accuracy(
     seed: int = 0,
     techniques: Sequence[str] = ALL_TECHNIQUES,
     time_limit: float = DEFAULT_TIME_LIMIT,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Mean (+/- std) q-error per LUBM benchmark query per technique.
 
@@ -88,12 +127,8 @@ def fig6a_lubm_accuracy(
     for name, query in lubm_queries.benchmark_queries().items():
         truth = count_embeddings(data.graph, query, time_limit=60.0)
         queries.append(NamedQuery(name, query, truth.count))
-    runner = EvaluationRunner(
-        data.graph,
-        techniques,
-        sampling_ratio=sampling_ratio,
-        seed=seed,
-        time_limit=time_limit,
+    runner = _make_runner(
+        data.graph, techniques, sampling_ratio, seed, time_limit, workers
     )
     records = runner.run(queries, runs=runs)
     per_query = summarize(records, lambda r: r.query_name)
@@ -138,6 +173,7 @@ def accuracy_grouped(
     seed: int = 0,
     techniques: Sequence[str] = ALL_TECHNIQUES,
     time_limit: float = DEFAULT_TIME_LIMIT,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Shared engine for the grouped-accuracy figures.
 
@@ -151,12 +187,8 @@ def accuracy_grouped(
         sizes=sizes,
         per_combination=per_combination,
     )
-    runner = EvaluationRunner(
-        data.graph,
-        techniques,
-        sampling_ratio=sampling_ratio,
-        seed=seed,
-        time_limit=time_limit,
+    runner = _make_runner(
+        data.graph, techniques, sampling_ratio, seed, time_limit, workers
     )
     records = runner.run(queries, runs=runs)
     summaries = summarize(records, group_by(group_field))
@@ -287,6 +319,7 @@ def sec63_sampling_ratio(
     runs: int = 1,
     seed: int = 0,
     time_limit: float = DEFAULT_TIME_LIMIT,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Median q-error of each sampling technique per sampling ratio.
 
@@ -303,12 +336,8 @@ def sec63_sampling_ratio(
     per_ratio: Dict[float, Dict[str, Optional[float]]] = {}
     all_records: Dict[float, List[EvalRecord]] = {}
     for ratio in ratios:
-        runner = EvaluationRunner(
-            data.graph,
-            techniques,
-            sampling_ratio=ratio,
-            seed=seed,
-            time_limit=time_limit,
+        runner = _make_runner(
+            data.graph, techniques, ratio, seed, time_limit, workers
         )
         records = runner.run(queries, runs=runs)
         all_records[ratio] = records

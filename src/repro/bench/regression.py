@@ -127,6 +127,53 @@ def snapshot_from_result(result) -> Snapshot:
     return Snapshot(result.experiment_id, medians, failures)
 
 
+def snapshot_from_records(
+    experiment_id: str,
+    records,
+    group_field: Optional[str] = None,
+) -> Snapshot:
+    """Build a snapshot directly from :class:`EvalRecord` instances.
+
+    ``group_field`` selects the grouping metadata ("topology", "size",
+    "bucket"); ``None`` collapses everything into the ``"all"`` group.
+    This is how parallel-sweep output (see :func:`snapshot_from_log`)
+    enters regression tracking without going through a figure function.
+    """
+    from .runner import group_by, summarize
+
+    summaries = summarize(
+        records, group_by(group_field) if group_field else None
+    )
+    medians: Dict[str, Dict[str, float]] = {}
+    failures: Dict[str, Dict[str, int]] = {}
+    for technique, groups in summaries.items():
+        medians[technique] = {}
+        failures[technique] = {}
+        for group, summary in groups.items():
+            if summary.count:
+                medians[technique][group] = summary.median
+            failures[technique][group] = summary.failures
+    return Snapshot(experiment_id, medians, failures)
+
+
+def snapshot_from_log(
+    experiment_id: str,
+    path: PathLike,
+    group_field: Optional[str] = None,
+) -> Snapshot:
+    """Summarize a JSONL results log (a checkpointed sweep) as a snapshot.
+
+    The log is the stream a :class:`~repro.bench.parallel.ParallelEvaluationRunner`
+    writes; summaries are order-independent, so a resumed/merged log
+    yields the same snapshot as an uninterrupted run.
+    """
+    from .results_log import ResultsLog
+
+    return snapshot_from_records(
+        experiment_id, ResultsLog(path).load(), group_field
+    )
+
+
 def save_snapshot(snapshot: Snapshot, path: PathLike) -> None:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)

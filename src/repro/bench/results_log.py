@@ -1,0 +1,83 @@
+"""Append-only JSONL results log: the checkpoint/resume substrate.
+
+Long sweeps (the paper runs every query 30 times per technique) must
+survive interruption — a crash, a timeout-killed worker, or plain ^C
+should not throw away hours of completed cells.  The log is the simplest
+durable structure that supports this:
+
+* one JSON object per line, the :meth:`repro.bench.runner.EvalRecord.to_dict`
+  form of one completed ``(technique, query, run)`` cell;
+* records are appended (and flushed) as they complete, in completion
+  order — the file is a stream, not a snapshot;
+* a re-invocation loads the log, indexes it by cell key, and skips every
+  cell already present, so no cell is ever executed twice;
+* a torn final line (the process died mid-write) is ignored on load.
+
+Because cell seeds are derived deterministically (see
+:func:`repro.bench.runner.derive_seed`), a resumed sweep produces exactly
+the records the uninterrupted sweep would have — the merged log is
+indistinguishable from a single run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Union
+
+from .runner import CellKey, EvalRecord
+
+PathLike = Union[str, Path]
+
+
+class ResultsLog:
+    """A results log bound to one file path.
+
+    The file need not exist yet; it is created on the first
+    :meth:`append`.  One instance may be shared by a runner and its
+    monitoring code, but not across processes — workers send records to
+    the parent, and only the parent writes.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ResultsLog({str(self.path)!r})"
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[EvalRecord]:
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    # torn write from an interrupted process; everything
+                    # before it is intact, so just stop here
+                    return
+                yield EvalRecord.from_dict(payload)
+
+    def load(self) -> List[EvalRecord]:
+        """All intact records, in completion order."""
+        return list(self)
+
+    def completed(self) -> Dict[CellKey, EvalRecord]:
+        """Logged records indexed by cell key (last write wins)."""
+        return {record.key: record for record in self}
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, record: EvalRecord) -> None:
+        """Durably append one completed cell."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record.to_dict()) + "\n")
+            handle.flush()

@@ -47,6 +47,10 @@ class NamedQuery:
         )
 
 
+#: key identifying one cell of the evaluation grid
+CellKey = tuple  # (technique, query_name, run)
+
+
 @dataclass
 class EvalRecord:
     """Outcome of one estimation run of one technique on one query."""
@@ -70,6 +74,93 @@ class EvalRecord:
     def failed(self) -> bool:
         return self.estimate is None
 
+    @property
+    def key(self) -> CellKey:
+        """The grid cell this record fills: ``(technique, query, run)``."""
+        return (self.technique, self.query_name, self.run)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (one line of a results log)."""
+        return {
+            "technique": self.technique,
+            "query_name": self.query_name,
+            "run": self.run,
+            "true_cardinality": self.true_cardinality,
+            "estimate": self.estimate,
+            "elapsed": self.elapsed,
+            "groups": dict(self.groups),
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "EvalRecord":
+        return cls(
+            technique=payload["technique"],
+            query_name=payload["query_name"],
+            run=int(payload["run"]),
+            true_cardinality=int(payload["true_cardinality"]),
+            estimate=payload.get("estimate"),
+            elapsed=float(payload.get("elapsed", 0.0)),
+            groups=dict(payload.get("groups", {})),
+            error=payload.get("error"),
+        )
+
+
+def derive_seed(base_seed: int, run: int) -> int:
+    """Seed for repetition ``run`` of an estimator seeded with ``base_seed``.
+
+    This is the determinism contract of the evaluation grid: the seed of a
+    cell depends only on ``(base_seed, run)`` — never on which worker or in
+    which order the cell executes — so parallel sweeps are bit-identical to
+    serial ones.
+    """
+    return base_seed + run
+
+
+def run_cell(
+    name: str,
+    estimator: Estimator,
+    named: "NamedQuery",
+    run: int,
+    base_seed: Optional[int] = None,
+    reseed: bool = True,
+) -> EvalRecord:
+    """Execute one ``(technique, query, run)`` cell of the evaluation grid.
+
+    The single code path shared by the serial and parallel runners.  When
+    ``reseed`` is set the estimator runs under ``derive_seed(base_seed,
+    run)``; its own ``seed`` attribute is restored afterwards, so running a
+    cell is side-effect-free for the caller.
+    """
+    seed_before = estimator.seed
+    if reseed:
+        base = seed_before if base_seed is None else base_seed
+        estimator.seed = derive_seed(base, run)
+    start = time.monotonic()
+    error: Optional[str] = None
+    estimate: Optional[float] = None
+    try:
+        estimate = estimator.estimate(named.query).estimate
+    except UnsupportedQueryError:
+        error = "unsupported"
+    except EstimationTimeout:
+        error = "timeout"
+    except GCareError as exc:  # pragma: no cover - defensive
+        error = f"error: {exc}"
+    finally:
+        estimator.seed = seed_before
+    elapsed = time.monotonic() - start
+    return EvalRecord(
+        technique=name,
+        query_name=named.name,
+        run=run,
+        true_cardinality=named.true_cardinality,
+        estimate=estimate,
+        elapsed=elapsed,
+        groups=dict(named.groups),
+        error=error,
+    )
+
 
 class EvaluationRunner:
     """Runs a set of techniques over a set of queries."""
@@ -85,9 +176,15 @@ class EvaluationRunner:
     ) -> None:
         self.graph = graph
         self.technique_names = list(techniques)
+        self.sampling_ratio = sampling_ratio
+        self.seed = seed
+        self.time_limit = time_limit
+        self.estimator_kwargs = {
+            name: dict(kwargs) for name, kwargs in (estimator_kwargs or {}).items()
+        }
         self.estimators: Dict[str, Estimator] = {}
         self.preparation_times: Dict[str, float] = {}
-        extra = estimator_kwargs or {}
+        extra = self.estimator_kwargs
         for name in self.technique_names:
             kwargs = dict(extra.get(name, {}))
             self.estimators[name] = create_estimator(
@@ -105,55 +202,63 @@ class EvaluationRunner:
             self.preparation_times[name] = estimator.prepare()
         return dict(self.preparation_times)
 
+    def grid(
+        self, queries: Sequence[NamedQuery], runs: int
+    ) -> List[tuple]:
+        """The ``(technique, query, run)`` cells in canonical serial order.
+
+        Both runners execute exactly this grid; the parallel runner also
+        returns its records in this order, which is what makes serial and
+        parallel sweeps directly comparable.
+        """
+        return [
+            (name, named, run)
+            for name in self.technique_names
+            for named in queries
+            for run in range(runs)
+        ]
+
     def run(
         self,
         queries: Sequence[NamedQuery],
         runs: int = 1,
         reseed: bool = True,
+        results_log=None,
     ) -> List[EvalRecord]:
         """Estimate every query ``runs`` times with every technique.
 
-        When ``reseed`` is set, run ``r`` uses seed ``base_seed + r`` so
-        sampling-based techniques produce independent repetitions.
+        When ``reseed`` is set, run ``r`` uses ``derive_seed(base_seed, r)``
+        so sampling-based techniques produce independent repetitions.
+
+        ``results_log`` (a :class:`repro.bench.results_log.ResultsLog`)
+        enables checkpoint/resume: each record is appended to the log as it
+        completes, and cells already present in the log are not re-executed
+        — their logged records are returned in place.
         """
         self.prepare()
+        done: Dict[CellKey, EvalRecord] = (
+            results_log.completed() if results_log is not None else {}
+        )
         records: List[EvalRecord] = []
-        for name, estimator in self.estimators.items():
-            base_seed = estimator.seed
-            for named in queries:
-                for run in range(runs):
-                    if reseed:
-                        estimator.seed = base_seed + run
-                    records.append(self._run_one(name, estimator, named, run))
-            estimator.seed = base_seed
+        for name, named, run in self.grid(queries, runs):
+            key = (name, named.name, run)
+            if key in done:
+                records.append(done[key])
+                continue
+            record = run_cell(
+                name, self.estimators[name], named, run, reseed=reseed
+            )
+            if results_log is not None:
+                results_log.append(record)
+            records.append(record)
         return records
 
     @staticmethod
     def _run_one(
         name: str, estimator: Estimator, named: NamedQuery, run: int
     ) -> EvalRecord:
-        start = time.monotonic()
-        error: Optional[str] = None
-        estimate: Optional[float] = None
-        try:
-            estimate = estimator.estimate(named.query).estimate
-        except UnsupportedQueryError:
-            error = "unsupported"
-        except EstimationTimeout:
-            error = "timeout"
-        except GCareError as exc:  # pragma: no cover - defensive
-            error = f"error: {exc}"
-        elapsed = time.monotonic() - start
-        return EvalRecord(
-            technique=name,
-            query_name=named.name,
-            run=run,
-            true_cardinality=named.true_cardinality,
-            estimate=estimate,
-            elapsed=elapsed,
-            groups=dict(named.groups),
-            error=error,
-        )
+        """Backwards-compatible alias for :func:`run_cell`."""
+        return run_cell(name, estimator, named, run, reseed=False)
 
 
 # ---------------------------------------------------------------------------

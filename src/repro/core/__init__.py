@@ -14,6 +14,8 @@ from .registry import (
     available_techniques,
     create_estimator,
     estimator_class,
+    register_estimator,
+    unregister_estimator,
 )
 from .result import EstimationResult
 
@@ -32,4 +34,6 @@ __all__ = [
     "available_techniques",
     "create_estimator",
     "estimator_class",
+    "register_estimator",
+    "unregister_estimator",
 ]

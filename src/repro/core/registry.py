@@ -7,8 +7,12 @@ from typing import Dict, List, Type
 from ..graph.digraph import Graph
 from .framework import Estimator
 
+#: techniques registered at runtime via :func:`register_estimator`
+#: (extensions, test doubles); merged over the built-ins by name
+_RUNTIME_TECHNIQUES: Dict[str, Type[Estimator]] = {}
 
-def _techniques() -> Dict[str, Type[Estimator]]:
+
+def _builtin_techniques() -> Dict[str, Type[Estimator]]:
     # imported lazily to avoid import cycles
     from ..estimators.bernoulli import BernoulliSampling
     from ..estimators.boundsketch import BoundSketch
@@ -41,6 +45,37 @@ def _techniques() -> Dict[str, Type[Estimator]]:
             TrueCardinality,
         )
     }
+
+
+def _techniques() -> Dict[str, Type[Estimator]]:
+    merged = _builtin_techniques()
+    merged.update(_RUNTIME_TECHNIQUES)
+    return merged
+
+
+def register_estimator(
+    cls: Type[Estimator], replace: bool = False
+) -> Type[Estimator]:
+    """Register a technique class under its ``name`` at runtime.
+
+    Lets extensions and test doubles participate in everything keyed by
+    technique name (runners, CLI, regression snapshots).  Note for
+    parallel sweeps: worker processes see runtime registrations through
+    ``fork`` inheritance; under the ``spawn`` start method only importable
+    (built-in) techniques are available in workers.
+
+    Usable as a class decorator; returns ``cls``.
+    """
+    name = cls.name
+    if not replace and name in _techniques():
+        raise ValueError(f"technique {name!r} is already registered")
+    _RUNTIME_TECHNIQUES[name] = cls
+    return cls
+
+
+def unregister_estimator(name: str) -> None:
+    """Remove a runtime registration (built-ins cannot be removed)."""
+    _RUNTIME_TECHNIQUES.pop(name, None)
 
 
 #: names of the graph-based techniques (paper, Section 3)

@@ -1,6 +1,11 @@
 """Unit tests for the benchmark harness (runner, tables, CLI)."""
 
+import math
+import random
+
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.bench.runner import (
     EvalRecord,
@@ -118,6 +123,110 @@ class TestAggregation:
         assert elapsed["wj"]["all"] == pytest.approx(0.5)
 
 
+# ---------------------------------------------------------------------------
+# property-based coverage of summarize / group_by
+# ---------------------------------------------------------------------------
+def _make_record(technique, group, truth, estimate, run):
+    return EvalRecord(
+        technique=technique,
+        query_name="q",
+        run=run,
+        true_cardinality=truth,
+        estimate=estimate,
+        elapsed=0.0,
+        groups={"topology": group},
+        error=None if estimate is not None else "timeout",
+    )
+
+
+record_lists = st.lists(
+    st.builds(
+        _make_record,
+        technique=st.sampled_from(["wj", "cs", "bs"]),
+        group=st.sampled_from(["chain", "star", "cycle"]),
+        truth=st.integers(0, 10**6),
+        estimate=st.one_of(
+            st.none(),
+            st.floats(0, 1e9, allow_nan=False, allow_infinity=False),
+        ),
+        run=st.integers(0, 3),
+    ),
+    max_size=30,
+)
+
+
+def _normalize(summaries):
+    """Comparable form of a summarize() result (NaN-free)."""
+    return {
+        technique: {
+            group: (
+                summary.count,
+                summary.failures,
+                summary.mean if summary.count else None,
+                summary.percentiles if summary.count else None,
+                (
+                    summary.underestimated_fraction
+                    if summary.count
+                    else None
+                ),
+            )
+            for group, summary in groups.items()
+        }
+        for technique, groups in summaries.items()
+    }
+
+
+class TestSummarizeProperties:
+    @given(records=record_lists, seed=st.integers(0, 2**16))
+    def test_record_order_never_changes_summaries(self, records, seed):
+        shuffled = list(records)
+        random.Random(seed).shuffle(shuffled)
+        assert _normalize(
+            summarize(records, group_by("topology"))
+        ) == _normalize(summarize(shuffled, group_by("topology")))
+
+    @given(records=record_lists)
+    def test_failures_land_in_their_own_group(self, records):
+        summaries = summarize(records, group_by("topology"))
+        for technique, groups in summaries.items():
+            for group, summary in groups.items():
+                expected = sum(
+                    1
+                    for r in records
+                    if r.technique == technique
+                    and r.groups["topology"] == group
+                    and r.failed
+                )
+                assert summary.failures == expected
+
+    @given(records=record_lists)
+    def test_counts_plus_failures_cover_every_record(self, records):
+        summaries = summarize(records, group_by("topology"))
+        total = sum(
+            summary.count + summary.failures
+            for groups in summaries.values()
+            for summary in groups.values()
+        )
+        assert total == len(records)
+        for technique, groups in summaries.items():
+            for group, summary in groups.items():
+                in_cell = [
+                    r
+                    for r in records
+                    if r.technique == technique
+                    and r.groups["topology"] == group
+                ]
+                assert summary.count + summary.failures == len(in_cell)
+                if summary.count:
+                    assert not math.isnan(summary.mean)
+
+    @given(records=record_lists)
+    def test_group_by_missing_field_buckets_to_question_mark(self, records):
+        summaries = summarize(records, group_by("no_such_field"))
+        for groups in summaries.values():
+            assert set(groups) <= {"?"}
+
+
 class TestTable3:
     def _record(self, technique, truth, estimate, size="3", topo="chain",
                 name="yago_0", error=None):
@@ -174,6 +283,10 @@ class TestCli:
 
     def test_unknown_experiment(self, capsys):
         assert cli.main(["zzz"]) == 2
+
+    def test_sweep_requires_dataset(self, capsys):
+        assert cli.main(["sweep"]) == 2
+        assert "usage: gcare sweep" in capsys.readouterr().out
 
     def test_t2_runs(self, capsys):
         assert cli.main(["t2"]) == 0

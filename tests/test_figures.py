@@ -57,6 +57,31 @@ class TestAccuracyGrouped:
             assert "size" in record.groups
 
 
+class TestAccuracyGroupedParallel:
+    def test_workers_reproduce_serial_records(self):
+        kwargs = dict(
+            topologies=(Topology.CHAIN, Topology.STAR),
+            sizes=(3,),
+            per_combination=1,
+            techniques=("cset", "wj", "bs"),
+            time_limit=10.0,
+        )
+        serial = figures.accuracy_grouped("TESTP", "aids", "topology", **kwargs)
+        parallel = figures.accuracy_grouped(
+            "TESTP", "aids", "topology", workers=2, **kwargs
+        )
+        serial_cells = [
+            (r.technique, r.query_name, r.run, r.estimate, r.error)
+            for r in serial.data["records"]
+        ]
+        parallel_cells = [
+            (r.technique, r.query_name, r.run, r.estimate, r.error)
+            for r in parallel.data["records"]
+        ]
+        assert parallel_cells == serial_cells
+        assert parallel.data["groups"] == serial.data["groups"]
+
+
 class TestSamplingRatio:
     def test_two_ratio_sweep(self):
         result = figures.sec63_sampling_ratio(

@@ -1,0 +1,434 @@
+"""Tests for the parallel evaluation engine (repro.bench.parallel).
+
+Covers the three contracts of the parallel runner — serial equivalence
+(deterministic per-cell seeding), hard timeout enforcement, and
+checkpoint/resume via the JSONL results log — plus the runtime estimator
+registry that lets the fakes below participate.
+
+The fake estimators are module-level classes so forked worker processes
+inherit them (and their class-attribute configuration).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.parallel import ParallelEvaluationRunner
+from repro.bench.results_log import ResultsLog
+from repro.bench.runner import (
+    EvalRecord,
+    EvaluationRunner,
+    NamedQuery,
+    derive_seed,
+    run_cell,
+)
+from repro.core.framework import Estimator
+from repro.core.registry import (
+    ALL_TECHNIQUES,
+    EXTENSIONS,
+    create_estimator,
+    register_estimator,
+    unregister_estimator,
+)
+from repro.datasets.example import (
+    EDGE_A,
+    EDGE_B,
+    LABEL_A,
+    figure1_graph,
+    figure1_query,
+)
+from repro.graph.query import QueryGraph
+from repro.matching.homomorphism import count_embeddings
+
+
+# ---------------------------------------------------------------------------
+# fake estimators
+# ---------------------------------------------------------------------------
+class _StubBase(Estimator):
+    """Minimal concrete estimator: one subquery, one substructure."""
+
+    is_sampling_based = True
+
+    def decompose_query(self, query):
+        return [query]
+
+    def get_substructures(self, query, subquery):
+        yield 0
+
+    def est_card(self, query, subquery, substructure):
+        return 1.0 + self.rng.random()
+
+    def agg_card(self, card_vec):
+        return sum(card_vec)
+
+
+class HangingEstimator(_StubBase):
+    """Never yields a substructure and never checks the deadline."""
+
+    name = "hangstub"
+    display_name = "HANG"
+
+    def get_substructures(self, query, subquery):
+        while True:  # a stuck estimator: blind to the cooperative deadline
+            time.sleep(0.05)
+        yield 0  # pragma: no cover - unreachable
+
+
+class SlowTriangleEstimator(_StubBase):
+    """Cooperatively times out on cyclic queries, instant elsewhere."""
+
+    name = "slowtri"
+    display_name = "SLOWTRI"
+
+    def get_substructures(self, query, subquery):
+        if len(query.edges) >= 3:
+            # sleep past the budget, then yield: the framework's
+            # check_deadline fires right after and raises EstimationTimeout
+            time.sleep((self.time_limit or 0.0) + 0.05)
+        yield 0
+
+
+class CountingEstimator(_StubBase):
+    """Appends one line to ``calls_path`` per estimate() invocation.
+
+    The file-based counter survives process boundaries (appends are
+    atomic at this size), so it counts executions across forked workers.
+    """
+
+    name = "countstub"
+    display_name = "COUNT"
+    calls_path: str = ""
+
+    def decompose_query(self, query):
+        if CountingEstimator.calls_path:
+            with open(CountingEstimator.calls_path, "a") as handle:
+                handle.write("call\n")
+        return [query]
+
+
+@pytest.fixture
+def registered(request):
+    """Register a fake estimator class for the duration of one test."""
+
+    def _register(cls):
+        register_estimator(cls)
+        request.addfinalizer(lambda: unregister_estimator(cls.name))
+        return cls
+
+    return _register
+
+
+# ---------------------------------------------------------------------------
+# shared workload over the example graph
+# ---------------------------------------------------------------------------
+def path_query() -> QueryGraph:
+    return QueryGraph(
+        vertex_labels=[(LABEL_A,), (), ()],
+        edges=[(0, 1, EDGE_A), (1, 2, EDGE_B)],
+    )
+
+
+@pytest.fixture
+def example_queries():
+    graph = figure1_graph()
+    queries = []
+    for name, query in (("tri", figure1_query()), ("path", path_query())):
+        truth = count_embeddings(graph, query, time_limit=10.0).count
+        queries.append(
+            NamedQuery(name, query, truth, {"topology": name, "size": "q"})
+        )
+    return graph, queries
+
+
+def comparable(record: EvalRecord) -> tuple:
+    """Every field except the wall-clock ``elapsed``."""
+    return (
+        record.technique,
+        record.query_name,
+        record.run,
+        record.true_cardinality,
+        record.estimate,
+        record.error,
+        tuple(sorted(record.groups.items())),
+    )
+
+
+# ---------------------------------------------------------------------------
+# serial-vs-parallel equivalence (the determinism contract)
+# ---------------------------------------------------------------------------
+class TestSerialParallelEquivalence:
+    def test_all_registered_estimators_match_serial(self, example_queries):
+        graph, queries = example_queries
+        techniques = list(ALL_TECHNIQUES) + list(EXTENSIONS)
+        serial = EvaluationRunner(
+            graph, techniques, sampling_ratio=0.5, seed=11, time_limit=10
+        ).run(queries, runs=2)
+        parallel = ParallelEvaluationRunner(
+            graph,
+            techniques,
+            sampling_ratio=0.5,
+            seed=11,
+            time_limit=10,
+            workers=4,
+        ).run(queries, runs=2)
+        assert len(parallel) == len(serial) == len(techniques) * 2 * 2
+        assert [comparable(r) for r in parallel] == [
+            comparable(r) for r in serial
+        ]
+
+    def test_parallel_results_independent_of_worker_count(
+        self, example_queries
+    ):
+        graph, queries = example_queries
+        outcomes = []
+        for workers in (2, 3):
+            records = ParallelEvaluationRunner(
+                graph, ["wj", "cs"], sampling_ratio=0.5, seed=3,
+                time_limit=10, workers=workers,
+            ).run(queries, runs=3)
+            outcomes.append([comparable(r) for r in records])
+        assert outcomes[0] == outcomes[1]
+
+    def test_workers_one_falls_back_to_serial(self, example_queries):
+        graph, queries = example_queries
+        runner = ParallelEvaluationRunner(
+            graph, ["cset"], seed=0, time_limit=10, workers=1
+        )
+        records = runner.run(queries)
+        assert len(records) == len(queries)
+        assert all(not r.failed for r in records)
+
+
+# ---------------------------------------------------------------------------
+# hard timeout enforcement
+# ---------------------------------------------------------------------------
+class TestHardTimeouts:
+    def test_hanging_estimator_is_killed_and_sweep_completes(
+        self, registered, example_queries
+    ):
+        registered(HangingEstimator)
+        graph, queries = example_queries
+        runner = ParallelEvaluationRunner(
+            graph,
+            ["hangstub", "cset"],
+            time_limit=0.3,
+            workers=2,
+            kill_grace=0.4,
+        )
+        start = time.monotonic()
+        records = runner.run(queries, runs=1)
+        elapsed = time.monotonic() - start
+        assert elapsed < 30  # bounded: kills, never waits out a hang
+        by_key = {r.key: r for r in records}
+        for named in queries:
+            hung = by_key[("hangstub", named.name, 0)]
+            assert hung.error == "timeout"
+            assert hung.estimate is None
+            fine = by_key[("cset", named.name, 0)]
+            assert fine.error is None and fine.estimate is not None
+        assert runner.last_run_stats["timeouts"] == len(queries)
+        # records come back in canonical grid order despite the kills
+        assert [r.key for r in records] == [
+            (t, q.name, 0) for t in ("hangstub", "cset") for q in queries
+        ]
+
+    def test_serial_timeout_leaves_estimator_reusable(
+        self, registered, example_queries
+    ):
+        registered(SlowTriangleEstimator)
+        graph, queries = example_queries
+        assert queries[0].name == "tri"  # times out, then "path" must run
+        runner = EvaluationRunner(
+            graph, ["slowtri"], sampling_ratio=1.0, time_limit=0.2
+        )
+        records = runner.run(queries, runs=1)
+        assert records[0].error == "timeout"
+        assert records[1].error is None
+        assert records[1].estimate is not None
+        # and the estimator itself stays usable for direct calls
+        estimator = runner.estimators["slowtri"]
+        result = estimator.estimate(queries[1].query)
+        assert result.estimate >= 0
+
+
+# ---------------------------------------------------------------------------
+# checkpoint / resume
+# ---------------------------------------------------------------------------
+class TestCheckpointResume:
+    RUNS = 3
+
+    def _runner(self, graph):
+        return ParallelEvaluationRunner(
+            graph, ["countstub"], seed=5, time_limit=10, workers=2
+        )
+
+    def test_interrupted_sweep_resumes_without_reexecution(
+        self, registered, example_queries, tmp_path
+    ):
+        registered(CountingEstimator)
+        graph, queries = example_queries
+        cells = len(queries) * self.RUNS
+
+        # uninterrupted reference sweep
+        full_log = tmp_path / "full.jsonl"
+        CountingEstimator.calls_path = str(tmp_path / "calls_full.txt")
+        full = self._runner(graph).run(
+            queries, runs=self.RUNS, results_log=ResultsLog(full_log)
+        )
+        assert self._calls(tmp_path / "calls_full.txt") == cells
+
+        # simulate a sweep interrupted after 4 completed cells
+        interrupted = 4
+        partial_log = tmp_path / "partial.jsonl"
+        lines = full_log.read_text().splitlines()[:interrupted]
+        partial_log.write_text("\n".join(lines) + "\n")
+
+        CountingEstimator.calls_path = str(tmp_path / "calls_resume.txt")
+        runner = self._runner(graph)
+        resumed = runner.run(
+            queries, runs=self.RUNS, results_log=ResultsLog(partial_log)
+        )
+        # only the missing cells executed — nothing ran twice
+        assert self._calls(tmp_path / "calls_resume.txt") == cells - interrupted
+        assert runner.last_run_stats["resumed"] == interrupted
+        # the merged log covers every cell exactly once
+        merged = ResultsLog(partial_log).load()
+        assert len(merged) == cells
+        assert len({r.key for r in merged}) == cells
+        # ... and both the merged log and the returned records match the
+        # uninterrupted sweep field-for-field (elapsed aside)
+        reference = {comparable(r) for r in full}
+        assert {comparable(r) for r in merged} == reference
+        assert [comparable(r) for r in resumed] == [
+            comparable(r) for r in full
+        ]
+
+    def test_serial_runner_honors_results_log_too(
+        self, registered, example_queries, tmp_path
+    ):
+        registered(CountingEstimator)
+        graph, queries = example_queries
+        log = ResultsLog(tmp_path / "serial.jsonl")
+        CountingEstimator.calls_path = str(tmp_path / "calls.txt")
+        runner = EvaluationRunner(graph, ["countstub"], time_limit=10)
+        first = runner.run(queries, runs=2, results_log=log)
+        again = runner.run(queries, runs=2, results_log=log)
+        # the second invocation re-executed nothing
+        assert self._calls(tmp_path / "calls.txt") == len(queries) * 2
+        assert [comparable(r) for r in again] == [
+            comparable(r) for r in first
+        ]
+
+    @staticmethod
+    def _calls(path) -> int:
+        return len(path.read_text().splitlines()) if path.exists() else 0
+
+
+# ---------------------------------------------------------------------------
+# results log format
+# ---------------------------------------------------------------------------
+class TestResultsLog:
+    def _record(self, run=0, estimate=2.5, error=None):
+        return EvalRecord(
+            technique="wj",
+            query_name="q0",
+            run=run,
+            true_cardinality=4,
+            estimate=estimate,
+            elapsed=0.125,
+            groups={"topology": "chain"},
+            error=error,
+        )
+
+    def test_roundtrip(self, tmp_path):
+        log = ResultsLog(tmp_path / "log.jsonl")
+        records = [
+            self._record(run=0),
+            self._record(run=1, estimate=None, error="timeout"),
+        ]
+        for record in records:
+            log.append(record)
+        assert log.load() == records
+
+    def test_torn_final_line_is_ignored(self, tmp_path):
+        log = ResultsLog(tmp_path / "log.jsonl")
+        log.append(self._record(run=0))
+        with log.path.open("a") as handle:
+            handle.write('{"technique": "wj", "query_na')  # killed mid-write
+        loaded = log.load()
+        assert len(loaded) == 1
+        assert loaded[0].run == 0
+
+    def test_completed_indexes_by_cell_key(self, tmp_path):
+        log = ResultsLog(tmp_path / "log.jsonl")
+        log.append(self._record(run=0))
+        log.append(self._record(run=1))
+        completed = log.completed()
+        assert set(completed) == {("wj", "q0", 0), ("wj", "q0", 1)}
+
+    def test_missing_file_is_empty(self, tmp_path):
+        log = ResultsLog(tmp_path / "nope.jsonl")
+        assert log.load() == []
+        assert log.completed() == {}
+
+
+# ---------------------------------------------------------------------------
+# seed derivation is side-effect-free
+# ---------------------------------------------------------------------------
+class TestSeedDerivation:
+    def test_derive_seed_depends_only_on_base_and_run(self):
+        assert derive_seed(7, 0) == 7
+        assert derive_seed(7, 3) == derive_seed(7, 3)
+        assert derive_seed(7, 1) != derive_seed(7, 2)
+
+    def test_run_cell_restores_estimator_seed(self, example_queries):
+        graph, queries = example_queries
+        estimator = create_estimator("wj", graph, seed=7, time_limit=10)
+        record = run_cell("wj", estimator, queries[0], run=3)
+        assert estimator.seed == 7
+        assert record.run == 3
+
+    def test_runner_run_does_not_mutate_seeds(self, example_queries):
+        graph, queries = example_queries
+        runner = EvaluationRunner(graph, ["wj"], seed=9, time_limit=10)
+        runner.run(queries, runs=4, reseed=True)
+        assert runner.estimators["wj"].seed == 9
+
+    def test_reseed_false_repeats_identically(self, example_queries):
+        graph, queries = example_queries
+        runner = EvaluationRunner(
+            graph, ["wj"], sampling_ratio=0.5, seed=2, time_limit=10
+        )
+        records = runner.run([queries[0]], runs=3, reseed=False)
+        assert len({r.estimate for r in records}) == 1
+
+
+# ---------------------------------------------------------------------------
+# runtime registry
+# ---------------------------------------------------------------------------
+class TestRuntimeRegistry:
+    def test_register_and_create(self, registered):
+        registered(CountingEstimator)
+        CountingEstimator.calls_path = ""
+        estimator = create_estimator("countstub", figure1_graph())
+        assert isinstance(estimator, CountingEstimator)
+
+    def test_duplicate_registration_rejected(self, registered):
+        registered(CountingEstimator)
+        with pytest.raises(ValueError):
+            register_estimator(CountingEstimator)
+
+    def test_builtin_name_collision_rejected(self):
+        class Clash(_StubBase):
+            name = "wj"
+
+        with pytest.raises(ValueError):
+            register_estimator(Clash)
+
+    def test_unregister_restores_unknown(self, registered):
+        registered(CountingEstimator)
+        unregister_estimator("countstub")
+        with pytest.raises(KeyError):
+            create_estimator("countstub", figure1_graph())
