@@ -25,6 +25,12 @@ Parallel full-grid sweep with hard timeouts and a resumable results log
 
     gcare sweep aids --workers 4 --runs 5 --results-log aids.jsonl
 
+Add ``--trace`` to a sweep to record a phase-level span trace and counter
+set into every record, then render the Figure-10-style breakdown::
+
+    gcare sweep aids --trace --results-log aids.jsonl
+    gcare trace aids.jsonl
+
 Accuracy experiments also accept ``--workers N`` to fan their evaluation
 grid out over worker processes (e.g. ``gcare f6c --workers 4``).
 """
@@ -99,6 +105,14 @@ def _export_workload(dataset_name: str, out: str, seed: int) -> int:
     return 0
 
 
+def _trace_report(path: str) -> int:
+    """Render the phase/counter breakdown of a traced sweep's results log."""
+    from .phase_report import render_trace_log
+
+    print(render_trace_log(path))
+    return 0
+
+
 def _sweep(
     dataset_name: str,
     techniques: str,
@@ -108,6 +122,7 @@ def _sweep(
     sampling_ratio: float,
     seed: int,
     time_limit: float,
+    trace: bool = False,
 ) -> int:
     """Run the full (technique, query, run) grid, parallel and resumable."""
     from ..core.registry import available_techniques
@@ -131,6 +146,7 @@ def _sweep(
         seed=seed,
         time_limit=time_limit,
         workers=workers,
+        trace=trace,
     )
     log = ResultsLog(results_log) if results_log else None
     records = runner.run(queries, runs=runs, results_log=log)
@@ -166,6 +182,11 @@ def _sweep(
             title=f"{dataset_name}: {len(queries)} queries x {runs} runs",
         )
     )
+    if trace:
+        from .phase_report import render_phase_report
+
+        print()
+        print(render_phase_report(records, title="phase breakdown"))
     return 0
 
 
@@ -210,13 +231,17 @@ def main(argv=None) -> int:
         nargs="?",
         default="list",
         help=(
-            "experiment id (t2, f6a..f11, s63, t3), 'sweep', "
+            "experiment id (t2, f6a..f11, s63, t3), 'sweep', 'trace', "
             "'export-dataset', 'export-workload', or 'list'"
         ),
     )
     parser.add_argument(
         "target", nargs="?", default=None,
-        help="dataset name for sweep/export commands",
+        help="dataset name (sweep/export) or results log path (trace)",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record span traces + counters into every sweep record",
     )
     parser.add_argument(
         "--workers", type=int, default=0,
@@ -260,10 +285,17 @@ def main(argv=None) -> int:
             args.sampling_ratio or 0.03, args.seed,
         )
 
+    if args.experiment == "trace":
+        if not args.target:
+            print("usage: gcare trace <results.jsonl>")
+            return 2
+        return _trace_report(args.target)
+
     if args.experiment == "sweep":
         if not args.target:
             print("usage: gcare sweep <dataset> [--workers N] "
-                  "[--results-log path] [--techniques a,b] [--runs N]")
+                  "[--results-log path] [--techniques a,b] [--runs N] "
+                  "[--trace]")
             return 2
         return _sweep(
             args.target,
@@ -274,6 +306,7 @@ def main(argv=None) -> int:
             args.sampling_ratio or 0.03,
             args.seed,
             args.time_limit,
+            trace=args.trace,
         )
 
     if args.experiment in ("export-dataset", "export-workload"):

@@ -69,6 +69,7 @@ def _worker_main(
     seed: int,
     time_limit: Optional[float],
     estimator_kwargs: Mapping[str, Mapping],
+    trace: bool = False,
 ) -> None:
     """Worker loop: receive cells, run them, stream results back.
 
@@ -78,6 +79,10 @@ def _worker_main(
     actually begins — the parent measures the hard deadline from that
     moment — followed by ``("done", index, record)`` or
     ``("failed", index, message)``.
+
+    With ``trace`` set, each cell runs under its own collector and the
+    serialized trace crosses the process boundary *inside* the pickled
+    record (``EvalRecord.trace``) — no shared file or extra channel.
     """
     estimators: Dict[str, object] = {}
     try:
@@ -102,7 +107,8 @@ def _worker_main(
                     estimators[technique] = estimator
                 conn.send(("start", index))
                 record = run_cell(
-                    technique, estimator, named, run, reseed=reseed
+                    technique, estimator, named, run, reseed=reseed,
+                    trace=trace,
                 )
                 conn.send(("done", index, record))
             except Exception as exc:  # keep the worker alive for other cells
@@ -215,6 +221,7 @@ class ParallelEvaluationRunner(EvaluationRunner):
         kill_grace: float = DEFAULT_KILL_GRACE,
         prepare_timeout: Optional[float] = None,
         start_method: Optional[str] = None,
+        trace: bool = False,
     ) -> None:
         super().__init__(
             graph,
@@ -223,6 +230,7 @@ class ParallelEvaluationRunner(EvaluationRunner):
             seed=seed,
             time_limit=time_limit,
             estimator_kwargs=estimator_kwargs,
+            trace=trace,
         )
         self.workers = max(1, int(workers))
         self.kill_grace = kill_grace
@@ -278,6 +286,7 @@ class ParallelEvaluationRunner(EvaluationRunner):
                 self.seed,
                 self.time_limit,
                 self.estimator_kwargs,
+                self.trace,
             ),
         )
 

@@ -1,0 +1,125 @@
+"""Phase-level latency breakdown of a sweep (Figure-10 style).
+
+The paper's efficiency analysis (Section 6.4, Figure 10) compares the
+techniques' on-line latencies and explains them by where the time goes —
+e.g. SumRDF "spends most of the time on GetSubstructure and EstCard".
+This module turns the per-record observability data collected by the
+evaluation runners (``EvalRecord.phases`` / ``counters``, filled by
+``run_cell``; see ``docs/tracing.md``) into that analysis:
+
+* :func:`phase_breakdown` — mean seconds per Algorithm-1 phase per
+  technique;
+* :func:`counter_totals` — summed counters per technique (walks drawn,
+  summary entries scanned, backtracking steps, ...);
+* :func:`render_phase_report` — both as aligned text tables, the form
+  every other report in the repository takes;
+* ``gcare trace <results.jsonl>`` renders a sweep log from the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..metrics.report import render_table
+from .runner import EvalRecord
+
+#: canonical phase order: the off-line phase first, then the Algorithm-1
+#: on-line phases in execution order
+PHASE_ORDER = ("prepare", "decompose", "substructures", "agg", "selectivity")
+
+
+def phase_breakdown(
+    records: Iterable[EvalRecord],
+) -> Dict[str, Dict[str, float]]:
+    """Mean seconds per phase per technique.
+
+    Only records carrying a phase split contribute (records from
+    pre-observability logs have none).  The ``prepare`` phase appears on
+    at most one record per technique per process — the cell that
+    triggered summary construction — and is averaged over *those*
+    records only, since it is an off-line, once-per-summary cost.
+    """
+    sums: Dict[str, Dict[str, float]] = {}
+    counts: Dict[str, Dict[str, int]] = {}
+    for record in records:
+        for phase, seconds in record.phases.items():
+            sums.setdefault(record.technique, {}).setdefault(phase, 0.0)
+            counts.setdefault(record.technique, {}).setdefault(phase, 0)
+            sums[record.technique][phase] += seconds
+            counts[record.technique][phase] += 1
+    return {
+        technique: {
+            phase: total / counts[technique][phase]
+            for phase, total in phases.items()
+        }
+        for technique, phases in sums.items()
+    }
+
+
+def counter_totals(
+    records: Iterable[EvalRecord],
+) -> Dict[str, Dict[str, int]]:
+    """Summed counter values per technique over all traced records."""
+    totals: Dict[str, Dict[str, int]] = {}
+    for record in records:
+        for name, value in record.counters.items():
+            bucket = totals.setdefault(record.technique, {})
+            bucket[name] = bucket.get(name, 0) + value
+    return totals
+
+
+def _ordered_phases(breakdown: Dict[str, Dict[str, float]]) -> List[str]:
+    present = {phase for phases in breakdown.values() for phase in phases}
+    ordered = [phase for phase in PHASE_ORDER if phase in present]
+    ordered += sorted(present - set(PHASE_ORDER))
+    return ordered
+
+
+def render_phase_report(
+    records: Sequence[EvalRecord],
+    title: Optional[str] = None,
+) -> str:
+    """Phase table (mean ms per phase per technique) + counter table."""
+    records = list(records)
+    breakdown = phase_breakdown(records)
+    if not breakdown:
+        return "no phase data (run the sweep with tracing: gcare sweep --trace)"
+    phases = _ordered_phases(breakdown)
+    online = [p for p in phases if p != "prepare"]
+    rows: List[List[object]] = []
+    for technique in sorted(breakdown):
+        row: List[object] = [technique.upper()]
+        for phase in phases:
+            seconds = breakdown[technique].get(phase)
+            row.append(None if seconds is None else seconds * 1000.0)
+        row.append(
+            sum(breakdown[technique].get(p, 0.0) for p in online) * 1000.0
+        )
+        rows.append(row)
+    headers = ["technique"] + [f"{p} (ms)" for p in phases] + ["online (ms)"]
+    parts = [render_table(headers, rows, title=title)]
+
+    totals = counter_totals(records)
+    counter_rows: List[List[object]] = []
+    for technique in sorted(totals):
+        for name in sorted(totals[technique]):
+            counter_rows.append([technique.upper(), name, totals[technique][name]])
+    if counter_rows:
+        parts.append(
+            render_table(
+                ["technique", "counter", "total"],
+                counter_rows,
+                title="counter totals",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def render_trace_log(path: str) -> str:
+    """Render the phase report of a results log written by a traced sweep."""
+    from .results_log import ResultsLog
+
+    records = ResultsLog(path).load()
+    return render_phase_report(
+        records, title=f"phase breakdown: {path} ({len(records)} records)"
+    )

@@ -10,6 +10,7 @@ and failures (unsupported queries, timeouts).
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
@@ -19,6 +20,7 @@ from ..core.registry import create_estimator
 from ..graph.digraph import Graph
 from ..graph.query import QueryGraph
 from ..metrics.qerror import QErrorSummary, qerror
+from ..obs.trace import TraceCollector, traced
 from ..workload.generator import WorkloadQuery
 
 
@@ -53,7 +55,15 @@ CellKey = tuple  # (technique, query_name, run)
 
 @dataclass
 class EvalRecord:
-    """Outcome of one estimation run of one technique on one query."""
+    """Outcome of one estimation run of one technique on one query.
+
+    ``elapsed`` is *on-line* estimation time only; off-line summary
+    construction, when this cell is the one that triggered it, appears
+    as the ``prepare`` entry of ``phases`` instead (the paper reports
+    the two separately — Table 4 vs Figure 10).  ``phases``, ``counters``
+    and ``trace`` are filled when the sweep runs with tracing enabled
+    (``phases`` also without tracing, from ``info["timings"]``).
+    """
 
     technique: str
     query_name: str
@@ -63,6 +73,9 @@ class EvalRecord:
     elapsed: float
     groups: Dict[str, str] = field(default_factory=dict)
     error: Optional[str] = None  # "unsupported" | "timeout" | other
+    phases: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    trace: Optional[dict] = None  # Trace.to_dict() when traced
 
     @property
     def qerror(self) -> Optional[float]:
@@ -80,8 +93,12 @@ class EvalRecord:
         return (self.technique, self.query_name, self.run)
 
     def to_dict(self) -> dict:
-        """JSON-serializable form (one line of a results log)."""
-        return {
+        """JSON-serializable form (one line of a results log).
+
+        Observability fields are emitted only when present — absent
+        fields read back as their defaults, so old logs stay loadable.
+        """
+        payload = {
             "technique": self.technique,
             "query_name": self.query_name,
             "run": self.run,
@@ -91,6 +108,13 @@ class EvalRecord:
             "groups": dict(self.groups),
             "error": self.error,
         }
+        if self.phases:
+            payload["phases"] = dict(self.phases)
+        if self.counters:
+            payload["counters"] = dict(self.counters)
+        if self.trace is not None:
+            payload["trace"] = self.trace
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "EvalRecord":
@@ -103,6 +127,13 @@ class EvalRecord:
             elapsed=float(payload.get("elapsed", 0.0)),
             groups=dict(payload.get("groups", {})),
             error=payload.get("error"),
+            phases={
+                k: float(v) for k, v in payload.get("phases", {}).items()
+            },
+            counters={
+                k: int(v) for k, v in payload.get("counters", {}).items()
+            },
+            trace=payload.get("trace"),
         )
 
 
@@ -124,6 +155,7 @@ def run_cell(
     run: int,
     base_seed: Optional[int] = None,
     reseed: bool = True,
+    trace: bool = False,
 ) -> EvalRecord:
     """Execute one ``(technique, query, run)`` cell of the evaluation grid.
 
@@ -131,16 +163,42 @@ def run_cell(
     ``reseed`` is set the estimator runs under ``derive_seed(base_seed,
     run)``; its own ``seed`` attribute is restored afterwards, so running a
     cell is side-effect-free for the caller.
+
+    ``elapsed`` covers on-line estimation only.  When this cell is the one
+    that triggers the estimator's off-line preparation, the build time is
+    reported as the ``prepare`` entry of ``record.phases``, not folded into
+    ``elapsed`` — otherwise the first query of every sweep would charge the
+    whole summary construction to its latency.
+
+    With ``trace`` set, the cell runs under a fresh
+    :class:`~repro.obs.trace.TraceCollector`; the record carries the phase
+    breakdown, the counter totals and the full serialized trace.  Tracing
+    never touches the estimator's RNG, so traced estimates are identical
+    to untraced ones.
     """
     seed_before = estimator.seed
     if reseed:
         base = seed_before if base_seed is None else base_seed
         estimator.seed = derive_seed(base, run)
-    start = time.monotonic()
+    was_prepared = estimator.prepared
+    collector = TraceCollector() if trace else None
     error: Optional[str] = None
     estimate: Optional[float] = None
+    elapsed = 0.0
+    phases: Dict[str, float] = {}
+    counters: Dict[str, int] = {}
+    trace_payload: Optional[dict] = None
+    start = time.monotonic()
     try:
-        estimate = estimator.estimate(named.query).estimate
+        if collector is not None:
+            context = traced(estimator, collector)
+        else:
+            context = nullcontext()
+        with context:
+            estimate_result = estimator.estimate(named.query)
+        estimate = estimate_result.estimate
+        elapsed = estimate_result.elapsed  # on-line time only
+        phases = dict(estimate_result.info.get("timings", {}))
     except UnsupportedQueryError:
         error = "unsupported"
     except EstimationTimeout:
@@ -149,7 +207,20 @@ def run_cell(
         error = f"error: {exc}"
     finally:
         estimator.seed = seed_before
-    elapsed = time.monotonic() - start
+    if error is not None:
+        elapsed = time.monotonic() - start
+        if not was_prepared and estimator.prepared:
+            # the failing run still built the summary; keep elapsed on-line
+            elapsed = max(0.0, elapsed - estimator.preparation_time)
+    if collector is not None:
+        snapshot = collector.snapshot()
+        counters = dict(snapshot.counters)
+        trace_payload = snapshot.to_dict()
+        if error is not None:
+            # partial run: attribute what we can from the (closed) spans
+            phases = snapshot.phase_seconds()
+    if not was_prepared and estimator.prepared:
+        phases.setdefault("prepare", estimator.preparation_time)
     return EvalRecord(
         technique=name,
         query_name=named.name,
@@ -159,6 +230,9 @@ def run_cell(
         elapsed=elapsed,
         groups=dict(named.groups),
         error=error,
+        phases=phases,
+        counters=counters,
+        trace=trace_payload,
     )
 
 
@@ -173,12 +247,15 @@ class EvaluationRunner:
         seed: int = 0,
         time_limit: float = 20.0,
         estimator_kwargs: Optional[Mapping[str, Mapping]] = None,
+        trace: bool = False,
     ) -> None:
         self.graph = graph
         self.technique_names = list(techniques)
         self.sampling_ratio = sampling_ratio
         self.seed = seed
         self.time_limit = time_limit
+        #: collect a span trace + counters into every record (off by default)
+        self.trace = trace
         self.estimator_kwargs = {
             name: dict(kwargs) for name, kwargs in (estimator_kwargs or {}).items()
         }
@@ -246,7 +323,12 @@ class EvaluationRunner:
                 records.append(done[key])
                 continue
             record = run_cell(
-                name, self.estimators[name], named, run, reseed=reseed
+                name,
+                self.estimators[name],
+                named,
+                run,
+                reseed=reseed,
+                trace=self.trace,
             )
             if results_log is not None:
                 results_log.append(record)

@@ -24,6 +24,8 @@ from typing import Any, Iterable, Iterator, List, Optional, Sequence
 
 from ..graph.digraph import Graph
 from ..graph.query import QueryGraph
+from ..obs.size import deep_sizeof
+from ..obs.trace import NO_TRACE
 from .errors import EstimationTimeout
 from .result import EstimationResult
 
@@ -77,6 +79,10 @@ class Estimator(abc.ABC):
         self._prepared = False
         self.preparation_time = 0.0
         self._deadline = float("inf")
+        #: observability sink (the no-op singleton unless tracing is
+        #: attached, e.g. via :func:`repro.obs.traced`); hot loops guard
+        #: their bookkeeping with one ``self.obs.enabled`` check
+        self.obs = NO_TRACE
 
     # ------------------------------------------------------------------
     # framework hooks (Algorithm 1)
@@ -107,6 +113,11 @@ class Estimator(abc.ABC):
     # ------------------------------------------------------------------
     # template methods
     # ------------------------------------------------------------------
+    @property
+    def prepared(self) -> bool:
+        """Whether off-line preparation has already run."""
+        return self._prepared
+
     def prepare(self) -> float:
         """Run off-line preparation once; return the build time in seconds."""
         if not self._prepared:
@@ -120,38 +131,89 @@ class Estimator(abc.ABC):
         """Estimate the cardinality of ``query`` (Algorithm 1).
 
         The result's ``info["timings"]`` breaks the on-line time into the
-        framework's phases (decompose / substructure loop / selectivity),
-        which is how the efficiency analysis attributes costs — e.g.
-        SumRDF "spends most of the time on GetSubstructure and EstCard"
-        (Section 6.4).
+        framework's phases (decompose / substructure loop / aggregation /
+        selectivity), which is how the efficiency analysis attributes
+        costs — e.g. SumRDF "spends most of the time on GetSubstructure
+        and EstCard" (Section 6.4).
+
+        When a :class:`~repro.obs.trace.TraceCollector` is attached as
+        ``self.obs``, the same phases are additionally emitted as nested
+        span events (one per Algorithm-1 hook under an ``estimate``
+        root), the technique's counters are flushed via
+        :meth:`record_counters`, and the summary footprint is gauged.
+        Each span is closed in a ``finally`` block, so a run cut short by
+        :class:`EstimationTimeout` still leaves a well-formed partial
+        trace with no dangling open spans.
         """
-        self.prepare()
+        obs = self.obs
+        span = obs.start("prepare_summary_structure")
+        try:
+            self.prepare()
+        finally:
+            obs.finish(span)
+        if obs.enabled:
+            obs.gauge("summary.bytes", deep_sizeof(self.summary_objects()))
         self.rng = random.Random(self.seed)  # reproducible per query
         start = time.monotonic()
         self._deadline = (
             start + self.time_limit if self.time_limit else float("inf")
         )
-        subqueries = self.decompose_query(query)
-        decompose_done = time.monotonic()
+        subqueries: Sequence[Any] = ()
         total_substructures = 0
-        subquery_cards: List[float] = []
-        for subquery in subqueries:
-            card_vec: List[float] = []
-            for substructure in self.get_substructures(query, subquery):
-                self.check_deadline()
-                card_vec.append(self.est_card(query, subquery, substructure))
-            total_substructures += len(card_vec)
-            subquery_cards.append(self.agg_card(card_vec))
-        loop_done = time.monotonic()
-        estimate = self.selectivity(query, subqueries)
-        for card in subquery_cards:
-            estimate *= card
-        end = time.monotonic()
+        zero_card_substructures = 0
+        root = obs.start("estimate")
+        try:
+            span = obs.start("decompose_query")
+            try:
+                subqueries = self.decompose_query(query)
+            finally:
+                obs.finish(span)
+            decompose_done = time.monotonic()
+            card_vecs: List[List[float]] = []
+            span = obs.start("get_substructures")
+            try:
+                for subquery in subqueries:
+                    card_vec: List[float] = []
+                    for substructure in self.get_substructures(query, subquery):
+                        self.check_deadline()
+                        card = self.est_card(query, subquery, substructure)
+                        card_vec.append(card)
+                        total_substructures += 1
+                        if card == 0.0:
+                            zero_card_substructures += 1
+                    card_vecs.append(card_vec)
+            finally:
+                obs.finish(span)
+            loop_done = time.monotonic()
+            span = obs.start("agg_card")
+            try:
+                subquery_cards = [self.agg_card(vec) for vec in card_vecs]
+            finally:
+                obs.finish(span)
+            agg_done = time.monotonic()
+            span = obs.start("selectivity")
+            try:
+                estimate = self.selectivity(query, subqueries)
+            finally:
+                obs.finish(span)
+            for card in subquery_cards:
+                estimate *= card
+            end = time.monotonic()
+        finally:
+            obs.finish(root)
+            if obs.enabled:
+                obs.incr("est.subqueries", len(subqueries))
+                obs.incr("est.substructures", total_substructures)
+                obs.incr(
+                    "est.zero_card_substructures", zero_card_substructures
+                )
+                self.record_counters(obs)
         info = dict(self.estimation_info())
         info["timings"] = {
             "decompose": decompose_done - start,
             "substructures": loop_done - decompose_done,
-            "selectivity": end - loop_done,
+            "agg": agg_done - loop_done,
+            "selectivity": end - agg_done,
         }
         return EstimationResult(
             estimate=max(0.0, estimate),
@@ -164,6 +226,30 @@ class Estimator(abc.ABC):
     def estimation_info(self) -> dict:
         """Technique-specific diagnostics attached to each result."""
         return {}
+
+    # ------------------------------------------------------------------
+    # observability hooks
+    # ------------------------------------------------------------------
+    def summary_objects(self) -> tuple:
+        """Objects composing the off-line summary, for footprint gauging.
+
+        Summary-based techniques override this to return their tables;
+        the framework sizes them with :func:`repro.obs.size.deep_sizeof`
+        into the ``summary.bytes`` gauge when tracing is on.  Sampling
+        techniques keep no summary and inherit the empty default.
+        """
+        return ()
+
+    def record_counters(self, obs) -> None:
+        """Flush technique-private counters into an attached trace.
+
+        Called once per traced ``estimate()`` (after the hook spans
+        close, including on timeout).  Techniques count their hot loops
+        with plain integer attributes — free when tracing is off — and
+        override this to ``obs.incr`` them under dotted names following
+        the ``<technique>.<metric>`` convention (see
+        ``docs/architecture.md``).
+        """
 
     def check_deadline(self) -> None:
         """Raise :class:`EstimationTimeout` once the per-query budget is gone."""

@@ -36,6 +36,8 @@ class BernoulliSampling(Estimator):
     is_sampling_based = True
 
     def decompose_query(self, query: QueryGraph) -> Sequence[QueryGraph]:
+        self._sampled_tuples = 0
+        self._backtrack_steps = 0
         return [query]
 
     def get_substructures(
@@ -57,6 +59,7 @@ class BernoulliSampling(Estimator):
                 for pair in self.graph.edges_with_label(label)
                 if rng.random() < self.sampling_ratio
             }
+        self._sampled_tuples = sum(len(s) for s in samples.values())
         yield samples
 
     def est_card(
@@ -71,6 +74,7 @@ class BernoulliSampling(Estimator):
             time_limit=self.remaining_time(),
             edge_candidates=substructure,
         )
+        self._backtrack_steps = result.steps
         if not result.complete:
             raise EstimationTimeout("Bernoulli sampled join ran out of time")
         probability = self.sampling_ratio ** query.num_edges
@@ -78,3 +82,7 @@ class BernoulliSampling(Estimator):
 
     def agg_card(self, card_vec: Sequence[float]) -> float:
         return float(sum(card_vec))
+
+    def record_counters(self, obs) -> None:
+        obs.incr("bernoulli.sampled_tuples", self._sampled_tuples)
+        obs.incr("match.backtrack_steps", self._backtrack_steps)

@@ -112,6 +112,8 @@ class BoundSketch(Estimator):
         self._salt = 0x5DEECE66D ^ (self.seed * 0x9E3779B9)
         # sketch cache: (kind, label, M, variant) -> numpy tensor
         self._sketches: Dict[Tuple, np.ndarray] = {}
+        # observability: formulas contracted by the current estimate
+        self._formulas_evaluated = 0
 
     # ------------------------------------------------------------------
     # PrepareSummaryStructure
@@ -206,6 +208,7 @@ class BoundSketch(Estimator):
     def decompose_query(self, query: QueryGraph) -> Sequence[QueryGraph]:
         if query.num_vertices > 26:
             raise UnsupportedQueryError("BoundSketch supports <= 26 attributes")
+        self._formulas_evaluated = 0
         return [query]
 
     def _relations(self, query: QueryGraph) -> List[_RelationDesc]:
@@ -270,6 +273,7 @@ class BoundSketch(Estimator):
         self, query: QueryGraph, subquery: QueryGraph, substructure: Formula
     ) -> float:
         formula = substructure
+        self._formulas_evaluated += 1
         partitions = self.partitions_for(subquery.num_vertices)
         operands: List[np.ndarray] = []
         subscripts: List[str] = []
@@ -309,3 +313,9 @@ class BoundSketch(Estimator):
         if not finite:
             return 0.0
         return float(min(finite))
+
+    def summary_objects(self) -> tuple:
+        return (self._sketches,)
+
+    def record_counters(self, obs) -> None:
+        obs.incr("bs.formulas_evaluated", self._formulas_evaluated)

@@ -52,6 +52,8 @@ class CorrelatedSampling(Estimator):
     is_sampling_based = True
 
     def decompose_query(self, query: QueryGraph) -> Sequence[QueryGraph]:
+        self._last_sampled_count = 0
+        self._backtrack_steps = 0
         return [query]
 
     def get_substructures(
@@ -104,16 +106,21 @@ class CorrelatedSampling(Estimator):
             time_limit=self.remaining_time(),
             vertex_filters=vertex_filters,
         )
+        self._backtrack_steps = result.steps
+        self._last_sampled_count = result.count
         if not result.complete:
             raise EstimationTimeout("CorrelatedSampling join ran out of time")
         probability = 1.0
         for u in range(query.num_vertices):
             probability *= thresholds[u]
-        self._last_sampled_count = result.count
         return result.count / probability
 
     def agg_card(self, card_vec: Sequence[float]) -> float:
         return float(sum(card_vec))
+
+    def record_counters(self, obs) -> None:
+        obs.incr("cs.sampled_join_count", self._last_sampled_count)
+        obs.incr("match.backtrack_steps", self._backtrack_steps)
 
     def estimation_info(self) -> dict:
         return {"sampled_join_count": getattr(self, "_last_sampled_count", 0)}

@@ -72,6 +72,9 @@ class CharacteristicSets(Estimator):
         self._label_counts: Dict[int, int] = {}
         self._distinct_src: Dict[int, int] = {}
         self._distinct_dst: Dict[int, int] = {}
+        # observability: summary entries touched by the current estimate
+        self._entries_scanned = 0
+        self._entries_matched = 0
 
     # ------------------------------------------------------------------
     # PrepareSummaryStructure
@@ -104,6 +107,8 @@ class CharacteristicSets(Estimator):
     # DecomposeQuery — greedy star decomposition
     # ------------------------------------------------------------------
     def decompose_query(self, query: QueryGraph) -> Sequence[Subquery]:
+        self._entries_scanned = 0
+        self._entries_matched = 0
         uncovered = set(range(query.num_edges))
         subqueries: List[Subquery] = []
         while True:
@@ -150,14 +155,18 @@ class CharacteristicSets(Estimator):
         self, query: QueryGraph, subquery: Subquery
     ) -> Iterator[object]:
         if isinstance(subquery, EdgeSubquery):
+            self._entries_scanned += 1
+            self._entries_matched += 1
             yield self._label_counts.get(subquery.label, 0)
             return
         assert isinstance(subquery, StarSubquery)
         table = self._out_sets if subquery.direction == "out" else self._in_sets
+        self._entries_scanned += len(table)
         wanted_vl = subquery.vertex_labels
         wanted_el = frozenset(subquery.edge_labels(query))
         for (vl, el), cs in table.items():
             if wanted_vl <= vl and wanted_el <= el:
+                self._entries_matched += 1
                 yield cs
 
     def est_card(
@@ -175,6 +184,22 @@ class CharacteristicSets(Estimator):
 
     def agg_card(self, card_vec: Sequence[float]) -> float:
         return float(sum(card_vec))
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def summary_objects(self) -> tuple:
+        return (
+            self._out_sets,
+            self._in_sets,
+            self._label_counts,
+            self._distinct_src,
+            self._distinct_dst,
+        )
+
+    def record_counters(self, obs) -> None:
+        obs.incr("cset.summary_entries_scanned", self._entries_scanned)
+        obs.incr("cset.summary_entries_matched", self._entries_matched)
 
     # ------------------------------------------------------------------
     # sel(q_1, ..., q_m): product of pairwise edge join selectivities

@@ -53,12 +53,15 @@ class CSetWanderJoinHybrid(Estimator):
         super().__init__(graph, **kwargs)
         self._cset = CharacteristicSets(graph, **kwargs)
         self._wj_kwargs = {"tau": tau, "max_orders": max_orders}
+        # observability: walks spent on the dependence correction
+        self._correction_walks = 0
 
     # ------------------------------------------------------------------
     def prepare_summary_structure(self) -> None:
         self._cset.prepare()
 
     def decompose_query(self, query: QueryGraph) -> Sequence[object]:
+        self._correction_walks = 0
         return self._cset.decompose_query(query)
 
     def get_substructures(self, query: QueryGraph, subquery: object) -> Iterator:
@@ -115,6 +118,15 @@ class CSetWanderJoinHybrid(Estimator):
             **self._wj_kwargs,
         )
         result = wj.estimate(query)
+        self._correction_walks += wj._walks
         if result.estimate <= 0.0:
             return None
         return result.estimate
+
+    # ------------------------------------------------------------------
+    def summary_objects(self) -> tuple:
+        return self._cset.summary_objects()
+
+    def record_counters(self, obs) -> None:
+        self._cset.record_counters(obs)
+        obs.incr("cswj.correction_walks", self._correction_walks)

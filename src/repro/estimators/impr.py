@@ -150,6 +150,15 @@ class Impr(Estimator):
             return 0.0
         return float(sum(card_vec) / len(card_vec))
 
+    def record_counters(self, obs) -> None:
+        obs.incr("impr.walk_samples", self._samples)
+        obs.incr("impr.walk_failures", self._failures)
+
+    def summary_objects(self) -> tuple:
+        # not an off-line summary, but the per-query walk structure is the
+        # technique's only sizable state — worth gauging
+        return (self._slots,)
+
     def estimation_info(self) -> dict:
         return {
             "walk_failures": self._failures,

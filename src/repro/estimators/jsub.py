@@ -141,11 +141,16 @@ class Jsub(Estimator):
     def __init__(self, graph: Graph, **kwargs) -> None:
         super().__init__(graph, **kwargs)
         self._chosen: Optional[_TreeSampler] = None
+        # observability: samples drawn by the current estimate
+        self._trial_samples = 0
+        self._root_samples = 0
 
     # ------------------------------------------------------------------
     # DecomposeQuery: pick (q_1, o) = argmin of trial estimates
     # ------------------------------------------------------------------
     def decompose_query(self, query: QueryGraph) -> Sequence[_TreeSampler]:
+        self._trial_samples = 0
+        self._root_samples = 0
         candidates = self._candidate_samplers(query)
         best: Optional[_TreeSampler] = None
         best_estimate = float("inf")
@@ -204,6 +209,7 @@ class Jsub(Estimator):
         total = 0.0
         valid = False
         for _ in range(TRIAL_SAMPLES):
+            self._trial_samples += 1
             root_tuple = sampler.sample_root(self.rng)
             if root_tuple is None:
                 return None
@@ -226,6 +232,7 @@ class Jsub(Estimator):
         size = sampler.root_relation_size()
         budget = self.num_samples(size)
         for i in range(budget):
+            self._root_samples += 1
             root_tuple = sampler.sample_root(self.rng)
             if root_tuple is None:
                 yield 0.0
@@ -244,6 +251,10 @@ class Jsub(Estimator):
         if not card_vec:
             return 0.0
         return float(sum(card_vec) / len(card_vec))
+
+    def record_counters(self, obs) -> None:
+        obs.incr("jsub.trial_samples", self._trial_samples)
+        obs.incr("jsub.root_samples", self._root_samples)
 
     def estimation_info(self) -> dict:
         chosen = self._chosen

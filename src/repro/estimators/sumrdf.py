@@ -88,6 +88,9 @@ class SumRDF(Estimator):
         self.max_embeddings = max_embeddings
         self.summary: Optional[SummaryGraph] = None
         self._coarsening_level = 0
+        # observability: work done by the current estimate
+        self._summary_embeddings = 0
+        self._buckets_scanned = 0
 
     # ------------------------------------------------------------------
     # PrepareSummaryStructure
@@ -171,6 +174,8 @@ class SumRDF(Estimator):
     # DecomposeQuery / GetSubstructure / EstCard / AggCard
     # ------------------------------------------------------------------
     def decompose_query(self, query: QueryGraph) -> Sequence[QueryGraph]:
+        self._summary_embeddings = 0
+        self._buckets_scanned = 0
         return [query]
 
     def get_substructures(
@@ -208,6 +213,7 @@ class SumRDF(Estimator):
     ) -> Iterator[Embedding]:
         if depth == len(order):
             emitted[0] += 1
+            self._summary_embeddings += 1
             yield tuple(assignment[u] for u in range(query.num_vertices))
             return
         if emitted[0] >= self.max_embeddings:
@@ -241,6 +247,7 @@ class SumRDF(Estimator):
             base = adj.get((anchor, label), [])
         else:
             base = list(range(summary.num_buckets))
+        self._buckets_scanned += len(base)
         result: List[int] = []
         for bucket in base:
             if labels and summary.effective_weight(bucket, labels) == 0:
@@ -284,6 +291,13 @@ class SumRDF(Estimator):
 
     def agg_card(self, card_vec: Sequence[float]) -> float:
         return float(sum(card_vec))
+
+    def summary_objects(self) -> tuple:
+        return (self.summary,) if self.summary is not None else ()
+
+    def record_counters(self, obs) -> None:
+        obs.incr("sumrdf.summary_embeddings", self._summary_embeddings)
+        obs.incr("sumrdf.buckets_scanned", self._buckets_scanned)
 
     def estimation_info(self) -> dict:
         summary = self.summary

@@ -30,6 +30,7 @@ class TrueCardinality(Estimator):
     is_sampling_based = False
 
     def decompose_query(self, query: QueryGraph) -> Sequence[QueryGraph]:
+        self._backtrack_steps = 0
         return [query]
 
     def get_substructures(
@@ -43,6 +44,7 @@ class TrueCardinality(Estimator):
         result = count_embeddings(
             self.graph, substructure, time_limit=self.remaining_time()
         )
+        self._backtrack_steps = result.steps
         if not result.complete:
             raise EstimationTimeout(
                 "exact counting exceeded the per-query budget"
@@ -51,3 +53,6 @@ class TrueCardinality(Estimator):
 
     def agg_card(self, card_vec: Sequence[float]) -> float:
         return card_vec[0] if card_vec else 0.0
+
+    def record_counters(self, obs) -> None:
+        obs.incr("match.backtrack_steps", self._backtrack_steps)

@@ -170,6 +170,10 @@ class WanderJoin(Estimator):
             self._ci_half_width = float("inf")
         return float(mean)
 
+    def record_counters(self, obs) -> None:
+        obs.incr("wj.walks", self._walks)
+        obs.incr("wj.valid_walks", self._valid_walks)
+
     def estimation_info(self) -> dict:
         return {
             "chosen_order": self._chosen_order,

@@ -45,12 +45,16 @@ class MatchResult:
     """Outcome of a counting run.
 
     ``complete`` is False when the run stopped early (timeout or count cap);
-    ``count`` is then a lower bound on the true cardinality.
+    ``count`` is then a lower bound on the true cardinality.  ``steps``
+    counts backtracking search nodes (calls of the recursive search) —
+    the matcher's work metric, surfaced by the observability layer as
+    the ``match.backtrack_steps`` counter.
     """
 
     count: int
     complete: bool
     elapsed: float
+    steps: int = 0
 
     def __int__(self) -> int:
         return self.count
@@ -87,6 +91,7 @@ class HomomorphismCounter:
         self._deadline = 0.0
         self._cap = 0
         self._count = 0
+        self._steps = 0
 
     # ------------------------------------------------------------------
     def count(
@@ -99,13 +104,16 @@ class HomomorphismCounter:
         self._deadline = start + time_limit if time_limit else float("inf")
         self._cap = max_count if max_count else 1 << 62
         self._count = 0
+        self._steps = 0
         assignment: Dict[int, int] = {}
         complete = True
         try:
             self._search(0, assignment)
         except BudgetExceeded:
             complete = False
-        return MatchResult(self._count, complete, time.monotonic() - start)
+        return MatchResult(
+            self._count, complete, time.monotonic() - start, self._steps
+        )
 
     # ------------------------------------------------------------------
     def _matching_order(self) -> List[int]:
@@ -234,6 +242,7 @@ class HomomorphismCounter:
         return product
 
     def _search(self, depth: int, assignment: Dict[int, int]) -> None:
+        self._steps += 1
         if time.monotonic() > self._deadline:
             raise BudgetExceeded
         if depth == len(self._order):

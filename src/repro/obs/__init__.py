@@ -1,0 +1,33 @@
+"""Observability layer: phase-level tracing, counters, and gauges.
+
+See :mod:`repro.obs.trace` for the span/counter model and the sink
+protocol, :mod:`repro.obs.sinks` for JSONL persistence, and
+:mod:`repro.obs.size` for the recursive summary sizer.  The
+``docs/tracing.md`` quickstart shows the end-to-end flow.
+"""
+
+from .size import deep_sizeof
+from .sinks import JsonlTraceSink
+from .trace import (
+    HOOK_SPANS,
+    NO_TRACE,
+    SPAN_TO_PHASE,
+    NullCollector,
+    Span,
+    Trace,
+    TraceCollector,
+    traced,
+)
+
+__all__ = [
+    "HOOK_SPANS",
+    "NO_TRACE",
+    "SPAN_TO_PHASE",
+    "JsonlTraceSink",
+    "NullCollector",
+    "Span",
+    "Trace",
+    "TraceCollector",
+    "deep_sizeof",
+    "traced",
+]

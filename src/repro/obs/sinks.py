@@ -1,0 +1,68 @@
+"""Durable trace sinks.
+
+The in-memory :class:`~repro.obs.trace.TraceCollector` is the recording
+end; this module persists its snapshots.  Two paths exist:
+
+* **standalone** — :class:`JsonlTraceSink` appends one JSON object per
+  traced run (``{"meta": ..., "trace": Trace.to_dict()}``), mirroring
+  the append-and-flush durability of ``repro.bench.results_log``;
+* **embedded** — the evaluation runners store each cell's trace inside
+  its ``EvalRecord`` (``record.trace``), so sweeps with tracing enabled
+  need no second file: the results log *is* the trace log.  This is also
+  how traces survive the multiprocessing boundary — the worker
+  serializes its collector snapshot into the record before sending it
+  over the result pipe.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple, Union
+
+from .trace import Trace
+
+PathLike = Union[str, Path]
+
+
+class JsonlTraceSink:
+    """Append-only JSONL persistence for trace snapshots.
+
+    Like the results log, lines are appended and flushed as they
+    complete and a torn final line is ignored on read.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"JsonlTraceSink({str(self.path)!r})"
+
+    def write(self, trace: Trace, meta: Optional[dict] = None) -> None:
+        """Durably append one trace snapshot with optional metadata."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"meta": dict(meta or {}), "trace": trace.to_dict()}
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload) + "\n")
+            handle.flush()
+
+    def __iter__(self) -> Iterator[Tuple[dict, Trace]]:
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    # torn write from an interrupted process: stop here
+                    return
+                yield payload.get("meta", {}), Trace.from_dict(
+                    payload.get("trace", {})
+                )
+
+    def load(self) -> List[Tuple[dict, Trace]]:
+        """All intact ``(meta, trace)`` pairs, in completion order."""
+        return list(self)

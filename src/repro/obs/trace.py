@@ -1,0 +1,331 @@
+"""Phase-level tracing for the estimation pipeline.
+
+The G-CARE framework attributes estimator behaviour to the hooks of
+Algorithm 1 — the paper's efficiency analysis (Section 6.4) explains
+SumRDF's latency by where time is spent ("most of the time on
+GetSubstructure and EstCard"), and follow-up analyses (Kim et al.,
+"Combining Sampling and Synopses"; Chen et al. on summary-based CEG)
+diagnose estimators through exactly this kind of per-phase/per-step
+instrumentation.  This module supplies the substrate:
+
+* **spans** — named intervals with parent/child nesting; the framework
+  emits one per Algorithm-1 hook (``prepare_summary_structure``,
+  ``decompose_query``, the ``get_substructures``/``est_card`` loop,
+  ``agg_card``, ``selectivity``) under one ``estimate`` root;
+* **counters** — monotonically increasing named integers (samples drawn,
+  summary entries touched, backtracking steps, zero-estimate
+  substructures);
+* **gauges** — last-write-wins named values (summary size in bytes).
+
+Two collector implementations share one duck-typed *sink protocol*
+(``enabled`` / ``start`` / ``finish`` / ``span`` / ``incr`` / ``gauge`` /
+``snapshot``):
+
+* :class:`NullCollector` — the default.  Every estimator holds the
+  module singleton :data:`NO_TRACE`; its methods are no-ops and hot
+  loops guard their bookkeeping with one ``obs.enabled`` attribute
+  check, so estimation with tracing off costs (near) nothing.
+* :class:`TraceCollector` — the in-memory recorder.  Attach it with
+  :func:`traced` (or assign ``estimator.obs``), run, then
+  :meth:`~TraceCollector.snapshot` an immutable :class:`Trace`.
+
+A :class:`Trace` is plain data: it serializes to a JSON-friendly dict
+(``to_dict``/``from_dict``), which is how traces cross the
+multiprocessing boundary of ``repro.bench.parallel`` — workers snapshot
+their collector into each ``EvalRecord`` and the record rides the
+result pipe and the JSONL results log unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional
+
+#: span names the framework emits, in execution order (the Algorithm-1
+#: hooks plus the ``estimate`` root that parents the on-line ones)
+HOOK_SPANS = (
+    "prepare_summary_structure",
+    "decompose_query",
+    "get_substructures",
+    "agg_card",
+    "selectivity",
+)
+
+#: span name -> canonical short phase name used in reports and
+#: ``EvalRecord.phases`` (matches ``EstimationResult.info["timings"]``)
+SPAN_TO_PHASE = {
+    "prepare_summary_structure": "prepare",
+    "decompose_query": "decompose",
+    "get_substructures": "substructures",
+    "agg_card": "agg",
+    "selectivity": "selectivity",
+}
+
+
+@dataclass
+class Span:
+    """One named interval; times are seconds on the monotonic clock."""
+
+    name: str
+    start: float
+    end: Optional[float] = None  # None while still open
+    parent: Optional[int] = None  # index of the parent span, None = root
+    depth: int = 0
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+
+@dataclass
+class Trace:
+    """An immutable snapshot of one traced run.
+
+    ``complete`` is False when the snapshot had to close spans that were
+    still open — a partial trace, e.g. from a run cut short by
+    :class:`~repro.core.errors.EstimationTimeout` in a caller that
+    snapshotted mid-flight, or from a killed worker.  Even partial
+    traces are well-formed: every span is closed.
+    """
+
+    spans: List[Span] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    complete: bool = True
+
+    # ------------------------------------------------------------------
+    def span(self, name: str) -> Optional[Span]:
+        """The first span named ``name``, or None."""
+        for span in self.spans:
+            if span.name == name:
+                return span
+        return None
+
+    def spans_named(self, name: str) -> List[Span]:
+        return [span for span in self.spans if span.name == name]
+
+    def children_of(self, index: int) -> List[Span]:
+        return [span for span in self.spans if span.parent == index]
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """Per-phase durations in canonical short names.
+
+        Sums the durations of every span mapped by :data:`SPAN_TO_PHASE`
+        (spans outside the mapping — e.g. the ``estimate`` root — are
+        not phases and are skipped).
+        """
+        result: Dict[str, float] = {}
+        for span in self.spans:
+            phase = SPAN_TO_PHASE.get(span.name)
+            if phase is None:
+                continue
+            result[phase] = result.get(phase, 0.0) + span.duration
+        return result
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-friendly form with span times relative to the trace start."""
+        origin = min((s.start for s in self.spans), default=0.0)
+        return {
+            "spans": [
+                {
+                    "name": s.name,
+                    "start": s.start - origin,
+                    "duration": s.duration,
+                    "parent": s.parent,
+                    "depth": s.depth,
+                }
+                for s in self.spans
+            ],
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "complete": self.complete,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Trace":
+        spans = [
+            Span(
+                name=s["name"],
+                start=float(s["start"]),
+                end=float(s["start"]) + float(s["duration"]),
+                parent=s.get("parent"),
+                depth=int(s.get("depth", 0)),
+            )
+            for s in payload.get("spans", [])
+        ]
+        return cls(
+            spans=spans,
+            counters={k: int(v) for k, v in payload.get("counters", {}).items()},
+            gauges={k: float(v) for k, v in payload.get("gauges", {}).items()},
+            complete=bool(payload.get("complete", True)),
+        )
+
+
+class TraceCollector:
+    """In-memory trace sink: records spans, counters and gauges.
+
+    Not thread- or process-safe; one collector traces one estimator in
+    one process (the parallel runner gives each worker cell its own).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self._open: List[int] = []  # stack of indices of open spans
+
+    # ------------------------------------------------------------------
+    # spans
+    # ------------------------------------------------------------------
+    def start(self, name: str) -> int:
+        """Open a span; returns its index (pass to :meth:`finish`)."""
+        parent = self._open[-1] if self._open else None
+        self.spans.append(
+            Span(
+                name=name,
+                start=time.monotonic(),
+                parent=parent,
+                depth=len(self._open),
+            )
+        )
+        index = len(self.spans) - 1
+        self._open.append(index)
+        return index
+
+    def finish(self, index: Optional[int]) -> None:
+        """Close the span at ``index`` (and any children left open by an
+        exception unwinding past them).  Closing a closed span is a no-op."""
+        if index is None or index not in self._open:
+            return
+        now = time.monotonic()
+        while self._open:
+            open_index = self._open.pop()
+            span = self.spans[open_index]
+            if span.end is None:
+                span.end = now
+            if open_index == index:
+                return
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        index = self.start(name)
+        try:
+            yield
+        finally:
+            self.finish(index)
+
+    # ------------------------------------------------------------------
+    # counters / gauges
+    # ------------------------------------------------------------------
+    def incr(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Trace:
+        """An immutable copy; dangling open spans are closed *in the copy*
+        (marking the trace partial) and stay open in the collector."""
+        now = time.monotonic()
+        complete = not self._open
+        spans = [
+            Span(
+                name=s.name,
+                start=s.start,
+                end=s.end if s.end is not None else now,
+                parent=s.parent,
+                depth=s.depth,
+            )
+            for s in self.spans
+        ]
+        return Trace(
+            spans=spans,
+            counters=dict(self.counters),
+            gauges=dict(self.gauges),
+            complete=complete,
+        )
+
+    def reset(self) -> None:
+        self.spans = []
+        self.counters = {}
+        self.gauges = {}
+        self._open = []
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by ``NullCollector.span``."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullCollector:
+    """The default sink: every operation is a no-op.
+
+    Hot loops check ``obs.enabled`` once and skip their bookkeeping, so
+    instrumentation with this sink attached costs one attribute read.
+    """
+
+    enabled = False
+
+    __slots__ = ()
+
+    def start(self, name: str) -> None:
+        return None
+
+    def finish(self, index) -> None:
+        return None
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def incr(self, name: str, n: int = 1) -> None:
+        return None
+
+    def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def snapshot(self) -> Trace:
+        return Trace()
+
+
+#: the module-wide no-op sink every estimator starts with
+NO_TRACE = NullCollector()
+
+
+@contextmanager
+def traced(estimator, collector: Optional[TraceCollector] = None):
+    """Attach a collector to ``estimator`` for the duration of the block.
+
+    >>> with traced(estimator) as t:
+    ...     estimator.estimate(query)
+    >>> t.snapshot().phase_seconds()
+    """
+    collector = collector if collector is not None else TraceCollector()
+    previous = estimator.obs
+    estimator.obs = collector
+    try:
+        yield collector
+    finally:
+        estimator.obs = previous

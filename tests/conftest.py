@@ -10,6 +10,16 @@ from repro.datasets.example import figure1_graph, figure1_query
 from repro.graph.digraph import Graph
 from repro.graph.query import QueryGraph
 
+try:  # property tests are skipped when hypothesis is unavailable
+    from hypothesis import settings
+
+    # `--hypothesis-profile=ci` (used by the tier-2 CI job) trades example
+    # count for runtime and disables the per-example deadline, which is
+    # noisy on shared runners.
+    settings.register_profile("ci", max_examples=25, deadline=None)
+except ImportError:  # pragma: no cover
+    pass
+
 
 @pytest.fixture
 def fig1_graph() -> Graph:

@@ -1,0 +1,307 @@
+"""Observability contract: every technique traces the same way.
+
+Parametrized over every registered technique (the paper's seven plus the
+extensions), mirroring ``test_estimator_contract.py``: whatever lands in
+the registry is automatically held to the tracing contract —
+
+* exactly one span per Algorithm-1 hook, correctly nested under one
+  ``estimate`` root and in execution order;
+* counters are non-negative and the framework's own counters agree with
+  the ``EstimationResult``;
+* attaching a collector never perturbs the estimate or the RNG
+  (tracing is observation, not intervention);
+* the no-op sink keeps the disabled-tracing cost negligible.
+
+Plus the ``run_cell`` phase-split regression tests: off-line preparation
+must never be folded into a record's on-line ``elapsed``.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.bench.runner import EvalRecord, run_cell, NamedQuery
+from repro.core.errors import UnsupportedQueryError
+from repro.core.framework import Estimator
+from repro.core.registry import ALL_TECHNIQUES, EXTENSIONS, create_estimator
+from repro.datasets.example import figure1_graph
+from repro.graph.query import QueryGraph
+from repro.obs import (
+    HOOK_SPANS,
+    NO_TRACE,
+    JsonlTraceSink,
+    NullCollector,
+    Trace,
+    TraceCollector,
+    deep_sizeof,
+    traced,
+)
+
+EVERY_TECHNIQUE = tuple(ALL_TECHNIQUES) + tuple(EXTENSIONS)
+SUMMARY_BASED = ("cset", "sumrdf", "bs")
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return figure1_graph()
+
+
+def make(name, graph, **kwargs):
+    kwargs.setdefault("sampling_ratio", 1.0)
+    kwargs.setdefault("time_limit", 30.0)
+    return create_estimator(name, graph, **kwargs)
+
+
+def traced_estimate(name, graph, query, **kwargs):
+    estimator = make(name, graph, **kwargs)
+    with traced(estimator) as collector:
+        try:
+            result = estimator.estimate(query)
+        except UnsupportedQueryError:
+            pytest.skip(f"{name} does not support this query shape")
+    return estimator, result, collector.snapshot()
+
+
+@pytest.mark.parametrize("name", EVERY_TECHNIQUE)
+class TestTracingContract:
+    def test_one_span_per_hook(self, name, graph, fig1_query):
+        _, _, trace = traced_estimate(name, graph, fig1_query)
+        for hook in HOOK_SPANS:
+            assert len(trace.spans_named(hook)) == 1, hook
+        assert len(trace.spans_named("estimate")) == 1
+        # the framework emits exactly these; inner estimators (hybrid's
+        # C-SET, CSWJ's correction WanderJoins) have their own no-op sink
+        assert len(trace.spans) == len(HOOK_SPANS) + 1
+        assert trace.complete
+
+    def test_nesting_and_order(self, name, graph, fig1_query):
+        _, _, trace = traced_estimate(name, graph, fig1_query)
+        spans = {span.name: i for i, span in enumerate(trace.spans)}
+        root = spans["estimate"]
+        prepare = trace.spans[spans["prepare_summary_structure"]]
+        assert prepare.parent is None  # off-line: outside the estimate root
+        online = ["decompose_query", "get_substructures", "agg_card",
+                  "selectivity"]
+        for hook in online:
+            assert trace.spans[spans[hook]].parent == root, hook
+            assert trace.spans[spans[hook]].depth == 1
+        # execution order within the root
+        indices = [spans[hook] for hook in online]
+        assert indices == sorted(indices)
+        # every span is closed and nested inside its parent's interval
+        for span in trace.spans:
+            assert span.closed
+            if span.parent is not None:
+                parent = trace.spans[span.parent]
+                assert parent.start <= span.start
+                assert span.end <= parent.end
+
+    def test_counters_non_negative_and_consistent(self, name, graph,
+                                                  fig1_query):
+        _, result, trace = traced_estimate(name, graph, fig1_query)
+        assert trace.counters, "no counters recorded"
+        for counter, value in trace.counters.items():
+            assert value >= 0, counter
+        assert trace.counters["est.subqueries"] == result.num_subqueries
+        assert trace.counters["est.substructures"] == result.num_substructures
+        zeros = trace.counters["est.zero_card_substructures"]
+        assert 0 <= zeros <= result.num_substructures
+        # beyond the framework's own three, each technique flushes at
+        # least one hot-loop counter of its own
+        assert len(trace.counters) > 3
+
+    def test_summary_bytes_gauge(self, name, graph, fig1_query):
+        _, _, trace = traced_estimate(name, graph, fig1_query)
+        assert "summary.bytes" in trace.gauges
+        assert trace.gauges["summary.bytes"] > 0
+        if name in SUMMARY_BASED:
+            # a real summary must dwarf the empty-default footprint
+            assert trace.gauges["summary.bytes"] > deep_sizeof(())
+
+    def test_tracing_is_pure_observation(self, name, graph, fig1_query):
+        """Traced and untraced runs are bit-identical: same estimate,
+        same RNG state afterwards (determinism guard)."""
+        untraced = make(name, graph, seed=17)
+        try:
+            plain = untraced.estimate(fig1_query)
+        except UnsupportedQueryError:
+            pytest.skip(f"{name} does not support this query shape")
+        _, traced_result, _ = traced_estimate(name, graph, fig1_query,
+                                              seed=17)
+        assert traced_result.estimate == plain.estimate
+        assert untraced.obs is NO_TRACE
+
+        retraced = make(name, graph, seed=17)
+        with traced(retraced):
+            retraced.estimate(fig1_query)
+        assert retraced.rng.getstate() == untraced.rng.getstate()
+        assert retraced.obs is NO_TRACE  # restored on exit
+
+    def test_trace_roundtrips_through_json(self, name, graph, fig1_query,
+                                           tmp_path):
+        _, _, trace = traced_estimate(name, graph, fig1_query)
+        sink = JsonlTraceSink(tmp_path / "traces.jsonl")
+        sink.write(trace, meta={"technique": name})
+        ((meta, loaded),) = sink.load()
+        assert meta == {"technique": name}
+        assert [s.name for s in loaded.spans] == [s.name for s in trace.spans]
+        assert loaded.counters == trace.counters
+        assert loaded.gauges == trace.gauges
+        assert loaded.phase_seconds().keys() == trace.phase_seconds().keys()
+
+
+# ---------------------------------------------------------------------------
+# no-op sink overhead
+# ---------------------------------------------------------------------------
+def test_default_sink_is_the_shared_noop(fig1_graph):
+    estimator = make("cset", fig1_graph)
+    assert estimator.obs is NO_TRACE
+    assert isinstance(NO_TRACE, NullCollector)
+    assert not NO_TRACE.enabled
+    assert NO_TRACE.start("x") is None
+    assert NO_TRACE.snapshot() == Trace()
+
+
+def test_noop_sink_overhead_bounded():
+    """Guard for the 'within 3% with tracing off' acceptance criterion.
+
+    A 3% end-to-end wall-clock assertion is hopelessly flaky on shared
+    CI runners, so we bound the ingredient instead: one instrumented
+    hook costs an ``enabled`` check plus a no-op ``start``/``finish``
+    pair.  estimate() performs a fixed handful of these per query (six
+    spans' worth), so sub-microsecond per-hook cost keeps the end-to-end
+    overhead orders of magnitude below 3% of the ~ms-scale estimates.
+    """
+    obs = NO_TRACE
+    n = 100_000
+    start = time.monotonic()
+    for _ in range(n):
+        if obs.enabled:
+            raise AssertionError("no-op sink must be disabled")
+        span = obs.start("hook")
+        obs.finish(span)
+    per_hook = (time.monotonic() - start) / n
+    assert per_hook < 5e-6  # 5 microseconds: ~10x slack over observed
+
+
+# ---------------------------------------------------------------------------
+# run_cell phase split (prepare must not pollute on-line latency)
+# ---------------------------------------------------------------------------
+PREPARE_SLEEP = 0.05
+
+
+class SlowPrepareEstimator(Estimator):
+    """Stub whose off-line build is much slower than its estimates."""
+
+    name = "slowprep"
+    display_name = "SlowPrep"
+
+    def prepare_summary_structure(self):
+        time.sleep(PREPARE_SLEEP)
+
+    def decompose_query(self, query):
+        return [query]
+
+    def get_substructures(self, query, subquery):
+        yield subquery
+
+    def est_card(self, query, subquery, substructure):
+        return 42.0
+
+    def agg_card(self, card_vec):
+        return card_vec[0]
+
+
+@pytest.fixture
+def slow_prepare_cell(fig1_graph, fig1_query):
+    estimator = SlowPrepareEstimator(fig1_graph)
+    named = NamedQuery("q0", fig1_query, true_cardinality=42)
+    return estimator, named
+
+
+def test_run_cell_excludes_prepare_from_elapsed(slow_prepare_cell):
+    """Regression: the first cell used to charge the whole summary build
+    to its per-query latency (one wall-clock around estimate())."""
+    estimator, named = slow_prepare_cell
+    record = run_cell("slowprep", estimator, named, run=0)
+    assert record.estimate == 42.0
+    assert record.elapsed < PREPARE_SLEEP / 2  # on-line time only
+    assert record.phases["prepare"] >= PREPARE_SLEEP
+    assert record.phases["prepare"] == estimator.preparation_time
+
+
+def test_run_cell_prepare_phase_only_on_triggering_cell(slow_prepare_cell):
+    estimator, named = slow_prepare_cell
+    first = run_cell("slowprep", estimator, named, run=0)
+    second = run_cell("slowprep", estimator, named, run=1)
+    assert "prepare" in first.phases
+    assert "prepare" not in second.phases
+    assert second.elapsed < PREPARE_SLEEP / 2
+
+
+def test_run_cell_phases_match_timings(slow_prepare_cell):
+    estimator, named = slow_prepare_cell
+    record = run_cell("slowprep", estimator, named, run=0)
+    online = {k: v for k, v in record.phases.items() if k != "prepare"}
+    assert set(online) == {"decompose", "substructures", "agg", "selectivity"}
+    assert sum(online.values()) <= record.elapsed + 1e-6
+
+
+def test_run_cell_traced_record_carries_trace(slow_prepare_cell):
+    estimator, named = slow_prepare_cell
+    record = run_cell("slowprep", estimator, named, run=0, trace=True)
+    assert record.trace is not None
+    trace = Trace.from_dict(record.trace)
+    assert trace.complete
+    assert trace.span("estimate") is not None
+    # the traced prepare span covers the real (slow) build
+    assert trace.span("prepare_summary_structure").duration >= PREPARE_SLEEP
+    assert record.counters["est.substructures"] == 1
+    # tracing must not leak a collector into later untraced cells
+    assert estimator.obs is NO_TRACE
+
+
+def test_run_cell_trace_does_not_change_estimates(fig1_graph, fig1_query):
+    named = NamedQuery("q0", fig1_query, true_cardinality=1)
+    for technique in ("wj", "cs", "jsub"):  # sampling-based: RNG-sensitive
+        plain = run_cell(
+            technique, make(technique, fig1_graph, seed=5), named, run=0
+        )
+        traced_rec = run_cell(
+            technique, make(technique, fig1_graph, seed=5), named, run=0,
+            trace=True,
+        )
+        assert traced_rec.estimate == plain.estimate, technique
+
+
+def test_eval_record_roundtrip_with_obs_fields(slow_prepare_cell):
+    estimator, named = slow_prepare_cell
+    record = run_cell("slowprep", estimator, named, run=0, trace=True)
+    payload = record.to_dict()
+    loaded = EvalRecord.from_dict(payload)
+    assert loaded.phases == record.phases
+    assert loaded.counters == record.counters
+    assert loaded.trace == record.trace
+
+
+def test_eval_record_old_payload_still_loads():
+    """Pre-observability log lines (no phases/counters/trace) stay valid."""
+    loaded = EvalRecord.from_dict(
+        {
+            "technique": "wj",
+            "query_name": "q1",
+            "run": 0,
+            "true_cardinality": 10,
+            "estimate": 12.0,
+            "elapsed": 0.5,
+            "groups": {},
+            "error": None,
+        }
+    )
+    assert loaded.phases == {}
+    assert loaded.counters == {}
+    assert loaded.trace is None
+    # and absent obs fields are not written back either
+    assert "phases" not in loaded.to_dict()
+    assert "trace" not in loaded.to_dict()

@@ -165,7 +165,7 @@ class TestTimings:
     def test_phase_timings_reported(self, graph, query):
         result = TwoSubqueryEstimator(graph).estimate(query)
         timings = result.info["timings"]
-        assert set(timings) == {"decompose", "substructures", "selectivity"}
+        assert set(timings) == {"decompose", "substructures", "agg", "selectivity"}
         assert all(t >= 0.0 for t in timings.values())
         assert sum(timings.values()) <= result.elapsed + 1e-6
 

@@ -202,6 +202,45 @@ class TestSerialParallelEquivalence:
 
 
 # ---------------------------------------------------------------------------
+# serial-vs-parallel equivalence of the observability payload
+# ---------------------------------------------------------------------------
+class TestTracedEquivalence:
+    """Tracing must survive the process boundary unchanged: a traced
+    parallel sweep carries the same counters as the serial one."""
+
+    TECHNIQUES = ["cset", "wj", "cs", "jsub"]
+
+    def test_traced_counter_totals_match_serial(self, example_queries):
+        graph, queries = example_queries
+        kwargs = dict(sampling_ratio=0.5, seed=11, time_limit=10)
+        serial = EvaluationRunner(
+            graph, self.TECHNIQUES, trace=True, **kwargs
+        ).run(queries, runs=2)
+        parallel = ParallelEvaluationRunner(
+            graph, self.TECHNIQUES, trace=True, workers=3, **kwargs
+        ).run(queries, runs=2)
+        assert [comparable(r) for r in parallel] == [
+            comparable(r) for r in serial
+        ]
+        # counters are deterministic integers (unlike the wall-clock
+        # phases), so they must agree cell-for-cell across the boundary
+        for ser, par in zip(serial, parallel):
+            assert par.counters == ser.counters, ser.key
+            assert par.counters  # traced records actually carry counters
+            assert par.trace is not None
+            assert set(par.phases) == set(ser.phases)
+
+    def test_untraced_records_stay_lean_in_parallel(self, example_queries):
+        graph, queries = example_queries
+        records = ParallelEvaluationRunner(
+            graph, ["cset"], seed=11, time_limit=10, workers=2
+        ).run(queries, runs=1)
+        for record in records:
+            assert record.trace is None
+            assert record.counters == {}
+
+
+# ---------------------------------------------------------------------------
 # hard timeout enforcement
 # ---------------------------------------------------------------------------
 class TestHardTimeouts:
@@ -233,6 +272,38 @@ class TestHardTimeouts:
         assert [r.key for r in records] == [
             (t, q.name, 0) for t in ("hangstub", "cset") for q in queries
         ]
+
+    def test_killed_traced_worker_leaves_log_parseable(
+        self, registered, example_queries, tmp_path
+    ):
+        """A hung worker killed mid-trace must still yield a clean
+        ``error="timeout"`` record and must not corrupt the JSONL log."""
+        registered(HangingEstimator)
+        graph, queries = example_queries
+        log = ResultsLog(tmp_path / "traced.jsonl")
+        runner = ParallelEvaluationRunner(
+            graph,
+            ["hangstub", "cset"],
+            time_limit=0.3,
+            workers=2,
+            kill_grace=0.4,
+            trace=True,
+        )
+        records = runner.run(queries, runs=1, results_log=log)
+        by_key = {r.key: r for r in records}
+        for named in queries:
+            hung = by_key[("hangstub", named.name, 0)]
+            assert hung.error == "timeout"
+            assert hung.estimate is None
+            fine = by_key[("cset", named.name, 0)]
+            assert fine.error is None
+            assert fine.trace is not None and fine.counters
+        # every line of the log parses — the kill tore no record
+        loaded = ResultsLog(log.path).load()
+        assert {r.key for r in loaded} == {r.key for r in records}
+        for record in loaded:
+            if record.technique == "cset":
+                assert record.counters  # traces survived the round-trip
 
     def test_serial_timeout_leaves_estimator_reusable(
         self, registered, example_queries
