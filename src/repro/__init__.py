@@ -21,9 +21,13 @@ Public API highlights:
 from .core.errors import (
     EstimationTimeout,
     GCareError,
+    GraphFormatError,
+    InvalidEstimateError,
+    MemoryBudgetExceeded,
     PreparationError,
     UnsupportedQueryError,
 )
+from .faults.plan import NO_FAULTS, FaultPlan, FaultSpec
 from .core.framework import Estimator
 from .core.registry import (
     ALL_TECHNIQUES,
@@ -48,11 +52,17 @@ __all__ = [
     "EstimationResult",
     "EstimationTimeout",
     "Estimator",
+    "FaultPlan",
+    "FaultSpec",
     "GCareError",
     "GRAPH_BASED",
     "Graph",
+    "GraphFormatError",
     "GraphStats",
+    "InvalidEstimateError",
     "MatchResult",
+    "MemoryBudgetExceeded",
+    "NO_FAULTS",
     "PreparationError",
     "QueryGraph",
     "RELATIONAL_BASED",

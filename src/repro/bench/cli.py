@@ -33,6 +33,18 @@ set into every record, then render the Figure-10-style breakdown::
 
 Accuracy experiments also accept ``--workers N`` to fan their evaluation
 grid out over worker processes (e.g. ``gcare f6c --workers 4``).
+
+Validate a graph/query/triples file before feeding it to an experiment
+(per-line diagnostics; exit status 1 if anything is malformed)::
+
+    gcare validate yago.txt
+    gcare validate q.txt --kind query
+
+Chaos-test the sweep pipeline itself with deterministic fault injection
+(see ``docs/robustness.md`` for the plan syntax and fault taxonomy)::
+
+    gcare sweep aids --inject 'est_card:nan:0.3,worker:crash:0.1' \\
+        --inject-seed 7 --fallback cset --results-log chaos.jsonl --fsync
 """
 
 from __future__ import annotations
@@ -113,6 +125,39 @@ def _trace_report(path: str) -> int:
     return 0
 
 
+def _validate(path: str, kind: str, max_diagnostics: int = 20) -> int:
+    """Validate a graph/query/triples file; per-line diagnostics, exit 1."""
+    from ..graph.io import (
+        load_graph_checked,
+        load_query_checked,
+        load_triples_checked,
+    )
+
+    try:
+        if kind == "query":
+            _, report = load_query_checked(path)
+        elif kind == "triples":
+            *_, report = load_triples_checked(path)
+        else:
+            _, report = load_graph_checked(path)
+    except OSError as exc:
+        print(f"{path}: cannot read: {exc}")
+        return 1
+    # one corrupt line can cascade (e.g. every later vertex id lands out
+    # of sequence), so cap the per-line listing at the first few
+    for diagnostic in report.diagnostics[:max_diagnostics]:
+        print(f"{path}:{diagnostic}")
+    hidden = len(report.diagnostics) - max_diagnostics
+    if hidden > 0:
+        print(f"{path}: ... and {hidden} more malformed lines")
+    status = "OK" if report.ok else "MALFORMED"
+    print(
+        f"{path}: {status} ({kind}; {report.loaded} records loaded, "
+        f"{report.skipped} malformed lines)"
+    )
+    return 0 if report.ok else 1
+
+
 def _sweep(
     dataset_name: str,
     techniques: str,
@@ -123,12 +168,19 @@ def _sweep(
     seed: int,
     time_limit: float,
     trace: bool = False,
+    inject: str = None,
+    inject_seed: int = 0,
+    fsync: bool = False,
+    fallback: str = None,
+    memory_budget: int = None,
+    worker_retries: int = None,
 ) -> int:
     """Run the full (technique, query, run) grid, parallel and resumable."""
     from ..core.registry import available_techniques
+    from ..faults.plan import FaultPlan
     from ..metrics.report import render_table
     from . import workloads
-    from .parallel import ParallelEvaluationRunner
+    from .parallel import DEFAULT_WORKER_RETRIES, ParallelEvaluationRunner
     from .results_log import ResultsLog
     from .runner import summarize
 
@@ -137,6 +189,10 @@ def _sweep(
         if techniques
         else available_techniques()
     )
+    plan = None
+    if inject:
+        plan = FaultPlan.parse(inject, seed=inject_seed)
+        print(f"fault injection: {len(plan.specs)} spec(s), seed {plan.seed}")
     data = workloads.dataset(dataset_name, seed=1)
     queries = workloads.workload(dataset_name)
     runner = ParallelEvaluationRunner(
@@ -147,15 +203,23 @@ def _sweep(
         time_limit=time_limit,
         workers=workers,
         trace=trace,
+        fault_plan=plan,
+        memory_budget=memory_budget,
+        fallback=fallback,
+        worker_retries=(
+            DEFAULT_WORKER_RETRIES if worker_retries is None else worker_retries
+        ),
     )
-    log = ResultsLog(results_log) if results_log else None
+    log = ResultsLog(results_log, fsync=fsync) if results_log else None
     records = runner.run(queries, runs=runs, results_log=log)
     stats = runner.last_run_stats
     print(
         f"{stats.get('cells', len(records))} cells: "
         f"{stats.get('executed', 0)} executed, "
         f"{stats.get('resumed', 0)} resumed from log, "
-        f"{stats.get('timeouts', 0)} hard timeouts"
+        f"{stats.get('timeouts', 0)} hard timeouts, "
+        f"{stats.get('retries', 0)} retries, "
+        f"{stats.get('respawns', 0)} respawns"
     )
     if log is not None:
         print(f"results log: {log.path}")
@@ -232,12 +296,46 @@ def main(argv=None) -> int:
         default="list",
         help=(
             "experiment id (t2, f6a..f11, s63, t3), 'sweep', 'trace', "
-            "'export-dataset', 'export-workload', or 'list'"
+            "'validate', 'export-dataset', 'export-workload', or 'list'"
         ),
     )
     parser.add_argument(
         "target", nargs="?", default=None,
-        help="dataset name (sweep/export) or results log path (trace)",
+        help=(
+            "dataset name (sweep/export), results log path (trace), or "
+            "file to check (validate)"
+        ),
+    )
+    parser.add_argument(
+        "--kind", default="graph", choices=("graph", "query", "triples"),
+        help="file format for validate (default: graph)",
+    )
+    parser.add_argument(
+        "--inject", default=None,
+        help=(
+            "fault plan for sweep: JSON file path or compact "
+            "'site:fault[:prob[:tech+tech]]' tokens, comma-separated"
+        ),
+    )
+    parser.add_argument(
+        "--inject-seed", type=int, default=0,
+        help="seed for deterministic fault decisions (sweep --inject)",
+    )
+    parser.add_argument(
+        "--fsync", action="store_true",
+        help="fsync every results-log append (crash-safe, slower)",
+    )
+    parser.add_argument(
+        "--fallback", default=None,
+        help="degraded-mode fallback technique when a cell fails (sweep)",
+    )
+    parser.add_argument(
+        "--memory-budget", type=int, default=None,
+        help="soft per-cell memory budget in bytes (sweep)",
+    )
+    parser.add_argument(
+        "--worker-retries", type=int, default=None,
+        help="retries for cells whose worker died unexpectedly (sweep)",
     )
     parser.add_argument(
         "--trace", action="store_true",
@@ -291,11 +389,17 @@ def main(argv=None) -> int:
             return 2
         return _trace_report(args.target)
 
+    if args.experiment == "validate":
+        if not args.target:
+            print("usage: gcare validate <file> [--kind graph|query|triples]")
+            return 2
+        return _validate(args.target, args.kind)
+
     if args.experiment == "sweep":
         if not args.target:
             print("usage: gcare sweep <dataset> [--workers N] "
                   "[--results-log path] [--techniques a,b] [--runs N] "
-                  "[--trace]")
+                  "[--trace] [--inject plan] [--fallback tech]")
             return 2
         return _sweep(
             args.target,
@@ -307,6 +411,12 @@ def main(argv=None) -> int:
             args.seed,
             args.time_limit,
             trace=args.trace,
+            inject=args.inject,
+            inject_seed=args.inject_seed,
+            fsync=args.fsync,
+            fallback=args.fallback,
+            memory_budget=args.memory_budget,
+            worker_retries=args.worker_retries,
         )
 
     if args.experiment in ("export-dataset", "export-workload"):

@@ -44,6 +44,8 @@ from collections import deque
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..core.registry import create_estimator
+from ..faults.inject import maybe_die
+from ..faults.plan import FaultPlan
 from ..graph.digraph import Graph
 from .results_log import ResultsLog
 from .runner import EvalRecord, EvaluationRunner, NamedQuery, run_cell
@@ -52,6 +54,18 @@ from .runner import EvalRecord, EvaluationRunner, NamedQuery, run_cell
 #: generous because the cooperative deadline should fire first — the kill
 #: is a backstop, not the primary mechanism
 DEFAULT_KILL_GRACE = 5.0
+
+#: how many times a cell whose worker died unexpectedly is retried before
+#: it is recorded as ``error="crashed"``
+DEFAULT_WORKER_RETRIES = 1
+
+#: base of the linear retry backoff (seconds slept before the respawn)
+DEFAULT_RESPAWN_BACKOFF = 0.05
+
+#: cap on replacement workers spawned for *unexpected* deaths (hard
+#: timeout kills are intentional and not counted); once exhausted, the
+#: remaining cells are recorded as crashed instead of respawning forever
+DEFAULT_MAX_WORKER_RESPAWNS = 16
 
 
 def _default_start_method() -> str:
@@ -70,6 +84,9 @@ def _worker_main(
     time_limit: Optional[float],
     estimator_kwargs: Mapping[str, Mapping],
     trace: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
+    memory_budget: Optional[int] = None,
+    fallback: Optional[str] = None,
 ) -> None:
     """Worker loop: receive cells, run them, stream results back.
 
@@ -83,8 +100,17 @@ def _worker_main(
     With ``trace`` set, each cell runs under its own collector and the
     serialized trace crosses the process boundary *inside* the pickled
     record (``EvalRecord.trace``) — no shared file or extra channel.
+
+    With a ``fault_plan``, the worker first consults
+    :func:`~repro.faults.inject.maybe_die` — a worker-site crash decision
+    kills the process via ``os._exit`` *before* the start message, which
+    the parent observes as an unexpected death (EOF), exactly like a real
+    segfault.  Eager preparation is skipped under injection so the plan's
+    prepare-site faults can reach it inside :func:`run_cell`.
     """
     estimators: Dict[str, object] = {}
+    fallback_estimator = None
+    inject = fault_plan is not None and fault_plan.enabled
     try:
         while True:
             message = conn.recv()
@@ -92,6 +118,7 @@ def _worker_main(
                 return
             index, technique, named, run, reseed = message
             try:
+                maybe_die(fault_plan, technique, named.name, run)
                 estimator = estimators.get(technique)
                 if estimator is None:
                     kwargs = dict(estimator_kwargs.get(technique, {}))
@@ -103,12 +130,22 @@ def _worker_main(
                         time_limit=time_limit,
                         **kwargs,
                     )
-                    estimator.prepare()
+                    if not inject:
+                        estimator.prepare()
                     estimators[technique] = estimator
+                if fallback is not None and fallback_estimator is None:
+                    fallback_estimator = create_estimator(
+                        fallback,
+                        graph,
+                        sampling_ratio=sampling_ratio,
+                        seed=seed,
+                        time_limit=time_limit,
+                    )
                 conn.send(("start", index))
                 record = run_cell(
                     technique, estimator, named, run, reseed=reseed,
-                    trace=trace,
+                    trace=trace, fault_plan=fault_plan,
+                    memory_budget=memory_budget, fallback=fallback_estimator,
                 )
                 conn.send(("done", index, record))
             except Exception as exc:  # keep the worker alive for other cells
@@ -207,6 +244,21 @@ class ParallelEvaluationRunner(EvaluationRunner):
     start_method:
         ``multiprocessing`` start method; defaults to ``fork`` where
         available so locally registered techniques reach the workers.
+    worker_retries:
+        How many times a cell whose worker died *unexpectedly* (EOF on
+        the pipe — segfault, OOM kill, ``os._exit``) is requeued before
+        it is recorded as ``error="crashed"``.  Hard timeout kills are
+        never retried — re-running a cell that already blew its budget
+        would just blow it again.
+    respawn_backoff:
+        Base of the linear backoff slept before respawning after an
+        unexpected death (``backoff * attempt``, capped at 1s).
+    max_worker_respawns:
+        Cap on replacement workers spawned for unexpected deaths across
+        one :meth:`run` (``None`` = unlimited).  Once exhausted the pool
+        shrinks instead, and any cells left when it empties are recorded
+        as ``error="crashed"`` — a crash-looping estimator degrades the
+        sweep, never wedges it.
     """
 
     def __init__(
@@ -222,6 +274,12 @@ class ParallelEvaluationRunner(EvaluationRunner):
         prepare_timeout: Optional[float] = None,
         start_method: Optional[str] = None,
         trace: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        memory_budget: Optional[int] = None,
+        fallback: Optional[str] = None,
+        worker_retries: int = DEFAULT_WORKER_RETRIES,
+        respawn_backoff: float = DEFAULT_RESPAWN_BACKOFF,
+        max_worker_respawns: Optional[int] = DEFAULT_MAX_WORKER_RESPAWNS,
     ) -> None:
         super().__init__(
             graph,
@@ -231,13 +289,23 @@ class ParallelEvaluationRunner(EvaluationRunner):
             time_limit=time_limit,
             estimator_kwargs=estimator_kwargs,
             trace=trace,
+            fault_plan=fault_plan,
+            memory_budget=memory_budget,
+            fallback=fallback,
         )
         self.workers = max(1, int(workers))
         self.kill_grace = kill_grace
         self.prepare_timeout = prepare_timeout
         self.start_method = start_method or _default_start_method()
+        self.worker_retries = max(0, int(worker_retries))
+        self.respawn_backoff = max(0.0, float(respawn_backoff))
+        self.max_worker_respawns = max_worker_respawns
         #: statistics of the most recent :meth:`run`
         self.last_run_stats: Dict[str, int] = {}
+        #: per-cell-index count of unexpected-death attempts (this run)
+        self._attempts: Dict[int, int] = {}
+        #: replacement workers spawned for unexpected deaths (this run)
+        self._crash_respawns = 0
 
     # ------------------------------------------------------------------
     def run(
@@ -252,6 +320,8 @@ class ParallelEvaluationRunner(EvaluationRunner):
             (index, name, named, run)
             for index, (name, named, run) in enumerate(self.grid(queries, runs))
         ]
+        if results_log is not None:
+            results_log.recover()  # truncate a torn tail before resuming
         done = results_log.completed() if results_log is not None else {}
         results: Dict[int, EvalRecord] = {}
         pending = deque()
@@ -267,7 +337,11 @@ class ParallelEvaluationRunner(EvaluationRunner):
             "executed": 0,
             "timeouts": 0,
             "worker_failures": 0,
+            "retries": 0,
+            "respawns": 0,
         }
+        self._attempts = {}
+        self._crash_respawns = 0
         if self.workers <= 1 or len(pending) <= 1:
             # tiny remainder: process startup would dominate
             serial = super().run(queries, runs, reseed, results_log)
@@ -287,6 +361,9 @@ class ParallelEvaluationRunner(EvaluationRunner):
                 self.time_limit,
                 self.estimator_kwargs,
                 self.trace,
+                self.fault_plan,
+                self.memory_budget,
+                self.fallback_name,
             ),
         )
 
@@ -329,6 +406,19 @@ class ParallelEvaluationRunner(EvaluationRunner):
         ]
         try:
             while pending or any(w.cell is not None for w in pool):
+                if not pool:
+                    # respawn cap exhausted and every worker gone: degrade
+                    # the remaining cells to crash records rather than hang
+                    while pending:
+                        cell = pending.popleft()
+                        self.last_run_stats["executed"] += 1
+                        self._record(
+                            results,
+                            results_log,
+                            self._failure_record(cell, "crashed", 0.0),
+                            cell[0],
+                        )
+                    break
                 for worker in list(pool):
                     if worker.cell is None and pending:
                         cell = pending.popleft()
@@ -338,7 +428,7 @@ class ParallelEvaluationRunner(EvaluationRunner):
                             # worker died while idle; requeue and replace
                             pending.appendleft(cell)
                             worker.kill()
-                            self._replace(worker, pool, ctx, pending)
+                            self._replace(worker, pool, ctx, pending, crash=True)
                 busy = {w.conn: w for w in pool if w.cell is not None}
                 ready = connection_wait(
                     list(busy), timeout=self._poll_timeout(busy.values())
@@ -377,18 +467,30 @@ class ParallelEvaluationRunner(EvaluationRunner):
         try:
             message = worker.conn.recv()
         except (EOFError, OSError):
-            # the worker died (segfault, OOM kill, ...): record the loss
-            # and replace it so the sweep continues
+            # the worker died (segfault, OOM kill, os._exit, ...): retry
+            # the cell a bounded number of times, then record the loss —
+            # either way a replacement keeps the sweep going
             self.last_run_stats["worker_failures"] += 1
+            cell = worker.cell
+            index = cell[0]
+            attempts = self._attempts.get(index, 0) + 1
+            self._attempts[index] = attempts
             elapsed = time.monotonic() - (worker.assigned_at or time.monotonic())
-            self._record(
-                results,
-                results_log,
-                self._failure_record(worker.cell, "error: worker died", elapsed),
-                worker.cell[0],
-            )
             worker.kill()
-            self._replace(worker, pool, ctx, pending)
+            if attempts <= self.worker_retries:
+                self.last_run_stats["retries"] += 1
+                pending.appendleft(cell)
+                if self.respawn_backoff:
+                    time.sleep(min(self.respawn_backoff * attempts, 1.0))
+            else:
+                self.last_run_stats["executed"] += 1
+                self._record(
+                    results,
+                    results_log,
+                    self._failure_record(cell, "crashed", elapsed),
+                    index,
+                )
+            self._replace(worker, pool, ctx, pending, crash=True)
             return
         kind = message[0]
         if kind == "start":
@@ -438,12 +540,30 @@ class ParallelEvaluationRunner(EvaluationRunner):
             self._replace(worker, pool, ctx, pending)
 
     def _replace(
-        self, worker: _Worker, pool: List[_Worker], ctx, pending: "deque"
+        self,
+        worker: _Worker,
+        pool: List[_Worker],
+        ctx,
+        pending: "deque",
+        crash: bool = False,
     ) -> None:
-        """Swap a dead worker for a fresh one (if work remains)."""
+        """Swap a dead worker for a fresh one (if work and budget remain).
+
+        ``crash`` marks an *unexpected* death, which counts against
+        ``max_worker_respawns``; deliberate timeout kills do not.  When
+        the cap is exhausted the pool just shrinks — once it empties,
+        :meth:`_run_pool` degrades any remaining cells to ``"crashed"``.
+        """
         worker.finish_cell()
         position = pool.index(worker)
-        if pending:
+        allowed = True
+        if crash:
+            cap = self.max_worker_respawns
+            allowed = cap is None or self._crash_respawns < cap
+        if pending and allowed:
             pool[position] = self._spawn(ctx)
+            if crash:
+                self._crash_respawns += 1
+                self.last_run_stats["respawns"] += 1
         else:
             pool.pop(position)

@@ -7,11 +7,13 @@ durable structure that supports this:
 
 * one JSON object per line, the :meth:`repro.bench.runner.EvalRecord.to_dict`
   form of one completed ``(technique, query, run)`` cell;
-* records are appended (and flushed) as they complete, in completion
-  order — the file is a stream, not a snapshot;
+* records are appended (and flushed — optionally fsynced) as they
+  complete, in completion order — the file is a stream, not a snapshot;
 * a re-invocation loads the log, indexes it by cell key, and skips every
   cell already present, so no cell is ever executed twice;
-* a torn final line (the process died mid-write) is ignored on load.
+* a torn final line (the process died mid-write) is ignored on load, and
+  :meth:`ResultsLog.recover` audits the file and *truncates* the torn
+  tail in place, so subsequent appends never graft onto a partial line.
 
 Because cell seeds are derived deterministically (see
 :func:`repro.bench.runner.derive_seed`), a resumed sweep produces exactly
@@ -22,12 +24,34 @@ indistinguishable from a single run.
 from __future__ import annotations
 
 import json
+import os
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Union
+from typing import Dict, Iterator, List, Optional, Union
 
 from .runner import CellKey, EvalRecord
 
 PathLike = Union[str, Path]
+
+
+@dataclass
+class RecoveryReport:
+    """Outcome of a :meth:`ResultsLog.recover` audit."""
+
+    path: str
+    #: intact records kept in the log
+    records: int
+    #: bytes removed from the torn tail (0 when the log was intact)
+    truncated_bytes: int = 0
+    #: 1-based line number where the tear began, or None
+    truncated_at_line: Optional[int] = None
+    #: True when the final record merely lacked its newline and was repaired
+    repaired_newline: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when the log needed no truncation."""
+        return self.truncated_bytes == 0
 
 
 class ResultsLog:
@@ -37,10 +61,16 @@ class ResultsLog:
     :meth:`append`.  One instance may be shared by a runner and its
     monitoring code, but not across processes — workers send records to
     the parent, and only the parent writes.
+
+    ``fsync=True`` makes every append force the line to stable storage
+    (``os.fsync``) — slower, but a machine losing power mid-sweep keeps
+    every acknowledged record, not just what the OS got around to
+    writing back.
     """
 
-    def __init__(self, path: PathLike) -> None:
+    def __init__(self, path: PathLike, fsync: bool = False) -> None:
         self.path = Path(path)
+        self.fsync = bool(fsync)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"ResultsLog({str(self.path)!r})"
@@ -73,6 +103,59 @@ class ResultsLog:
         return {record.key: record for record in self}
 
     # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> RecoveryReport:
+        """Audit the log and truncate a torn tail in place.
+
+        Scans every line: a line that fails to decode (or decodes to
+        something :meth:`EvalRecord.from_dict` rejects) marks the start
+        of the torn tail — it and everything after it are removed, and
+        the dropped cells will simply be re-executed on resume (the
+        determinism contract makes the re-run records identical).  A
+        final record that parses but lost its newline is repaired by
+        appending one, so the next append cannot graft onto it.  A
+        missing or intact log is a no-op.
+        """
+        if not self.path.exists():
+            return RecoveryReport(str(self.path), 0)
+        records = 0
+        good_end = 0
+        torn_line: Optional[int] = None
+        needs_newline = False
+        offset = 0
+        with self.path.open("rb") as handle:
+            for line_no, raw in enumerate(handle, 1):
+                stripped = raw.strip()
+                if stripped:
+                    try:
+                        EvalRecord.from_dict(
+                            json.loads(stripped.decode("utf-8"))
+                        )
+                    except Exception:
+                        torn_line = line_no
+                        break
+                    records += 1
+                offset += len(raw)
+                good_end = offset
+                needs_newline = not raw.endswith(b"\n")
+        size = self.path.stat().st_size
+        truncated = size - good_end if torn_line is not None else 0
+        if truncated:
+            with self.path.open("r+b") as handle:
+                handle.truncate(good_end)
+        if needs_newline:
+            with self.path.open("ab") as handle:
+                handle.write(b"\n")
+        return RecoveryReport(
+            str(self.path),
+            records,
+            truncated_bytes=truncated,
+            truncated_at_line=torn_line,
+            repaired_newline=needs_newline,
+        )
+
+    # ------------------------------------------------------------------
     # writing
     # ------------------------------------------------------------------
     def append(self, record: EvalRecord) -> None:
@@ -81,3 +164,5 @@ class ResultsLog:
         with self.path.open("a", encoding="utf-8") as handle:
             handle.write(json.dumps(record.to_dict()) + "\n")
             handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())

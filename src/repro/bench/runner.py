@@ -9,14 +9,24 @@ and failures (unsupported queries, timeouts).
 
 from __future__ import annotations
 
+import math
 import time
-from contextlib import nullcontext
+from contextlib import ExitStack, nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
-from ..core.errors import EstimationTimeout, GCareError, UnsupportedQueryError
+from ..core.errors import (
+    EstimationTimeout,
+    GCareError,
+    InvalidEstimateError,
+    MemoryBudgetExceeded,
+    UnsupportedQueryError,
+)
 from ..core.framework import Estimator
 from ..core.registry import create_estimator
+from ..faults.inject import injected
+from ..faults.memory import MemoryBudget
+from ..faults.plan import FaultPlan
 from ..graph.digraph import Graph
 from ..graph.query import QueryGraph
 from ..metrics.qerror import QErrorSummary, qerror
@@ -76,11 +86,18 @@ class EvalRecord:
     phases: Dict[str, float] = field(default_factory=dict)
     counters: Dict[str, int] = field(default_factory=dict)
     trace: Optional[dict] = None  # Trace.to_dict() when traced
+    #: technique that actually produced ``estimate`` when the primary
+    #: failed and a degraded-mode fallback stepped in (provenance)
+    fallback_used: Optional[str] = None
+    #: the primary technique's error when ``fallback_used`` is set
+    primary_error: Optional[str] = None
 
     @property
     def qerror(self) -> Optional[float]:
         if self.estimate is None:
             return None
+        if not math.isfinite(self.estimate) or self.estimate < 0:
+            return None  # degenerate estimates never feed q-error
         return qerror(self.true_cardinality, self.estimate)
 
     @property
@@ -114,6 +131,10 @@ class EvalRecord:
             payload["counters"] = dict(self.counters)
         if self.trace is not None:
             payload["trace"] = self.trace
+        if self.fallback_used is not None:
+            payload["fallback_used"] = self.fallback_used
+        if self.primary_error is not None:
+            payload["primary_error"] = self.primary_error
         return payload
 
     @classmethod
@@ -134,6 +155,8 @@ class EvalRecord:
                 k: int(v) for k, v in payload.get("counters", {}).items()
             },
             trace=payload.get("trace"),
+            fallback_used=payload.get("fallback_used"),
+            primary_error=payload.get("primary_error"),
         )
 
 
@@ -156,6 +179,9 @@ def run_cell(
     base_seed: Optional[int] = None,
     reseed: bool = True,
     trace: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
+    memory_budget: Optional[int] = None,
+    fallback: Optional[Estimator] = None,
 ) -> EvalRecord:
     """Execute one ``(technique, query, run)`` cell of the evaluation grid.
 
@@ -175,6 +201,22 @@ def run_cell(
     breakdown, the counter totals and the full serialized trace.  Tracing
     never touches the estimator's RNG, so traced estimates are identical
     to untraced ones.
+
+    **Graceful degradation.**  Every failure mode becomes a structured
+    record, never an escaped exception: ``"unsupported"``, ``"timeout"``,
+    ``"invalid_estimate"`` (NaN/inf/negative — also enforced at record
+    time, so degenerate values are never fed to q-error), ``"memory"``
+    (soft budget exhausted or ``MemoryError``), and ``"error: ..."`` for
+    anything else, including non-GCare exceptions from buggy estimators.
+
+    ``fault_plan`` (a :class:`~repro.faults.plan.FaultPlan`) injects
+    deterministic faults into the Algorithm-1 hooks for this cell;
+    ``memory_budget`` attaches a soft allocation budget in bytes.  Both
+    are zero-cost when unset: one ``enabled`` check and the cell runs the
+    exact pre-existing path.  ``fallback`` is a degraded-mode estimator
+    run (uninjected) when the primary fails; on success the record
+    carries its estimate with full provenance (``fallback_used`` /
+    ``primary_error``).
     """
     seed_before = estimator.seed
     if reseed:
@@ -182,6 +224,7 @@ def run_cell(
         estimator.seed = derive_seed(base, run)
     was_prepared = estimator.prepared
     collector = TraceCollector() if trace else None
+    inject = fault_plan is not None and fault_plan.enabled
     error: Optional[str] = None
     estimate: Optional[float] = None
     elapsed = 0.0
@@ -195,7 +238,30 @@ def run_cell(
         else:
             context = nullcontext()
         with context:
-            estimate_result = estimator.estimate(named.query)
+            if inject or memory_budget is not None:
+                # chaos/budgeted path: wrap hooks and attach the guard
+                with ExitStack() as stack:
+                    if memory_budget is not None:
+                        guard = stack.enter_context(
+                            MemoryBudget(memory_budget)
+                        )
+                        estimator.memory_guard = guard
+                        stack.callback(
+                            setattr, estimator, "memory_guard", None
+                        )
+                    else:
+                        guard = None
+                    if inject:
+                        stack.enter_context(
+                            injected(
+                                estimator, fault_plan, name, named.name, run
+                            )
+                        )
+                    estimate_result = estimator.estimate(named.query)
+                    if guard is not None:
+                        guard.check()  # catch blowups between check points
+            else:
+                estimate_result = estimator.estimate(named.query)
         estimate = estimate_result.estimate
         elapsed = estimate_result.elapsed  # on-line time only
         phases = dict(estimate_result.info.get("timings", {}))
@@ -203,10 +269,21 @@ def run_cell(
         error = "unsupported"
     except EstimationTimeout:
         error = "timeout"
-    except GCareError as exc:  # pragma: no cover - defensive
+    except InvalidEstimateError:
+        error = "invalid_estimate"
+    except (MemoryBudgetExceeded, MemoryError):
+        error = "memory"
+    except GCareError as exc:
         error = f"error: {exc}"
+    except Exception as exc:  # arbitrary estimator bugs degrade to a record
+        error = f"error: {type(exc).__name__}: {exc}"
     finally:
         estimator.seed = seed_before
+    if estimate is not None and (
+        not math.isfinite(estimate) or estimate < 0
+    ):  # record-time sanitization: estimate() subclasses may skip validation
+        estimate = None
+        error = "invalid_estimate"
     if error is not None:
         elapsed = time.monotonic() - start
         if not was_prepared and estimator.prepared:
@@ -221,6 +298,20 @@ def run_cell(
             phases = snapshot.phase_seconds()
     if not was_prepared and estimator.prepared:
         phases.setdefault("prepare", estimator.preparation_time)
+    fallback_used: Optional[str] = None
+    primary_error: Optional[str] = None
+    if error is not None and fallback is not None:
+        # degraded mode: the fallback runs clean (no injection, no budget)
+        # under its own seed; kills and crashes never reach this point —
+        # only cooperatively detected failures get a second chance
+        fb_record = run_cell(
+            fallback.name, fallback, named, run, reseed=reseed
+        )
+        if fb_record.error is None:
+            primary_error, error = error, None
+            fallback_used = fallback.name
+            estimate = fb_record.estimate
+            elapsed += fb_record.elapsed
     return EvalRecord(
         technique=name,
         query_name=named.name,
@@ -233,6 +324,8 @@ def run_cell(
         phases=phases,
         counters=counters,
         trace=trace_payload,
+        fallback_used=fallback_used,
+        primary_error=primary_error,
     )
 
 
@@ -248,6 +341,9 @@ class EvaluationRunner:
         time_limit: float = 20.0,
         estimator_kwargs: Optional[Mapping[str, Mapping]] = None,
         trace: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
+        memory_budget: Optional[int] = None,
+        fallback: Optional[str] = None,
     ) -> None:
         self.graph = graph
         self.technique_names = list(techniques)
@@ -256,6 +352,12 @@ class EvaluationRunner:
         self.time_limit = time_limit
         #: collect a span trace + counters into every record (off by default)
         self.trace = trace
+        #: deterministic fault plan (None/empty = injection fully disabled)
+        self.fault_plan = fault_plan
+        #: soft per-cell memory budget in bytes (None = unlimited)
+        self.memory_budget = memory_budget
+        #: degraded-mode fallback technique name (None = no fallback)
+        self.fallback_name = fallback
         self.estimator_kwargs = {
             name: dict(kwargs) for name, kwargs in (estimator_kwargs or {}).items()
         }
@@ -272,11 +374,32 @@ class EvaluationRunner:
                 time_limit=time_limit,
                 **kwargs,
             )
+        self.fallback_estimator: Optional[Estimator] = None
+        if fallback is not None:
+            self.fallback_estimator = create_estimator(
+                fallback,
+                graph,
+                sampling_ratio=sampling_ratio,
+                seed=seed,
+                time_limit=time_limit,
+            )
+
+    @property
+    def _inject(self) -> bool:
+        return self.fault_plan is not None and self.fault_plan.enabled
 
     def prepare(self) -> Dict[str, float]:
-        """Run off-line preparation for every technique; returns times."""
+        """Run off-line preparation for every technique; returns times.
+
+        A preparation failure no longer aborts the whole sweep: the
+        technique is left unprepared and each of its cells records the
+        failure individually when ``run_cell`` retries the build.
+        """
         for name, estimator in self.estimators.items():
-            self.preparation_times[name] = estimator.prepare()
+            try:
+                self.preparation_times[name] = estimator.prepare()
+            except Exception:
+                continue  # degrade: per-cell records will carry the error
         return dict(self.preparation_times)
 
     def grid(
@@ -310,9 +433,16 @@ class EvaluationRunner:
         ``results_log`` (a :class:`repro.bench.results_log.ResultsLog`)
         enables checkpoint/resume: each record is appended to the log as it
         completes, and cells already present in the log are not re-executed
-        — their logged records are returned in place.
+        — their logged records are returned in place.  An existing log is
+        audited first (:meth:`ResultsLog.recover`), so a torn tail from a
+        killed process is truncated instead of poisoning the resume.
         """
-        self.prepare()
+        if not self._inject:
+            self.prepare()
+        # under injection, preparation must happen inside run_cell so the
+        # plan's prepare-site faults can reach it
+        if results_log is not None:
+            results_log.recover()
         done: Dict[CellKey, EvalRecord] = (
             results_log.completed() if results_log is not None else {}
         )
@@ -329,6 +459,9 @@ class EvaluationRunner:
                 run,
                 reseed=reseed,
                 trace=self.trace,
+                fault_plan=self.fault_plan,
+                memory_budget=self.memory_budget,
+                fallback=self.fallback_estimator,
             )
             if results_log is not None:
                 results_log.append(record)
@@ -354,13 +487,19 @@ def summarize(
 
     Returns ``{technique: {group: QErrorSummary}}``; without a group key the
     single group is named ``"all"``.  Failed runs count toward
-    ``QErrorSummary.failures`` of their group.
+    ``QErrorSummary.failures`` of their group, as do records carrying a
+    degenerate (non-finite or negative) estimate — e.g. loaded from a log
+    written before estimate sanitization — so bad values never reach
+    :func:`~repro.metrics.qerror.qerror`.
     """
     grouped: Dict[str, Dict[str, List]] = {}
     failures: Dict[str, Dict[str, int]] = {}
     for record in records:
         group = group_key(record) if group_key else "all"
-        if record.failed:
+        degenerate = record.estimate is not None and (
+            not math.isfinite(record.estimate) or record.estimate < 0
+        )
+        if record.failed or degenerate:
             failures.setdefault(record.technique, {}).setdefault(group, 0)
             failures[record.technique][group] += 1
             grouped.setdefault(record.technique, {}).setdefault(group, [])

@@ -25,3 +25,39 @@ class EstimationTimeout(GCareError):
 
 class PreparationError(GCareError):
     """Building the summary structure failed."""
+
+
+class InvalidEstimateError(GCareError):
+    """The technique produced a degenerate estimate (NaN, inf, negative).
+
+    Sampling/summary estimators are known to emit such values in corner
+    cases (degenerate-estimate behaviour analyzed by the follow-up work
+    in PAPERS.md); the framework refuses to let them flow into q-error
+    summaries and raises this instead, which the evaluation runners
+    record as ``error="invalid_estimate"``.
+    """
+
+
+class MemoryBudgetExceeded(GCareError):
+    """A soft per-cell memory budget was exhausted during estimation.
+
+    Raised by :class:`repro.faults.memory.MemoryBudget` at the next
+    cooperative check point; the evaluation runners record the cell as
+    ``error="memory"`` instead of letting the process OOM.
+    """
+
+
+class GraphFormatError(GCareError, ValueError):
+    """A malformed line in a graph/query/triples text file.
+
+    Subclasses :class:`ValueError` so callers that guarded the old bare
+    ``ValueError``/``int()`` failures keep working, but carries the file,
+    line number, and offending line for actionable diagnostics.
+    """
+
+    def __init__(self, path, line_no: int, line: str, reason: str) -> None:
+        self.path = str(path)
+        self.line_no = line_no
+        self.line = line
+        self.reason = reason
+        super().__init__(f"{self.path}:{line_no}: {reason}: {line.strip()!r}")

@@ -18,6 +18,7 @@ Every cardinality estimation technique is expressed through five hooks:
 from __future__ import annotations
 
 import abc
+import math
 import random
 import time
 from typing import Any, Iterable, Iterator, List, Optional, Sequence
@@ -26,7 +27,7 @@ from ..graph.digraph import Graph
 from ..graph.query import QueryGraph
 from ..obs.size import deep_sizeof
 from ..obs.trace import NO_TRACE
-from .errors import EstimationTimeout
+from .errors import EstimationTimeout, InvalidEstimateError
 from .result import EstimationResult
 
 #: Default sampling ratio (3%, the paper's default — Section 5.3).
@@ -83,6 +84,10 @@ class Estimator(abc.ABC):
         #: attached, e.g. via :func:`repro.obs.traced`); hot loops guard
         #: their bookkeeping with one ``self.obs.enabled`` check
         self.obs = NO_TRACE
+        #: soft memory budget (a :class:`repro.faults.memory.MemoryBudget`
+        #: attached by ``run_cell`` when a budget is configured, else None);
+        #: checked alongside the deadline at the cooperative check points
+        self.memory_guard = None
 
     # ------------------------------------------------------------------
     # framework hooks (Algorithm 1)
@@ -199,6 +204,13 @@ class Estimator(abc.ABC):
             for card in subquery_cards:
                 estimate *= card
             end = time.monotonic()
+            if -1e-9 < estimate < 0.0:
+                estimate = 0.0  # float-rounding noise, not a real negative
+            if not math.isfinite(estimate) or estimate < 0.0:
+                raise InvalidEstimateError(
+                    f"{self.display_name} produced degenerate estimate "
+                    f"{estimate!r}"
+                )
         finally:
             obs.finish(root)
             if obs.enabled:
@@ -216,7 +228,7 @@ class Estimator(abc.ABC):
             "selectivity": end - agg_done,
         }
         return EstimationResult(
-            estimate=max(0.0, estimate),
+            estimate=estimate,
             elapsed=end - start,
             num_substructures=total_substructures,
             num_subqueries=len(subqueries),
@@ -252,11 +264,21 @@ class Estimator(abc.ABC):
         """
 
     def check_deadline(self) -> None:
-        """Raise :class:`EstimationTimeout` once the per-query budget is gone."""
+        """Enforce the per-query budgets at a cooperative check point.
+
+        Raises :class:`EstimationTimeout` once the wall-clock budget is
+        gone, and (when a guard is attached)
+        :class:`~repro.core.errors.MemoryBudgetExceeded` once the soft
+        memory budget is — one attribute check when no guard is set, so
+        the un-budgeted hot path pays (near) nothing.
+        """
         if time.monotonic() > self._deadline:
             raise EstimationTimeout(
                 f"{self.display_name} exceeded {self.time_limit}s"
             )
+        guard = self.memory_guard
+        if guard is not None:
+            guard.check()
 
     def remaining_time(self) -> float:
         """Seconds left in the per-query budget (inf when unlimited)."""

@@ -1,0 +1,55 @@
+"""Deterministic fault injection for the sweep pipeline (``repro.faults``).
+
+Three pieces:
+
+* :mod:`repro.faults.plan` — the declarative :class:`FaultPlan`
+  (fault type × site × probability × seed) and the shared no-op
+  :data:`NO_FAULTS`;
+* :mod:`repro.faults.inject` — :func:`injected`, the per-cell hook
+  wrapper, and :func:`maybe_die`, the worker-boundary killer;
+* :mod:`repro.faults.memory` — the soft per-cell
+  :class:`MemoryBudget` guard.
+
+``docs/robustness.md`` documents the fault taxonomy, the degradation
+policy for each fault, and the chaos contract the test suite enforces.
+"""
+
+from .inject import (
+    DEGENERATE_VALUES,
+    InjectedFault,
+    Injector,
+    injected,
+    maybe_die,
+)
+from .memory import MemoryBudget
+from .plan import (
+    ALL_FAULTS,
+    ALL_SITES,
+    EFFECT_FAULTS,
+    HOOK_SITES,
+    NO_FAULTS,
+    VALUE_FAULTS,
+    VALUE_SITES,
+    WORKER_SITE,
+    FaultPlan,
+    FaultSpec,
+)
+
+__all__ = [
+    "ALL_FAULTS",
+    "ALL_SITES",
+    "DEGENERATE_VALUES",
+    "EFFECT_FAULTS",
+    "FaultPlan",
+    "FaultSpec",
+    "HOOK_SITES",
+    "InjectedFault",
+    "Injector",
+    "MemoryBudget",
+    "NO_FAULTS",
+    "VALUE_FAULTS",
+    "VALUE_SITES",
+    "WORKER_SITE",
+    "injected",
+    "maybe_die",
+]

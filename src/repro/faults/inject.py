@@ -1,0 +1,207 @@
+"""Deterministic fault injection over the Algorithm-1 hooks.
+
+:func:`injected` wraps an estimator's five framework hooks
+(``prepare_summary_structure`` … ``agg_card``) for the duration of one
+evaluation cell, consulting a :class:`~repro.faults.plan.FaultPlan`
+before every hook call.  A firing spec either perturbs the call
+(raise / hang / sleep / allocate) or replaces its return value with a
+degenerate estimate (NaN / inf / negative / huge).  Wrapping is
+instance-local and fully undone on exit — the estimator's class is
+never touched, and a cell run without a plan pays nothing (the runners
+short-circuit on ``plan.enabled`` before entering this module at all).
+
+When tracing is attached, every fired fault is visible in the record's
+counters as ``fault.injected`` plus ``fault.<type>`` — the obs layer is
+how a chaos sweep's blast radius is audited after the fact.
+
+Worker-boundary faults (hard ``os._exit`` deaths) cannot be expressed
+as a hook wrapper; :func:`maybe_die` is called by the parallel runner's
+worker loop instead.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from .plan import (
+    HOOK_SITES,
+    VALUE_FAULTS,
+    WORKER_SITE,
+    FaultPlan,
+    FaultSpec,
+)
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by an ``exception`` fault.
+
+    Deliberately *not* a :class:`~repro.core.errors.GCareError`: a real
+    estimator bug raises arbitrary exception types, and the injection
+    harness must prove the pipeline survives exactly that.
+    """
+
+
+#: the degenerate estimate each value fault substitutes
+DEGENERATE_VALUES = {
+    "nan": float("nan"),
+    "inf": float("inf"),
+    "negative": -1.0e6,
+    "huge": 1.0e300,
+}
+
+#: allocation step of a ``memory`` fault; small enough that a soft
+#: budget trips within a few cooperative checks
+MEMORY_CHUNK = 1 << 20
+
+
+class Injector:
+    """Per-cell injection state: plan, grid coordinates, call counters.
+
+    One injector serves one ``(technique, query, run)`` cell.  Each site
+    keeps an invocation counter so repeated calls (``est_card`` once per
+    substructure) draw independent — but still deterministic —
+    decisions.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        estimator,
+        technique: str,
+        query_name: str,
+        run: int,
+    ) -> None:
+        self.plan = plan
+        self.estimator = estimator
+        self.technique = technique
+        self.query_name = query_name
+        self.run = run
+        self.calls: Dict[str, int] = {}
+        #: how many faults actually fired in this cell, by type
+        self.fired: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def fire(self, site: str) -> Optional[FaultSpec]:
+        invocation = self.calls.get(site, 0)
+        self.calls[site] = invocation + 1
+        spec = self.plan.decide(
+            site, self.technique, self.query_name, self.run, invocation
+        )
+        if spec is not None:
+            self.fired[spec.fault] = self.fired.get(spec.fault, 0) + 1
+            obs = self.estimator.obs
+            if obs.enabled:
+                obs.incr("fault.injected")
+                obs.incr(f"fault.{spec.fault}")
+        return spec
+
+    def execute(self, spec: FaultSpec, original, args, kwargs):
+        """Carry out a fired spec; either raises or returns the value."""
+        fault = spec.fault
+        if fault == "exception":
+            raise InjectedFault(
+                f"injected exception at {spec.site} "
+                f"({self.technique}/{self.query_name}/run {self.run})"
+            )
+        if fault == "hang":
+            # a genuinely stuck hook: blind to the cooperative deadline,
+            # survivable only through the parallel runner's hard kill
+            while True:  # pragma: no branch
+                time.sleep(0.05)
+        if fault == "slowdown":
+            time.sleep(spec.delay)
+            return original(*args, **kwargs)
+        if fault == "memory":
+            self._blow_memory(spec)
+        if fault in VALUE_FAULTS:
+            return DEGENERATE_VALUES[fault]
+        raise AssertionError(f"unreachable fault {fault!r}")
+
+    def _blow_memory(self, spec: FaultSpec) -> None:
+        """Allocate until a soft budget trips (or give up with MemoryError).
+
+        Growth is incremental with a cooperative check between chunks,
+        so a :class:`~repro.faults.memory.MemoryBudget` attached by the
+        runner converts the blowup into ``MemoryBudgetExceeded`` long
+        before ``payload_bytes`` is reached.  Without a budget the fault
+        caps itself at ``payload_bytes`` and raises ``MemoryError`` —
+        never an actual OOM.
+        """
+        ballast = []
+        allocated = 0
+        while allocated < spec.payload_bytes:
+            ballast.append(bytearray(MEMORY_CHUNK))
+            allocated += MEMORY_CHUNK
+            self.estimator.check_deadline()  # deadline + memory budget
+        raise MemoryError(
+            f"injected memory blowup at {spec.site}: "
+            f"{allocated} bytes allocated"
+        )
+
+
+def _make_wrapper(site: str, original, injector: Injector):
+    def wrapper(*args, **kwargs):
+        spec = injector.fire(site)
+        if spec is None:
+            return original(*args, **kwargs)
+        return injector.execute(spec, original, args, kwargs)
+
+    return wrapper
+
+
+@contextmanager
+def injected(
+    estimator,
+    plan: Optional[FaultPlan],
+    technique: str,
+    query_name: str,
+    run: int,
+) -> Iterator[Optional[Injector]]:
+    """Wrap ``estimator``'s hooks with ``plan`` for one cell.
+
+    Yields the :class:`Injector` (or None for a disabled plan).  Only
+    the sites the plan actually names are wrapped; everything is
+    restored on exit even when the cell dies mid-hook.
+    """
+    if plan is None or not plan.enabled:
+        yield None
+        return
+    injector = Injector(plan, estimator, technique, query_name, run)
+    wrapped = []
+    for site in plan.sites():
+        if site not in HOOK_SITES:
+            continue  # the worker site is handled by maybe_die()
+        original = getattr(estimator, site)
+        had_instance_attr = site in estimator.__dict__
+        setattr(estimator, site, _make_wrapper(site, original, injector))
+        wrapped.append((site, original, had_instance_attr))
+    try:
+        yield injector
+    finally:
+        for site, original, had_instance_attr in wrapped:
+            if had_instance_attr:
+                setattr(estimator, site, original)
+            else:
+                delattr(estimator, site)
+
+
+def maybe_die(
+    plan: Optional[FaultPlan], technique: str, query_name: str, run: int
+) -> None:
+    """Hard-kill the current process if the plan says this cell crashes.
+
+    Called by the parallel runner's worker loop before a cell executes.
+    ``os._exit`` skips every ``finally`` and ``atexit`` — the closest
+    stand-in for a segfault or an OOM kill the harness can produce on
+    purpose.  The decision ignores the invocation counter, so a retried
+    cell dies again deterministically (transient-crash recovery is
+    exercised with real test doubles instead).
+    """
+    if plan is None or not plan.enabled:
+        return
+    spec = plan.decide(WORKER_SITE, technique, query_name, run)
+    if spec is not None and spec.fault == "crash":
+        os._exit(13)

@@ -1,0 +1,74 @@
+"""Soft per-cell memory budgets over :mod:`tracemalloc`.
+
+A summary build or a pathological estimator can balloon the process
+until the OS kills it — losing not just the cell but the worker (or the
+whole serial sweep).  :class:`MemoryBudget` is the graceful alternative:
+it measures Python-level allocation growth since the cell began and
+raises :class:`~repro.core.errors.MemoryBudgetExceeded` at the next
+cooperative check point (``Estimator.check_deadline``, called between
+substructures — the same place the time budget is enforced).  The
+runners record the cell as ``error="memory"`` and move on.
+
+The budget is *soft*: an allocation spike between check points is not
+prevented, only detected.  That is the right trade-off for a benchmark
+harness — the goal is a well-formed record instead of a dead process,
+not a hard rlimit.  Measurement uses :mod:`tracemalloc`, which slows
+allocation while active, so budgets are strictly opt-in (``None`` =
+disabled, the default everywhere).
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from typing import Optional
+
+from ..core.errors import MemoryBudgetExceeded
+
+
+class MemoryBudget:
+    """Context manager bounding allocation growth during one cell.
+
+    >>> with MemoryBudget(64 << 20) as guard:
+    ...     ...          # run the estimator
+    ...     guard.check()  # raises MemoryBudgetExceeded when over budget
+    """
+
+    def __init__(self, budget_bytes: Optional[int]) -> None:
+        self.budget_bytes = budget_bytes
+        self._baseline = 0
+        self._started_tracing = False
+        self.active = False
+
+    def __enter__(self) -> "MemoryBudget":
+        if self.budget_bytes is None:
+            return self
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracing = True
+        self._baseline = tracemalloc.get_traced_memory()[0]
+        self.active = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.active = False
+        if self._started_tracing:
+            tracemalloc.stop()
+            self._started_tracing = False
+
+    # ------------------------------------------------------------------
+    def current_bytes(self) -> int:
+        """Allocation growth since the guard was entered."""
+        if not self.active:
+            return 0
+        return max(0, tracemalloc.get_traced_memory()[0] - self._baseline)
+
+    def check(self) -> None:
+        """Raise :class:`MemoryBudgetExceeded` once the budget is gone."""
+        if not self.active or self.budget_bytes is None:
+            return
+        used = self.current_bytes()
+        if used > self.budget_bytes:
+            raise MemoryBudgetExceeded(
+                f"soft memory budget exhausted: {used} bytes used "
+                f"of {self.budget_bytes} allowed"
+            )

@@ -1,0 +1,275 @@
+"""Declarative, seed-deterministic fault plans.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` entries — *fault
+type × site × probability* — plus one seed.  Whether a given spec fires
+at a given point of the evaluation grid is a pure function of
+``(plan.seed, spec index, site, technique, query, run, invocation)``:
+no global RNG state, no dependence on scheduling.  The same plan
+therefore injects the same faults into a serial sweep, a parallel sweep
+over any number of workers, and a resumed sweep — which is what lets
+the chaos contract suite assert bit-for-bit resume equality *under*
+injection.
+
+Sites are the five Algorithm-1 hooks plus the parallel runner's worker
+boundary:
+
+========================== ==================================================
+site                       faults that may target it
+========================== ==================================================
+``prepare_summary_structure`` ``exception``, ``hang``, ``slowdown``, ``memory``
+``decompose_query``           ``exception``, ``hang``, ``slowdown``, ``memory``
+``get_substructures``         ``exception``, ``hang``, ``slowdown``, ``memory``
+``est_card``                  the above plus ``nan``/``inf``/``negative``/``huge``
+``agg_card``                  the above plus ``nan``/``inf``/``negative``/``huge``
+``worker``                    ``crash`` (hard ``os._exit`` death)
+========================== ==================================================
+
+Plans are plain data: they serialize to JSON (for ``gcare sweep
+--inject plan.json``) and parse from a compact inline syntax
+(``site:fault[:probability[:tech+tech]]``, comma-separated)::
+
+    est_card:nan                     # every est_card returns NaN
+    agg_card:inf:0.5                 # half the agg_card calls return inf
+    worker:crash:0.2:wj+jsub         # 20% of WJ/JSUB cells die hard
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Optional, Sequence, Tuple, Union
+
+#: the five Algorithm-1 hook sites an injector can wrap
+HOOK_SITES = (
+    "prepare_summary_structure",
+    "decompose_query",
+    "get_substructures",
+    "est_card",
+    "agg_card",
+)
+
+#: the parallel runner's process boundary
+WORKER_SITE = "worker"
+
+ALL_SITES = HOOK_SITES + (WORKER_SITE,)
+
+#: faults that replace a hook's return value with a degenerate estimate
+VALUE_FAULTS = ("nan", "inf", "negative", "huge")
+#: sites whose return value is a cardinality (where VALUE_FAULTS apply)
+VALUE_SITES = ("est_card", "agg_card")
+#: faults that act by side effect at any hook site
+EFFECT_FAULTS = ("exception", "hang", "slowdown", "memory")
+#: the worker boundary's only fault: a hard process death
+WORKER_FAULTS = ("crash",)
+
+ALL_FAULTS = EFFECT_FAULTS + VALUE_FAULTS + WORKER_FAULTS
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injectable fault: what, where, how often, and for whom.
+
+    ``techniques`` restricts the spec to the named techniques (empty =
+    all).  ``delay`` is the sleep of a ``slowdown``; ``payload_bytes``
+    is how much a ``memory`` fault tries to allocate before giving up
+    and raising ``MemoryError`` itself (it stops earlier if a soft
+    memory budget trips).
+    """
+
+    fault: str
+    site: str
+    probability: float = 1.0
+    techniques: Tuple[str, ...] = ()
+    delay: float = 0.05
+    payload_bytes: int = 64 << 20
+
+    def __post_init__(self) -> None:
+        if self.fault not in ALL_FAULTS:
+            raise ValueError(
+                f"unknown fault {self.fault!r}; one of {sorted(ALL_FAULTS)}"
+            )
+        if self.site not in ALL_SITES:
+            raise ValueError(
+                f"unknown site {self.site!r}; one of {sorted(ALL_SITES)}"
+            )
+        if self.fault in VALUE_FAULTS and self.site not in VALUE_SITES:
+            raise ValueError(
+                f"value fault {self.fault!r} only applies at {VALUE_SITES}"
+            )
+        if (self.fault in WORKER_FAULTS) != (self.site == WORKER_SITE):
+            raise ValueError(
+                f"fault {self.fault!r} and site {self.site!r} do not match: "
+                f"'crash' is the only fault of the 'worker' site"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        object.__setattr__(self, "techniques", tuple(self.techniques))
+
+    def applies_to(self, technique: str) -> bool:
+        return not self.techniques or technique in self.techniques
+
+    def to_dict(self) -> dict:
+        return {
+            "fault": self.fault,
+            "site": self.site,
+            "probability": self.probability,
+            "techniques": list(self.techniques),
+            "delay": self.delay,
+            "payload_bytes": self.payload_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "FaultSpec":
+        return cls(
+            fault=payload["fault"],
+            site=payload["site"],
+            probability=float(payload.get("probability", 1.0)),
+            techniques=tuple(payload.get("techniques", ())),
+            delay=float(payload.get("delay", 0.05)),
+            payload_bytes=int(payload.get("payload_bytes", 64 << 20)),
+        )
+
+
+def _uniform(*key) -> float:
+    """A stable uniform draw in [0, 1) from a structured key.
+
+    Uses blake2b (not Python's salted ``hash``) so decisions agree
+    across processes and interpreter invocations.
+    """
+    token = "|".join(str(part) for part in key).encode("utf-8")
+    digest = hashlib.blake2b(token, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2**64
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of fault specs sharing one decision seed.
+
+    ``decide`` returns the first spec that fires for the given grid
+    coordinates — a deterministic function of the plan alone, so every
+    runner (serial, parallel, resumed) sees identical faults.
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    @property
+    def enabled(self) -> bool:
+        """False for the empty plan — the runners' zero-cost short-circuit."""
+        return bool(self.specs)
+
+    # ------------------------------------------------------------------
+    def decide(
+        self,
+        site: str,
+        technique: str,
+        query_name: str,
+        run: int,
+        invocation: int = 0,
+    ) -> Optional[FaultSpec]:
+        """The spec that fires at these coordinates, or None.
+
+        ``invocation`` distinguishes repeated calls of the same hook
+        within one cell (``est_card`` runs once per substructure); the
+        injector supplies a per-site call counter.  Worker-site
+        decisions use ``invocation=0`` always, so a retried cell
+        re-encounters the same decision — a deterministically crashing
+        cell stays crashed no matter how often it is retried.
+        """
+        for index, spec in enumerate(self.specs):
+            if spec.site != site or not spec.applies_to(technique):
+                continue
+            if spec.probability >= 1.0:
+                return spec
+            if spec.probability <= 0.0:
+                continue
+            draw = _uniform(
+                self.seed, index, site, technique, query_name, run, invocation
+            )
+            if draw < spec.probability:
+                return spec
+        return None
+
+    def sites(self) -> Tuple[str, ...]:
+        """The distinct sites this plan can touch (wrap only these)."""
+        seen = []
+        for spec in self.specs:
+            if spec.site not in seen:
+                seen.append(spec.site)
+        return tuple(seen)
+
+    # ------------------------------------------------------------------
+    # (de)serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "specs": [spec.to_dict() for spec in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "FaultPlan":
+        return cls(
+            specs=tuple(
+                FaultSpec.from_dict(s) for s in payload.get("specs", ())
+            ),
+            seed=int(payload.get("seed", 0)),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str, seed: int = 0) -> "FaultPlan":
+        """Parse the compact inline syntax or a JSON plan file.
+
+        ``text`` is either a path to a JSON plan (detected by an
+        existing file) or comma-separated
+        ``site:fault[:probability[:tech+tech]]`` tokens.
+        """
+        path = Path(text)
+        if path.is_file():
+            plan = cls.from_json(path.read_text(encoding="utf-8"))
+            return cls(specs=plan.specs, seed=seed if seed else plan.seed)
+        specs = []
+        for token in text.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            parts = token.split(":")
+            if len(parts) < 2:
+                raise ValueError(
+                    f"bad fault token {token!r}; expected "
+                    f"site:fault[:probability[:tech+tech]]"
+                )
+            site, fault = parts[0], parts[1]
+            probability = float(parts[2]) if len(parts) > 2 else 1.0
+            techniques: Tuple[str, ...] = ()
+            if len(parts) > 3 and parts[3]:
+                techniques = tuple(
+                    t for t in parts[3].split("+") if t
+                )
+            specs.append(
+                FaultSpec(
+                    fault=fault,
+                    site=site,
+                    probability=probability,
+                    techniques=techniques,
+                )
+            )
+        return cls(specs=tuple(specs), seed=seed)
+
+
+#: the shared no-op plan: ``enabled`` is False, so runners skip every
+#: injection hook entirely (mirroring ``repro.obs.trace.NO_TRACE``)
+NO_FAULTS = FaultPlan()

@@ -16,13 +16,34 @@ for data vertices).  Collections (the AIDS dataset) concatenate multiple
 **RDF triple format**: whitespace-separated ``<subject> <predicate>
 <object>`` lines with arbitrary string tokens; strings are dictionary-encoded
 to dense integer ids.
+
+**Strict vs. lenient loading.**  Real-world snapshot files arrive
+truncated, hand-edited, or concatenated badly; a loader that either
+crashes with a context-free ``ValueError`` deep in ``int()`` or silently
+mis-parses is the worst of both worlds.  Every loader here therefore has
+two modes:
+
+* ``strict`` (the default for graph/query files) raises
+  :class:`~repro.core.errors.GraphFormatError` — which carries the file,
+  the 1-based line number, the offending line and a reason — at the
+  *first* malformed line;
+* lenient skips malformed lines and records each one as a
+  :class:`LineDiagnostic` in a :class:`LoadReport` (via the
+  ``*_checked`` variants), which is what ``gcare validate`` uses to show
+  every problem in one pass.
+
+``load_triples`` defaults to *lenient* (quietly skipping short lines is
+the historical behavior real RDF dumps rely on) but now counts what it
+skipped.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from ..core.errors import GraphFormatError
 from .digraph import Graph
 from .query import QueryGraph
 
@@ -32,15 +53,84 @@ PathLike = Union[str, Path]
 NO_LABEL = -1
 
 
-def load_graph(path: PathLike) -> Graph:
-    """Load a data graph (or collection) from the G-CARE text format."""
+# ---------------------------------------------------------------------------
+# diagnostics
+# ---------------------------------------------------------------------------
+@dataclass
+class LineDiagnostic:
+    """One malformed line found by a lenient load."""
+
+    line_no: int  # 1-based
+    line: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"line {self.line_no}: {self.reason}: {self.line.strip()!r}"
+
+
+@dataclass
+class LoadReport:
+    """Outcome of a checked load: what was kept, what was skipped."""
+
+    path: str
+    kind: str  # "graph" | "query" | "triples"
+    #: records (vertices+edges / triples) actually loaded
+    loaded: int = 0
+    diagnostics: List[LineDiagnostic] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    @property
+    def skipped(self) -> int:
+        return len(self.diagnostics)
+
+
+class _Lines:
+    """Shared per-line bookkeeping for strict/lenient parsing."""
+
+    def __init__(self, path: PathLike, kind: str, strict: bool) -> None:
+        self.path = path
+        self.strict = strict
+        self.report = LoadReport(str(path), kind)
+        self.line_no = 0
+        self.line = ""
+
+    def bad(self, reason: str) -> bool:
+        """Flag the current line as malformed.
+
+        Raises in strict mode; in lenient mode records a diagnostic and
+        returns True so the caller can ``continue`` past the line.
+        """
+        if self.strict:
+            raise GraphFormatError(self.path, self.line_no, self.line, reason)
+        self.report.diagnostics.append(
+            LineDiagnostic(self.line_no, self.line, reason)
+        )
+        return True
+
+    def ints(self, tokens) -> Optional[List[int]]:
+        """Parse tokens as integers, or flag the line and return None."""
+        try:
+            return [int(token) for token in tokens]
+        except ValueError:
+            self.bad(f"non-integer token in {self.line.split()!r}")
+            return None
+
+
+# ---------------------------------------------------------------------------
+# graph files
+# ---------------------------------------------------------------------------
+def _load_graph_impl(path: PathLike, strict: bool) -> Tuple[Graph, LoadReport]:
+    state = _Lines(path, "graph", strict)
     graph = Graph()
     num_graphs = 0
     offset = 0
     local_count = 0
     with open(path) as handle:
-        for line in handle:
-            parts = line.split()
+        for state.line_no, state.line in enumerate(handle, 1):
+            parts = state.line.split()
             if not parts or parts[0].startswith("#"):
                 continue
             kind = parts[0]
@@ -49,16 +139,62 @@ def load_graph(path: PathLike) -> Graph:
                 offset += local_count
                 local_count = 0
             elif kind == "v":
-                labels = [int(x) for x in parts[2:] if int(x) != NO_LABEL]
-                graph.add_vertex(labels)
+                if len(parts) < 2:
+                    state.bad("vertex line needs at least an id")
+                    continue
+                values = state.ints(parts[1:])
+                if values is None:
+                    continue
+                vid, labels = values[0], values[1:]
+                if vid != local_count:
+                    # catches duplicates, gaps and out-of-order ids alike:
+                    # the format requires sequential ids within a section
+                    state.bad(
+                        f"vertex id {vid} out of sequence "
+                        f"(expected {local_count})"
+                    )
+                    continue
+                graph.add_vertex([x for x in labels if x != NO_LABEL])
                 local_count += 1
+                state.report.loaded += 1
             elif kind == "e":
-                src, dst, label = int(parts[1]), int(parts[2]), int(parts[3])
+                if len(parts) != 4:
+                    state.bad("edge line needs exactly <src> <dst> <label>")
+                    continue
+                values = state.ints(parts[1:])
+                if values is None:
+                    continue
+                src, dst, label = values
+                if not (0 <= src < local_count and 0 <= dst < local_count):
+                    state.bad(
+                        f"edge endpoint out of range "
+                        f"(section has {local_count} vertices)"
+                    )
+                    continue
                 graph.add_edge(offset + src, offset + dst, label)
+                state.report.loaded += 1
             else:
-                raise ValueError(f"unrecognized line kind {kind!r} in {path}")
+                state.bad(f"unrecognized line kind {kind!r}")
     graph.num_graphs = max(num_graphs, 1)
+    return graph, state.report
+
+
+def load_graph(path: PathLike, strict: bool = True) -> Graph:
+    """Load a data graph (or collection) from the G-CARE text format.
+
+    ``strict`` (default) raises :class:`GraphFormatError` on the first
+    malformed line; ``strict=False`` skips malformed lines (use
+    :func:`load_graph_checked` to also see what was skipped).
+    """
+    graph, _ = _load_graph_impl(path, strict)
     return graph
+
+
+def load_graph_checked(
+    path: PathLike, strict: bool = False
+) -> Tuple[Graph, LoadReport]:
+    """Load a data graph and report every malformed line (lenient default)."""
+    return _load_graph_impl(path, strict)
 
 
 def dump_graph(graph: Graph, path: PathLike) -> None:
@@ -72,25 +208,70 @@ def dump_graph(graph: Graph, path: PathLike) -> None:
             handle.write(f"e {src} {dst} {label}\n")
 
 
-def load_query(path: PathLike) -> QueryGraph:
-    """Load a query graph from the G-CARE text format."""
+# ---------------------------------------------------------------------------
+# query files
+# ---------------------------------------------------------------------------
+def _load_query_impl(
+    path: PathLike, strict: bool
+) -> Tuple[QueryGraph, LoadReport]:
+    state = _Lines(path, "query", strict)
     vertex_labels: List[List[int]] = []
     edges: List[Tuple[int, int, int]] = []
     with open(path) as handle:
-        for line in handle:
-            parts = line.split()
+        for state.line_no, state.line in enumerate(handle, 1):
+            parts = state.line.split()
             if not parts or parts[0] in ("t", "#") or parts[0].startswith("#"):
                 continue
             kind = parts[0]
             if kind == "v":
-                vertex_labels.append(
-                    [int(x) for x in parts[2:] if int(x) != NO_LABEL]
-                )
+                if len(parts) < 2:
+                    state.bad("vertex line needs at least an id")
+                    continue
+                values = state.ints(parts[1:])
+                if values is None:
+                    continue
+                vid, labels = values[0], values[1:]
+                if vid != len(vertex_labels):
+                    state.bad(
+                        f"vertex id {vid} out of sequence "
+                        f"(expected {len(vertex_labels)})"
+                    )
+                    continue
+                vertex_labels.append([x for x in labels if x != NO_LABEL])
+                state.report.loaded += 1
             elif kind == "e":
-                edges.append((int(parts[1]), int(parts[2]), int(parts[3])))
+                if len(parts) != 4:
+                    state.bad("edge line needs exactly <src> <dst> <label>")
+                    continue
+                values = state.ints(parts[1:])
+                if values is None:
+                    continue
+                src, dst, label = values
+                bound = len(vertex_labels)
+                if not (0 <= src < bound and 0 <= dst < bound):
+                    state.bad(
+                        f"edge endpoint out of range "
+                        f"(query has {bound} vertices)"
+                    )
+                    continue
+                edges.append((src, dst, label))
+                state.report.loaded += 1
             else:
-                raise ValueError(f"unrecognized line kind {kind!r} in {path}")
-    return QueryGraph(vertex_labels, edges)
+                state.bad(f"unrecognized line kind {kind!r}")
+    return QueryGraph(vertex_labels, edges), state.report
+
+
+def load_query(path: PathLike, strict: bool = True) -> QueryGraph:
+    """Load a query graph from the G-CARE text format (strict by default)."""
+    query, _ = _load_query_impl(path, strict)
+    return query
+
+
+def load_query_checked(
+    path: PathLike, strict: bool = False
+) -> Tuple[QueryGraph, LoadReport]:
+    """Load a query graph and report every malformed line (lenient default)."""
+    return _load_query_impl(path, strict)
 
 
 def dump_query(query: QueryGraph, path: PathLike) -> None:
@@ -104,12 +285,34 @@ def dump_query(query: QueryGraph, path: PathLike) -> None:
             handle.write(f"e {src} {dst} {label}\n")
 
 
-def load_triples(path: PathLike) -> Tuple[Graph, Dict[str, int], Dict[str, int]]:
+# ---------------------------------------------------------------------------
+# RDF triples
+# ---------------------------------------------------------------------------
+def load_triples(
+    path: PathLike, strict: bool = False
+) -> Tuple[Graph, Dict[str, int], Dict[str, int]]:
     """Load RDF-style triples, dictionary-encoding strings to dense ids.
 
     Returns ``(graph, vertex_dict, predicate_dict)`` mapping the original
-    string tokens to the integer ids used in the graph.
+    string tokens to the integer ids used in the graph.  Lenient by
+    default (short lines are skipped, matching historical behavior);
+    ``strict=True`` raises :class:`GraphFormatError` instead.
     """
+    graph, vertex_ids, predicate_ids, _ = _load_triples_impl(path, strict)
+    return graph, vertex_ids, predicate_ids
+
+
+def load_triples_checked(
+    path: PathLike, strict: bool = False
+) -> Tuple[Graph, Dict[str, int], Dict[str, int], LoadReport]:
+    """Like :func:`load_triples`, plus the :class:`LoadReport`."""
+    return _load_triples_impl(path, strict)
+
+
+def _load_triples_impl(
+    path: PathLike, strict: bool
+) -> Tuple[Graph, Dict[str, int], Dict[str, int], LoadReport]:
+    state = _Lines(path, "triples", strict)
     vertex_ids: Dict[str, int] = {}
     predicate_ids: Dict[str, int] = {}
     graph = Graph()
@@ -122,14 +325,18 @@ def load_triples(path: PathLike) -> Tuple[Graph, Dict[str, int], Dict[str, int]]
         return vid
 
     with open(path) as handle:
-        for line in handle:
-            parts = line.split()
-            if len(parts) < 3 or parts[0].startswith("#"):
+        for state.line_no, state.line in enumerate(handle, 1):
+            parts = state.line.split()
+            if not parts or parts[0].startswith("#"):
+                continue
+            if len(parts) < 3:
+                state.bad("triple line needs <subject> <predicate> <object>")
                 continue
             subj, pred, obj = parts[0], parts[1], parts[2]
             pid = predicate_ids.setdefault(pred, len(predicate_ids))
             graph.add_edge(vertex(subj), vertex(obj), pid)
-    return graph, vertex_ids, predicate_ids
+            state.report.loaded += 1
+    return graph, vertex_ids, predicate_ids, state.report
 
 
 def graph_from_triples(

@@ -16,7 +16,18 @@ from typing import Dict, Iterable, List, Sequence
 
 
 def qerror(true_cardinality: float, estimate: float) -> float:
-    """The q-error of an estimate (>= 1.0; 1.0 is a perfect estimate)."""
+    """The q-error of an estimate (>= 1.0; 1.0 is a perfect estimate).
+
+    Non-finite inputs are rejected explicitly: ``NaN`` slips through a
+    plain ``< 0`` check (every comparison with NaN is False) and
+    ``max(1.0, nan)`` returns ``1.0``, so without this guard a NaN
+    estimate would silently score as *perfect*.
+    """
+    if not math.isfinite(true_cardinality) or not math.isfinite(estimate):
+        raise ValueError(
+            f"cardinalities must be finite, got "
+            f"({true_cardinality!r}, {estimate!r})"
+        )
     if true_cardinality < 0 or estimate < 0:
         raise ValueError("cardinalities cannot be negative")
     true_clamped = max(1.0, true_cardinality)

@@ -315,6 +315,69 @@ class TestCliExports:
             )
 
 
+class TestCliValidate:
+    def test_valid_graph_file(self, tmp_path, capsys):
+        from repro.graph.io import dump_graph
+
+        path = tmp_path / "g.txt"
+        dump_graph(figure1_graph(), path)
+        assert cli.main(["validate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+
+    def test_malformed_graph_file_diagnosed(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        path.write_text("t # 0\nv 0 1\nv oops 2\ne 0 0 0\n")
+        assert cli.main(["validate", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "MALFORMED" in out
+        assert f"{path}:line 3" in out
+        assert "non-integer" in out
+
+    def test_kind_query(self, tmp_path, capsys):
+        from repro.graph.io import dump_query
+
+        path = tmp_path / "q.txt"
+        dump_query(figure1_query(), path)
+        assert cli.main(["validate", str(path), "--kind", "query"]) == 0
+        assert "query" in capsys.readouterr().out
+
+    def test_kind_triples(self, tmp_path, capsys):
+        path = tmp_path / "t.txt"
+        path.write_text("a p b\nbroken\n")
+        assert cli.main(["validate", str(path), "--kind", "triples"]) == 1
+        out = capsys.readouterr().out
+        assert "1 records loaded, 1 malformed" in out
+
+    def test_unreadable_path(self, tmp_path, capsys):
+        assert cli.main(["validate", str(tmp_path / "missing.txt")]) == 1
+        assert "cannot read" in capsys.readouterr().out
+
+    def test_requires_target(self, capsys):
+        assert cli.main(["validate"]) == 2
+        assert "usage: gcare validate" in capsys.readouterr().out
+
+
+class TestCliChaosSweep:
+    def test_sweep_with_injection_completes(self, tmp_path, capsys):
+        log = tmp_path / "chaos.jsonl"
+        code = cli.main([
+            "sweep", "aids", "--techniques", "cset", "--workers", "2",
+            "--runs", "1", "--time-limit", "5", "--results-log", str(log),
+            "--fsync", "--inject", "agg_card:nan", "--inject-seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault injection: 1 spec(s), seed 3" in out
+        assert "retries" in out and "respawns" in out
+        # every cell got the NaN fault and was sanitized, none crashed
+        from repro.bench.results_log import ResultsLog
+
+        records = ResultsLog(log).load()
+        assert records
+        assert all(r.error == "invalid_estimate" for r in records)
+
+
 class TestCliEstimate:
     def test_estimate_roundtrip(self, tmp_path, capsys):
         from repro.datasets.example import figure1_graph, figure1_query

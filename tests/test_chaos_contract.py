@@ -1,0 +1,345 @@
+"""The chaos contract: every fault, every technique, a well-formed sweep.
+
+The contract the fault-injection harness must uphold end to end:
+
+1. the evaluation grid always completes — no injected fault escapes
+   ``run_cell`` as an exception or wedges a sweep;
+2. every cell yields a well-formed :class:`EvalRecord` whose ``error``
+   comes from the structured vocabulary (``None`` / ``"unsupported"`` /
+   ``"timeout"`` / ``"invalid_estimate"`` / ``"memory"`` / ``"crashed"``
+   / ``"error: ..."``), and degenerate estimates never reach q-error;
+3. the results log stays parseable, and resuming a torn log under the
+   same fault plan is bit-for-bit identical to the uninterrupted sweep
+   (the fault decisions are a pure function of the plan, not of
+   scheduling);
+4. injection is zero-cost when disabled: no wrapper is installed and
+   the records match an uninjected run exactly.
+
+Serial tests exercise every registered technique crossed with every
+serially-survivable fault type; ``hang`` (blind to the cooperative
+deadline by design) is exercised through the parallel runner's hard
+kill only.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.parallel import ParallelEvaluationRunner
+from repro.bench.results_log import ResultsLog
+from repro.bench.runner import EvaluationRunner, run_cell, summarize
+from repro.core.registry import (
+    ALL_TECHNIQUES,
+    EXTENSIONS,
+    create_estimator,
+)
+from repro.faults import FaultPlan, FaultSpec, NO_FAULTS
+from repro.faults.plan import HOOK_SITES
+
+from tests.test_parallel import comparable, example_queries  # noqa: F401
+
+EVERY_TECHNIQUE = list(ALL_TECHNIQUES) + list(EXTENSIONS)
+
+#: faults a *serial* sweep must absorb (hang needs the hard kill)
+SERIAL_FAULTS = (
+    "exception",
+    "slowdown",
+    "memory",
+    "nan",
+    "inf",
+    "negative",
+    "huge",
+)
+
+#: the structured error vocabulary a chaos record may carry
+def _well_formed(record) -> bool:
+    if record.error is None:
+        return record.estimate is not None
+    if record.error in ("unsupported", "timeout", "invalid_estimate",
+                        "memory", "crashed"):
+        return record.estimate is None
+    return record.error.startswith("error: ") and record.estimate is None
+
+
+def _plan_for(fault: str) -> FaultPlan:
+    """A p=1 plan targeting the site where ``fault`` is always reachable."""
+    site = "agg_card" if fault in ("nan", "inf", "negative", "huge") else (
+        "decompose_query"
+    )
+    return FaultPlan((FaultSpec(fault, site, delay=0.0),), seed=1)
+
+
+# ---------------------------------------------------------------------------
+# every technique x every serial fault
+# ---------------------------------------------------------------------------
+class TestEveryTechniqueEveryFault:
+    @pytest.mark.parametrize("fault", SERIAL_FAULTS)
+    @pytest.mark.parametrize("technique", EVERY_TECHNIQUE)
+    def test_grid_completes_with_well_formed_record(
+        self, technique, fault, example_queries  # noqa: F811
+    ):
+        graph, queries = example_queries
+        runner = EvaluationRunner(
+            graph,
+            [technique],
+            sampling_ratio=0.5,
+            seed=2,
+            time_limit=10,
+            fault_plan=_plan_for(fault),
+            memory_budget=32 << 20,  # bounds the memory fault's ballast
+        )
+        records = runner.run(queries, runs=1)
+        assert len(records) == len(queries)  # the grid always completes
+        for record in records:
+            assert _well_formed(record), (record.error, record.estimate)
+            if fault == "exception":
+                assert record.error.startswith("error: InjectedFault")
+            elif fault in ("nan", "inf"):
+                assert record.error == "invalid_estimate"
+                assert record.qerror is None
+            elif fault == "negative":
+                # an even number of subqueries multiplies two injected
+                # negatives into a legal positive product — otherwise the
+                # degenerate sign must be caught
+                if record.error is None:
+                    assert record.estimate >= 0
+                else:
+                    assert record.error in ("invalid_estimate", "unsupported")
+            elif fault == "memory":
+                assert record.error == "memory"
+            elif fault == "slowdown":
+                assert record.error in (None, "unsupported")
+            elif fault == "huge":
+                # 1e300 is finite: either it survives as a (terrible but
+                # legal) estimate, or a multi-subquery product overflows
+                if record.error is None:
+                    assert math.isfinite(record.estimate)
+                    assert record.qerror is not None
+                else:
+                    assert record.error in ("invalid_estimate", "unsupported")
+        # degenerate estimates count as failures, never as q-errors
+        summary = summarize(records).get(technique, {}).get("all")
+        if fault in ("exception", "nan", "inf", "memory"):
+            assert summary.failures == len(queries)
+
+    @pytest.mark.parametrize("technique", EVERY_TECHNIQUE)
+    def test_prepare_site_exception_degrades_per_cell(
+        self, technique, example_queries  # noqa: F811
+    ):
+        graph, queries = example_queries
+        plan = FaultPlan(
+            (FaultSpec("exception", "prepare_summary_structure"),), seed=0
+        )
+        runner = EvaluationRunner(
+            graph, [technique], sampling_ratio=0.5, time_limit=10,
+            fault_plan=plan,
+        )
+        records = runner.run(queries, runs=1)
+        assert len(records) == len(queries)
+        for record in records:
+            assert record.error is not None
+            assert record.estimate is None
+
+
+# ---------------------------------------------------------------------------
+# degraded-mode fallback
+# ---------------------------------------------------------------------------
+class TestFallbackChain:
+    def test_fallback_supplies_estimate_with_provenance(
+        self, example_queries  # noqa: F811
+    ):
+        graph, queries = example_queries
+        plan = FaultPlan((FaultSpec("exception", "decompose_query"),), seed=0)
+        runner = EvaluationRunner(
+            graph, ["wj"], sampling_ratio=0.5, seed=2, time_limit=10,
+            fault_plan=plan, fallback="cset",
+        )
+        records = runner.run(queries, runs=1)
+        clean = EvaluationRunner(
+            graph, ["cset"], sampling_ratio=0.5, seed=2, time_limit=10
+        ).run(queries, runs=1)
+        for record, reference in zip(records, clean):
+            assert record.error is None
+            assert record.fallback_used == "cset"
+            assert record.primary_error.startswith("error: InjectedFault")
+            assert record.technique == "wj"  # provenance, not identity theft
+            assert record.estimate == reference.estimate
+        # provenance survives the log round-trip
+        loaded = [
+            type(record).from_dict(record.to_dict()) for record in records
+        ]
+        assert [r.fallback_used for r in loaded] == ["cset"] * len(records)
+        assert all(r.primary_error for r in loaded)
+
+    def test_fallback_unused_when_primary_succeeds(
+        self, example_queries  # noqa: F811
+    ):
+        graph, queries = example_queries
+        runner = EvaluationRunner(
+            graph, ["cset"], time_limit=10, fallback="wj"
+        )
+        records = runner.run(queries, runs=1)
+        for record in records:
+            assert record.error is None
+            assert record.fallback_used is None
+            assert record.primary_error is None
+
+
+# ---------------------------------------------------------------------------
+# determinism: serial == parallel == resumed, all under injection
+# ---------------------------------------------------------------------------
+MIXED_PLAN = FaultPlan(
+    (
+        FaultSpec("exception", "decompose_query", probability=0.3),
+        FaultSpec("nan", "agg_card", probability=0.4),
+        FaultSpec("negative", "est_card", probability=0.2),
+    ),
+    seed=13,
+)
+
+
+class TestChaosDeterminism:
+    TECHNIQUES = ["cset", "wj", "cs", "jsub"]
+    RUNS = 3
+
+    def _serial(self, graph, queries, log=None):
+        runner = EvaluationRunner(
+            graph, self.TECHNIQUES, sampling_ratio=0.5, seed=11,
+            time_limit=10, fault_plan=MIXED_PLAN,
+        )
+        return runner.run(queries, runs=self.RUNS, results_log=log)
+
+    def test_mixed_plan_actually_mixes(self, example_queries):  # noqa: F811
+        graph, queries = example_queries
+        records = self._serial(graph, queries)
+        errors = {record.error for record in records}
+        assert None in errors  # some cells survive
+        assert len(errors) > 1  # and some don't
+
+    def test_parallel_equals_serial_under_injection(
+        self, example_queries  # noqa: F811
+    ):
+        graph, queries = example_queries
+        serial = self._serial(graph, queries)
+        parallel = ParallelEvaluationRunner(
+            graph, self.TECHNIQUES, sampling_ratio=0.5, seed=11,
+            time_limit=10, workers=3, fault_plan=MIXED_PLAN,
+        ).run(queries, runs=self.RUNS)
+        assert [comparable(r) for r in parallel] == [
+            comparable(r) for r in serial
+        ]
+
+    def test_resume_after_tear_is_bit_identical(
+        self, example_queries, tmp_path  # noqa: F811
+    ):
+        graph, queries = example_queries
+        full_log = tmp_path / "full.jsonl"
+        full = self._serial(graph, queries, log=ResultsLog(full_log))
+
+        # simulate a kill mid-append: a prefix of the log plus a torn line
+        torn_log = tmp_path / "torn.jsonl"
+        lines = full_log.read_text().splitlines()
+        keep = len(lines) // 2
+        torn_log.write_text(
+            "\n".join(lines[:keep]) + "\n" + lines[keep][: 25]
+        )
+
+        resumed = self._serial(graph, queries, log=ResultsLog(torn_log))
+        assert [comparable(r) for r in resumed] == [
+            comparable(r) for r in full
+        ]
+        # the repaired log covers every cell exactly once and parses fully
+        merged = ResultsLog(torn_log).load()
+        assert len(merged) == len(full)
+        assert len({r.key for r in merged}) == len(full)
+        assert {comparable(r) for r in merged} == {
+            comparable(r) for r in full
+        }
+
+
+# ---------------------------------------------------------------------------
+# hang: survivable only through the parallel hard kill
+# ---------------------------------------------------------------------------
+class TestInjectedHang:
+    def test_hang_is_killed_and_recorded_as_timeout(
+        self, example_queries, tmp_path  # noqa: F811
+    ):
+        graph, queries = example_queries
+        plan = FaultPlan(
+            (FaultSpec("hang", "decompose_query", techniques=("wj",)),),
+            seed=0,
+        )
+        log = ResultsLog(tmp_path / "hang.jsonl")
+        runner = ParallelEvaluationRunner(
+            graph, ["wj", "cset"], sampling_ratio=0.5, time_limit=0.3,
+            workers=2, kill_grace=0.4, fault_plan=plan,
+        )
+        records = runner.run(queries, runs=1, results_log=log)
+        by_key = {r.key: r for r in records}
+        for named in queries:
+            hung = by_key[("wj", named.name, 0)]
+            assert hung.error == "timeout"
+            fine = by_key[("cset", named.name, 0)]
+            assert fine.error is None
+        assert runner.last_run_stats["timeouts"] == len(queries)
+        loaded = ResultsLog(log.path).load()
+        assert {r.key for r in loaded} == {r.key for r in records}
+
+
+# ---------------------------------------------------------------------------
+# zero cost when disabled
+# ---------------------------------------------------------------------------
+class TestZeroCostWhenDisabled:
+    def test_no_faults_plan_takes_the_hot_path(
+        self, example_queries  # noqa: F811
+    ):
+        graph, queries = example_queries
+        baseline = create_estimator("wj", graph, sampling_ratio=0.5, seed=7,
+                                    time_limit=10)
+        shadowed = create_estimator("wj", graph, sampling_ratio=0.5, seed=7,
+                                    time_limit=10)
+        plain = run_cell("wj", baseline, queries[0], run=0)
+        noop = run_cell(
+            "wj", shadowed, queries[0], run=0, fault_plan=NO_FAULTS
+        )
+        assert noop.estimate == plain.estimate
+        assert noop.error is None
+        for site in HOOK_SITES:
+            assert site not in shadowed.__dict__  # nothing was ever wrapped
+        assert shadowed.memory_guard is None
+
+    def test_runner_with_no_plan_matches_default(
+        self, example_queries  # noqa: F811
+    ):
+        graph, queries = example_queries
+        default = EvaluationRunner(
+            graph, ["wj"], sampling_ratio=0.5, seed=7, time_limit=10
+        ).run(queries, runs=2)
+        disabled = EvaluationRunner(
+            graph, ["wj"], sampling_ratio=0.5, seed=7, time_limit=10,
+            fault_plan=NO_FAULTS,
+        ).run(queries, runs=2)
+        assert [comparable(r) for r in disabled] == [
+            comparable(r) for r in default
+        ]
+
+
+# ---------------------------------------------------------------------------
+# observability of fired faults
+# ---------------------------------------------------------------------------
+class TestFaultCounters:
+    def test_fired_faults_visible_in_traced_counters(
+        self, example_queries  # noqa: F811
+    ):
+        graph, queries = example_queries
+        plan = FaultPlan((FaultSpec("nan", "agg_card"),), seed=0)
+        runner = EvaluationRunner(
+            graph, ["cset"], time_limit=10, fault_plan=plan, trace=True
+        )
+        records = runner.run(queries, runs=1)
+        for record in records:
+            assert record.error == "invalid_estimate"
+            assert record.counters.get("fault.injected", 0) >= 1
+            assert record.counters.get("fault.nan", 0) >= 1

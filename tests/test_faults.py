@@ -1,0 +1,311 @@
+"""Unit tests for the deterministic fault-injection layer (repro.faults).
+
+Covers the declarative :class:`FaultPlan` (validation, parsing,
+serialization, seed-deterministic decisions), the per-cell hook wrapper
+:func:`injected` (instance-local wrapping, full restoration, zero cost
+when disabled), and the soft :class:`MemoryBudget` guard.  The
+end-to-end behavior of injected faults inside real sweeps lives in
+``tests/test_chaos_contract.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import MemoryBudgetExceeded
+from repro.faults import (
+    ALL_FAULTS,
+    DEGENERATE_VALUES,
+    HOOK_SITES,
+    NO_FAULTS,
+    VALUE_FAULTS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    MemoryBudget,
+    injected,
+)
+from repro.graph.digraph import Graph
+from repro.graph.query import QueryGraph
+
+from tests.test_framework import TwoSubqueryEstimator
+
+
+@pytest.fixture
+def estimator():
+    return TwoSubqueryEstimator(Graph.from_edges([(0, 1, 0)]))
+
+
+@pytest.fixture
+def query():
+    return QueryGraph([(), ()], [(0, 1, 0)])
+
+
+# ---------------------------------------------------------------------------
+# spec validation
+# ---------------------------------------------------------------------------
+class TestFaultSpecValidation:
+    def test_valid_specs_construct(self):
+        FaultSpec("exception", "decompose_query")
+        FaultSpec("nan", "est_card", probability=0.5)
+        FaultSpec("crash", "worker", techniques=("wj",))
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault"):
+            FaultSpec("segfault", "est_card")
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown site"):
+            FaultSpec("exception", "estimate")
+
+    def test_value_fault_requires_value_site(self):
+        for fault in VALUE_FAULTS:
+            with pytest.raises(ValueError, match="value fault"):
+                FaultSpec(fault, "decompose_query")
+
+    def test_crash_only_at_worker_site(self):
+        with pytest.raises(ValueError):
+            FaultSpec("crash", "est_card")
+        with pytest.raises(ValueError):
+            FaultSpec("exception", "worker")
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec("exception", "est_card", probability=1.5)
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec("exception", "est_card", probability=-0.1)
+
+
+# ---------------------------------------------------------------------------
+# plan decisions: deterministic, probability-faithful, filterable
+# ---------------------------------------------------------------------------
+class TestFaultPlanDecide:
+    def test_empty_plan_is_disabled(self):
+        assert not NO_FAULTS.enabled
+        assert not FaultPlan().enabled
+        assert FaultPlan((FaultSpec("exception", "est_card"),)).enabled
+
+    def test_probability_one_always_fires(self):
+        plan = FaultPlan((FaultSpec("exception", "est_card"),))
+        for run in range(5):
+            spec = plan.decide("est_card", "wj", "q0", run)
+            assert spec is not None and spec.fault == "exception"
+
+    def test_probability_zero_never_fires(self):
+        plan = FaultPlan(
+            (FaultSpec("exception", "est_card", probability=0.0),)
+        )
+        for run in range(5):
+            assert plan.decide("est_card", "wj", "q0", run) is None
+
+    def test_other_sites_and_techniques_unaffected(self):
+        plan = FaultPlan(
+            (FaultSpec("exception", "est_card", techniques=("wj",)),)
+        )
+        assert plan.decide("est_card", "wj", "q0", 0) is not None
+        assert plan.decide("est_card", "cs", "q0", 0) is None
+        assert plan.decide("agg_card", "wj", "q0", 0) is None
+
+    def test_decisions_are_deterministic(self):
+        plan = FaultPlan(
+            (FaultSpec("nan", "est_card", probability=0.5),), seed=42
+        )
+        coords = [
+            ("est_card", t, q, r, i)
+            for t in ("wj", "cs")
+            for q in ("q0", "q1")
+            for r in range(4)
+            for i in range(4)
+        ]
+        first = [plan.decide(*c) for c in coords]
+        second = [plan.decide(*c) for c in coords]
+        assert first == second
+        # a fractional probability fires on a strict, non-trivial subset
+        fired = sum(1 for s in first if s is not None)
+        assert 0 < fired < len(coords)
+
+    def test_seed_changes_decisions(self):
+        coords = [
+            ("est_card", "wj", f"q{i}", r, 0)
+            for i in range(8)
+            for r in range(8)
+        ]
+
+        def fires(seed):
+            plan = FaultPlan(
+                (FaultSpec("nan", "est_card", probability=0.5),), seed=seed
+            )
+            return [plan.decide(*c) is not None for c in coords]
+
+        assert fires(0) != fires(1)
+
+    def test_invocation_distinguishes_repeated_calls(self):
+        plan = FaultPlan(
+            (FaultSpec("nan", "est_card", probability=0.5),), seed=3
+        )
+        outcomes = {
+            plan.decide("est_card", "wj", "q0", 0, invocation=i) is not None
+            for i in range(32)
+        }
+        assert outcomes == {True, False}
+
+    def test_first_matching_spec_wins(self):
+        plan = FaultPlan(
+            (
+                FaultSpec("nan", "est_card"),
+                FaultSpec("inf", "est_card"),
+            )
+        )
+        assert plan.decide("est_card", "wj", "q0", 0).fault == "nan"
+
+    def test_sites_deduplicated_in_order(self):
+        plan = FaultPlan(
+            (
+                FaultSpec("nan", "est_card"),
+                FaultSpec("exception", "decompose_query"),
+                FaultSpec("inf", "est_card"),
+            )
+        )
+        assert plan.sites() == ("est_card", "decompose_query")
+
+
+# ---------------------------------------------------------------------------
+# serialization and parsing
+# ---------------------------------------------------------------------------
+class TestFaultPlanSerialization:
+    def test_json_roundtrip_preserves_decisions(self):
+        plan = FaultPlan(
+            (
+                FaultSpec("nan", "est_card", probability=0.3),
+                FaultSpec("crash", "worker", probability=0.2,
+                          techniques=("wj",)),
+            ),
+            seed=9,
+        )
+        clone = FaultPlan.from_json(plan.to_json())
+        assert clone == plan
+        for run in range(10):
+            assert clone.decide("est_card", "wj", "q0", run) == plan.decide(
+                "est_card", "wj", "q0", run
+            )
+
+    def test_parse_compact_tokens(self):
+        plan = FaultPlan.parse(
+            "est_card:nan:0.5,worker:crash:0.1:wj+jsub", seed=4
+        )
+        assert plan.seed == 4
+        assert len(plan.specs) == 2
+        assert plan.specs[0] == FaultSpec("nan", "est_card", probability=0.5)
+        assert plan.specs[1].techniques == ("wj", "jsub")
+
+    def test_parse_rejects_bad_token(self):
+        with pytest.raises(ValueError, match="bad fault token"):
+            FaultPlan.parse("est_card")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("est_card:frobnicate")
+
+    def test_parse_json_file(self, tmp_path):
+        plan = FaultPlan((FaultSpec("exception", "agg_card"),), seed=11)
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        loaded = FaultPlan.parse(str(path))
+        assert loaded == plan  # file's own seed kept when none is given
+        reseeded = FaultPlan.parse(str(path), seed=5)
+        assert reseeded.seed == 5 and reseeded.specs == plan.specs
+
+    def test_all_faults_covered_by_taxonomy(self):
+        # the taxonomy constants stay in sync with DEGENERATE_VALUES
+        assert set(DEGENERATE_VALUES) == set(VALUE_FAULTS)
+        assert set(ALL_FAULTS) >= set(VALUE_FAULTS)
+
+
+# ---------------------------------------------------------------------------
+# the hook wrapper: instance-local, restorable, zero-cost when off
+# ---------------------------------------------------------------------------
+class TestInjectedWrapper:
+    def test_disabled_plan_short_circuits(self, estimator):
+        before = dict(estimator.__dict__)
+        with injected(estimator, NO_FAULTS, "toy", "q0", 0) as injector:
+            assert injector is None
+            assert estimator.__dict__ == before  # nothing wrapped
+        with injected(estimator, None, "toy", "q0", 0) as injector:
+            assert injector is None
+
+    def test_only_plan_sites_wrapped_and_all_restored(self, estimator):
+        plan = FaultPlan((FaultSpec("exception", "est_card"),))
+        with injected(estimator, plan, "toy", "q0", 0):
+            assert "est_card" in estimator.__dict__
+            assert "decompose_query" not in estimator.__dict__
+            with pytest.raises(InjectedFault):
+                estimator.est_card(None, None, 1.0)
+        for site in HOOK_SITES:
+            assert site not in estimator.__dict__
+        # behavior restored, not just attributes
+        assert estimator.est_card(None, None, 1.0) == 1.0
+
+    def test_restored_even_when_cell_dies_mid_hook(self, estimator, query):
+        plan = FaultPlan((FaultSpec("exception", "decompose_query"),))
+        with pytest.raises(InjectedFault):
+            with injected(estimator, plan, "toy", "q0", 0):
+                estimator.estimate(query)
+        assert "decompose_query" not in estimator.__dict__
+        assert estimator.estimate(query).estimate == pytest.approx(4.5)
+
+    def test_value_fault_replaces_return_value(self, estimator):
+        plan = FaultPlan((FaultSpec("negative", "agg_card"),))
+        with injected(estimator, plan, "toy", "q0", 0) as injector:
+            assert estimator.agg_card([1.0, 2.0]) == DEGENERATE_VALUES[
+                "negative"
+            ]
+            assert injector.fired == {"negative": 1}
+
+    def test_slowdown_still_calls_original(self, estimator):
+        plan = FaultPlan(
+            (FaultSpec("slowdown", "agg_card", delay=0.0),)
+        )
+        with injected(estimator, plan, "toy", "q0", 0):
+            assert estimator.agg_card([1.0, 2.0]) == 3.0
+
+    def test_probabilistic_wrap_passes_through_unfired_calls(self, estimator):
+        plan = FaultPlan(
+            (FaultSpec("nan", "est_card", probability=0.5),), seed=8
+        )
+        with injected(estimator, plan, "toy", "q0", 0) as injector:
+            values = [estimator.est_card(None, None, 2.0) for _ in range(32)]
+        fired = injector.fired.get("nan", 0)
+        assert 0 < fired < 32
+        assert sum(1 for v in values if v != v) == fired  # NaN != NaN
+        assert sum(1 for v in values if v == 2.0) == 32 - fired
+
+
+# ---------------------------------------------------------------------------
+# the soft memory budget
+# ---------------------------------------------------------------------------
+class TestMemoryBudget:
+    def test_none_budget_is_inert(self):
+        with MemoryBudget(None) as guard:
+            guard.check()
+            assert guard.current_bytes() == 0
+
+    def test_trips_on_allocation_growth(self):
+        with MemoryBudget(1 << 20) as guard:
+            ballast = bytearray(4 << 20)
+            with pytest.raises(MemoryBudgetExceeded):
+                guard.check()
+            del ballast
+
+    def test_small_growth_stays_under_budget(self):
+        with MemoryBudget(16 << 20) as guard:
+            ballast = bytearray(1 << 20)
+            guard.check()
+            assert guard.current_bytes() >= 1 << 20
+            del ballast
+
+    def test_inactive_outside_context(self):
+        guard = MemoryBudget(1)
+        guard.check()  # no-op before __enter__
+        with guard:
+            pass
+        guard.check()  # and after __exit__

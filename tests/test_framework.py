@@ -4,7 +4,11 @@ import time
 
 import pytest
 
-from repro.core.errors import EstimationTimeout, UnsupportedQueryError
+from repro.core.errors import (
+    EstimationTimeout,
+    InvalidEstimateError,
+    UnsupportedQueryError,
+)
 from repro.core.framework import Estimator
 from repro.core.result import EstimationResult
 from repro.core.registry import (
@@ -59,12 +63,30 @@ class TestTemplate:
         assert result.num_subqueries == 2
         assert result.num_substructures == 4
 
-    def test_estimate_never_negative(self, graph, query):
+    def test_negative_estimate_rejected(self, graph, query):
+        # a genuinely negative product is a technique bug: surfaced, not
+        # silently clamped (the old clamp also ate NaN via max(0.0, nan))
         class Negative(TwoSubqueryEstimator):
             def selectivity(self, query, subqueries):
                 return -1.0
 
-        assert Negative(graph).estimate(query).estimate == 0.0
+        with pytest.raises(InvalidEstimateError):
+            Negative(graph).estimate(query)
+
+    def test_nan_estimate_rejected(self, graph, query):
+        class NaN(TwoSubqueryEstimator):
+            def selectivity(self, query, subqueries):
+                return float("nan")
+
+        with pytest.raises(InvalidEstimateError):
+            NaN(graph).estimate(query)
+
+    def test_tiny_negative_rounding_noise_clamped(self, graph, query):
+        class Tiny(TwoSubqueryEstimator):
+            def selectivity(self, query, subqueries):
+                return -1e-12
+
+        assert Tiny(graph).estimate(query).estimate == 0.0
 
     def test_prepare_runs_once(self, graph, query):
         calls = []

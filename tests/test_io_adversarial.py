@@ -1,0 +1,260 @@
+"""Adversarial property tests for the graph/query/triples loaders.
+
+Real snapshot files arrive truncated, hand-edited, or corrupted; the
+loaders' contract under that reality is:
+
+* **strict** mode raises :class:`GraphFormatError` — never a bare
+  ``IndexError``/``ValueError`` from deep inside ``int()`` — and the
+  error carries the path, the 1-based line number, and the offending
+  line;
+* **lenient** mode never raises on malformed *lines*: each one becomes a
+  :class:`LineDiagnostic` in the :class:`LoadReport` and the rest of the
+  file still loads;
+* a loader never mis-parses silently: every non-comment line is either
+  loaded (counted in ``report.loaded``) or diagnosed.
+
+Hypothesis drives the corruption: random truncation points, random junk
+lines spliced into valid dumps, random token mutations.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import GCareError, GraphFormatError
+from repro.graph.digraph import Graph
+from repro.graph.io import (
+    dump_graph,
+    load_graph,
+    load_graph_checked,
+    load_query,
+    load_query_checked,
+    load_triples,
+    load_triples_checked,
+)
+
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+@st.composite
+def valid_graph_text(draw):
+    """The text of a small, well-formed G-CARE graph file."""
+    num_vertices = draw(st.integers(min_value=1, max_value=6))
+    lines = ["t # 0"]
+    for v in range(num_vertices):
+        label = draw(st.integers(min_value=-1, max_value=3))
+        lines.append(f"v {v} {label}")
+    num_edges = draw(st.integers(min_value=0, max_value=8))
+    for _ in range(num_edges):
+        src = draw(st.integers(min_value=0, max_value=num_vertices - 1))
+        dst = draw(st.integers(min_value=0, max_value=num_vertices - 1))
+        lines.append(f"e {src} {dst} {draw(st.integers(0, 2))}")
+    return "\n".join(lines) + "\n"
+
+
+#: junk that must be *diagnosed*, never silently absorbed or crashed on
+JUNK_LINES = st.sampled_from(
+    [
+        "x 1 2 3",           # unknown line kind
+        "v",                  # vertex with no id
+        "v one 2",            # non-integer vertex id
+        "v 0 two",            # non-integer label
+        "e 0 1",              # edge missing its label
+        "e 0 1 2 3",          # edge with too many fields
+        "e a b c",            # non-integer edge fields
+        "e 99 0 0",           # endpoint out of range
+        "v 99 0",             # vertex id out of sequence
+        "vertex 0 1",         # word salad
+    ]
+)
+
+
+def _tmp_file(directory: str, text: str, name: str = "f.txt") -> Path:
+    path = Path(directory) / name
+    path.write_text(text)
+    return path
+
+
+# ---------------------------------------------------------------------------
+# graph files
+# ---------------------------------------------------------------------------
+class TestGraphLoaderAdversarial:
+    @settings(max_examples=50, deadline=None)
+    @given(text=valid_graph_text())
+    def test_valid_files_load_cleanly_in_both_modes(self, text):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = _tmp_file(tmp, text)
+            strict = load_graph(path, strict=True)
+            lenient, report = load_graph_checked(path)
+            assert report.ok and report.skipped == 0
+            assert strict.num_vertices == lenient.num_vertices
+            assert strict.num_edges == lenient.num_edges
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        text=valid_graph_text(),
+        junk=st.lists(JUNK_LINES, min_size=1, max_size=4),
+        data=st.data(),
+    )
+    def test_spliced_junk_is_diagnosed_not_fatal(self, text, junk, data):
+        lines = text.splitlines()
+        for junk_line in junk:
+            position = data.draw(
+                st.integers(min_value=1, max_value=len(lines))
+            )
+            lines.insert(position, junk_line)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = _tmp_file(tmp, "\n".join(lines) + "\n")
+
+            # strict: a GraphFormatError carrying file/line context
+            with pytest.raises(GraphFormatError) as excinfo:
+                load_graph(path, strict=True)
+            assert str(path) in str(excinfo.value)
+            assert excinfo.value.line_no >= 2
+            assert excinfo.value.line.strip() in junk
+
+            # lenient: every junk line diagnosed, the rest loaded
+            _, report = load_graph_checked(path)
+            assert not report.ok
+            assert 1 <= report.skipped  # out-of-range junk can cascade
+            for diagnostic in report.diagnostics:
+                assert diagnostic.reason
+                assert diagnostic.line_no >= 2
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data(), text=valid_graph_text())
+    def test_truncated_file_never_escapes_the_error_taxonomy(
+        self, data, text
+    ):
+        cut = data.draw(st.integers(min_value=0, max_value=len(text)))
+        with tempfile.TemporaryDirectory() as tmp:
+            path = _tmp_file(tmp, text[:cut])
+            try:
+                load_graph(path, strict=True)
+            except GraphFormatError as exc:
+                assert isinstance(exc, GCareError)
+                assert isinstance(exc, ValueError)  # legacy except-clauses
+                assert exc.line_no >= 1
+            # lenient must always get through, whatever the cut point
+            _, report = load_graph_checked(path)
+            assert report.loaded >= 0
+
+    def test_duplicate_vertex_id_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("t # 0\nv 0 1\nv 0 2\ne 0 0 0\n")
+        with pytest.raises(GraphFormatError, match="out of sequence"):
+            load_graph(path, strict=True)
+        graph, report = load_graph_checked(path)
+        assert graph.num_vertices == 1
+        assert report.skipped == 1
+
+    def test_multi_section_ids_restart_legally(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text(
+            "t # 0\nv 0 1\nv 1 2\ne 0 1 0\nt # 1\nv 0 1\ne 0 0 0\n"
+        )
+        graph = load_graph(path, strict=True)
+        assert graph.num_vertices == 3
+        assert graph.num_graphs == 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(text=valid_graph_text())
+    def test_dump_load_roundtrip_is_strict_clean(self, text):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = _tmp_file(tmp, text, "src.txt")
+            graph = load_graph(src, strict=True)
+            dst = Path(tmp) / "dst.txt"
+            dump_graph(graph, dst)
+            again, report = load_graph_checked(dst, strict=True)
+            assert report.ok
+            assert again.num_vertices == graph.num_vertices
+            assert again.num_edges == graph.num_edges
+
+
+# ---------------------------------------------------------------------------
+# query files
+# ---------------------------------------------------------------------------
+class TestQueryLoaderAdversarial:
+    def test_edge_before_vertices_is_out_of_range(self, tmp_path):
+        path = tmp_path / "q.txt"
+        path.write_text("t # 0\ne 0 1 0\nv 0 -1\nv 1 -1\n")
+        with pytest.raises(GraphFormatError, match="out of range"):
+            load_query(path, strict=True)
+        query, report = load_query_checked(path)
+        assert query.num_vertices == 2
+        assert report.skipped == 1
+
+    def test_non_integer_tokens_located_precisely(self, tmp_path):
+        path = tmp_path / "q.txt"
+        path.write_text("t # 0\nv 0 -1\nv 1 NaN\ne 0 1 0\n")
+        with pytest.raises(GraphFormatError) as excinfo:
+            load_query(path, strict=True)
+        assert excinfo.value.line_no == 3
+        assert "non-integer" in excinfo.value.reason
+
+    @settings(max_examples=40, deadline=None)
+    @given(junk=st.lists(JUNK_LINES, min_size=1, max_size=3))
+    def test_lenient_mode_always_returns_a_query(self, junk):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = _tmp_file(
+                tmp,
+                "t # 0\nv 0 -1\nv 1 0\n" + "\n".join(junk) + "\ne 0 1 0\n",
+            )
+            query, report = load_query_checked(path)
+            assert query.num_vertices == 2
+            assert report.skipped == len(junk)
+
+
+# ---------------------------------------------------------------------------
+# triples files
+# ---------------------------------------------------------------------------
+class TestTriplesLoaderAdversarial:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        triples=st.lists(
+            st.tuples(
+                st.text("abc", min_size=1, max_size=3),
+                st.text("pq", min_size=1, max_size=2),
+                st.text("xyz", min_size=1, max_size=3),
+            ),
+            max_size=10,
+        ),
+        short_lines=st.lists(
+            st.sampled_from(["onlysubject", "subj pred", "a"]),
+            max_size=3,
+        ),
+    )
+    def test_short_lines_skipped_and_counted(self, triples, short_lines):
+        lines = [" ".join(t) for t in triples] + short_lines
+        with tempfile.TemporaryDirectory() as tmp:
+            path = _tmp_file(tmp, "\n".join(lines) + "\n")
+            graph, _, _, report = load_triples_checked(path)
+            assert report.loaded == len(triples)
+            assert report.skipped == len(short_lines)
+            # the graph stores each distinct (s, p, o) edge once
+            assert graph.num_edges == len(set(triples))
+
+    def test_strict_mode_raises_with_location(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("a p b\nbroken\nc p d\n")
+        with pytest.raises(GraphFormatError) as excinfo:
+            load_triples(path, strict=True)
+        assert excinfo.value.line_no == 2
+        # historical default stays lenient
+        graph, _, _ = load_triples(path)
+        assert graph.num_edges == 2
+
+    def test_comments_and_blanks_stay_free(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("# header\n\na p b\n")
+        *_, report = load_triples_checked(path, strict=True)
+        assert report.ok and report.loaded == 1

@@ -33,6 +33,23 @@ class TestQError:
         with pytest.raises(ValueError):
             qerror(-1, 5)
 
+    def test_nan_rejected(self):
+        # regression: NaN used to slip through — every comparison with
+        # NaN is False, so `estimate < 0` never fired, and max(1.0, nan)
+        # returned 1.0, silently scoring a NaN estimate as *perfect*
+        with pytest.raises(ValueError):
+            qerror(100, float("nan"))
+        with pytest.raises(ValueError):
+            qerror(float("nan"), 100)
+
+    def test_infinity_rejected(self):
+        with pytest.raises(ValueError):
+            qerror(100, float("inf"))
+        with pytest.raises(ValueError):
+            qerror(float("-inf"), 100)
+        with pytest.raises(ValueError):
+            signed_qerror(100, float("inf"))
+
     def test_signed_underestimate_negative(self):
         assert signed_qerror(100, 10) == -10.0
         assert signed_qerror(10, 100) == 10.0

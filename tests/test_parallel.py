@@ -90,6 +90,62 @@ class SlowTriangleEstimator(_StubBase):
         yield 0
 
 
+class CrashOnTriangleEstimator(_StubBase):
+    """Hard-kills its worker process (os._exit) on cyclic queries.
+
+    The closest controllable stand-in for a segfaulting estimator: the
+    parent only ever sees the pipe go dead.  Non-cyclic queries succeed,
+    so the test can check the blast radius stays one cell wide.
+    """
+
+    name = "crashtri"
+    display_name = "CRASHTRI"
+
+    def decompose_query(self, query):
+        if len(query.edges) >= 3:
+            import os
+
+            os._exit(7)
+        return [query]
+
+
+class AlwaysCrashEstimator(_StubBase):
+    """Hard-kills its worker on every single cell (crash loop)."""
+
+    name = "crashall"
+    display_name = "CRASHALL"
+
+    def decompose_query(self, query):
+        import os
+
+        os._exit(7)
+
+
+class FlakyCrashEstimator(_StubBase):
+    """Crashes the worker once per query, then succeeds on retry.
+
+    A marker file (``flag_dir/<query fingerprint>``) survives the process
+    boundary: the first attempt creates it and dies, the retry finds it
+    and completes — the model of a transient infrastructure failure.
+    """
+
+    name = "flakycrash"
+    display_name = "FLAKY"
+    flag_dir: str = ""
+
+    def decompose_query(self, query):
+        import os
+
+        marker = os.path.join(
+            FlakyCrashEstimator.flag_dir, f"q{len(query.edges)}-{self.seed}"
+        )
+        if not os.path.exists(marker):
+            with open(marker, "w") as handle:
+                handle.write("died\n")
+            os._exit(7)
+        return [query]
+
+
 class CountingEstimator(_StubBase):
     """Appends one line to ``calls_path`` per estimate() invocation.
 
@@ -325,6 +381,84 @@ class TestHardTimeouts:
 
 
 # ---------------------------------------------------------------------------
+# hard worker deaths (os._exit — no exception ever crosses the pipe)
+# ---------------------------------------------------------------------------
+class TestWorkerDeaths:
+    def test_hard_death_records_crashed_and_sweep_completes(
+        self, registered, example_queries, tmp_path
+    ):
+        registered(CrashOnTriangleEstimator)
+        graph, queries = example_queries
+        assert queries[0].name == "tri"
+        log = ResultsLog(tmp_path / "crash.jsonl")
+        runner = ParallelEvaluationRunner(
+            graph,
+            ["crashtri", "cset"],
+            time_limit=10,
+            workers=2,
+            worker_retries=1,
+            respawn_backoff=0.0,
+        )
+        records = runner.run(queries, runs=1, results_log=log)
+        by_key = {r.key: r for r in records}
+        crashed = by_key[("crashtri", "tri", 0)]
+        assert crashed.error == "crashed"
+        assert crashed.estimate is None
+        # the blast radius is one cell: same technique's other query and
+        # the co-scheduled technique both complete
+        assert by_key[("crashtri", "path", 0)].error is None
+        for named in queries:
+            assert by_key[("cset", named.name, 0)].error is None
+        # deterministic crash: retried once, crashed again, pool respawned
+        assert runner.last_run_stats["retries"] == 1
+        assert runner.last_run_stats["worker_failures"] == 2
+        assert runner.last_run_stats["respawns"] >= 1
+        # every record (including the crash) reached the log, parseable
+        loaded = ResultsLog(log.path).load()
+        assert {r.key for r in loaded} == {r.key for r in records}
+        assert ResultsLog(log.path).recover().ok
+
+    def test_transient_crash_recovers_via_retry(
+        self, registered, example_queries, tmp_path
+    ):
+        registered(FlakyCrashEstimator)
+        FlakyCrashEstimator.flag_dir = str(tmp_path)
+        graph, queries = example_queries
+        runner = ParallelEvaluationRunner(
+            graph,
+            ["flakycrash"],
+            time_limit=10,
+            workers=2,
+            worker_retries=1,
+            respawn_backoff=0.0,
+        )
+        records = runner.run(queries, runs=1)
+        assert all(r.error is None for r in records)
+        assert all(r.estimate is not None for r in records)
+        assert runner.last_run_stats["retries"] == len(queries)
+        assert runner.last_run_stats["worker_failures"] == len(queries)
+
+    def test_respawn_cap_degrades_instead_of_crash_looping(
+        self, registered, example_queries
+    ):
+        registered(AlwaysCrashEstimator)
+        graph, queries = example_queries
+        runner = ParallelEvaluationRunner(
+            graph,
+            ["crashall"],
+            time_limit=10,
+            workers=2,
+            worker_retries=0,
+            respawn_backoff=0.0,
+            max_worker_respawns=1,
+        )
+        records = runner.run(queries, runs=2)
+        assert len(records) == len(queries) * 2
+        assert all(r.error == "crashed" for r in records)
+        assert runner.last_run_stats["respawns"] <= 1
+
+
+# ---------------------------------------------------------------------------
 # checkpoint / resume
 # ---------------------------------------------------------------------------
 class TestCheckpointResume:
@@ -443,6 +577,86 @@ class TestResultsLog:
         log = ResultsLog(tmp_path / "nope.jsonl")
         assert log.load() == []
         assert log.completed() == {}
+
+    def test_fsync_append_roundtrips(self, tmp_path):
+        log = ResultsLog(tmp_path / "log.jsonl", fsync=True)
+        log.append(self._record(run=0))
+        log.append(self._record(run=1))
+        assert len(log.load()) == 2
+
+
+# ---------------------------------------------------------------------------
+# crash recovery audit
+# ---------------------------------------------------------------------------
+class TestResultsLogRecovery:
+    def _record(self, run=0):
+        return EvalRecord(
+            technique="wj", query_name="q0", run=run,
+            true_cardinality=4, estimate=2.5, elapsed=0.1,
+        )
+
+    def test_intact_log_untouched(self, tmp_path):
+        log = ResultsLog(tmp_path / "log.jsonl")
+        log.append(self._record(0))
+        log.append(self._record(1))
+        before = log.path.read_bytes()
+        report = log.recover()
+        assert report.ok
+        assert report.records == 2
+        assert report.truncated_bytes == 0
+        assert not report.repaired_newline
+        assert log.path.read_bytes() == before
+
+    def test_missing_log_is_ok(self, tmp_path):
+        report = ResultsLog(tmp_path / "nope.jsonl").recover()
+        assert report.ok and report.records == 0
+
+    def test_torn_tail_truncated_in_place(self, tmp_path):
+        log = ResultsLog(tmp_path / "log.jsonl")
+        log.append(self._record(0))
+        log.append(self._record(1))
+        intact = log.path.read_bytes()
+        with log.path.open("a") as handle:
+            handle.write('{"technique": "wj", "que')  # killed mid-write
+        report = log.recover()
+        assert not report.ok
+        assert report.records == 2
+        assert report.truncated_bytes == len('{"technique": "wj", "que')
+        assert report.truncated_at_line == 3
+        # the file is physically repaired: appends graft cleanly again
+        assert log.path.read_bytes() == intact
+        log.append(self._record(2))
+        assert len(log.load()) == 3
+
+    def test_valid_json_invalid_record_is_torn(self, tmp_path):
+        log = ResultsLog(tmp_path / "log.jsonl")
+        log.append(self._record(0))
+        with log.path.open("a") as handle:
+            handle.write('{"not": "a record"}\n')
+        report = log.recover()
+        assert report.truncated_at_line == 2
+        assert len(log.load()) == 1
+
+    def test_final_record_missing_newline_repaired(self, tmp_path):
+        log = ResultsLog(tmp_path / "log.jsonl")
+        log.append(self._record(0))
+        with log.path.open("rb+") as handle:
+            handle.seek(-1, 2)
+            handle.truncate()  # strip the trailing newline only
+        report = log.recover()
+        assert report.repaired_newline
+        assert report.records == 1
+        assert report.truncated_bytes == 0
+        log.append(self._record(1))
+        assert len(log.load()) == 2  # no grafted line
+
+    def test_everything_torn_truncates_to_empty(self, tmp_path):
+        log = ResultsLog(tmp_path / "log.jsonl")
+        log.path.write_text('{"garbage": tru')
+        report = log.recover()
+        assert report.truncated_at_line == 1
+        assert report.records == 0
+        assert log.path.stat().st_size == 0
 
 
 # ---------------------------------------------------------------------------
