@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Standalone entry point for the tracked performance suite.
+
+Equivalent to ``gcare bench``; useful when the package is not installed:
+
+    PYTHONPATH=src python benchmarks/perf_bench.py --quick
+    PYTHONPATH=src python benchmarks/perf_bench.py --out BENCH_PR4.json
+    PYTHONPATH=src python benchmarks/perf_bench.py --quick \
+        --check BENCH_PR4.json
+
+See ``src/repro/bench/perf.py`` for what is measured and how regression
+checking works (per-op medians, slack factor against the baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.perf import (  # noqa: E402 - path bootstrap above
+    check_regression,
+    format_report,
+    load_report,
+    run_benchmarks,
+    save_report,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced reps/queries for CI smoke runs")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON report to this path")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="fail on regression vs this baseline JSON")
+    parser.add_argument("--factor", type=float, default=3.0,
+                        help="slowdown factor tolerated by --check")
+    parser.add_argument("--seed", type=int, default=1, help="dataset seed")
+    args = parser.parse_args(argv)
+
+    report = run_benchmarks(quick=args.quick, seed=args.seed)
+    print(format_report(report))
+    if args.out:
+        save_report(report, args.out)
+        print(f"wrote {args.out}")
+    if args.check:
+        failures = check_regression(report, load_report(args.check),
+                                    args.factor)
+        if failures:
+            print(f"PERF REGRESSION vs {args.check}:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(f"no regressions vs {args.check} (factor {args.factor:.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,7 @@ from .runner import (
     run_cell,
     summarize,
 )
+from .summary_cache import SummaryCache, graph_fingerprint, summary_key
 
 __all__ = [
     "EvalRecord",
@@ -29,6 +30,9 @@ __all__ = [
     "mean_elapsed",
     "run_cell",
     "summarize",
+    "SummaryCache",
+    "graph_fingerprint",
+    "summary_key",
     "tables",
     "workloads",
 ]

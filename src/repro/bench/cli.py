@@ -174,6 +174,8 @@ def _sweep(
     fallback: str = None,
     memory_budget: int = None,
     worker_retries: int = None,
+    summary_cache_dir: str = None,
+    no_summary_cache: bool = False,
 ) -> int:
     """Run the full (technique, query, run) grid, parallel and resumable."""
     from ..core.registry import available_techniques
@@ -183,6 +185,7 @@ def _sweep(
     from .parallel import DEFAULT_WORKER_RETRIES, ParallelEvaluationRunner
     from .results_log import ResultsLog
     from .runner import summarize
+    from .summary_cache import SummaryCache
 
     names = (
         [t.strip() for t in techniques.split(",") if t.strip()]
@@ -193,6 +196,11 @@ def _sweep(
     if inject:
         plan = FaultPlan.parse(inject, seed=inject_seed)
         print(f"fault injection: {len(plan.specs)} spec(s), seed {plan.seed}")
+    cache = None
+    if not no_summary_cache:
+        # in-memory by default (prepare-once across workers); a directory
+        # persists summaries across invocations of the same sweep
+        cache = SummaryCache(summary_cache_dir)
     data = workloads.dataset(dataset_name, seed=1)
     queries = workloads.workload(dataset_name)
     runner = ParallelEvaluationRunner(
@@ -209,10 +217,17 @@ def _sweep(
         worker_retries=(
             DEFAULT_WORKER_RETRIES if worker_retries is None else worker_retries
         ),
+        summary_cache=cache,
     )
     log = ResultsLog(results_log, fsync=fsync) if results_log else None
     records = runner.run(queries, runs=runs, results_log=log)
     stats = runner.last_run_stats
+    if cache is not None and (cache.hits or cache.stores):
+        scope = cache.directory or "in-memory"
+        print(
+            f"summary cache ({scope}): {cache.hits} hit(s), "
+            f"{cache.misses} miss(es), {cache.stores} store(s)"
+        )
     print(
         f"{stats.get('cells', len(records))} cells: "
         f"{stats.get('executed', 0)} executed, "
@@ -285,6 +300,38 @@ def _estimate(graph_path: str, query_path: str, technique: str,
     return 0
 
 
+def _bench(
+    quick: bool,
+    out: "str | None",
+    check: "str | None",
+    factor: float,
+    seed: int,
+) -> int:
+    """Run the tracked performance suite; optionally gate on a baseline."""
+    from .perf import (
+        check_regression,
+        format_report,
+        load_report,
+        run_benchmarks,
+        save_report,
+    )
+
+    report = run_benchmarks(quick=quick, seed=seed)
+    print(format_report(report))
+    if out:
+        save_report(report, out)
+        print(f"wrote {out}")
+    if check:
+        failures = check_regression(report, load_report(check), factor)
+        if failures:
+            print(f"PERF REGRESSION vs {check}:")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print(f"no regressions vs {check} (factor {factor:.1f}x)")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="gcare",
@@ -295,8 +342,9 @@ def main(argv=None) -> int:
         nargs="?",
         default="list",
         help=(
-            "experiment id (t2, f6a..f11, s63, t3), 'sweep', 'trace', "
-            "'validate', 'export-dataset', 'export-workload', or 'list'"
+            "experiment id (t2, f6a..f11, s63, t3), 'sweep', 'bench', "
+            "'trace', 'validate', 'export-dataset', 'export-workload', "
+            "or 'list'"
         ),
     )
     parser.add_argument(
@@ -338,8 +386,31 @@ def main(argv=None) -> int:
         help="retries for cells whose worker died unexpectedly (sweep)",
     )
     parser.add_argument(
+        "--summary-cache", default=None, metavar="DIR",
+        help=(
+            "persist prepared summaries under DIR so repeated sweeps of "
+            "the same graph skip preparation (sweep)"
+        ),
+    )
+    parser.add_argument(
+        "--no-summary-cache", action="store_true",
+        help="disable prepare-once summary sharing entirely (sweep)",
+    )
+    parser.add_argument(
         "--trace", action="store_true",
         help="record span traces + counters into every sweep record",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="bench: reduced reps/queries for CI smoke runs",
+    )
+    parser.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="bench: fail if any metric regresses vs this baseline JSON",
+    )
+    parser.add_argument(
+        "--factor", type=float, default=3.0,
+        help="bench: slowdown factor tolerated by --check (default 3.0)",
     )
     parser.add_argument(
         "--workers", type=int, default=0,
@@ -417,7 +488,12 @@ def main(argv=None) -> int:
             fallback=args.fallback,
             memory_budget=args.memory_budget,
             worker_retries=args.worker_retries,
+            summary_cache_dir=args.summary_cache,
+            no_summary_cache=args.no_summary_cache,
         )
+
+    if args.experiment == "bench":
+        return _bench(args.quick, args.out, args.check, args.factor, args.seed)
 
     if args.experiment in ("export-dataset", "export-workload"):
         if not args.target or not args.out:

@@ -49,6 +49,7 @@ from ..faults.plan import FaultPlan
 from ..graph.digraph import Graph
 from .results_log import ResultsLog
 from .runner import EvalRecord, EvaluationRunner, NamedQuery, run_cell
+from .summary_cache import hydrate_from_blob
 
 #: extra wall-clock granted beyond ``time_limit`` before a worker is killed;
 #: generous because the cooperative deadline should fire first — the kill
@@ -87,6 +88,7 @@ def _worker_main(
     fault_plan: Optional[FaultPlan] = None,
     memory_budget: Optional[int] = None,
     fallback: Optional[str] = None,
+    summary_blobs: Optional[Mapping[str, bytes]] = None,
 ) -> None:
     """Worker loop: receive cells, run them, stream results back.
 
@@ -107,6 +109,11 @@ def _worker_main(
     the parent observes as an unexpected death (EOF), exactly like a real
     segfault.  Eager preparation is skipped under injection so the plan's
     prepare-site faults can reach it inside :func:`run_cell`.
+
+    ``summary_blobs`` maps technique names to serialized summaries the
+    parent prepared once; a worker hydrates its estimator from the blob
+    instead of rebuilding the summary (the first cell then records a
+    ``prepare_cached`` phase).  Blobs are never passed under injection.
     """
     estimators: Dict[str, object] = {}
     fallback_estimator = None
@@ -131,7 +138,15 @@ def _worker_main(
                         **kwargs,
                     )
                     if not inject:
-                        estimator.prepare()
+                        blob = (
+                            summary_blobs.get(technique)
+                            if summary_blobs is not None
+                            else None
+                        )
+                        if blob is not None:
+                            hydrate_from_blob(estimator, blob)
+                        else:
+                            estimator.prepare()
                     estimators[technique] = estimator
                 if fallback is not None and fallback_estimator is None:
                     fallback_estimator = create_estimator(
@@ -277,6 +292,7 @@ class ParallelEvaluationRunner(EvaluationRunner):
         fault_plan: Optional[FaultPlan] = None,
         memory_budget: Optional[int] = None,
         fallback: Optional[str] = None,
+        summary_cache=None,
         worker_retries: int = DEFAULT_WORKER_RETRIES,
         respawn_backoff: float = DEFAULT_RESPAWN_BACKOFF,
         max_worker_respawns: Optional[int] = DEFAULT_MAX_WORKER_RESPAWNS,
@@ -292,6 +308,7 @@ class ParallelEvaluationRunner(EvaluationRunner):
             fault_plan=fault_plan,
             memory_budget=memory_budget,
             fallback=fallback,
+            summary_cache=summary_cache,
         )
         self.workers = max(1, int(workers))
         self.kill_grace = kill_grace
@@ -306,6 +323,9 @@ class ParallelEvaluationRunner(EvaluationRunner):
         self._attempts: Dict[int, int] = {}
         #: replacement workers spawned for unexpected deaths (this run)
         self._crash_respawns = 0
+        #: technique -> serialized summary, built once per :meth:`run` and
+        #: shipped to every worker (None while a fault plan is active)
+        self._summary_blobs: Optional[Dict[str, bytes]] = None
 
     # ------------------------------------------------------------------
     def run(
@@ -347,8 +367,36 @@ class ParallelEvaluationRunner(EvaluationRunner):
             serial = super().run(queries, runs, reseed, results_log)
             self.last_run_stats["executed"] = len(pending)
             return serial
+        self._summary_blobs = self._build_summary_blobs()
         self._run_pool(pending, results, reseed, results_log)
         return [results[index] for index in range(len(cells))]
+
+    # ------------------------------------------------------------------
+    def _build_summary_blobs(self) -> Optional[Dict[str, bytes]]:
+        """Prepare every technique once in the parent, serialize for workers.
+
+        The off-line summary is a pure function of the graph and the
+        technique's parameters, so each worker hydrating the parent's
+        serialized summary is equivalent to rebuilding it — minus the
+        per-worker build cost.  Consults/feeds ``self.summary_cache``
+        through :meth:`prepare`.  Returns ``None`` under fault injection
+        (workers must build their own summaries inside ``run_cell`` so
+        prepare-site faults can reach them); a technique whose summary
+        fails to prepare or serialize simply ships no blob and the worker
+        falls back to building it locally.
+        """
+        if self._inject:
+            return None
+        self.prepare()
+        blobs: Dict[str, bytes] = {}
+        for name, estimator in self.estimators.items():
+            if not estimator.prepared:
+                continue
+            try:
+                blobs[name] = estimator.export_summary()
+            except Exception:
+                continue  # unpicklable summary state: worker rebuilds
+        return blobs
 
     # ------------------------------------------------------------------
     def _spawn(self, ctx) -> _Worker:
@@ -364,6 +412,7 @@ class ParallelEvaluationRunner(EvaluationRunner):
                 self.fault_plan,
                 self.memory_budget,
                 self.fallback_name,
+                self._summary_blobs,
             ),
         )
 

@@ -1,0 +1,223 @@
+"""Tracked performance benchmarks for the sealed graph substrate.
+
+``gcare bench`` (and ``benchmarks/perf_bench.py``) run a fixed-seed suite
+over the bundled AIDS-like dataset and emit a JSON report — checked in as
+``BENCH_PR4.json`` — covering:
+
+* graph build + seal time and the ``deep_sizeof`` shrink factor,
+* per-technique summary preparation, cold vs. hydrated from an exported
+  summary blob (the prepare-once path the parallel runner uses),
+* estimate hot loops (repeated ``estimate()`` against a warm shared
+  cache) on the dict-backed vs. sealed substrate,
+* the exact matcher over the full workload on both substrates.
+
+All wall-clock metrics are *per-operation* seconds (medians over
+``reps``), so quick and full runs are comparable, and regression checks
+against a baseline file compare like with like.  The suite never asserts
+on absolute speed by itself — :func:`check_regression` applies a slack
+factor (default 3x) so CI machines of different speeds don't flap.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.errors import GCareError
+from ..core.registry import ALL_TECHNIQUES, create_estimator
+from ..datasets import load_dataset
+from ..graph.digraph import Graph
+from ..matching.homomorphism import HomomorphismCounter
+from ..obs.size import deep_sizeof
+from .workloads import workload
+
+#: benchmark schema version (bump when metrics change incompatibly)
+SCHEMA_VERSION = 4
+
+#: estimator constructor kwargs, fixed so runs are reproducible
+_TECH_KWARGS: Dict[str, dict] = {
+    "wj": {"sampling_ratio": 0.03, "seed": 7},
+    "jsub": {"sampling_ratio": 0.03, "seed": 7},
+    "impr": {"seed": 7},
+    "cs": {"seed": 7},
+}
+
+#: techniques whose estimate hot loop is benchmarked (cheap enough to
+#: repeat; sumrdf/bs estimates run for seconds per query and would
+#: dominate the suite without adding substrate signal)
+_HOT_TECHNIQUES = ("wj", "jsub", "cs")
+
+
+def _median_time(fn: Callable[[], object], reps: int) -> float:
+    """Median wall-clock seconds of ``reps`` runs of ``fn``."""
+    samples = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def _estimate_all(estimator, queries) -> None:
+    for query in queries:
+        try:
+            estimator.estimate(query)
+        except GCareError:
+            pass  # unsupported shapes still exercise the dispatch path
+
+
+def run_benchmarks(quick: bool = False, seed: int = 1) -> dict:
+    """Run the suite; return the JSON-serializable report."""
+    reps = 1 if quick else 3
+    hot_iters = 2 if quick else 6
+    report: dict = {
+        "meta": {
+            "bench": "gcare-perf",
+            "schema_version": SCHEMA_VERSION,
+            "quick": quick,
+            "seed": seed,
+            "python": platform.python_version(),
+            "dataset": f"aids(seed={seed})",
+        },
+        "timings_s": {},
+        "speedups": {},
+    }
+    timings = report["timings_s"]
+    speedups = report["speedups"]
+
+    # --- load + seal -------------------------------------------------
+    timings["load_dict"] = _median_time(
+        lambda: load_dataset("aids", seed=seed, seal=False), reps
+    )
+    dataset = load_dataset("aids", seed=seed, seal=False)
+    graph_dict = dataset.graph
+    timings["seal"] = _median_time(graph_dict.seal, reps)
+    graph_sealed = graph_dict.seal()
+
+    size_dict = deep_sizeof(graph_dict)
+    size_sealed = deep_sizeof(graph_sealed)
+    report["graph"] = {
+        "num_vertices": graph_dict.num_vertices,
+        "num_edges": graph_dict.num_edges,
+        "deep_sizeof_dict": size_dict,
+        "deep_sizeof_sealed": size_sealed,
+        "shrink_factor": round(size_dict / size_sealed, 2),
+    }
+
+    queries = [named.query for named in workload("aids", dataset_seed=seed)]
+    if quick:
+        queries = queries[:8]
+    hot_queries = queries[:6]
+    report["meta"]["num_queries"] = len(queries)
+
+    # --- exact matcher, both substrates ------------------------------
+    def matcher_pass(graph: Graph) -> None:
+        for query in queries:
+            HomomorphismCounter(graph, query).count()
+
+    matcher_dict = _median_time(lambda: matcher_pass(graph_dict), reps)
+    matcher_sealed = _median_time(lambda: matcher_pass(graph_sealed), reps)
+    timings["matcher_dict_per_query"] = matcher_dict / len(queries)
+    timings["matcher_sealed_per_query"] = matcher_sealed / len(queries)
+    speedups["matcher"] = round(matcher_dict / matcher_sealed, 2)
+
+    # --- prepare: cold vs hydrated from an exported blob --------------
+    for name in ALL_TECHNIQUES:
+        kwargs = _TECH_KWARGS.get(name, {})
+        cold_samples = []
+        blob: Optional[bytes] = None
+        for _ in range(reps):
+            estimator = create_estimator(name, graph_sealed, **kwargs)
+            start = time.perf_counter()
+            estimator.prepare()
+            cold_samples.append(time.perf_counter() - start)
+            blob = estimator.export_summary()
+        timings[f"prepare_cold.{name}"] = statistics.median(cold_samples)
+
+        def hydrate() -> None:
+            fresh = create_estimator(name, graph_sealed, **kwargs)
+            fresh.import_summary(blob)
+
+        timings[f"prepare_cached.{name}"] = _median_time(hydrate, reps)
+
+    # --- estimate hot loops, both substrates --------------------------
+    for name in _HOT_TECHNIQUES:
+        kwargs = _TECH_KWARGS.get(name, {})
+        per_op: Dict[str, float] = {}
+        for label, graph in (("dict", graph_dict), ("sealed", graph_sealed)):
+            estimator = create_estimator(name, graph, **kwargs)
+            estimator.prepare()
+            _estimate_all(estimator, hot_queries)  # warm caches
+
+            def hot_loop() -> None:
+                for _ in range(hot_iters):
+                    _estimate_all(estimator, hot_queries)
+
+            total = _median_time(hot_loop, reps)
+            per_op[label] = total / (hot_iters * len(hot_queries))
+        timings[f"estimate_hot_dict.{name}"] = per_op["dict"]
+        timings[f"estimate_hot_sealed.{name}"] = per_op["sealed"]
+        speedups[f"{name}_hot"] = round(per_op["dict"] / per_op["sealed"], 2)
+
+    return report
+
+
+def check_regression(
+    current: dict, baseline: dict, factor: float = 3.0
+) -> List[str]:
+    """Compare ``current`` timings against a baseline report.
+
+    Returns human-readable failure strings for every metric that got more
+    than ``factor`` times slower than the baseline.  Metrics present in
+    only one report are skipped (schema growth is not a regression), as
+    are metrics still under a 1 ms noise floor — no-op prepares measure
+    in microseconds, where timer jitter alone exceeds any ratio.
+    """
+    failures: List[str] = []
+    base = baseline.get("timings_s", {})
+    cur = current.get("timings_s", {})
+    for metric, base_value in sorted(base.items()):
+        value = cur.get(metric)
+        if value is None or base_value <= 0:
+            continue
+        if value < 0.001:
+            continue
+        if value > base_value * factor:
+            failures.append(
+                f"{metric}: {value:.6f}s vs baseline {base_value:.6f}s "
+                f"(> {factor:.1f}x slower)"
+            )
+    return failures
+
+
+def format_report(report: dict) -> str:
+    """Short human-readable summary of a benchmark report."""
+    lines = [
+        f"gcare perf bench (schema v{report['meta']['schema_version']}, "
+        f"quick={report['meta']['quick']})",
+        f"graph: |V|={report['graph']['num_vertices']} "
+        f"|E|={report['graph']['num_edges']} "
+        f"deep_sizeof shrink {report['graph']['shrink_factor']}x",
+    ]
+    for key, value in sorted(report["speedups"].items()):
+        lines.append(f"speedup {key}: {value}x sealed vs dict")
+    slowest = sorted(
+        report["timings_s"].items(), key=lambda kv: kv[1], reverse=True
+    )[:5]
+    for metric, value in slowest:
+        lines.append(f"{metric}: {value * 1000.0:.2f} ms")
+    return "\n".join(lines)
+
+
+def save_report(report: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_report(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

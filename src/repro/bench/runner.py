@@ -298,6 +298,14 @@ def run_cell(
             phases = snapshot.phase_seconds()
     if not was_prepared and estimator.prepared:
         phases.setdefault("prepare", estimator.preparation_time)
+    if getattr(estimator, "_cache_charge_pending", False):
+        # the estimator was hydrated from the summary cache: the first
+        # cell that uses it records the (cheap) hydration cost as
+        # ``prepare_cached`` — never as a full ``prepare`` span
+        estimator._cache_charge_pending = False
+        phases.setdefault(
+            "prepare_cached", getattr(estimator, "hydration_time", 0.0)
+        )
     fallback_used: Optional[str] = None
     primary_error: Optional[str] = None
     if error is not None and fallback is not None:
@@ -344,6 +352,7 @@ class EvaluationRunner:
         fault_plan: Optional[FaultPlan] = None,
         memory_budget: Optional[int] = None,
         fallback: Optional[str] = None,
+        summary_cache=None,
     ) -> None:
         self.graph = graph
         self.technique_names = list(techniques)
@@ -358,6 +367,11 @@ class EvaluationRunner:
         self.memory_budget = memory_budget
         #: degraded-mode fallback technique name (None = no fallback)
         self.fallback_name = fallback
+        #: optional :class:`repro.bench.summary_cache.SummaryCache`; when
+        #: set, :meth:`prepare` hydrates summaries from it instead of
+        #: rebuilding and stores freshly built ones back.  Ignored while a
+        #: fault plan is active so prepare-site faults still fire.
+        self.summary_cache = summary_cache
         self.estimator_kwargs = {
             name: dict(kwargs) for name, kwargs in (estimator_kwargs or {}).items()
         }
@@ -394,12 +408,29 @@ class EvaluationRunner:
         A preparation failure no longer aborts the whole sweep: the
         technique is left unprepared and each of its cells records the
         failure individually when ``run_cell`` retries the build.
+
+        With a ``summary_cache`` attached (and no fault plan active),
+        each technique first tries to hydrate its summary from the cache
+        — recording a zero preparation time and arming ``prepare_cached``
+        phase accounting — and freshly built summaries are stored back
+        for the next consumer.
         """
+        cache = None if self._inject else self.summary_cache
         for name, estimator in self.estimators.items():
+            extra = self.estimator_kwargs.get(name)
+            if (
+                cache is not None
+                and not estimator.prepared
+                and cache.hydrate(estimator, name, extra)
+            ):
+                self.preparation_times[name] = 0.0
+                continue
             try:
                 self.preparation_times[name] = estimator.prepare()
             except Exception:
                 continue  # degrade: per-cell records will carry the error
+            if cache is not None:
+                cache.store(estimator, name, extra)
         return dict(self.preparation_times)
 
     def grid(

@@ -1,0 +1,192 @@
+"""Prepare-once summary sharing across workers and sweep invocations.
+
+``PrepareSummaryStructure`` (Algorithm 1's off-line phase) is a pure
+function of the data graph and the technique's parameters, yet the sweep
+pipeline used to pay it once per worker per technique — and again on
+every ``gcare sweep`` invocation.  This module makes the summary a cached
+artifact:
+
+* the parent runner (or whichever process touches a technique first)
+  prepares, exports the summary via
+  :meth:`~repro.core.framework.Estimator.export_summary`, and every other
+  consumer hydrates from the serialized payload;
+* a :class:`SummaryCache` keys payloads by a **content fingerprint** of
+  the graph plus the technique's identity and parameters, holds them
+  in memory, and optionally persists them under a directory
+  (``gcare sweep --summary-cache DIR``) so repeated invocations skip
+  preparation entirely.
+
+Hydration is observable: a hydrated estimator carries
+``_cache_charge_pending`` and ``hydration_time`` attributes, which the
+first ``run_cell`` that uses it converts into a ``prepare_cached`` phase
+entry — a cache hit must never masquerade as a full ``prepare`` span.
+
+Fault injection bypasses this layer entirely (the runners never consult
+the cache when a plan is active), so prepare-site faults still reach the
+hooks inside ``run_cell``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Union
+
+from ..core.framework import Estimator
+from ..graph.digraph import Graph
+
+PathLike = Union[str, Path]
+
+#: bump when the payload layout or fingerprint definition changes; keyed
+#: into every cache entry so stale on-disk payloads miss instead of load
+CACHE_VERSION = 1
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """Content fingerprint of a graph: same content, same fingerprint.
+
+    Hashes the canonical accessor stream — vertex count, per-vertex label
+    sets (sorted), and the edge stream in ``edges()`` order — so two
+    graphs that are equal through the accessor API (e.g. a dict-backed
+    graph and its sealed form) fingerprint identically.  Sealed graphs
+    memoize the digest; mutable graphs are re-hashed on every call.
+    """
+    cached = getattr(graph, "_fingerprint", None)
+    if cached is not None:
+        return cached
+    digest = hashlib.blake2b(digest_size=16)
+    update = digest.update
+    update(f"g{graph.num_graphs};v{graph.num_vertices};e{graph.num_edges};".encode())
+    for v in graph.vertices():
+        labels = graph.vertex_labels(v)
+        if labels:
+            update(",".join(map(str, sorted(labels))).encode())
+        update(b"|")
+    for src, dst, label in graph.edges():
+        update(f"{src},{dst},{label};".encode())
+    fingerprint = digest.hexdigest()
+    if getattr(graph, "sealed", False):
+        graph._fingerprint = fingerprint
+    return fingerprint
+
+
+def summary_key(
+    graph: Graph,
+    technique: str,
+    estimator: Estimator,
+    extra: Optional[Mapping] = None,
+) -> str:
+    """Cache key: graph content + technique identity + parameters."""
+    cls = type(estimator)
+    parts = [
+        f"v{CACHE_VERSION}",
+        graph_fingerprint(graph),
+        technique,
+        f"{cls.__module__}.{cls.__qualname__}",
+        f"p={estimator.sampling_ratio!r}",
+        f"s={estimator.seed!r}",
+        f"t={estimator.time_limit!r}",
+        repr(sorted((extra or {}).items())),
+    ]
+    return hashlib.blake2b(
+        "|".join(parts).encode(), digest_size=16
+    ).hexdigest()
+
+
+def hydrate_from_blob(estimator: Estimator, payload: bytes) -> None:
+    """Import a summary payload and mark the estimator as cache-hydrated.
+
+    Records the hydration cost and arms ``_cache_charge_pending`` so the
+    first cell run on this estimator charges a ``prepare_cached`` phase
+    instead of a full ``prepare`` span.
+    """
+    start = time.perf_counter()
+    estimator.import_summary(payload)
+    estimator.hydration_time = time.perf_counter() - start
+    estimator._cache_charge_pending = True
+
+
+class SummaryCache:
+    """Keyed store of serialized summaries (in-memory + optional on-disk).
+
+    ``directory=None`` keeps payloads in memory only — enough to share
+    summaries between techniques' consumers inside one invocation.  With
+    a directory, payloads persist as ``<key>.summary`` files and later
+    ``gcare sweep --summary-cache DIR`` invocations (of the same graph
+    and parameters) skip preparation entirely.
+    """
+
+    def __init__(self, directory: Optional[PathLike] = None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._memory: Dict[str, bytes] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / f"{key}.summary"
+
+    def get(self, key: str) -> Optional[bytes]:
+        payload = self._memory.get(key)
+        if payload is not None:
+            return payload
+        path = self._path(key)
+        if path is not None and path.is_file():
+            payload = path.read_bytes()
+            self._memory[key] = payload
+            return payload
+        return None
+
+    def put(self, key: str, payload: bytes) -> None:
+        self._memory[key] = payload
+        path = self._path(key)
+        if path is not None:
+            # atomic publish: a concurrent reader sees the old file or the
+            # new one, never a torn write
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_bytes(payload)
+            os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    def hydrate(
+        self,
+        estimator: Estimator,
+        technique: str,
+        extra: Optional[Mapping] = None,
+    ) -> bool:
+        """Restore ``estimator``'s summary from the cache if present.
+
+        Returns True on a hit (the estimator is then prepared and marked
+        for ``prepare_cached`` phase accounting); False on a miss.
+        """
+        key = summary_key(estimator.graph, technique, estimator, extra)
+        payload = self.get(key)
+        if payload is None:
+            self.misses += 1
+            return False
+        hydrate_from_blob(estimator, payload)
+        self.hits += 1
+        return True
+
+    def store(
+        self,
+        estimator: Estimator,
+        technique: str,
+        extra: Optional[Mapping] = None,
+    ) -> None:
+        """Export a prepared estimator's summary into the cache."""
+        if not estimator.prepared:
+            return
+        key = summary_key(estimator.graph, technique, estimator, extra)
+        self.put(key, estimator.export_summary())
+        self.stores += 1
+
+    def __len__(self) -> int:
+        return len(self._memory)

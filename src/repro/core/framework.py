@@ -18,7 +18,9 @@ Every cardinality estimation technique is expressed through five hooks:
 from __future__ import annotations
 
 import abc
+import io
 import math
+import pickle
 import random
 import time
 from typing import Any, Iterable, Iterator, List, Optional, Sequence
@@ -131,6 +133,85 @@ class Estimator(abc.ABC):
             self.preparation_time = time.monotonic() - start
             self._prepared = True
         return self.preparation_time
+
+    # ------------------------------------------------------------------
+    # summary serialization (prepare-once sharing)
+    # ------------------------------------------------------------------
+    #: attributes never serialized into a summary payload: the data graph
+    #: (restored by reference on import), per-process observability and
+    #: budget plumbing, and the RNG (reset from the seed on import so a
+    #: hydrated estimator is bit-identical to a freshly prepared one)
+    _SUMMARY_EXCLUDED_STATE = ("graph", "obs", "memory_guard", "rng", "_deadline")
+
+    #: wall-clock cost of the most recent :meth:`import_summary`
+    hydration_time: float = 0.0
+    #: set by the summary-cache layer on hydration; consumed by the first
+    #: ``run_cell`` so the record charges a ``prepare_cached`` phase
+    _cache_charge_pending: bool = False
+
+    #: persistent-id sentinels used by the summary pickle stream
+    _PID_GRAPH = "gcare:data-graph"
+    _PID_NO_TRACE = "gcare:no-trace"
+
+    def export_summary(self) -> bytes:
+        """Serialize the prepared state for reuse by another instance.
+
+        The payload contains everything :meth:`prepare` built (plus the
+        recorded ``preparation_time``), with every reference to the data
+        graph — direct or nested inside sub-estimators and relation
+        objects — replaced by a persistent-id sentinel, so the graph is
+        never dragged into the pickle.  :meth:`import_summary` on an
+        estimator of the same type, graph and parameters restores it.
+        """
+        if not self._prepared:
+            raise RuntimeError(
+                f"{type(self).__name__} has no prepared summary to export"
+            )
+        state = {
+            k: v
+            for k, v in self.__dict__.items()
+            if k not in self._SUMMARY_EXCLUDED_STATE
+        }
+        buffer = io.BytesIO()
+        pickler = pickle.Pickler(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+        graph = self.graph
+        no_trace = NO_TRACE
+
+        def persistent_id(obj):
+            if obj is graph:
+                return Estimator._PID_GRAPH
+            if obj is no_trace:
+                return Estimator._PID_NO_TRACE
+            return None
+
+        pickler.persistent_id = persistent_id
+        pickler.dump(state)
+        return buffer.getvalue()
+
+    def import_summary(self, payload: bytes) -> None:
+        """Restore a summary exported from a matching estimator.
+
+        The caller is responsible for key discipline: the payload must
+        come from an estimator of the same type over an identical graph
+        with identical parameters (the summary cache enforces this with
+        content fingerprints).  The RNG is re-seeded from ``self.seed``
+        afterwards, so hydration never perturbs estimates.
+        """
+        graph = self.graph
+        unpickler = pickle.Unpickler(io.BytesIO(payload))
+
+        def persistent_load(pid):
+            if pid == Estimator._PID_GRAPH:
+                return graph
+            if pid == Estimator._PID_NO_TRACE:
+                return NO_TRACE
+            raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+
+        unpickler.persistent_load = persistent_load
+        state = unpickler.load()
+        self.__dict__.update(state)
+        self._prepared = True
+        self.rng = random.Random(self.seed)
 
     def estimate(self, query: QueryGraph) -> EstimationResult:
         """Estimate the cardinality of ``query`` (Algorithm 1).

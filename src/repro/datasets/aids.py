@@ -34,8 +34,13 @@ def generate(
     min_atoms: int = 8,
     max_atoms: int = 40,
     seed: int = 0,
+    seal: bool = True,
 ) -> Dataset:
-    """Generate an AIDS-like collection of ``num_graphs`` molecules."""
+    """Generate an AIDS-like collection of ``num_graphs`` molecules.
+
+    ``seal`` (default) returns the compact sealed graph; ``seal=False``
+    keeps the mutable dict-backed form.
+    """
     rng = random.Random(seed)
     graph = Graph(num_graphs=num_graphs)
     atom_sampler = ZipfSampler(NUM_VERTEX_LABELS, exponent=1.6)
@@ -45,7 +50,7 @@ def generate(
                       atom_sampler, bond_sampler)
     return Dataset(
         name="aids",
-        graph=graph,
+        graph=graph.seal() if seal else graph,
         notes=(
             f"AIDS-like, graphs={num_graphs}, atoms per graph in "
             f"[{min_atoms},{max_atoms}], seed={seed}"

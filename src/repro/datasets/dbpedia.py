@@ -28,8 +28,12 @@ def generate(
     num_edges: int = 24000,
     num_edge_labels: int = 500,
     seed: int = 0,
+    seal: bool = True,
 ) -> Dataset:
-    """Generate a DBpedia-like graph with heavy predicate and degree skew."""
+    """Generate a DBpedia-like graph with heavy predicate and degree skew.
+
+    ``seal`` (default) returns the compact sealed graph.
+    """
     rng = random.Random(seed)
     graph = Graph()
     vertex_label_sampler = ZipfSampler(NUM_VERTEX_LABELS, exponent=1.2)
@@ -49,7 +53,7 @@ def generate(
             added += 1
     return Dataset(
         name="dbpedia",
-        graph=graph,
+        graph=graph.seal() if seal else graph,
         notes=(
             f"DBpedia-like, |V|={num_vertices}, |E|={num_edges}, "
             f"elabels<={num_edge_labels}, seed={seed}"

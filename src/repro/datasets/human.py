@@ -30,8 +30,12 @@ def generate(
     avg_degree: float = 16.0,
     num_communities: int = 40,
     seed: int = 0,
+    seal: bool = True,
 ) -> Dataset:
-    """Generate a Human-like dense unlabeled-edge interaction network."""
+    """Generate a Human-like dense unlabeled-edge interaction network.
+
+    ``seal`` (default) returns the compact sealed graph.
+    """
     rng = random.Random(seed)
     graph = Graph()
     label_sampler = ZipfSampler(NUM_VERTEX_LABELS, exponent=1.1)
@@ -65,7 +69,7 @@ def generate(
         added += 1
     return Dataset(
         name="human",
-        graph=graph,
+        graph=graph.seal() if seal else graph,
         notes=(
             f"Human-like PPI, |V|={num_vertices}, avg undirected degree="
             f"{avg_degree}, seed={seed}"

@@ -92,8 +92,13 @@ EDGE_LABEL_NAMES = {
 }
 
 
-def generate(universities: int = 4, seed: int = 0) -> Dataset:
-    """Generate a LUBM-like graph with the given number of universities."""
+def generate(
+    universities: int = 4, seed: int = 0, seal: bool = True
+) -> Dataset:
+    """Generate a LUBM-like graph with the given number of universities.
+
+    ``seal`` (default) returns the compact sealed graph.
+    """
     rng = random.Random(seed)
     graph = Graph()
     university_ids: List[int] = [
@@ -105,7 +110,7 @@ def generate(universities: int = 4, seed: int = 0) -> Dataset:
 
     return Dataset(
         name="lubm",
-        graph=graph,
+        graph=graph.seal() if seal else graph,
         vertex_label_names=VERTEX_LABEL_NAMES,
         edge_label_names=EDGE_LABEL_NAMES,
         notes=f"LUBM-like, universities={universities}, seed={seed}",

@@ -29,6 +29,7 @@ def generate(
     num_edges: int = 9000,
     seed: int = 0,
     label_vocabulary: int = 0,
+    seal: bool = True,
 ) -> Dataset:
     """Generate a YAGO-like graph.
 
@@ -59,7 +60,7 @@ def generate(
             added += 1
     return Dataset(
         name="yago",
-        graph=graph,
+        graph=graph.seal() if seal else graph,
         notes=(
             f"YAGO-like, |V|={num_vertices}, |E|={num_edges}, "
             f"vlabels<={label_vocabulary}, seed={seed}"

@@ -71,6 +71,27 @@ class _TreeSampler:
                     frontier.append(a)
                     remaining.remove(i)
         self._memo: Dict[Tuple[int, int], int] = {}
+        # sealed graphs expose the root relation as a cached tuple of
+        # pairs; indexing it skips the per-access tuple construction of
+        # the live pair view (same pairs, same order — RNG parity holds)
+        self._sealed = bool(getattr(graph, "sealed", False))
+        _, _, root_label = query.edges[root_edge]
+        self._root_pairs: Sequence[Tuple[int, int]] = (
+            graph.edge_pairs(root_label)
+            if self._sealed
+            else graph.edges_with_label(root_label)
+        )
+        if self._sealed:
+            # per-query-vertex member sets (cached on the graph): one C
+            # membership test per DP node instead of a subset comparison
+            self._label_sets: Dict[int, Optional[FrozenSet[int]]] = {
+                u: (
+                    graph.labels_member_set(query.vertex_labels[u])
+                    if query.vertex_labels[u]
+                    else None
+                )
+                for u in range(query.num_vertices)
+            }
 
     # ------------------------------------------------------------------
     def root_relation_size(self) -> int:
@@ -78,8 +99,7 @@ class _TreeSampler:
         return self.graph.edge_label_count(label)
 
     def sample_root(self, rng) -> Optional[Tuple[int, int]]:
-        _, _, label = self.query.edges[self.root_edge]
-        pairs = self.graph.edges_with_label(label)
+        pairs = self._root_pairs
         if not pairs:
             return None
         return pairs[rng.randrange(len(pairs))]
@@ -101,6 +121,9 @@ class _TreeSampler:
 
     # ------------------------------------------------------------------
     def _labels_ok(self, query_vertex: int, value: int) -> bool:
+        if self._sealed:
+            member_set = self._label_sets[query_vertex]
+            return member_set is None or value in member_set
         labels = self.query.vertex_labels[query_vertex]
         return not labels or labels <= self.graph.vertex_labels(value)
 

@@ -1,5 +1,6 @@
 """Graph substrate: data graphs, query graphs, I/O, topologies."""
 
+from .compact import CompactGraph, SealedGraphError
 from .digraph import Graph, GraphStats, UNLABELED
 from .io import dump_graph, dump_query, load_graph, load_query, load_triples
 from .query import QueryGraph
@@ -9,7 +10,9 @@ from .topology import ACYCLIC_TOPOLOGIES, CYCLIC_TOPOLOGIES, Topology, classify
 __all__ = [
     "ACYCLIC_TOPOLOGIES",
     "CYCLIC_TOPOLOGIES",
+    "CompactGraph",
     "Graph",
+    "SealedGraphError",
     "GraphStats",
     "QueryGraph",
     "SchemaGraph",

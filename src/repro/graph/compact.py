@@ -1,0 +1,560 @@
+"""Compact sealed graph: CSR adjacency over ``array('q')`` buffers.
+
+The dict-of-lists :class:`~repro.graph.digraph.Graph` is the right shape
+for *building* a graph — loaders and generators append freely — but it is
+a poor shape for *running* estimators over one: every adjacency list is a
+Python list of boxed ints inside a per-vertex dict, every ``has_edge``
+probe allocates a tuple to hash into a set of tuples, and nothing can be
+memoized because the graph may grow under the caller's feet.
+
+:class:`CompactGraph` is the sealed (immutable) form the evaluation
+pipeline actually runs on.  ``Graph.seal()`` produces one; loaders and
+dataset generators seal by default.  Layout, per direction (out/in):
+
+* ``lab_off`` / ``lab`` — per-vertex label lists (two-level CSR): vertex
+  ``v``'s adjacency is grouped by edge label, labels listed in the same
+  order the dict-backed graph held them;
+* ``seg_off`` / ``targets`` — one contiguous neighbor segment per
+  ``(vertex, label)`` pair, neighbors in original insertion order;
+* ``sorted_targets`` — the same segments with neighbors sorted, giving
+  ``has_edge`` an O(log d) bisect with no tuple allocation.
+
+**Order preservation is a feature, not an accident.**  Sampling-based
+estimators index into adjacency lists and relation scans with their RNG,
+so iteration order is part of the determinism contract: every accessor
+of the sealed graph returns elements in exactly the order the dict-backed
+graph would, which is what makes estimates bit-identical across the two
+substrates (see ``tests/test_compact_graph.py``).
+
+**Sealing unlocks memoization.**  Because a sealed graph can never
+change, it safely caches derived structures on first use: per-``(vertex,
+label)`` neighbor frozensets (the exact-matcher's constraint filters),
+per-label vertex membership sets, and label-set member lists.  The
+mutable graph cannot offer these without invalidation hazards — which is
+precisely why the fast paths downstream key on ``graph.sealed``.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from .digraph import Edge, Graph, GraphStats, UNLABELED
+
+
+class SealedGraphError(TypeError):
+    """Raised when a mutation is attempted on a sealed graph."""
+
+
+class IntArrayView(Sequence):
+    """Immutable view over a slice of an ``array('q')`` buffer.
+
+    Behaves like a read-only list of ints: ``len``, indexing, iteration,
+    containment and equality against any sequence all work; mutation does
+    not exist.  Views are cheap (three words) and never copy the buffer.
+    """
+
+    __slots__ = ("_data", "_start", "_stop")
+
+    def __init__(self, data: array, start: int = 0, stop: Optional[int] = None):
+        self._data = data
+        self._start = start
+        self._stop = len(data) if stop is None else stop
+
+    def __len__(self) -> int:
+        return self._stop - self._start
+
+    def __getitem__(self, index):
+        n = self._stop - self._start
+        if isinstance(index, slice):
+            start, stop, step = index.indices(n)
+            if step != 1:
+                return tuple(
+                    self._data[self._start + i] for i in range(start, stop, step)
+                )
+            return IntArrayView(self._data, self._start + start, self._start + stop)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("view index out of range")
+        return self._data[self._start + index]
+
+    def __iter__(self):
+        data = self._data
+        for i in range(self._start, self._stop):
+            yield data[i]
+
+    def __contains__(self, value) -> bool:
+        data = self._data
+        for i in range(self._start, self._stop):
+            if data[i] == value:
+                return True
+        return False
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (list, tuple, IntArrayView)):
+            return len(self) == len(other) and all(
+                a == b for a, b in zip(self, other)
+            )
+        return NotImplemented
+
+    def __hash__(self):  # pragma: no cover - views are not hashable
+        raise TypeError("IntArrayView is unhashable; convert to tuple")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"IntArrayView({list(self)!r})"
+
+
+class PairArrayView(Sequence):
+    """Immutable view over parallel src/dst arrays: a list of pairs.
+
+    The sealed counterpart of ``Graph.edges_with_label``'s pair list —
+    same length, same order, same ``(src, dst)`` tuples, no mutation.
+    """
+
+    __slots__ = ("_src", "_dst")
+
+    def __init__(self, src: array, dst: array) -> None:
+        self._src = src
+        self._dst = dst
+
+    def __len__(self) -> int:
+        return len(self._src)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [
+                (self._src[i], self._dst[i])
+                for i in range(*index.indices(len(self._src)))
+            ]
+        return (self._src[index], self._dst[index])
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return zip(self._src, self._dst)
+
+    def __contains__(self, pair) -> bool:
+        try:
+            s, d = pair
+        except (TypeError, ValueError):
+            return False
+        return any(
+            self._src[i] == s and self._dst[i] == d
+            for i in range(len(self._src))
+        )
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (list, tuple, PairArrayView)):
+            return len(self) == len(other) and all(
+                a == b for a, b in zip(self, other)
+            )
+        return NotImplemented
+
+    def __hash__(self):  # pragma: no cover - views are not hashable
+        raise TypeError("PairArrayView is unhashable; convert to list")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"PairArrayView({list(self)!r})"
+
+
+_EMPTY = array("q")
+_EMPTY_VIEW = IntArrayView(_EMPTY)
+_EMPTY_PAIRS = PairArrayView(_EMPTY, _EMPTY)
+
+
+class _Direction:
+    """One direction (out or in) of the two-level CSR adjacency."""
+
+    __slots__ = ("lab_off", "lab", "seg_off", "targets", "sorted_targets",
+                 "seg_cache")
+
+    def __init__(self, adjacency: List[Dict[int, List[int]]]) -> None:
+        self.lab_off = array("q", [0])
+        self.lab = array("q")
+        self.seg_off = array("q", [0])
+        self.targets = array("q")
+        self.sorted_targets = array("q")
+        #: lazy (v, label) -> materialized neighbor tuple; hot loops probe
+        #: the same segments constantly, and a cached tuple beats a fresh
+        #: view object (C-speed len/index/iteration, no allocation)
+        self.seg_cache: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        for label_map in adjacency:
+            for label, neighbors in label_map.items():
+                self.lab.append(label)
+                self.targets.extend(neighbors)
+                self.sorted_targets.extend(sorted(neighbors))
+                self.seg_off.append(len(self.targets))
+            self.lab_off.append(len(self.lab))
+
+    def segment(self, v: int, label: int) -> Tuple[int, int]:
+        """``(start, stop)`` into ``targets`` for ``(v, label)``; (0, 0) if absent."""
+        lo, hi = self.lab_off[v], self.lab_off[v + 1]
+        try:
+            k = self.lab.index(label, lo, hi)
+        except ValueError:
+            return (0, 0)
+        return (self.seg_off[k], self.seg_off[k + 1])
+
+    def neighbors(self, v: int, label: int) -> Tuple[int, ...]:
+        key = (v, label)
+        cached = self.seg_cache.get(key)
+        if cached is None:
+            start, stop = self.segment(v, label)
+            cached = tuple(self.targets[start:stop])
+            self.seg_cache[key] = cached
+        return cached
+
+    def __getstate__(self):
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot != "seg_cache"
+        }
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self.seg_cache = {}
+
+    def all_neighbors(self, v: int) -> List[int]:
+        lo, hi = self.lab_off[v], self.lab_off[v + 1]
+        return list(self.targets[self.seg_off[lo]:self.seg_off[hi]])
+
+    def degree(self, v: int) -> int:
+        lo, hi = self.lab_off[v], self.lab_off[v + 1]
+        return self.seg_off[hi] - self.seg_off[lo]
+
+    def label_map(self, v: int) -> Dict[int, IntArrayView]:
+        lo, hi = self.lab_off[v], self.lab_off[v + 1]
+        return {
+            self.lab[k]: IntArrayView(
+                self.targets, self.seg_off[k], self.seg_off[k + 1]
+            )
+            for k in range(lo, hi)
+        }
+
+    def contains(self, v: int, label: int, target: int) -> bool:
+        start, stop = self.segment(v, label)
+        if start == stop:
+            return False
+        index = bisect_left(self.sorted_targets, target, start, stop)
+        return index < stop and self.sorted_targets[index] == target
+
+
+class CompactGraph(Graph):
+    """Sealed, array-backed snapshot of a :class:`Graph`.
+
+    Exposes the exact accessor API of the dict-backed graph (it *is* a
+    ``Graph`` for ``isinstance`` purposes) with identical element orders,
+    but rejects every mutation and memoizes derived lookup structures.
+    Construct via :meth:`Graph.seal`.
+    """
+
+    sealed = True
+
+    def __init__(self, source: Graph) -> None:
+        # deliberately no super().__init__(): the dict containers never exist
+        if isinstance(source, CompactGraph):
+            raise SealedGraphError("graph is already sealed")
+        self.num_graphs = source.num_graphs
+        self._n = source.num_vertices
+        self._m = source.num_edges
+        # vertex label sets, interned: vertices sharing a label set share
+        # one frozenset object (the dict graph allocates one per vertex)
+        interned: Dict[FrozenSet[int], FrozenSet[int]] = {}
+        self._vlabels = [
+            interned.setdefault(source.vertex_labels(v), source.vertex_labels(v))
+            for v in range(self._n)
+        ]
+        self._fwd = _Direction([source.out_label_map(v) for v in range(self._n)])
+        self._rev = _Direction([source.in_label_map(v) for v in range(self._n)])
+        # vertex label index, in the dict graph's label + member order
+        self._vlabel_order: Tuple[int, ...] = tuple(source.all_vertex_labels())
+        self._vindex_arrays: Dict[int, array] = {
+            label: array("q", source.vertices_with_label(label))
+            for label in self._vlabel_order
+        }
+        # edge label index: per-label (src, dst) pair arrays in insertion order
+        self._elabel_order: Tuple[int, ...] = tuple(source.edge_labels())
+        self._esrc: Dict[int, array] = {}
+        self._edst: Dict[int, array] = {}
+        for label in self._elabel_order:
+            pairs = source.edges_with_label(label)
+            self._esrc[label] = array("q", (s for s, _ in pairs))
+            self._edst[label] = array("q", (d for _, d in pairs))
+        # lazy memoization caches (safe only because the graph is sealed)
+        self._out_set_cache: Dict[Tuple[int, int], FrozenSet[int]] = {}
+        self._in_set_cache: Dict[Tuple[int, int], FrozenSet[int]] = {}
+        self._vlabel_set_cache: Dict[int, FrozenSet[int]] = {}
+        self._vlabels_members_cache: Dict[FrozenSet[int], Tuple[int, ...]] = {}
+        self._labels_set_cache: Dict[FrozenSet[int], FrozenSet[int]] = {}
+        self._edge_pairs_cache: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        #: cross-component memoization point: immutability makes it safe
+        #: for *any* consumer (relational access paths, matchers) to park
+        #: derived structures here and share them across estimator
+        #: instances; keys are namespaced tuples, values treated read-only
+        self.shared_cache: Dict[tuple, object] = {}
+        self._fingerprint: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # sealing
+    # ------------------------------------------------------------------
+    def seal(self) -> "CompactGraph":
+        """A sealed graph is its own seal."""
+        return self
+
+    def _reject(self, operation: str):
+        raise SealedGraphError(
+            f"cannot {operation} on a sealed CompactGraph; build with Graph "
+            f"and seal() afterwards"
+        )
+
+    def add_vertex(self, labels=()):  # noqa: D102 - sealed
+        self._reject("add_vertex")
+
+    def add_vertex_label(self, v, label):  # noqa: D102 - sealed
+        self._reject("add_vertex_label")
+
+    def add_edge(self, src, dst, label=UNLABELED):  # noqa: D102 - sealed
+        self._reject("add_edge")
+
+    def add_undirected_edge(self, u, v, label=UNLABELED):  # noqa: D102
+        self._reject("add_undirected_edge")
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        return self._m
+
+    def __len__(self) -> int:
+        return self._m
+
+    def vertices(self) -> range:
+        return range(self._n)
+
+    def vertex_labels(self, v: int) -> FrozenSet[int]:
+        return self._vlabels[v]
+
+    def edges(self) -> Iterator[Edge]:
+        for label in self._elabel_order:
+            for src, dst in zip(self._esrc[label], self._edst[label]):
+                yield (src, dst, label)
+
+    def has_edge(self, src: int, dst: int, label: int) -> bool:
+        if not 0 <= src < self._n:
+            return False
+        return dst in self.out_neighbor_set(src, label)
+
+    # ------------------------------------------------------------------
+    # adjacency
+    # ------------------------------------------------------------------
+    def out_neighbors(self, v: int, label: Optional[int] = None):
+        if label is None:
+            return self._fwd.all_neighbors(v)
+        return self._fwd.neighbors(v, label)
+
+    def in_neighbors(self, v: int, label: Optional[int] = None):
+        if label is None:
+            return self._rev.all_neighbors(v)
+        return self._rev.neighbors(v, label)
+
+    def out_label_map(self, v: int) -> Dict[int, IntArrayView]:
+        return self._fwd.label_map(v)
+
+    def in_label_map(self, v: int) -> Dict[int, IntArrayView]:
+        return self._rev.label_map(v)
+
+    def out_degree(self, v: int) -> int:
+        return self._fwd.degree(v)
+
+    def in_degree(self, v: int) -> int:
+        return self._rev.degree(v)
+
+    def degree(self, v: int) -> int:
+        return self._fwd.degree(v) + self._rev.degree(v)
+
+    def neighborhood(self, v: int) -> set:
+        result = set(self._fwd.all_neighbors(v))
+        result.update(self._rev.all_neighbors(v))
+        return result
+
+    # ------------------------------------------------------------------
+    # memoized set views (the sealed substrate's fast-path contract)
+    # ------------------------------------------------------------------
+    def out_neighbor_set(self, v: int, label: int) -> FrozenSet[int]:
+        """Frozenset of ``out_neighbors(v, label)``, cached forever.
+
+        Safe to memoize only because the graph is immutable; the exact
+        matcher turns per-candidate ``has_edge`` probes into single C
+        membership checks against these.
+        """
+        key = (v, label)
+        cached = self._out_set_cache.get(key)
+        if cached is None:
+            start, stop = self._fwd.segment(v, label)
+            cached = frozenset(self._fwd.targets[start:stop])
+            self._out_set_cache[key] = cached
+        return cached
+
+    def in_neighbor_set(self, v: int, label: int) -> FrozenSet[int]:
+        """Frozenset of ``in_neighbors(v, label)``, cached forever."""
+        key = (v, label)
+        cached = self._in_set_cache.get(key)
+        if cached is None:
+            start, stop = self._rev.segment(v, label)
+            cached = frozenset(self._rev.targets[start:stop])
+            self._in_set_cache[key] = cached
+        return cached
+
+    def label_member_set(self, label: int) -> FrozenSet[int]:
+        """Frozenset of ``vertices_with_label(label)``, cached forever."""
+        cached = self._vlabel_set_cache.get(label)
+        if cached is None:
+            cached = frozenset(self._vindex_arrays.get(label, _EMPTY))
+            self._vlabel_set_cache[label] = cached
+        return cached
+
+    def label_members(self, labels: FrozenSet[int]) -> Tuple[int, ...]:
+        """``vertices_with_labels`` as a cached tuple (empty labels = all)."""
+        cached = self._vlabels_members_cache.get(labels)
+        if cached is None:
+            cached = tuple(self.vertices_with_labels(labels))
+            self._vlabels_members_cache[labels] = cached
+        return cached
+
+    def labels_member_set(self, labels) -> FrozenSet[int]:
+        """Vertices carrying *all* of ``labels``, as a cached frozenset.
+
+        ``v in labels_member_set(L)`` is equivalent to
+        ``L <= vertex_labels(v)`` — one C membership test instead of a
+        frozenset subset comparison per probe.
+        """
+        labels = frozenset(labels)
+        cached = self._labels_set_cache.get(labels)
+        if cached is None:
+            if labels:
+                sets = [self.label_member_set(label) for label in labels]
+                cached = frozenset.intersection(*sets)
+            else:
+                cached = frozenset(range(self._n))
+            self._labels_set_cache[labels] = cached
+        return cached
+
+    def edge_pairs(self, label: int) -> Tuple[Tuple[int, int], ...]:
+        """``edges_with_label`` materialized as a cached tuple of pairs.
+
+        Same pairs in the same order as the live view; hot loops that
+        repeatedly index into the pair list (relation sampling) skip the
+        per-access tuple construction of :class:`PairArrayView`.
+        """
+        cached = self._edge_pairs_cache.get(label)
+        if cached is None:
+            src = self._esrc.get(label)
+            if src is None:
+                cached = ()
+            else:
+                cached = tuple(zip(src, self._edst[label]))
+            self._edge_pairs_cache[label] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # label indexes
+    # ------------------------------------------------------------------
+    def vertices_with_label(self, label: int) -> IntArrayView:
+        data = self._vindex_arrays.get(label)
+        if data is None:
+            return _EMPTY_VIEW
+        return IntArrayView(data)
+
+    def vertices_with_labels(self, labels: FrozenSet[int]):
+        if not labels:
+            return self.vertices()
+        ordered = sorted(
+            ((self.vertices_with_label(label), label) for label in labels),
+            key=lambda entry: len(entry[0]),
+        )
+        smallest = ordered[0][0]
+        member_sets = [self.label_member_set(label) for _, label in ordered[1:]]
+        if not member_sets:
+            return list(smallest)
+        return [v for v in smallest if all(v in s for s in member_sets)]
+
+    def edges_with_label(self, label: int) -> PairArrayView:
+        src = self._esrc.get(label)
+        if src is None:
+            return _EMPTY_PAIRS
+        return PairArrayView(src, self._edst[label])
+
+    def edge_label_count(self, label: int) -> int:
+        src = self._esrc.get(label)
+        return 0 if src is None else len(src)
+
+    def edge_labels(self) -> List[int]:
+        return list(self._elabel_order)
+
+    def all_vertex_labels(self) -> List[int]:
+        return list(self._vlabel_order)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> GraphStats:
+        n = self._n
+        max_degree = max((self.degree(v) for v in range(n)), default=0)
+        avg_degree = (2.0 * self._m / n) if n else 0.0
+        predicate_counts = [len(self._esrc[l]) for l in self._elabel_order]
+        nontrivial = [l for l in self._elabel_order if l != UNLABELED]
+        return GraphStats(
+            num_graphs=self.num_graphs,
+            num_vertices=n,
+            num_edges=self._m,
+            avg_degree=avg_degree,
+            max_degree=max_degree,
+            num_vertex_labels=len(self._vlabel_order),
+            num_edge_labels=len(self._elabel_order) if nontrivial else 0,
+            max_triples_per_predicate=max(predicate_counts, default=0),
+            min_triples_per_predicate=min(predicate_counts, default=0),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"CompactGraph(|V|={self._n}, |E|={self._m}, "
+            f"vlabels={len(self._vlabel_order)}, "
+            f"elabels={len(self._elabel_order)})"
+        )
+
+    # ------------------------------------------------------------------
+    # pickling (the memoization caches are per-process; drop them)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = {
+            k: v
+            for k, v in self.__dict__.items()
+            if k
+            not in (
+                "_out_set_cache",
+                "_in_set_cache",
+                "_vlabel_set_cache",
+                "_vlabels_members_cache",
+                "_labels_set_cache",
+                "_edge_pairs_cache",
+                "shared_cache",
+            )
+        }
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._out_set_cache = {}
+        self._in_set_cache = {}
+        self._vlabel_set_cache = {}
+        self._vlabels_members_cache = {}
+        self._labels_set_cache = {}
+        self._edge_pairs_cache = {}
+        self.shared_cache = {}

@@ -64,6 +64,9 @@ class Graph:
     semantics, matching RDF triple stores).
     """
 
+    #: True only on sealed (immutable) graphs; downstream fast paths key on it.
+    sealed = False
+
     def __init__(self, num_graphs: int = 1) -> None:
         self._vlabels: List[FrozenSet[int]] = []
         # adjacency grouped by edge label: _out[v][label] -> [dst, ...]
@@ -73,6 +76,11 @@ class Graph:
         self._vindex: Dict[int, List[int]] = {}
         self._eindex: Dict[int, List[Tuple[int, int]]] = {}
         self._num_edges = 0
+        # per-label snapshot caches backing the tuple-returning index
+        # accessors; invalidated label-by-label on mutation
+        self._vwl_cache: Dict[int, Tuple[int, ...]] = {}
+        self._ewl_cache: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        self._vset_cache: Dict[int, FrozenSet[int]] = {}
         #: number of member graphs when this graph is a disjoint union of a
         #: collection (the AIDS dataset); embeddings aggregate across members.
         self.num_graphs = num_graphs
@@ -89,6 +97,8 @@ class Graph:
         self._in.append({})
         for label in labels:
             self._vindex.setdefault(label, []).append(vid)
+            self._vwl_cache.pop(label, None)
+            self._vset_cache.pop(label, None)
         return vid
 
     def add_vertex_label(self, v: int, label: int) -> None:
@@ -97,6 +107,8 @@ class Graph:
             return
         self._vlabels[v] = self._vlabels[v] | {label}
         self._vindex.setdefault(label, []).append(v)
+        self._vwl_cache.pop(label, None)
+        self._vset_cache.pop(label, None)
 
     def add_edge(self, src: int, dst: int, label: int = UNLABELED) -> bool:
         """Add a directed labeled edge; return False if it already existed."""
@@ -107,6 +119,7 @@ class Graph:
         self._out[src].setdefault(label, []).append(dst)
         self._in[dst].setdefault(label, []).append(src)
         self._eindex.setdefault(label, []).append((src, dst))
+        self._ewl_cache.pop(label, None)
         self._num_edges += 1
         return True
 
@@ -215,24 +228,52 @@ class Graph:
     # ------------------------------------------------------------------
     # label indexes
     # ------------------------------------------------------------------
-    def vertices_with_label(self, label: int) -> List[int]:
-        return self._vindex.get(label, [])
+    def vertices_with_label(self, label: int) -> Tuple[int, ...]:
+        """Vertices carrying ``label``, as an immutable snapshot.
 
-    def vertices_with_labels(self, labels: FrozenSet[int]) -> List[int]:
-        """Vertices carrying *all* of the given labels (empty = all)."""
+        Returns a tuple (not the live index list): callers used to be able
+        to mutate the returned list and silently corrupt the index.
+        """
+        cached = self._vwl_cache.get(label)
+        if cached is None:
+            cached = tuple(self._vindex.get(label, ()))
+            self._vwl_cache[label] = cached
+        return cached
+
+    def _vertex_label_set(self, label: int) -> FrozenSet[int]:
+        cached = self._vset_cache.get(label)
+        if cached is None:
+            cached = frozenset(self._vindex.get(label, ()))
+            self._vset_cache[label] = cached
+        return cached
+
+    def vertices_with_labels(self, labels: FrozenSet[int]) -> Sequence[int]:
+        """Vertices carrying *all* of the given labels (empty = all).
+
+        The empty-labels fast path returns the ``range`` of all vertices
+        without materializing a list; the general path filters the
+        smallest label's members against memoized frozensets of the rest
+        instead of rebuilding throwaway sets on every call.
+        """
         if not labels:
-            return list(self.vertices())
-        candidate_lists = sorted(
-            (self._vindex.get(label, []) for label in labels), key=len
+            return self.vertices()
+        ordered = sorted(
+            ((self.vertices_with_label(label), label) for label in labels),
+            key=lambda entry: len(entry[0]),
         )
-        result = candidate_lists[0]
-        for other in candidate_lists[1:]:
-            other_set = set(other)
-            result = [v for v in result if v in other_set]
-        return list(result)
+        smallest = ordered[0][0]
+        member_sets = [self._vertex_label_set(label) for _, label in ordered[1:]]
+        if not member_sets:
+            return list(smallest)
+        return [v for v in smallest if all(v in s for s in member_sets)]
 
-    def edges_with_label(self, label: int) -> List[Tuple[int, int]]:
-        return self._eindex.get(label, [])
+    def edges_with_label(self, label: int) -> Tuple[Tuple[int, int], ...]:
+        """Edges carrying ``label`` as ``(src, dst)`` pairs, immutable."""
+        cached = self._ewl_cache.get(label)
+        if cached is None:
+            cached = tuple(self._eindex.get(label, ()))
+            self._ewl_cache[label] = cached
+        return cached
 
     def edge_label_count(self, label: int) -> int:
         return len(self._eindex.get(label, ()))
@@ -242,6 +283,21 @@ class Graph:
 
     def all_vertex_labels(self) -> List[int]:
         return list(self._vindex.keys())
+
+    # ------------------------------------------------------------------
+    # sealing
+    # ------------------------------------------------------------------
+    def seal(self) -> "Graph":
+        """Freeze into a :class:`~repro.graph.compact.CompactGraph`.
+
+        The sealed graph exposes the same accessor API (with identical
+        iteration orders, so seeded estimators produce identical results)
+        over CSR ``array('q')`` storage, rejects mutation, and memoizes
+        derived lookup structures.  Sealing copies; ``self`` is unchanged.
+        """
+        from .compact import CompactGraph
+
+        return CompactGraph(self)
 
     # ------------------------------------------------------------------
     # statistics

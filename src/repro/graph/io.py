@@ -179,22 +179,31 @@ def _load_graph_impl(path: PathLike, strict: bool) -> Tuple[Graph, LoadReport]:
     return graph, state.report
 
 
-def load_graph(path: PathLike, strict: bool = True) -> Graph:
+def load_graph(path: PathLike, strict: bool = True, seal: bool = True) -> Graph:
     """Load a data graph (or collection) from the G-CARE text format.
 
     ``strict`` (default) raises :class:`GraphFormatError` on the first
     malformed line; ``strict=False`` skips malformed lines (use
     :func:`load_graph_checked` to also see what was skipped).
+
+    ``seal`` (default) returns the compact sealed form the evaluation
+    pipeline runs on (see :meth:`Graph.seal`); pass ``seal=False`` to get
+    the mutable dict-backed graph instead.
     """
     graph, _ = _load_graph_impl(path, strict)
-    return graph
+    return graph.seal() if seal else graph
 
 
 def load_graph_checked(
-    path: PathLike, strict: bool = False
+    path: PathLike, strict: bool = False, seal: bool = False
 ) -> Tuple[Graph, LoadReport]:
-    """Load a data graph and report every malformed line (lenient default)."""
-    return _load_graph_impl(path, strict)
+    """Load a data graph and report every malformed line (lenient default).
+
+    Unsealed by default: this is the diagnostics path (``gcare validate``)
+    and usually discards the graph.
+    """
+    graph, report = _load_graph_impl(path, strict)
+    return (graph.seal() if seal else graph), report
 
 
 def dump_graph(graph: Graph, path: PathLike) -> None:
@@ -289,17 +298,19 @@ def dump_query(query: QueryGraph, path: PathLike) -> None:
 # RDF triples
 # ---------------------------------------------------------------------------
 def load_triples(
-    path: PathLike, strict: bool = False
+    path: PathLike, strict: bool = False, seal: bool = True
 ) -> Tuple[Graph, Dict[str, int], Dict[str, int]]:
     """Load RDF-style triples, dictionary-encoding strings to dense ids.
 
     Returns ``(graph, vertex_dict, predicate_dict)`` mapping the original
     string tokens to the integer ids used in the graph.  Lenient by
     default (short lines are skipped, matching historical behavior);
-    ``strict=True`` raises :class:`GraphFormatError` instead.
+    ``strict=True`` raises :class:`GraphFormatError` instead.  ``seal``
+    (default) returns the compact sealed graph; ``seal=False`` keeps it
+    mutable.
     """
     graph, vertex_ids, predicate_ids, _ = _load_triples_impl(path, strict)
-    return graph, vertex_ids, predicate_ids
+    return (graph.seal() if seal else graph), vertex_ids, predicate_ids
 
 
 def load_triples_checked(
@@ -341,6 +352,7 @@ def _load_triples_impl(
 
 def graph_from_triples(
     triples: Iterable[Tuple[str, str, str]],
+    seal: bool = True,
 ) -> Tuple[Graph, Dict[str, int], Dict[str, int]]:
     """Dictionary-encode an in-memory triple iterable into a Graph."""
     vertex_ids: Dict[str, int] = {}
@@ -352,4 +364,4 @@ def graph_from_triples(
                 vertex_ids[token] = graph.add_vertex()
         pid = predicate_ids.setdefault(pred, len(predicate_ids))
         graph.add_edge(vertex_ids[subj], vertex_ids[obj], pid)
-    return graph, vertex_ids, predicate_ids
+    return (graph.seal() if seal else graph), vertex_ids, predicate_ids

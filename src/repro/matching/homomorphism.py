@@ -92,6 +92,138 @@ class HomomorphismCounter:
         self._cap = 0
         self._count = 0
         self._steps = 0
+        # sealed graphs expose memoized neighbor/label frozensets, which
+        # turns the per-candidate constraint probes into plain set
+        # membership; the dict-backed path below stays untouched
+        self._sealed = bool(getattr(graph, "sealed", False))
+        if self._sealed:
+            # per-query-vertex incidence lists in edge-index order, so the
+            # search filters O(deg_q(u)) entries instead of scanning every
+            # query edge at every search node
+            incident: List[List[_Constraint]] = [
+                [] for _ in range(query.num_vertices)
+            ]
+            for idx, (a, b, label) in enumerate(query.edges):
+                if a == b:
+                    incident[a].append((a, "out", label, idx))
+                else:
+                    incident[a].append((b, "out", label, idx))
+                    incident[b].append((a, "in", label, idx))
+            self._incident = incident
+            # per-query-vertex label member set: one C membership test per
+            # candidate instead of a frozenset subset comparison
+            self._ulabel_sets: List[Optional[FrozenSet[int]]] = [
+                graph.labels_member_set(query.vertex_labels[u])
+                if query.vertex_labels[u]
+                else None
+                for u in range(query.num_vertices)
+            ]
+            # suffix independence, precomputed once per matching order:
+            # _suffix_independent[d] <=> the vertices of order[d:] are
+            # pairwise non-adjacent in the query (the leaf-product guard,
+            # which the generic path rediscovers at every search node)
+            order = self._order
+            n = len(order)
+            suffix = [False] * (n + 1)
+            suffix[n] = True
+            later: Set[int] = set()
+            for d in range(n - 1, -1, -1):
+                # order[d] joins the set before the check so a self loop
+                # (u adjacent to itself) blocks independence, exactly as
+                # the generic scan's u-in-remaining_set membership does
+                later.add(order[d])
+                suffix[d] = suffix[d + 1] and not (
+                    query.neighbors(order[d]) & later
+                )
+            self._suffix_independent = suffix
+            # candidate memo, reset per count() run: keyed by the query
+            # vertex and the anchor values of its active constraints —
+            # sibling subtrees that agree on those anchors reuse the list
+            self._memo: Dict[tuple, List[int]] = {}
+            # separator per depth: the assigned query vertices with at
+            # least one query edge into order[d:].  A subtree's completion
+            # count depends only on the data vertices bound to the
+            # separator, which is what makes subtree counts memoizable
+            seps: List[Tuple[int, ...]] = []
+            for d in range(n + 1):
+                later_set = set(order[d:])
+                seps.append(
+                    tuple(
+                        x
+                        for x in order[:d]
+                        if query.neighbors(x) & later_set
+                    )
+                )
+            self._separators = seps
+            self._count_memo: Dict[tuple, int] = {}
+            # candidate *plans*, precomputed per search context: which of
+            # u's edges are anchored is a function of the (fixed) matching
+            # order alone, so the per-node incident scan of the generic
+            # path collapses into tuple lookups.  Two contexts that anchor
+            # the same edges share one plan — and hence one memo keyspace.
+            self._plan_registry: Dict[tuple, tuple] = {}
+            self._depth_plans = [
+                self._make_plan(order[d], set(order[:d])) for d in range(n)
+            ]
+            # leaf-product context: suffix independence means every
+            # non-self edge of order[d] is anchored when the product fires
+            all_vertices = set(range(query.num_vertices))
+            self._leaf_plans = [
+                self._make_plan(order[d], all_vertices - {order[d]})
+                for d in range(n)
+            ]
+
+    #: cap on memoized candidate lists per count() run (backstop against
+    #: pathological query shapes; typical runs stay far below it)
+    _MEMO_MAX = 1 << 18
+
+    def _make_plan(self, u: int, assigned: Set[int]) -> tuple:
+        """Candidate plan for matching ``u`` with ``assigned`` bound.
+
+        A plan freezes everything about candidate generation that does not
+        depend on the *data* vertices: the anchored constraints (edges
+        from ``u`` into ``assigned``), the pre-bound adjacency accessors
+        for each, the per-candidate extra checks (self loops and
+        per-edge candidate restrictions), the label member set and the
+        vertex filter.  Plans with identical content are interned so
+        different search contexts share one candidate-memo keyspace.
+        """
+        entries: List[_Constraint] = []
+        extras: List[_Constraint] = []
+        for entry in self._incident[u]:
+            other = entry[0]
+            if other == u:
+                extras.append(entry)
+                continue
+            if other not in assigned:
+                continue
+            entries.append(entry)
+            if entry[3] in self.edge_candidates:
+                extras.append(entry)
+        signature = (u, tuple(entries), tuple(extras))
+        plan = self._plan_registry.get(signature)
+        if plan is None:
+            graph = self.graph
+            getters = tuple(
+                # u --label--> other: candidates come from the anchor's
+                # in-adjacency; other --label--> u: from its out-adjacency
+                (graph.in_neighbors, graph.in_neighbor_set, label)
+                if direction == "out"
+                else (graph.out_neighbors, graph.out_neighbor_set, label)
+                for _other, direction, label, _idx in entries
+            )
+            plan = (
+                len(self._plan_registry),  # memo keyspace id
+                tuple(entry[0] for entry in entries),  # anchor vertices
+                getters,
+                tuple(extras),
+                self._ulabel_sets[u],
+                self.vertex_filters.get(u),
+                [None],  # lazily computed constant list (anchor-free plans)
+                u,
+            )
+            self._plan_registry[signature] = plan
+        return plan
 
     # ------------------------------------------------------------------
     def count(
@@ -105,10 +237,16 @@ class HomomorphismCounter:
         self._cap = max_count if max_count else 1 << 62
         self._count = 0
         self._steps = 0
+        if self._sealed:
+            self._memo = {}
+            self._count_memo = {}
         assignment: Dict[int, int] = {}
         complete = True
         try:
-            self._search(0, assignment)
+            if self._sealed:
+                self._search_sealed(0, assignment)
+            else:
+                self._search(0, assignment)
         except BudgetExceeded:
             complete = False
         return MatchResult(
@@ -153,6 +291,101 @@ class HomomorphismCounter:
             elif b == u and a in assigned:
                 result.append((a, "in", label, idx))
         return result
+
+    def _plan_candidates(
+        self, plan: tuple, assignment: Dict[int, int]
+    ) -> Sequence[int]:
+        """Sealed-substrate candidate pipeline, driven by a frozen plan.
+
+        Produces exactly the candidates (in the same order) as the generic
+        path, but checks each non-anchor constraint with one membership
+        test against the graph's memoized neighbor frozensets instead of a
+        tuple-allocating ``has_edge`` probe — and **memoizes** the result
+        per ``(plan, anchor-values)``.  In a backtracking search, sibling
+        subtrees constantly re-derive candidates for vertices whose
+        anchors they share (most extremely inside the leaf product), so
+        the memo collapses those recomputations into dict hits.  It is
+        sound because the graph is immutable and the filters are fixed for
+        the counter's lifetime; it is reset at every :meth:`count` call.
+        """
+        key_id, others, getters, extras, label_set, vfilter, static, u = plan
+        if not others:
+            # no anchored edges: the candidate list is a run constant
+            result = static[0]
+            if result is None:
+                if label_set is not None:
+                    result = self.graph.label_members(
+                        self.query.vertex_labels[u]
+                    )
+                else:
+                    result = self.graph.vertices()
+                if vfilter is not None:
+                    result = [v for v in result if vfilter(v)]
+                if extras:
+                    result = [
+                        v
+                        for v in result
+                        if self._extra_ok(v, u, assignment, extras)
+                    ]
+                static[0] = result
+            return result
+        if len(others) == 1:
+            values: tuple = (assignment[others[0]],)
+        else:
+            values = tuple(assignment[o] for o in others)
+        key = (key_id,) + values
+        memo = self._memo
+        result = memo.get(key)
+        if result is not None:
+            return result
+        if len(getters) == 1:
+            view_fn, _set_fn, label = getters[0]
+            result = view_fn(values[0], label)
+            if label_set is not None:
+                result = [v for v in result if v in label_set]
+        else:
+            views = [g[0](val, g[2]) for g, val in zip(getters, values)]
+            best = min(range(len(views)), key=lambda i: len(views[i]))
+            result = views[best]
+            for i, g in enumerate(getters):
+                if i != best:
+                    s = g[1](values[i], g[2])
+                    result = [v for v in result if v in s]
+            if label_set is not None:
+                result = [v for v in result if v in label_set]
+        if vfilter is not None:
+            result = [v for v in result if vfilter(v)]
+        if extras:
+            result = [
+                v for v in result if self._extra_ok(v, u, assignment, extras)
+            ]
+        if len(memo) < self._MEMO_MAX:
+            memo[key] = result
+        return result
+
+    def _extra_ok(
+        self,
+        v: int,
+        u: int,
+        assignment: Dict[int, int],
+        extra: List[_Constraint],
+    ) -> bool:
+        """Per-candidate checks the membership pipeline cannot batch."""
+        graph = self.graph
+        for other, direction, label, idx in extra:
+            anchor = v if other == u else assignment[other]
+            if direction == "out":
+                src, dst = v, anchor
+            else:
+                src, dst = anchor, v
+            # self loops never contributed an adjacency segment, so the
+            # edge's existence is still unverified here
+            if other == u and not graph.has_edge(src, dst, label):
+                return False
+            allowed = self.edge_candidates.get(idx)
+            if allowed is not None and (src, dst) not in allowed:
+                return False
+        return True
 
     def _candidates(
         self, u: int, assignment: Dict[int, int]
@@ -228,15 +461,28 @@ class HomomorphismCounter:
         self, depth: int, assignment: Dict[int, int]
     ) -> Optional[int]:
         """Product shortcut when all remaining vertices are independent."""
-        remaining = self._order[depth:]
-        remaining_set = set(remaining)
-        for u in remaining:
+        remaining_set = set(self._order[depth:])
+        for u in remaining_set:
             if self.query.neighbors(u) & remaining_set:
                 return None
         product = 1
-        for u in remaining:
+        for u in self._order[depth:]:
             candidates = self._candidates(u, assignment)
             product *= len(candidates)
+            if product == 0:
+                return 0
+        return product
+
+    def _leaf_product_sealed(
+        self, depth: int, assignment: Dict[int, int]
+    ) -> Optional[int]:
+        """Sealed leaf product: precomputed independence, frozen plans."""
+        if not self._suffix_independent[depth]:
+            return None
+        product = 1
+        plans = self._leaf_plans
+        for d in range(depth, len(plans)):
+            product *= len(self._plan_candidates(plans[d], assignment))
             if product == 0:
                 return 0
         return product
@@ -263,6 +509,62 @@ class HomomorphismCounter:
             assignment[u] = v
             self._search(depth + 1, assignment)
             del assignment[u]
+
+    def _search_sealed(self, depth: int, assignment: Dict[int, int]) -> int:
+        """Sealed-substrate search: memoized subtree completion counts.
+
+        The number of completions below ``depth`` is a function of the
+        data vertices bound to that depth's separator only, so sibling
+        subtrees that agree on the separator contribute a dict hit
+        instead of a re-search.  Sound because the graph, the filters and
+        the edge restrictions are all fixed for the counter's lifetime;
+        a budget abort propagates *past* the memo store, so only fully
+        explored subtrees are ever cached.  Complete-run counts are
+        identical to the generic path's; capped runs clamp to the cap
+        exactly as the leaf product always has.
+        """
+        self._steps += 1
+        # the deadline is a wall-clock budget over searches that run for
+        # seconds; probing the clock every 64 nodes keeps the granularity
+        # far below any meaningful budget while dropping a syscall from
+        # the per-node fast path
+        if (self._steps & 63) == 0 and time.monotonic() > self._deadline:
+            raise BudgetExceeded
+        if depth == len(self._order):
+            self._count += 1
+            if self._count >= self._cap:
+                raise BudgetExceeded
+            return 1
+        separator = self._separators[depth]
+        use_memo = len(separator) < depth  # separator forgets something
+        if use_memo:
+            key = (depth,) + tuple(assignment[x] for x in separator)
+            cached = self._count_memo.get(key)
+            if cached is not None:
+                self._count += cached
+                if self._count >= self._cap:
+                    self._count = self._cap
+                    raise BudgetExceeded
+                return cached
+        if depth > 0:
+            product = self._leaf_product_sealed(depth, assignment)
+            if product is not None:
+                self._count += product
+                if self._count >= self._cap:
+                    self._count = self._cap
+                    raise BudgetExceeded
+                if use_memo and len(self._count_memo) < self._MEMO_MAX:
+                    self._count_memo[key] = product
+                return product
+        u = self._order[depth]
+        total = 0
+        for v in self._plan_candidates(self._depth_plans[depth], assignment):
+            assignment[u] = v
+            total += self._search_sealed(depth + 1, assignment)
+            del assignment[u]
+        if use_memo and len(self._count_memo) < self._MEMO_MAX:
+            self._count_memo[key] = total
+        return total
 
 
 def count_embeddings(

@@ -25,12 +25,42 @@ class JoinQueryGraph:
     def __init__(self, instances: Sequence[RelationInstance]) -> None:
         self.instances = list(instances)
         n = len(self.instances)
-        self.adjacency: List[Set[int]] = [set() for _ in range(n)]
-        for i in range(n):
-            for j in range(i + 1, n):
-                if set(self.instances[i].attrs) & set(self.instances[j].attrs):
-                    self.adjacency[i].add(j)
-                    self.adjacency[j].add(i)
+        # everything structural about the join graph — adjacency, walk
+        # orders, walk-plan skeletons — is a pure function of the per-
+        # instance attribute tuples.  Estimators rebuild their relation
+        # instances on every estimate() call, so on sealed graphs those
+        # structures are parked in the graph's shared cache keyed by the
+        # attribute signature and reused across estimate() calls (and
+        # across estimator instances).  On mutable graphs there is no
+        # shared cache and everything is derived locally, as before.
+        self._attr_sig = tuple(inst.attrs for inst in self.instances)
+        self._shared = (
+            getattr(
+                getattr(self.instances[0], "graph", None), "shared_cache", None
+            )
+            if self.instances
+            else None
+        )
+        adjacency: Optional[List[Set[int]]] = None
+        if self._shared is not None:
+            adjacency = self._shared.get(("joingraph.adj", self._attr_sig))
+        if adjacency is None:
+            adjacency = [set() for _ in range(n)]
+            for i in range(n):
+                for j in range(i + 1, n):
+                    if set(self.instances[i].attrs) & set(
+                        self.instances[j].attrs
+                    ):
+                        adjacency[i].add(j)
+                        adjacency[j].add(i)
+            if self._shared is not None:
+                self._shared[("joingraph.adj", self._attr_sig)] = adjacency
+        self.adjacency = adjacency
+        # memoized walk plans: every random walk along the same order pays
+        # the parent lookup and shared-attribute intersection exactly once
+        self._plans: Dict[
+            WalkOrder, List[Tuple[RelationInstance, Tuple[int, ...]]]
+        ] = {}
 
     @property
     def num_instances(self) -> int:
@@ -67,6 +97,12 @@ class JoinQueryGraph:
         every start instance and stop at ``max_orders``.  The enumeration is
         deterministic, which keeps experiments reproducible.
         """
+        shared = self._shared
+        if shared is not None:
+            cache_key = ("joingraph.orders", self._attr_sig, max_orders)
+            cached = shared.get(cache_key)
+            if cached is not None:
+                return cached
         n = len(self.instances)
         orders: List[WalkOrder] = []
 
@@ -94,6 +130,8 @@ class JoinQueryGraph:
             extend([start], {start})
             if len(orders) >= max_orders:
                 break
+        if shared is not None:
+            shared[cache_key] = orders
         return orders
 
     def parent(self, order: WalkOrder, position: int) -> int:
@@ -108,6 +146,41 @@ class JoinQueryGraph:
     # ------------------------------------------------------------------
     # random walks
     # ------------------------------------------------------------------
+    def walk_plan(
+        self, order: WalkOrder
+    ) -> List[Tuple[RelationInstance, Tuple[int, ...]]]:
+        """``(instance, shared-attrs-with-parent)`` per position, memoized.
+
+        The first position has no parent and gets an empty attribute tuple.
+        """
+        plan = self._plans.get(order)
+        if plan is None:
+            # the skeleton (instance index + shared attrs per position) is
+            # attrs-only and cacheable; the plan itself binds this join
+            # graph's instance objects, so it stays per-instance
+            skeleton: Optional[List[Tuple[int, Tuple[int, ...]]]] = None
+            cache = self._shared
+            if cache is not None:
+                skel_key = ("joingraph.plan", self._attr_sig, order)
+                skeleton = cache.get(skel_key)
+            if skeleton is None:
+                skeleton = [(order[0], ())]
+                for position in range(1, len(order)):
+                    i = order[position]
+                    parent_i = self.parent(order, position)
+                    shared = tuple(
+                        sorted(
+                            set(self.instances[parent_i].attrs)
+                            & set(self.instances[i].attrs)
+                        )
+                    )
+                    skeleton.append((i, shared))
+                if cache is not None:
+                    cache[skel_key] = skeleton
+            plan = [(self.instances[i], attrs) for i, attrs in skeleton]
+            self._plans[order] = plan
+        return plan
+
     def random_walk(
         self, order: WalkOrder, rng: random.Random
     ) -> Tuple[bool, float]:
@@ -116,29 +189,32 @@ class JoinQueryGraph:
         Returns ``(valid, inverse_probability)``; invalid walks (a dead end
         or a failed non-tree join condition) return ``(False, 0.0)``.
         """
+        plan = self.walk_plan(order)
+        first = plan[0][0]
+        size = first.size()
+        if size == 0:
+            return False, 0.0
+        chosen = first.sample(rng)
+        inverse_probability = 1.0 * size
         binding: Binding = {}
-        inverse_probability = 1.0
-        for position, idx in enumerate(order):
-            inst = self.instances[idx]
-            if position == 0:
-                size = inst.size()
-                if size == 0:
-                    return False, 0.0
-                chosen = inst.sample(rng)
-                inverse_probability *= size
+        for attr, value in zip(first.attrs, chosen):
+            binding[attr] = value
+        for position in range(1, len(plan)):
+            inst, shared = plan[position]
+            if len(shared) == 1:
+                a = shared[0]
+                parent_binding = {a: binding[a]}
             else:
-                parent_idx = self.parent(order, position)
-                shared = set(self.instances[parent_idx].attrs) & set(inst.attrs)
                 parent_binding = {a: binding[a] for a in shared}
-                extensions = inst.extensions(parent_binding)
-                if not extensions:
+            extensions = inst.extensions(parent_binding)
+            if not extensions:
+                return False, 0.0
+            chosen = extensions[rng.randrange(len(extensions))]
+            inverse_probability *= len(extensions)
+            # validate non-tree join conditions against the full binding
+            for attr, value in zip(inst.attrs, chosen):
+                if attr in binding and binding[attr] != value:
                     return False, 0.0
-                chosen = extensions[rng.randrange(len(extensions))]
-                inverse_probability *= len(extensions)
-                # validate non-tree join conditions against the full binding
-                for attr, value in zip(inst.attrs, chosen):
-                    if attr in binding and binding[attr] != value:
-                        return False, 0.0
             for attr, value in zip(inst.attrs, chosen):
                 binding[attr] = value
         return True, inverse_probability

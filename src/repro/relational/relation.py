@@ -87,30 +87,87 @@ class EdgeRelation(RelationInstance):
         self.dst_labels = frozenset(dst_labels)
         self.name = f"R_e{label}(u{u},u{v})"
         self._filtered: Optional[List[Tuple[int, int]]] = None
+        # sealed-only: the resolved pair list, pinned after the first
+        # _pairs() call so size()/sample() skip the dispatch (safe only
+        # because a sealed graph's edge set can never change)
+        self._pairs_pinned: Optional[Sequence[Tuple[int, int]]] = None
+        # on sealed (immutable) graphs the expensive derived structures —
+        # endpoint-filtered pair lists and per-anchor extension lists —
+        # live in the graph's shared cache, so every relation instance of
+        # every estimator instance reuses them (WanderJoin/JSUB rebuild
+        # their relations on each estimate() call)
+        self._sealed = bool(getattr(graph, "sealed", False))
+        if self._sealed:
+            self._shared = graph.shared_cache
+            self._src_ok = (
+                graph.labels_member_set(self.src_labels)
+                if self.src_labels
+                else None
+            )
+            self._dst_ok = (
+                graph.labels_member_set(self.dst_labels)
+                if self.dst_labels
+                else None
+            )
+            # per-anchor extension memos, one dict per walk direction,
+            # shared across every instance of this relation *shape*
+            shape = (self.label, self.src_labels, self.dst_labels)
+            self._ext_fwd: Dict[int, List[Tuple[int, int]]] = (
+                self._shared.setdefault(("relation.ext", 0) + shape, {})
+            )
+            self._ext_rev: Dict[int, List[Tuple[int, int]]] = (
+                self._shared.setdefault(("relation.ext", 1) + shape, {})
+            )
 
     def _endpoint_ok(self, value: int, labels: frozenset) -> bool:
         return not labels or labels <= self.graph.vertex_labels(value)
 
-    def _pairs(self) -> List[Tuple[int, int]]:
+    def _pairs(self) -> Sequence[Tuple[int, int]]:
+        if self._pairs_pinned is not None:
+            return self._pairs_pinned
         if not self.src_labels and not self.dst_labels:
+            if self._sealed:
+                self._pairs_pinned = self.graph.edge_pairs(self.label)
+                return self._pairs_pinned
             return self.graph.edges_with_label(self.label)
         if self._filtered is None:
-            self._filtered = [
-                (s, d)
-                for s, d in self.graph.edges_with_label(self.label)
-                if self._endpoint_ok(s, self.src_labels)
-                and self._endpoint_ok(d, self.dst_labels)
-            ]
+            if self._sealed:
+                key = ("relation.pairs", self.label, self.src_labels,
+                       self.dst_labels)
+                cached = self._shared.get(key)
+                if cached is None:
+                    src_ok, dst_ok = self._src_ok, self._dst_ok
+                    cached = [
+                        (s, d)
+                        for s, d in self.graph.edge_pairs(self.label)
+                        if (src_ok is None or s in src_ok)
+                        and (dst_ok is None or d in dst_ok)
+                    ]
+                    self._shared[key] = cached
+                self._filtered = cached
+                self._pairs_pinned = cached
+            else:
+                self._filtered = [
+                    (s, d)
+                    for s, d in self.graph.edges_with_label(self.label)
+                    if self._endpoint_ok(s, self.src_labels)
+                    and self._endpoint_ok(d, self.dst_labels)
+                ]
         return self._filtered
 
     def size(self) -> int:
-        return len(self._pairs())
+        pairs = self._pairs_pinned
+        if pairs is None:
+            pairs = self._pairs()
+        return len(pairs)
 
     def tuples(self) -> Iterator[Tuple[int, ...]]:
         return iter(self._pairs())
 
     def sample(self, rng: random.Random) -> Optional[Tuple[int, ...]]:
-        pairs = self._pairs()
+        pairs = self._pairs_pinned
+        if pairs is None:
+            pairs = self._pairs()
         if not pairs:
             return None
         return pairs[rng.randrange(len(pairs))]
@@ -119,6 +176,10 @@ class EdgeRelation(RelationInstance):
         u, v = self.attrs
         src = binding.get(u)
         dst = binding.get(v)
+        if src is None and dst is None:
+            return list(self.tuples())
+        if self._sealed:
+            return self._extensions_sealed(src, dst)
         if src is not None and dst is not None:
             if (
                 self.graph.has_edge(src, dst, self.label)
@@ -135,15 +196,71 @@ class EdgeRelation(RelationInstance):
                 for w in self.graph.out_neighbors(src, self.label)
                 if self._endpoint_ok(w, self.dst_labels)
             ]
-        if dst is not None:
-            if not self._endpoint_ok(dst, self.dst_labels):
+        if not self._endpoint_ok(dst, self.dst_labels):
+            return []
+        return [
+            (w, dst)
+            for w in self.graph.in_neighbors(dst, self.label)
+            if self._endpoint_ok(w, self.src_labels)
+        ]
+
+    #: cap on memoized extension anchors per relation shape and direction;
+    #: beyond it, compute without caching
+    _EXT_CACHE_MAX = 1 << 18
+
+    def _extensions_sealed(
+        self, src: Optional[int], dst: Optional[int]
+    ) -> List[Tuple[int, int]]:
+        """Sealed extension lookup: per-anchor memos in the shared cache.
+
+        Single-endpoint lists (WanderJoin's walk step) are memoized by
+        anchor vertex in per-shape dicts parked in the graph's shared
+        cache, so walks of *any* estimator instance over the same access
+        path reuse them.  Callers treat results as read-only (the walk
+        code only indexes and measures them), which is what makes the
+        sharing safe.  Endpoint-label rejections are folded into the memo
+        as empty lists.
+        """
+        label = self.label
+        if src is not None:
+            if dst is not None:
+                if (
+                    self.graph.has_edge(src, dst, label)
+                    and (self._src_ok is None or src in self._src_ok)
+                    and (self._dst_ok is None or dst in self._dst_ok)
+                ):
+                    return [(src, dst)]
                 return []
-            return [
-                (w, dst)
-                for w in self.graph.in_neighbors(dst, self.label)
-                if self._endpoint_ok(w, self.src_labels)
-            ]
-        return list(self.tuples())
+            cache = self._ext_fwd
+            cached = cache.get(src)
+            if cached is None:
+                if self._src_ok is not None and src not in self._src_ok:
+                    cached = []
+                else:
+                    dst_ok = self._dst_ok
+                    cached = [
+                        (src, w)
+                        for w in self.graph.out_neighbors(src, label)
+                        if dst_ok is None or w in dst_ok
+                    ]
+                if len(cache) < self._EXT_CACHE_MAX:
+                    cache[src] = cached
+            return cached
+        cache = self._ext_rev
+        cached = cache.get(dst)
+        if cached is None:
+            if self._dst_ok is not None and dst not in self._dst_ok:
+                cached = []
+            else:
+                src_ok = self._src_ok
+                cached = [
+                    (w, dst)
+                    for w in self.graph.in_neighbors(dst, label)
+                    if src_ok is None or w in src_ok
+                ]
+            if len(cache) < self._EXT_CACHE_MAX:
+                cache[dst] = cached
+        return cached
 
     def count_extensions(self, binding: Binding) -> int:
         u, v = self.attrs

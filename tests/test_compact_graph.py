@@ -1,0 +1,315 @@
+"""Equivalence suite for the sealed CSR graph substrate.
+
+The contract of :meth:`Graph.seal` is behavioral identity: a
+:class:`~repro.graph.compact.CompactGraph` must answer every accessor
+with the *same elements in the same order* as its dict-backed source, so
+matchers and seeded estimators produce bit-identical results on either
+substrate.  This file checks that contract three ways:
+
+* property tests over random graphs compare every accessor pairwise,
+* the exact matcher must return identical counts (including capped and
+  truncated runs),
+* all seven estimators must return identical estimates over a real
+  workload slice when driven with the same seed.
+
+It also pins down the sealed substrate's own guarantees: mutation
+rejection, cache-free pickling, and the immutable snapshot semantics of
+the label-index accessors (the internal-index aliasing regression).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import GCareError
+from repro.core.registry import ALL_TECHNIQUES, create_estimator
+from repro.datasets import load_dataset
+from repro.graph.compact import CompactGraph, IntArrayView, SealedGraphError
+from repro.graph.digraph import Graph
+from repro.graph.query import QueryGraph
+from repro.matching.homomorphism import count_embeddings
+from repro.obs.size import deep_sizeof
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(0, 2)),
+    max_size=20,
+)
+label_maps = st.dictionaries(
+    st.integers(0, 5), st.sets(st.integers(0, 3), max_size=2), max_size=6
+)
+
+
+def _build(edges, labels) -> Graph:
+    return Graph.from_edges(edges, vertex_labels=labels, num_vertices=6)
+
+
+# ---------------------------------------------------------------------------
+# accessor equivalence (property)
+# ---------------------------------------------------------------------------
+@given(edges=edge_lists, labels=label_maps)
+@settings(max_examples=60, deadline=None)
+def test_sealed_accessors_match_dict(edges, labels):
+    graph = _build(edges, labels)
+    sealed = graph.seal()
+    assert sealed.sealed and not graph.sealed
+    assert isinstance(sealed, Graph)  # duck typing backed by isinstance
+
+    assert sealed.num_vertices == graph.num_vertices
+    assert sealed.num_edges == graph.num_edges
+    assert len(sealed) == len(graph)
+    assert list(sealed.vertices()) == list(graph.vertices())
+    assert list(sealed.edges()) == list(graph.edges())
+    assert sealed.edge_labels() == graph.edge_labels()
+    assert sealed.all_vertex_labels() == graph.all_vertex_labels()
+    assert sealed.stats() == graph.stats()
+
+    probe_labels = list(range(4)) + [99]  # 99: never present
+    for v in graph.vertices():
+        assert sealed.vertex_labels(v) == graph.vertex_labels(v)
+        assert list(sealed.out_neighbors(v)) == list(graph.out_neighbors(v))
+        assert list(sealed.in_neighbors(v)) == list(graph.in_neighbors(v))
+        assert sealed.out_degree(v) == graph.out_degree(v)
+        assert sealed.in_degree(v) == graph.in_degree(v)
+        assert sealed.degree(v) == graph.degree(v)
+        assert sealed.neighborhood(v) == graph.neighborhood(v)
+        for label in probe_labels:
+            assert list(sealed.out_neighbors(v, label)) == list(
+                graph.out_neighbors(v, label)
+            )
+            assert list(sealed.in_neighbors(v, label)) == list(
+                graph.in_neighbors(v, label)
+            )
+        assert {k: list(vs) for k, vs in sealed.out_label_map(v).items()} == {
+            k: list(vs) for k, vs in graph.out_label_map(v).items()
+        }
+        assert {k: list(vs) for k, vs in sealed.in_label_map(v).items()} == {
+            k: list(vs) for k, vs in graph.in_label_map(v).items()
+        }
+
+    for label in probe_labels:
+        assert list(sealed.vertices_with_label(label)) == list(
+            graph.vertices_with_label(label)
+        )
+        assert list(sealed.edges_with_label(label)) == list(
+            graph.edges_with_label(label)
+        )
+        assert sealed.edge_label_count(label) == graph.edge_label_count(label)
+    for subset in (frozenset(), frozenset({0}), frozenset({0, 1})):
+        assert list(sealed.vertices_with_labels(subset)) == list(
+            graph.vertices_with_labels(subset)
+        )
+
+    for src, dst, label in graph.edges():
+        assert sealed.has_edge(src, dst, label)
+    assert not sealed.has_edge(0, 0, 99)
+    assert not sealed.has_edge(-1, 0, 0) and not sealed.has_edge(999, 0, 0)
+
+
+@given(edges=edge_lists, labels=label_maps)
+@settings(max_examples=40, deadline=None)
+def test_sealed_set_views_match_sequence_views(edges, labels):
+    """The memoized frozenset accessors agree with the sequence accessors
+    they summarize (and with the dict graph's semantics)."""
+    graph = _build(edges, labels)
+    sealed = graph.seal()
+    for v in sealed.vertices():
+        for label in range(4):
+            assert sealed.out_neighbor_set(v, label) == frozenset(
+                sealed.out_neighbors(v, label)
+            )
+            assert sealed.in_neighbor_set(v, label) == frozenset(
+                sealed.in_neighbors(v, label)
+            )
+    for label in list(range(4)) + [99]:
+        assert sealed.label_member_set(label) == frozenset(
+            graph.vertices_with_label(label)
+        )
+        assert sealed.edge_pairs(label) == tuple(graph.edges_with_label(label))
+    for subset in (frozenset(), frozenset({0}), frozenset({0, 2})):
+        assert sealed.labels_member_set(subset) == frozenset(
+            graph.vertices_with_labels(subset)
+        )
+        assert sealed.label_members(subset) == tuple(
+            graph.vertices_with_labels(subset)
+        )
+        # memoized views are stable objects
+        assert sealed.labels_member_set(subset) is sealed.labels_member_set(
+            subset
+        )
+
+
+# ---------------------------------------------------------------------------
+# matcher equivalence (property)
+# ---------------------------------------------------------------------------
+query_strategies = st.builds(
+    QueryGraph,
+    st.lists(st.sets(st.integers(0, 2), max_size=2), min_size=3, max_size=4),
+    st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 2)),
+        min_size=1,
+        max_size=4,
+    ),
+)
+
+
+@given(edges=edge_lists, labels=label_maps, query=query_strategies)
+@settings(max_examples=60, deadline=None)
+def test_matcher_counts_identical_across_substrates(edges, labels, query):
+    graph = _build(edges, labels)
+    sealed = graph.seal()
+    expected = count_embeddings(graph, query, time_limit=10.0)
+    actual = count_embeddings(sealed, query, time_limit=10.0)
+    assert actual.count == expected.count
+    assert actual.complete == expected.complete
+    # a capped run must stop at the same clamped count on both substrates
+    capped_dict = count_embeddings(graph, query, max_count=3)
+    capped_sealed = count_embeddings(sealed, query, max_count=3)
+    assert capped_sealed.count == capped_dict.count
+    assert capped_sealed.complete == capped_dict.complete
+
+
+# ---------------------------------------------------------------------------
+# sealed-substrate guarantees
+# ---------------------------------------------------------------------------
+class TestSealedGuarantees:
+    def test_mutation_rejected(self, tiny_graph):
+        sealed = tiny_graph.seal()
+        with pytest.raises(SealedGraphError):
+            sealed.add_vertex((0,))
+        with pytest.raises(SealedGraphError):
+            sealed.add_vertex_label(0, 7)
+        with pytest.raises(SealedGraphError):
+            sealed.add_edge(0, 1, 5)
+        with pytest.raises(SealedGraphError):
+            sealed.add_undirected_edge(0, 1, 5)
+
+    def test_seal_is_idempotent(self, tiny_graph):
+        sealed = tiny_graph.seal()
+        assert sealed.seal() is sealed
+        with pytest.raises(SealedGraphError):
+            CompactGraph(sealed)
+
+    def test_seal_leaves_source_mutable(self, tiny_graph):
+        sealed = tiny_graph.seal()
+        tiny_graph.add_edge(3, 0, 0)
+        assert tiny_graph.has_edge(3, 0, 0)
+        assert not sealed.has_edge(3, 0, 0)  # a snapshot, not a view
+
+    def test_pickle_roundtrip_drops_caches(self, tiny_graph):
+        sealed = tiny_graph.seal()
+        # warm every memoization point, then ship across the "boundary"
+        sealed.out_neighbor_set(1, 0)
+        sealed.label_members(frozenset({0}))
+        sealed.edge_pairs(0)
+        sealed.out_neighbors(1, 0)
+        sealed.shared_cache[("probe",)] = object()
+        clone = pickle.loads(pickle.dumps(sealed))
+        assert clone.sealed
+        assert clone.shared_cache == {}  # per-process state never ships
+        assert list(clone.edges()) == list(sealed.edges())
+        for v in sealed.vertices():
+            assert clone.vertex_labels(v) == sealed.vertex_labels(v)
+            assert list(clone.out_neighbors(v)) == list(sealed.out_neighbors(v))
+        assert clone.out_neighbor_set(1, 0) == sealed.out_neighbor_set(1, 0)
+
+    def test_views_are_immutable(self, tiny_graph):
+        sealed = tiny_graph.seal()
+        view = sealed.vertices_with_label(0)
+        assert isinstance(view, IntArrayView)
+        with pytest.raises(TypeError):
+            view[0] = 99
+
+
+# ---------------------------------------------------------------------------
+# internal-index aliasing regression (dict substrate)
+# ---------------------------------------------------------------------------
+class TestIndexAliasing:
+    def test_vertices_with_label_is_an_immutable_snapshot(self, tiny_graph):
+        """Regression: the live index list used to leak, so callers could
+        (and one did) mutate it and silently corrupt the label index."""
+        snapshot = tiny_graph.vertices_with_label(0)
+        assert isinstance(snapshot, tuple)
+        v = tiny_graph.add_vertex((0,))
+        assert snapshot == (0, 2)  # old snapshot untouched
+        assert tiny_graph.vertices_with_label(0) == (0, 2, v)
+
+    def test_edges_with_label_is_an_immutable_snapshot(self, tiny_graph):
+        snapshot = tiny_graph.edges_with_label(0)
+        assert isinstance(snapshot, tuple)
+        tiny_graph.add_edge(3, 0, 0)
+        assert snapshot == ((0, 1), (1, 2))
+        assert tiny_graph.edges_with_label(0) == ((0, 1), (1, 2), (3, 0))
+
+    def test_snapshots_are_memoized_until_mutation(self, tiny_graph):
+        first = tiny_graph.vertices_with_label(0)
+        assert tiny_graph.vertices_with_label(0) is first
+        edges = tiny_graph.edges_with_label(1)
+        assert tiny_graph.edges_with_label(1) is edges
+        tiny_graph.add_vertex_label(3, 0)
+        assert tiny_graph.vertices_with_label(0) is not first
+        assert tiny_graph.edges_with_label(1) is edges  # untouched label
+
+
+# ---------------------------------------------------------------------------
+# full-sweep estimate parity on a real dataset
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def aids_pair():
+    graph = load_dataset("aids", seed=1, seal=False).graph
+    return graph, graph.seal()
+
+
+@pytest.fixture(scope="module")
+def aids_queries():
+    from repro.bench.workloads import workload
+
+    return [named.query for named in workload("aids", dataset_seed=1)]
+
+
+def _sweep(name: str, graph: Graph, queries) -> list:
+    estimator = create_estimator(
+        name, graph, sampling_ratio=0.03, seed=11, time_limit=10.0
+    )
+    estimator.prepare()
+    outcomes = []
+    for query in queries:
+        try:
+            outcomes.append(estimator.estimate(query).estimate)
+        except GCareError as exc:  # error parity matters as much as values
+            outcomes.append(type(exc).__name__)
+    return outcomes
+
+
+@pytest.mark.parametrize("name", ALL_TECHNIQUES)
+def test_estimates_identical_across_substrates(name, aids_pair, aids_queries):
+    """Same seed, same queries, same answers — on either substrate.
+
+    Anything weaker would mean the sealed fast paths changed candidate
+    ordering or RNG consumption, which invalidates every cross-substrate
+    benchmark comparison this PR introduces.
+    """
+    graph, sealed = aids_pair
+    queries = aids_queries[:2] if name in ("sumrdf", "bs") else aids_queries[:5]
+    assert _sweep(name, sealed, queries) == _sweep(name, graph, queries)
+
+
+def test_matcher_parity_on_dataset(aids_pair, aids_queries):
+    graph, sealed = aids_pair
+    for query in aids_queries[:4]:
+        expected = count_embeddings(graph, query, time_limit=10.0)
+        actual = count_embeddings(sealed, query, time_limit=10.0)
+        assert (actual.count, actual.complete) == (
+            expected.count,
+            expected.complete,
+        )
+
+
+def test_sealed_graph_is_materially_smaller(aids_pair):
+    # seal afresh: the module fixture's sealed graph has warmed lookup
+    # caches, and the >=2x shrink claim is about the cold snapshot
+    graph, _ = aids_pair
+    assert deep_sizeof(graph.seal()) * 2 <= deep_sizeof(graph)

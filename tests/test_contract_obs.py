@@ -240,6 +240,28 @@ def test_run_cell_prepare_phase_only_on_triggering_cell(slow_prepare_cell):
     assert second.elapsed < PREPARE_SLEEP / 2
 
 
+def test_run_cell_cache_hit_records_prepare_cached(slow_prepare_cell):
+    """A summary-cache hit must never masquerade as a full prepare span:
+    the hydrated estimator's first cell charges ``prepare_cached`` (the
+    cheap deserialization cost) exactly once, and ``prepare`` never."""
+    from repro.bench.summary_cache import hydrate_from_blob
+
+    estimator, named = slow_prepare_cell
+    estimator.prepare()
+    blob = estimator.export_summary()
+    hydrated = SlowPrepareEstimator(estimator.graph)
+    hydrate_from_blob(hydrated, blob)
+
+    first = run_cell("slowprep", hydrated, named, run=0)
+    second = run_cell("slowprep", hydrated, named, run=1)
+    assert first.estimate == 42.0
+    assert "prepare" not in first.phases
+    assert "prepare_cached" in first.phases
+    assert first.phases["prepare_cached"] < PREPARE_SLEEP / 2
+    assert first.elapsed < PREPARE_SLEEP / 2  # hydration is off-line too
+    assert "prepare_cached" not in second.phases
+
+
 def test_run_cell_phases_match_timings(slow_prepare_cell):
     estimator, named = slow_prepare_cell
     record = run_cell("slowprep", estimator, named, run=0)

@@ -30,7 +30,7 @@ class TestConstruction:
         graph = Graph()
         v = graph.add_vertex((5,))
         graph.add_vertex_label(v, 5)
-        assert graph.vertices_with_label(5) == [v]
+        assert graph.vertices_with_label(5) == (v,)
 
     def test_add_edge_deduplicates(self):
         graph = Graph()

@@ -280,11 +280,15 @@ class TestTracedEquivalence:
         ]
         # counters are deterministic integers (unlike the wall-clock
         # phases), so they must agree cell-for-cell across the boundary
+        # preparation accounting (prepare / prepare_cached) lands on
+        # whichever cell happened to touch the estimator first — a
+        # scheduling artifact, not part of the equivalence contract
+        prep = {"prepare", "prepare_cached"}
         for ser, par in zip(serial, parallel):
             assert par.counters == ser.counters, ser.key
             assert par.counters  # traced records actually carry counters
             assert par.trace is not None
-            assert set(par.phases) == set(ser.phases)
+            assert set(par.phases) - prep == set(ser.phases) - prep
 
     def test_untraced_records_stay_lean_in_parallel(self, example_queries):
         graph, queries = example_queries

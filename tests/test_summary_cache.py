@@ -1,0 +1,232 @@
+"""Tests for prepare-once summary sharing (repro.bench.summary_cache).
+
+The cache's contract has four legs:
+
+* keys are *content* fingerprints — a graph and its sealed form hash
+  identically, different content never collides in practice;
+* hydration is behaviorally invisible: a hydrated estimator produces the
+  same estimates as one that built its summary from scratch;
+* hydration is observable: the first cell run on a hydrated estimator
+  records a ``prepare_cached`` phase, never a full ``prepare`` span;
+* fault injection bypasses the cache entirely, so prepare-site faults
+  still reach their hooks.
+
+Plus the pipeline-level guarantees: serial and parallel sweeps stay
+equivalent with a cache attached, checkpoint/resume still works, and an
+on-disk cache survives across runner instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.parallel import ParallelEvaluationRunner
+from repro.bench.results_log import ResultsLog
+from repro.bench.runner import EvaluationRunner, NamedQuery
+from repro.bench.summary_cache import (
+    SummaryCache,
+    graph_fingerprint,
+    hydrate_from_blob,
+    summary_key,
+)
+from repro.core.registry import create_estimator
+from repro.datasets.example import figure1_graph, figure1_query
+from repro.graph.query import QueryGraph
+from repro.matching.homomorphism import count_embeddings
+
+TECHNIQUES = ("cset", "wj")
+
+
+@pytest.fixture
+def sealed_fig1():
+    return figure1_graph().seal()
+
+
+@pytest.fixture
+def queries():
+    graph = figure1_graph()
+    named = []
+    for name, query in (
+        ("tri", figure1_query()),
+        ("edge", QueryGraph([set(), set()], [(0, 1, 0)])),
+    ):
+        truth = count_embeddings(graph, query, time_limit=10.0).count
+        named.append(NamedQuery(name, query, truth))
+    return named
+
+
+def comparable(record) -> tuple:
+    return (
+        record.technique,
+        record.query_name,
+        record.run,
+        record.estimate,
+        record.error,
+    )
+
+
+# ---------------------------------------------------------------------------
+# fingerprints and keys
+# ---------------------------------------------------------------------------
+class TestFingerprint:
+    def test_dict_and_sealed_fingerprint_identically(self):
+        graph = figure1_graph()
+        assert graph_fingerprint(graph) == graph_fingerprint(graph.seal())
+
+    def test_fingerprint_tracks_content(self, tiny_graph):
+        before = graph_fingerprint(tiny_graph)
+        tiny_graph.add_edge(3, 0, 1)
+        assert graph_fingerprint(tiny_graph) != before
+
+    def test_sealed_fingerprint_is_memoized(self, sealed_fig1):
+        assert graph_fingerprint(sealed_fig1) == graph_fingerprint(sealed_fig1)
+        assert sealed_fig1._fingerprint is not None
+
+    def test_key_separates_parameters(self, sealed_fig1):
+        a = create_estimator("wj", sealed_fig1, sampling_ratio=0.03, seed=1)
+        b = create_estimator("wj", sealed_fig1, sampling_ratio=0.05, seed=1)
+        c = create_estimator("wj", sealed_fig1, sampling_ratio=0.03, seed=2)
+        keys = {
+            summary_key(sealed_fig1, "wj", est) for est in (a, b, c)
+        }
+        assert len(keys) == 3
+
+
+# ---------------------------------------------------------------------------
+# hydration
+# ---------------------------------------------------------------------------
+class TestHydration:
+    @pytest.mark.parametrize("name", TECHNIQUES)
+    def test_hydrated_estimator_matches_cold(self, name, sealed_fig1,
+                                             queries):
+        cold = create_estimator(name, sealed_fig1, seed=5)
+        cold.prepare()
+        blob = cold.export_summary()
+
+        warm = create_estimator(name, sealed_fig1, seed=5)
+        hydrate_from_blob(warm, blob)
+        assert warm.prepared
+        assert warm._cache_charge_pending
+        for named in queries:
+            assert (
+                warm.estimate(named.query).estimate
+                == cold.estimate(named.query).estimate
+            )
+
+    def test_memory_cache_roundtrip(self, sealed_fig1):
+        cache = SummaryCache()
+        estimator = create_estimator("cset", sealed_fig1, seed=5)
+        assert not cache.hydrate(estimator, "cset")  # cold miss
+        estimator.prepare()
+        cache.store(estimator, "cset")
+        fresh = create_estimator("cset", sealed_fig1, seed=5)
+        assert cache.hydrate(fresh, "cset")
+        assert fresh.prepared
+        assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+
+    def test_disk_cache_survives_instances(self, tmp_path, sealed_fig1,
+                                           queries):
+        directory = tmp_path / "summaries"
+        first = SummaryCache(directory)
+        estimator = create_estimator("cset", sealed_fig1, seed=5)
+        estimator.prepare()
+        first.store(estimator, "cset")
+        assert list(directory.glob("*.summary"))
+
+        second = SummaryCache(directory)  # fresh process, same directory
+        fresh = create_estimator("cset", sealed_fig1, seed=5)
+        assert second.hydrate(fresh, "cset")
+        query = queries[0].query
+        assert (
+            fresh.estimate(query).estimate
+            == estimator.estimate(query).estimate
+        )
+
+    def test_unprepared_estimator_is_never_stored(self, sealed_fig1):
+        cache = SummaryCache()
+        cache.store(create_estimator("cset", sealed_fig1), "cset")
+        assert len(cache) == 0 and cache.stores == 0
+
+
+# ---------------------------------------------------------------------------
+# runner integration
+# ---------------------------------------------------------------------------
+class TestRunnerIntegration:
+    def test_second_runner_hydrates_and_records_prepare_cached(
+        self, sealed_fig1, queries
+    ):
+        cache = SummaryCache()
+        first = EvaluationRunner(sealed_fig1, TECHNIQUES, seed=3,
+                                 summary_cache=cache)
+        baseline = first.run(queries, runs=2)
+        assert cache.stores == len(TECHNIQUES)
+
+        second = EvaluationRunner(sealed_fig1, TECHNIQUES, seed=3,
+                                  summary_cache=cache)
+        records = second.run(queries, runs=2)
+        assert cache.hits == len(TECHNIQUES)
+        assert all(t == 0.0 for t in second.preparation_times.values())
+        # cache hits must not change a single estimate
+        assert list(map(comparable, records)) == list(
+            map(comparable, baseline)
+        )
+        # the first cell of each technique charges the hydration, exactly
+        # once, and never as a full prepare span
+        by_technique = {}
+        for record in records:
+            by_technique.setdefault(record.technique, []).append(record)
+        for cells in by_technique.values():
+            assert "prepare_cached" in cells[0].phases
+            assert all("prepare" not in c.phases for c in cells)
+            assert all(
+                "prepare_cached" not in c.phases for c in cells[1:]
+            )
+
+    def test_serial_parallel_equivalence_with_cache(self, sealed_fig1,
+                                                    queries):
+        serial = EvaluationRunner(sealed_fig1, TECHNIQUES, seed=3).run(
+            queries, runs=2
+        )
+        cache = SummaryCache()
+        parallel = ParallelEvaluationRunner(
+            sealed_fig1, TECHNIQUES, seed=3, workers=2, summary_cache=cache
+        ).run(queries, runs=2)
+        assert list(map(comparable, parallel)) == list(
+            map(comparable, serial)
+        )
+
+    def test_resume_with_cache(self, tmp_path, sealed_fig1, queries):
+        log_path = tmp_path / "results.jsonl"
+        cache = SummaryCache(tmp_path / "summaries")
+        first = ParallelEvaluationRunner(
+            sealed_fig1, TECHNIQUES, seed=3, workers=2, summary_cache=cache
+        )
+        baseline = first.run(queries, runs=2, results_log=ResultsLog(log_path))
+
+        resumed = ParallelEvaluationRunner(
+            sealed_fig1, TECHNIQUES, seed=3, workers=2,
+            summary_cache=SummaryCache(tmp_path / "summaries"),
+        )
+        records = resumed.run(queries, runs=2, results_log=ResultsLog(log_path))
+        stats = resumed.last_run_stats
+        assert stats["resumed"] == stats["cells"]
+        assert stats["executed"] == 0
+        assert list(map(comparable, records)) == list(
+            map(comparable, baseline)
+        )
+
+    def test_fault_injection_bypasses_cache(self, sealed_fig1, queries):
+        from repro.faults.plan import FaultPlan
+
+        cache = SummaryCache()
+        plan = FaultPlan.parse("agg_card:nan:1.0", seed=7)
+        runner = EvaluationRunner(
+            sealed_fig1, ("cset",), seed=3, fault_plan=plan,
+            summary_cache=cache,
+        )
+        records = runner.run(queries, runs=1)
+        # the plan fired (every estimate degrades) and the cache was never
+        # consulted or fed — prepare-site faults must keep reaching hooks
+        assert all(r.error == "invalid_estimate" for r in records)
+        assert (cache.hits, cache.misses, cache.stores) == (0, 0, 0)
+        assert len(cache) == 0
