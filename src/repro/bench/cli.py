@@ -176,6 +176,8 @@ def _sweep(
     worker_retries: int = None,
     summary_cache_dir: str = None,
     no_summary_cache: bool = False,
+    batch_size: int = None,
+    no_shm: bool = False,
 ) -> int:
     """Run the full (technique, query, run) grid, parallel and resumable."""
     from ..core.registry import available_techniques
@@ -218,6 +220,8 @@ def _sweep(
             DEFAULT_WORKER_RETRIES if worker_retries is None else worker_retries
         ),
         summary_cache=cache,
+        batch_size=batch_size,
+        use_shm=False if no_shm else None,
     )
     log = ResultsLog(results_log, fsync=fsync) if results_log else None
     records = runner.run(queries, runs=runs, results_log=log)
@@ -236,6 +240,17 @@ def _sweep(
         f"{stats.get('retries', 0)} retries, "
         f"{stats.get('respawns', 0)} respawns"
     )
+    if stats.get("batches"):
+        shm_note = (
+            f", {stats.get('shm_bytes', 0) / 1e6:.1f} MB in "
+            f"{stats.get('shm_segments', 0)} shared-memory segment(s)"
+            if stats.get("shm_segments")
+            else ", shared memory off"
+        )
+        print(
+            f"dispatch: {stats['batches']} batch(es) of "
+            f"{stats.get('batch_size', 1)} cell(s){shm_note}"
+        )
     if log is not None:
         print(f"results log: {log.path}")
     summaries = summarize(records)
@@ -306,10 +321,14 @@ def _bench(
     check: "str | None",
     factor: float,
     seed: int,
+    compare: "str | None" = None,
+    tolerance: float = 0.20,
 ) -> int:
     """Run the tracked performance suite; optionally gate on a baseline."""
     from .perf import (
         check_regression,
+        compare_reports,
+        format_comparison,
         format_report,
         load_report,
         run_benchmarks,
@@ -321,6 +340,14 @@ def _bench(
     if out:
         save_report(report, out)
         print(f"wrote {out}")
+    status = 0
+    if compare:
+        rows = compare_reports(report, load_report(compare), tolerance)
+        print()
+        print(f"comparison vs {compare}:")
+        print(format_comparison(rows, tolerance))
+        if any(row["status"] == "regression" for row in rows):
+            status = 1
     if check:
         failures = check_regression(report, load_report(check), factor)
         if failures:
@@ -329,7 +356,7 @@ def _bench(
                 print(f"  {failure}")
             return 1
         print(f"no regressions vs {check} (factor {factor:.1f}x)")
-    return 0
+    return status
 
 
 def main(argv=None) -> int:
@@ -401,8 +428,36 @@ def main(argv=None) -> int:
         help="record span traces + counters into every sweep record",
     )
     parser.add_argument(
+        "--batch-size", type=int, default=None,
+        help=(
+            "cells dispatched per worker message (sweep; default: "
+            "auto-sized from the grid shape)"
+        ),
+    )
+    parser.add_argument(
+        "--no-shm", action="store_true",
+        help=(
+            "ship graph/summaries to sweep workers via pickle instead of "
+            "shared memory (results are identical either way)"
+        ),
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="bench: reduced reps/queries for CI smoke runs",
+    )
+    parser.add_argument(
+        "--compare", default=None, metavar="BASELINE",
+        help=(
+            "bench: print a per-metric speedup/regression table vs this "
+            "baseline JSON; exit non-zero past --tolerance"
+        ),
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help=(
+            "bench --compare: tolerated fractional slowdown per metric "
+            "(default 0.20 = 20%%)"
+        ),
     )
     parser.add_argument(
         "--check", default=None, metavar="BASELINE",
@@ -490,10 +545,15 @@ def main(argv=None) -> int:
             worker_retries=args.worker_retries,
             summary_cache_dir=args.summary_cache,
             no_summary_cache=args.no_summary_cache,
+            batch_size=args.batch_size,
+            no_shm=args.no_shm,
         )
 
     if args.experiment == "bench":
-        return _bench(args.quick, args.out, args.check, args.factor, args.seed)
+        return _bench(
+            args.quick, args.out, args.check, args.factor, args.seed,
+            compare=args.compare, tolerance=args.tolerance,
+        )
 
     if args.experiment in ("export-dataset", "export-workload"):
         if not args.target or not args.out:

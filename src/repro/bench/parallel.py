@@ -11,6 +11,17 @@ goal of saturating the hardware.  This module provides it:
 * **process fan-out** — the evaluation grid is distributed over a pool of
   persistent worker processes; each worker builds each technique's
   estimator (and its off-line summary) once and then streams cells;
+* **batched dispatch** — cells ship to workers in chunks (``batch_size``,
+  auto-sized from the grid shape) so the pipe round trip and poll loop
+  are paid per batch, not per cell, while the ``start`` message keeps
+  deadline enforcement per-cell;
+* **zero-copy shared memory** — when the platform supports it and the
+  graph is sealed, the parent publishes the CSR buffers and the prepared
+  summaries into named shared-memory segments and sends workers tiny
+  :class:`~repro.shm.ShmRef` envelopes instead of pickled copies: attach
+  cost is independent of graph size and every worker maps the same
+  physical pages (``use_shm=False`` restores plain pickling; results are
+  bit-identical either way);
 * **hard timeout enforcement** — the parent tracks when each worker
   *started* estimating and kills any worker that exceeds the per-query
   ``time_limit`` plus a grace period.  The killed cell is recorded as
@@ -43,13 +54,16 @@ import time
 from collections import deque
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from .. import shm as shm_mod
 from ..core.registry import create_estimator
 from ..faults.inject import maybe_die
 from ..faults.plan import FaultPlan
 from ..graph.digraph import Graph
+from ..obs.trace import NO_TRACE
+from ..shm import ShmRef
 from .results_log import ResultsLog
 from .runner import EvalRecord, EvaluationRunner, NamedQuery, run_cell
-from .summary_cache import hydrate_from_blob
+from .summary_cache import blobs_from_shm, blobs_to_shm, hydrate_from_blob
 
 #: extra wall-clock granted beyond ``time_limit`` before a worker is killed;
 #: generous because the cooperative deadline should fire first — the kill
@@ -90,14 +104,24 @@ def _worker_main(
     fallback: Optional[str] = None,
     summary_blobs: Optional[Mapping[str, bytes]] = None,
 ) -> None:
-    """Worker loop: receive cells, run them, stream results back.
+    """Worker loop: receive cell batches, run them, stream results back.
 
-    Messages from the parent are ``(index, technique, named, run, reseed)``
-    tuples or ``None`` (shut down).  For each cell the worker sends
-    ``("start", index)`` once the estimator is prepared and estimation
-    actually begins — the parent measures the hard deadline from that
-    moment — followed by ``("done", index, record)`` or
-    ``("failed", index, message)``.
+    Messages from the parent are ``(cells, reseed)`` pairs — ``cells`` a
+    list of ``(index, technique, named, run)`` tuples — or ``None`` (shut
+    down).  Cells inside a batch execute in order; for each one the
+    worker sends ``("start", index)`` once the estimator is prepared and
+    estimation actually begins — the parent measures the per-cell hard
+    deadline from that moment — followed by ``("done", index, record)``
+    or ``("failed", index, message)``.  Batching amortizes the
+    send/recv/poll round trip per batch instead of per cell without
+    weakening timeout enforcement: deadlines stay per-cell because the
+    start message does.
+
+    ``graph`` and ``summary_blobs`` may each arrive as a
+    :class:`~repro.shm.ShmRef` instead of the real object: the worker
+    then attaches the named shared-memory segment read-only —
+    reconstruction cost is independent of graph size, and all workers
+    share one set of physical pages instead of holding private copies.
 
     With ``trace`` set, each cell runs under its own collector and the
     serialized trace crosses the process boundary *inside* the pickled
@@ -115,6 +139,13 @@ def _worker_main(
     instead of rebuilding the summary (the first cell then records a
     ``prepare_cached`` phase).  Blobs are never passed under injection.
     """
+    if isinstance(graph, ShmRef):
+        from ..graph.compact import CompactGraph
+
+        graph = CompactGraph.from_shm(graph)
+    if isinstance(summary_blobs, ShmRef):
+        # zero-copy views; they pin the mapping for as long as they live
+        summary_blobs = blobs_from_shm(summary_blobs)
     estimators: Dict[str, object] = {}
     fallback_estimator = None
     inject = fault_plan is not None and fault_plan.enabled
@@ -123,49 +154,51 @@ def _worker_main(
             message = conn.recv()
             if message is None:
                 return
-            index, technique, named, run, reseed = message
-            try:
-                maybe_die(fault_plan, technique, named.name, run)
-                estimator = estimators.get(technique)
-                if estimator is None:
-                    kwargs = dict(estimator_kwargs.get(technique, {}))
-                    estimator = create_estimator(
-                        technique,
-                        graph,
-                        sampling_ratio=sampling_ratio,
-                        seed=seed,
-                        time_limit=time_limit,
-                        **kwargs,
-                    )
-                    if not inject:
-                        blob = (
-                            summary_blobs.get(technique)
-                            if summary_blobs is not None
-                            else None
+            cells, reseed = message
+            for index, technique, named, run in cells:
+                try:
+                    maybe_die(fault_plan, technique, named.name, run)
+                    estimator = estimators.get(technique)
+                    if estimator is None:
+                        kwargs = dict(estimator_kwargs.get(technique, {}))
+                        estimator = create_estimator(
+                            technique,
+                            graph,
+                            sampling_ratio=sampling_ratio,
+                            seed=seed,
+                            time_limit=time_limit,
+                            **kwargs,
                         )
-                        if blob is not None:
-                            hydrate_from_blob(estimator, blob)
-                        else:
-                            estimator.prepare()
-                    estimators[technique] = estimator
-                if fallback is not None and fallback_estimator is None:
-                    fallback_estimator = create_estimator(
-                        fallback,
-                        graph,
-                        sampling_ratio=sampling_ratio,
-                        seed=seed,
-                        time_limit=time_limit,
+                        if not inject:
+                            blob = (
+                                summary_blobs.get(technique)
+                                if summary_blobs is not None
+                                else None
+                            )
+                            if blob is not None:
+                                hydrate_from_blob(estimator, blob)
+                            else:
+                                estimator.prepare()
+                        estimators[technique] = estimator
+                    if fallback is not None and fallback_estimator is None:
+                        fallback_estimator = create_estimator(
+                            fallback,
+                            graph,
+                            sampling_ratio=sampling_ratio,
+                            seed=seed,
+                            time_limit=time_limit,
+                        )
+                    conn.send(("start", index))
+                    record = run_cell(
+                        technique, estimator, named, run, reseed=reseed,
+                        trace=trace, fault_plan=fault_plan,
+                        memory_budget=memory_budget,
+                        fallback=fallback_estimator,
                     )
-                conn.send(("start", index))
-                record = run_cell(
-                    technique, estimator, named, run, reseed=reseed,
-                    trace=trace, fault_plan=fault_plan,
-                    memory_budget=memory_budget, fallback=fallback_estimator,
-                )
-                conn.send(("done", index, record))
-            except Exception as exc:  # keep the worker alive for other cells
-                estimators.pop(technique, None)
-                conn.send(("failed", index, f"{type(exc).__name__}: {exc}"))
+                    conn.send(("done", index, record))
+                except Exception as exc:  # keep worker alive for other cells
+                    estimators.pop(technique, None)
+                    conn.send(("failed", index, f"{type(exc).__name__}: {exc}"))
     except (EOFError, OSError, KeyboardInterrupt):  # parent went away
         return
 
@@ -183,19 +216,45 @@ class _Worker:
         )
         self.process.start()
         child_conn.close()
+        #: cells assigned to this worker; the head is currently executing
+        self.batch: "deque" = deque()
         #: (index, technique, named, run) currently executing, or None
         self.cell = None
         self.assigned_at: Optional[float] = None
         self.started_at: Optional[float] = None
 
-    def assign(self, cell, reseed: bool) -> None:
-        self.cell = cell
+    def assign(self, batch: Sequence, reseed: bool) -> None:
+        """Ship a batch of cells; deadline tracking follows the head."""
+        self.batch = deque(batch)
+        self.cell = self.batch[0]
         self.assigned_at = time.monotonic()
         self.started_at = None
-        index, technique, named, run = cell
-        self.conn.send((index, technique, named, run, reseed))
+        self.conn.send((list(batch), reseed))
+
+    def advance(self) -> None:
+        """The current cell completed; track the next one in the batch."""
+        if self.batch:
+            self.batch.popleft()
+        if self.batch:
+            self.cell = self.batch[0]
+            self.assigned_at = time.monotonic()
+            self.started_at = None
+        else:
+            self.finish_cell()
+
+    def drop_batch(self) -> List:
+        """Clear the batch, returning the cells *behind* the current one.
+
+        Used when the worker dies or is killed: the current cell gets its
+        own retry/record decision, the rest are simply requeued — they
+        never started, so they don't count as attempts.
+        """
+        rest = list(self.batch)[1:]
+        self.batch = deque()
+        return rest
 
     def finish_cell(self) -> None:
+        self.batch = deque()
         self.cell = None
         self.assigned_at = None
         self.started_at = None
@@ -274,6 +333,20 @@ class ParallelEvaluationRunner(EvaluationRunner):
         shrinks instead, and any cells left when it empties are recorded
         as ``error="crashed"`` — a crash-looping estimator degrades the
         sweep, never wedges it.
+    batch_size:
+        Cells dispatched to a worker per message.  ``None`` (default)
+        auto-sizes from the grid: roughly four batches per worker,
+        clamped to [1, 32] — large grids amortize the IPC round trip,
+        small grids keep all workers busy.  Timeouts stay per-cell
+        (each cell still sends its own start message); a killed or
+        crashed worker only forfeits its current cell — the unstarted
+        remainder of its batch is requeued verbatim.
+    use_shm:
+        Ship the sealed graph and the prepared summaries to workers via
+        named shared memory instead of pickling them per worker.
+        ``None`` (default) enables it automatically when the platform
+        supports shared memory and the graph is sealed; ``False`` forces
+        plain pickling.  Results are bit-identical either way.
     """
 
     def __init__(
@@ -296,6 +369,8 @@ class ParallelEvaluationRunner(EvaluationRunner):
         worker_retries: int = DEFAULT_WORKER_RETRIES,
         respawn_backoff: float = DEFAULT_RESPAWN_BACKOFF,
         max_worker_respawns: Optional[int] = DEFAULT_MAX_WORKER_RESPAWNS,
+        batch_size: Optional[int] = None,
+        use_shm: Optional[bool] = None,
     ) -> None:
         super().__init__(
             graph,
@@ -317,6 +392,12 @@ class ParallelEvaluationRunner(EvaluationRunner):
         self.worker_retries = max(0, int(worker_retries))
         self.respawn_backoff = max(0.0, float(respawn_backoff))
         self.max_worker_respawns = max_worker_respawns
+        self.batch_size = batch_size if batch_size is None else max(1, int(batch_size))
+        self.use_shm = use_shm
+        #: sweep-level observability sink (``shm.*`` gauges and the
+        #: ``dispatch.batches`` counter); per-cell traces are separate
+        #: and live inside each worker's :class:`EvalRecord`
+        self.obs = NO_TRACE
         #: statistics of the most recent :meth:`run`
         self.last_run_stats: Dict[str, int] = {}
         #: per-cell-index count of unexpected-death attempts (this run)
@@ -326,6 +407,13 @@ class ParallelEvaluationRunner(EvaluationRunner):
         #: technique -> serialized summary, built once per :meth:`run` and
         #: shipped to every worker (None while a fault plan is active)
         self._summary_blobs: Optional[Dict[str, bytes]] = None
+        #: what _spawn actually ships: the graph / blob mapping, or ShmRefs
+        self._graph_payload = None
+        self._blob_payload = None
+        #: creator-side handles of segments published for this run
+        self._shm_handles: List = []
+        #: effective batch size of the current run
+        self._batch = 1
 
     # ------------------------------------------------------------------
     def run(
@@ -359,6 +447,12 @@ class ParallelEvaluationRunner(EvaluationRunner):
             "worker_failures": 0,
             "retries": 0,
             "respawns": 0,
+            "batches": 0,
+            "batch_size": 0,
+            "shm_segments": 0,
+            "shm_bytes": 0,
+            "shm_attaches": 0,
+            "shm_reaped": 0,
         }
         self._attempts = {}
         self._crash_respawns = 0
@@ -368,8 +462,28 @@ class ParallelEvaluationRunner(EvaluationRunner):
             self.last_run_stats["executed"] = len(pending)
             return serial
         self._summary_blobs = self._build_summary_blobs()
-        self._run_pool(pending, results, reseed, results_log)
+        self._batch = self._effective_batch(len(pending))
+        self.last_run_stats["batch_size"] = self._batch
+        self._publish_shm()
+        try:
+            self._run_pool(pending, results, reseed, results_log)
+        finally:
+            self._release_shm()
         return [results[index] for index in range(len(cells))]
+
+    def _effective_batch(self, n_pending: int) -> int:
+        """Cells per dispatch message: explicit, else sized from the grid.
+
+        Auto mode targets ~4 batches per worker — enough batches that a
+        straggler cell can't serialize the tail of the sweep, few enough
+        that IPC stops being per-cell.
+        """
+        if self.batch_size is not None:
+            return self.batch_size
+        if n_pending <= 0:
+            return 1
+        per_worker = -(-n_pending // (self.workers * 4))
+        return max(1, min(32, per_worker))
 
     # ------------------------------------------------------------------
     def _build_summary_blobs(self) -> Optional[Dict[str, bytes]]:
@@ -399,11 +513,70 @@ class ParallelEvaluationRunner(EvaluationRunner):
         return blobs
 
     # ------------------------------------------------------------------
+    def _publish_shm(self) -> None:
+        """Publish the sealed graph and summary blobs into shared memory.
+
+        Sweep start is also when orphaned ``gcare-*`` segments of dead
+        processes are reaped (a SIGKILLed previous run never got to run
+        its finalizers).  Publication is best-effort: any failure falls
+        back to shipping the real objects via pickle, which is always
+        correct — shm is purely a transport optimization.
+        """
+        self._graph_payload = self.graph
+        self._blob_payload = self._summary_blobs
+        self._shm_handles = []
+        if not shm_mod.shm_supported() or self.use_shm is False:
+            return
+        self.last_run_stats["shm_reaped"] = len(shm_mod.reap_orphans())
+        use_shm = self.use_shm
+        if use_shm is None:
+            use_shm = bool(getattr(self.graph, "sealed", False))
+        if not use_shm:
+            return
+        graph = self.graph
+        if getattr(graph, "sealed", False) and hasattr(graph, "to_shm"):
+            try:
+                handle, ref = graph.to_shm()
+            except Exception:
+                pass  # unshareable graph: pickle it instead
+            else:
+                self._shm_handles.append(handle)
+                self._graph_payload = ref
+        if self._summary_blobs:
+            try:
+                handle, ref = blobs_to_shm(self._summary_blobs)
+            except Exception:
+                pass  # fall back to pickling the blob mapping
+            else:
+                self._shm_handles.append(handle)
+                self._blob_payload = ref
+        total = sum(h.nbytes for h in self._shm_handles)
+        self.last_run_stats["shm_segments"] = len(self._shm_handles)
+        self.last_run_stats["shm_bytes"] = total
+        self.obs.gauge("shm.bytes", total)
+
+    def _release_shm(self) -> None:
+        """Unlink this run's segments (idempotent; workers have exited)."""
+        for handle in self._shm_handles:
+            try:
+                handle.release()
+            except Exception:  # pragma: no cover - defensive
+                pass
+        self._shm_handles = []
+        self._graph_payload = None
+        self._blob_payload = None
+
+    # ------------------------------------------------------------------
     def _spawn(self, ctx) -> _Worker:
+        if isinstance(self._graph_payload, ShmRef) or isinstance(
+            self._blob_payload, ShmRef
+        ):
+            self.last_run_stats["shm_attaches"] += 1
+            self.obs.gauge("shm.attach", self.last_run_stats["shm_attaches"])
         return _Worker(
             ctx,
             (
-                self.graph,
+                self._graph_payload if self._graph_payload is not None else self.graph,
                 self.sampling_ratio,
                 self.seed,
                 self.time_limit,
@@ -412,7 +585,7 @@ class ParallelEvaluationRunner(EvaluationRunner):
                 self.fault_plan,
                 self.memory_budget,
                 self.fallback_name,
-                self._summary_blobs,
+                self._blob_payload if self._blob_payload is not None else self._summary_blobs,
             ),
         )
 
@@ -470,14 +643,20 @@ class ParallelEvaluationRunner(EvaluationRunner):
                     break
                 for worker in list(pool):
                     if worker.cell is None and pending:
-                        cell = pending.popleft()
+                        count = min(self._batch, len(pending))
+                        batch = [pending.popleft() for _ in range(count)]
                         try:
-                            worker.assign(cell, reseed)
+                            worker.assign(batch, reseed)
                         except (OSError, BrokenPipeError):
                             # worker died while idle; requeue and replace
-                            pending.appendleft(cell)
+                            worker.finish_cell()
+                            for cell in reversed(batch):
+                                pending.appendleft(cell)
                             worker.kill()
                             self._replace(worker, pool, ctx, pending, crash=True)
+                        else:
+                            self.last_run_stats["batches"] += 1
+                            self.obs.incr("dispatch.batches")
                 busy = {w.conn: w for w in pool if w.cell is not None}
                 ready = connection_wait(
                     list(busy), timeout=self._poll_timeout(busy.values())
@@ -517,15 +696,19 @@ class ParallelEvaluationRunner(EvaluationRunner):
             message = worker.conn.recv()
         except (EOFError, OSError):
             # the worker died (segfault, OOM kill, os._exit, ...): retry
-            # the cell a bounded number of times, then record the loss —
+            # the current cell a bounded number of times, then record the
+            # loss; the unstarted rest of its batch is requeued verbatim —
             # either way a replacement keeps the sweep going
             self.last_run_stats["worker_failures"] += 1
             cell = worker.cell
             index = cell[0]
+            rest = worker.drop_batch()
             attempts = self._attempts.get(index, 0) + 1
             self._attempts[index] = attempts
             elapsed = time.monotonic() - (worker.assigned_at or time.monotonic())
             worker.kill()
+            for requeued in reversed(rest):
+                pending.appendleft(requeued)
             if attempts <= self.worker_retries:
                 self.last_run_stats["retries"] += 1
                 pending.appendleft(cell)
@@ -548,7 +731,7 @@ class ParallelEvaluationRunner(EvaluationRunner):
             _, index, record = message
             self.last_run_stats["executed"] += 1
             self._record(results, results_log, record, index)
-            worker.finish_cell()
+            worker.advance()
         elif kind == "failed":
             _, index, error = message
             self.last_run_stats["executed"] += 1
@@ -559,7 +742,7 @@ class ParallelEvaluationRunner(EvaluationRunner):
                 self._failure_record(worker.cell, f"error: {error}", elapsed),
                 index,
             )
-            worker.finish_cell()
+            worker.advance()
 
     def _enforce_deadlines(
         self,
@@ -585,6 +768,10 @@ class ParallelEvaluationRunner(EvaluationRunner):
                 self._failure_record(worker.cell, "timeout", elapsed),
                 worker.cell[0],
             )
+            # only the running cell blew its budget; the rest of the
+            # batch never started and is requeued for the replacement
+            for requeued in reversed(worker.drop_batch()):
+                pending.appendleft(requeued)
             worker.kill()
             self._replace(worker, pool, ctx, pending)
 

@@ -108,6 +108,40 @@ def hydrate_from_blob(estimator: Estimator, payload: bytes) -> None:
     estimator._cache_charge_pending = True
 
 
+def blobs_to_shm(blobs: Mapping[str, bytes]):
+    """Pack serialized summaries into one shared-memory segment.
+
+    Returns ``(handle, ref)``: the creator-side
+    :class:`~repro.shm.SealedArena` handle (release it once every worker
+    has exited) and a picklable :class:`~repro.shm.ShmRef` that
+    :func:`blobs_from_shm` turns back into a name→payload mapping in any
+    process on this host.  One segment for all techniques: workers attach
+    once and slice, instead of receiving a private pickled copy of every
+    summary.
+    """
+    from ..shm import ShmArena, ShmRef
+
+    arena = ShmArena()
+    for name, payload in sorted(blobs.items()):
+        arena.add_bytes(name, payload)
+    handle, manifest = arena.seal()
+    return handle, ShmRef("summaries", manifest)
+
+
+def blobs_from_shm(ref) -> Dict[str, memoryview]:
+    """Attach a :func:`blobs_to_shm` segment; zero-copy payload views.
+
+    The returned memoryviews read the shared pages directly —
+    :func:`hydrate_from_blob` accepts them as-is — and collectively pin
+    the underlying mapping, so the mapping lives exactly as long as any
+    payload is reachable.
+    """
+    from ..shm import ArenaView
+
+    view = ArenaView(ref.manifest)
+    return {key: view.bytes(key) for key in view.keys()}
+
+
 class SummaryCache:
     """Keyed store of serialized summaries (in-memory + optional on-disk).
 

@@ -189,11 +189,14 @@ class _Direction:
     def segment(self, v: int, label: int) -> Tuple[int, int]:
         """``(start, stop)`` into ``targets`` for ``(v, label)``; (0, 0) if absent."""
         lo, hi = self.lab_off[v], self.lab_off[v + 1]
-        try:
-            k = self.lab.index(label, lo, hi)
-        except ValueError:
-            return (0, 0)
-        return (self.seg_off[k], self.seg_off[k + 1])
+        # manual scan instead of array.index(label, lo, hi): the buffers
+        # may be shared-memory memoryviews (no .index), and per-vertex
+        # label lists are tiny; results are cached downstream anyway
+        lab = self.lab
+        for k in range(lo, hi):
+            if lab[k] == label:
+                return (self.seg_off[k], self.seg_off[k + 1])
+        return (0, 0)
 
     def neighbors(self, v: int, label: int) -> Tuple[int, ...]:
         key = (v, label)
@@ -204,12 +207,30 @@ class _Direction:
             self.seg_cache[key] = cached
         return cached
 
+    @classmethod
+    def _from_buffers(cls, lab_off, lab, seg_off, targets, sorted_targets):
+        """Rebuild a direction over existing buffers (the shm attach path)."""
+        self = cls.__new__(cls)
+        self.lab_off = lab_off
+        self.lab = lab
+        self.seg_off = seg_off
+        self.targets = targets
+        self.sorted_targets = sorted_targets
+        self.seg_cache = {}
+        return self
+
     def __getstate__(self):
-        return {
-            slot: getattr(self, slot)
-            for slot in self.__slots__
-            if slot != "seg_cache"
-        }
+        state = {}
+        for slot in self.__slots__:
+            if slot == "seg_cache":
+                continue
+            value = getattr(self, slot)
+            if isinstance(value, memoryview):
+                # shm-attached buffers cannot cross a pickle boundary;
+                # materialize them (the receiver owns a private copy)
+                value = array("q", value)
+            state[slot] = value
+        return state
 
     def __setstate__(self, state):
         for slot, value in state.items():
@@ -239,6 +260,95 @@ class _Direction:
             return False
         index = bisect_left(self.sorted_targets, target, start, stop)
         return index < stop and self.sorted_targets[index] == target
+
+
+class _LazyShmMap:
+    """``label -> int64 buffer`` mapping over a shared segment, cast lazily.
+
+    Worker attach must stay O(1) in the number of labels (the AIDS-like
+    graphs carry dozens of vertex labels); each buffer is sliced+cast out
+    of the segment on first access and cached.  Supports the small
+    mapping surface the graph accessors actually use.
+    """
+
+    __slots__ = ("_view", "_tag", "_labels", "_members", "_cache")
+
+    def __init__(self, view, tag: str, labels: Tuple[int, ...]) -> None:
+        self._view = view
+        self._tag = tag
+        self._labels = labels
+        self._members = frozenset(labels)
+        self._cache: Dict[int, object] = {}
+
+    def get(self, label, default=None):
+        cached = self._cache.get(label)
+        if cached is not None:
+            return cached
+        if label not in self._members:
+            return default
+        data = self._view.ints((self._tag, label))
+        self._cache[label] = data
+        return data
+
+    def __getitem__(self, label):
+        data = self.get(label)
+        if data is None:
+            raise KeyError(label)
+        return data
+
+    def __contains__(self, label) -> bool:
+        return label in self._members
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self):
+        return iter(self._labels)
+
+    def keys(self) -> Tuple[int, ...]:
+        return self._labels
+
+    def values(self):
+        return [self[label] for label in self._labels]
+
+    def items(self):
+        return [(label, self[label]) for label in self._labels]
+
+
+class _SharedVLabels(Sequence):
+    """Per-vertex label sets decoded lazily from a shared-memory index.
+
+    An attached graph must not materialize ``num_vertices`` frozensets at
+    construction (that would defeat the point of a sub-millisecond
+    attach); instead each vertex carries an index into the shared table
+    of *unique* label sets, decoded per access.  Vertices sharing a label
+    set share one frozenset object, exactly like the sealed original.
+    """
+
+    __slots__ = ("_index", "_raw", "_sets")
+
+    def __init__(self, index, raw_table: Tuple[Tuple[int, ...], ...]) -> None:
+        self._index = index
+        self._raw = raw_table
+        self._sets: List[Optional[FrozenSet[int]]] = [None] * len(raw_table)
+
+    def _set(self, i: int) -> FrozenSet[int]:
+        cached = self._sets[i]
+        if cached is None:
+            cached = self._sets[i] = frozenset(self._raw[i])
+        return cached
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __getitem__(self, v):
+        if isinstance(v, slice):
+            return [self._set(i) for i in self._index[v]]
+        return self._set(self._index[v])
+
+    def __iter__(self):
+        for i in self._index:
+            yield self._set(i)
 
 
 class CompactGraph(Graph):
@@ -289,6 +399,11 @@ class CompactGraph(Graph):
         self._vlabels_members_cache: Dict[FrozenSet[int], Tuple[int, ...]] = {}
         self._labels_set_cache: Dict[FrozenSet[int], FrozenSet[int]] = {}
         self._edge_pairs_cache: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        self._out_bits_cache: Dict[Tuple[int, int], int] = {}
+        self._in_bits_cache: Dict[Tuple[int, int], int] = {}
+        self._labels_bits_cache: Dict[FrozenSet[int], int] = {}
+        self._filtered_cache: Dict[tuple, Tuple[int, ...]] = {}
+        self._shm_view = None
         #: cross-component memoization point: immutability makes it safe
         #: for *any* consumer (relational access paths, matchers) to park
         #: derived structures here and share them across estimator
@@ -446,6 +561,89 @@ class CompactGraph(Graph):
             self._labels_set_cache[labels] = cached
         return cached
 
+    # ------------------------------------------------------------------
+    # adjacency bitsets (the exact matcher's intersection kernel)
+    # ------------------------------------------------------------------
+    def _segment_bits(self, direction: _Direction, v: int, label: int) -> int:
+        ba = bytearray((self._n + 7) >> 3)
+        start, stop = direction.segment(v, label)
+        targets = direction.targets
+        for i in range(start, stop):
+            t = targets[i]
+            ba[t >> 3] |= 1 << (t & 7)
+        return int.from_bytes(ba, "little")
+
+    def out_neighbor_bits(self, v: int, label: int) -> int:
+        """``out_neighbors(v, label)`` as an int bitset, cached forever.
+
+        Bit ``t`` is set iff ``(v, t, label)`` is an edge.  Python's big
+        ints make ``a & b`` a C-speed word-wise intersection and
+        ``bit_count()`` a C-speed popcount, which is what turns the
+        matcher's multi-constraint candidate filtering (and the leaf
+        product's candidate *counts*) into a handful of opcodes.
+        """
+        key = (v, label)
+        cached = self._out_bits_cache.get(key)
+        if cached is None:
+            cached = self._segment_bits(self._fwd, v, label)
+            self._out_bits_cache[key] = cached
+        return cached
+
+    def in_neighbor_bits(self, v: int, label: int) -> int:
+        """``in_neighbors(v, label)`` as an int bitset, cached forever."""
+        key = (v, label)
+        cached = self._in_bits_cache.get(key)
+        if cached is None:
+            cached = self._segment_bits(self._rev, v, label)
+            self._in_bits_cache[key] = cached
+        return cached
+
+    def out_neighbors_labeled(self, v: int, label: int, vlabels) -> Tuple[int, ...]:
+        """``out_neighbors(v, label)`` restricted to vertices carrying all
+        of ``vlabels``, cached forever.
+
+        Filtered adjacency is a pure property of the (immutable) graph,
+        so caching it here — instead of inside each matcher instance —
+        lets every counter over this graph share one filtered list per
+        ``(v, edge label, vertex-label set)``, which is the exact
+        matcher's dominant miss cost across a multi-query workload.
+        Order matches the unfiltered view, preserving the determinism
+        contract.
+        """
+        key = (True, v, label, vlabels)
+        cached = self._filtered_cache.get(key)
+        if cached is None:
+            member = self.labels_member_set(vlabels)
+            cached = tuple(
+                t for t in self._fwd.neighbors(v, label) if t in member
+            )
+            self._filtered_cache[key] = cached
+        return cached
+
+    def in_neighbors_labeled(self, v: int, label: int, vlabels) -> Tuple[int, ...]:
+        """``in_neighbors(v, label)`` restricted to ``vlabels`` carriers."""
+        key = (False, v, label, vlabels)
+        cached = self._filtered_cache.get(key)
+        if cached is None:
+            member = self.labels_member_set(vlabels)
+            cached = tuple(
+                t for t in self._rev.neighbors(v, label) if t in member
+            )
+            self._filtered_cache[key] = cached
+        return cached
+
+    def labels_member_bits(self, labels) -> int:
+        """``labels_member_set(labels)`` as an int bitset, cached forever."""
+        labels = frozenset(labels)
+        cached = self._labels_bits_cache.get(labels)
+        if cached is None:
+            ba = bytearray((self._n + 7) >> 3)
+            for t in self.labels_member_set(labels):
+                ba[t >> 3] |= 1 << (t & 7)
+            cached = int.from_bytes(ba, "little")
+            self._labels_bits_cache[labels] = cached
+        return cached
+
     def edge_pairs(self, label: int) -> Tuple[Tuple[int, int], ...]:
         """``edges_with_label`` materialized as a cached tuple of pairs.
 
@@ -530,6 +728,108 @@ class CompactGraph(Graph):
         )
 
     # ------------------------------------------------------------------
+    # shared memory (zero-copy publication to worker processes)
+    # ------------------------------------------------------------------
+    def to_shm(self):
+        """Publish every array buffer into one shared-memory segment.
+
+        Returns ``(handle, ref)``: the creator-side
+        :class:`~repro.shm.SealedArena` handle (``handle.release()``
+        unlinks the segment; orderly exits and orphan reaping back it up)
+        and a tiny picklable :class:`~repro.shm.ShmRef` that any process
+        on this host turns back into a graph with :meth:`from_shm` —
+        attaching maps the same physical pages read-only instead of
+        copying them, so attach cost is independent of graph size.
+        """
+        from ..shm import ShmArena, ShmRef
+
+        arena = ShmArena()
+        for tag, direction in (("f", self._fwd), ("r", self._rev)):
+            arena.add_ints((tag, "lab_off"), direction.lab_off)
+            arena.add_ints((tag, "lab"), direction.lab)
+            arena.add_ints((tag, "seg_off"), direction.seg_off)
+            arena.add_ints((tag, "targets"), direction.targets)
+            arena.add_ints((tag, "sorted"), direction.sorted_targets)
+        for label in self._vlabel_order:
+            arena.add_ints(("vl", label), self._vindex_arrays[label])
+        for label in self._elabel_order:
+            arena.add_ints(("es", label), self._esrc[label])
+            arena.add_ints(("ed", label), self._edst[label])
+        # vertex label sets, dictionary-encoded: a per-vertex index into
+        # the (small) table of unique sets, decoded lazily on attach
+        table: List[Tuple[int, ...]] = []
+        index_of: Dict[FrozenSet[int], int] = {}
+        set_index = array("q")
+        for labels in self._vlabels:
+            i = index_of.get(labels)
+            if i is None:
+                i = index_of[labels] = len(table)
+                table.append(tuple(sorted(labels)))
+            set_index.append(i)
+        arena.add_ints(("v", "sets"), set_index)
+        handle, manifest = arena.seal()
+        manifest["graph"] = {
+            "n": self._n,
+            "m": self._m,
+            "num_graphs": self.num_graphs,
+            "vlabel_order": self._vlabel_order,
+            "elabel_order": self._elabel_order,
+            "vsets": tuple(table),
+            "fingerprint": self._fingerprint,
+        }
+        return handle, ShmRef("graph", manifest)
+
+    @classmethod
+    def from_shm(cls, ref) -> "CompactGraph":
+        """Attach a graph published by :meth:`to_shm` — zero copies.
+
+        Every array field becomes a read-only ``memoryview`` cast over
+        the shared segment; all accessors work identically (and return
+        identical elements in identical order), so estimates and matcher
+        counts are bit-identical to the sealed original.  Per-process
+        memoization caches start empty, exactly as after unpickling.
+        """
+        from ..shm import ArenaView, ShmRef
+
+        manifest = ref.manifest if isinstance(ref, ShmRef) else ref
+        view = ArenaView(manifest)
+        meta = manifest["graph"]
+        self = cls.__new__(cls)
+        self.num_graphs = meta["num_graphs"]
+        self._n = meta["n"]
+        self._m = meta["m"]
+        self._vlabels = _SharedVLabels(view.ints(("v", "sets")), meta["vsets"])
+        self._fwd = _Direction._from_buffers(
+            view.ints(("f", "lab_off")), view.ints(("f", "lab")),
+            view.ints(("f", "seg_off")), view.ints(("f", "targets")),
+            view.ints(("f", "sorted")),
+        )
+        self._rev = _Direction._from_buffers(
+            view.ints(("r", "lab_off")), view.ints(("r", "lab")),
+            view.ints(("r", "seg_off")), view.ints(("r", "targets")),
+            view.ints(("r", "sorted")),
+        )
+        self._vlabel_order = tuple(meta["vlabel_order"])
+        self._vindex_arrays = _LazyShmMap(view, "vl", self._vlabel_order)
+        self._elabel_order = tuple(meta["elabel_order"])
+        self._esrc = _LazyShmMap(view, "es", self._elabel_order)
+        self._edst = _LazyShmMap(view, "ed", self._elabel_order)
+        self._out_set_cache = {}
+        self._in_set_cache = {}
+        self._vlabel_set_cache = {}
+        self._vlabels_members_cache = {}
+        self._labels_set_cache = {}
+        self._edge_pairs_cache = {}
+        self._out_bits_cache = {}
+        self._in_bits_cache = {}
+        self._labels_bits_cache = {}
+        self._filtered_cache = {}
+        self.shared_cache = {}
+        self._fingerprint = meta["fingerprint"]
+        self._shm_view = view
+        return self
+
+    # ------------------------------------------------------------------
     # pickling (the memoization caches are per-process; drop them)
     # ------------------------------------------------------------------
     def __getstate__(self) -> dict:
@@ -544,9 +844,27 @@ class CompactGraph(Graph):
                 "_vlabels_members_cache",
                 "_labels_set_cache",
                 "_edge_pairs_cache",
+                "_out_bits_cache",
+                "_in_bits_cache",
+                "_labels_bits_cache",
+                "_filtered_cache",
                 "shared_cache",
+                "_shm_view",
             )
         }
+        # an shm-attached graph holds memoryviews into the segment, which
+        # cannot cross a pickle boundary: materialize private copies (the
+        # _Direction fields handle their own slots the same way)
+        if not isinstance(state["_vlabels"], list):
+            state["_vlabels"] = list(state["_vlabels"])
+        for field in ("_vindex_arrays", "_esrc", "_edst"):
+            mapping = state[field]
+            if any(isinstance(v, memoryview) for v in mapping.values()):
+                state[field] = {
+                    label: array("q", data) if isinstance(data, memoryview)
+                    else data
+                    for label, data in mapping.items()
+                }
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -557,4 +875,9 @@ class CompactGraph(Graph):
         self._vlabels_members_cache = {}
         self._labels_set_cache = {}
         self._edge_pairs_cache = {}
+        self._out_bits_cache = {}
+        self._in_bits_cache = {}
+        self._labels_bits_cache = {}
+        self._filtered_cache = {}
         self.shared_cache = {}
+        self._shm_view = None

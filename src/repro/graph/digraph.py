@@ -299,6 +299,15 @@ class Graph:
 
         return CompactGraph(self)
 
+    def to_shm(self):
+        """Seal and publish into shared memory; see ``CompactGraph.to_shm``.
+
+        Returns ``(handle, ref)``; sibling processes reconstruct the
+        sealed graph with ``CompactGraph.from_shm(ref)`` without copying
+        any adjacency data.
+        """
+        return self.seal().to_shm()
+
     # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------

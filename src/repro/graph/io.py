@@ -41,6 +41,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
+from sys import intern
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from ..core.errors import GraphFormatError
@@ -343,7 +344,14 @@ def _load_triples_impl(
             if len(parts) < 3:
                 state.bad("triple line needs <subject> <predicate> <object>")
                 continue
-            subj, pred, obj = parts[0], parts[1], parts[2]
+            # intern the tokens: the same subject/predicate string recurs
+            # on thousands of lines, and interning both collapses the
+            # duplicates to one object and turns the dictionary-encoding
+            # lookups (and any later equality checks on the returned
+            # dicts) into pointer comparisons
+            subj = intern(parts[0])
+            pred = intern(parts[1])
+            obj = intern(parts[2])
             pid = predicate_ids.setdefault(pred, len(predicate_ids))
             graph.add_edge(vertex(subj), vertex(obj), pid)
             state.report.loaded += 1
@@ -359,6 +367,7 @@ def graph_from_triples(
     predicate_ids: Dict[str, int] = {}
     graph = Graph()
     for subj, pred, obj in triples:
+        subj, pred, obj = intern(subj), intern(pred), intern(obj)
         for token in (subj, obj):
             if token not in vertex_ids:
                 vertex_ids[token] = graph.add_vertex()

@@ -78,11 +78,14 @@ class HomomorphismCounter:
         query: QueryGraph,
         edge_candidates: Optional[Dict[int, Set[Tuple[int, int]]]] = None,
         vertex_filters: Optional[Dict[int, "VertexFilter"]] = None,
+        use_bitsets: Optional[bool] = None,
     ) -> None:
         """``edge_candidates`` optionally restricts which data edge may match
         a given query edge (keyed by index into ``query.edges``);
         ``vertex_filters`` optionally restricts which data vertex may match a
-        query vertex (keyed by query vertex, value is a predicate)."""
+        query vertex (keyed by query vertex, value is a predicate).
+        ``use_bitsets`` toggles the sealed substrate's adjacency-bitset
+        intersection kernel (default: on whenever the graph provides it)."""
         self.graph = graph
         self.query = query
         self.edge_candidates = edge_candidates or {}
@@ -96,6 +99,11 @@ class HomomorphismCounter:
         # turns the per-candidate constraint probes into plain set
         # membership; the dict-backed path below stays untouched
         self._sealed = bool(getattr(graph, "sealed", False))
+        bits_available = self._sealed and hasattr(graph, "out_neighbor_bits")
+        if use_bitsets is None:
+            self._bitsets = bits_available
+        else:
+            self._bitsets = bool(use_bitsets) and bits_available
         if self._sealed:
             # per-query-vertex incidence lists in edge-index order, so the
             # search filters O(deg_q(u)) entries instead of scanning every
@@ -136,10 +144,11 @@ class HomomorphismCounter:
                     query.neighbors(order[d]) & later
                 )
             self._suffix_independent = suffix
-            # candidate memo, reset per count() run: keyed by the query
-            # vertex and the anchor values of its active constraints —
-            # sibling subtrees that agree on those anchors reuse the list
-            self._memo: Dict[tuple, List[int]] = {}
+            # candidate memos live *inside* each plan (reset per count()
+            # run): keyed by the anchor values of the plan's constraints —
+            # sibling subtrees that agree on those anchors reuse the list.
+            # Single-anchor plans key on the bare int, which skips a tuple
+            # allocation per probe on the search's hottest path.
             # separator per depth: the assigned query vertices with at
             # least one query edge into order[d:].  A subtree's completion
             # count depends only on the data vertices bound to the
@@ -155,7 +164,7 @@ class HomomorphismCounter:
                     )
                 )
             self._separators = seps
-            self._count_memo: Dict[tuple, int] = {}
+            self._count_memo: Dict[object, int] = {}
             # candidate *plans*, precomputed per search context: which of
             # u's edges are anchored is a function of the (fixed) matching
             # order alone, so the per-node incident scan of the generic
@@ -172,10 +181,80 @@ class HomomorphismCounter:
                 self._make_plan(order[d], all_vertices - {order[d]})
                 for d in range(n)
             ]
+            # per-depth execution table: everything the hot recursion
+            # needs at one depth in a single tuple fetch — the per-node
+            # constant work (order/plan/separator lookups, separator
+            # sizing, the suffix-independence probe) happens once here
+            # instead of at every one of the millions of search nodes.
+            # ``None`` is the depth == n sentinel; a ``None`` separator
+            # means subtree counts at this depth are not memoizable.
+            self._depth_exec: List[Optional[tuple]] = []
+            for d in range(n):
+                plan = self._depth_plans[d]
+                sep = seps[d] if len(seps[d]) < d else None
+                self._depth_exec.append((
+                    order[d],
+                    plan,
+                    sep,
+                    d > 0 and suffix[d],
+                    # one-element separators key the count memo on a bare
+                    # (depth, value) pair instead of a built tuple
+                    sep[0] if sep is not None and len(sep) == 1 else None,
+                    plan[9],   # plan-local candidate memo
+                    plan[11],  # sole anchor (int-keyed memo) or None
+                    self._fast_candidates(plan),
+                ))
+            self._depth_exec.append(None)
+            # leaf-product twin of the table:
+            # (plan, count memo, anchor, inline count fast path)
+            self._leaf_exec = [
+                (p, p[10], p[11], self._fast_count(p))
+                for p in self._leaf_plans
+            ]
 
     #: cap on memoized candidate lists per count() run (backstop against
     #: pathological query shapes; typical runs stay far below it)
     _MEMO_MAX = 1 << 18
+
+    @staticmethod
+    def _fast_candidates(plan: tuple) -> Optional[tuple]:
+        """Inline candidate shortcut for single-anchor single-constraint plans.
+
+        Returns ``(view_fn, label, filtered_fn, ulabels, label_set)`` when
+        the plan's candidate pipeline reduces to one adjacency view plus at
+        most a vertex-label filter — the overwhelmingly common node shape —
+        so the search loop resolves a memo miss without calling (and
+        re-unpacking the plan inside) :meth:`_plan_candidates`.  The
+        produced lists are identical, element for element, to that method's.
+        """
+        (_key_id, others, getters, extras, label_set, vfilter, _static, _u,
+         _label_bits, _memo, _cmemo, anchor, ulabels) = plan
+        if anchor is None or len(getters) != 1 or vfilter is not None or extras:
+            return None
+        view_fn, _set_fn, _bits_fn, label, filt_fn = getters[0]
+        return (view_fn, label, filt_fn, ulabels, label_set)
+
+    @staticmethod
+    def _fast_count(plan: tuple) -> Optional[tuple]:
+        """Inline count shortcut: ``(view_fn, label)`` or None.
+
+        Valid only for unlabeled single-constraint plans, where the
+        candidate count is the length of one adjacency view — the same
+        number every :meth:`_plan_count` branch computes for this shape,
+        in either bitset mode.
+        """
+        (_key_id, others, getters, extras, label_set, vfilter, _static, _u,
+         _label_bits, _memo, _cmemo, anchor, _ulabels) = plan
+        if (
+            anchor is None
+            or len(getters) != 1
+            or vfilter is not None
+            or extras
+            or label_set is not None
+        ):
+            return None
+        view_fn, _set_fn, _bits_fn, label, _filt_fn = getters[0]
+        return (view_fn, label)
 
     def _make_plan(self, u: int, assigned: Set[int]) -> tuple:
         """Candidate plan for matching ``u`` with ``assigned`` bound.
@@ -204,23 +283,49 @@ class HomomorphismCounter:
         plan = self._plan_registry.get(signature)
         if plan is None:
             graph = self.graph
+            in_bits = getattr(graph, "in_neighbor_bits", None)
+            out_bits = getattr(graph, "out_neighbor_bits", None)
+            # bind the CSR direction objects' accessors directly when the
+            # graph exposes them: the per-call graph wrapper frame is pure
+            # overhead on the matcher's hottest call site
+            rev = getattr(graph, "_rev", None)
+            fwd = getattr(graph, "_fwd", None)
+            in_view = graph.in_neighbors if rev is None else rev.neighbors
+            out_view = graph.out_neighbors if fwd is None else fwd.neighbors
+            in_filt = getattr(graph, "in_neighbors_labeled", None)
+            out_filt = getattr(graph, "out_neighbors_labeled", None)
             getters = tuple(
                 # u --label--> other: candidates come from the anchor's
                 # in-adjacency; other --label--> u: from its out-adjacency
-                (graph.in_neighbors, graph.in_neighbor_set, label)
+                (in_view, graph.in_neighbor_set, in_bits, label, in_filt)
                 if direction == "out"
-                else (graph.out_neighbors, graph.out_neighbor_set, label)
+                else (out_view, graph.out_neighbor_set, out_bits, label,
+                      out_filt)
                 for _other, direction, label, _idx in entries
             )
+            label_set = self._ulabel_sets[u]
+            label_bits = (
+                graph.labels_member_bits(self.query.vertex_labels[u])
+                if self._bitsets and label_set is not None
+                else None
+            )
+            others = tuple(entry[0] for entry in entries)
             plan = (
                 len(self._plan_registry),  # memo keyspace id
-                tuple(entry[0] for entry in entries),  # anchor vertices
+                others,  # anchor vertices
                 getters,
                 tuple(extras),
-                self._ulabel_sets[u],
+                label_set,
                 self.vertex_filters.get(u),
                 [None],  # lazily computed constant list (anchor-free plans)
                 u,
+                label_bits,
+                {},  # plan-local candidate memo (int key for 1 anchor)
+                {},  # plan-local candidate-*count* memo (leaf product)
+                others[0] if len(others) == 1 else None,  # sole anchor
+                frozenset(self.query.vertex_labels[u])
+                if label_set is not None
+                else None,  # u's label set, for graph-level filtered views
             )
             self._plan_registry[signature] = plan
         return plan
@@ -238,8 +343,10 @@ class HomomorphismCounter:
         self._count = 0
         self._steps = 0
         if self._sealed:
-            self._memo = {}
             self._count_memo = {}
+            for plan in self._plan_registry.values():
+                plan[9].clear()
+                plan[10].clear()
         assignment: Dict[int, int] = {}
         complete = True
         try:
@@ -308,7 +415,8 @@ class HomomorphismCounter:
         sound because the graph is immutable and the filters are fixed for
         the counter's lifetime; it is reset at every :meth:`count` call.
         """
-        key_id, others, getters, extras, label_set, vfilter, static, u = plan
+        (_key_id, others, getters, extras, label_set, vfilter, static, u,
+         label_bits, memo, _cmemo, anchor, ulabels) = plan
         if not others:
             # no anchored edges: the candidate list is a run constant
             result = static[0]
@@ -329,27 +437,59 @@ class HomomorphismCounter:
                     ]
                 static[0] = result
             return result
-        if len(others) == 1:
-            values: tuple = (assignment[others[0]],)
+        if anchor is not None:
+            key: object = assignment[anchor]
+            values: tuple = (key,)
         else:
-            values = tuple(assignment[o] for o in others)
-        key = (key_id,) + values
-        memo = self._memo
+            values = tuple([assignment[o] for o in others])
+            key = values
         result = memo.get(key)
         if result is not None:
             return result
-        if len(getters) == 1:
-            view_fn, _set_fn, label = getters[0]
-            result = view_fn(values[0], label)
-            if label_set is not None:
-                result = [v for v in result if v in label_set]
+        if (
+            self._bitsets
+            and vfilter is None
+            and not extras
+            and len(getters) > 1
+        ):
+            # bitset kernel: every constraint (anchored adjacency + label
+            # membership) is a precomputed bitset, so the whole filter
+            # pipeline is a chain of C-speed big-int ANDs.  Intersecting
+            # sparsest-first (by popcount) shrinks the working set as
+            # early as possible — the bitset analog of the generic path's
+            # smallest-adjacency-list selection.  Single-constraint nodes
+            # stay on the list path: filtering a short cached tuple beats
+            # an AND + decode over |V|-bit integers.
+            blist = [g[2](val, g[3]) for g, val in zip(getters, values)]
+            if label_bits is not None:
+                blist.append(label_bits)
+            if len(blist) > 1:
+                blist.sort(key=int.bit_count)
+            bits = blist[0]
+            for b in blist[1:]:
+                if not bits:
+                    break
+                bits &= b
+            result = self._bits_to_vertices(bits)
+        elif len(getters) == 1:
+            view_fn, _set_fn, _bits_fn, label, filt_fn = getters[0]
+            if label_set is None:
+                result = view_fn(values[0], label)
+            elif filt_fn is not None:
+                # graph-level filtered adjacency: cached across counters,
+                # so repeated queries over one graph share the filter work
+                result = filt_fn(values[0], label, ulabels)
+            else:
+                result = [
+                    v for v in view_fn(values[0], label) if v in label_set
+                ]
         else:
-            views = [g[0](val, g[2]) for g, val in zip(getters, values)]
+            views = [g[0](val, g[3]) for g, val in zip(getters, values)]
             best = min(range(len(views)), key=lambda i: len(views[i]))
             result = views[best]
             for i, g in enumerate(getters):
                 if i != best:
-                    s = g[1](values[i], g[2])
+                    s = g[1](values[i], g[3])
                     result = [v for v in result if v in s]
             if label_set is not None:
                 result = [v for v in result if v in label_set]
@@ -362,6 +502,63 @@ class HomomorphismCounter:
         if len(memo) < self._MEMO_MAX:
             memo[key] = result
         return result
+
+    @staticmethod
+    def _bits_to_vertices(bits: int) -> List[int]:
+        """Decode a bitset into the ascending list of set-bit positions."""
+        result: List[int] = []
+        append = result.append
+        while bits:
+            low = bits & -bits
+            append(low.bit_length() - 1)
+            bits ^= low
+        return result
+
+    def _plan_count(self, plan: tuple, assignment: Dict[int, int]) -> int:
+        """Candidate *count* for a plan — the leaf product's only need.
+
+        With the bitset kernel the count is ``bit_count()`` of the ANDed
+        constraint bitsets: no candidate list is ever materialized, which
+        is where the leaf product spends most of its time on star-shaped
+        queries.  Falls back to ``len(_plan_candidates(...))`` whenever
+        the bitset preconditions fail, so counts are always identical.
+        """
+        (_key_id, others, getters, extras, label_set, vfilter, _static, _u,
+         label_bits, _memo, cmemo, anchor, _ulabels) = plan
+        if not others or vfilter is not None or extras:
+            # static / filtered / extra-checked plans: counts come from
+            # the (memoized) candidate list itself
+            return len(self._plan_candidates(plan, assignment))
+        if anchor is not None:
+            key: object = assignment[anchor]
+            values: tuple = (key,)
+        else:
+            values = tuple([assignment[o] for o in others])
+            key = values
+        cached = cmemo.get(key)
+        if cached is not None:
+            return cached
+        if not self._bitsets:
+            count = len(self._plan_candidates(plan, assignment))
+        elif label_bits is None and len(getters) == 1:
+            # single anchored view, no label filter: the segment length
+            g = getters[0]
+            count = len(g[0](values[0], g[3]))
+        else:
+            blist = [g[2](val, g[3]) for g, val in zip(getters, values)]
+            if label_bits is not None:
+                blist.append(label_bits)
+            if len(blist) > 1:
+                blist.sort(key=int.bit_count)
+            bits = blist[0]
+            for b in blist[1:]:
+                if not bits:
+                    break
+                bits &= b
+            count = bits.bit_count()
+        if len(cmemo) < self._MEMO_MAX:
+            cmemo[key] = count
+        return count
 
     def _extra_ok(
         self,
@@ -482,7 +679,7 @@ class HomomorphismCounter:
         product = 1
         plans = self._leaf_plans
         for d in range(depth, len(plans)):
-            product *= len(self._plan_candidates(plans[d], assignment))
+            product *= self._plan_count(plans[d], assignment)
             if product == 0:
                 return 0
         return product
@@ -522,49 +719,166 @@ class HomomorphismCounter:
         explored subtrees are ever cached.  Complete-run counts are
         identical to the generic path's; capped runs clamp to the cap
         exactly as the leaf product always has.
+
+        Implemented as an explicit-stack loop rather than recursion: the
+        search visits one node per candidate binding (hundreds of
+        thousands per query), and holding the counters, budget and memo
+        tables in locals while replacing call frames with a small list
+        per *in-progress* node removes the dominant constant cost of the
+        sealed matcher.  Node visitation order — and therefore ``steps``
+        and every count — is exactly the recursion's.
         """
-        self._steps += 1
-        # the deadline is a wall-clock budget over searches that run for
-        # seconds; probing the clock every 64 nodes keeps the granularity
-        # far below any meaningful budget while dropping a syscall from
-        # the per-node fast path
-        if (self._steps & 63) == 0 and time.monotonic() > self._deadline:
-            raise BudgetExceeded
-        if depth == len(self._order):
-            self._count += 1
-            if self._count >= self._cap:
-                raise BudgetExceeded
-            return 1
-        separator = self._separators[depth]
-        use_memo = len(separator) < depth  # separator forgets something
-        if use_memo:
-            key = (depth,) + tuple(assignment[x] for x in separator)
-            cached = self._count_memo.get(key)
-            if cached is not None:
-                self._count += cached
-                if self._count >= self._cap:
-                    self._count = self._cap
-                    raise BudgetExceeded
-                return cached
-        if depth > 0:
-            product = self._leaf_product_sealed(depth, assignment)
-            if product is not None:
-                self._count += product
-                if self._count >= self._cap:
-                    self._count = self._cap
-                    raise BudgetExceeded
-                if use_memo and len(self._count_memo) < self._MEMO_MAX:
-                    self._count_memo[key] = product
-                return product
-        u = self._order[depth]
-        total = 0
-        for v in self._plan_candidates(self._depth_plans[depth], assignment):
-            assignment[u] = v
-            total += self._search_sealed(depth + 1, assignment)
-            del assignment[u]
-        if use_memo and len(self._count_memo) < self._MEMO_MAX:
-            self._count_memo[key] = total
-        return total
+        steps = self._steps
+        count = self._count
+        cap = self._cap
+        deadline = self._deadline
+        monotonic = time.monotonic
+        count_memo = self._count_memo
+        depth_exec = self._depth_exec
+        leaf_exec = self._leaf_exec
+        nleaf = len(leaf_exec)
+        plan_candidates = self._plan_candidates
+        plan_count = self._plan_count
+        memo_max = self._MEMO_MAX
+        # frames of in-progress nodes: [u, memo key or None, iterator,
+        # accumulated total]; `ret` carries a finished subtree's count up
+        stack: List[list] = []
+        ret: Optional[int] = None
+        try:
+            while True:
+                if ret is None:
+                    # enter the node at `depth`
+                    steps += 1
+                    # the deadline is a wall-clock budget over searches
+                    # that run for seconds; probing the clock every 64
+                    # nodes keeps the granularity far below any
+                    # meaningful budget while dropping a syscall from
+                    # the per-node fast path
+                    if (steps & 63) == 0 and monotonic() > deadline:
+                        raise BudgetExceeded
+                    entry = depth_exec[depth]
+                    if entry is None:  # depth == n: one complete embedding
+                        count += 1
+                        if count >= cap:
+                            raise BudgetExceeded
+                        ret = 1
+                        continue
+                    (u, plan, separator, leaf_ok, sep_single, cand_memo,
+                     anchor, fast) = entry
+                    if separator is not None:  # memoizable subtree
+                        if sep_single is not None:
+                            key: Optional[tuple] = (
+                                depth, assignment[sep_single]
+                            )
+                        else:
+                            key = (depth,) + tuple(
+                                [assignment[x] for x in separator]
+                            )
+                        ret = count_memo.get(key)
+                        if ret is not None:
+                            count += ret
+                            if count >= cap:
+                                count = cap
+                                raise BudgetExceeded
+                            continue
+                    else:
+                        key = None
+                    if leaf_ok:
+                        # suffix independence (precomputed): completions
+                        # below here are the product of independent
+                        # candidate counts
+                        product = 1
+                        for d in range(depth, nleaf):
+                            lplan, cmemo, lanchor, cfast = leaf_exec[d]
+                            if lanchor is not None:
+                                lkey = assignment[lanchor]
+                                c = cmemo.get(lkey)
+                                if c is None:
+                                    if cfast is not None:
+                                        # single label-constrained view:
+                                        # count is the view length, no
+                                        # call into _plan_count
+                                        c = len(cfast[0](lkey, cfast[1]))
+                                        if len(cmemo) < memo_max:
+                                            cmemo[lkey] = c
+                                    else:
+                                        c = plan_count(lplan, assignment)
+                            else:
+                                c = plan_count(lplan, assignment)
+                            product *= c
+                            if product == 0:
+                                break
+                        count += product
+                        if count >= cap:
+                            count = cap
+                            raise BudgetExceeded
+                        if key is not None and len(count_memo) < memo_max:
+                            count_memo[key] = product
+                        ret = product
+                        continue
+                    # inline memo probe: single-anchor plans resolve
+                    # their candidate list with one int-keyed dict hit,
+                    # no call into _plan_candidates
+                    if anchor is not None:
+                        akey = assignment[anchor]
+                        candidates = cand_memo.get(akey)
+                        if candidates is None:
+                            if fast is not None:
+                                # single-constraint plan: build the list
+                                # inline from the adjacency view instead
+                                # of calling _plan_candidates
+                                view_fn, label, filt_fn, ulabels, lset = fast
+                                if lset is None:
+                                    candidates = view_fn(akey, label)
+                                elif filt_fn is not None:
+                                    candidates = filt_fn(akey, label, ulabels)
+                                else:
+                                    candidates = [
+                                        v for v in view_fn(akey, label)
+                                        if v in lset
+                                    ]
+                                if len(cand_memo) < memo_max:
+                                    cand_memo[akey] = candidates
+                            else:
+                                candidates = plan_candidates(plan, assignment)
+                    else:
+                        candidates = plan_candidates(plan, assignment)
+                    it = iter(candidates)
+                    v = next(it, None)
+                    if v is None:  # no candidates: empty subtree
+                        if key is not None and len(count_memo) < memo_max:
+                            count_memo[key] = 0
+                        ret = 0
+                        continue
+                    assignment[u] = v
+                    stack.append([u, key, it, 0])
+                    depth += 1
+                    continue
+                # a subtree finished with `ret` completions: resume the
+                # innermost in-progress node
+                if not stack:
+                    return ret
+                frame = stack[-1]
+                frame[3] += ret
+                u = frame[0]
+                v = next(frame[2], None)
+                if v is not None:  # next sibling binding, same depth
+                    assignment[u] = v
+                    ret = None
+                    continue
+                del assignment[u]
+                stack.pop()
+                total = frame[3]
+                key = frame[1]
+                if key is not None and len(count_memo) < memo_max:
+                    count_memo[key] = total
+                ret = total
+                depth -= 1
+        finally:
+            # locals carry the counters through the loop; write them back
+            # on every exit (including a budget abort mid-search)
+            self._steps = steps
+            self._count = count
 
 
 def count_embeddings(

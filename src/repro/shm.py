@@ -1,0 +1,350 @@
+"""Zero-copy shared-memory data plane (``multiprocessing.shared_memory``).
+
+The parallel runner ships two large immutable artifacts to every worker:
+the sealed data graph and each technique's prepared summary.  Pickling
+them per worker costs serialization time *and* a private copy of every
+array in every process.  This module provides the alternative used by
+real evaluation stacks: the parent packs the flat buffers into one named
+shared-memory segment, workers attach it read-only, and the kernel maps
+the same physical pages everywhere — attach cost is independent of graph
+size and per-worker memory is a handful of views.
+
+Three layers:
+
+* **segment lifecycle** — :func:`create_segment` / :func:`attach_segment`
+  with a process-local registry of created segments, ``atexit`` cleanup,
+  and :func:`reap_orphans` which unlinks segments whose creator process
+  died without cleaning up (segment names embed the creator pid for
+  exactly this purpose).  Attaching deliberately bypasses
+  :class:`~multiprocessing.shared_memory.SharedMemory`: on Python < 3.13
+  every named attach *registers* with the ``multiprocessing`` resource
+  tracker as if the process owned the segment, and the fork-inherited
+  tracker then unlinks live segments when the first worker exits
+  (bpo-39959) — the behavior difference the CI 3.10 job exists to catch.
+  Workers instead map the segment directly (:class:`_Attachment`), which
+  never touches the tracker on any version.
+* **:class:`ShmArena`** — packs named ``array('q')`` / ``bytes`` items
+  into one segment with 8-byte alignment, returning a picklable manifest
+  (name + per-item offsets) that any process can turn back into zero-copy
+  ``memoryview`` slices via :class:`ArenaView`.
+* **:class:`ShmRef`** — a tiny picklable envelope the runner sends to
+  workers instead of the real object ("the graph lives in segment X").
+
+Everything degrades gracefully: :func:`shm_supported` gates the feature
+(``multiprocessing.shared_memory`` needs ``/dev/shm`` on Linux), and all
+callers fall back to plain pickling when it returns False.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+from array import array
+from typing import Dict, Iterable, List, Optional, Tuple
+
+try:  # pragma: no cover - import succeeds everywhere we support
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exotic platforms
+    _shared_memory = None
+
+#: prefix of every segment this library creates; the second dash-separated
+#: field is the creator pid, which is what makes orphans identifiable
+SEGMENT_PREFIX = "gcare"
+
+#: where POSIX shared memory appears as files (Linux); orphan reaping and
+#: the leak assertions in the test suite scan this directory
+SHM_DIR = "/dev/shm"
+
+_ITEM_ALIGN = 8  # 'q' casts require 8-byte-aligned offsets
+
+
+_SUPPORTED: Optional[bool] = None
+
+
+def shm_supported() -> bool:
+    """True when named shared memory is usable on this platform."""
+    global _SUPPORTED
+    if _SUPPORTED is None:
+        _SUPPORTED = _shared_memory is not None and os.path.isdir(SHM_DIR)
+    return _SUPPORTED
+
+
+# ---------------------------------------------------------------------------
+# segment lifecycle
+# ---------------------------------------------------------------------------
+#: name -> SharedMemory created *by this process* (cleaned up at exit);
+#: guarded by pid so a forked child never unlinks the parent's segments
+_CREATED: Dict[str, object] = {}
+_OWNER_PID = os.getpid()
+_ATEXIT_INSTALLED = False
+
+
+def _cleanup_created() -> None:
+    if os.getpid() != _OWNER_PID:
+        # forked child inheriting the registry: not ours to unlink
+        return
+    for name in list(_CREATED):
+        release_segment(name)
+
+
+def create_segment(nbytes: int) -> object:
+    """Create a named segment owned by this process; registered for cleanup."""
+    if _shared_memory is None:  # pragma: no cover - gated by shm_supported
+        raise RuntimeError("shared memory is not available on this platform")
+    global _ATEXIT_INSTALLED
+    name = f"{SEGMENT_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
+    shm = _shared_memory.SharedMemory(name=name, create=True, size=max(1, nbytes))
+    _CREATED[shm.name] = shm
+    if not _ATEXIT_INSTALLED:
+        atexit.register(_cleanup_created)
+        _ATEXIT_INSTALLED = True
+    return shm
+
+
+def release_segment(name: str) -> None:
+    """Close + unlink a segment created by this process (idempotent)."""
+    shm = _CREATED.pop(name, None)
+    if shm is None:
+        return
+    try:
+        shm.close()
+    except BufferError:  # live memoryview exports: unlink anyway
+        pass
+    except OSError:  # pragma: no cover - defensive
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # someone reaped it already
+        pass
+    except OSError:  # pragma: no cover - defensive
+        pass
+
+
+class _Attachment:
+    """A borrowed read-write mapping of an existing segment.
+
+    Maps the segment directly (``shm_open`` + ``mmap``) instead of going
+    through :class:`SharedMemory`, for two load-bearing reasons:
+
+    * **no resource-tracker traffic.**  On Python < 3.13 every
+      ``SharedMemory(name)`` attach *registers* the segment as if the
+      process owned it; with fork-started workers all registrations hit
+      one shared tracker whose unregister bookkeeping races across
+      processes (and would unlink live segments at worker exit).
+    * **no destructor noise.**  ``SharedMemory.__del__`` calls ``close()``
+      even while exported memoryviews are alive, spraying ignored
+      ``BufferError`` tracebacks at every GC of an attached graph.  A raw
+      ``mmap`` is kept alive by its exported views and deallocates
+      silently once the last one dies.
+    """
+
+    __slots__ = ("name", "buf", "_mmap")
+
+    def __init__(self, name: str) -> None:
+        import mmap as _mmap_mod
+
+        import _posixshmem
+
+        fd = _posixshmem.shm_open("/" + name, os.O_RDWR, mode=0o600)
+        try:
+            size = os.fstat(fd).st_size
+            self._mmap = _mmap_mod.mmap(fd, size)
+        finally:
+            os.close(fd)
+        self.name = name
+        self.buf = memoryview(self._mmap)
+
+    def close(self) -> None:
+        try:
+            self.buf.release()
+            self._mmap.close()
+        except BufferError:
+            pass  # derived views still alive; mapping dies with them
+
+
+def attach_segment(name: str) -> _Attachment:
+    """Attach an existing segment without claiming ownership of it."""
+    if not shm_supported():  # pragma: no cover - gated by callers
+        raise RuntimeError("shared memory is not available on this platform")
+    return _Attachment(name)
+
+
+def created_segments() -> List[str]:
+    """Names of live segments created by this process (the leak probe)."""
+    return sorted(_CREATED)
+
+
+def list_segments() -> List[str]:
+    """All ``gcare-*`` segment files currently in :data:`SHM_DIR`."""
+    try:
+        names = os.listdir(SHM_DIR)
+    except OSError:
+        return []
+    return sorted(n for n in names if n.startswith(SEGMENT_PREFIX + "-"))
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # exists, owned by someone else
+        return True
+    return True
+
+
+def reap_orphans() -> List[str]:
+    """Unlink ``gcare-*`` segments whose creator process is dead.
+
+    Run at sweep start: a previous run killed with SIGKILL (so neither
+    finalizers nor ``atexit`` fired) leaves its segments behind, and this
+    sweep inherits the cleanup.  Segments of live processes — including
+    this one — are never touched.  Returns the reaped names.
+    """
+    reaped: List[str] = []
+    for name in list_segments():
+        parts = name.split("-")
+        try:
+            pid = int(parts[1])
+        except (IndexError, ValueError):
+            continue
+        if _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(SHM_DIR, name))
+        except OSError:
+            continue
+        _CREATED.pop(name, None)
+        reaped.append(name)
+    return reaped
+
+
+# ---------------------------------------------------------------------------
+# arena: many named flat buffers in one segment
+# ---------------------------------------------------------------------------
+def _align(offset: int) -> int:
+    return (offset + _ITEM_ALIGN - 1) & ~(_ITEM_ALIGN - 1)
+
+
+class ShmArena:
+    """Write-side packer: named int64/bytes items into one segment.
+
+    Items are laid out back to back at 8-byte-aligned offsets.  ``seal``
+    creates the segment, copies every item in (the only copy in the whole
+    pipeline — attaches are zero-copy), and returns a
+    :class:`SealedArena` handle plus a picklable manifest for readers.
+    """
+
+    def __init__(self) -> None:
+        self._items: List[Tuple[object, str, object]] = []
+
+    def add_ints(self, key, data) -> None:
+        """Add an int64 item (an ``array('q')``, or any int iterable)."""
+        if not isinstance(data, array) or data.typecode != "q":
+            data = array("q", data)
+        self._items.append((key, "q", data))
+
+    def add_bytes(self, key, payload) -> None:
+        """Add an opaque bytes item."""
+        self._items.append((key, "b", bytes(payload)))
+
+    def seal(self) -> Tuple["SealedArena", dict]:
+        items: Dict[object, Tuple[int, int, str]] = {}
+        offset = 0
+        for key, kind, data in self._items:
+            offset = _align(offset)
+            nbytes = data.itemsize * len(data) if kind == "q" else len(data)
+            items[key] = (offset, len(data), kind)
+            offset += nbytes
+        shm = create_segment(offset)
+        buf = shm.buf
+        for key, kind, data in self._items:
+            start = items[key][0]
+            raw = data.tobytes() if kind == "q" else data
+            buf[start:start + len(raw)] = raw
+        manifest = {"segment": shm.name, "nbytes": offset, "items": items}
+        return SealedArena(shm), manifest
+
+
+class SealedArena:
+    """Creator-side handle of a packed segment; releasing unlinks it.
+
+    A ``weakref.finalize``-equivalent safety net is unnecessary: the
+    module-level registry + ``atexit`` hook already guarantee cleanup on
+    any orderly exit, and :func:`reap_orphans` covers disorderly ones.
+    """
+
+    __slots__ = ("name", "nbytes", "_shm")
+
+    def __init__(self, shm) -> None:
+        self._shm = shm
+        self.name = shm.name
+        self.nbytes = shm.size
+
+    def release(self) -> None:
+        """Unlink the segment (idempotent; no-op in forked children)."""
+        if os.getpid() != _OWNER_PID:
+            return
+        release_segment(self.name)
+
+
+class ArenaView:
+    """Read-side zero-copy view of a packed segment.
+
+    ``ints(key)`` returns a read-only ``memoryview`` cast to int64 — it
+    supports ``len``/indexing/iteration/slicing/``bisect`` directly over
+    the shared pages, so consumers index the CSR without ever copying it.
+    The underlying mapping lives as long as the view object (or the
+    process); ``close`` is best-effort because exported memoryviews pin
+    the mapping.
+    """
+
+    def __init__(self, manifest: dict) -> None:
+        self._shm = attach_segment(manifest["segment"])
+        self._items = manifest["items"]
+        self._buf = self._shm.buf.toreadonly()
+        self.segment = manifest["segment"]
+        self.nbytes = manifest["nbytes"]
+
+    def keys(self) -> Iterable:
+        return self._items.keys()
+
+    def ints(self, key):
+        offset, count, kind = self._items[key]
+        if kind != "q":
+            raise TypeError(f"item {key!r} is not an int64 item")
+        return self._buf[offset:offset + count * 8].cast("q")
+
+    def bytes(self, key):
+        offset, count, kind = self._items[key]
+        if kind != "b":
+            raise TypeError(f"item {key!r} is not a bytes item")
+        return self._buf[offset:offset + count]
+
+    def close(self) -> None:
+        """Best-effort detach (derived memoryviews may pin the mapping)."""
+        try:
+            self._buf.release()
+            self._shm.close()
+        except BufferError:
+            pass  # views still exported; the mapping dies with the process
+
+
+class ShmRef:
+    """Picklable pointer to an shm-resident object, sent instead of it."""
+
+    __slots__ = ("kind", "manifest")
+
+    def __init__(self, kind: str, manifest: dict) -> None:
+        self.kind = kind
+        self.manifest = manifest
+
+    def __getstate__(self):
+        return (self.kind, self.manifest)
+
+    def __setstate__(self, state):
+        self.kind, self.manifest = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ShmRef({self.kind!r}, segment={self.manifest['segment']!r})"

@@ -1,0 +1,323 @@
+"""Tests for the shared-memory transport (repro.shm) and its consumers.
+
+Three layers of contract:
+
+* the arena primitives — round-tripping int vectors and byte payloads
+  through a named segment, read-only enforcement, and the registry /
+  orphan-reaping lifecycle that keeps ``/dev/shm`` clean across crashes;
+* ``CompactGraph.to_shm`` / ``from_shm`` — an attached graph must be
+  indistinguishable from the sealed original through the accessor API;
+* the parallel runner — serial, parallel-over-pickle, parallel-over-shm
+  and resumed sweeps must produce bit-identical records (the determinism
+  contract extended across the transport), including under ``--trace``
+  and under a chaos plan whose ``worker:crash`` cells hard-kill their
+  workers mid-batch — and no segment may outlive any of it.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro import shm as shm_mod
+from repro.bench.parallel import ParallelEvaluationRunner
+from repro.bench.results_log import ResultsLog
+from repro.bench.runner import EvaluationRunner, NamedQuery
+from repro.bench.summary_cache import blobs_from_shm, blobs_to_shm
+from repro.core.registry import ALL_TECHNIQUES
+from repro.datasets.example import (
+    EDGE_A,
+    EDGE_B,
+    LABEL_A,
+    figure1_graph,
+    figure1_query,
+)
+from repro.faults import FaultPlan, FaultSpec
+from repro.graph.compact import CompactGraph
+from repro.graph.query import QueryGraph
+from repro.matching.homomorphism import count_embeddings
+from repro.shm import ArenaView, ShmArena, ShmRef
+
+pytestmark = pytest.mark.skipif(
+    not shm_mod.shm_supported(), reason="platform has no shared memory"
+)
+
+
+def _assert_no_leaks():
+    """The segment registry and /dev/shm must both be empty."""
+    assert shm_mod.created_segments() == []
+    assert shm_mod.list_segments() == []
+
+
+@pytest.fixture(autouse=True)
+def leak_check():
+    """Every test in this module must leave zero segments behind."""
+    shm_mod.reap_orphans()
+    yield
+    _assert_no_leaks()
+
+
+# ---------------------------------------------------------------------------
+# arena primitives
+# ---------------------------------------------------------------------------
+class TestArena:
+    def test_ints_and_bytes_round_trip(self):
+        arena = ShmArena()
+        arena.add_ints("offsets", [0, 3, 5, 5, 9])
+        arena.add_ints("empty", [])
+        arena.add_bytes("blob", b"\x00payload\xff")
+        handle, manifest = arena.seal()
+        try:
+            view = ArenaView(manifest)
+            assert list(view.ints("offsets")) == [0, 3, 5, 5, 9]
+            assert list(view.ints("empty")) == []
+            assert bytes(view.bytes("blob")) == b"\x00payload\xff"
+            assert set(view.keys()) == {"offsets", "empty", "blob"}
+        finally:
+            handle.release()
+
+    def test_views_are_read_only(self):
+        arena = ShmArena()
+        arena.add_bytes("blob", b"abc")
+        handle, manifest = arena.seal()
+        try:
+            view = ArenaView(manifest)
+            with pytest.raises((TypeError, ValueError)):
+                view.bytes("blob")[0] = 0
+        finally:
+            handle.release()
+
+    def test_shm_ref_survives_pickling(self):
+        arena = ShmArena()
+        arena.add_bytes("blob", b"xyz")
+        handle, manifest = arena.seal()
+        try:
+            ref = pickle.loads(pickle.dumps(ShmRef("summaries", manifest)))
+            assert ref.kind == "summaries"
+            view = ArenaView(ref.manifest)
+            assert bytes(view.bytes("blob")) == b"xyz"
+        finally:
+            handle.release()
+
+    def test_registry_tracks_lifecycle(self):
+        arena = ShmArena()
+        arena.add_bytes("blob", b"live")
+        handle, _manifest = arena.seal()
+        created = shm_mod.created_segments()
+        assert len(created) == 1
+        assert created[0] in shm_mod.list_segments()
+        handle.release()
+        _assert_no_leaks()
+        handle.release()  # idempotent
+
+    def test_reap_skips_live_and_removes_dead(self, tmp_path):
+        # a live segment from this very process must survive the reaper
+        arena = ShmArena()
+        arena.add_bytes("blob", b"live")
+        handle, _ = arena.seal()
+        try:
+            # forge an orphan: a segment file named for a dead pid
+            dead_pid = 1
+            while shm_mod._pid_alive(dead_pid):  # pid 1 is init; walk up
+                dead_pid += 1
+            orphan = f"{shm_mod.SEGMENT_PREFIX}-{dead_pid}-deadbeef"
+            orphan_path = os.path.join(shm_mod.SHM_DIR, orphan)
+            with open(orphan_path, "wb") as fh:
+                fh.write(b"\x00" * 16)
+            assert orphan in shm_mod.list_segments()
+            reaped = shm_mod.reap_orphans()
+            assert orphan in reaped
+            assert orphan not in shm_mod.list_segments()
+            assert shm_mod.created_segments()  # live one untouched
+        finally:
+            handle.release()
+
+
+# ---------------------------------------------------------------------------
+# graph and summary transport
+# ---------------------------------------------------------------------------
+class TestGraphTransport:
+    def test_graph_round_trip_is_equal_through_accessors(self):
+        sealed = figure1_graph().seal()
+        handle, ref = sealed.to_shm()
+        try:
+            attached = CompactGraph.from_shm(ref)
+            assert attached.sealed
+            assert attached.num_vertices == sealed.num_vertices
+            assert attached.num_edges == sealed.num_edges
+            assert sorted(attached.edges()) == sorted(sealed.edges())
+            for v in sealed.vertices():
+                assert attached.vertex_labels(v) == sealed.vertex_labels(v)
+            # the matcher — heaviest accessor consumer — agrees too
+            query = figure1_query()
+            assert (
+                count_embeddings(attached, query, time_limit=10.0).count
+                == count_embeddings(sealed, query, time_limit=10.0).count
+            )
+        finally:
+            handle.release()
+
+    def test_summary_blobs_round_trip_zero_copy(self):
+        blobs = {"cset": b"a" * 100, "wj": b"b" * 10, "cs": b""}
+        handle, ref = blobs_to_shm(blobs)
+        try:
+            out = blobs_from_shm(ref)
+            assert {k: bytes(v) for k, v in out.items()} == blobs
+            assert all(isinstance(v, memoryview) for v in out.values())
+        finally:
+            handle.release()
+
+
+# ---------------------------------------------------------------------------
+# runner equivalence across the transport
+# ---------------------------------------------------------------------------
+def _path_query() -> QueryGraph:
+    return QueryGraph(
+        vertex_labels=[(LABEL_A,), (), ()],
+        edges=[(0, 1, EDGE_A), (1, 2, EDGE_B)],
+    )
+
+
+@pytest.fixture(scope="module")
+def sealed_example():
+    graph = figure1_graph().seal()
+    queries = []
+    for name, query in (("tri", figure1_query()), ("path", _path_query())):
+        truth = count_embeddings(graph, query, time_limit=10.0).count
+        queries.append(
+            NamedQuery(name, query, truth, {"topology": name, "size": "q"})
+        )
+    return graph, queries
+
+
+def comparable(record) -> tuple:
+    return (
+        record.technique,
+        record.query_name,
+        record.run,
+        record.true_cardinality,
+        record.estimate,
+        record.error,
+        tuple(sorted(record.groups.items())),
+    )
+
+
+KW = dict(sampling_ratio=0.5, seed=11, time_limit=10)
+
+
+class TestTransportEquivalence:
+    def test_serial_pickle_shm_resumed_identical(self, sealed_example, tmp_path):
+        """The full chain: serial == parallel == parallel+shm == resumed."""
+        graph, queries = sealed_example
+        techniques = list(ALL_TECHNIQUES)
+        runs = 2
+
+        serial = EvaluationRunner(graph, techniques, **KW).run(
+            queries, runs=runs
+        )
+        pickled = ParallelEvaluationRunner(
+            graph, techniques, workers=3, use_shm=False, **KW
+        ).run(queries, runs=runs)
+        shm_runner = ParallelEvaluationRunner(
+            graph, techniques, workers=3, use_shm=True, **KW
+        )
+        shmed = shm_runner.run(queries, runs=runs)
+        assert shm_runner.last_run_stats["shm_segments"] == 2
+        assert shm_runner.last_run_stats["shm_bytes"] > 0
+
+        # resume: replay a log holding only the first half of the grid
+        full_log = tmp_path / "full.jsonl"
+        with ResultsLog(full_log) as log:
+            for record in shmed[: len(shmed) // 2]:
+                log.append(record)
+        resumed_runner = ParallelEvaluationRunner(
+            graph, techniques, workers=3, use_shm=True, **KW
+        )
+        resumed = resumed_runner.run(
+            queries, runs=runs, results_log=ResultsLog(full_log)
+        )
+        assert resumed_runner.last_run_stats["resumed"] == len(shmed) // 2
+
+        reference = [comparable(r) for r in serial]
+        assert [comparable(r) for r in pickled] == reference
+        assert [comparable(r) for r in shmed] == reference
+        assert [comparable(r) for r in resumed] == reference
+
+    def test_traced_sweep_identical_across_transport(self, sealed_example):
+        graph, queries = sealed_example
+        techniques = ["cset", "wj", "cs", "jsub"]
+        serial = EvaluationRunner(
+            graph, techniques, trace=True, **KW
+        ).run(queries, runs=2)
+        shmed = ParallelEvaluationRunner(
+            graph, techniques, trace=True, workers=3, use_shm=True, **KW
+        ).run(queries, runs=2)
+        assert [comparable(r) for r in shmed] == [
+            comparable(r) for r in serial
+        ]
+        for ser, par in zip(serial, shmed):
+            assert par.counters == ser.counters, ser.key
+            assert par.trace is not None
+
+    def test_batch_size_does_not_change_records(self, sealed_example):
+        graph, queries = sealed_example
+        outcomes = []
+        for batch_size in (1, 5):
+            runner = ParallelEvaluationRunner(
+                graph, ["wj", "cs"], workers=2, use_shm=True,
+                batch_size=batch_size, **KW
+            )
+            records = runner.run(queries, runs=3)
+            assert runner.last_run_stats["batch_size"] == batch_size
+            assert runner.last_run_stats["batches"] >= 1
+            outcomes.append([comparable(r) for r in records])
+        assert outcomes[0] == outcomes[1]
+
+    def test_chaos_worker_crashes_leave_no_segments(self, sealed_example):
+        """worker:crash cells hard-kill mid-batch; cleanup must hold.
+
+        ``maybe_die`` uses ``os._exit`` — no finally blocks, no atexit —
+        so this is the closest reproducible stand-in for a segfaulting
+        worker holding an shm attachment.  The parent must requeue the
+        batch remainders, finish the sweep, and release every segment.
+        """
+        graph, queries = sealed_example
+        plan = FaultPlan(
+            (FaultSpec("crash", "worker", probability=0.5),), seed=3
+        )
+        runner = ParallelEvaluationRunner(
+            graph, ["cset", "wj"], workers=2, use_shm=True,
+            fault_plan=plan, worker_retries=0, **KW
+        )
+        records = runner.run(queries, runs=2)
+        assert len(records) == 2 * len(queries) * 2
+        crashed = [r for r in records if r.error == "crashed"]
+        assert crashed  # the plan actually fired
+        survivors = [r for r in records if r.error is None]
+        assert survivors  # and the sweep still made progress
+        _assert_no_leaks()
+
+    def test_auto_shm_publishes_for_sealed_graph(self, sealed_example):
+        graph, queries = sealed_example
+        runner = ParallelEvaluationRunner(
+            graph, ["wj"], workers=2, **KW  # use_shm=None: auto
+        )
+        runner.run(queries, runs=1)
+        assert runner.last_run_stats["shm_segments"] == 2
+        assert runner.last_run_stats["shm_attaches"] == 2
+
+    def test_no_shm_for_unsealed_graph_in_auto_mode(self):
+        graph = figure1_graph()  # dict-backed, not sealed
+        queries = [
+            NamedQuery(
+                "tri",
+                figure1_query(),
+                count_embeddings(graph, figure1_query(), time_limit=10.0).count,
+                {},
+            )
+        ]
+        runner = ParallelEvaluationRunner(graph, ["wj"], workers=2, **KW)
+        runner.run(queries, runs=1)
+        assert runner.last_run_stats["shm_segments"] == 0
