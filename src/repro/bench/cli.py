@@ -181,6 +181,7 @@ def _sweep(
 ) -> int:
     """Run the full (technique, query, run) grid, parallel and resumable."""
     from ..core.registry import available_techniques
+    from ..kernels import fallback_note
     from ..faults.plan import FaultPlan
     from ..metrics.report import render_table
     from . import workloads
@@ -189,6 +190,9 @@ def _sweep(
     from .runner import summarize
     from .summary_cache import SummaryCache
 
+    note = fallback_note()
+    if note is not None:  # one line, once, when kernels run degraded
+        print(note)
     names = (
         [t.strip() for t in techniques.split(",") if t.strip()]
         if techniques

@@ -34,6 +34,8 @@ from ..core.errors import UnsupportedQueryError
 from ..core.framework import Estimator
 from ..graph.digraph import Graph
 from ..graph.query import QueryGraph
+from ..kernels import sampling as _ksampling
+from ..kernels import views as _kviews
 
 Walk = Tuple[int, ...]
 
@@ -52,6 +54,7 @@ class Impr(Estimator):
         super().__init__(graph, **kwargs)
         self._labels: FrozenSet[int] = frozenset()
         self._slots: Dict[int, List[Tuple[int, int]]] = {}
+        self._slot_table: List[int] = []
         self._num_edges = 0
         self._failures = 0
         self._samples = 0
@@ -63,13 +66,36 @@ class Impr(Estimator):
         if labels == self._labels and self._slots:
             return
         self._labels = labels
-        self._slots = {}
-        self._num_edges = 0
+        # sealed graphs share the walk structure across estimator
+        # instances (the structure is a pure function of the immutable
+        # graph and the query's label set)
+        shared = getattr(self.graph, "shared_cache", None)
+        key = ("impr.walk", labels)
+        if shared is not None:
+            cached = shared.get(key)
+            if cached is not None:
+                self._slots, self._slot_table, self._num_edges = cached
+                return
+        slots: Dict[int, List[Tuple[int, int]]] = {}
+        # flat slot table: slot 2i / 2i + 1 map to the source / target of
+        # edge i (concatenated per label), replacing the per-draw linear
+        # scan over label pair lists with one list index
+        slot_table: List[int] = []
+        num_edges = 0
         for label in labels:
-            for src, dst in self.graph.edges_with_label(label):
-                self._slots.setdefault(src, []).append((dst, label))
-                self._slots.setdefault(dst, []).append((src, label))
-                self._num_edges += 1
+            pairs = self.graph.edges_with_label(label)
+            for src, dst in pairs:
+                slots.setdefault(src, []).append((dst, label))
+                slots.setdefault(dst, []).append((src, label))
+            num_edges += len(pairs)
+            _ksampling.interleave_pairs(
+                pairs, _kviews.pair_arrays(self.graph, label), out=slot_table
+            )
+        self._slots = slots
+        self._slot_table = slot_table
+        self._num_edges = num_edges
+        if shared is not None:
+            shared[key] = (slots, slot_table, num_edges)
 
     def _degree(self, v: int) -> int:
         return len(self._slots.get(v, ()))
@@ -108,7 +134,7 @@ class Impr(Estimator):
         # start from the stationary distribution d(v)/2|E|: a uniformly
         # random slot (edge endpoint) lands on v with that probability
         slot = rng.randrange(2 * self._num_edges)
-        current = self._slot_vertex(slot)
+        current = self._slot_table[slot]
         walk = [current]
         seen = {current}
         while len(walk) < length:
@@ -123,16 +149,6 @@ class Impr(Estimator):
             walk.append(current)
             seen.add(current)
         return tuple(walk)
-
-    def _slot_vertex(self, slot: int) -> int:
-        """Map a global slot index to a vertex (prob proportional to degree)."""
-        for label in self._labels:
-            pairs = self.graph.edges_with_label(label)
-            if slot < 2 * len(pairs):
-                src, dst = pairs[slot // 2]
-                return src if slot % 2 == 0 else dst
-            slot -= 2 * len(pairs)
-        raise AssertionError("slot index out of range")
 
     def est_card(
         self, query: QueryGraph, subquery: QueryGraph, substructure: Optional[Walk]

@@ -27,6 +27,9 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tup
 from ..core.framework import Estimator
 from ..graph.digraph import Graph
 from ..graph.query import QueryGraph
+from ..kernels import ops as _kops
+from ..kernels import sampling as _ksampling
+from ..kernels import views as _kviews
 
 QueryEdge = Tuple[int, int, int]
 
@@ -34,6 +37,70 @@ QueryEdge = Tuple[int, int, int]
 TRIAL_SAMPLES = 10
 #: cap on (spanning tree, root edge) candidates scored during decomposition
 MAX_CANDIDATES = 32
+#: cap on entries in a shared exact-weight memo (per tree shape)
+MEMO_MAX = 1 << 18
+
+
+def _label_structures(
+    graph: Graph, query: QueryGraph
+) -> Tuple[Dict[int, Optional[FrozenSet[int]]], Dict[int, object]]:
+    """Per-query-vertex label member sets and sorted member arrays.
+
+    Shared by every sampler of a query (they differ only in tree shape),
+    so the estimator builds these once per query signature instead of
+    once per sampler — up to :data:`MAX_CANDIDATES` rebuilds saved per
+    estimate call on the sealed hot path.
+    """
+    label_sets: Dict[int, Optional[FrozenSet[int]]] = {
+        u: (
+            graph.labels_member_set(query.vertex_labels[u])
+            if query.vertex_labels[u]
+            else None
+        )
+        for u in range(query.num_vertices)
+    }
+    member_arrs: Dict[int, object] = {
+        u: (
+            _kviews.member_array(graph, query.vertex_labels[u])
+            if query.vertex_labels[u]
+            else None
+        )
+        for u in range(query.num_vertices)
+    }
+    return label_sets, member_arrs
+
+
+def _orient_tree(
+    query: QueryGraph, tree_edges: List[int], root_edge: int
+) -> Dict[int, List[QueryEdge]]:
+    """Child-edge map of ``tree_edges`` oriented away from the root edge.
+
+    A pure function of the query structure — hoisted out of
+    :class:`_TreeSampler` so decomposition can cache one orientation per
+    ``(tree, root)`` instead of re-deriving it on every estimate call
+    (the BENCH_PR5 sealed-slower-than-unsealed regression: JSUB rebuilt
+    up to 32 samplers' worth of this per estimate).
+    """
+    u, v, _ = query.edges[root_edge]
+    children: Dict[int, List[QueryEdge]] = {}
+    visited = {u, v}
+    frontier = [u, v]
+    remaining = [i for i in tree_edges if i != root_edge]
+    while frontier:
+        x = frontier.pop()
+        for i in list(remaining):
+            a, b, label = query.edges[i]
+            if a == x and b not in visited:
+                children.setdefault(x, []).append((a, b, label))
+                visited.add(b)
+                frontier.append(b)
+                remaining.remove(i)
+            elif b == x and a not in visited:
+                children.setdefault(x, []).append((a, b, label))
+                visited.add(a)
+                frontier.append(a)
+                remaining.remove(i)
+    return children
 
 
 class _TreeSampler:
@@ -45,32 +112,32 @@ class _TreeSampler:
         query: QueryGraph,
         tree_edges: List[int],
         root_edge: int,
+        children: Optional[Dict[int, List[QueryEdge]]] = None,
+        memo: Optional[Dict[Tuple[int, int], int]] = None,
+        is_leaf: Optional[Tuple[bool, ...]] = None,
+        label_structs: Optional[Tuple[Dict, Dict]] = None,
     ) -> None:
         self.graph = graph
         self.query = query
         self.tree_edges = tree_edges
         self.root_edge = root_edge
-        # orient the tree away from the root edge's endpoints
-        u, v, _ = query.edges[root_edge]
-        self._children: Dict[int, List[QueryEdge]] = {}
-        visited = {u, v}
-        frontier = [u, v]
-        remaining = [i for i in tree_edges if i != root_edge]
-        while frontier:
-            x = frontier.pop()
-            for i in list(remaining):
-                a, b, label = query.edges[i]
-                if a == x and b not in visited:
-                    self._children.setdefault(x, []).append((a, b, label))
-                    visited.add(b)
-                    frontier.append(b)
-                    remaining.remove(i)
-                elif b == x and a not in visited:
-                    self._children.setdefault(x, []).append((a, b, label))
-                    visited.add(a)
-                    frontier.append(a)
-                    remaining.remove(i)
-        self._memo: Dict[Tuple[int, int], int] = {}
+        # the tree orientation and exact-weight memo may be injected by
+        # the estimator's decomposition cache (sealed hot path); a fresh
+        # sampler derives/allocates its own, with identical contents
+        self._children = (
+            children
+            if children is not None
+            else _orient_tree(query, tree_edges, root_edge)
+        )
+        self._memo: Dict[Tuple[int, int], int] = memo if memo is not None else {}
+        # leaves of the oriented tree: their subtree count collapses to a
+        # label-membership count over the candidate segment, which the
+        # kernel layer batch-counts instead of walking the DP per vertex
+        self._is_leaf = (
+            is_leaf
+            if is_leaf is not None
+            else tuple(u not in self._children for u in range(query.num_vertices))
+        )
         # sealed graphs expose the root relation as a cached tuple of
         # pairs; indexing it skips the per-access tuple construction of
         # the live pair view (same pairs, same order — RNG parity holds)
@@ -83,15 +150,12 @@ class _TreeSampler:
         )
         if self._sealed:
             # per-query-vertex member sets (cached on the graph): one C
-            # membership test per DP node instead of a subset comparison
-            self._label_sets: Dict[int, Optional[FrozenSet[int]]] = {
-                u: (
-                    graph.labels_member_set(query.vertex_labels[u])
-                    if query.vertex_labels[u]
-                    else None
-                )
-                for u in range(query.num_vertices)
-            }
+            # membership test per DP node instead of a subset comparison;
+            # samplers of the same query share one build via the
+            # estimator's decomposition cache
+            if label_structs is None:
+                label_structs = _label_structures(graph, query)
+            self._label_sets, self._member_arrs = label_structs
 
     # ------------------------------------------------------------------
     def root_relation_size(self) -> int:
@@ -103,6 +167,19 @@ class _TreeSampler:
         if not pairs:
             return None
         return pairs[rng.randrange(len(pairs))]
+
+    def sample_roots(self, rng, k: int) -> List[Tuple[int, int]]:
+        """``k`` uniform root tuples — one frontier-batched kernel call.
+
+        Index drawing replays the exact scalar ``randrange`` sequence
+        (stream parity with ``k`` :meth:`sample_root` calls); the tuple
+        gather out of the pair arenas is what vectorizes.
+        """
+        pairs = self._root_pairs
+        if not pairs:
+            return []
+        indices = _ksampling.draw_indices(rng, len(pairs), k)
+        return _ksampling.gather_pairs(pairs, indices)
 
     def exact_weight(self, root_tuple: Tuple[int, int]) -> int:
         """w(t): join results of the root tuple with the rest of the tree."""
@@ -134,9 +211,23 @@ class _TreeSampler:
                 child, candidates = b, self.graph.out_neighbors(value, label)
             else:  # child a --label--> query_vertex
                 child, candidates = a, self.graph.in_neighbors(value, label)
-            branch = 0
-            for w in candidates:
-                branch += self._subtree_count(child, w)
+            if self._sealed and self._is_leaf[child]:
+                # leaf subtree: each candidate contributes 1 iff it
+                # carries the child's labels, so the branch sum is one
+                # batched membership count over the adjacency segment —
+                # the kernel path that fixes JSUB's per-step neighbor
+                # re-materialization
+                member_set = self._label_sets[child]
+                if member_set is None:
+                    branch = len(candidates)
+                else:
+                    branch = _kops.count_members(
+                        candidates, member_set, self._member_arrs[child]
+                    )
+            else:
+                branch = 0
+                for w in candidates:
+                    branch += self._subtree_count(child, w)
             product *= branch
             if product == 0:
                 return 0
@@ -150,7 +241,8 @@ class _TreeSampler:
         if cached is not None:
             return cached
         count = self._branch_product(query_vertex, value)
-        self._memo[key] = count
+        if len(self._memo) < MEMO_MAX:
+            self._memo[key] = count
         return count
 
 
@@ -167,6 +259,11 @@ class Jsub(Estimator):
         # observability: samples drawn by the current estimate
         self._trial_samples = 0
         self._root_samples = 0
+        # decomposition cache: spanning trees and their oriented child
+        # maps are pure functions of the query structure, so repeated
+        # estimates over the same query shape skip the per-call rebuild
+        # (the BENCH_PR5 sealed-hot-loop regression)
+        self._decomp_cache: Dict[tuple, List[tuple]] = {}
 
     # ------------------------------------------------------------------
     # DecomposeQuery: pick (q_1, o) = argmin of trial estimates
@@ -190,13 +287,59 @@ class Jsub(Estimator):
         return [best]
 
     def _candidate_samplers(self, query: QueryGraph) -> List[_TreeSampler]:
-        trees = self._spanning_trees(query)
+        qsig = (query.num_vertices, tuple(query.edges))
+        plans = self._decomp_cache.get(qsig)
+        if plans is None:
+            plans = []
+            for tree in self._spanning_trees(query):
+                for root_edge in tree:
+                    children = _orient_tree(query, tree, root_edge)
+                    is_leaf = tuple(
+                        u not in children for u in range(query.num_vertices)
+                    )
+                    plans.append((tree, root_edge, children, is_leaf))
+                    if len(plans) >= MAX_CANDIDATES:
+                        break
+                if len(plans) >= MAX_CANDIDATES:
+                    break
+            self._decomp_cache[qsig] = plans
+        # on sealed graphs the exact-weight memo is shared across
+        # estimate() calls (and estimator instances) per tree shape: the
+        # DP counts are exact integers determined by the immutable graph
+        # and the labeled tree, so reuse cannot change any estimate
+        shared = getattr(self.graph, "shared_cache", None)
+        sealed = bool(getattr(self.graph, "sealed", False))
+        labels_sig = (
+            tuple(tuple(sorted(s)) for s in query.vertex_labels)
+            if shared is not None or sealed
+            else None
+        )
+        label_structs = None
+        if sealed:
+            key = ("jsub.labels", query.num_vertices, labels_sig)
+            label_structs = self._decomp_cache.get(key)
+            if label_structs is None:
+                label_structs = _label_structures(self.graph, query)
+                self._decomp_cache[key] = label_structs
         samplers: List[_TreeSampler] = []
-        for tree in trees:
-            for root_edge in tree:
-                samplers.append(_TreeSampler(self.graph, query, tree, root_edge))
-                if len(samplers) >= MAX_CANDIDATES:
-                    return samplers
+        for tree, root_edge, children, is_leaf in plans:
+            memo = None
+            if shared is not None:
+                memo = shared.setdefault(
+                    ("jsub.memo", qsig, labels_sig, tuple(tree), root_edge), {}
+                )
+            samplers.append(
+                _TreeSampler(
+                    self.graph,
+                    query,
+                    tree,
+                    root_edge,
+                    children=children,
+                    memo=memo,
+                    is_leaf=is_leaf,
+                    label_structs=label_structs,
+                )
+            )
         return samplers
 
     def _spanning_trees(self, query: QueryGraph) -> List[List[int]]:
@@ -231,11 +374,10 @@ class Jsub(Estimator):
             return None
         total = 0.0
         valid = False
-        for _ in range(TRIAL_SAMPLES):
+        # frontier batch: all trial indices in one kernel call (the draw
+        # sequence is exactly TRIAL_SAMPLES scalar randrange calls)
+        for root_tuple in sampler.sample_roots(self.rng, TRIAL_SAMPLES):
             self._trial_samples += 1
-            root_tuple = sampler.sample_root(self.rng)
-            if root_tuple is None:
-                return None
             weight = sampler.exact_weight(root_tuple)
             if weight > 0:
                 valid = True
@@ -254,12 +396,17 @@ class Jsub(Estimator):
         sampler = subquery
         size = sampler.root_relation_size()
         budget = self.num_samples(size)
-        for i in range(budget):
-            self._root_samples += 1
-            root_tuple = sampler.sample_root(self.rng)
-            if root_tuple is None:
+        roots = sampler.sample_roots(self.rng, budget)
+        if not roots:  # empty root relation: every sample fails
+            for _ in range(budget):
+                self._root_samples += 1
                 yield 0.0
-                continue
+            return
+        # the whole frontier's indices were drawn in one kernel call
+        # above (scalar stream parity); exact weights never consume the
+        # RNG, so batching cannot reorder any draw
+        for i, root_tuple in enumerate(roots):
+            self._root_samples += 1
             # W(t)/P(t) with W(t) = w(t) (Exact Weight) and P(t) = 1/|R_1|
             yield sampler.exact_weight(root_tuple) * size
             if i % 64 == 0:

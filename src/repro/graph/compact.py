@@ -40,6 +40,9 @@ from array import array
 from bisect import bisect_left
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
+from .. import kernels as _kernels
+from ..kernels import ops as _kops
+from ..kernels import views as _kviews
 from .digraph import Edge, Graph, GraphStats, UNLABELED
 
 
@@ -412,6 +415,32 @@ class CompactGraph(Graph):
         self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
+    # kernel hooks (zero-copy arena access for repro.kernels)
+    # ------------------------------------------------------------------
+    def edge_pair_buffers(self, label: int):
+        """Raw ``(src, dst)`` int64 buffers behind ``edges_with_label``.
+
+        The zero-copy attachment point for :mod:`repro.kernels` — either
+        ``array('q')`` objects (local seal) or read-only memoryviews
+        into a shared segment (shm attach); numpy views alias both
+        without copying.  None when the label has no edges.
+        """
+        src = self._esrc.get(label)
+        if src is None:
+            return None
+        return (src, self._edst[label])
+
+    def _targets_view(self, direction: _Direction):
+        """Cached int64 view over one direction's targets arena."""
+        key = ("kernels.targets", direction is self._fwd)
+        view = self.shared_cache.get(key)
+        if view is None:
+            view = _kernels.as_int64(direction.targets)
+            if view is not None:
+                self.shared_cache[key] = view
+        return view
+
+    # ------------------------------------------------------------------
     # sealing
     # ------------------------------------------------------------------
     def seal(self) -> "CompactGraph":
@@ -565,9 +594,14 @@ class CompactGraph(Graph):
     # adjacency bitsets (the exact matcher's intersection kernel)
     # ------------------------------------------------------------------
     def _segment_bits(self, direction: _Direction, v: int, label: int) -> int:
-        ba = bytearray((self._n + 7) >> 3)
         start, stop = direction.segment(v, label)
+        if stop - start >= _kops.SMALL_INPUT * 2:
+            view = self._targets_view(direction)
+            if view is not None:
+                seg = view[start:stop]
+                return _kops.pack_bits(seg, self._n, values_arr=seg)
         targets = direction.targets
+        ba = bytearray((self._n + 7) >> 3)
         for i in range(start, stop):
             t = targets[i]
             ba[t >> 3] |= 1 << (t & 7)
@@ -613,22 +647,37 @@ class CompactGraph(Graph):
         key = (True, v, label, vlabels)
         cached = self._filtered_cache.get(key)
         if cached is None:
-            member = self.labels_member_set(vlabels)
-            cached = tuple(
-                t for t in self._fwd.neighbors(v, label) if t in member
-            )
+            cached = self._filtered(self._fwd, v, label, vlabels)
             self._filtered_cache[key] = cached
         return cached
+
+    def _filtered(
+        self, direction: _Direction, v: int, label: int, vlabels
+    ) -> Tuple[int, ...]:
+        """One direction's label-constrained candidate list (kernel path)."""
+        member = self.labels_member_set(vlabels)
+        neighbors = direction.neighbors(v, label)
+        values_arr = None
+        if len(neighbors) >= _kops.SMALL_INPUT:
+            view = self._targets_view(direction)
+            if view is not None:
+                start, stop = direction.segment(v, label)
+                values_arr = view[start:stop]
+        return tuple(
+            _kops.filter_members(
+                neighbors,
+                member,
+                _kviews.member_array(self, vlabels),
+                values_arr,
+            )
+        )
 
     def in_neighbors_labeled(self, v: int, label: int, vlabels) -> Tuple[int, ...]:
         """``in_neighbors(v, label)`` restricted to ``vlabels`` carriers."""
         key = (False, v, label, vlabels)
         cached = self._filtered_cache.get(key)
         if cached is None:
-            member = self.labels_member_set(vlabels)
-            cached = tuple(
-                t for t in self._rev.neighbors(v, label) if t in member
-            )
+            cached = self._filtered(self._rev, v, label, vlabels)
             self._filtered_cache[key] = cached
         return cached
 
@@ -637,10 +686,12 @@ class CompactGraph(Graph):
         labels = frozenset(labels)
         cached = self._labels_bits_cache.get(labels)
         if cached is None:
-            ba = bytearray((self._n + 7) >> 3)
-            for t in self.labels_member_set(labels):
-                ba[t >> 3] |= 1 << (t & 7)
-            cached = int.from_bytes(ba, "little")
+            members = self.labels_member_set(labels)
+            cached = _kops.pack_bits(
+                members,
+                self._n,
+                values_arr=_kviews.member_array(self, labels),
+            )
             self._labels_bits_cache[labels] = cached
         return cached
 
@@ -657,7 +708,13 @@ class CompactGraph(Graph):
             if src is None:
                 cached = ()
             else:
-                cached = tuple(zip(src, self._edst[label]))
+                views = _kviews.pair_arrays(self, label)
+                if views is not None:
+                    # boxing through ndarray.tolist() is one C pass per
+                    # column instead of per-element buffer indexing
+                    cached = tuple(zip(views[0].tolist(), views[1].tolist()))
+                else:
+                    cached = tuple(zip(src, self._edst[label]))
             self._edge_pairs_cache[label] = cached
         return cached
 
@@ -681,7 +738,13 @@ class CompactGraph(Graph):
         member_sets = [self.label_member_set(label) for _, label in ordered[1:]]
         if not member_sets:
             return list(smallest)
-        return [v for v in smallest if all(v in s for s in member_sets)]
+        member_arrs = None
+        if _kernels.get_numpy() is not None:
+            member_arrs = [
+                _kviews.member_array(self, frozenset((label,)))
+                for _, label in ordered[1:]
+            ]
+        return _kops.filter_members_multi(smallest, member_sets, member_arrs)
 
     def edges_with_label(self, label: int) -> PairArrayView:
         src = self._esrc.get(label)

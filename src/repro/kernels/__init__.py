@@ -1,0 +1,66 @@
+"""Vectorized batch kernels over the sealed CSR substrate.
+
+The sealed :class:`~repro.graph.compact.CompactGraph` stores adjacency,
+label indexes and edge-pair arenas as flat ``array('q')`` buffers (or
+read-only shared-memory views after :meth:`~CompactGraph.from_shm`).
+This package wraps those buffers in **zero-copy** numpy ``int64`` views
+and supplies the batch primitives the estimation hot loops are made of:
+
+* sorted-set intersection and order-preserving membership filtering
+  (label-constrained candidate generation),
+* bitset packing / decoding (the exact matcher's intersection kernel),
+* frontier-batched index drawing for the sampling estimators, which
+  preserves the per-cell deterministic ``random.Random`` streams.
+
+Every kernel has a pure-Python twin that produces **bit-identical**
+results, selected by the ``GCARE_KERNELS=numpy|python`` environment
+switch (auto-detection by default), so numpy stays an optional
+dependency.  Kernel outputs are always plain Python ints and lists at
+cache boundaries — downstream consumers never observe numpy scalars.
+"""
+
+from .backend import (
+    KERNELS_ENV,
+    active_backend,
+    fallback_note,
+    force_backend,
+    get_numpy,
+    numpy_available,
+    refresh_env,
+)
+from .ops import (
+    bits_to_list,
+    count_members,
+    filter_members,
+    filter_members_multi,
+    filter_pairs,
+    intersect_sorted,
+    pack_bits,
+    pack_bits_from_set,
+)
+from .sampling import draw_indices, gather_pairs, interleave_pairs
+from .views import as_int64, member_array, pair_arrays
+
+__all__ = [
+    "KERNELS_ENV",
+    "active_backend",
+    "as_int64",
+    "bits_to_list",
+    "count_members",
+    "draw_indices",
+    "fallback_note",
+    "filter_members",
+    "filter_members_multi",
+    "filter_pairs",
+    "force_backend",
+    "gather_pairs",
+    "get_numpy",
+    "interleave_pairs",
+    "intersect_sorted",
+    "member_array",
+    "numpy_available",
+    "pack_bits",
+    "pack_bits_from_set",
+    "pair_arrays",
+    "refresh_env",
+]

@@ -1,0 +1,112 @@
+"""Kernel backend selection: ``GCARE_KERNELS=numpy|python``.
+
+numpy is an optional dependency (the ``[perf]`` extra).  The import is
+guarded once at module load; the *choice* of backend is re-read from the
+environment on every :func:`active_backend` call so tests (and the CLI)
+can flip modes without re-importing the package.  When numpy is
+requested but unavailable the backend silently degrades to the pure-
+Python fallback and :func:`fallback_note` explains why — the ``gcare
+sweep`` entry point surfaces that note once at startup.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Optional
+
+#: environment variable steering kernel dispatch
+KERNELS_ENV = "GCARE_KERNELS"
+
+try:  # numpy is the optional [perf] extra; everything works without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
+#: process-local override installed by :func:`force_backend`; takes
+#: precedence over the environment (tests flip backends per block)
+_FORCED: Optional[str] = None
+
+#: the environment switch, read once at import (kernel dispatch sits on
+#: estimation hot paths; a per-call os.environ lookup is measurable).
+#: :func:`refresh_env` re-reads it for tests and CLI entry points.
+_ENV_VALUE = ""
+
+
+def refresh_env() -> None:
+    """Re-read ``GCARE_KERNELS`` from the environment.
+
+    Needed after mutating ``os.environ`` in-process (tests); spawned
+    worker processes inherit the environment and pick the value up at
+    import time on their own.
+    """
+    global _ENV_VALUE
+    _ENV_VALUE = os.environ.get(KERNELS_ENV, "").strip().lower()
+
+
+refresh_env()
+
+
+def numpy_available() -> bool:
+    """True when the numpy import succeeded (regardless of the switch)."""
+    return _np is not None
+
+
+def _requested() -> str:
+    if _FORCED is not None:
+        return _FORCED
+    return _ENV_VALUE
+
+
+def active_backend() -> str:
+    """The backend kernels dispatch on right now: ``numpy`` or ``python``.
+
+    ``GCARE_KERNELS=python`` forces the fallback even with numpy
+    installed; ``GCARE_KERNELS=numpy`` (or no setting) uses numpy when
+    available.  Unknown values fall back to auto-detection.
+    """
+    choice = _requested()
+    if choice == "python":
+        return "python"
+    return "numpy" if _np is not None else "python"
+
+
+def get_numpy():
+    """The numpy module when the active backend is ``numpy``, else None.
+
+    This is the single dispatch point of every kernel: a non-None return
+    means "vectorize", None means "pure-Python twin".
+    """
+    return _np if active_backend() == "numpy" else None
+
+
+def fallback_note() -> Optional[str]:
+    """One-line explanation when running degraded, else None."""
+    choice = _requested()
+    if _np is None and choice != "python":
+        return (
+            "kernels: numpy not installed, using the pure-Python fallback "
+            "(pip install 'gcare-repro[perf]' for vectorized kernels)"
+        )
+    if choice == "python" and _np is not None:
+        return "kernels: pure-Python fallback forced via GCARE_KERNELS=python"
+    return None
+
+
+@contextmanager
+def force_backend(name: str):
+    """Temporarily pin the backend (``numpy`` or ``python``).
+
+    Used by the differential tests and the benchmark suite to measure
+    both paths in one process.  Forcing ``numpy`` without numpy
+    installed still degrades to ``python`` (the guard above wins).
+    """
+    global _FORCED
+    if name not in ("numpy", "python"):
+        raise ValueError(f"unknown kernel backend: {name!r}")
+    previous = _FORCED
+    _FORCED = name
+    try:
+        yield
+    finally:
+        _FORCED = previous

@@ -1,0 +1,90 @@
+"""Zero-copy numpy views over the sealed graph's ``array('q')`` arenas.
+
+``array('q')`` and the read-only shared-memory segments produced by
+:meth:`CompactGraph.to_shm` both expose the buffer protocol, so
+``np.frombuffer`` aliases them without copying — attaching to a
+shared-memory graph never duplicates an arena.  Views are marked
+read-only (the substrate is sealed; nothing may write through them) and
+cached in the graph's ``shared_cache`` so every consumer of one graph
+shares one view per arena.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .backend import get_numpy
+
+
+def as_int64(buf):
+    """A read-only ``int64`` numpy view aliasing ``buf`` (no copy).
+
+    ``buf`` is an ``array('q')`` or a (possibly read-only) memoryview of
+    one — the two buffer shapes the sealed substrate stores.  Returns
+    None when the active backend is pure-Python.
+    """
+    np = get_numpy()
+    if np is None:
+        return None
+    view = np.frombuffer(buf, dtype=np.int64)
+    view.flags.writeable = False
+    return view
+
+
+def _cache_of(graph):
+    return getattr(graph, "shared_cache", None)
+
+
+def member_array(graph, labels):
+    """Sorted ``int64`` array of ``graph.labels_member_set(labels)``.
+
+    The sorted-unique shape is what the membership kernels binary-search
+    against.  Cached per label set in the graph's shared cache; returns
+    None on the pure-Python backend.
+    """
+    np = get_numpy()
+    if np is None:
+        return None
+    labels = frozenset(labels)
+    cache = _cache_of(graph)
+    key = ("kernels.members", labels)
+    if cache is not None:
+        arr = cache.get(key)
+        if arr is not None:
+            return arr
+    members = graph.labels_member_set(labels)
+    arr = np.fromiter(members, dtype=np.int64, count=len(members))
+    arr.sort()
+    arr.flags.writeable = False
+    if cache is not None:
+        cache[key] = arr
+    return arr
+
+
+def pair_arrays(graph, label: int) -> Optional[Tuple[object, object]]:
+    """``(src, dst)`` int64 views over one edge label's pair arenas.
+
+    Zero-copy aliases of the sealed graph's per-label ``(src, dst)``
+    arrays, in insertion order — index ``i`` is ``edge_pairs(label)[i]``.
+    Returns None on the pure-Python backend or when the graph does not
+    expose its pair buffers (dict-backed graphs).
+    """
+    np = get_numpy()
+    if np is None:
+        return None
+    buffers = getattr(graph, "edge_pair_buffers", None)
+    if buffers is None:
+        return None
+    cache = _cache_of(graph)
+    key = ("kernels.pairs", label)
+    if cache is not None:
+        views = cache.get(key)
+        if views is not None:
+            return views
+    raw = buffers(label)
+    if raw is None:
+        return None
+    views = (as_int64(raw[0]), as_int64(raw[1]))
+    if cache is not None:
+        cache[key] = views
+    return views

@@ -31,6 +31,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..graph.digraph import Graph
 from ..graph.query import QueryGraph
+from ..kernels import ops as _kops
 
 try:  # typing helper for vertex filter predicates
     from typing import Callable
@@ -503,16 +504,14 @@ class HomomorphismCounter:
             memo[key] = result
         return result
 
-    @staticmethod
-    def _bits_to_vertices(bits: int) -> List[int]:
-        """Decode a bitset into the ascending list of set-bit positions."""
-        result: List[int] = []
-        append = result.append
-        while bits:
-            low = bits & -bits
-            append(low.bit_length() - 1)
-            bits ^= low
-        return result
+    def _bits_to_vertices(self, bits: int) -> List[int]:
+        """Decode a bitset into the ascending list of set-bit positions.
+
+        Routed through the kernel layer: dense results decode via one
+        vectorized unpack, sparse ones via the bit-twiddling loop — the
+        outputs are identical element for element.
+        """
+        return _kops.bits_to_list(bits, self.graph.num_vertices)
 
     def _plan_count(self, plan: tuple, assignment: Dict[int, int]) -> int:
         """Candidate *count* for a plan — the leaf product's only need.
@@ -740,8 +739,11 @@ class HomomorphismCounter:
         plan_candidates = self._plan_candidates
         plan_count = self._plan_count
         memo_max = self._MEMO_MAX
-        # frames of in-progress nodes: [u, memo key or None, iterator,
-        # accumulated total]; `ret` carries a finished subtree's count up
+        # frames of in-progress nodes: [u, memo key or None, candidate
+        # sequence, next candidate index, accumulated total]; `ret`
+        # carries a finished subtree's count up.  Indexing the candidate
+        # sequence directly drops the iterator protocol's per-candidate
+        # builtin calls from the hottest loop in the matcher.
         stack: List[list] = []
         ret: Optional[int] = None
         try:
@@ -843,15 +845,13 @@ class HomomorphismCounter:
                                 candidates = plan_candidates(plan, assignment)
                     else:
                         candidates = plan_candidates(plan, assignment)
-                    it = iter(candidates)
-                    v = next(it, None)
-                    if v is None:  # no candidates: empty subtree
+                    if not candidates:  # no candidates: empty subtree
                         if key is not None and len(count_memo) < memo_max:
                             count_memo[key] = 0
                         ret = 0
                         continue
-                    assignment[u] = v
-                    stack.append([u, key, it, 0])
+                    assignment[u] = candidates[0]
+                    stack.append([u, key, candidates, 1, 0])
                     depth += 1
                     continue
                 # a subtree finished with `ret` completions: resume the
@@ -859,16 +859,18 @@ class HomomorphismCounter:
                 if not stack:
                     return ret
                 frame = stack[-1]
-                frame[3] += ret
+                frame[4] += ret
                 u = frame[0]
-                v = next(frame[2], None)
-                if v is not None:  # next sibling binding, same depth
-                    assignment[u] = v
+                candidates = frame[2]
+                i = frame[3]
+                if i < len(candidates):  # next sibling binding, same depth
+                    assignment[u] = candidates[i]
+                    frame[3] = i + 1
                     ret = None
                     continue
                 del assignment[u]
                 stack.pop()
-                total = frame[3]
+                total = frame[4]
                 key = frame[1]
                 if key is not None and len(count_memo) < memo_max:
                     count_memo[key] = total

@@ -23,6 +23,8 @@ import random
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..graph.digraph import Graph
+from ..kernels import ops as _kops
+from ..kernels import views as _kviews
 
 Binding = Dict[int, int]
 
@@ -109,6 +111,18 @@ class EdgeRelation(RelationInstance):
                 if self.dst_labels
                 else None
             )
+            # membership domains as sorted int64 arrays for the kernel
+            # layer (None on the pure-Python backend)
+            self._src_arr = (
+                _kviews.member_array(graph, self.src_labels)
+                if self.src_labels
+                else None
+            )
+            self._dst_arr = (
+                _kviews.member_array(graph, self.dst_labels)
+                if self.dst_labels
+                else None
+            )
             # per-anchor extension memos, one dict per walk direction,
             # shared across every instance of this relation *shape*
             shape = (self.label, self.src_labels, self.dst_labels)
@@ -136,13 +150,18 @@ class EdgeRelation(RelationInstance):
                        self.dst_labels)
                 cached = self._shared.get(key)
                 if cached is None:
-                    src_ok, dst_ok = self._src_ok, self._dst_ok
-                    cached = [
-                        (s, d)
-                        for s, d in self.graph.edge_pairs(self.label)
-                        if (src_ok is None or s in src_ok)
-                        and (dst_ok is None or d in dst_ok)
-                    ]
+                    # one vectorized column mask over the whole pair
+                    # arena instead of a per-edge membership loop; the
+                    # kernel's Python twin is the exact comprehension
+                    # this replaces
+                    cached = _kops.filter_pairs(
+                        self.graph.edge_pairs(self.label),
+                        self._src_ok,
+                        self._dst_ok,
+                        arrays=_kviews.pair_arrays(self.graph, self.label),
+                        src_arr=self._src_arr,
+                        dst_arr=self._dst_arr,
+                    )
                     self._shared[key] = cached
                 self._filtered = cached
                 self._pairs_pinned = cached
@@ -238,11 +257,15 @@ class EdgeRelation(RelationInstance):
                     cached = []
                 else:
                     dst_ok = self._dst_ok
-                    cached = [
-                        (src, w)
-                        for w in self.graph.out_neighbors(src, label)
-                        if dst_ok is None or w in dst_ok
-                    ]
+                    targets = self.graph.out_neighbors(src, label)
+                    if dst_ok is not None:
+                        # hub anchors get the vectorized membership mask;
+                        # short segments fall through to the scalar twin
+                        # inside the kernel
+                        targets = _kops.filter_members(
+                            targets, dst_ok, self._dst_arr
+                        )
+                    cached = [(src, w) for w in targets]
                 if len(cache) < self._EXT_CACHE_MAX:
                     cache[src] = cached
             return cached
@@ -253,11 +276,12 @@ class EdgeRelation(RelationInstance):
                 cached = []
             else:
                 src_ok = self._src_ok
-                cached = [
-                    (w, dst)
-                    for w in self.graph.in_neighbors(dst, label)
-                    if src_ok is None or w in src_ok
-                ]
+                sources = self.graph.in_neighbors(dst, label)
+                if src_ok is not None:
+                    sources = _kops.filter_members(
+                        sources, src_ok, self._src_arr
+                    )
+                cached = [(w, dst) for w in sources]
             if len(cache) < self._EXT_CACHE_MAX:
                 cache[dst] = cached
         return cached

@@ -20,6 +20,37 @@ try:  # property tests are skipped when hypothesis is unavailable
 except ImportError:  # pragma: no cover
     pass
 
+from repro.kernels import numpy_available
+
+NUMPY_AVAILABLE = numpy_available()
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "needs_numpy: test requires numpy (skipped on the no-numpy CI leg)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip numpy-only tests on the pure-Python fallback install.
+
+    Two shapes are skipped when numpy is missing: tests marked
+    ``needs_numpy`` explicitly, and parametrized tests whose parameter
+    values include the ``"bs"`` technique (BoundSketch's sketch math is
+    numpy and the technique drops out of ``available_techniques()``).
+    """
+    if NUMPY_AVAILABLE:
+        return
+    skip = pytest.mark.skip(reason="requires numpy (the [perf] extra)")
+    for item in items:
+        if item.get_closest_marker("needs_numpy") is not None:
+            item.add_marker(skip)
+            continue
+        params = getattr(getattr(item, "callspec", None), "params", None)
+        if params and any(value == "bs" for value in params.values()):
+            item.add_marker(skip)
+
 
 @pytest.fixture
 def fig1_graph() -> Graph:

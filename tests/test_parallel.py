@@ -26,7 +26,7 @@ from repro.bench.runner import (
 )
 from repro.core.framework import Estimator
 from repro.core.registry import (
-    ALL_TECHNIQUES,
+    available_techniques,
     EXTENSIONS,
     create_estimator,
     register_estimator,
@@ -217,7 +217,7 @@ def comparable(record: EvalRecord) -> tuple:
 class TestSerialParallelEquivalence:
     def test_all_registered_estimators_match_serial(self, example_queries):
         graph, queries = example_queries
-        techniques = list(ALL_TECHNIQUES) + list(EXTENSIONS)
+        techniques = list(available_techniques()) + list(EXTENSIONS)
         serial = EvaluationRunner(
             graph, techniques, sampling_ratio=0.5, seed=11, time_limit=10
         ).run(queries, runs=2)

@@ -26,7 +26,7 @@ from repro.bench.parallel import ParallelEvaluationRunner
 from repro.bench.results_log import ResultsLog
 from repro.bench.runner import EvaluationRunner, NamedQuery
 from repro.bench.summary_cache import blobs_from_shm, blobs_to_shm
-from repro.core.registry import ALL_TECHNIQUES
+from repro.core.registry import available_techniques
 from repro.datasets.example import (
     EDGE_A,
     EDGE_B,
@@ -211,7 +211,7 @@ class TestTransportEquivalence:
     def test_serial_pickle_shm_resumed_identical(self, sealed_example, tmp_path):
         """The full chain: serial == parallel == parallel+shm == resumed."""
         graph, queries = sealed_example
-        techniques = list(ALL_TECHNIQUES)
+        techniques = list(available_techniques())
         runs = 2
 
         serial = EvaluationRunner(graph, techniques, **KW).run(
