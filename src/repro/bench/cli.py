@@ -40,6 +40,14 @@ Validate a graph/query/triples file before feeding it to an experiment
     gcare validate yago.txt
     gcare validate q.txt --kind query
 
+Estimation as a service: boot the long-lived daemon on a graph, then
+drive it with the seeded closed-loop load generator (in-process with no
+``--url``, over HTTP with one)::
+
+    gcare serve example --techniques wj,cset --port 8642
+    gcare load --url http://127.0.0.1:8642 --requests 200 --clients 4
+    curl -s localhost:8642/stats | python -m json.tool
+
 Chaos-test the sweep pipeline itself with deterministic fault injection
 (see ``docs/robustness.md`` for the plan syntax and fault taxonomy)::
 
@@ -228,7 +236,13 @@ def _sweep(
         use_shm=False if no_shm else None,
     )
     log = ResultsLog(results_log, fsync=fsync) if results_log else None
-    records = runner.run(queries, runs=runs, results_log=log)
+    try:
+        records = runner.run(queries, runs=runs, results_log=log)
+    finally:
+        # the runner closes on its own exit paths too; this covers any
+        # failure before the runner takes ownership of the handle
+        if log is not None:
+            log.close()
     stats = runner.last_run_stats
     if cache is not None and (cache.hits or cache.stores):
         scope = cache.directory or "in-memory"
@@ -286,6 +300,196 @@ def _sweep(
         print()
         print(render_phase_report(records, title="phase breakdown"))
     return 0
+
+
+def _serve_target_graph(target: str, seed: int):
+    """Resolve a serve/load target: 'example', a dataset name, or a file."""
+    import os
+
+    if target == "example":
+        from ..datasets.example import figure1_graph
+
+        return figure1_graph()
+    if os.path.exists(target):
+        from ..graph.io import load_graph
+
+        return load_graph(target)
+    from . import workloads
+
+    return workloads.dataset(target, seed=seed).graph
+
+
+def _serve(
+    target: str,
+    techniques: str,
+    workers: int,
+    host: str,
+    port: int,
+    sampling_ratio: float,
+    seed: int,
+    time_limit: float,
+    cache_entries: int,
+    cache_ttl: float,
+    max_inflight: int,
+    queue_depth: int,
+    inject: str = None,
+    inject_seed: int = 0,
+    no_shm: bool = False,
+) -> int:
+    """Boot the estimation daemon and serve until interrupted."""
+    from ..core.registry import available_techniques
+    from ..faults.plan import FaultPlan
+    from ..kernels import fallback_note
+    from ..serve import EstimationService, ServiceConfig, run_daemon
+
+    note = fallback_note()
+    if note is not None:
+        print(note)
+    names = (
+        [t.strip() for t in techniques.split(",") if t.strip()]
+        if techniques
+        else available_techniques()
+    )
+    plan = None
+    if inject:
+        plan = FaultPlan.parse(inject, seed=inject_seed)
+        print(f"fault injection: {len(plan.specs)} spec(s), seed {plan.seed}")
+    graph = _serve_target_graph(target, seed)
+    config = ServiceConfig(
+        techniques=names,
+        sampling_ratio=sampling_ratio,
+        seed=seed,
+        time_limit=time_limit,
+        workers=max(1, workers or 2),
+        cache_entries=cache_entries,
+        cache_ttl=None if cache_ttl <= 0 else cache_ttl,
+        max_inflight=max_inflight,
+        queue_depth=queue_depth,
+        fault_plan=plan,
+        use_shm=False if no_shm else None,
+    )
+    service = EstimationService(graph, config).start()
+    try:
+        run_daemon(
+            service,
+            host=host,
+            port=port,
+            ready_callback=lambda address: print(
+                f"serving {service.graph} [{', '.join(names)}] at {address}",
+                flush=True,
+            ),
+        )
+    finally:
+        service.close()
+    return 0
+
+
+def _served_techniques(url: str) -> list:
+    """The technique list a running daemon reports via ``GET /stats``."""
+    import json
+    from urllib.request import urlopen
+
+    try:
+        with urlopen(url.rstrip("/") + "/stats", timeout=10) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+        return [str(name) for name in payload.get("techniques", [])]
+    except Exception:
+        return []
+
+
+def _load(
+    target: str,
+    url: str,
+    techniques: str,
+    requests: int,
+    clients: int,
+    seed: int,
+    runs: int,
+    queries: str = None,
+    serial: bool = False,
+    out: str = None,
+    sampling_ratio: float = 0.03,
+    time_limit: float = 10.0,
+    workers: int = 2,
+) -> int:
+    """Drive a seeded closed-loop load run, in-process or over HTTP."""
+    import json
+
+    from ..core.registry import available_techniques
+    from ..serve import (
+        EstimationService,
+        LoadGenerator,
+        ServiceConfig,
+        example_workload,
+        http_executor,
+        load_workload,
+        local_executor,
+    )
+
+    if techniques:
+        names = [t.strip() for t in techniques.split(",") if t.strip()]
+    elif url:
+        # default to what the daemon actually serves, not what this
+        # process could serve — otherwise a wj,cset daemon gets pelted
+        # with 404s for the other five techniques
+        names = _served_techniques(url) or available_techniques()
+    else:
+        names = available_techniques()
+    workload = load_workload(queries) if queries else example_workload()
+    generator = LoadGenerator(
+        workload, names, requests=requests, clients=clients,
+        seed=seed, runs=max(1, runs),
+    )
+    service = None
+    try:
+        if url:
+            execute = http_executor(url, workload)
+            source = url
+        else:
+            graph = _serve_target_graph(target or "example", seed)
+            config = ServiceConfig(
+                techniques=names,
+                sampling_ratio=sampling_ratio,
+                seed=seed,
+                time_limit=time_limit,
+                workers=max(1, workers or 2),
+            )
+            service = EstimationService(graph, config).start()
+            execute = local_executor(service, workload)
+            source = f"in-process ({service.graph})"
+        result = generator.run(execute, concurrent=not serial)
+    finally:
+        if service is not None:
+            service.close()
+    summary = result.to_dict()
+    latency = summary["latency"]
+    mode = "serial" if serial else f"{clients} concurrent client(s)"
+    print(
+        f"load vs {source}: {result.requests} request(s), {mode}, "
+        f"seed {seed}"
+    )
+    print(
+        f"  throughput {summary['throughput_rps']:.1f} req/s | "
+        f"p50 {latency['p50_s'] * 1000:.3f} ms | "
+        f"p95 {latency['p95_s'] * 1000:.3f} ms | "
+        f"p99 {latency['p99_s'] * 1000:.3f} ms"
+    )
+    print(
+        f"  statuses {summary['status_counts']} | "
+        f"{result.cached} served from cache"
+    )
+    for error in summary["errors"]:
+        print(f"  error: {error}")
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+        print(f"wrote {out}")
+    failures = sum(
+        count
+        for status, count in result.status_counts.items()
+        if status not in (200, 429)
+    )
+    return 1 if failures else 0
 
 
 def _estimate(graph_path: str, query_path: str, technique: str,
@@ -373,9 +577,9 @@ def main(argv=None) -> int:
         nargs="?",
         default="list",
         help=(
-            "experiment id (t2, f6a..f11, s63, t3), 'sweep', 'bench', "
-            "'trace', 'validate', 'export-dataset', 'export-workload', "
-            "or 'list'"
+            "experiment id (t2, f6a..f11, s63, t3), 'sweep', 'serve', "
+            "'load', 'bench', 'trace', 'validate', 'export-dataset', "
+            "'export-workload', or 'list'"
         ),
     )
     parser.add_argument(
@@ -489,6 +693,47 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--runs", type=int, default=None, help="runs per query")
     parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (serve)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8642, help="bind port (serve; 0 = any)"
+    )
+    parser.add_argument(
+        "--url", default=None,
+        help="daemon base URL to drive (load; default: in-process service)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=200, help="total requests (load)"
+    )
+    parser.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent closed-loop clients (load)",
+    )
+    parser.add_argument(
+        "--serial", action="store_true",
+        help="load: execute the schedule on one thread in order",
+    )
+    parser.add_argument(
+        "--queries", dest="load_queries", default=None,
+        help="query file or directory for load (default: example workload)",
+    )
+    parser.add_argument(
+        "--cache-entries", type=int, default=1024,
+        help="result-cache capacity (serve; 0 disables)",
+    )
+    parser.add_argument(
+        "--cache-ttl", type=float, default=300.0,
+        help="result-cache TTL in seconds (serve; <=0 disables expiry)",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=4,
+        help="per-technique concurrent executions before queueing (serve)",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=16,
+        help="per-technique queued requests before 429 rejection (serve)",
+    )
+    parser.add_argument(
         "--dataset", default=None, help="dataset override for s63"
     )
     parser.add_argument(
@@ -551,6 +796,46 @@ def main(argv=None) -> int:
             no_summary_cache=args.no_summary_cache,
             batch_size=args.batch_size,
             no_shm=args.no_shm,
+        )
+
+    if args.experiment == "serve":
+        if not args.target:
+            print("usage: gcare serve <example|dataset|graph-file> "
+                  "[--techniques a,b] [--workers N] [--host H] [--port P]")
+            return 2
+        return _serve(
+            args.target,
+            args.techniques,
+            args.workers,
+            args.host,
+            args.port,
+            args.sampling_ratio or 0.03,
+            args.seed,
+            args.time_limit,
+            args.cache_entries,
+            args.cache_ttl,
+            args.max_inflight,
+            args.queue_depth,
+            inject=args.inject,
+            inject_seed=args.inject_seed,
+            no_shm=args.no_shm,
+        )
+
+    if args.experiment == "load":
+        return _load(
+            args.target,
+            args.url,
+            args.techniques,
+            args.requests,
+            args.clients,
+            args.seed,
+            args.runs or 1,
+            queries=args.load_queries,
+            serial=args.serial,
+            out=args.out,
+            sampling_ratio=args.sampling_ratio or 0.03,
+            time_limit=args.time_limit,
+            workers=args.workers,
         )
 
     if args.experiment == "bench":

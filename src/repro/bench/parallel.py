@@ -469,6 +469,10 @@ class ParallelEvaluationRunner(EvaluationRunner):
             self._run_pool(pending, results, reseed, results_log)
         finally:
             self._release_shm()
+            # close the persistent append handle on every exit path —
+            # a sweep that dies mid-pool must not leak its log fd
+            if results_log is not None:
+                results_log.close()
         return [results[index] for index in range(len(cells))]
 
     def _effective_batch(self, n_pending: int) -> int:

@@ -2,7 +2,7 @@
 
 ``gcare bench`` (and ``benchmarks/perf_bench.py``) run a fixed-seed suite
 over the bundled AIDS-like dataset and emit a JSON report — checked in as
-``BENCH_PR6.json`` (``BENCH_PR5.json`` is the previous baseline) —
+``BENCH_PR7.json`` (``BENCH_PR6.json`` is the previous baseline) —
 covering:
 
 * graph build + seal time and the ``deep_sizeof`` shrink factor,
@@ -18,6 +18,9 @@ covering:
 * shared-memory worker attach vs. per-worker unpickling of the sealed
   graph (the transport the parallel runner uses),
 * results-log append throughput (the persistent-handle fast path),
+* the estimation service (``gcare serve``): cold vs warm-cache p50 and a
+  seeded closed-loop load run (p50/p95/p99 + throughput under
+  ``report["serve"]``) on the example graph,
 * in full mode, a real ``--workers 4`` sweep wall-clock + peak worker
   RSS with shared memory on vs. off.
 
@@ -39,7 +42,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from .. import kernels as _kernels
 from ..core.errors import GCareError
-from ..core.registry import ALL_TECHNIQUES, create_estimator
+from ..core.registry import available_techniques, create_estimator
 from ..datasets import load_dataset
 from ..graph.digraph import Graph
 from ..matching.homomorphism import HomomorphismCounter
@@ -47,7 +50,7 @@ from ..obs.size import deep_sizeof
 from .workloads import workload
 
 #: benchmark schema version (bump when metrics change incompatibly)
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 #: estimator constructor kwargs, fixed so runs are reproducible
 _TECH_KWARGS: Dict[str, dict] = {
@@ -169,12 +172,18 @@ def run_benchmarks(quick: bool = False, seed: int = 1) -> dict:
     # --- results log: persistent-handle append throughput -------------
     _bench_results_log(timings, reps)
 
+    # --- estimation service: cold vs warm-cache latency + load run ----
+    _bench_serve(timings, speedups, report, quick, seed)
+
     if not quick:
         # --- real parallel sweep: wall clock + peak worker RSS --------
         _bench_parallel_sweep(seed, timings, speedups, report)
 
     # --- prepare: cold vs hydrated from an exported blob --------------
-    for name in ALL_TECHNIQUES:
+    # available_techniques(), not ALL_TECHNIQUES: without numpy the bs
+    # metrics drop out and compare_reports skips them against a full
+    # baseline, so the suite stays runnable on the pure-Python leg
+    for name in available_techniques():
         kwargs = _TECH_KWARGS.get(name, {})
         cold_samples = []
         blob: Optional[bytes] = None
@@ -294,6 +303,111 @@ def _bench_results_log(timings: dict, reps: int) -> None:
         "results-log append path regressed: "
         f"{timings['results_log_append'] * 1e6:.0f} us/append"
     )
+
+
+def _bench_serve(
+    timings: dict, speedups: dict, report: dict, quick: bool, seed: int
+) -> None:
+    """SLO metrics of the estimation service on the example graph.
+
+    Two measurements against one running
+    :class:`~repro.serve.service.EstimationService`:
+
+    * **cold vs warm p50** — every distinct (technique, query, run) cell
+      is requested once (cold: a worker pipe round-trip per request) and
+      then again (warm: result-cache hits answered in the parent).  The
+      warm path must be at least **5x** faster at the median — that gap
+      *is* the cache's reason to exist, and the assertion keeps it from
+      silently eroding;
+    * **closed-loop load run** — the seeded ``gcare load`` schedule
+      (4 clients) against the same service; p50/p95/p99 + throughput
+      land in ``report["serve"]``, the numbers ``docs/serving.md``'s
+      SLO methodology is anchored to.
+
+    The example graph is deliberate: estimates answer in microseconds
+    there, so these metrics isolate the *serving machinery* (dispatch,
+    queueing, cache) rather than estimator cost.
+    """
+    from ..datasets.example import figure1_graph
+    from ..obs.histogram import LatencyHistogram
+    from ..serve import (
+        EstimationService,
+        LoadGenerator,
+        ServiceConfig,
+        example_workload,
+        local_executor,
+    )
+
+    techniques = ("wj", "cset")
+    workload_queries = example_workload()
+    runs = 4 if quick else 10
+    load_requests = 60 if quick else 200
+    config = ServiceConfig(
+        techniques=techniques,
+        seed=seed,
+        time_limit=10.0,
+        workers=2,
+        cache_entries=4096,
+        cache_ttl=None,
+    )
+    with EstimationService(figure1_graph(), config) as service:
+        cells = [
+            (technique, name, run)
+            for technique in techniques
+            for name in sorted(workload_queries)
+            for run in range(runs)
+        ]
+
+        def measure(histogram: LatencyHistogram) -> None:
+            for technique, name, run in cells:
+                start = time.perf_counter()
+                service.estimate(
+                    technique, workload_queries[name], run=run, name=name
+                )
+                histogram.record(time.perf_counter() - start)
+
+        cold = LatencyHistogram()
+        measure(cold)  # first touch of every fingerprint: worker round-trips
+        warm = LatencyHistogram()
+        measure(warm)  # identical requests: parent-side cache hits
+        timings["serve_cold_p50"] = cold.percentile(0.50)
+        timings["serve_warm_p50"] = warm.percentile(0.50)
+        speedups["serve_warm_cache"] = round(
+            cold.percentile(0.50) / max(warm.percentile(0.50), 1e-9), 2
+        )
+        assert warm.percentile(0.50) * 5 <= cold.percentile(0.50), (
+            "warm-cache p50 must be >= 5x faster than cold on the example "
+            f"graph: cold {cold.percentile(0.50) * 1e6:.1f}us vs warm "
+            f"{warm.percentile(0.50) * 1e6:.1f}us"
+        )
+
+        generator = LoadGenerator(
+            workload_queries,
+            techniques,
+            requests=load_requests,
+            clients=4,
+            seed=seed,
+        )
+        result = generator.run(local_executor(service, workload_queries))
+        summary = result.histogram.summary()
+        timings["serve_load_p50"] = summary["p50_s"]
+        report["serve"] = {
+            "workload": "example",
+            "techniques": list(techniques),
+            "requests": result.requests,
+            "clients": 4,
+            "throughput_rps": round(result.throughput_rps, 1),
+            "p50_s": summary["p50_s"],
+            "p95_s": summary["p95_s"],
+            "p99_s": summary["p99_s"],
+            "cached": result.cached,
+            "status_counts": {
+                str(status): count
+                for status, count in sorted(result.status_counts.items())
+            },
+            "cold_p50_s": cold.percentile(0.50),
+            "warm_p50_s": warm.percentile(0.50),
+        }
 
 
 def _bench_parallel_sweep(

@@ -477,6 +477,22 @@ class EvaluationRunner:
         done: Dict[CellKey, EvalRecord] = (
             results_log.completed() if results_log is not None else {}
         )
+        try:
+            return self._run_grid(queries, runs, reseed, results_log, done)
+        finally:
+            # the persistent append handle must not outlive the sweep —
+            # error paths included, or repeated failed sweeps leak fds
+            if results_log is not None:
+                results_log.close()
+
+    def _run_grid(
+        self,
+        queries: Sequence[NamedQuery],
+        runs: int,
+        reseed: bool,
+        results_log,
+        done: Dict[CellKey, EvalRecord],
+    ) -> List[EvalRecord]:
         records: List[EvalRecord] = []
         for name, named, run in self.grid(queries, runs):
             key = (name, named.name, run)

@@ -6,6 +6,7 @@ protocol, :mod:`repro.obs.sinks` for JSONL persistence, and
 ``docs/tracing.md`` quickstart shows the end-to-end flow.
 """
 
+from .histogram import LatencyHistogram
 from .size import deep_sizeof
 from .sinks import JsonlTraceSink
 from .trace import (
@@ -24,6 +25,7 @@ __all__ = [
     "NO_TRACE",
     "SPAN_TO_PHASE",
     "JsonlTraceSink",
+    "LatencyHistogram",
     "NullCollector",
     "Span",
     "Trace",

@@ -1,0 +1,173 @@
+"""Mergeable latency histograms for the serving and load-generation path.
+
+The serving SLO story needs tail percentiles, and tail percentiles need a
+data structure that (a) records a latency in O(log buckets) with no
+allocation, (b) merges exactly — a load generator runs one shard per
+client and the aggregate histogram must equal the histogram of the union
+of all samples, bit for bit — and (c) serializes to JSON so ``/stats``
+responses and ``BENCH_*.json`` reports can carry it.
+
+:class:`LatencyHistogram` uses fixed geometric buckets (powers of sqrt(2)
+from 1 microsecond up, ~52 buckets to a minute) so bucketing is a pure
+function of the sample: two histograms built from the same samples in any
+order or sharding are identical.  The running total is kept in integer
+nanoseconds, which keeps merge exact — float accumulation order would
+otherwise make ``merge(shards)`` differ from ``histogram(union)`` in the
+last bit.
+
+Percentiles are bucket upper bounds (a deterministic overestimate of the
+true sample percentile by at most one bucket width, ~41%); ``min``/``max``
+are exact.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+#: bucket upper bounds in seconds: 1us * sqrt(2)^i — 2^26 us ≈ 67 s at
+#: the top; anything slower lands in the overflow bucket
+_BUCKET_BOUNDS: List[float] = [
+    1e-6 * (2.0 ** (i / 2.0)) for i in range(53)
+]
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with exact, order-independent merge."""
+
+    __slots__ = ("counts", "count", "total_ns", "min_s", "max_s")
+
+    def __init__(self) -> None:
+        #: per-bucket sample counts (index len(_BUCKET_BOUNDS) = overflow)
+        self.counts: List[int] = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self.count = 0
+        #: running total in integer nanoseconds (merge stays exact)
+        self.total_ns = 0
+        self.min_s: Optional[float] = None
+        self.max_s: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def record(self, seconds: float) -> None:
+        """Record one latency sample (negative samples clamp to zero)."""
+        value = max(0.0, float(seconds))
+        self.counts[bisect_left(_BUCKET_BOUNDS, value)] += 1
+        self.count += 1
+        self.total_ns += int(round(value * 1e9))
+        if self.min_s is None or value < self.min_s:
+            self.min_s = value
+        if self.max_s is None or value > self.max_s:
+            self.max_s = value
+
+    def record_many(self, samples: Iterable[float]) -> None:
+        for sample in samples:
+            self.record(sample)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other``'s samples into this histogram (returns self).
+
+        Exact: merging shard histograms in any order yields the same
+        state as recording the union of their samples into one histogram.
+        """
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.count += other.count
+        self.total_ns += other.total_ns
+        for bound in (other.min_s,):
+            if bound is not None and (self.min_s is None or bound < self.min_s):
+                self.min_s = bound
+        for bound in (other.max_s,):
+            if bound is not None and (self.max_s is None or bound > self.max_s):
+                self.max_s = bound
+        return self
+
+    @classmethod
+    def merged(cls, shards: Sequence["LatencyHistogram"]) -> "LatencyHistogram":
+        result = cls()
+        for shard in shards:
+            result.merge(shard)
+        return result
+
+    # ------------------------------------------------------------------
+    def percentile(self, p: float) -> float:
+        """Upper bound of the bucket holding the ``p``-quantile sample.
+
+        ``p`` is a fraction in [0, 1].  Returns 0.0 for an empty
+        histogram.  For the overflow bucket the exact ``max`` is
+        returned, so pathological outliers are never under-reported.
+        """
+        if self.count == 0:
+            return 0.0
+        # integer rank computation: ceil(p * count) without float fuzz at
+        # common fractions (0.5 * 200 must be rank 100, not 101)
+        rank = max(1, min(self.count, _ceil_rank(p, self.count)))
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative >= rank:
+                if index >= len(_BUCKET_BOUNDS):
+                    return float(self.max_s or 0.0)
+                return _BUCKET_BOUNDS[index]
+        return float(self.max_s or 0.0)  # pragma: no cover - unreachable
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return (self.total_ns / 1e9) / self.count
+
+    def summary(self) -> Dict[str, float]:
+        """The standard SLO tuple: count, p50/p95/p99, mean, min, max."""
+        return {
+            "count": self.count,
+            "p50_s": self.percentile(0.50),
+            "p95_s": self.percentile(0.95),
+            "p99_s": self.percentile(0.99),
+            "mean_s": self.mean,
+            "min_s": self.min_s if self.min_s is not None else 0.0,
+            "max_s": self.max_s if self.max_s is not None else 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON form; zero runs of the bucket array are kept sparse."""
+        return {
+            "counts": {
+                str(i): c for i, c in enumerate(self.counts) if c
+            },
+            "count": self.count,
+            "total_ns": self.total_ns,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "LatencyHistogram":
+        histogram = cls()
+        for key, count in payload.get("counts", {}).items():
+            histogram.counts[int(key)] = int(count)
+        histogram.count = int(payload.get("count", 0))
+        histogram.total_ns = int(payload.get("total_ns", 0))
+        histogram.min_s = payload.get("min_s")
+        histogram.max_s = payload.get("max_s")
+        return histogram
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LatencyHistogram):
+            return NotImplemented
+        return (
+            self.counts == other.counts
+            and self.count == other.count
+            and self.total_ns == other.total_ns
+            and self.min_s == other.min_s
+            and self.max_s == other.max_s
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"LatencyHistogram(count={self.count}, p50={self.percentile(0.5):.6f}s)"
+
+
+def _ceil_rank(p: float, count: int) -> int:
+    """``ceil(p * count)`` computed in integers to dodge float fuzz."""
+    numerator = int(round(p * 1_000_000))
+    return -(-(numerator * count) // 1_000_000)

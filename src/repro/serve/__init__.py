@@ -1,0 +1,67 @@
+"""Estimation-as-a-service: the long-lived ``gcare serve`` subsystem.
+
+Layers, bottom up:
+
+* :mod:`repro.serve.protocol` — the JSON request/response envelope and
+  the query fingerprint (cache identity), shared by every transport;
+* :mod:`repro.serve.cache` — TTL + LRU result cache with generation
+  fencing across graph hot-swaps;
+* :mod:`repro.serve.service` — the core: a pool of persistent worker
+  processes attached to shared-memory graph/summary arenas, admission
+  control, the hard-kill timeout, crash respawn, hot swap, and stats;
+* :mod:`repro.serve.daemon` — a dependency-free asyncio HTTP front-end;
+* :mod:`repro.serve.loadgen` — the deterministic closed-loop load
+  generator behind ``gcare load`` and the serving benchmarks.
+
+The contract that makes the service trustworthy as a benchmark artifact:
+an estimate served by the daemon is **bit-identical** to the same
+(technique, query, run) cell of a batch ``gcare sweep`` — workers call
+the very same :func:`repro.bench.runner.run_cell` under the very same
+derived seed (``tests/test_serve.py`` asserts this per technique on both
+kernel backends).
+"""
+
+from .cache import ResultCache
+from .daemon import ServeDaemon, run_daemon
+from .loadgen import (
+    LoadGenerator,
+    LoadRequest,
+    LoadResult,
+    build_schedule,
+    example_workload,
+    http_executor,
+    load_workload,
+    local_executor,
+)
+from .protocol import (
+    ProtocolError,
+    canonical_query,
+    parse_request,
+    query_fingerprint,
+    query_from_payload,
+    query_to_payload,
+)
+from .service import AdmissionRejected, EstimationService, ServiceConfig
+
+__all__ = [
+    "AdmissionRejected",
+    "EstimationService",
+    "LoadGenerator",
+    "LoadRequest",
+    "LoadResult",
+    "ProtocolError",
+    "ResultCache",
+    "ServeDaemon",
+    "ServiceConfig",
+    "build_schedule",
+    "canonical_query",
+    "example_workload",
+    "http_executor",
+    "load_workload",
+    "local_executor",
+    "parse_request",
+    "query_fingerprint",
+    "query_from_payload",
+    "query_to_payload",
+    "run_daemon",
+]

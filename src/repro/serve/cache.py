@@ -1,0 +1,149 @@
+"""Query-fingerprint result cache: TTL expiry + LRU eviction.
+
+The serving hot path: estimates are pure functions of (technique,
+canonical query, derived seed, estimator parameters, graph generation) —
+exactly what :func:`repro.serve.protocol.query_fingerprint` hashes — so a
+repeated request can be answered from memory without touching a worker.
+The cache is the reason the warm-path p50 beats the cold path by an
+order of magnitude in ``BENCH_PR7.json``.
+
+Semantics:
+
+* **TTL** — entries older than ``ttl`` seconds are expired on access
+  (lazy) and by :meth:`sweep` (eager); a TTL of ``None`` disables expiry.
+* **LRU** — at most ``max_entries`` live entries; inserting past
+  capacity evicts the least-recently-*used* entry (a get refreshes
+  recency, an expired get does not).
+* **injectable clock** — both the tests and the hot-swap logic need
+  deterministic time; the constructor takes any ``() -> float`` monotonic
+  clock and never calls ``time`` directly.
+* **generation fencing** — the service clears the cache on graph swap;
+  entries additionally remember the generation that produced them so a
+  racing put from an in-flight old-generation request can never resurrect
+  a stale result after the swap (:meth:`put` drops mismatched writes).
+
+Thread safety: one lock around every operation; the critical sections
+are dictionary moves, so contention is negligible next to an estimate.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
+
+
+class ResultCache:
+    """TTL + LRU cache of response payloads keyed by query fingerprint."""
+
+    def __init__(
+        self,
+        max_entries: int = 1024,
+        ttl: Optional[float] = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive (or None to disable)")
+        self.max_entries = max_entries
+        self.ttl = ttl
+        self.clock = clock
+        #: fingerprint -> (stored_at, generation, payload)
+        self._entries: "OrderedDict[str, Tuple[float, int, dict]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+        #: current graph generation; puts from other generations are dropped
+        self.generation = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, fingerprint: str) -> Optional[dict]:
+        """The cached payload, or None on miss/expiry.
+
+        A hit refreshes LRU recency.  The caller owns the returned dict
+        (the cache stores its own copy), so response post-processing
+        (e.g. stamping ``cached: true``) never mutates the cached value.
+        """
+        now = self.clock()
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                self.misses += 1
+                return None
+            stored_at, generation, payload = entry
+            if self.ttl is not None and now - stored_at >= self.ttl:
+                del self._entries[fingerprint]
+                self.expirations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(fingerprint)
+            self.hits += 1
+            return dict(payload)
+
+    def put(self, fingerprint: str, payload: dict, generation: int) -> bool:
+        """Store a payload; returns False when the write was fenced off.
+
+        ``generation`` must match the cache's current generation —
+        an in-flight request that started before a graph swap completes
+        after :meth:`clear` ran, and its stale result must not be cached
+        against the new graph.
+        """
+        if self.max_entries == 0:
+            return False
+        with self._lock:
+            if generation != self.generation:
+                return False
+            self._entries[fingerprint] = (self.clock(), generation, dict(payload))
+            self._entries.move_to_end(fingerprint)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return True
+
+    # ------------------------------------------------------------------
+    def sweep(self) -> int:
+        """Eagerly drop every expired entry; returns how many were dropped."""
+        if self.ttl is None:
+            return 0
+        now = self.clock()
+        dropped = 0
+        with self._lock:
+            for fingerprint in list(self._entries):
+                stored_at = self._entries[fingerprint][0]
+                if now - stored_at >= self.ttl:
+                    del self._entries[fingerprint]
+                    self.expirations += 1
+                    dropped += 1
+        return dropped
+
+    def clear(self, new_generation: Optional[int] = None) -> None:
+        """Drop everything (graph swap); optionally advance the generation."""
+        with self._lock:
+            self._entries.clear()
+            if new_generation is not None:
+                self.generation = new_generation
+
+    # ------------------------------------------------------------------
+    def keys(self):
+        """Fingerprints in LRU order (least recently used first)."""
+        with self._lock:
+            return list(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+                "generation": self.generation,
+            }

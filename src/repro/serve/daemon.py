@@ -1,0 +1,264 @@
+"""`gcare serve`: an asyncio HTTP front-end for the estimation service.
+
+Dependency-free by construction (the container bakes in no web
+framework): a hand-rolled HTTP/1.1 server on ``asyncio.start_server``
+that speaks just enough of the protocol for JSON request/response
+bodies.  The daemon owns no estimation logic — every route delegates to
+one :class:`~repro.serve.service.EstimationService`:
+
+* ``POST /estimate`` — body per :func:`repro.serve.protocol.parse_request`;
+  the response body is the protocol envelope, and the HTTP status code
+  mirrors its ``status`` field;
+* ``GET /stats`` — the service's observability snapshot (counters,
+  latency histograms, admission state, cache stats);
+* ``GET /healthz`` — liveness probe;
+* ``POST /swap`` — ``{"graph": "<path>"}``: hot-reload the service onto
+  a new data graph file without dropping the listener.
+
+Blocking service calls never run on the event loop: estimation futures
+are bridged with :func:`asyncio.wrap_future` and the (slow, summary-
+building) graph swap goes through ``run_in_executor``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Tuple
+
+from . import protocol
+from .service import EstimationService
+
+#: request bodies past this size are rejected outright (1 MiB is orders
+#: of magnitude above any realistic query payload)
+MAX_BODY_BYTES = 1 << 20
+
+_MAX_HEADER_LINES = 100
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Tuple[str, str, bytes]:
+    """Parse one HTTP/1.1 request into (method, path, body)."""
+    request_line = await reader.readline()
+    if not request_line:
+        raise ConnectionResetError
+    try:
+        method, target, _version = request_line.decode("latin-1").split(None, 2)
+    except ValueError:
+        raise _HttpError(400, "malformed request line")
+    content_length = 0
+    for _ in range(_MAX_HEADER_LINES):
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                raise _HttpError(400, "malformed Content-Length")
+    else:
+        raise _HttpError(400, "too many headers")
+    if content_length > MAX_BODY_BYTES:
+        raise _HttpError(413, "request body too large")
+    body = await reader.readexactly(content_length) if content_length else b""
+    path = target.split("?", 1)[0]
+    return method.upper(), path, body
+
+
+def _http_response(status: int, payload: dict) -> bytes:
+    body = json.dumps(payload).encode()
+    reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+              405: "Method Not Allowed", 413: "Payload Too Large",
+              429: "Too Many Requests", 500: "Internal Server Error",
+              504: "Gateway Timeout"}.get(status, "Status")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: keep-alive\r\n\r\n"
+    ).encode("latin-1")
+    return head + body
+
+
+class ServeDaemon:
+    """The HTTP listener wrapping one :class:`EstimationService`."""
+
+    def __init__(
+        self,
+        service: EstimationService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> "ServeDaemon":
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    method, path, body = await _read_request(reader)
+                except (
+                    ConnectionResetError,
+                    asyncio.IncompleteReadError,
+                ):
+                    return
+                except _HttpError as exc:
+                    writer.write(
+                        _http_response(
+                            exc.status,
+                            protocol.error_response(exc.status, exc.message),
+                        )
+                    )
+                    await writer.drain()
+                    return
+                status, payload = await self._route(method, path, body)
+                writer.write(_http_response(status, payload))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):  # client vanished
+            return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, dict]:
+        if path == "/healthz":
+            if method != "GET":
+                return 405, protocol.error_response(405, "GET only")
+            return 200, {"status": 200, "ok": True}
+        if path == "/stats":
+            if method != "GET":
+                return 405, protocol.error_response(405, "GET only")
+            return 200, self.service.stats()
+        if path == "/estimate":
+            if method != "POST":
+                return 405, protocol.error_response(405, "POST only")
+            return await self._estimate(body)
+        if path == "/swap":
+            if method != "POST":
+                return 405, protocol.error_response(405, "POST only")
+            return await self._swap(body)
+        return 404, protocol.error_response(404, f"no route {path!r}")
+
+    async def _estimate(self, body: bytes) -> Tuple[int, dict]:
+        try:
+            payload = json.loads(body.decode() or "null")
+            request = protocol.parse_request(payload)
+        except protocol.ProtocolError as exc:
+            return 400, protocol.error_response(400, str(exc))
+        except (ValueError, UnicodeDecodeError) as exc:
+            return 400, protocol.error_response(400, f"invalid JSON: {exc}")
+        future = self.service.submit(
+            request["technique"], request["query"], request["run"]
+        )
+        response = await asyncio.wrap_future(future)
+        return int(response["status"]), response
+
+    async def _swap(self, body: bytes) -> Tuple[int, dict]:
+        try:
+            payload = json.loads(body.decode() or "null")
+            if not isinstance(payload, dict) or not isinstance(
+                payload.get("graph"), str
+            ):
+                raise ValueError("body must be {'graph': '<path>'}")
+        except (ValueError, UnicodeDecodeError) as exc:
+            return 400, protocol.error_response(400, f"bad swap request: {exc}")
+        loop = asyncio.get_running_loop()
+
+        def _do_swap() -> dict:
+            from ..graph.io import load_graph
+
+            graph = load_graph(payload["graph"])
+            return self.service.swap_graph(graph)
+
+        try:
+            result = await loop.run_in_executor(None, _do_swap)
+        except FileNotFoundError as exc:
+            return 400, protocol.error_response(400, str(exc))
+        except Exception as exc:
+            return 500, protocol.error_response(
+                500, f"swap failed: {type(exc).__name__}: {exc}"
+            )
+        return 200, {"status": 200, **result}
+
+
+def run_daemon(
+    service: EstimationService, host: str = "127.0.0.1", port: int = 8642,
+    ready_callback=None,
+) -> None:
+    """Blocking entry point used by ``gcare serve``.
+
+    ``ready_callback(address)`` fires once the socket is bound — the CI
+    smoke job and the tests use it to avoid sleep-and-poll startup.
+
+    SIGTERM stops the listener and returns (instead of Python's default
+    die-without-cleanup), so the caller's ``service.close()`` runs and
+    the shared-memory arenas are unlinked rather than left for the next
+    process's ``reap_orphans()``.
+    """
+    import signal
+
+    async def _main() -> None:
+        daemon = await ServeDaemon(service, host=host, port=port).start()
+        if ready_callback is not None:
+            ready_callback(daemon.address)
+        server = asyncio.ensure_future(daemon.serve_forever())
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, server.cancel)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-main thread or platform without signal support
+        try:
+            await server
+        except asyncio.CancelledError:  # signal exit
+            pass
+        finally:
+            try:
+                loop.remove_signal_handler(signal.SIGTERM)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
+            await daemon.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - operator Ctrl-C
+        pass

@@ -1,0 +1,350 @@
+"""Closed-loop load generator for the estimation service.
+
+The SLO methodology (``docs/serving.md``) needs a traffic source whose
+behaviour is a pure function of its parameters, so a latency regression
+can never hide behind workload noise:
+
+* **deterministic schedule** — ``build_schedule(..., seed)`` expands one
+  seeded RNG into a global request sequence and deals it round-robin
+  onto clients: same (workload, techniques, request count, client count,
+  seed) → the identical per-client schedules, every time, on every
+  machine;
+* **closed loop** — each client issues its next request only after the
+  previous response lands (classic closed-loop load model), so offered
+  load self-regulates to service capacity and the latency histogram is
+  not polluted by coordinated-omission artifacts of an open-loop queue;
+* **shard-exact accounting** — every client records into its own
+  :class:`~repro.obs.histogram.LatencyHistogram` shard; the aggregate is
+  the *exact* merge of the shards, and the response multiset (what
+  estimate did each (technique, query, run) get?) is tracked as a
+  counter so serial and concurrent executions of the same schedule can
+  be compared for bit-identical results.
+
+Transport-agnostic: :meth:`LoadGenerator.run` takes any
+``execute(request) -> response-dict`` callable.  Two executors ship —
+:func:`local_executor` (in-process service) and :func:`http_executor`
+(urllib against a running daemon), so `gcare load` can drive either.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+import time
+import urllib.request
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..graph.query import QueryGraph
+from ..obs.histogram import LatencyHistogram
+from . import protocol
+
+#: (technique, query_name, run, status, estimate-repr) — the identity of
+#: one response for serial-vs-concurrent comparison; ``repr`` of the
+#: float keeps the comparison bit-exact
+ResponseKey = Tuple[str, str, int, int, str]
+
+
+@dataclass(frozen=True)
+class LoadRequest:
+    """One scheduled request (position in the global sequence included)."""
+
+    index: int
+    client: int
+    technique: str
+    query_name: str
+    run: int
+
+
+def build_schedule(
+    techniques: Sequence[str],
+    query_names: Sequence[str],
+    requests: int,
+    clients: int,
+    seed: int = 0,
+    runs: int = 1,
+) -> List[List[LoadRequest]]:
+    """Per-client request schedules; a pure function of the arguments.
+
+    The global sequence is drawn first from one ``random.Random(seed)``
+    and then dealt round-robin, so the *union* of all clients' requests
+    is independent of the client count — the property the serial-versus-
+    concurrent equivalence test leans on.
+    """
+    if requests < 0:
+        raise ValueError("requests must be >= 0")
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    if not techniques or not query_names:
+        raise ValueError("need at least one technique and one query")
+    rng = random.Random(seed)
+    schedules: List[List[LoadRequest]] = [[] for _ in range(clients)]
+    for index in range(requests):
+        request = LoadRequest(
+            index=index,
+            client=index % clients,
+            technique=rng.choice(list(techniques)),
+            query_name=rng.choice(list(query_names)),
+            run=rng.randrange(max(1, runs)),
+        )
+        schedules[request.client].append(request)
+    return schedules
+
+
+@dataclass
+class LoadResult:
+    """Everything one load run produced, shard-exact."""
+
+    requests: int
+    elapsed_s: float
+    shards: List[LatencyHistogram]
+    responses: "Counter[ResponseKey]" = field(default_factory=Counter)
+    status_counts: Dict[int, int] = field(default_factory=dict)
+    cached: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def histogram(self) -> LatencyHistogram:
+        """Exact merge of the per-client shards."""
+        return LatencyHistogram.merged(self.shards)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.requests / self.elapsed_s
+
+    def to_dict(self) -> dict:
+        summary = self.histogram.summary()
+        return {
+            "requests": self.requests,
+            "elapsed_s": self.elapsed_s,
+            "throughput_rps": self.throughput_rps,
+            "latency": summary,
+            "status_counts": {
+                str(status): count
+                for status, count in sorted(self.status_counts.items())
+            },
+            "cached": self.cached,
+            "errors": self.errors[:10],
+        }
+
+
+class LoadGenerator:
+    """A seeded closed-loop load run over a named-query workload."""
+
+    def __init__(
+        self,
+        workload: Mapping[str, QueryGraph],
+        techniques: Sequence[str],
+        requests: int = 200,
+        clients: int = 4,
+        seed: int = 0,
+        runs: int = 1,
+    ) -> None:
+        if not workload:
+            raise ValueError("workload must contain at least one query")
+        self.workload = dict(workload)
+        self.techniques = list(techniques)
+        self.clients = clients
+        self.seed = seed
+        self.schedule = build_schedule(
+            self.techniques,
+            sorted(self.workload),
+            requests,
+            clients,
+            seed=seed,
+            runs=runs,
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        execute: Callable[[LoadRequest], dict],
+        concurrent: bool = True,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> LoadResult:
+        """Drive the schedule; one thread per client when ``concurrent``.
+
+        Serial mode executes the exact same global sequence in index
+        order on the calling thread — same requests, same per-client
+        shard attribution — so its :class:`LoadResult` is directly
+        comparable to a concurrent run.
+        """
+        shards = [LatencyHistogram() for _ in self.schedule]
+        responses: "Counter[ResponseKey]" = Counter()
+        status_counts: "Counter[int]" = Counter()
+        errors: List[str] = []
+        cached = [0]
+        lock = threading.Lock()
+
+        def _issue(request: LoadRequest) -> None:
+            started = clock()
+            try:
+                response = execute(request)
+            except Exception as exc:  # transport failure, not a payload
+                response = protocol.error_response(
+                    protocol.STATUS_WORKER_CRASHED,
+                    f"transport: {type(exc).__name__}: {exc}",
+                    technique=request.technique,
+                    run=request.run,
+                )
+            latency = clock() - started
+            shards[request.client].record(latency)
+            status = int(response.get("status", 0))
+            key: ResponseKey = (
+                request.technique,
+                request.query_name,
+                request.run,
+                status,
+                repr(response.get("estimate")),
+            )
+            with lock:
+                responses[key] += 1
+                status_counts[status] += 1
+                if response.get("cached"):
+                    cached[0] += 1
+                if response.get("error") and len(errors) < 100:
+                    errors.append(str(response["error"]))
+
+        started = clock()
+        if concurrent:
+            threads = [
+                threading.Thread(
+                    target=lambda reqs=client_schedule: [
+                        _issue(request) for request in reqs
+                    ],
+                    name=f"gcare-load-client-{client}",
+                )
+                for client, client_schedule in enumerate(self.schedule)
+                if client_schedule
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        else:
+            flat = sorted(
+                (request for client in self.schedule for request in client),
+                key=lambda request: request.index,
+            )
+            for request in flat:
+                _issue(request)
+        elapsed = clock() - started
+        total = sum(len(client) for client in self.schedule)
+        return LoadResult(
+            requests=total,
+            elapsed_s=elapsed,
+            shards=shards,
+            responses=responses,
+            status_counts=dict(status_counts),
+            cached=cached[0],
+            errors=errors,
+        )
+
+
+# ---------------------------------------------------------------------------
+# executors
+# ---------------------------------------------------------------------------
+def local_executor(
+    service, workload: Mapping[str, QueryGraph]
+) -> Callable[[LoadRequest], dict]:
+    """Drive an in-process :class:`EstimationService` directly."""
+
+    def _execute(request: LoadRequest) -> dict:
+        return service.estimate(
+            request.technique,
+            workload[request.query_name],
+            run=request.run,
+            name=request.query_name,
+        )
+
+    return _execute
+
+
+def http_executor(
+    base_url: str,
+    workload: Mapping[str, QueryGraph],
+    timeout: float = 60.0,
+) -> Callable[[LoadRequest], dict]:
+    """Drive a running daemon over HTTP (urllib; one POST per request)."""
+    url = base_url.rstrip("/") + "/estimate"
+    payloads = {
+        name: protocol.query_to_payload(query)
+        for name, query in workload.items()
+    }
+
+    def _execute(request: LoadRequest) -> dict:
+        body = json.dumps(
+            {
+                "technique": request.technique,
+                "query": payloads[request.query_name],
+                "run": request.run,
+            }
+        ).encode()
+        http_request = urllib.request.Request(
+            url, data=body, headers={"Content-Type": "application/json"}
+        )
+        try:
+            with urllib.request.urlopen(http_request, timeout=timeout) as reply:
+                return json.loads(reply.read().decode())
+        except urllib.error.HTTPError as exc:
+            # non-2xx still carries the protocol envelope as its body
+            try:
+                return json.loads(exc.read().decode())
+            except Exception:
+                return protocol.error_response(
+                    exc.code, f"http error {exc.code}",
+                    technique=request.technique, run=request.run,
+                )
+
+    return _execute
+
+
+# ---------------------------------------------------------------------------
+# workloads
+# ---------------------------------------------------------------------------
+def example_workload() -> Dict[str, QueryGraph]:
+    """The Figure 1 bench workload: the triangle plus its edge/path cuts.
+
+    Small by design — the example graph answers in microseconds, so load
+    runs exercise the serving machinery (queueing, cache, admission)
+    rather than estimator cost.
+    """
+    from ..datasets.example import figure1_query
+
+    triangle = figure1_query()
+    workload: Dict[str, QueryGraph] = {"triangle": triangle}
+    # the three single-edge cuts of the triangle
+    for position, (u, v, label) in enumerate(triangle.edges):
+        workload[f"edge{position}"] = QueryGraph(
+            vertex_labels=[triangle.vertex_labels[u], triangle.vertex_labels[v]],
+            edges=[(0, 1, label)],
+        )
+    # the two-edge path u0 -a-> u1 -b-> u2
+    workload["path"] = QueryGraph(
+        vertex_labels=list(triangle.vertex_labels),
+        edges=[triangle.edges[0], triangle.edges[1]],
+    )
+    return workload
+
+
+def load_workload(path: str) -> Dict[str, QueryGraph]:
+    """Named queries from a query file or a directory of query files."""
+    import os
+
+    from ..graph.io import load_query
+
+    if os.path.isdir(path):
+        workload: Dict[str, QueryGraph] = {}
+        for entry in sorted(os.listdir(path)):
+            full = os.path.join(path, entry)
+            if os.path.isfile(full):
+                name = os.path.splitext(entry)[0]
+                workload[name] = load_query(full)
+        if not workload:
+            raise ValueError(f"no query files under {path!r}")
+        return workload
+    return {os.path.splitext(os.path.basename(path))[0]: load_query(path)}

@@ -1,0 +1,208 @@
+"""Wire protocol of the estimation service: JSON payloads + fingerprints.
+
+One request shape, one response shape, shared by every transport (the
+in-process :class:`~repro.serve.service.EstimationService` API, the HTTP
+daemon, and the load generator):
+
+Request::
+
+    {
+      "technique": "wj",             # registry name
+      "query": {                     # structured query graph, or ...
+        "vertices": [[0], [], [2]],  # one label list per vertex
+        "edges": [[0, 1, 0], [1, 2, 2]]
+      },
+      "run": 0                       # repetition index (drives the seed)
+    }
+
+Response (success)::
+
+    {
+      "status": 200,
+      "technique": "wj",
+      "fingerprint": "ab12...",      # query-identity cache key
+      "estimate": 3.0,
+      "elapsed_ms": 0.42,            # worker-side on-line estimation time
+      "seed": 1,                     # the derived per-request seed
+      "run": 0,
+      "generation": 1,               # graph generation that served it
+      "cached": false,               # true when served from the result cache
+      "error": null
+    }
+
+Failures keep the same envelope with ``estimate: null`` and an ``error``
+string; ``status`` follows HTTP semantics (400 malformed, 404 unknown
+technique, 429 admission rejection, 500 worker crash, 504 timeout).
+
+The **fingerprint** is the service's cache identity: a content hash of
+the technique, the canonical query structure, the derived seed, and the
+estimator parameters.  Two requests with equal fingerprints are
+guaranteed identical answers (on the same graph generation), which is
+what makes the result cache sound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Mapping, Optional
+
+from ..graph.query import QueryGraph
+
+#: HTTP-style status codes used across transports
+STATUS_OK = 200
+STATUS_BAD_REQUEST = 400
+STATUS_UNKNOWN_TECHNIQUE = 404
+STATUS_REJECTED = 429
+STATUS_WORKER_CRASHED = 500
+STATUS_TIMEOUT = 504
+
+#: ``EvalRecord.error`` value -> response status (anything else maps 500)
+_ERROR_STATUS = {
+    "timeout": STATUS_TIMEOUT,
+    "unsupported": STATUS_BAD_REQUEST,
+}
+
+
+class ProtocolError(ValueError):
+    """A malformed request payload (maps to a 400 response)."""
+
+
+def query_to_payload(query: QueryGraph) -> Dict[str, Any]:
+    """Structured JSON form of a query graph (inverse of
+    :func:`query_from_payload`)."""
+    return {
+        "vertices": [sorted(labels) for labels in query.vertex_labels],
+        "edges": [[u, v, label] for u, v, label in query.edges],
+    }
+
+
+def query_from_payload(payload: Mapping) -> QueryGraph:
+    """Parse the structured query form; raises :class:`ProtocolError`."""
+    try:
+        vertices = payload["vertices"]
+        edges = payload["edges"]
+        if not isinstance(vertices, (list, tuple)):
+            raise TypeError("vertices must be a list")
+        if not isinstance(edges, (list, tuple)):
+            raise TypeError("edges must be a list")
+        parsed_vertices = [
+            [int(label) for label in labels] for labels in vertices
+        ]
+        parsed_edges = [
+            (int(u), int(v), int(label)) for u, v, label in edges
+        ]
+        return QueryGraph(parsed_vertices, parsed_edges)
+    except ProtocolError:
+        raise
+    except Exception as exc:
+        raise ProtocolError(f"malformed query payload: {exc}") from exc
+
+
+def canonical_query(query: QueryGraph) -> str:
+    """Deterministic text identity of a query's structure.
+
+    Vertex order and edge order are part of query identity (estimators
+    decompose in input order), so the canonical form preserves both —
+    only label-set ordering inside a vertex is normalized.
+    """
+    return json.dumps(query_to_payload(query), separators=(",", ":"))
+
+
+def query_fingerprint(
+    technique: str,
+    query: QueryGraph,
+    seed: int,
+    sampling_ratio: float,
+    time_limit: Optional[float],
+) -> str:
+    """Cache key: technique + canonical query + the exact seed/parameters.
+
+    The *derived* per-request seed goes in (not the base seed + run pair),
+    so two routes to the same seed share one cache entry, and the key is
+    indifferent to how the caller numbered its runs.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(technique.encode())
+    digest.update(b"|")
+    digest.update(canonical_query(query).encode())
+    digest.update(
+        f"|s={seed}|p={sampling_ratio!r}|t={time_limit!r}".encode()
+    )
+    return digest.hexdigest()
+
+
+def parse_request(payload: Mapping) -> Dict[str, Any]:
+    """Validate a request envelope into ``{technique, query, run}``.
+
+    Raises :class:`ProtocolError` on any malformation; the caller maps
+    that to a 400 response.
+    """
+    if not isinstance(payload, Mapping):
+        raise ProtocolError("request body must be a JSON object")
+    technique = payload.get("technique")
+    if not isinstance(technique, str) or not technique:
+        raise ProtocolError("request needs a 'technique' string")
+    query_payload = payload.get("query")
+    if not isinstance(query_payload, Mapping):
+        raise ProtocolError("request needs a 'query' object")
+    run = payload.get("run", 0)
+    if not isinstance(run, int) or isinstance(run, bool) or run < 0:
+        raise ProtocolError("'run' must be a non-negative integer")
+    return {
+        "technique": technique,
+        "query": query_from_payload(query_payload),
+        "run": run,
+    }
+
+
+def success_response(
+    technique: str,
+    fingerprint: str,
+    estimate: float,
+    elapsed_s: float,
+    seed: int,
+    run: int,
+    generation: int,
+    cached: bool = False,
+) -> Dict[str, Any]:
+    return {
+        "status": STATUS_OK,
+        "technique": technique,
+        "fingerprint": fingerprint,
+        "estimate": estimate,
+        "elapsed_ms": elapsed_s * 1000.0,
+        "seed": seed,
+        "run": run,
+        "generation": generation,
+        "cached": cached,
+        "error": None,
+    }
+
+
+def error_response(
+    status: int,
+    error: str,
+    technique: Optional[str] = None,
+    fingerprint: Optional[str] = None,
+    run: int = 0,
+    generation: Optional[int] = None,
+) -> Dict[str, Any]:
+    """A well-formed failure envelope (same fields as success, no estimate)."""
+    return {
+        "status": status,
+        "technique": technique,
+        "fingerprint": fingerprint,
+        "estimate": None,
+        "elapsed_ms": None,
+        "seed": None,
+        "run": run,
+        "generation": generation,
+        "cached": False,
+        "error": error,
+    }
+
+
+def status_for_record_error(error: str) -> int:
+    """Map a structured :class:`EvalRecord` error onto a response status."""
+    return _ERROR_STATUS.get(error, STATUS_WORKER_CRASHED)

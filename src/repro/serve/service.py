@@ -1,0 +1,920 @@
+"""The estimation service core: a worker pool behind a request API.
+
+This is the long-lived counterpart of one ``gcare sweep`` invocation:
+the graph seals once, every technique's summary prepares once, both are
+published into named ``/dev/shm`` arenas (:mod:`repro.shm`), and a pool
+of persistent worker processes answers per-query estimation requests
+until told to stop.  The HTTP daemon (:mod:`repro.serve.daemon`) and the
+load generator (:mod:`repro.serve.loadgen`) are thin clients of this
+class; everything contractual lives here:
+
+* **bit-identical estimates** — a request ``(technique, query, run)`` is
+  executed by :func:`repro.bench.runner.run_cell` inside a worker with
+  ``derive_seed(base_seed, run)``, exactly the batch sweep's code path,
+  so a daemon answer equals the corresponding sweep cell bit for bit;
+* **request-scoped estimation** — workers hold each technique's prepared
+  estimator and re-scope it per request (seed assignment + the RNG reset
+  inside ``estimate()``), the PostBOUND ``setup_for_query`` /
+  ``estimate_for`` shape adapted to Algorithm 1;
+* **result cache** — responses are memoized by query fingerprint
+  (:class:`~repro.serve.cache.ResultCache`, TTL + LRU, generation-fenced
+  so a graph swap can never serve a stale estimate);
+* **admission control** — per-technique max in-flight and queue depth;
+  a request past both limits is rejected immediately with a 429-style
+  payload instead of growing an unbounded backlog;
+* **hard per-request timeout** — the sweep kill machinery, re-used: a
+  worker that exceeds ``time_limit + kill_grace`` is terminated and
+  replaced, and the request resolves to a 504-style payload;
+* **crash containment** — a worker dying mid-request (segfault, OOM
+  kill, injected ``worker:crash`` fault) resolves that request to a
+  well-formed 500-style payload and the pool respawns the slot;
+* **hot swap** — :meth:`EstimationService.swap_graph` prepares the new
+  graph's summaries off to the side, atomically publishes the new
+  generation, clears the cache, and lets workers reload between requests
+  — a response always comes from one coherent (graph, summary)
+  generation, never a torn mix;
+* **observability** — request/latency accounting in
+  :class:`~repro.obs.histogram.LatencyHistogram` per technique plus
+  counters, exported by :meth:`stats` (the daemon's ``/stats``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .. import shm as shm_mod
+from ..bench.runner import NamedQuery, derive_seed, run_cell
+from ..bench.summary_cache import blobs_from_shm, blobs_to_shm, hydrate_from_blob
+from ..core.registry import available_techniques, create_estimator
+from ..faults.inject import maybe_die
+from ..faults.plan import FaultPlan
+from ..graph.query import QueryGraph
+from ..obs.histogram import LatencyHistogram
+from ..shm import ShmRef
+from . import protocol
+from .cache import ResultCache
+
+#: wall-clock grace past ``time_limit`` before a busy worker is killed
+#: (mirrors the sweep runner's backstop semantics)
+DEFAULT_KILL_GRACE = 5.0
+
+#: hard budget for a worker reload/startup acknowledgement; generous —
+#: hydration from blobs is milliseconds, a cold prepare can be seconds
+DEFAULT_RELOAD_TIMEOUT = 120.0
+
+
+class AdmissionRejected(RuntimeError):
+    """Raised by :meth:`EstimationService.submit` when a technique's
+    in-flight + queue budget is exhausted (maps to a 429 payload)."""
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one :class:`EstimationService` instance."""
+
+    #: technique names served (default: every available technique)
+    techniques: Optional[Sequence[str]] = None
+    sampling_ratio: float = 0.03
+    #: base seed; request ``run`` r executes under ``derive_seed(seed, r)``
+    seed: int = 0
+    #: per-request cooperative estimation budget (seconds)
+    time_limit: Optional[float] = 10.0
+    #: worker processes in the pool
+    workers: int = 2
+    #: seconds past ``time_limit`` before the hard kill fires
+    kill_grace: float = DEFAULT_KILL_GRACE
+    #: result-cache capacity (0 disables caching)
+    cache_entries: int = 1024
+    #: result-cache TTL in seconds (None = entries never expire)
+    cache_ttl: Optional[float] = 300.0
+    #: per-technique concurrent executions admitted before queueing
+    max_inflight: int = 4
+    #: per-technique queued requests admitted before rejection
+    queue_depth: int = 16
+    #: deterministic fault plan for chaos testing (None = disabled)
+    fault_plan: Optional[FaultPlan] = None
+    #: ship graph/summaries via shared memory (None = auto when sealed)
+    use_shm: Optional[bool] = None
+    #: multiprocessing start method (None = fork where available)
+    start_method: Optional[str] = None
+    #: per-technique estimator constructor overrides
+    estimator_kwargs: Mapping[str, Mapping] = field(default_factory=dict)
+    #: hard budget for worker startup/reload acknowledgement
+    reload_timeout: float = DEFAULT_RELOAD_TIMEOUT
+
+
+@dataclass
+class _Generation:
+    """One published (graph, summaries) state; immutable once built."""
+
+    number: int
+    graph_payload: object  # the graph itself, or a ShmRef to it
+    blob_payload: object  # blob mapping, ShmRef, or None
+    handles: List[object] = field(default_factory=list)
+
+    def release(self) -> None:
+        for handle in self.handles:
+            try:
+                handle.release()
+            except Exception:  # pragma: no cover - defensive
+                pass
+        self.handles = []
+
+
+class _Request:
+    """One in-flight estimation request (parent side)."""
+
+    __slots__ = (
+        "id", "technique", "query", "run", "name", "fingerprint",
+        "seed", "future", "submitted_at",
+    )
+
+    def __init__(
+        self, id: int, technique: str, query: QueryGraph, run: int,
+        name: str, fingerprint: str, seed: int, submitted_at: float,
+    ) -> None:
+        self.id = id
+        self.technique = technique
+        self.query = query
+        self.run = run
+        self.name = name
+        self.fingerprint = fingerprint
+        self.seed = seed
+        self.future: Future = Future()
+        self.submitted_at = submitted_at
+
+
+_SHUTDOWN = object()
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+def _materialize(graph_payload, blob_payload):
+    """Turn shipped payloads (objects or ShmRefs) into usable state."""
+    graph = graph_payload
+    if isinstance(graph, ShmRef):
+        from ..graph.compact import CompactGraph
+
+        graph = CompactGraph.from_shm(graph)
+    blobs = blob_payload
+    if isinstance(blobs, ShmRef):
+        blobs = blobs_from_shm(blobs)
+    return graph, blobs
+
+
+def _build_estimators(
+    graph,
+    techniques: Sequence[str],
+    sampling_ratio: float,
+    seed: int,
+    time_limit: Optional[float],
+    estimator_kwargs: Mapping[str, Mapping],
+    blobs: Optional[Mapping[str, bytes]],
+) -> Dict[str, object]:
+    """One estimator per technique, hydrated from blobs when available.
+
+    A technique without a blob stays unprepared — its first request pays
+    the build inside ``run_cell`` (and, under a fault plan, exposes the
+    prepare site to injection, mirroring the sweep pipeline).
+    """
+    estimators: Dict[str, object] = {}
+    for name in techniques:
+        kwargs = dict(estimator_kwargs.get(name, {}))
+        estimator = create_estimator(
+            name,
+            graph,
+            sampling_ratio=sampling_ratio,
+            seed=seed,
+            time_limit=time_limit,
+            **kwargs,
+        )
+        blob = blobs.get(name) if blobs is not None else None
+        if blob is not None:
+            hydrate_from_blob(estimator, blob)
+        estimators[name] = estimator
+    return estimators
+
+
+def _serve_worker(
+    conn,
+    graph_payload,
+    blob_payload,
+    generation: int,
+    techniques: Sequence[str],
+    sampling_ratio: float,
+    seed: int,
+    time_limit: Optional[float],
+    estimator_kwargs: Mapping[str, Mapping],
+    fault_plan: Optional[FaultPlan],
+) -> None:
+    """Serve-worker loop: estimate requests, reloads, shutdown.
+
+    Messages from the parent:
+
+    * ``("estimate", req_id, technique, query, run, name)`` — run one
+      cell via :func:`run_cell` (the batch code path — this is what the
+      bit-identical contract rests on) and reply
+      ``("done", req_id, record)`` or ``("failed", req_id, message)``;
+    * ``("reload", generation, graph_payload, blob_payload)`` — swap to
+      a new graph generation between requests (messages are processed
+      strictly sequentially, so a request never observes half a swap)
+      and reply ``("reloaded", generation)``;
+    * ``None`` — exit.
+
+    The worker acknowledges startup with ``("ready", generation)`` once
+    its estimators exist, so the parent can bound cold-start time.
+    """
+    try:
+        graph, blobs = _materialize(graph_payload, blob_payload)
+        estimators = _build_estimators(
+            graph, techniques, sampling_ratio, seed, time_limit,
+            estimator_kwargs, blobs,
+        )
+        conn.send(("ready", generation))
+        while True:
+            message = conn.recv()
+            if message is None:
+                return
+            kind = message[0]
+            if kind == "reload":
+                _, generation, graph_payload, blob_payload = message
+                graph, blobs = _materialize(graph_payload, blob_payload)
+                estimators = _build_estimators(
+                    graph, techniques, sampling_ratio, seed, time_limit,
+                    estimator_kwargs, blobs,
+                )
+                conn.send(("reloaded", generation))
+                continue
+            _, req_id, technique, query, run, name = message
+            try:
+                maybe_die(fault_plan, technique, name, run)
+                estimator = estimators.get(technique)
+                if estimator is None:
+                    conn.send(
+                        ("failed", req_id, f"unknown technique {technique!r}")
+                    )
+                    continue
+                named = NamedQuery(name=name, query=query, true_cardinality=0)
+                record = run_cell(
+                    technique, estimator, named, run,
+                    base_seed=seed, reseed=True, fault_plan=fault_plan,
+                )
+                conn.send(("done", req_id, record))
+            except Exception as exc:  # keep the worker alive
+                conn.send(("failed", req_id, f"{type(exc).__name__}: {exc}"))
+    except (EOFError, OSError, KeyboardInterrupt):  # parent went away
+        return
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+class _ServeWorker:
+    """Parent-side handle of one pooled worker process."""
+
+    def __init__(self, ctx, generation: int, args) -> None:
+        self.conn, child_conn = ctx.Pipe()
+        self.process = ctx.Process(
+            target=_serve_worker, args=(child_conn, *args), daemon=True
+        )
+        self.process.start()
+        child_conn.close()
+        self.generation = generation
+
+    def kill(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        self.process.terminate()
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():  # pragma: no cover - stubborn child
+            self.process.kill()
+            self.process.join(timeout=2.0)
+
+    def shutdown(self) -> None:
+        try:
+            self.conn.send(None)
+        except (OSError, BrokenPipeError):
+            pass
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():
+            self.kill()
+        else:
+            try:
+                self.conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+
+
+def _default_start_method() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class EstimationService:
+    """A running estimation service over one (mutable-by-swap) graph.
+
+    Usable as a context manager; :meth:`start` spawns the pool,
+    :meth:`close` drains and reaps it.  ``clock`` is injectable for the
+    cache tests (it must be monotonic; the default is
+    ``time.monotonic``).
+    """
+
+    def __init__(
+        self,
+        graph,
+        config: Optional[ServiceConfig] = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.clock = clock
+        self.techniques: List[str] = list(
+            self.config.techniques
+            if self.config.techniques is not None
+            else available_techniques()
+        )
+        self.cache = ResultCache(
+            max_entries=self.config.cache_entries,
+            ttl=self.config.cache_ttl,
+            clock=clock,
+        )
+        self._ctx = multiprocessing.get_context(
+            self.config.start_method or _default_start_method()
+        )
+        self._queue: "queue.Queue" = queue.Queue()
+        self._request_ids = itertools.count(1)
+        self._workers: List[Optional[_ServeWorker]] = []
+        self._dispatchers: List[threading.Thread] = []
+        self._generation: Optional[_Generation] = None
+        self._retired: List[_Generation] = []
+        self._swap_lock = threading.Lock()
+        self._admission_lock = threading.Lock()
+        self._queued: Dict[str, int] = {name: 0 for name in self.techniques}
+        self._executing: Dict[str, int] = {name: 0 for name in self.techniques}
+        self._stats_lock = threading.Lock()
+        self.counters: Dict[str, int] = {}
+        self.latency = LatencyHistogram()
+        self.per_technique_latency: Dict[str, LatencyHistogram] = {}
+        self._started = False
+        self._closed = False
+        self._started_at: Optional[float] = None
+        graph = self._sealed(graph)
+        self.graph = graph
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "EstimationService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @staticmethod
+    def _sealed(graph):
+        if not getattr(graph, "sealed", False) and hasattr(graph, "seal"):
+            return graph.seal()
+        return graph
+
+    def start(self) -> "EstimationService":
+        """Prepare summaries, publish arenas, spawn the pool (idempotent)."""
+        if self._started:
+            return self
+        if self._closed:
+            raise RuntimeError("service already closed")
+        if shm_mod.shm_supported():
+            shm_mod.reap_orphans()
+        self._generation = self._publish(self.graph, number=1)
+        self.cache.clear(new_generation=1)
+        workers = max(1, int(self.config.workers))
+        self._workers = [None] * workers
+        for slot in range(workers):
+            self._workers[slot] = self._spawn(self._generation)
+        self._dispatchers = [
+            threading.Thread(
+                target=self._dispatch_loop, args=(slot,), daemon=True,
+                name=f"gcare-serve-dispatch-{slot}",
+            )
+            for slot in range(workers)
+        ]
+        for thread in self._dispatchers:
+            thread.start()
+        self._started = True
+        self._started_at = self.clock()
+        return self
+
+    def close(self) -> None:
+        """Drain the queue, stop dispatchers, reap workers, free arenas."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._started:
+            for _ in self._dispatchers:
+                self._queue.put(_SHUTDOWN)
+            for thread in self._dispatchers:
+                thread.join(timeout=30.0)
+            for worker in self._workers:
+                if worker is not None:
+                    worker.shutdown()
+        self._workers = []
+        # fail anything still queued (submitted after the sentinels)
+        try:
+            while True:
+                request = self._queue.get_nowait()
+                if request is _SHUTDOWN:
+                    continue
+                self._resolve_admitted(
+                    request,
+                    protocol.error_response(
+                        protocol.STATUS_WORKER_CRASHED,
+                        "service shut down",
+                        technique=request.technique,
+                        fingerprint=request.fingerprint,
+                        run=request.run,
+                    ),
+                    dequeued=False,
+                )
+        except queue.Empty:
+            pass
+        if self._generation is not None:
+            self._generation.release()
+            self._generation = None
+        for generation in self._retired:
+            generation.release()
+        self._retired = []
+
+    # ------------------------------------------------------------------
+    # publication (graph + summaries -> payloads, shm where possible)
+    # ------------------------------------------------------------------
+    def _build_blobs(self, graph) -> Optional[Dict[str, bytes]]:
+        """Prepare every technique once in the parent; serialize summaries.
+
+        Skipped entirely under a fault plan, exactly like the sweep
+        pipeline: workers must build their own summaries inside
+        ``run_cell`` so prepare-site faults can reach them.
+        """
+        plan = self.config.fault_plan
+        if plan is not None and plan.enabled:
+            return None
+        blobs: Dict[str, bytes] = {}
+        for name in self.techniques:
+            kwargs = dict(self.config.estimator_kwargs.get(name, {}))
+            try:
+                estimator = create_estimator(
+                    name,
+                    graph,
+                    sampling_ratio=self.config.sampling_ratio,
+                    seed=self.config.seed,
+                    time_limit=self.config.time_limit,
+                    **kwargs,
+                )
+                estimator.prepare()
+                blobs[name] = estimator.export_summary()
+            except Exception:
+                continue  # worker prepares locally; requests may still fail
+        return blobs
+
+    def _publish(self, graph, number: int) -> _Generation:
+        """Build one immutable generation: summaries + shm publication."""
+        blobs = self._build_blobs(graph)
+        graph_payload: object = graph
+        blob_payload: object = blobs
+        handles: List[object] = []
+        use_shm = self.config.use_shm
+        if use_shm is None:
+            use_shm = shm_mod.shm_supported() and bool(
+                getattr(graph, "sealed", False)
+            )
+        if use_shm and shm_mod.shm_supported():
+            if getattr(graph, "sealed", False) and hasattr(graph, "to_shm"):
+                try:
+                    handle, ref = graph.to_shm()
+                except Exception:
+                    pass  # unshareable graph: ship the object itself
+                else:
+                    handles.append(handle)
+                    graph_payload = ref
+            if blobs:
+                try:
+                    handle, ref = blobs_to_shm(blobs)
+                except Exception:
+                    pass
+                else:
+                    handles.append(handle)
+                    blob_payload = ref
+        return _Generation(number, graph_payload, blob_payload, handles)
+
+    # ------------------------------------------------------------------
+    # pool plumbing
+    # ------------------------------------------------------------------
+    def _spawn(self, generation: _Generation) -> _ServeWorker:
+        worker = _ServeWorker(
+            self._ctx,
+            generation.number,
+            (
+                generation.graph_payload,
+                generation.blob_payload,
+                generation.number,
+                tuple(self.techniques),
+                self.config.sampling_ratio,
+                self.config.seed,
+                self.config.time_limit,
+                dict(self.config.estimator_kwargs),
+                self.config.fault_plan,
+            ),
+        )
+        # bound cold start: a worker that cannot even build its
+        # estimators is useless — kill and let the dispatcher respawn
+        if not self._await(worker, "ready", self.config.reload_timeout):
+            worker.kill()
+        return worker
+
+    @staticmethod
+    def _await(worker: _ServeWorker, kind: str, timeout: float) -> bool:
+        """Wait for one ``(kind, ...)`` acknowledgement message."""
+        try:
+            if not worker.conn.poll(timeout):
+                return False
+            message = worker.conn.recv()
+        except (EOFError, OSError):
+            return False
+        return bool(message) and message[0] == kind
+
+    def _ensure_generation(self, slot: int) -> _ServeWorker:
+        """The slot's worker, reloaded/respawned to the current generation."""
+        current = self._generation
+        worker = self._workers[slot]
+        if worker is None or not worker.process.is_alive():
+            worker = self._respawn(slot, count_respawn=worker is not None)
+            return worker
+        if worker.generation == current.number:
+            return worker
+        try:
+            worker.conn.send(
+                (
+                    "reload",
+                    current.number,
+                    current.graph_payload,
+                    current.blob_payload,
+                )
+            )
+            ok = self._await(worker, "reloaded", self.config.reload_timeout)
+        except (OSError, BrokenPipeError):
+            ok = False
+        if not ok:
+            worker.kill()
+            return self._respawn(slot)
+        worker.generation = current.number
+        self._incr("serve.reloads")
+        return worker
+
+    def _respawn(self, slot: int, count_respawn: bool = True) -> _ServeWorker:
+        worker = self._spawn(self._generation)
+        self._workers[slot] = worker
+        if count_respawn:
+            self._incr("serve.respawns")
+        return worker
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def _incr(self, name: str, n: int = 1) -> None:
+        with self._stats_lock:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    def _record_latency(self, technique: str, seconds: float) -> None:
+        with self._stats_lock:
+            self.latency.record(seconds)
+            histogram = self.per_technique_latency.get(technique)
+            if histogram is None:
+                histogram = LatencyHistogram()
+                self.per_technique_latency[technique] = histogram
+            histogram.record(seconds)
+
+    def stats(self) -> dict:
+        """A JSON-serializable snapshot (the daemon's ``/stats`` body)."""
+        with self._stats_lock:
+            counters = dict(self.counters)
+            latency = self.latency.summary()
+            per_technique = {
+                name: histogram.summary()
+                for name, histogram in self.per_technique_latency.items()
+            }
+        with self._admission_lock:
+            admission = {
+                name: {
+                    "executing": self._executing.get(name, 0),
+                    "queued": self._queued.get(name, 0),
+                    "max_inflight": self.config.max_inflight,
+                    "queue_depth": self.config.queue_depth,
+                }
+                for name in self.techniques
+            }
+        generation = self._generation.number if self._generation else 0
+        uptime = (
+            self.clock() - self._started_at
+            if self._started_at is not None
+            else 0.0
+        )
+        return {
+            "generation": generation,
+            "workers": len(self._workers),
+            "techniques": list(self.techniques),
+            "uptime_s": uptime,
+            "counters": counters,
+            "latency": latency,
+            "per_technique": per_technique,
+            "admission": admission,
+            "cache": self.cache.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # request path
+    # ------------------------------------------------------------------
+    def submit(
+        self, technique: str, query: QueryGraph, run: int = 0,
+        name: Optional[str] = None,
+    ) -> Future:
+        """Enqueue one estimation request; returns a response future.
+
+        Resolution is always a protocol response dict — cache hits
+        resolve immediately, admission rejections resolve immediately
+        with a 429-style payload, everything else resolves when a worker
+        (or its kill machinery) finishes.
+        """
+        if not self._started or self._closed:
+            raise RuntimeError("service is not running")
+        submitted_at = self.clock()
+        self._incr("serve.requests")
+        future: Future = Future()
+        if technique not in self._executing:
+            self._incr("serve.unknown_technique")
+            future.set_result(
+                protocol.error_response(
+                    protocol.STATUS_UNKNOWN_TECHNIQUE,
+                    f"unknown technique {technique!r}; "
+                    f"serving {sorted(self._executing)}",
+                    technique=technique,
+                    run=run,
+                )
+            )
+            return future
+        seed = derive_seed(self.config.seed, run)
+        fingerprint = protocol.query_fingerprint(
+            technique, query, seed,
+            self.config.sampling_ratio, self.config.time_limit,
+        )
+        cached = self.cache.get(fingerprint)
+        if cached is not None:
+            self._incr("serve.cache_hits")
+            cached["cached"] = True
+            self._record_latency(technique, self.clock() - submitted_at)
+            future.set_result(cached)
+            return future
+        with self._admission_lock:
+            executing = self._executing[technique]
+            queued = self._queued[technique]
+            if (
+                executing >= self.config.max_inflight
+                and queued >= self.config.queue_depth
+            ):
+                admitted = False
+            else:
+                self._queued[technique] = queued + 1
+                admitted = True
+        if not admitted:
+            self._incr("serve.rejected")
+            future.set_result(
+                protocol.error_response(
+                    protocol.STATUS_REJECTED,
+                    (
+                        f"technique {technique!r} saturated: "
+                        f"{executing} executing (max "
+                        f"{self.config.max_inflight}), {queued} queued "
+                        f"(depth {self.config.queue_depth})"
+                    ),
+                    technique=technique,
+                    fingerprint=fingerprint,
+                    run=run,
+                )
+            )
+            return future
+        request = _Request(
+            id=next(self._request_ids),
+            technique=technique,
+            query=query,
+            run=run,
+            name=name or fingerprint,
+            fingerprint=fingerprint,
+            seed=seed,
+            submitted_at=submitted_at,
+        )
+        request.future = future
+        self._queue.put(request)
+        return future
+
+    def estimate(
+        self, technique: str, query: QueryGraph, run: int = 0,
+        name: Optional[str] = None, timeout: Optional[float] = None,
+    ) -> dict:
+        """Blocking :meth:`submit` (the in-process client API)."""
+        return self.submit(technique, query, run, name=name).result(
+            timeout=timeout
+        )
+
+    # ------------------------------------------------------------------
+    def _resolve_admitted(
+        self, request: _Request, response: dict, dequeued: bool = True
+    ) -> None:
+        """Resolve an admitted request and release its admission slot."""
+        with self._admission_lock:
+            counter = self._executing if dequeued else self._queued
+            if request.technique in counter:
+                counter[request.technique] = max(
+                    0, counter[request.technique] - 1
+                )
+        self._record_latency(
+            request.technique, self.clock() - request.submitted_at
+        )
+        if not request.future.done():
+            request.future.set_result(response)
+
+    def _dispatch_loop(self, slot: int) -> None:
+        """One dispatcher thread per worker slot: queue -> worker -> future."""
+        while True:
+            request = self._queue.get()
+            if request is _SHUTDOWN:
+                return
+            with self._admission_lock:
+                self._queued[request.technique] = max(
+                    0, self._queued[request.technique] - 1
+                )
+                self._executing[request.technique] += 1
+            try:
+                response = self._execute(slot, request)
+            except Exception as exc:  # pragma: no cover - defensive
+                response = protocol.error_response(
+                    protocol.STATUS_WORKER_CRASHED,
+                    f"dispatch failure: {type(exc).__name__}: {exc}",
+                    technique=request.technique,
+                    fingerprint=request.fingerprint,
+                    run=request.run,
+                )
+            self._resolve_admitted(request, response)
+
+    def _execute(self, slot: int, request: _Request) -> dict:
+        """Run one request on the slot's worker, enforcing the hard kill."""
+        worker = self._ensure_generation(slot)
+        generation = worker.generation
+        try:
+            worker.conn.send(
+                (
+                    "estimate",
+                    request.id,
+                    request.technique,
+                    request.query,
+                    request.run,
+                    request.name,
+                )
+            )
+        except (OSError, BrokenPipeError):
+            worker.kill()
+            self._respawn(slot)
+            self._incr("serve.crashes")
+            return protocol.error_response(
+                protocol.STATUS_WORKER_CRASHED,
+                "worker died before accepting the request",
+                technique=request.technique,
+                fingerprint=request.fingerprint,
+                run=request.run,
+                generation=generation,
+            )
+        budget = None
+        if self.config.time_limit is not None:
+            budget = self.config.time_limit + self.config.kill_grace
+        deadline = time.monotonic() + budget if budget is not None else None
+        while True:
+            remaining = (
+                None if deadline is None else deadline - time.monotonic()
+            )
+            if remaining is not None and remaining <= 0:
+                # the sweep kill machinery, serving edition: terminate
+                # the wedged worker, respawn the slot, fail the request
+                worker.kill()
+                self._respawn(slot)
+                self._incr("serve.timeouts")
+                return protocol.error_response(
+                    protocol.STATUS_TIMEOUT,
+                    f"request exceeded {budget:.1f}s hard budget",
+                    technique=request.technique,
+                    fingerprint=request.fingerprint,
+                    run=request.run,
+                    generation=generation,
+                )
+            try:
+                if not worker.conn.poll(
+                    remaining if remaining is not None else 1.0
+                ):
+                    continue
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                worker.kill()
+                self._respawn(slot)
+                self._incr("serve.crashes")
+                return protocol.error_response(
+                    protocol.STATUS_WORKER_CRASHED,
+                    "worker crashed mid-request",
+                    technique=request.technique,
+                    fingerprint=request.fingerprint,
+                    run=request.run,
+                    generation=generation,
+                )
+            kind = message[0]
+            if kind == "done" and message[1] == request.id:
+                record = message[2]
+                return self._response_from_record(request, record, generation)
+            if kind == "failed" and message[1] == request.id:
+                self._incr("serve.errors")
+                return protocol.error_response(
+                    protocol.STATUS_WORKER_CRASHED,
+                    f"worker error: {message[2]}",
+                    technique=request.technique,
+                    fingerprint=request.fingerprint,
+                    run=request.run,
+                    generation=generation,
+                )
+            # stray message from a previous (killed) request on a reused
+            # pipe cannot happen — each slot is single-threaded and kills
+            # its worker on timeout — but drop defensively rather than
+            # mis-deliver
+            continue
+
+    def _response_from_record(
+        self, request: _Request, record, generation: int
+    ) -> dict:
+        if record.error is None:
+            response = protocol.success_response(
+                request.technique,
+                request.fingerprint,
+                record.estimate,
+                record.elapsed,
+                request.seed,
+                request.run,
+                generation,
+                cached=False,
+            )
+            self.cache.put(request.fingerprint, response, generation)
+            self._incr("serve.estimates")
+            return response
+        self._incr("serve.errors")
+        self._incr(f"serve.error.{record.error.split(':', 1)[0]}")
+        return protocol.error_response(
+            protocol.status_for_record_error(record.error),
+            record.error,
+            technique=request.technique,
+            fingerprint=request.fingerprint,
+            run=request.run,
+            generation=generation,
+        )
+
+    # ------------------------------------------------------------------
+    # hot swap
+    # ------------------------------------------------------------------
+    def swap_graph(self, graph) -> dict:
+        """Hot-reload the service onto a new data graph.
+
+        The new generation's summaries are prepared **before** anything
+        is published — traffic keeps being served from the old
+        generation throughout — then the switch is atomic: publish the
+        new generation, clear (and re-fence) the result cache, and let
+        each worker reload lazily before its next request.  A response
+        is always computed against one coherent generation, and its
+        ``generation`` field says which.
+        """
+        if not self._started or self._closed:
+            raise RuntimeError("service is not running")
+        graph = self._sealed(graph)
+        with self._swap_lock:
+            current = self._generation
+            new = self._publish(graph, number=current.number + 1)
+            self.graph = graph
+            self._generation = new
+            self.cache.clear(new_generation=new.number)
+            self._retired.append(current)
+            # segments two generations back can no longer be needed by a
+            # reload (reloads only ever read the current generation), and
+            # POSIX keeps already-attached mappings alive past unlink —
+            # so releasing them here cannot tear an in-flight request
+            while len(self._retired) > 1:
+                self._retired.pop(0).release()
+            self._incr("serve.swaps")
+        return {"generation": new.number, "graph": repr(graph)}

@@ -1,0 +1,239 @@
+"""Load-generator determinism and latency-histogram exactness.
+
+The SLO methodology stands on two legs: the load schedule is a pure
+function of its parameters (so two runs are comparable), and histogram
+accounting is exact under sharding (so the aggregate of N clients equals
+one client's view of the union).  Both are asserted here, including the
+strongest form of the serving determinism story: executing the same
+seeded schedule serially and with 4 concurrent clients yields the
+*identical multiset of responses*, estimate values included.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.example import figure1_graph
+from repro.obs.histogram import LatencyHistogram
+from repro.serve import (
+    EstimationService,
+    LoadGenerator,
+    ServiceConfig,
+    build_schedule,
+    example_workload,
+    local_executor,
+)
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover
+    HAVE_HYPOTHESIS = False
+
+needs_hypothesis = pytest.mark.skipif(
+    not HAVE_HYPOTHESIS, reason="hypothesis not installed"
+)
+
+
+# ---------------------------------------------------------------------------
+# schedule determinism
+# ---------------------------------------------------------------------------
+def test_same_seed_and_clients_give_identical_schedules():
+    args = dict(
+        techniques=["wj", "cset"],
+        query_names=["a", "b", "c"],
+        requests=100,
+        clients=4,
+        seed=42,
+        runs=3,
+    )
+    assert build_schedule(**args) == build_schedule(**args)
+
+
+def test_different_seed_changes_the_schedule():
+    base = dict(
+        techniques=["wj", "cset"],
+        query_names=["a", "b", "c"],
+        requests=100,
+        clients=4,
+    )
+    assert build_schedule(seed=1, **base) != build_schedule(seed=2, **base)
+
+
+def test_request_union_is_independent_of_client_count():
+    """The global sequence is drawn first and dealt round-robin, so the
+    union of work is a function of (seed, requests) alone."""
+    base = dict(
+        techniques=["wj", "cset"], query_names=["a", "b"],
+        requests=60, seed=7, runs=2,
+    )
+
+    def union(clients):
+        return sorted(
+            (r.index, r.technique, r.query_name, r.run)
+            for schedule in build_schedule(clients=clients, **base)
+            for r in schedule
+        )
+
+    assert union(1) == union(4) == union(7)
+
+
+def test_schedule_round_robin_assignment():
+    schedules = build_schedule(["wj"], ["q"], requests=10, clients=3, seed=0)
+    assert [len(s) for s in schedules] == [4, 3, 3]
+    for client, schedule in enumerate(schedules):
+        for request in schedule:
+            assert request.client == client
+            assert request.index % 3 == client
+
+
+def test_schedule_validation():
+    with pytest.raises(ValueError):
+        build_schedule([], ["q"], 10, 1)
+    with pytest.raises(ValueError):
+        build_schedule(["wj"], [], 10, 1)
+    with pytest.raises(ValueError):
+        build_schedule(["wj"], ["q"], 10, 0)
+    with pytest.raises(ValueError):
+        build_schedule(["wj"], ["q"], -1, 1)
+
+
+# ---------------------------------------------------------------------------
+# serial vs concurrent: identical aggregate responses
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def load_service():
+    config = ServiceConfig(
+        techniques=("wj", "cset"), seed=3, workers=2,
+        cache_entries=0,  # every request really executes
+    )
+    service = EstimationService(figure1_graph(), config).start()
+    try:
+        yield service
+    finally:
+        service.close()
+
+
+def test_serial_and_concurrent_runs_agree_bit_for_bit(load_service):
+    workload = example_workload()
+    generator = LoadGenerator(
+        workload, ["wj", "cset"], requests=60, clients=4, seed=17, runs=2
+    )
+    execute = local_executor(load_service, workload)
+    concurrent = generator.run(execute, concurrent=True)
+    serial = generator.run(execute, concurrent=False)
+    assert concurrent.requests == serial.requests == 60
+    # the multiset of (technique, query, run, status, estimate) is
+    # identical — concurrency changes latency, never results
+    assert concurrent.responses == serial.responses
+    assert concurrent.status_counts == serial.status_counts
+    assert set(concurrent.status_counts) == {200}
+
+
+def test_load_result_to_dict_shape(load_service):
+    workload = example_workload()
+    generator = LoadGenerator(
+        workload, ["cset"], requests=10, clients=2, seed=1
+    )
+    result = generator.run(local_executor(load_service, workload))
+    payload = result.to_dict()
+    assert payload["requests"] == 10
+    assert payload["throughput_rps"] > 0
+    assert set(payload["latency"]) == {
+        "count", "p50_s", "p95_s", "p99_s", "mean_s", "min_s", "max_s",
+    }
+    assert payload["latency"]["count"] == 10
+    assert payload["status_counts"] == {"200": 10}
+
+
+def test_transport_failures_become_500_entries():
+    generator = LoadGenerator({"q": example_workload()["triangle"]},
+                              ["wj"], requests=5, clients=2, seed=0)
+
+    def broken(request):
+        raise OSError("connection refused")
+
+    result = generator.run(broken, concurrent=False)
+    assert result.status_counts == {500: 5}
+    assert result.errors and "connection refused" in result.errors[0]
+
+
+# ---------------------------------------------------------------------------
+# histogram exactness
+# ---------------------------------------------------------------------------
+def _hist(samples) -> LatencyHistogram:
+    histogram = LatencyHistogram()
+    histogram.record_many(samples)
+    return histogram
+
+
+if HAVE_HYPOTHESIS:
+    latency_samples = st.lists(
+        st.floats(
+            min_value=0.0, max_value=120.0,
+            allow_nan=False, allow_infinity=False,
+        ),
+        max_size=60,
+    )
+
+    @needs_hypothesis
+    @settings(max_examples=50)
+    @given(shards=st.lists(latency_samples, max_size=6))
+    def test_merge_of_shards_equals_histogram_of_union(shards):
+        merged = LatencyHistogram.merged([_hist(s) for s in shards])
+        union = _hist([x for shard in shards for x in shard])
+        assert merged == union  # counts, count, total_ns, min, max — exact
+
+    @needs_hypothesis
+    @settings(max_examples=50)
+    @given(shards=st.lists(latency_samples, min_size=2, max_size=5))
+    def test_merge_is_order_independent(shards):
+        forward = LatencyHistogram.merged([_hist(s) for s in shards])
+        backward = LatencyHistogram.merged(
+            [_hist(s) for s in reversed(shards)]
+        )
+        assert forward == backward
+
+    @needs_hypothesis
+    @settings(max_examples=50)
+    @given(samples=latency_samples)
+    def test_histogram_dict_roundtrip(samples):
+        histogram = _hist(samples)
+        back = LatencyHistogram.from_dict(histogram.to_dict())
+        assert back == histogram
+        assert back.summary() == histogram.summary()
+
+    @needs_hypothesis
+    @settings(max_examples=50)
+    @given(samples=st.lists(
+        st.floats(min_value=0.0, max_value=120.0, allow_nan=False),
+        min_size=1, max_size=60,
+    ))
+    def test_percentiles_bound_the_samples(samples):
+        histogram = _hist(samples)
+        p50, p99 = histogram.percentile(0.5), histogram.percentile(0.99)
+        assert p50 <= p99  # monotone
+        # a percentile is that bucket's upper bound: never below the
+        # true sample quantile, and p100's bucket covers the max
+        assert p99 >= sorted(samples)[max(0, int(len(samples) * 0.99) - 1)]
+        assert histogram.percentile(1.0) >= max(samples)
+
+
+def test_percentile_of_empty_histogram_is_zero():
+    assert LatencyHistogram().percentile(0.5) == 0.0
+    assert LatencyHistogram().summary()["count"] == 0
+
+
+def test_percentile_exact_ranks():
+    histogram = _hist([0.001] * 50 + [0.1] * 50)
+    # rank 100*0.5 = 50 falls in the fast bucket; 0.51 in the slow one
+    assert histogram.percentile(0.50) < 0.002
+    assert histogram.percentile(0.51) > 0.05
+
+
+def test_overflow_bucket_reports_exact_max():
+    histogram = _hist([0.001, 500.0])
+    assert histogram.percentile(1.0) == 500.0
+    assert histogram.max_s == 500.0

@@ -1,0 +1,365 @@
+"""Service-level tests: the daemon's answers ARE the sweep's answers.
+
+The contract that makes ``gcare serve`` trustworthy as a benchmark
+artifact: an estimate served by the long-lived daemon is bit-identical
+to the corresponding batch ``run_cell`` — same technique, same query,
+same run index, same derived seed — on both kernel backends.  Plus the
+result cache's observable semantics (hit payloads, TTL expiry, LRU
+eviction order, generation fencing) and the HTTP protocol layer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.bench.runner import NamedQuery, run_cell
+from repro.core.registry import ALL_TECHNIQUES, available_techniques, create_estimator
+from repro.datasets.example import figure1_graph, figure1_query
+from repro.kernels import force_backend, numpy_available
+from repro.serve import (
+    EstimationService,
+    ResultCache,
+    ServeDaemon,
+    ServiceConfig,
+    protocol,
+)
+
+SEED = 11
+SAMPLING_RATIO = 0.03
+TIME_LIMIT = 10.0
+
+BACKENDS = ["python", "numpy"]
+
+
+@pytest.fixture(scope="module", params=BACKENDS)
+def backend_service(request):
+    """One running service per kernel backend, shared across the module.
+
+    The worker pool forks while the backend is forced, so workers
+    inherit the pinned dispatch; the in-test reference ``run_cell``
+    calls execute under the same pin (the context stays entered for the
+    fixture's whole lifetime).
+    """
+    backend = request.param
+    if backend == "numpy" and not numpy_available():
+        pytest.skip("numpy backend requires numpy")
+    with force_backend(backend):
+        graph = figure1_graph().seal()
+        config = ServiceConfig(
+            seed=SEED,
+            sampling_ratio=SAMPLING_RATIO,
+            time_limit=TIME_LIMIT,
+            workers=2,
+        )
+        service = EstimationService(graph, config).start()
+        try:
+            yield backend, graph, service
+        finally:
+            service.close()
+
+
+def reference_record(graph, technique: str, query, run: int):
+    """The batch-sweep answer for one cell: a fresh estimator through
+    ``run_cell`` under the service's exact parameters."""
+    estimator = create_estimator(
+        technique, graph,
+        sampling_ratio=SAMPLING_RATIO, seed=SEED, time_limit=TIME_LIMIT,
+    )
+    estimator.prepare()
+    return run_cell(
+        technique, estimator, NamedQuery("ref", query, 0), run,
+        base_seed=SEED, reseed=True,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the core contract: daemon == batch, bit for bit, per technique x backend
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("technique", ALL_TECHNIQUES)
+def test_service_estimate_matches_run_cell(backend_service, technique):
+    _, graph, service = backend_service
+    if technique not in service.techniques:
+        pytest.skip(f"{technique} unavailable in this environment")
+    query = figure1_query()
+    for run in (0, 1, 3):
+        response = service.estimate(technique, query, run=run)
+        record = reference_record(graph, technique, query, run)
+        if record.error is not None:
+            assert response["status"] != protocol.STATUS_OK
+            assert response["error"] == record.error or record.error in str(
+                response["error"]
+            )
+            continue
+        assert response["status"] == protocol.STATUS_OK, response["error"]
+        # bit-identical, not approximately equal
+        assert response["estimate"] == record.estimate
+        from repro.bench.runner import derive_seed
+
+        assert response["seed"] == derive_seed(SEED, run)
+        assert response["run"] == run
+
+
+def test_service_estimate_matches_run_cell_on_subqueries(backend_service):
+    """The contract holds across query shapes, not just the triangle."""
+    _, graph, service = backend_service
+    triangle = figure1_query()
+    from repro.graph.query import QueryGraph
+
+    edge = QueryGraph(
+        vertex_labels=[triangle.vertex_labels[0], triangle.vertex_labels[1]],
+        edges=[(0, 1, triangle.edges[0][2])],
+    )
+    for query in (triangle, edge):
+        for technique in ("cset", "wj", "impr"):
+            response = service.estimate(technique, query, run=2)
+            record = reference_record(graph, technique, query, 2)
+            assert response["estimate"] == record.estimate
+
+
+# ---------------------------------------------------------------------------
+# result cache semantics through the service
+# ---------------------------------------------------------------------------
+def test_cache_hit_returns_identical_payload(backend_service):
+    _, _, service = backend_service
+    query = figure1_query()
+    first = service.estimate("cset", query, run=7)
+    assert first["status"] == protocol.STATUS_OK
+    second = service.estimate("cset", query, run=7)
+    assert second["cached"] is True
+    # identical payload apart from the cached marker
+    assert {k: v for k, v in first.items() if k != "cached"} == {
+        k: v for k, v in second.items() if k != "cached"
+    }
+
+
+def test_unknown_technique_is_404(backend_service):
+    _, _, service = backend_service
+    response = service.estimate("nope", figure1_query())
+    assert response["status"] == protocol.STATUS_UNKNOWN_TECHNIQUE
+    assert "nope" in response["error"]
+    assert response["estimate"] is None
+
+
+# ---------------------------------------------------------------------------
+# ResultCache: TTL + LRU with an injectable clock
+# ---------------------------------------------------------------------------
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_cache_ttl_expiry_uses_injected_clock():
+    clock = FakeClock()
+    cache = ResultCache(max_entries=8, ttl=30.0, clock=clock)
+    cache.put("fp1", {"estimate": 1.0}, generation=0)
+    clock.advance(29.9)
+    assert cache.get("fp1") == {"estimate": 1.0}
+    clock.advance(0.2)  # past the TTL measured from the put
+    assert cache.get("fp1") is None
+    assert cache.expirations == 1
+    # the expired slot is really gone, not shadow-resurrectable
+    assert len(cache) == 0
+
+
+def test_cache_ttl_none_never_expires():
+    clock = FakeClock()
+    cache = ResultCache(max_entries=8, ttl=None, clock=clock)
+    cache.put("fp1", {"estimate": 1.0}, generation=0)
+    clock.advance(1e9)
+    assert cache.get("fp1") is not None
+
+
+def test_cache_lru_eviction_order():
+    clock = FakeClock()
+    cache = ResultCache(max_entries=3, ttl=None, clock=clock)
+    for name in ("a", "b", "c"):
+        cache.put(name, {"v": name}, generation=0)
+    assert cache.keys() == ["a", "b", "c"]
+    # touching "a" refreshes its recency: "b" is now least recently used
+    assert cache.get("a") is not None
+    cache.put("d", {"v": "d"}, generation=0)
+    assert cache.keys() == ["c", "a", "d"]
+    assert cache.get("b") is None
+    assert cache.evictions == 1
+    # one more insert evicts "c" (the new LRU head), never "a" or "d"
+    cache.put("e", {"v": "e"}, generation=0)
+    assert cache.keys() == ["a", "d", "e"]
+
+
+def test_cache_expired_get_does_not_refresh_recency():
+    clock = FakeClock()
+    cache = ResultCache(max_entries=2, ttl=10.0, clock=clock)
+    cache.put("old", {"v": 1}, generation=0)
+    clock.advance(11.0)
+    assert cache.get("old") is None  # expired, dropped
+    cache.put("x", {"v": 2}, generation=0)
+    cache.put("y", {"v": 3}, generation=0)
+    assert cache.keys() == ["x", "y"]
+
+
+def test_cache_generation_fencing_drops_stale_puts():
+    cache = ResultCache(max_entries=8, ttl=None)
+    cache.clear(new_generation=2)
+    assert cache.put("fp", {"v": 1}, generation=1) is False
+    assert cache.get("fp") is None
+    assert cache.put("fp", {"v": 2}, generation=2) is True
+    assert cache.get("fp") == {"v": 2}
+
+
+def test_cache_returns_copies_not_aliases():
+    cache = ResultCache(max_entries=4, ttl=None)
+    cache.put("fp", {"cached": False}, generation=0)
+    hit = cache.get("fp")
+    hit["cached"] = True  # response post-processing must not leak back
+    assert cache.get("fp")["cached"] is False
+
+
+# ---------------------------------------------------------------------------
+# protocol layer
+# ---------------------------------------------------------------------------
+def test_query_payload_roundtrip():
+    query = figure1_query()
+    payload = protocol.query_to_payload(query)
+    back = protocol.query_from_payload(payload)
+    assert protocol.canonical_query(back) == protocol.canonical_query(query)
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        None,
+        {},
+        {"technique": "wj"},
+        {"technique": "", "query": {"vertices": [], "edges": []}},
+        {"technique": "wj", "query": "not-a-dict"},
+        {"technique": "wj", "query": {"vertices": [[0]], "edges": []},
+         "run": -1},
+        {"technique": "wj", "query": {"vertices": [[0]], "edges": []},
+         "run": True},
+        {"technique": "wj", "query": {"vertices": [[0]], "edges": [[0]]}},
+    ],
+)
+def test_parse_request_rejects_malformed(payload):
+    with pytest.raises(protocol.ProtocolError):
+        protocol.parse_request(payload)
+
+
+def test_fingerprint_distinguishes_inputs():
+    query = figure1_query()
+    base = protocol.query_fingerprint("wj", query, 1, 0.03, 10.0)
+    assert protocol.query_fingerprint("cset", query, 1, 0.03, 10.0) != base
+    assert protocol.query_fingerprint("wj", query, 2, 0.03, 10.0) != base
+    assert protocol.query_fingerprint("wj", query, 1, 0.1, 10.0) != base
+    # same inputs -> same fingerprint (it is the cache identity)
+    assert protocol.query_fingerprint("wj", query, 1, 0.03, 10.0) == base
+
+
+# ---------------------------------------------------------------------------
+# HTTP daemon
+# ---------------------------------------------------------------------------
+@contextlib.contextmanager
+def running_daemon(service):
+    """Boot a ServeDaemon on an ephemeral port in a background loop."""
+    loop = asyncio.new_event_loop()
+    daemon = ServeDaemon(service, port=0)
+    started = threading.Event()
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(daemon.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=_run, daemon=True)
+    thread.start()
+    assert started.wait(10), "daemon failed to start"
+    try:
+        yield daemon
+    finally:
+        asyncio.run_coroutine_threadsafe(daemon.stop(), loop).result(10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        loop.close()
+
+
+def _post(url: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as reply:
+            return json.loads(reply.read().decode())
+    except urllib.error.HTTPError as exc:
+        return json.loads(exc.read().decode())
+
+
+def _get(url: str) -> dict:
+    try:
+        with urllib.request.urlopen(url, timeout=30) as reply:
+            return json.loads(reply.read().decode())
+    except urllib.error.HTTPError as exc:
+        return json.loads(exc.read().decode())
+
+
+def test_daemon_estimate_matches_service(backend_service):
+    _, graph, service = backend_service
+    query = figure1_query()
+    with running_daemon(service) as daemon:
+        url = daemon.address
+        body = {
+            "technique": "cset",
+            "query": protocol.query_to_payload(query),
+            "run": 5,
+        }
+        http_response = _post(url + "/estimate", body)
+        record = reference_record(graph, "cset", query, 5)
+        assert http_response["status"] == protocol.STATUS_OK
+        assert http_response["estimate"] == record.estimate
+
+        stats = _get(url + "/stats")
+        assert stats["generation"] >= 1
+        assert "serve.requests" in stats["counters"]
+        assert stats["cache"]["max_entries"] == service.cache.max_entries
+
+        health = _get(url + "/healthz")
+        assert health == {"status": 200, "ok": True}
+
+        bad = _post(url + "/estimate", {"technique": "wj"})
+        assert bad["status"] == protocol.STATUS_BAD_REQUEST
+
+        missing = _get(url + "/nope")
+        assert missing["status"] == 404
+
+
+def test_service_stats_shape(backend_service):
+    _, _, service = backend_service
+    service.estimate("cset", figure1_query())
+    stats = service.stats()
+    assert set(stats) >= {
+        "generation", "workers", "techniques", "counters",
+        "latency", "per_technique", "admission", "cache",
+    }
+    assert stats["counters"]["serve.requests"] >= 1
+    assert stats["latency"]["count"] >= 1
+    admission = stats["admission"]["cset"]
+    assert admission["max_inflight"] == service.config.max_inflight
+    assert admission["queue_depth"] == service.config.queue_depth
+
+
+def test_available_techniques_are_served_by_default():
+    config = ServiceConfig(workers=1)
+    service = EstimationService(figure1_graph(), config)
+    assert service.techniques == list(available_techniques())

@@ -1,0 +1,349 @@
+"""Chaos tests for the estimation service: crashes, saturation, hot swap.
+
+Reuses the deterministic fault-injection plans of :mod:`repro.faults`:
+a ``worker:crash`` plan hard-kills the serve worker mid-request exactly
+like a segfault would, and the service must answer with a well-formed
+500 payload, respawn the slot, and keep serving.  Admission control must
+turn saturation into immediate 429 payloads rather than unbounded
+queues, and a graph hot-swap mid-stream must never produce a response
+computed against a torn (half old, half new) summary — every response
+carries its generation and must bit-match that generation's batch
+reference.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.bench.results_log import ResultsLog
+from repro.bench.runner import EvalRecord, EvaluationRunner, NamedQuery, run_cell
+from repro.core.registry import create_estimator
+from repro.datasets.example import figure1_graph, figure1_query
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.serve import EstimationService, ServiceConfig, protocol
+
+SEED = 5
+
+
+def make_service(graph=None, **overrides) -> EstimationService:
+    config = ServiceConfig(
+        techniques=overrides.pop("techniques", ("cset", "wj")),
+        seed=SEED,
+        workers=overrides.pop("workers", 1),
+        time_limit=overrides.pop("time_limit", 10.0),
+        **overrides,
+    )
+    return EstimationService(graph or figure1_graph(), config)
+
+
+# ---------------------------------------------------------------------------
+# worker crash containment
+# ---------------------------------------------------------------------------
+def test_worker_crash_yields_500_and_respawns():
+    plan = FaultPlan(
+        specs=(
+            FaultSpec(
+                fault="crash", site="worker",
+                probability=1.0, techniques=("wj",),
+            ),
+        ),
+        seed=0,
+    )
+    with make_service(fault_plan=plan) as service:
+        query = figure1_query()
+        crashed = service.estimate("wj", query, run=0)
+        # the injected os._exit(13) surfaces as a well-formed 500
+        assert crashed["status"] == protocol.STATUS_WORKER_CRASHED
+        assert "crash" in crashed["error"]
+        assert crashed["estimate"] is None
+        assert crashed["cached"] is False
+        # the pool respawned and keeps serving the healthy technique
+        healthy = service.estimate("cset", query, run=0)
+        assert healthy["status"] == protocol.STATUS_OK
+        stats = service.stats()
+        assert stats["counters"]["serve.crashes"] >= 1
+        assert stats["counters"]["serve.respawns"] >= 1
+
+
+def test_worker_crash_is_deterministic_per_cell():
+    """The same (technique, query, run) crashes on every retry — the
+    fault decision ignores attempt counters, mirroring the sweep."""
+    plan = FaultPlan(
+        specs=(
+            FaultSpec(
+                fault="crash", site="worker",
+                probability=1.0, techniques=("wj",),
+            ),
+        ),
+        seed=0,
+    )
+    with make_service(fault_plan=plan) as service:
+        query = figure1_query()
+        for _ in range(2):
+            response = service.estimate("wj", query, run=3)
+            assert response["status"] == protocol.STATUS_WORKER_CRASHED
+        assert service.stats()["counters"]["serve.respawns"] >= 2
+
+
+# ---------------------------------------------------------------------------
+# admission control under saturation
+# ---------------------------------------------------------------------------
+def test_saturation_yields_429_payload():
+    # one worker, one in-flight slot, zero queue depth: while a slowed
+    # request occupies the worker, the next submit must bounce with 429
+    plan = FaultPlan(
+        specs=(
+            FaultSpec(
+                fault="slowdown", site="decompose_query",
+                probability=1.0, techniques=("cset",), delay=1.5,
+            ),
+        ),
+        seed=0,
+    )
+    with make_service(
+        fault_plan=plan, max_inflight=1, queue_depth=0
+    ) as service:
+        query = figure1_query()
+        slow = service.submit("cset", query, run=0)
+        # wait until the dispatcher has moved the request to executing
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if service.stats()["admission"]["cset"]["executing"] >= 1:
+                break
+            time.sleep(0.01)
+        else:
+            pytest.fail("request never reached the executing state")
+        rejected = service.estimate("cset", query, run=1)
+        assert rejected["status"] == protocol.STATUS_REJECTED
+        assert "saturated" in rejected["error"]
+        assert rejected["estimate"] is None
+        # the slowed request itself still completes correctly
+        completed = slow.result(timeout=30)
+        assert completed["status"] == protocol.STATUS_OK
+        assert service.stats()["counters"]["serve.rejected"] >= 1
+
+
+def test_rejected_requests_do_not_leak_admission_slots():
+    plan = FaultPlan(
+        specs=(
+            FaultSpec(
+                fault="slowdown", site="decompose_query",
+                probability=1.0, techniques=("cset",), delay=1.0,
+            ),
+        ),
+        seed=0,
+    )
+    with make_service(
+        fault_plan=plan, max_inflight=1, queue_depth=0
+    ) as service:
+        query = figure1_query()
+        first = service.submit("cset", query, run=0)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if service.stats()["admission"]["cset"]["executing"] >= 1:
+                break
+            time.sleep(0.01)
+        for run in range(1, 4):
+            response = service.estimate("cset", query, run=run)
+            assert response["status"] == protocol.STATUS_REJECTED
+        first.result(timeout=30)
+        admission = service.stats()["admission"]["cset"]
+        assert admission["executing"] == 0
+        assert admission["queued"] == 0
+        # capacity is back: a fresh (different-run) request is admitted
+        # and merely slowed, not rejected
+        again = service.estimate("cset", query, run=9)
+        assert again["status"] == protocol.STATUS_OK
+
+
+# ---------------------------------------------------------------------------
+# hard per-request timeout (the sweep kill machinery, serving edition)
+# ---------------------------------------------------------------------------
+def test_hung_worker_is_killed_and_request_times_out():
+    plan = FaultPlan(
+        specs=(
+            FaultSpec(
+                fault="hang", site="decompose_query",
+                probability=1.0, techniques=("wj",),
+            ),
+        ),
+        seed=0,
+    )
+    with make_service(
+        fault_plan=plan, time_limit=0.5, kill_grace=0.5
+    ) as service:
+        query = figure1_query()
+        response = service.estimate("wj", query, run=0, timeout=60)
+        assert response["status"] == protocol.STATUS_TIMEOUT
+        assert "budget" in response["error"]
+        # the slot was respawned; healthy traffic flows again
+        healthy = service.estimate("cset", query, run=0)
+        assert healthy["status"] == protocol.STATUS_OK
+        assert service.stats()["counters"]["serve.timeouts"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# graph hot swap: never a torn summary
+# ---------------------------------------------------------------------------
+def variant_graph():
+    """Figure 1's graph minus its self-loop and one b-edge: close enough
+    to share the label universe, different enough that every technique's
+    estimate changes."""
+    from repro.graph.digraph import Graph
+    from repro.datasets.example import EDGE_A, EDGE_B, EDGE_C
+
+    graph = Graph()
+    labels = {0: (0,), 1: (0,), 2: (1,), 3: (1,), 4: (2,), 5: (2,)}
+    for v in range(6):
+        graph.add_vertex(labels.get(v, ()))
+    for src, dst, label in (
+        (0, 2, EDGE_A),
+        (1, 3, EDGE_A),
+        (2, 4, EDGE_B),
+        (4, 0, EDGE_C),
+        (5, 1, EDGE_C),
+    ):
+        graph.add_edge(src, dst, label)
+    return graph
+
+
+def reference_estimate(graph, technique: str, query, run: int) -> float:
+    estimator = create_estimator(
+        technique, graph, sampling_ratio=0.03, seed=SEED, time_limit=10.0
+    )
+    estimator.prepare()
+    record = run_cell(
+        technique, estimator, NamedQuery("ref", query, 0), run,
+        base_seed=SEED, reseed=True,
+    )
+    assert record.error is None, record.error
+    return record.estimate
+
+
+def test_hot_swap_never_serves_a_torn_summary():
+    graph_a = figure1_graph()
+    graph_b = variant_graph()
+    query = figure1_query()
+    # per-generation batch references; the premise of the test is that
+    # they differ, so a torn mix would be detectable
+    expected = {
+        1: reference_estimate(graph_a.seal(), "cset", query, 0),
+        2: reference_estimate(graph_b.seal(), "cset", query, 0),
+    }
+    assert expected[1] != expected[2]
+
+    with make_service(
+        graph=graph_a, techniques=("cset",), workers=2, cache_entries=0
+    ) as service:
+        responses = []
+        stop = threading.Event()
+
+        def pound() -> None:
+            while not stop.is_set():
+                responses.append(service.estimate("cset", query, run=0))
+
+        threads = [threading.Thread(target=pound) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.3)  # traffic against generation 1
+        swap = service.swap_graph(graph_b)
+        assert swap["generation"] == 2
+        time.sleep(0.3)  # traffic against generation 2
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+
+        assert responses, "no traffic was served"
+        generations = {r["generation"] for r in responses}
+        for response in responses:
+            assert response["status"] == protocol.STATUS_OK, response["error"]
+            # the torn-summary assertion: whatever generation answered,
+            # the estimate is bit-identical to that generation's batch
+            # reference — never a value neither graph would produce
+            assert response["estimate"] == expected[response["generation"]], (
+                response
+            )
+        assert 2 in generations, "no post-swap response observed"
+        # post-swap requests come exclusively from the new generation
+        final = service.estimate("cset", query, run=0)
+        assert final["generation"] == 2
+        assert final["estimate"] == expected[2]
+
+
+def test_swap_clears_and_refences_the_cache():
+    graph_a = figure1_graph()
+    graph_b = variant_graph()
+    query = figure1_query()
+    with make_service(graph=graph_a, techniques=("cset",)) as service:
+        before = service.estimate("cset", query, run=0)
+        assert service.estimate("cset", query, run=0)["cached"] is True
+        service.swap_graph(graph_b)
+        after = service.estimate("cset", query, run=0)
+        # the hit would have replayed the old graph's estimate
+        assert after["cached"] is False
+        assert after["generation"] == 2
+        assert after["estimate"] != before["estimate"]
+        assert service.cache.generation == 2
+
+
+# ---------------------------------------------------------------------------
+# ResultsLog fd-leak regression (the satellite fix): failed sweeps must
+# close the persistent append handle on every exit path
+# ---------------------------------------------------------------------------
+def _open_fds() -> int:
+    return len(os.listdir("/proc/self/fd"))
+
+
+def test_failed_sweeps_do_not_leak_log_fds(tmp_path, monkeypatch):
+    """Repeated mid-sweep failures must not accumulate open log handles.
+
+    The failure is a ``KeyboardInterrupt`` after the first cell — a
+    BaseException, so it propagates straight through ``run_cell``'s
+    Exception handling exactly like an operator ^C — fired after the
+    log's persistent handle has been opened by the first append.
+    """
+    if not os.path.isdir("/proc/self/fd"):
+        pytest.skip("needs /proc fd introspection")
+    import repro.bench.runner as runner_mod
+
+    real_run_cell = runner_mod.run_cell
+    calls = {"n": 0}
+
+    def interrupting_run_cell(*args, **kwargs):
+        calls["n"] += 1
+        if calls["n"] % 2 == 0:  # first cell lands in the log, second dies
+            raise KeyboardInterrupt
+        return real_run_cell(*args, **kwargs)
+
+    monkeypatch.setattr(runner_mod, "run_cell", interrupting_run_cell)
+    graph = figure1_graph()
+    queries = [
+        NamedQuery("q0", figure1_query(), 3),
+        NamedQuery("q1", figure1_query(), 3),
+    ]
+    runner = EvaluationRunner(graph, ("cset",), seed=SEED)
+    baseline = _open_fds()
+    logs = []
+    for attempt in range(15):
+        log = ResultsLog(tmp_path / f"sweep-{attempt}.jsonl")
+        logs.append(log)  # keep objects alive: no GC-close masking
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(queries, runs=1, results_log=log)
+        assert log._handle is None, "append handle left open on error path"
+    assert _open_fds() <= baseline + 1
+
+
+def test_results_log_context_manager_closes_handle(tmp_path):
+    record = EvalRecord(
+        technique="cset", query_name="q", run=0,
+        true_cardinality=1, estimate=1.0, elapsed=0.0, groups={},
+    )
+    with ResultsLog(tmp_path / "log.jsonl") as log:
+        log.append(record)
+        assert log._handle is not None
+    assert log._handle is None
+    assert len(log.load()) == 1
