@@ -335,6 +335,12 @@ def _serve(
     inject: str = None,
     inject_seed: int = 0,
     no_shm: bool = False,
+    state_dir: str = None,
+    breaker_threshold: int = 5,
+    breaker_cooldown: float = 30.0,
+    watchdog_interval: float = 5.0,
+    max_worker_rss: int = None,
+    recycle_after: int = None,
 ) -> int:
     """Boot the estimation daemon and serve until interrupted."""
     from ..core.registry import available_techniques
@@ -367,8 +373,18 @@ def _serve(
         queue_depth=queue_depth,
         fault_plan=plan,
         use_shm=False if no_shm else None,
+        state_dir=state_dir,
+        breaker_threshold=breaker_threshold,
+        breaker_cooldown=breaker_cooldown,
+        watchdog_interval=watchdog_interval,
+        max_worker_rss=max_worker_rss,
+        recycle_after=recycle_after,
     )
     service = EstimationService(graph, config).start()
+    if state_dir:
+        counters = service.stats()["counters"]
+        boot = "warm" if counters.get("serve.warm_restarts") else "cold"
+        print(f"{boot} start (state dir {state_dir})")
     try:
         run_daemon(
             service,
@@ -480,6 +496,22 @@ def _load(
     )
     for error in summary["errors"]:
         print(f"  error: {error}")
+    if url:
+        from ..serve.loadgen import fetch_metrics
+
+        metrics = fetch_metrics(url)
+        if metrics:
+            summary["server_metrics"] = metrics
+            hits = metrics.get("gcare_cache_hits", 0.0)
+            misses = metrics.get("gcare_cache_misses", 0.0)
+            recycles = metrics.get("gcare_watchdog_recycles_total", 0.0)
+            total = hits + misses
+            rate = f"{hits / total:.0%}" if total else "n/a"
+            print(
+                f"  server: cache hit rate {rate} | "
+                f"generation {metrics.get('gcare_generation', 0):.0f} | "
+                f"watchdog recycles {recycles:.0f}"
+            )
     if out:
         with open(out, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)
@@ -490,6 +522,94 @@ def _load(
         if status not in (200, 429)
     )
     return 1 if failures else 0
+
+
+def _soak(
+    target: str,
+    duration: float,
+    seed: int,
+    clients: int,
+    workers: int,
+    techniques: str,
+    inject: str = None,
+    inject_seed: int = 0,
+    queries: str = None,
+    out: str = None,
+) -> int:
+    """Run the seeded chaos-soak harness; non-zero exit on any violation."""
+    import json
+    import os
+    import tempfile
+
+    from ..faults.plan import FaultPlan
+    from ..kernels import fallback_note
+    from ..serve import example_workload, load_workload
+    from ..serve.soak import DEFAULT_PLAN_TOKENS, SoakConfig, run_soak
+
+    note = fallback_note()
+    if note is not None:
+        print(note)
+    plan = FaultPlan.parse(inject or DEFAULT_PLAN_TOKENS, seed=inject_seed)
+    names = (
+        [t.strip() for t in techniques.split(",") if t.strip()]
+        if techniques
+        else None
+    )
+    workload = load_workload(queries) if queries else example_workload()
+    config = SoakConfig(
+        duration_s=duration,
+        seed=seed,
+        clients=clients,
+        workers=max(1, workers or 2),
+        techniques=names,
+        plan=plan,
+    )
+    tmp_path = None
+    try:
+        if target != "example" and os.path.exists(target):
+            graph_path = target
+            graph = None
+        else:
+            # dataset / example targets: dump to a temp file so the
+            # ``swap`` fault has something reloadable to storm against
+            from ..graph.io import dump_graph
+
+            graph = _serve_target_graph(target, seed)
+            fd, tmp_path = tempfile.mkstemp(
+                prefix="gcare-soak-", suffix=".txt"
+            )
+            os.close(fd)
+            dump_graph(graph, tmp_path)
+            graph_path = tmp_path
+        print(
+            f"soak: {duration:.0f}s, {clients} client(s), seed {seed}, "
+            f"{len(plan.specs)} fault spec(s)"
+        )
+        report = run_soak(graph, workload, config, graph_path=graph_path)
+    finally:
+        if tmp_path is not None:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+    payload = report.to_dict()
+    print(
+        f"  {payload['requests']} request(s) in {payload['duration_s']:.1f}s"
+        f" | statuses {payload['status_counts']}"
+        f" | worker kills {payload['worker_kills']}"
+    )
+    print(f"  actions: {payload['actions']}")
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {out}")
+    if report.ok:
+        print("  invariants: OK (0 violations)")
+        return 0
+    print(f"  INVARIANT VIOLATIONS ({len(payload['violations'])}):")
+    for violation in payload["violations"]:
+        print(f"    {violation}")
+    return 1
 
 
 def _estimate(graph_path: str, query_path: str, technique: str,
@@ -578,8 +698,8 @@ def main(argv=None) -> int:
         default="list",
         help=(
             "experiment id (t2, f6a..f11, s63, t3), 'sweep', 'serve', "
-            "'load', 'bench', 'trace', 'validate', 'export-dataset', "
-            "'export-workload', or 'list'"
+            "'load', 'soak', 'bench', 'trace', 'validate', "
+            "'export-dataset', 'export-workload', or 'list'"
         ),
     )
     parser.add_argument(
@@ -734,6 +854,40 @@ def main(argv=None) -> int:
         help="per-technique queued requests before 429 rejection (serve)",
     )
     parser.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help=(
+            "serve: persist the generation manifest under DIR so a "
+            "restarted daemon warm-attaches the live arenas"
+        ),
+    )
+    parser.add_argument(
+        "--breaker-threshold", type=int, default=5,
+        help=(
+            "serve: consecutive failures opening a technique's circuit "
+            "breaker (0 disables breakers)"
+        ),
+    )
+    parser.add_argument(
+        "--breaker-cooldown", type=float, default=30.0,
+        help="serve: seconds an open breaker rejects before probing",
+    )
+    parser.add_argument(
+        "--watchdog-interval", type=float, default=5.0,
+        help="serve: worker watchdog patrol period (0 disables)",
+    )
+    parser.add_argument(
+        "--max-worker-rss", type=int, default=None, metavar="BYTES",
+        help="serve: recycle a worker whose RSS exceeds this many bytes",
+    )
+    parser.add_argument(
+        "--recycle-after", type=int, default=None, metavar="N",
+        help="serve: proactively recycle a worker after N requests",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=60.0,
+        help="soak: wall-clock seconds to drive the daemon (default 60)",
+    )
+    parser.add_argument(
         "--dataset", default=None, help="dataset override for s63"
     )
     parser.add_argument(
@@ -819,6 +973,26 @@ def main(argv=None) -> int:
             inject=args.inject,
             inject_seed=args.inject_seed,
             no_shm=args.no_shm,
+            state_dir=args.state_dir,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
+            watchdog_interval=args.watchdog_interval,
+            max_worker_rss=args.max_worker_rss,
+            recycle_after=args.recycle_after,
+        )
+
+    if args.experiment == "soak":
+        return _soak(
+            args.target or "example",
+            args.duration,
+            args.seed,
+            args.clients,
+            args.workers,
+            args.techniques,
+            inject=args.inject,
+            inject_seed=args.inject_seed,
+            queries=args.load_queries,
+            out=args.out,
         )
 
     if args.experiment == "load":

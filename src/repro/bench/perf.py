@@ -2,7 +2,7 @@
 
 ``gcare bench`` (and ``benchmarks/perf_bench.py``) run a fixed-seed suite
 over the bundled AIDS-like dataset and emit a JSON report — checked in as
-``BENCH_PR7.json`` (``BENCH_PR6.json`` is the previous baseline) —
+``BENCH_PR8.json`` (``BENCH_PR7.json`` is the previous baseline) —
 covering:
 
 * graph build + seal time and the ``deep_sizeof`` shrink factor,
@@ -21,6 +21,9 @@ covering:
 * the estimation service (``gcare serve``): cold vs warm-cache p50 and a
   seeded closed-loop load run (p50/p95/p99 + throughput under
   ``report["serve"]``) on the example graph,
+* warm restart: boot time of a service reattaching a predecessor's
+  checksummed shared-memory arenas versus a cold boot that must prepare
+  every summary from scratch (``speedups["warm_restart"]``),
 * in full mode, a real ``--workers 4`` sweep wall-clock + peak worker
   RSS with shared memory on vs. off.
 
@@ -50,7 +53,7 @@ from ..obs.size import deep_sizeof
 from .workloads import workload
 
 #: benchmark schema version (bump when metrics change incompatibly)
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 
 #: estimator constructor kwargs, fixed so runs are reproducible
 _TECH_KWARGS: Dict[str, dict] = {
@@ -174,6 +177,9 @@ def run_benchmarks(quick: bool = False, seed: int = 1) -> dict:
 
     # --- estimation service: cold vs warm-cache latency + load run ----
     _bench_serve(timings, speedups, report, quick, seed)
+
+    # --- warm restart: manifest reattach vs cold prepare-and-publish --
+    _bench_warm_restart(graph_sealed, timings, speedups, quick, seed)
 
     if not quick:
         # --- real parallel sweep: wall clock + peak worker RSS --------
@@ -408,6 +414,80 @@ def _bench_serve(
             "cold_p50_s": cold.percentile(0.50),
             "warm_p50_s": warm.percentile(0.50),
         }
+
+
+def _bench_warm_restart(
+    graph_sealed: Graph, timings: dict, speedups: dict, quick: bool, seed: int
+) -> None:
+    """Warm restart (manifest reattach) versus cold boot of the service.
+
+    A daemon with a ``state_dir`` disowns its shared-memory arenas at
+    close and leaves a checksummed generation manifest behind; its
+    successor reattaches the live arenas and skips the cold ``prepare``
+    entirely.  This measures both boot paths on the AIDS-like graph with
+    the two most prepare-heavy always-available techniques (``cset``,
+    ``sumrdf``) — the workload warm restart exists for — and asserts the
+    warm path is at least **5x** faster in full mode (quick mode only
+    records; a single sample on a loaded CI box is too noisy to gate).
+
+    Skipped entirely when shared memory is unsupported: without arenas
+    there is nothing to hand off and every boot is cold by construction.
+    """
+    import shutil
+    import tempfile
+
+    from .. import shm as shm_mod
+    from ..serve import EstimationService, ServiceConfig, discard_state
+
+    if not shm_mod.shm_supported():  # pragma: no cover - exotic platform
+        return
+    reps = 1 if quick else 3
+    state_dir = tempfile.mkdtemp(prefix="gcare-bench-state-")
+    # one worker: the fork + ready handshake is identical on both paths,
+    # so keeping it minimal isolates the cost warm restart removes (the
+    # parent-side prepare + publish) instead of diluting it
+    config = ServiceConfig(
+        techniques=("cset", "sumrdf"),
+        seed=seed,
+        time_limit=30.0,
+        workers=1,
+        state_dir=state_dir,
+        watchdog_interval=0.0,
+    )
+    cold_samples: List[float] = []
+    warm_samples: List[float] = []
+    try:
+        for _ in range(reps):
+            discard_state(state_dir)  # no manifest: forces the cold path
+            start = time.perf_counter()
+            service = EstimationService(graph_sealed, config).start()
+            cold_samples.append(time.perf_counter() - start)
+            counters = service.stats()["counters"]
+            assert counters.get("serve.cold_starts") == 1, (
+                "expected a cold boot after discard_state"
+            )
+            service.close()  # disowns the arenas + refreshes the manifest
+            start = time.perf_counter()
+            service = EstimationService(graph_sealed, config).start()
+            warm_samples.append(time.perf_counter() - start)
+            counters = service.stats()["counters"]
+            assert counters.get("serve.warm_restarts") == 1, (
+                "expected a warm reattach of the disowned generation"
+            )
+            service.close()
+    finally:
+        discard_state(state_dir)
+        shutil.rmtree(state_dir, ignore_errors=True)
+    cold = statistics.median(cold_samples)
+    warm = statistics.median(warm_samples)
+    timings["serve_cold_boot"] = cold
+    timings["serve_warm_boot"] = warm
+    speedups["warm_restart"] = round(cold / max(warm, 1e-9), 2)
+    if not quick:
+        assert warm * 5 <= cold, (
+            "warm restart must reattach at least 5x faster than a cold "
+            f"boot: cold {cold * 1e3:.1f}ms vs warm {warm * 1e3:.1f}ms"
+        )
 
 
 def _bench_parallel_sweep(

@@ -28,11 +28,14 @@ from .plan import (
     EFFECT_FAULTS,
     HOOK_SITES,
     NO_FAULTS,
+    SERVICE_FAULTS,
+    SERVICE_SITE,
     VALUE_FAULTS,
     VALUE_SITES,
     WORKER_SITE,
     FaultPlan,
     FaultSpec,
+    stable_uniform,
 )
 
 __all__ = [
@@ -47,9 +50,12 @@ __all__ = [
     "Injector",
     "MemoryBudget",
     "NO_FAULTS",
+    "SERVICE_FAULTS",
+    "SERVICE_SITE",
     "VALUE_FAULTS",
     "VALUE_SITES",
     "WORKER_SITE",
     "injected",
     "maybe_die",
+    "stable_uniform",
 ]

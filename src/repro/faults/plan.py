@@ -53,7 +53,13 @@ HOOK_SITES = (
 #: the parallel runner's process boundary
 WORKER_SITE = "worker"
 
-ALL_SITES = HOOK_SITES + (WORKER_SITE,)
+#: the serving front door — faults here are *client-side* perturbations
+#: the chaos-soak harness replays against a live daemon (the daemon never
+#: injects them itself; ``repro.serve.soak`` consults ``decide`` with this
+#: site to schedule them deterministically)
+SERVICE_SITE = "service"
+
+ALL_SITES = HOOK_SITES + (WORKER_SITE, SERVICE_SITE)
 
 #: faults that replace a hook's return value with a degenerate estimate
 VALUE_FAULTS = ("nan", "inf", "negative", "huge")
@@ -63,8 +69,10 @@ VALUE_SITES = ("est_card", "agg_card")
 EFFECT_FAULTS = ("exception", "hang", "slowdown", "memory")
 #: the worker boundary's only fault: a hard process death
 WORKER_FAULTS = ("crash",)
+#: service-site faults (what a hostile/broken client does to the daemon)
+SERVICE_FAULTS = ("malformed", "expired_deadline", "slowloris", "swap")
 
-ALL_FAULTS = EFFECT_FAULTS + VALUE_FAULTS + WORKER_FAULTS
+ALL_FAULTS = EFFECT_FAULTS + VALUE_FAULTS + WORKER_FAULTS + SERVICE_FAULTS
 
 
 @dataclass(frozen=True)
@@ -103,6 +111,12 @@ class FaultSpec:
                 f"fault {self.fault!r} and site {self.site!r} do not match: "
                 f"'crash' is the only fault of the 'worker' site"
             )
+        if (self.fault in SERVICE_FAULTS) != (self.site == SERVICE_SITE):
+            raise ValueError(
+                f"fault {self.fault!r} and site {self.site!r} do not match: "
+                f"{sorted(SERVICE_FAULTS)} are the faults of the "
+                f"'service' site"
+            )
         if not 0.0 <= self.probability <= 1.0:
             raise ValueError("probability must be in [0, 1]")
         object.__setattr__(self, "techniques", tuple(self.techniques))
@@ -132,15 +146,21 @@ class FaultSpec:
         )
 
 
-def _uniform(*key) -> float:
+def stable_uniform(*key) -> float:
     """A stable uniform draw in [0, 1) from a structured key.
 
     Uses blake2b (not Python's salted ``hash``) so decisions agree
-    across processes and interpreter invocations.
+    across processes and interpreter invocations.  Public because the
+    chaos-soak harness draws its client-side schedule (which request gets
+    which perturbation) from the same primitive that drives plan
+    decisions — one seed determines the whole chaos run.
     """
     token = "|".join(str(part) for part in key).encode("utf-8")
     digest = hashlib.blake2b(token, digest_size=8).digest()
     return int.from_bytes(digest, "big") / 2**64
+
+
+_uniform = stable_uniform
 
 
 @dataclass(frozen=True)

@@ -6,7 +6,8 @@ protocol, :mod:`repro.obs.sinks` for JSONL persistence, and
 ``docs/tracing.md`` quickstart shows the end-to-end flow.
 """
 
-from .histogram import LatencyHistogram
+from .histogram import BUCKET_BOUNDS, LatencyHistogram
+from .metrics import counter_lines, format_line, histogram_lines, parse_metrics
 from .size import deep_sizeof
 from .sinks import JsonlTraceSink
 from .trace import (
@@ -21,6 +22,7 @@ from .trace import (
 )
 
 __all__ = [
+    "BUCKET_BOUNDS",
     "HOOK_SPANS",
     "NO_TRACE",
     "SPAN_TO_PHASE",
@@ -30,6 +32,10 @@ __all__ = [
     "Span",
     "Trace",
     "TraceCollector",
+    "counter_lines",
     "deep_sizeof",
+    "format_line",
+    "histogram_lines",
+    "parse_metrics",
     "traced",
 ]

@@ -31,6 +31,10 @@ _BUCKET_BOUNDS: List[float] = [
     1e-6 * (2.0 ** (i / 2.0)) for i in range(53)
 ]
 
+#: public alias for exposition formats (``repro.obs.metrics``) that need
+#: the bucket boundaries alongside ``LatencyHistogram.counts``
+BUCKET_BOUNDS = _BUCKET_BOUNDS
+
 
 class LatencyHistogram:
     """Fixed-bucket latency histogram with exact, order-independent merge."""

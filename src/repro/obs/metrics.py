@@ -1,0 +1,105 @@
+"""Flat-text metrics exposition (a Prometheus-text-format subset).
+
+The daemon's ``/metrics`` endpoint renders the service's observability
+state — counters, cache hit/miss, circuit-breaker states, watchdog
+recycle counts, and the :class:`~repro.obs.histogram.LatencyHistogram`
+shards — as plain ``name{label="value"} number`` lines.  Deliberately a
+*subset*: no HELP/TYPE metadata, histogram buckets are emitted sparsely
+(zero-count buckets elided, one ``+Inf`` line always present), and
+every line is parseable by :func:`parse_metrics`, which is what
+``gcare load`` uses to scrape a run's server-side view at the end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from .histogram import BUCKET_BOUNDS, LatencyHistogram
+
+
+def _escape(value: object) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def format_line(
+    name: str, value, labels: Optional[Mapping[str, object]] = None
+) -> str:
+    """One exposition line: ``name{k="v",...} value``."""
+    if labels:
+        inner = ",".join(
+            f'{key}="{_escape(val)}"' for key, val in sorted(labels.items())
+        )
+        return f"{name}{{{inner}}} {value}"
+    return f"{name} {value}"
+
+
+def counter_lines(
+    counters: Mapping[str, int], name: str = "gcare_counter"
+) -> List[str]:
+    """Every service counter as one labelled line (stable sort order)."""
+    return [
+        format_line(name, value, {"name": key})
+        for key, value in sorted(counters.items())
+    ]
+
+
+def histogram_lines(
+    name: str,
+    histogram: LatencyHistogram,
+    labels: Optional[Mapping[str, object]] = None,
+) -> List[str]:
+    """Cumulative ``_bucket`` lines plus ``_count`` and ``_sum``.
+
+    Buckets whose delta is zero are elided (53 bounds x N techniques
+    would otherwise dwarf the payload); the cumulative ``+Inf`` line is
+    always present, so a scraper can still reconstruct totals.
+    """
+    base = dict(labels or {})
+    lines: List[str] = []
+    cumulative = 0
+    for index, count in enumerate(histogram.counts):
+        cumulative += count
+        if count == 0 or index >= len(BUCKET_BOUNDS):
+            continue  # the overflow bucket rides in the +Inf line
+        lines.append(
+            format_line(
+                name + "_bucket",
+                cumulative,
+                {**base, "le": f"{BUCKET_BOUNDS[index]:.9f}"},
+            )
+        )
+    lines.append(
+        format_line(name + "_bucket", histogram.count, {**base, "le": "+Inf"})
+    )
+    lines.append(format_line(name + "_count", histogram.count, base or None))
+    lines.append(
+        format_line(name + "_sum", histogram.total_ns / 1e9, base or None)
+    )
+    return lines
+
+
+def parse_metrics(text: str) -> Dict[str, float]:
+    """Inverse of the exposition: ``{"name{labels}": value}``.
+
+    Lenient by design (comments and malformed lines are skipped) — the
+    load generator scrapes a live daemon and must not die on a metric it
+    does not know.
+    """
+    parsed: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        key, _, value = line.rpartition(" ")
+        if not key:
+            continue
+        try:
+            parsed[key] = float(value)
+        except ValueError:
+            continue
+    return parsed

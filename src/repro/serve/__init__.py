@@ -9,9 +9,15 @@ Layers, bottom up:
 * :mod:`repro.serve.service` — the core: a pool of persistent worker
   processes attached to shared-memory graph/summary arenas, admission
   control, the hard-kill timeout, crash respawn, hot swap, and stats;
+* :mod:`repro.serve.supervisor` — the self-healing layer: per-technique
+  circuit breakers, the worker watchdog's recycle policy, and the
+  crash-safe warm-restart generation manifest;
 * :mod:`repro.serve.daemon` — a dependency-free asyncio HTTP front-end;
 * :mod:`repro.serve.loadgen` — the deterministic closed-loop load
-  generator behind ``gcare load`` and the serving benchmarks.
+  generator behind ``gcare load`` and the serving benchmarks;
+* :mod:`repro.serve.soak` — the seeded chaos-soak harness behind
+  ``gcare soak`` (hostile clients + worker kills against a live daemon,
+  with bit-identical-estimate and zero-leak invariants).
 
 The contract that makes the service trustworthy as a benchmark artifact:
 an estimate served by the daemon is **bit-identical** to the same
@@ -41,11 +47,26 @@ from .protocol import (
     query_from_payload,
     query_to_payload,
 )
-from .service import AdmissionRejected, EstimationService, ServiceConfig
+from .service import (
+    AdmissionRejected,
+    EstimationService,
+    ServiceConfig,
+    SwapInProgress,
+)
+from .soak import SoakConfig, SoakReport, run_soak
+from .supervisor import (
+    CircuitBreaker,
+    GenerationManifest,
+    WatchdogPolicy,
+    discard_state,
+    worker_rss_bytes,
+)
 
 __all__ = [
     "AdmissionRejected",
+    "CircuitBreaker",
     "EstimationService",
+    "GenerationManifest",
     "LoadGenerator",
     "LoadRequest",
     "LoadResult",
@@ -53,7 +74,12 @@ __all__ = [
     "ResultCache",
     "ServeDaemon",
     "ServiceConfig",
+    "SoakConfig",
+    "SoakReport",
+    "SwapInProgress",
+    "WatchdogPolicy",
     "build_schedule",
+    "discard_state",
     "canonical_query",
     "example_workload",
     "http_executor",
@@ -64,4 +90,6 @@ __all__ = [
     "query_from_payload",
     "query_to_payload",
     "run_daemon",
+    "run_soak",
+    "worker_rss_bytes",
 ]

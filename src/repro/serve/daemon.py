@@ -8,16 +8,26 @@ one :class:`~repro.serve.service.EstimationService`:
 
 * ``POST /estimate`` — body per :func:`repro.serve.protocol.parse_request`;
   the response body is the protocol envelope, and the HTTP status code
-  mirrors its ``status`` field;
+  mirrors its ``status`` field (an optional ``deadline_ms`` propagates
+  as the request's end-to-end budget);
 * ``GET /stats`` — the service's observability snapshot (counters,
-  latency histograms, admission state, cache stats);
+  latency histograms, admission state, cache stats, breaker states);
+* ``GET /metrics`` — flat-text exposition of the same state
+  (:meth:`EstimationService.metrics_text`, ``text/plain``);
 * ``GET /healthz`` — liveness probe;
 * ``POST /swap`` — ``{"graph": "<path>"}``: hot-reload the service onto
-  a new data graph file without dropping the listener.
+  a new data graph file without dropping the listener (a concurrent
+  swap gets a 409).
 
 Blocking service calls never run on the event loop: estimation futures
 are bridged with :func:`asyncio.wrap_future` and the (slow, summary-
 building) graph swap goes through ``run_in_executor``.
+
+Robustness contract: **no input reaching the socket can produce an
+unhandled exception**.  Malformed frames get a 400 with a per-field
+diagnostic, oversized bodies a 413, clients that trickle bytes (slow
+loris) a 408 after ``read_timeout``, and any surviving route bug a
+well-formed 500 envelope rather than a dropped connection.
 """
 
 from __future__ import annotations
@@ -27,13 +37,25 @@ import json
 from typing import Optional, Tuple
 
 from . import protocol
-from .service import EstimationService
+from .service import EstimationService, SwapInProgress
 
 #: request bodies past this size are rejected outright (1 MiB is orders
 #: of magnitude above any realistic query payload)
 MAX_BODY_BYTES = 1 << 20
 
+#: one request (line + headers + body) must arrive within this many
+#: seconds once the connection is readable — the slow-loris backstop
+READ_TIMEOUT_S = 30.0
+
 _MAX_HEADER_LINES = 100
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout", 409: "Conflict",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
 
 
 class _HttpError(Exception):
@@ -54,7 +76,12 @@ async def _read_request(reader: asyncio.StreamReader) -> Tuple[str, str, bytes]:
         raise _HttpError(400, "malformed request line")
     content_length = 0
     for _ in range(_MAX_HEADER_LINES):
-        line = await reader.readline()
+        try:
+            line = await reader.readline()
+        except ValueError:
+            # StreamReader's limit (64 KiB) tripped: a single header
+            # line that long is an attack or a bug, never a query
+            raise _HttpError(400, "header line too long")
         if line in (b"\r\n", b"\n", b""):
             break
         name, _, value = line.decode("latin-1").partition(":")
@@ -63,28 +90,66 @@ async def _read_request(reader: asyncio.StreamReader) -> Tuple[str, str, bytes]:
                 content_length = int(value.strip())
             except ValueError:
                 raise _HttpError(400, "malformed Content-Length")
+            if content_length < 0:
+                raise _HttpError(400, "negative Content-Length")
     else:
         raise _HttpError(400, "too many headers")
     if content_length > MAX_BODY_BYTES:
+        # drain (bounded) before answering: if we close with the body
+        # still in flight, TCP resets the connection and the client gets
+        # ECONNRESET instead of the 413 we carefully composed
+        try:
+            await reader.readexactly(min(content_length, 8 * MAX_BODY_BYTES))
+        except asyncio.IncompleteReadError:
+            pass
         raise _HttpError(413, "request body too large")
     body = await reader.readexactly(content_length) if content_length else b""
     path = target.split("?", 1)[0]
     return method.upper(), path, body
 
 
-def _http_response(status: int, payload: dict) -> bytes:
+def _headers_from_payload(payload: dict) -> Optional[dict]:
+    retry_after = payload.get("retry_after")
+    if retry_after is None:
+        return None
+    # ceil to a whole second: Retry-After is integer-valued in HTTP, and
+    # rounding *down* would invite a retry inside the cooldown window
+    return {"Retry-After": str(max(1, int(-(-float(retry_after) // 1))))}
+
+
+def _http_response(
+    status: int,
+    payload: dict,
+    headers: Optional[dict] = None,
+) -> bytes:
     body = json.dumps(payload).encode()
-    reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
-              405: "Method Not Allowed", 413: "Payload Too Large",
-              429: "Too Many Requests", 500: "Internal Server Error",
-              504: "Gateway Timeout"}.get(status, "Status")
-    head = (
+    return _http_head(status, len(body), "application/json", headers) + body
+
+
+def _http_text_response(
+    status: int, text: str, headers: Optional[dict] = None
+) -> bytes:
+    body = text.encode()
+    return _http_head(status, len(body), "text/plain; version=0.0.4", headers) + body
+
+
+def _http_head(
+    status: int,
+    content_length: int,
+    content_type: str,
+    headers: Optional[dict] = None,
+) -> bytes:
+    reason = _REASONS.get(status, "Status")
+    extra = "".join(
+        f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+    )
+    return (
         f"HTTP/1.1 {status} {reason}\r\n"
-        f"Content-Type: application/json\r\n"
-        f"Content-Length: {len(body)}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {content_length}\r\n"
+        f"{extra}"
         f"Connection: keep-alive\r\n\r\n"
     ).encode("latin-1")
-    return head + body
 
 
 class ServeDaemon:
@@ -95,10 +160,12 @@ class ServeDaemon:
         service: EstimationService,
         host: str = "127.0.0.1",
         port: int = 0,
+        read_timeout: float = READ_TIMEOUT_S,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
+        self.read_timeout = read_timeout
         self._server: Optional[asyncio.AbstractServer] = None
 
     # ------------------------------------------------------------------
@@ -131,11 +198,27 @@ class ServeDaemon:
         try:
             while True:
                 try:
-                    method, path, body = await _read_request(reader)
+                    method, path, body = await asyncio.wait_for(
+                        _read_request(reader), timeout=self.read_timeout
+                    )
                 except (
                     ConnectionResetError,
                     asyncio.IncompleteReadError,
                 ):
+                    return
+                except asyncio.TimeoutError:
+                    # slow loris: the request never finished arriving —
+                    # answer 408 and drop the connection so the socket
+                    # cannot be held open by a byte-per-minute client
+                    writer.write(
+                        _http_response(
+                            408,
+                            protocol.error_response(
+                                408, "request not received in time"
+                            ),
+                        )
+                    )
+                    await writer.drain()
                     return
                 except _HttpError as exc:
                     writer.write(
@@ -146,16 +229,30 @@ class ServeDaemon:
                     )
                     await writer.drain()
                     return
-                status, payload = await self._route(method, path, body)
-                writer.write(_http_response(status, payload))
+                try:
+                    status, payload = await self._route(method, path, body)
+                except Exception as exc:  # noqa: BLE001 - the 500 backstop
+                    status, payload = 500, protocol.error_response(
+                        500, f"internal error: {type(exc).__name__}: {exc}"
+                    )
+                if isinstance(payload, str):
+                    writer.write(_http_text_response(status, payload))
+                else:
+                    writer.write(
+                        _http_response(
+                            status, payload, _headers_from_payload(payload)
+                        )
+                    )
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):  # client vanished
+            return
+        except asyncio.CancelledError:  # loop teardown with the line open
             return
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
                 pass
 
     async def _route(
@@ -169,6 +266,10 @@ class ServeDaemon:
             if method != "GET":
                 return 405, protocol.error_response(405, "GET only")
             return 200, self.service.stats()
+        if path == "/metrics":
+            if method != "GET":
+                return 405, protocol.error_response(405, "GET only")
+            return 200, self.service.metrics_text()
         if path == "/estimate":
             if method != "POST":
                 return 405, protocol.error_response(405, "POST only")
@@ -182,13 +283,24 @@ class ServeDaemon:
     async def _estimate(self, body: bytes) -> Tuple[int, dict]:
         try:
             payload = json.loads(body.decode() or "null")
+        except (ValueError, UnicodeDecodeError) as exc:
+            return 400, protocol.error_response(
+                400, f"invalid JSON: {exc}", field="body"
+            )
+        try:
             request = protocol.parse_request(payload)
         except protocol.ProtocolError as exc:
-            return 400, protocol.error_response(400, str(exc))
-        except (ValueError, UnicodeDecodeError) as exc:
-            return 400, protocol.error_response(400, f"invalid JSON: {exc}")
+            return 400, protocol.error_response(
+                400, str(exc), field=exc.field
+            )
+        deadline_ms = request.get("deadline_ms")
         future = self.service.submit(
-            request["technique"], request["query"], request["run"]
+            request["technique"],
+            request["query"],
+            request["run"],
+            deadline_s=(
+                deadline_ms / 1000.0 if deadline_ms is not None else None
+            ),
         )
         response = await asyncio.wrap_future(future)
         return int(response["status"]), response
@@ -214,6 +326,8 @@ class ServeDaemon:
             result = await loop.run_in_executor(None, _do_swap)
         except FileNotFoundError as exc:
             return 400, protocol.error_response(400, str(exc))
+        except SwapInProgress as exc:
+            return 409, protocol.error_response(409, str(exc))
         except Exception as exc:
             return 500, protocol.error_response(
                 500, f"swap failed: {type(exc).__name__}: {exc}"

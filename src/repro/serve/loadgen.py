@@ -303,6 +303,26 @@ def http_executor(
     return _execute
 
 
+def fetch_metrics(base_url: str, timeout: float = 10.0) -> Dict[str, float]:
+    """Scrape a running daemon's ``/metrics`` into a flat dict.
+
+    ``gcare load --url`` calls this at the end of a run so the report can
+    pair the client-side latency histogram with the server's own view
+    (cache hit rate, breaker state, watchdog recycles).  Returns an empty
+    dict when the endpoint is unreachable — scraping is additive, never a
+    reason to fail a load run.
+    """
+    from ..obs.metrics import parse_metrics
+
+    try:
+        with urllib.request.urlopen(
+            base_url.rstrip("/") + "/metrics", timeout=timeout
+        ) as reply:
+            return parse_metrics(reply.read().decode())
+    except (OSError, ValueError):
+        return {}
+
+
 # ---------------------------------------------------------------------------
 # workloads
 # ---------------------------------------------------------------------------

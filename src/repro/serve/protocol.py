@@ -53,8 +53,10 @@ from ..graph.query import QueryGraph
 STATUS_OK = 200
 STATUS_BAD_REQUEST = 400
 STATUS_UNKNOWN_TECHNIQUE = 404
+STATUS_CONFLICT = 409
 STATUS_REJECTED = 429
 STATUS_WORKER_CRASHED = 500
+STATUS_UNAVAILABLE = 503
 STATUS_TIMEOUT = 504
 
 #: ``EvalRecord.error`` value -> response status (anything else maps 500)
@@ -65,7 +67,15 @@ _ERROR_STATUS = {
 
 
 class ProtocolError(ValueError):
-    """A malformed request payload (maps to a 400 response)."""
+    """A malformed request payload (maps to a 400 response).
+
+    ``field`` names the offending request field when known, so the 400
+    body can carry a per-field diagnostic instead of a bare message.
+    """
+
+    def __init__(self, message: str, field: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.field = field
 
 
 def query_to_payload(query: QueryGraph) -> Dict[str, Any]:
@@ -95,8 +105,14 @@ def query_from_payload(payload: Mapping) -> QueryGraph:
         return QueryGraph(parsed_vertices, parsed_edges)
     except ProtocolError:
         raise
+    except KeyError as exc:
+        raise ProtocolError(
+            f"query is missing {exc.args[0]!r}", field=f"query.{exc.args[0]}"
+        ) from exc
     except Exception as exc:
-        raise ProtocolError(f"malformed query payload: {exc}") from exc
+        raise ProtocolError(
+            f"malformed query payload: {exc}", field="query"
+        ) from exc
 
 
 def canonical_query(query: QueryGraph) -> str:
@@ -133,26 +149,46 @@ def query_fingerprint(
 
 
 def parse_request(payload: Mapping) -> Dict[str, Any]:
-    """Validate a request envelope into ``{technique, query, run}``.
+    """Validate a request envelope into ``{technique, query, run, deadline_ms}``.
 
     Raises :class:`ProtocolError` on any malformation; the caller maps
-    that to a 400 response.
+    that to a 400 response carrying the offending ``field``.
+
+    ``deadline_ms`` is the optional client deadline budget: "this answer
+    is worthless after N milliseconds".  It is validated here and turned
+    into an absolute deadline by the transport at admission time.
     """
     if not isinstance(payload, Mapping):
-        raise ProtocolError("request body must be a JSON object")
+        raise ProtocolError("request body must be a JSON object", field="body")
     technique = payload.get("technique")
     if not isinstance(technique, str) or not technique:
-        raise ProtocolError("request needs a 'technique' string")
+        raise ProtocolError(
+            "request needs a 'technique' string", field="technique"
+        )
     query_payload = payload.get("query")
     if not isinstance(query_payload, Mapping):
-        raise ProtocolError("request needs a 'query' object")
+        raise ProtocolError("request needs a 'query' object", field="query")
     run = payload.get("run", 0)
     if not isinstance(run, int) or isinstance(run, bool) or run < 0:
-        raise ProtocolError("'run' must be a non-negative integer")
+        raise ProtocolError(
+            "'run' must be a non-negative integer", field="run"
+        )
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None:
+        if (
+            not isinstance(deadline_ms, (int, float))
+            or isinstance(deadline_ms, bool)
+            or deadline_ms <= 0
+        ):
+            raise ProtocolError(
+                "'deadline_ms' must be a positive number", field="deadline_ms"
+            )
+        deadline_ms = float(deadline_ms)
     return {
         "technique": technique,
         "query": query_from_payload(query_payload),
         "run": run,
+        "deadline_ms": deadline_ms,
     }
 
 
@@ -187,9 +223,16 @@ def error_response(
     fingerprint: Optional[str] = None,
     run: int = 0,
     generation: Optional[int] = None,
+    field: Optional[str] = None,
+    retry_after: Optional[float] = None,
 ) -> Dict[str, Any]:
-    """A well-formed failure envelope (same fields as success, no estimate)."""
-    return {
+    """A well-formed failure envelope (same fields as success, no estimate).
+
+    ``field`` (400s) names the malformed request field; ``retry_after``
+    (503s) is the circuit breaker's remaining cooldown in seconds, echoed
+    by the HTTP layer as a ``Retry-After`` header.
+    """
+    payload = {
         "status": status,
         "technique": technique,
         "fingerprint": fingerprint,
@@ -201,6 +244,11 @@ def error_response(
         "cached": False,
         "error": error,
     }
+    if field is not None:
+        payload["field"] = field
+    if retry_after is not None:
+        payload["retry_after"] = retry_after
+    return payload
 
 
 def status_for_record_error(error: str) -> int:

@@ -42,24 +42,39 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
+import os
 import queue
 import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .. import shm as shm_mod
 from ..bench.runner import NamedQuery, derive_seed, run_cell
-from ..bench.summary_cache import blobs_from_shm, blobs_to_shm, hydrate_from_blob
+from ..bench.summary_cache import (
+    blobs_from_shm,
+    blobs_to_shm,
+    graph_fingerprint,
+    hydrate_from_blob,
+)
 from ..core.registry import available_techniques, create_estimator
 from ..faults.inject import maybe_die
 from ..faults.plan import FaultPlan
 from ..graph.query import QueryGraph
+from ..obs import metrics as metrics_mod
 from ..obs.histogram import LatencyHistogram
 from ..shm import ShmRef
 from . import protocol
 from .cache import ResultCache
+from .supervisor import (
+    BREAKER_STATE_CODES,
+    CircuitBreaker,
+    GenerationManifest,
+    WatchdogPolicy,
+    worker_rss_bytes,
+)
 
 #: wall-clock grace past ``time_limit`` before a busy worker is killed
 #: (mirrors the sweep runner's backstop semantics)
@@ -73,6 +88,13 @@ DEFAULT_RELOAD_TIMEOUT = 120.0
 class AdmissionRejected(RuntimeError):
     """Raised by :meth:`EstimationService.submit` when a technique's
     in-flight + queue budget is exhausted (maps to a 429 payload)."""
+
+
+class SwapInProgress(RuntimeError):
+    """Raised by :meth:`EstimationService.swap_graph` when another swap
+    already holds the lock (maps to a 409 payload): swaps serialize by
+    *rejection*, not queueing — a stacked-up swap burst would otherwise
+    rebuild summaries N times back to back."""
 
 
 @dataclass
@@ -108,16 +130,40 @@ class ServiceConfig:
     estimator_kwargs: Mapping[str, Mapping] = field(default_factory=dict)
     #: hard budget for worker startup/reload acknowledgement
     reload_timeout: float = DEFAULT_RELOAD_TIMEOUT
+    #: consecutive infrastructure failures (crash/timeout) that open a
+    #: technique's circuit breaker; 0 disables breakers entirely
+    breaker_threshold: int = 5
+    #: seconds an open breaker rejects before admitting a half-open probe
+    breaker_cooldown: float = 30.0
+    #: watchdog patrol period in seconds; 0 disables the watchdog thread
+    watchdog_interval: float = 5.0
+    #: recycle a worker whose RSS exceeds this many bytes (None = no cap)
+    max_worker_rss: Optional[int] = None
+    #: proactively recycle a worker after serving this many requests
+    recycle_after: Optional[int] = None
+    #: directory for the warm-restart generation manifest (None = the
+    #: arenas die with the service, exactly the pre-supervision behavior)
+    state_dir: Optional[str] = None
 
 
 @dataclass
 class _Generation:
-    """One published (graph, summaries) state; immutable once built."""
+    """One published (graph, summaries) state; immutable once built.
+
+    ``handles`` are creator-side :class:`~repro.shm.SealedArena` handles
+    (this process made the segments); ``inherited`` names segments a warm
+    restart reattached from a dead predecessor's manifest — no handle
+    exists for those, but retiring the generation must still unlink them.
+    """
 
     number: int
     graph_payload: object  # the graph itself, or a ShmRef to it
     blob_payload: object  # blob mapping, ShmRef, or None
     handles: List[object] = field(default_factory=list)
+    inherited: List[str] = field(default_factory=list)
+
+    def segment_names(self) -> List[str]:
+        return [handle.name for handle in self.handles] + list(self.inherited)
 
     def release(self) -> None:
         for handle in self.handles:
@@ -126,6 +172,20 @@ class _Generation:
             except Exception:  # pragma: no cover - defensive
                 pass
         self.handles = []
+        for name in self.inherited:
+            shm_mod.unlink_segment(name)
+        self.inherited = []
+
+    def disown(self) -> None:
+        """Close handles without unlinking: the warm-restart handoff.
+
+        Inherited segments are simply forgotten — they were never
+        registered for cleanup in this process to begin with.
+        """
+        for handle in self.handles:
+            shm_mod.disown_segment(handle.name)
+        self.handles = []
+        self.inherited = []
 
 
 class _Request:
@@ -133,12 +193,13 @@ class _Request:
 
     __slots__ = (
         "id", "technique", "query", "run", "name", "fingerprint",
-        "seed", "future", "submitted_at",
+        "seed", "future", "submitted_at", "deadline",
     )
 
     def __init__(
         self, id: int, technique: str, query: QueryGraph, run: int,
         name: str, fingerprint: str, seed: int, submitted_at: float,
+        deadline: Optional[float] = None,
     ) -> None:
         self.id = id
         self.technique = technique
@@ -149,6 +210,8 @@ class _Request:
         self.seed = seed
         self.future: Future = Future()
         self.submitted_at = submitted_at
+        #: absolute ``time.monotonic`` client deadline (None = no deadline)
+        self.deadline = deadline
 
 
 _SHUTDOWN = object()
@@ -215,14 +278,22 @@ def _serve_worker(
     estimator_kwargs: Mapping[str, Mapping],
     fault_plan: Optional[FaultPlan],
 ) -> None:
-    """Serve-worker loop: estimate requests, reloads, shutdown.
+    """Serve-worker loop: estimate requests, reloads, heartbeats, shutdown.
 
     Messages from the parent:
 
-    * ``("estimate", req_id, technique, query, run, name)`` — run one
-      cell via :func:`run_cell` (the batch code path — this is what the
-      bit-identical contract rests on) and reply
-      ``("done", req_id, record)`` or ``("failed", req_id, message)``;
+    * ``("estimate", req_id, technique, query, run, name, budget)`` —
+      run one cell via :func:`run_cell` (the batch code path — this is
+      what the bit-identical contract rests on) and reply
+      ``("done", req_id, record)`` or ``("failed", req_id, message)``.
+      ``budget`` is the client deadline's remaining seconds (None = no
+      deadline): the estimator's cooperative ``time_limit`` is lowered
+      to it for the duration of the request, so a nearly-expired request
+      degrades into a fast ``timeout`` record instead of burning the
+      full service budget.  A deadline can only *shorten* the run, never
+      change a completed estimate, which keeps caching sound;
+    * ``("ping", token)`` — watchdog heartbeat; reply
+      ``("pong", token, rss_bytes)``;
     * ``("reload", generation, graph_payload, blob_payload)`` — swap to
       a new graph generation between requests (messages are processed
       strictly sequentially, so a request never observes half a swap)
@@ -244,6 +315,9 @@ def _serve_worker(
             if message is None:
                 return
             kind = message[0]
+            if kind == "ping":
+                conn.send(("pong", message[1], worker_rss_bytes(os.getpid())))
+                continue
             if kind == "reload":
                 _, generation, graph_payload, blob_payload = message
                 graph, blobs = _materialize(graph_payload, blob_payload)
@@ -253,7 +327,7 @@ def _serve_worker(
                 )
                 conn.send(("reloaded", generation))
                 continue
-            _, req_id, technique, query, run, name = message
+            _, req_id, technique, query, run, name, budget = message
             try:
                 maybe_die(fault_plan, technique, name, run)
                 estimator = estimators.get(technique)
@@ -263,10 +337,20 @@ def _serve_worker(
                     )
                     continue
                 named = NamedQuery(name=name, query=query, true_cardinality=0)
-                record = run_cell(
-                    technique, estimator, named, run,
-                    base_seed=seed, reseed=True, fault_plan=fault_plan,
-                )
+                original_limit = estimator.time_limit
+                if budget is not None:
+                    estimator.time_limit = (
+                        budget
+                        if original_limit is None
+                        else min(original_limit, budget)
+                    )
+                try:
+                    record = run_cell(
+                        technique, estimator, named, run,
+                        base_seed=seed, reseed=True, fault_plan=fault_plan,
+                    )
+                finally:
+                    estimator.time_limit = original_limit
                 conn.send(("done", req_id, record))
             except Exception as exc:  # keep the worker alive
                 conn.send(("failed", req_id, f"{type(exc).__name__}: {exc}"))
@@ -364,6 +448,27 @@ class EstimationService:
         self.counters: Dict[str, int] = {}
         self.latency = LatencyHistogram()
         self.per_technique_latency: Dict[str, LatencyHistogram] = {}
+        self.breakers: Dict[str, CircuitBreaker] = {}
+        if self.config.breaker_threshold > 0:
+            self.breakers = {
+                name: CircuitBreaker(
+                    threshold=self.config.breaker_threshold,
+                    cooldown=self.config.breaker_cooldown,
+                    clock=clock,
+                )
+                for name in self.techniques
+            }
+        self._slot_locks: List[threading.Lock] = []
+        self._slot_served: List[int] = []
+        self._slot_rss: List[Optional[int]] = []
+        self._watchdog_thread: Optional[threading.Thread] = None
+        self._watchdog_stop = threading.Event()
+        self._ping_tokens = itertools.count(1)
+        self._state_dir: Optional[Path] = (
+            Path(self.config.state_dir)
+            if self.config.state_dir is not None
+            else None
+        )
         self._started = False
         self._closed = False
         self._started_at: Optional[float] = None
@@ -386,37 +491,88 @@ class EstimationService:
         return graph
 
     def start(self) -> "EstimationService":
-        """Prepare summaries, publish arenas, spawn the pool (idempotent)."""
+        """Prepare summaries, publish arenas, spawn the pool (idempotent).
+
+        With a ``state_dir``, a generation manifest left by a previous
+        daemon is tried first: checksum-verified reattach of the live
+        arenas (no cold ``prepare``), quarantine + cold rebuild when any
+        segment fails verification.  A failure partway through startup
+        releases everything already published — no half-started service
+        leaks its arenas.
+        """
         if self._started:
             return self
         if self._closed:
             raise RuntimeError("service already closed")
+        manifest = None
+        if self._state_dir is not None:
+            manifest = GenerationManifest.load(self._state_dir)
         if shm_mod.shm_supported():
-            shm_mod.reap_orphans()
-        self._generation = self._publish(self.graph, number=1)
-        self.cache.clear(new_generation=1)
-        workers = max(1, int(self.config.workers))
-        self._workers = [None] * workers
-        for slot in range(workers):
-            self._workers[slot] = self._spawn(self._generation)
-        self._dispatchers = [
-            threading.Thread(
-                target=self._dispatch_loop, args=(slot,), daemon=True,
-                name=f"gcare-serve-dispatch-{slot}",
+            shm_mod.reap_orphans(
+                keep=manifest.segments if manifest is not None else ()
             )
-            for slot in range(workers)
-        ]
-        for thread in self._dispatchers:
-            thread.start()
+        generation = None
+        if manifest is not None:
+            generation = self._try_warm_attach(manifest)
+        if generation is None:
+            self._incr("serve.cold_starts")
+            number = manifest.generation + 1 if manifest is not None else 1
+            generation = self._publish(self.graph, number=number)
+        try:
+            self._generation = generation
+            self.cache.clear(new_generation=generation.number)
+            workers = max(1, int(self.config.workers))
+            self._workers = [None] * workers
+            self._slot_locks = [threading.Lock() for _ in range(workers)]
+            self._slot_served = [0] * workers
+            self._slot_rss = [None] * workers
+            for slot in range(workers):
+                self._workers[slot] = self._spawn(self._generation)
+            self._dispatchers = [
+                threading.Thread(
+                    target=self._dispatch_loop, args=(slot,), daemon=True,
+                    name=f"gcare-serve-dispatch-{slot}",
+                )
+                for slot in range(workers)
+            ]
+            for thread in self._dispatchers:
+                thread.start()
+        except BaseException:
+            for worker in self._workers:
+                if worker is not None:
+                    worker.kill()
+            self._workers = []
+            generation.release()
+            self._generation = None
+            raise
+        # persist *now*, not at close: warm restart must survive SIGKILL
+        self._persist_manifest()
+        if self.config.watchdog_interval and self.config.watchdog_interval > 0:
+            self._watchdog_stop.clear()
+            self._watchdog_thread = threading.Thread(
+                target=self._watchdog_loop, daemon=True,
+                name="gcare-serve-watchdog",
+            )
+            self._watchdog_thread.start()
         self._started = True
         self._started_at = self.clock()
         return self
 
     def close(self) -> None:
-        """Drain the queue, stop dispatchers, reap workers, free arenas."""
+        """Drain the queue, stop dispatchers, reap workers, free arenas.
+
+        With a ``state_dir``, the current generation's arenas are
+        *disowned* instead of unlinked and the manifest is refreshed —
+        the warm handoff to the next daemon.  Without one, every segment
+        this service created is gone when ``close`` returns.
+        """
         if self._closed:
             return
         self._closed = True
+        if self._watchdog_thread is not None:
+            self._watchdog_stop.set()
+            self._watchdog_thread.join(timeout=30.0)
+            self._watchdog_thread = None
         if self._started:
             for _ in self._dispatchers:
                 self._queue.put(_SHUTDOWN)
@@ -446,7 +602,13 @@ class EstimationService:
         except queue.Empty:
             pass
         if self._generation is not None:
-            self._generation.release()
+            if self._state_dir is not None and isinstance(
+                self._generation.graph_payload, ShmRef
+            ):
+                self._persist_manifest()
+                self._generation.disown()
+            else:
+                self._generation.release()
             self._generation = None
         for generation in self._retired:
             generation.release()
@@ -512,6 +674,132 @@ class EstimationService:
                     handles.append(handle)
                     blob_payload = ref
         return _Generation(number, graph_payload, blob_payload, handles)
+
+    # ------------------------------------------------------------------
+    # warm restart (generation manifest persistence + verified reattach)
+    # ------------------------------------------------------------------
+    def _config_identity(self) -> Dict[str, object]:
+        """The serving parameters a successor must match to reuse arenas.
+
+        Summary blobs were prepared under these exact parameters; a
+        daemon booted with different ones would serve subtly different
+        estimates off the inherited blobs, so any mismatch forces a cold
+        rebuild instead.
+        """
+        return {
+            "techniques": sorted(self.techniques),
+            "sampling_ratio": self.config.sampling_ratio,
+            "seed": self.config.seed,
+            "time_limit": self.config.time_limit,
+            "estimator_kwargs": repr(
+                sorted(
+                    (name, sorted(dict(kwargs).items()))
+                    for name, kwargs in self.config.estimator_kwargs.items()
+                )
+            ),
+        }
+
+    def _try_warm_attach(
+        self, manifest: GenerationManifest
+    ) -> Optional[_Generation]:
+        """Reattach a predecessor's arenas, or None to force a cold boot.
+
+        Declines (returning None) on: no shm support, parameter or graph
+        mismatch, and any segment that is missing or fails its checksum.
+        Corrupt segments are quarantined on the way out so nothing can
+        attach them afterwards — the cold rebuild that follows starts
+        from a clean namespace.
+        """
+        if not shm_mod.shm_supported() or manifest.graph_ref is None:
+            return None
+        if not manifest.config_matches(self._config_identity()):
+            self._incr("restart.config_mismatch")
+            self._reclaim_stale(manifest)
+            return None
+        try:
+            fingerprint = graph_fingerprint(self.graph)
+        except Exception:
+            self._reclaim_stale(manifest)
+            return None
+        if fingerprint != manifest.graph_fingerprint:
+            self._incr("restart.fingerprint_mismatch")
+            self._reclaim_stale(manifest)
+            return None
+        verdicts = manifest.verify()
+        bad = {
+            name: verdict
+            for name, verdict in verdicts.items()
+            if verdict != "ok"
+        }
+        if bad:
+            self._incr("restart.integrity_failures")
+            self._reclaim_stale(manifest, verdicts)
+            return None
+        from ..graph.compact import CompactGraph
+
+        try:
+            self.graph = CompactGraph.from_shm(manifest.graph_ref)
+        except Exception:
+            self._incr("restart.attach_failures")
+            self._reclaim_stale(manifest, verdicts)
+            return None
+        self._incr("serve.warm_restarts")
+        return _Generation(
+            manifest.generation,
+            manifest.graph_ref,
+            manifest.blob_ref,
+            handles=[],
+            inherited=list(manifest.segments),
+        )
+
+    def _reclaim_stale(
+        self,
+        manifest: GenerationManifest,
+        verdicts: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Reclaim a declined manifest's segments before the cold rebuild.
+
+        Nothing will ever attach these arenas again (this daemon is about
+        to publish fresh ones and overwrite the manifest), so leaving
+        them live would leak ``/dev/shm`` on every declined restart.
+        Corrupt segments are quarantined (kept, renamed, for post-mortem
+        while this process lives); the rest are simply unlinked.
+        """
+        verdicts = verdicts or {}
+        for name in manifest.segments:
+            if verdicts.get(name) == "corrupt":
+                try:
+                    shm_mod.quarantine_segment(name)
+                    self._incr("restart.quarantined")
+                except OSError:  # pragma: no cover - racing reaper
+                    pass
+            else:
+                shm_mod.unlink_segment(name)
+
+    def _persist_manifest(self) -> None:
+        """Write the generation manifest (atomic), if persistence is on."""
+        if self._state_dir is None or self._generation is None:
+            return
+        generation = self._generation
+        if not isinstance(generation.graph_payload, ShmRef):
+            return  # nothing shm-published, nothing a successor could reuse
+        checksums: Dict[str, str] = {}
+        for name in generation.segment_names():
+            try:
+                checksums[name] = shm_mod.checksum_segment(name)
+            except OSError:  # pragma: no cover - segment vanished mid-save
+                return
+        blob_ref = generation.blob_payload
+        GenerationManifest(
+            generation=generation.number,
+            graph_fingerprint=graph_fingerprint(self.graph),
+            graph_ref=generation.graph_payload,
+            blob_ref=blob_ref if isinstance(blob_ref, ShmRef) else None,
+            checksums=checksums,
+            config=self._config_identity(),
+            pid=os.getpid(),
+            saved_at=time.time(),
+        ).save(self._state_dir)
 
     # ------------------------------------------------------------------
     # pool plumbing
@@ -580,9 +868,107 @@ class EstimationService:
     def _respawn(self, slot: int, count_respawn: bool = True) -> _ServeWorker:
         worker = self._spawn(self._generation)
         self._workers[slot] = worker
+        self._slot_served[slot] = 0
         if count_respawn:
             self._incr("serve.respawns")
         return worker
+
+    # ------------------------------------------------------------------
+    # watchdog (heartbeats, RSS caps, proactive recycle)
+    # ------------------------------------------------------------------
+    def _watchdog_loop(self) -> None:
+        policy = WatchdogPolicy(
+            max_rss_bytes=self.config.max_worker_rss,
+            recycle_after=self.config.recycle_after,
+        )
+        while not self._watchdog_stop.wait(self.config.watchdog_interval):
+            try:
+                self._watchdog_tick(policy)
+            except Exception:  # pragma: no cover - patrols must not die
+                self._incr("watchdog.tick_errors")
+
+    def _watchdog_tick(self, policy: WatchdogPolicy) -> None:
+        """One patrol: heartbeat idle workers, recycle per the policy.
+
+        Only *idle* slots are examined (non-blocking slot-lock acquire):
+        a busy worker is already under the dispatcher's hard-kill budget,
+        which is strictly tighter supervision than a patrol.  The cache
+        gets an eager TTL sweep as part of the patrol — self-healing
+        includes not hoarding dead entries until someone happens to
+        touch them.
+        """
+        self._incr("watchdog.ticks")
+        swept = self.cache.sweep()
+        if swept:
+            self._incr("watchdog.cache_swept", swept)
+        for slot in range(len(self._workers)):
+            lock = self._slot_locks[slot]
+            if not lock.acquire(blocking=False):
+                continue
+            try:
+                worker = self._workers[slot]
+                if worker is None:
+                    continue
+                alive = worker.process.is_alive()
+                rss: Optional[int] = None
+                if alive:
+                    rss, ok = self._heartbeat(worker)
+                    if not ok:
+                        self._recycle(slot, worker, "heartbeat")
+                        continue
+                    self._slot_rss[slot] = rss
+                reason = policy.verdict(alive, rss, self._slot_served[slot])
+                if reason is not None:
+                    self._recycle(slot, worker, reason)
+            finally:
+                lock.release()
+
+    def _heartbeat(
+        self, worker: _ServeWorker
+    ) -> Tuple[Optional[int], bool]:
+        """Ping an idle worker; returns ``(rss_bytes, responded)``.
+
+        An idle worker answers in microseconds, so an unanswered ping
+        within the patrol interval means the process is wedged outside a
+        request (importer deadlock, runaway GC) — the one hang the
+        dispatcher's per-request budget can never see.
+        """
+        token = next(self._ping_tokens)
+        try:
+            worker.conn.send(("ping", token))
+            deadline = time.monotonic() + max(
+                1.0, self.config.watchdog_interval
+            )
+            while time.monotonic() < deadline:
+                if not worker.conn.poll(0.05):
+                    continue
+                message = worker.conn.recv()
+                if (
+                    message
+                    and message[0] == "pong"
+                    and message[1] == token
+                ):
+                    return message[2], True
+                # stale pong from a previous patrol: keep draining
+            return None, False
+        except (OSError, BrokenPipeError, EOFError):
+            return None, False
+
+    def _recycle(self, slot: int, worker: _ServeWorker, reason: str) -> None:
+        """Replace a worker (graceful for proactive reasons, reap if dead)."""
+        if reason == "dead":
+            worker.kill()  # reaps the corpse; conn close is idempotent
+        else:
+            worker.shutdown()
+        self._respawn(slot, count_respawn=False)
+        # one lock acquisition for both counters: a stats() snapshot must
+        # never observe the total and the per-reason breakdown disagreeing
+        with self._stats_lock:
+            self.counters["watchdog.recycles"] = (
+                self.counters.get("watchdog.recycles", 0) + 1
+            )
+            key = f"watchdog.recycle.{reason}"
+            self.counters[key] = self.counters.get(key, 0) + 1
 
     # ------------------------------------------------------------------
     # stats
@@ -635,21 +1021,122 @@ class EstimationService:
             "per_technique": per_technique,
             "admission": admission,
             "cache": self.cache.stats(),
+            "breakers": {
+                name: breaker.snapshot()
+                for name, breaker in self.breakers.items()
+            },
+            "watchdog": {
+                "interval_s": self.config.watchdog_interval,
+                "max_worker_rss": self.config.max_worker_rss,
+                "recycle_after": self.config.recycle_after,
+                "recycles": counters.get("watchdog.recycles", 0),
+                "slots": [
+                    {
+                        "served": self._slot_served[slot]
+                        if slot < len(self._slot_served)
+                        else 0,
+                        "rss_bytes": self._slot_rss[slot]
+                        if slot < len(self._slot_rss)
+                        else None,
+                    }
+                    for slot in range(len(self._workers))
+                ],
+            },
         }
+
+    def metrics_text(self) -> str:
+        """The daemon's ``/metrics`` body: flat-text exposition.
+
+        Everything an external scraper needs to alert on without parsing
+        the richer ``/stats`` JSON: counters, cache hit/miss, breaker
+        states (numeric-coded), watchdog recycles, and the latency
+        histogram shards (global + per technique) as sparse cumulative
+        buckets.
+        """
+        with self._stats_lock:
+            counters = dict(self.counters)
+            global_hist = LatencyHistogram.from_dict(self.latency.to_dict())
+            per_technique = {
+                name: LatencyHistogram.from_dict(histogram.to_dict())
+                for name, histogram in self.per_technique_latency.items()
+            }
+        lines: List[str] = []
+        generation = self._generation.number if self._generation else 0
+        uptime = (
+            self.clock() - self._started_at
+            if self._started_at is not None
+            else 0.0
+        )
+        lines.append(metrics_mod.format_line("gcare_uptime_seconds", uptime))
+        lines.append(metrics_mod.format_line("gcare_generation", generation))
+        lines.append(
+            metrics_mod.format_line("gcare_workers", len(self._workers))
+        )
+        lines.extend(metrics_mod.counter_lines(counters))
+        cache_stats = self.cache.stats()
+        for key in (
+            "entries", "hits", "misses", "evictions", "expirations",
+        ):
+            lines.append(
+                metrics_mod.format_line(f"gcare_cache_{key}", cache_stats[key])
+            )
+        for name, breaker in sorted(self.breakers.items()):
+            snapshot = breaker.snapshot()
+            labels = {"technique": name}
+            lines.append(
+                metrics_mod.format_line(
+                    "gcare_breaker_state",
+                    BREAKER_STATE_CODES[snapshot["state"]],
+                    labels,
+                )
+            )
+            for key in ("opens", "closes", "probes", "rejected"):
+                lines.append(
+                    metrics_mod.format_line(
+                        f"gcare_breaker_{key}_total", snapshot[key], labels
+                    )
+                )
+        lines.append(
+            metrics_mod.format_line(
+                "gcare_watchdog_recycles_total",
+                counters.get("watchdog.recycles", 0),
+            )
+        )
+        lines.extend(
+            metrics_mod.histogram_lines(
+                "gcare_request_latency_seconds", global_hist
+            )
+        )
+        for name, histogram in sorted(per_technique.items()):
+            lines.extend(
+                metrics_mod.histogram_lines(
+                    "gcare_request_latency_seconds",
+                    histogram,
+                    {"technique": name},
+                )
+            )
+        return "\n".join(lines) + "\n"
 
     # ------------------------------------------------------------------
     # request path
     # ------------------------------------------------------------------
     def submit(
         self, technique: str, query: QueryGraph, run: int = 0,
-        name: Optional[str] = None,
+        name: Optional[str] = None, deadline_s: Optional[float] = None,
     ) -> Future:
         """Enqueue one estimation request; returns a response future.
 
         Resolution is always a protocol response dict — cache hits
         resolve immediately, admission rejections resolve immediately
-        with a 429-style payload, everything else resolves when a worker
-        (or its kill machinery) finishes.
+        with a 429-style payload, breaker rejections with a 503-style
+        payload, everything else resolves when a worker (or its kill
+        machinery) finishes.
+
+        ``deadline_s`` is the client's remaining budget in seconds.  An
+        expired deadline is rejected before admission; an admitted
+        request carries its absolute deadline through the queue (expiry
+        there resolves to a fast 504 without touching a worker) and into
+        the worker as a shortened cooperative ``time_limit``.
         """
         if not self._started or self._closed:
             raise RuntimeError("service is not running")
@@ -673,6 +1160,18 @@ class EstimationService:
             technique, query, seed,
             self.config.sampling_ratio, self.config.time_limit,
         )
+        if deadline_s is not None and deadline_s <= 0:
+            self._incr("serve.deadline_rejected")
+            future.set_result(
+                protocol.error_response(
+                    protocol.STATUS_TIMEOUT,
+                    "deadline expired before admission",
+                    technique=technique,
+                    fingerprint=fingerprint,
+                    run=run,
+                )
+            )
+            return future
         cached = self.cache.get(fingerprint)
         if cached is not None:
             self._incr("serve.cache_hits")
@@ -680,6 +1179,22 @@ class EstimationService:
             self._record_latency(technique, self.clock() - submitted_at)
             future.set_result(cached)
             return future
+        breaker = self.breakers.get(technique)
+        if breaker is not None:
+            allowed, retry_after = breaker.allow()
+            if not allowed:
+                self._incr("serve.breaker_rejected")
+                future.set_result(
+                    protocol.error_response(
+                        protocol.STATUS_UNAVAILABLE,
+                        f"circuit breaker open for technique {technique!r}",
+                        technique=technique,
+                        fingerprint=fingerprint,
+                        run=run,
+                        retry_after=retry_after,
+                    )
+                )
+                return future
         with self._admission_lock:
             executing = self._executing[technique]
             queued = self._queued[technique]
@@ -717,6 +1232,11 @@ class EstimationService:
             fingerprint=fingerprint,
             seed=seed,
             submitted_at=submitted_at,
+            deadline=(
+                time.monotonic() + deadline_s
+                if deadline_s is not None
+                else None
+            ),
         )
         request.future = future
         self._queue.put(request)
@@ -725,11 +1245,12 @@ class EstimationService:
     def estimate(
         self, technique: str, query: QueryGraph, run: int = 0,
         name: Optional[str] = None, timeout: Optional[float] = None,
+        deadline_s: Optional[float] = None,
     ) -> dict:
         """Blocking :meth:`submit` (the in-process client API)."""
-        return self.submit(technique, query, run, name=name).result(
-            timeout=timeout
-        )
+        return self.submit(
+            technique, query, run, name=name, deadline_s=deadline_s
+        ).result(timeout=timeout)
 
     # ------------------------------------------------------------------
     def _resolve_admitted(
@@ -749,7 +1270,14 @@ class EstimationService:
             request.future.set_result(response)
 
     def _dispatch_loop(self, slot: int) -> None:
-        """One dispatcher thread per worker slot: queue -> worker -> future."""
+        """One dispatcher thread per worker slot: queue -> worker -> future.
+
+        Expired-deadline requests resolve to a fast 504 here, *before*
+        touching the worker: the whole point of deadline propagation is
+        that work nobody is waiting for anymore costs a dictionary
+        lookup, not a worker slot.  The slot lock serializes request
+        execution against watchdog recycles of the same slot.
+        """
         while True:
             request = self._queue.get()
             if request is _SHUTDOWN:
@@ -759,22 +1287,86 @@ class EstimationService:
                     0, self._queued[request.technique] - 1
                 )
                 self._executing[request.technique] += 1
-            try:
-                response = self._execute(slot, request)
-            except Exception as exc:  # pragma: no cover - defensive
+            expired_in_queue = (
+                request.deadline is not None
+                and time.monotonic() >= request.deadline
+            )
+            if expired_in_queue:
+                self._incr("serve.deadline_expired")
                 response = protocol.error_response(
-                    protocol.STATUS_WORKER_CRASHED,
-                    f"dispatch failure: {type(exc).__name__}: {exc}",
+                    protocol.STATUS_TIMEOUT,
+                    "deadline expired while queued",
                     technique=request.technique,
                     fingerprint=request.fingerprint,
                     run=request.run,
                 )
+            else:
+                try:
+                    with self._slot_locks[slot]:
+                        response = self._execute(slot, request)
+                        self._slot_served[slot] += 1
+                except Exception as exc:  # pragma: no cover - defensive
+                    response = protocol.error_response(
+                        protocol.STATUS_WORKER_CRASHED,
+                        f"dispatch failure: {type(exc).__name__}: {exc}",
+                        technique=request.technique,
+                        fingerprint=request.fingerprint,
+                        run=request.run,
+                    )
+                self._breaker_outcome(request, response)
             self._resolve_admitted(request, response)
 
+    def _breaker_outcome(self, request: _Request, response: dict) -> None:
+        """Feed one executed request's outcome into its breaker.
+
+        Only infrastructure outcomes count: 200 closes/reset, 500 is
+        always a failure, 504 is a failure only when the request carried
+        no client deadline (a 50 ms client budget expiring is the
+        *client's* condition, and must not poison the technique for
+        everyone else).  Anything else is neutral.
+        """
+        breaker = self.breakers.get(request.technique)
+        if breaker is None:
+            return
+        status = response.get("status")
+        if status == protocol.STATUS_OK:
+            breaker.record_success()
+        elif status == protocol.STATUS_WORKER_CRASHED or (
+            status == protocol.STATUS_TIMEOUT and request.deadline is None
+        ):
+            breaker.record_failure()
+
     def _execute(self, slot: int, request: _Request) -> dict:
-        """Run one request on the slot's worker, enforcing the hard kill."""
+        """Run one request on the slot's worker, enforcing the hard kill.
+
+        A client deadline, when present, shrinks both budgets: the
+        worker's cooperative ``check_deadline`` budget becomes
+        ``min(time_limit, remaining)`` and the parent-side hard kill
+        follows suit, so a request nobody waits for is abandoned at the
+        client's horizon instead of the service's.
+        """
         worker = self._ensure_generation(slot)
         generation = worker.generation
+        client_remaining: Optional[float] = None
+        if request.deadline is not None:
+            client_remaining = request.deadline - time.monotonic()
+            if client_remaining <= 0:
+                self._incr("serve.deadline_expired")
+                return protocol.error_response(
+                    protocol.STATUS_TIMEOUT,
+                    "deadline expired before execution",
+                    technique=request.technique,
+                    fingerprint=request.fingerprint,
+                    run=request.run,
+                    generation=generation,
+                )
+        effective_limit = self.config.time_limit
+        if client_remaining is not None:
+            effective_limit = (
+                client_remaining
+                if effective_limit is None
+                else min(effective_limit, client_remaining)
+            )
         try:
             worker.conn.send(
                 (
@@ -784,6 +1376,7 @@ class EstimationService:
                     request.query,
                     request.run,
                     request.name,
+                    effective_limit,
                 )
             )
         except (OSError, BrokenPipeError):
@@ -799,8 +1392,8 @@ class EstimationService:
                 generation=generation,
             )
         budget = None
-        if self.config.time_limit is not None:
-            budget = self.config.time_limit + self.config.kill_grace
+        if effective_limit is not None:
+            budget = effective_limit + self.config.kill_grace
         deadline = time.monotonic() + budget if budget is not None else None
         while True:
             remaining = (
@@ -902,8 +1495,14 @@ class EstimationService:
         """
         if not self._started or self._closed:
             raise RuntimeError("service is not running")
-        graph = self._sealed(graph)
-        with self._swap_lock:
+        # swaps serialize by *rejection*, not queueing: a second swap
+        # arriving mid-swap gets an immediate conflict (the daemon maps
+        # it to 409) rather than silently stacking generations
+        if not self._swap_lock.acquire(blocking=False):
+            self._incr("serve.swap_conflicts")
+            raise SwapInProgress("a graph swap is already in progress")
+        try:
+            graph = self._sealed(graph)
             current = self._generation
             new = self._publish(graph, number=current.number + 1)
             self.graph = graph
@@ -917,4 +1516,7 @@ class EstimationService:
             while len(self._retired) > 1:
                 self._retired.pop(0).release()
             self._incr("serve.swaps")
+            self._persist_manifest()
+        finally:
+            self._swap_lock.release()
         return {"generation": new.number, "graph": repr(graph)}

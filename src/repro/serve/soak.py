@@ -1,0 +1,668 @@
+"""`gcare soak`: a seeded chaos-soak harness for the serving stack.
+
+The batch chaos suite (`repro.faults` + the sweep contract tests) proves
+the *estimation pipeline* degrades cleanly under injected faults.  This
+module proves the *service* does: it boots a real daemon (real sockets,
+real worker processes, real shared memory) and drives it for a bounded
+wall-clock window through a deterministic schedule of hostile-client and
+infrastructure faults, checking service-level invariants the whole time:
+
+1. **every response is well-formed** — whatever a client sends (garbage
+   frames, oversized bodies, expired deadlines, half-a-request), what
+   comes back is a parseable protocol envelope with a known status, or a
+   clean connection close for the slow-loris case;
+2. **successful estimates are bit-identical to batch** — every 200's
+   ``estimate`` must equal the corresponding :func:`run_cell` reference
+   computed in-process before the daemon boots (``repr`` equality, the
+   same comparison the serial-vs-parallel contract uses);
+3. **zero leaked shared memory** — the set of ``/dev/shm`` segments
+   after shutdown equals the set before boot;
+4. **supervision accounting is consistent** — breaker state agrees with
+   its open/close counters, per-reason recycle counters sum to the
+   recycle total, and the service-side rejection counter equals the sum
+   over breakers.
+
+The fault *schedule* is a pure function of ``(plan, seed, client, step)``
+via :func:`repro.faults.plan.stable_uniform` — the same run can be
+replayed byte-for-byte.  What is *not* deterministic is how many steps
+fit in the wall-clock window; the invariants are therefore stated over
+whatever happened, not over an exact transcript.
+
+Faults come from a :class:`~repro.faults.plan.FaultPlan` with
+``service``-site specs (``malformed`` / ``expired_deadline`` /
+``slowloris`` / ``swap``) plus optionally ``worker:crash`` specs, which
+the harness realizes by SIGKILLing live worker processes mid-run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .. import shm as shm_mod
+from ..bench.runner import NamedQuery, run_cell
+from ..core.registry import create_estimator
+from ..faults.plan import (
+    NO_FAULTS,
+    SERVICE_SITE,
+    WORKER_SITE,
+    FaultPlan,
+    stable_uniform,
+)
+from ..graph.query import QueryGraph
+from ..obs.metrics import parse_metrics
+from . import protocol
+from .daemon import ServeDaemon
+from .service import EstimationService, ServiceConfig
+
+#: the default soak plan: every hostile-client fault at a low rate plus
+#: occasional worker kills — roughly one perturbation per ten requests
+DEFAULT_PLAN_TOKENS = (
+    "service:malformed:0.04,service:expired_deadline:0.04,"
+    "service:slowloris:0.02,service:swap:0.02,worker:crash:0.03"
+)
+
+_MAX_VIOLATIONS = 50
+
+
+@dataclass
+class SoakConfig:
+    """Tunables of one soak run; everything defaults to CI-sized."""
+
+    duration_s: float = 60.0
+    seed: int = 0
+    clients: int = 4
+    techniques: Optional[Sequence[str]] = None
+    workers: int = 2
+    runs: int = 2
+    plan: FaultPlan = field(default_factory=lambda: NO_FAULTS)
+    #: per-request estimation budget of the service under soak (small:
+    #: the point is churn, not long estimations)
+    time_limit: Optional[float] = 5.0
+    kill_grace: float = 2.0
+    breaker_threshold: int = 5
+    breaker_cooldown: float = 1.0
+    watchdog_interval: float = 0.5
+    recycle_after: Optional[int] = 50
+    #: daemon read timeout — kept short so slow-loris probes resolve
+    #: inside the soak window
+    read_timeout: float = 1.0
+    request_timeout: float = 30.0
+    #: how often the chaos thread consults the worker-kill schedule
+    chaos_interval: float = 0.25
+
+
+@dataclass
+class SoakReport:
+    """Everything one soak run observed, JSON-serializable."""
+
+    duration_s: float = 0.0
+    requests: int = 0
+    actions: Dict[str, int] = field(default_factory=dict)
+    status_counts: Dict[int, int] = field(default_factory=dict)
+    worker_kills: int = 0
+    violations: List[str] = field(default_factory=list)
+    breakers: Dict[str, dict] = field(default_factory=dict)
+    watchdog: dict = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    leaked_segments: List[str] = field(default_factory=list)
+    metrics_sampled: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "duration_s": self.duration_s,
+            "requests": self.requests,
+            "actions": dict(sorted(self.actions.items())),
+            "status_counts": {
+                str(status): count
+                for status, count in sorted(self.status_counts.items())
+            },
+            "worker_kills": self.worker_kills,
+            "violations": self.violations,
+            "breakers": self.breakers,
+            "watchdog": self.watchdog,
+            "counters": dict(sorted(self.counters.items())),
+            "leaked_segments": self.leaked_segments,
+            "metrics_sampled": self.metrics_sampled,
+        }
+
+
+# ---------------------------------------------------------------------------
+# batch references
+# ---------------------------------------------------------------------------
+def batch_references(
+    graph,
+    workload: Mapping[str, QueryGraph],
+    techniques: Sequence[str],
+    config: SoakConfig,
+) -> Dict[Tuple[str, str, int], Tuple[Optional[str], Optional[str]]]:
+    """``(technique, query, run) -> (estimate-repr, error)`` via the batch path.
+
+    Computed with the *same* constructor parameters the service workers
+    use, so a daemon 200 whose estimate differs from its reference is a
+    determinism violation, not a configuration mismatch.
+    """
+    references: Dict[Tuple[str, str, int], Tuple[Optional[str], Optional[str]]] = {}
+    for technique in techniques:
+        estimator = create_estimator(
+            technique,
+            graph,
+            sampling_ratio=0.03,
+            seed=config.seed,
+            time_limit=config.time_limit,
+        )
+        for name, query in sorted(workload.items()):
+            named = NamedQuery(name=name, query=query, true_cardinality=0)
+            for run in range(config.runs):
+                record = run_cell(
+                    technique, estimator, named, run,
+                    base_seed=config.seed, reseed=True,
+                )
+                references[(technique, name, run)] = (
+                    repr(record.estimate) if record.error is None else None,
+                    record.error,
+                )
+    return references
+
+
+# ---------------------------------------------------------------------------
+# transport helpers
+# ---------------------------------------------------------------------------
+def _post_json(
+    url: str, payload: bytes, timeout: float
+) -> Tuple[int, bytes]:
+    """POST raw bytes; returns (status, body) for any HTTP status."""
+    request = urllib.request.Request(
+        url, data=payload, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as reply:
+            return reply.status, reply.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def _get(url: str, timeout: float) -> Tuple[int, bytes]:
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as reply:
+            return reply.status, reply.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def _raw_exchange(
+    host: str, port: int, frame: bytes, timeout: float
+) -> bytes:
+    """Send a raw (possibly malformed) frame; return whatever comes back."""
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        if frame:
+            sock.sendall(frame)
+        chunks = []
+        try:
+            while True:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        except socket.timeout:
+            pass
+        return b"".join(chunks)
+
+
+def _envelope_of(body: bytes) -> Optional[dict]:
+    """The protocol envelope inside an HTTP body, or None if malformed."""
+    try:
+        payload = json.loads(body.decode())
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("status"), int
+    ):
+        return None
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# the harness
+# ---------------------------------------------------------------------------
+class _SoakState:
+    """Shared accounting across client threads (lock-guarded)."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.requests = 0
+        self.actions: Dict[str, int] = {}
+        self.status_counts: Dict[int, int] = {}
+        self.violations: List[str] = []
+        self.worker_kills = 0
+        self.metrics_sampled = 0
+
+    def record(self, action: str, status: Optional[int]) -> None:
+        with self.lock:
+            self.requests += 1
+            self.actions[action] = self.actions.get(action, 0) + 1
+            if status is not None:
+                self.status_counts[status] = (
+                    self.status_counts.get(status, 0) + 1
+                )
+
+    def violate(self, message: str) -> None:
+        with self.lock:
+            if len(self.violations) < _MAX_VIOLATIONS:
+                self.violations.append(message)
+
+
+def _malformed_case(draw: float, body_cap: int) -> Tuple[str, bytes, Tuple[int, ...]]:
+    """One malformed-request case chosen by a uniform draw.
+
+    Returns ``(kind, json-body-or-None, allowed statuses)``; frame-level
+    cases (bad request line) are handled separately by the caller.
+    """
+    cases = [
+        ("bad-json", b"{nope", (400,)),
+        ("missing-technique", json.dumps({"query": None}).encode(), (400,)),
+        (
+            "bad-run",
+            json.dumps(
+                {"technique": "x", "query": {"vertex_labels": [], "edges": []},
+                 "run": "zero"}
+            ).encode(),
+            (400,),
+        ),
+        (
+            "bad-deadline",
+            json.dumps(
+                {"technique": "x", "query": {"vertex_labels": [], "edges": []},
+                 "deadline_ms": -5}
+            ).encode(),
+            (400,),
+        ),
+        ("oversized", b"[" + b"0," * (body_cap // 2) + b"0]", (413,)),
+    ]
+    return cases[int(draw * len(cases)) % len(cases)]
+
+
+def run_soak(
+    graph,
+    workload: Mapping[str, QueryGraph],
+    config: Optional[SoakConfig] = None,
+    graph_path: Optional[str] = None,
+) -> SoakReport:
+    """Boot service + daemon, soak them, tear down, report.
+
+    ``graph_path`` (a file reloadable by ``load_graph``) enables the
+    ``swap`` fault — swap storms reload the *same* graph file, so batch
+    references stay valid across generations.  When given, the served
+    graph is (re)loaded from that file too: a dump/load roundtrip need
+    not reproduce an in-memory graph's internal ordering bit for bit, and
+    sampling estimates are only identical on the *identical* graph.
+    Without it, scheduled swaps degrade to normal requests.
+    """
+    config = config or SoakConfig()
+    from .daemon import MAX_BODY_BYTES
+
+    if graph_path is not None:
+        from ..graph.io import load_graph
+
+        graph = load_graph(graph_path)
+
+    segments_before = set(shm_mod.list_segments())
+    service = EstimationService(
+        graph,
+        ServiceConfig(
+            techniques=config.techniques,
+            seed=config.seed,
+            time_limit=config.time_limit,
+            kill_grace=config.kill_grace,
+            workers=config.workers,
+            breaker_threshold=config.breaker_threshold,
+            breaker_cooldown=config.breaker_cooldown,
+            watchdog_interval=config.watchdog_interval,
+            recycle_after=config.recycle_after,
+        ),
+    )
+    techniques = list(service.techniques)
+    references = batch_references(graph, workload, techniques, config)
+    query_names = sorted(workload)
+    payloads = {
+        name: protocol.query_to_payload(query)
+        for name, query in workload.items()
+    }
+
+    state = _SoakState()
+    report = SoakReport()
+    stop = threading.Event()
+    started = time.monotonic()
+
+    service.start()
+    daemon_box: List[ServeDaemon] = []
+    ready = threading.Event()
+
+    def _daemon_main() -> None:
+        import asyncio
+
+        async def _run() -> None:
+            daemon = await ServeDaemon(
+                service, port=0, read_timeout=config.read_timeout
+            ).start()
+            daemon_box.append(daemon)
+            ready.set()
+            try:
+                await daemon.serve_forever()
+            except asyncio.CancelledError:
+                pass
+
+        try:
+            asyncio.run(_run())
+        except Exception:
+            ready.set()
+
+    daemon_thread = threading.Thread(
+        target=_daemon_main, name="gcare-soak-daemon", daemon=True
+    )
+    daemon_thread.start()
+    if not ready.wait(timeout=30.0) or not daemon_box:
+        service.close()
+        raise RuntimeError("soak daemon failed to start")
+    daemon = daemon_box[0]
+    base = daemon.address
+    host, port = daemon.host, daemon.port
+
+    # ------------------------------------------------------------------
+    def _check_estimate(
+        action: str, technique: str, name: str, run: int, status: int,
+        envelope: Optional[dict],
+    ) -> None:
+        if envelope is None:
+            state.violate(f"{action}: non-envelope response (status {status})")
+            return
+        expected, ref_error = references[(technique, name, run)]
+        if status == 200:
+            if expected is None:
+                state.violate(
+                    f"{action}: 200 for {technique}/{name}/r{run} but the "
+                    f"batch reference errored ({ref_error})"
+                )
+            elif repr(envelope.get("estimate")) != expected:
+                state.violate(
+                    f"{action}: estimate mismatch {technique}/{name}/r{run}: "
+                    f"served {envelope.get('estimate')!r}, batch {expected}"
+                )
+        elif status == 400:
+            # a 400 is the batch pipeline's own verdict (e.g. a technique
+            # that cannot decompose this query shape) — legitimate only
+            # when the batch reference agrees
+            if ref_error is None:
+                state.violate(
+                    f"{action}: 400 for {technique}/{name}/r{run} but the "
+                    f"batch reference succeeded"
+                )
+        elif status not in (429, 500, 503, 504):
+            state.violate(
+                f"{action}: unexpected status {status} for "
+                f"{technique}/{name}/r{run}"
+            )
+
+    def _client(client: int) -> None:
+        step = 0
+        while not stop.is_set():
+            step += 1
+            technique = techniques[
+                int(stable_uniform(config.seed, "tech", client, step)
+                    * len(techniques)) % len(techniques)
+            ]
+            name = query_names[
+                int(stable_uniform(config.seed, "query", client, step)
+                    * len(query_names)) % len(query_names)
+            ]
+            run = int(
+                stable_uniform(config.seed, "run", client, step) * config.runs
+            ) % max(1, config.runs)
+            spec = config.plan.decide(
+                SERVICE_SITE, technique, name, run, invocation=step * 1000 + client
+            )
+            fault = spec.fault if spec is not None else None
+            if fault == "swap" and graph_path is None:
+                fault = None
+            try:
+                if fault is None:
+                    body = {"technique": technique, "query": payloads[name],
+                            "run": run}
+                    if stable_uniform(config.seed, "dl", client, step) < 0.25:
+                        body["deadline_ms"] = 30_000
+                    status, raw = _post_json(
+                        base + "/estimate", json.dumps(body).encode(),
+                        config.request_timeout,
+                    )
+                    state.record("estimate", status)
+                    _check_estimate(
+                        "estimate", technique, name, run, status,
+                        _envelope_of(raw),
+                    )
+                elif fault == "malformed":
+                    draw = stable_uniform(config.seed, "mal", client, step)
+                    if draw < 0.2:
+                        # frame-level garbage: not even a request line
+                        raw = _raw_exchange(
+                            host, port,
+                            b"NOT-HTTP\r\n\r\n",
+                            min(5.0, config.request_timeout),
+                        )
+                        state.record("malformed-frame", None)
+                        if raw and b" 400 " not in raw.split(b"\r\n", 1)[0]:
+                            state.violate(
+                                "malformed-frame: expected 400 status line, "
+                                f"got {raw[:60]!r}"
+                            )
+                    else:
+                        kind, body_bytes, allowed = _malformed_case(
+                            draw, MAX_BODY_BYTES
+                        )
+                        status, raw = _post_json(
+                            base + "/estimate", body_bytes,
+                            config.request_timeout,
+                        )
+                        state.record(f"malformed-{kind}", status)
+                        envelope = _envelope_of(raw)
+                        if envelope is None:
+                            state.violate(
+                                f"malformed-{kind}: non-envelope response"
+                            )
+                        elif status not in allowed:
+                            state.violate(
+                                f"malformed-{kind}: status {status}, "
+                                f"expected one of {allowed}"
+                            )
+                elif fault == "expired_deadline":
+                    body = {"technique": technique, "query": payloads[name],
+                            "run": run, "deadline_ms": 1}
+                    status, raw = _post_json(
+                        base + "/estimate", json.dumps(body).encode(),
+                        config.request_timeout,
+                    )
+                    state.record("expired-deadline", status)
+                    # a 200 here is a cache hit beating the deadline check
+                    # — still must be bit-identical
+                    _check_estimate(
+                        "expired-deadline", technique, name, run, status,
+                        _envelope_of(raw),
+                    )
+                elif fault == "slowloris":
+                    raw = _raw_exchange(
+                        host, port,
+                        b"POST /estimate HTTP/1.1\r\nContent-Length: 100\r\n",
+                        config.read_timeout + 5.0,
+                    )
+                    state.record("slowloris", None)
+                    # acceptable outcomes: a 408 envelope, or a clean close
+                    if raw and b" 408 " not in raw.split(b"\r\n", 1)[0]:
+                        state.violate(
+                            f"slowloris: expected 408 or close, got "
+                            f"{raw[:60]!r}"
+                        )
+                elif fault == "swap":
+                    status, raw = _post_json(
+                        base + "/swap",
+                        json.dumps({"graph": graph_path}).encode(),
+                        config.request_timeout,
+                    )
+                    state.record("swap", status)
+                    envelope = _envelope_of(raw)
+                    if envelope is None:
+                        state.violate("swap: non-envelope response")
+                    elif status not in (200, 409):
+                        state.violate(f"swap: unexpected status {status}")
+            except (OSError, socket.timeout) as exc:
+                # transport failures are recorded, not violations: a
+                # worker kill can reset an in-flight connection
+                state.record(f"transport-{type(exc).__name__}", None)
+
+    def _chaos() -> None:
+        """Worker-kill schedule + periodic /metrics scrapes."""
+        tick = 0
+        while not stop.wait(config.chaos_interval):
+            tick += 1
+            spec = config.plan.decide(
+                WORKER_SITE, "chaos", "soak", 0, invocation=tick
+            )
+            if spec is not None:
+                workers = [
+                    worker for worker in service._workers if worker is not None
+                ]
+                if workers:
+                    victim = workers[
+                        int(stable_uniform(config.seed, "kill", tick)
+                            * len(workers)) % len(workers)
+                    ]
+                    try:
+                        os.kill(victim.process.pid, signal.SIGKILL)
+                        with state.lock:
+                            state.worker_kills += 1
+                    except (OSError, TypeError):
+                        pass
+            if tick % 8 == 0:
+                try:
+                    status, raw = _get(
+                        base + "/metrics", config.request_timeout
+                    )
+                    parsed = parse_metrics(raw.decode())
+                    with state.lock:
+                        state.metrics_sampled += 1
+                    if status != 200 or "gcare_generation" not in parsed:
+                        state.violate(
+                            f"/metrics: status {status}, "
+                            f"{len(parsed)} parseable lines"
+                        )
+                except OSError:
+                    pass
+
+    threads = [
+        threading.Thread(
+            target=_client, args=(client,), name=f"gcare-soak-{client}",
+            daemon=True,
+        )
+        for client in range(config.clients)
+    ]
+    chaos_thread = threading.Thread(
+        target=_chaos, name="gcare-soak-chaos", daemon=True
+    )
+    try:
+        for thread in threads:
+            thread.start()
+        chaos_thread.start()
+        stop.wait(config.duration_s)
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=config.request_timeout + 10.0)
+        chaos_thread.join(timeout=10.0)
+        # final accounting *before* teardown
+        try:
+            stats = service.stats()
+        except Exception:
+            stats = {}
+        _check_supervision(stats, state)
+        report.breakers = stats.get("breakers", {})
+        report.watchdog = stats.get("watchdog", {})
+        report.counters = dict(stats.get("counters", {}))
+        # teardown, then the leak check
+        import asyncio
+
+        if daemon_box:
+            loop_daemon = daemon_box[0]
+            server = loop_daemon._server
+            if server is not None:
+                loop = server.get_loop()
+                loop.call_soon_threadsafe(
+                    lambda: asyncio.ensure_future(loop_daemon.stop())
+                )
+        service.close()
+        daemon_thread.join(timeout=10.0)
+    leaked = sorted(set(shm_mod.list_segments()) - segments_before)
+    if leaked:
+        state.violate(f"leaked shm segments: {leaked}")
+    report.leaked_segments = leaked
+    report.duration_s = time.monotonic() - started
+    report.requests = state.requests
+    report.actions = state.actions
+    report.status_counts = state.status_counts
+    report.worker_kills = state.worker_kills
+    report.violations = state.violations
+    report.metrics_sampled = state.metrics_sampled
+    return report
+
+
+def _check_supervision(stats: dict, state: _SoakState) -> None:
+    """Invariant 4: breaker + watchdog accounting is self-consistent."""
+    counters = stats.get("counters", {})
+    breakers = stats.get("breakers", {})
+    rejected_total = 0
+    for technique, snapshot in breakers.items():
+        rejected_total += snapshot.get("rejected", 0)
+        opens, closes = snapshot.get("opens", 0), snapshot.get("closes", 0)
+        breaker_state = snapshot.get("state")
+        # a close needs a preceding open, and a non-closed breaker has an
+        # open with no matching close yet; reopens from half-open mean
+        # ``opens`` can exceed ``closes`` even when currently closed
+        if opens < closes:
+            state.violate(
+                f"breaker {technique}: opens={opens} < closes={closes}"
+            )
+        elif breaker_state in ("open", "half_open") and opens < closes + 1:
+            state.violate(
+                f"breaker {technique}: {breaker_state} but opens={opens} "
+                f"closes={closes}"
+            )
+        elif breaker_state not in ("closed", "open", "half_open"):
+            state.violate(
+                f"breaker {technique}: unknown state {breaker_state!r}"
+            )
+    if counters.get("serve.breaker_rejected", 0) != rejected_total:
+        state.violate(
+            f"breaker rejection accounting: service counter "
+            f"{counters.get('serve.breaker_rejected', 0)} != breaker sum "
+            f"{rejected_total}"
+        )
+    recycles = counters.get("watchdog.recycles", 0)
+    by_reason = sum(
+        count for name, count in counters.items()
+        if name.startswith("watchdog.recycle.")
+    )
+    if recycles != by_reason:
+        state.violate(
+            f"watchdog accounting: recycles={recycles} != per-reason "
+            f"sum {by_reason}"
+        )

@@ -1,0 +1,372 @@
+"""Self-healing primitives of the estimation service.
+
+Three concerns, one module — everything the service uses to *stay* up
+rather than merely start up:
+
+* :class:`CircuitBreaker` — per-technique failure containment.  N
+  consecutive infrastructure failures (worker crashes, hard timeouts)
+  open the breaker; while open, requests are rejected immediately with a
+  503 + ``Retry-After`` instead of being fed to a technique that is
+  currently burning a worker per request.  After a cooldown the breaker
+  goes *half-open* and admits a single probe request: success closes it,
+  failure re-opens it for another cooldown.
+* :class:`WatchdogPolicy` + :func:`worker_rss_bytes` — the decision
+  logic of the worker watchdog: recycle a worker proactively after K
+  requests or past an RSS cap, and respawn one whose heartbeat dies,
+  *before* it wedges mid-request.
+* :class:`GenerationManifest` — crash-safe warm restart.  The daemon
+  persists what it published to ``/dev/shm`` (segment names, blake2b
+  checksums, the graph fingerprint, its serving parameters) into a small
+  JSON file; a restarted daemon verifies the checksums and reattaches
+  the live arenas, skipping the cold ``prepare`` entirely.  A segment
+  whose bytes no longer match is quarantined
+  (:func:`repro.shm.quarantine_segment`) and the daemon falls back to a
+  cold rebuild — corruption degrades to slowness, never to wrong
+  estimates.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+from .. import shm as shm_mod
+from ..shm import ShmRef
+
+# ---------------------------------------------------------------------------
+# circuit breaker
+# ---------------------------------------------------------------------------
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+#: numeric encoding for the /metrics exposition (gauges must be numbers)
+BREAKER_STATE_CODES = {
+    BREAKER_CLOSED: 0,
+    BREAKER_OPEN: 1,
+    BREAKER_HALF_OPEN: 2,
+}
+
+
+class CircuitBreaker:
+    """Closed → open → half-open failure containment for one technique.
+
+    Only *infrastructure* outcomes drive the state machine: a worker
+    crash or hard timeout is a failure, a served estimate is a success,
+    and client-side outcomes (400s, 429s) are neutral.  All methods are
+    thread-safe; ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        if cooldown <= 0:
+            raise ValueError("breaker cooldown must be positive")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.clock = clock
+        self.state = BREAKER_CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self.opens = 0
+        self.closes = 0
+        self.probes = 0
+        self.rejected = 0
+        self._probe_inflight = False
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def allow(self) -> "tuple[bool, float]":
+        """May a request proceed?  Returns ``(allowed, retry_after_s)``.
+
+        While open, ``retry_after_s`` is the remaining cooldown.  In the
+        half-open state exactly one in-flight probe is admitted; further
+        requests are rejected with a minimal retry hint until the probe
+        resolves.
+        """
+        with self._lock:
+            if self.state == BREAKER_CLOSED:
+                return True, 0.0
+            now = self.clock()
+            if self.state == BREAKER_OPEN:
+                remaining = self.opened_at + self.cooldown - now
+                if remaining > 0:
+                    self.rejected += 1
+                    return False, remaining
+                self.state = BREAKER_HALF_OPEN
+                self._probe_inflight = False
+            if self._probe_inflight:
+                self.rejected += 1
+                return False, min(1.0, self.cooldown)
+            self._probe_inflight = True
+            self.probes += 1
+            return True, 0.0
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self.state != BREAKER_CLOSED:
+                self.closes += 1
+            self.state = BREAKER_CLOSED
+            self.consecutive_failures = 0
+            self._probe_inflight = False
+            self.opened_at = None
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.consecutive_failures += 1
+            probe_failed = (
+                self.state == BREAKER_HALF_OPEN and self._probe_inflight
+            )
+            self._probe_inflight = False
+            if probe_failed or self.consecutive_failures >= self.threshold:
+                if self.state != BREAKER_OPEN:
+                    self.opens += 1
+                self.state = BREAKER_OPEN
+                self.opened_at = self.clock()
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-serializable state for ``/stats`` and ``/metrics``."""
+        with self._lock:
+            retry_after = 0.0
+            if self.state == BREAKER_OPEN and self.opened_at is not None:
+                retry_after = max(
+                    0.0, self.opened_at + self.cooldown - self.clock()
+                )
+            return {
+                "state": self.state,
+                "consecutive_failures": self.consecutive_failures,
+                "opens": self.opens,
+                "closes": self.closes,
+                "probes": self.probes,
+                "rejected": self.rejected,
+                "retry_after_s": retry_after,
+            }
+
+
+# ---------------------------------------------------------------------------
+# worker watchdog
+# ---------------------------------------------------------------------------
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def worker_rss_bytes(pid: int) -> Optional[int]:
+    """Current resident set size of a process, or None off-Linux."""
+    try:
+        with open(f"/proc/{pid}/statm", "r", encoding="ascii") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        return None
+
+
+@dataclass
+class WatchdogPolicy:
+    """When to recycle a worker; pure decision logic, trivially testable.
+
+    ``recycle_after`` bounds requests served by one process (leak
+    containment: a slow per-request leak never accumulates past K
+    requests); ``max_rss_bytes`` is the hard memory cap.  Either being
+    ``None`` disables that check.
+    """
+
+    max_rss_bytes: Optional[int] = None
+    recycle_after: Optional[int] = None
+
+    def verdict(
+        self,
+        alive: bool,
+        rss_bytes: Optional[int],
+        requests_served: int,
+    ) -> Optional[str]:
+        """The recycle reason for a worker in this state, or None."""
+        if not alive:
+            return "dead"
+        if (
+            self.recycle_after is not None
+            and requests_served >= self.recycle_after
+        ):
+            return "requests"
+        if (
+            self.max_rss_bytes is not None
+            and rss_bytes is not None
+            and rss_bytes > self.max_rss_bytes
+        ):
+            return "rss"
+        return None
+
+
+# ---------------------------------------------------------------------------
+# generation manifest (crash-safe warm restart)
+# ---------------------------------------------------------------------------
+MANIFEST_NAME = "generation.json"
+MANIFEST_VERSION = 1
+
+
+def manifest_path(state_dir) -> Path:
+    return Path(state_dir) / MANIFEST_NAME
+
+
+def _encode_ref(ref: Optional[ShmRef]) -> Optional[str]:
+    """ShmRef manifests have tuple keys (CSR item addressing), which JSON
+    cannot carry; they ride as pickled base64 inside the JSON document,
+    while everything an operator needs to *inspect* (segments, checksums,
+    fingerprint, config) stays plain JSON at the top level."""
+    if ref is None:
+        return None
+    return base64.b64encode(
+        pickle.dumps((ref.kind, ref.manifest), protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def _decode_ref(blob: Optional[str]) -> Optional[ShmRef]:
+    if blob is None:
+        return None
+    kind, manifest = pickle.loads(base64.b64decode(blob))
+    return ShmRef(kind, manifest)
+
+
+@dataclass
+class GenerationManifest:
+    """What one daemon published, recorded for its successor.
+
+    ``checksums`` maps every referenced segment name to the blake2b
+    digest of its bytes at publish time; arenas are immutable once
+    published, so any later mismatch is corruption by definition.
+    ``config`` is the serving-parameter identity — a successor whose
+    parameters differ must rebuild, because the summary blobs were
+    prepared under the recorded ones.
+    """
+
+    generation: int
+    graph_fingerprint: str
+    graph_ref: Optional[ShmRef]
+    blob_ref: Optional[ShmRef]
+    checksums: Dict[str, str] = field(default_factory=dict)
+    config: Dict[str, object] = field(default_factory=dict)
+    pid: int = 0
+    saved_at: float = 0.0
+
+    @property
+    def segments(self) -> List[str]:
+        return sorted(self.checksums)
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "version": MANIFEST_VERSION,
+                "generation": self.generation,
+                "graph_fingerprint": self.graph_fingerprint,
+                "segments": self.segments,
+                "checksums": self.checksums,
+                "config": self.config,
+                "pid": self.pid,
+                "saved_at": self.saved_at,
+                "graph_ref": _encode_ref(self.graph_ref),
+                "blob_ref": _encode_ref(self.blob_ref),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "GenerationManifest":
+        payload = json.loads(text)
+        if payload.get("version") != MANIFEST_VERSION:
+            raise ValueError(
+                f"unsupported manifest version {payload.get('version')!r}"
+            )
+        return cls(
+            generation=int(payload["generation"]),
+            graph_fingerprint=payload["graph_fingerprint"],
+            graph_ref=_decode_ref(payload.get("graph_ref")),
+            blob_ref=_decode_ref(payload.get("blob_ref")),
+            checksums=dict(payload.get("checksums", {})),
+            config=dict(payload.get("config", {})),
+            pid=int(payload.get("pid", 0)),
+            saved_at=float(payload.get("saved_at", 0.0)),
+        )
+
+    # ------------------------------------------------------------------
+    def save(self, state_dir) -> Path:
+        """Atomic write (tmp + rename): a crash mid-save leaves either
+        the old manifest or the new one, never a torn file."""
+        path = manifest_path(state_dir)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(self.to_json(), encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, state_dir) -> Optional["GenerationManifest"]:
+        """The persisted manifest, or None when absent/unreadable.
+
+        Unreadable manifests (torn writes on a dying filesystem, version
+        skew) are treated exactly like absent ones: the caller cold
+        boots and overwrites.
+        """
+        path = manifest_path(state_dir)
+        try:
+            return cls.from_json(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError, KeyError, pickle.UnpicklingError):
+            return None
+
+    # ------------------------------------------------------------------
+    def config_matches(self, config: Mapping[str, object]) -> bool:
+        return dict(self.config) == dict(config)
+
+    def verify(self) -> Dict[str, str]:
+        """Per-segment integrity verdicts: ``ok`` / ``missing`` / ``corrupt``.
+
+        ``corrupt`` means the segment exists but its bytes hash to
+        something other than the recorded digest — the one verdict that
+        triggers quarantine rather than plain rebuild.
+        """
+        verdicts: Dict[str, str] = {}
+        live = set(shm_mod.list_segments())
+        for name, expected in self.checksums.items():
+            if name not in live:
+                verdicts[name] = "missing"
+                continue
+            try:
+                actual = shm_mod.checksum_segment(name)
+            except OSError:
+                verdicts[name] = "missing"
+                continue
+            verdicts[name] = "ok" if actual == expected else "corrupt"
+        return verdicts
+
+
+def discard_state(state_dir) -> List[str]:
+    """Tear down a persisted generation: unlink its segments + manifest.
+
+    The inverse of a warm handoff — used when the operator (or the
+    bench/test harness) is done with the daemon lineage and wants the
+    shared memory back.  Returns the unlinked segment names.
+    """
+    manifest = GenerationManifest.load(state_dir)
+    removed: List[str] = []
+    if manifest is not None:
+        for name in manifest.segments:
+            if name in shm_mod.list_segments():
+                shm_mod.unlink_segment(name)
+                removed.append(name)
+    try:
+        os.unlink(manifest_path(state_dir))
+    except OSError:
+        pass
+    return removed

@@ -38,10 +38,11 @@ callers fall back to plain pickling when it returns False.
 from __future__ import annotations
 
 import atexit
+import hashlib
 import os
 import secrets
 from array import array
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 try:  # pragma: no cover - import succeeds everywhere we support
     from multiprocessing import shared_memory as _shared_memory
@@ -76,6 +77,9 @@ def shm_supported() -> bool:
 #: name -> SharedMemory created *by this process* (cleaned up at exit);
 #: guarded by pid so a forked child never unlinks the parent's segments
 _CREATED: Dict[str, object] = {}
+#: foreign segments this process has taken cleanup responsibility for
+#: (quarantined corrupt arenas, manifests inherited from a dead daemon)
+_ADOPTED: Set[str] = set()
 _OWNER_PID = os.getpid()
 _ATEXIT_INSTALLED = False
 
@@ -86,19 +90,25 @@ def _cleanup_created() -> None:
         return
     for name in list(_CREATED):
         release_segment(name)
+    for name in list(_ADOPTED):
+        unlink_segment(name)
+
+
+def _ensure_atexit() -> None:
+    global _ATEXIT_INSTALLED
+    if not _ATEXIT_INSTALLED:
+        atexit.register(_cleanup_created)
+        _ATEXIT_INSTALLED = True
 
 
 def create_segment(nbytes: int) -> object:
     """Create a named segment owned by this process; registered for cleanup."""
     if _shared_memory is None:  # pragma: no cover - gated by shm_supported
         raise RuntimeError("shared memory is not available on this platform")
-    global _ATEXIT_INSTALLED
     name = f"{SEGMENT_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
     shm = _shared_memory.SharedMemory(name=name, create=True, size=max(1, nbytes))
     _CREATED[shm.name] = shm
-    if not _ATEXIT_INSTALLED:
-        atexit.register(_cleanup_created)
-        _ATEXIT_INSTALLED = True
+    _ensure_atexit()
     return shm
 
 
@@ -119,6 +129,107 @@ def release_segment(name: str) -> None:
         pass
     except OSError:  # pragma: no cover - defensive
         pass
+
+
+def disown_segment(name: str) -> None:
+    """Drop ownership of a created segment *without* unlinking it.
+
+    The warm-restart handoff: a daemon shutting down with a state dir
+    leaves its arenas in ``/dev/shm`` for the next daemon to reattach.
+    The handle is closed so the mapping is released, but the file stays;
+    responsibility transfers to the generation manifest (and ultimately
+    to :func:`reap_orphans` if the manifest goes stale).
+    """
+    shm = _CREATED.pop(name, None)
+    _ADOPTED.discard(name)
+    if shm is None:
+        return
+    try:
+        shm.close()
+    except BufferError:  # live memoryview exports keep the mapping alive
+        pass
+    except OSError:  # pragma: no cover - defensive
+        pass
+    _untrack(name)
+
+
+def _untrack(name: str) -> None:
+    """Withdraw a segment from the multiprocessing resource tracker.
+
+    ``SharedMemory(create=True)`` registers the segment with the tracker,
+    which unlinks anything still registered when this process exits — the
+    one behavior that would silently destroy a warm handoff: the old
+    daemon exits, the tracker reaps the arenas it disowned, and the new
+    daemon finds nothing to reattach.  Best-effort by design (the tracker
+    is an implementation detail that moved across Python versions).
+    """
+    try:  # pragma: no cover - depends on interpreter internals
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister("/" + name, "shared_memory")
+    except Exception:
+        pass
+
+
+def adopt_segment(name: str) -> None:
+    """Take cleanup responsibility for a segment this process didn't create.
+
+    Adopted segments are unlinked by the ``atexit`` hook (and by
+    :func:`release_segment`-style explicit :func:`unlink_segment` calls),
+    exactly like created ones — used when a restarted daemon decides an
+    inherited arena must not outlive it.
+    """
+    _ADOPTED.add(name)
+    _ensure_atexit()
+
+
+def unlink_segment(name: str) -> None:
+    """Best-effort unlink of a named segment regardless of creator.
+
+    Covers segments attached from a dead process's manifest (no
+    ``SharedMemory`` handle exists in this process to ``release``).
+    Created segments are routed through :func:`release_segment` so their
+    handles close first.
+    """
+    if name in _CREATED:
+        release_segment(name)
+        return
+    _ADOPTED.discard(name)
+    try:
+        os.unlink(os.path.join(SHM_DIR, name))
+    except OSError:
+        pass
+
+
+def checksum_segment(name: str) -> str:
+    """blake2b hex digest over a segment's full contents.
+
+    The integrity primitive behind crash-safe warm restart: the daemon
+    records each published arena's digest in its generation manifest, and
+    a restarted daemon refuses to trust (quarantines) any segment whose
+    bytes no longer match.
+    """
+    shm = attach_segment(name)
+    try:
+        digest = hashlib.blake2b(shm.buf, digest_size=16).hexdigest()
+    finally:
+        shm.close()
+    return digest
+
+
+def quarantine_segment(name: str) -> str:
+    """Move a corrupt segment aside (renamed, adopted) and return the new name.
+
+    The segment is renamed to ``gcare-<pid>-quarantine-<original>`` so it
+    (a) stops matching any manifest reference, (b) stays on ``/dev/shm``
+    for post-mortem inspection while this process lives, and (c) is
+    reclaimed automatically — by this process's exit hook, or by a later
+    :func:`reap_orphans` once the quarantining pid dies.
+    """
+    new_name = f"{SEGMENT_PREFIX}-{os.getpid()}-quarantine-{name}"
+    os.rename(os.path.join(SHM_DIR, name), os.path.join(SHM_DIR, new_name))
+    adopt_segment(new_name)
+    return new_name
 
 
 class _Attachment:
@@ -194,16 +305,22 @@ def _pid_alive(pid: int) -> bool:
     return True
 
 
-def reap_orphans() -> List[str]:
+def reap_orphans(keep: Iterable[str] = ()) -> List[str]:
     """Unlink ``gcare-*`` segments whose creator process is dead.
 
-    Run at sweep start: a previous run killed with SIGKILL (so neither
-    finalizers nor ``atexit`` fired) leaves its segments behind, and this
-    sweep inherits the cleanup.  Segments of live processes — including
-    this one — are never touched.  Returns the reaped names.
+    Run at sweep and daemon start: a previous run killed with SIGKILL (so
+    neither finalizers nor ``atexit`` fired) leaves its segments behind,
+    and this process inherits the cleanup.  Segments of live processes —
+    including this one — are never touched.  ``keep`` names segments that
+    must survive even though their creator died: the warm-restart path
+    passes the generation manifest's arenas so the daemon can reattach
+    them instead of sweeping them away.  Returns the reaped names.
     """
+    kept = set(keep)
     reaped: List[str] = []
     for name in list_segments():
+        if name in kept:
+            continue
         parts = name.split("-")
         try:
             pid = int(parts[1])
@@ -216,6 +333,7 @@ def reap_orphans() -> List[str]:
         except OSError:
             continue
         _CREATED.pop(name, None)
+        _ADOPTED.discard(name)
         reaped.append(name)
     return reaped
 

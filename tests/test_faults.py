@@ -222,6 +222,85 @@ class TestFaultPlanSerialization:
 
 
 # ---------------------------------------------------------------------------
+# the service site (chaos-soak's client-side fault vocabulary)
+# ---------------------------------------------------------------------------
+class TestServiceSite:
+    def test_every_service_fault_constructs_at_service_site(self):
+        from repro.faults.plan import SERVICE_FAULTS, SERVICE_SITE
+
+        for fault in SERVICE_FAULTS:
+            spec = FaultSpec(fault=fault, site=SERVICE_SITE, probability=0.1)
+            assert spec.applies_to("anything")
+
+    def test_service_faults_rejected_at_other_sites(self):
+        from repro.faults.plan import SERVICE_FAULTS
+
+        for fault in SERVICE_FAULTS:
+            for site in HOOK_SITES + ("worker",):
+                with pytest.raises(ValueError, match="do not match"):
+                    FaultSpec(fault=fault, site=site)
+
+    def test_non_service_faults_rejected_at_service_site(self):
+        from repro.faults.plan import SERVICE_SITE
+
+        for fault in ("crash", "hang", "exception", "nan"):
+            with pytest.raises(ValueError):
+                FaultSpec(fault=fault, site=SERVICE_SITE)
+
+    def test_parse_service_tokens(self):
+        plan = FaultPlan.parse(
+            "service:malformed:0.04,service:slowloris:0.02", seed=2
+        )
+        assert plan.specs[0] == FaultSpec(
+            "malformed", "service", probability=0.04
+        )
+        assert "service" in plan.sites()
+
+    def test_default_soak_plan_parses_and_fires(self):
+        from repro.faults.plan import SERVICE_SITE
+        from repro.serve.soak import DEFAULT_PLAN_TOKENS
+
+        plan = FaultPlan.parse(DEFAULT_PLAN_TOKENS, seed=0)
+        assert plan.enabled
+        assert set(plan.sites()) == {"service", "worker"}
+        fired = {
+            plan.decide(SERVICE_SITE, "wj", "q", 0, invocation=inv).fault
+            for inv in range(3000)
+            if plan.decide(SERVICE_SITE, "wj", "q", 0, invocation=inv)
+            is not None
+        }
+        # every service fault kind fires somewhere in a few thousand draws
+        assert fired == {"malformed", "expired_deadline", "slowloris", "swap"}
+
+
+class TestStableUniform:
+    def test_deterministic_and_in_range(self):
+        from repro.faults.plan import stable_uniform
+
+        draws = [stable_uniform(7, "tag", client, step)
+                 for client in range(4) for step in range(100)]
+        assert draws == [stable_uniform(7, "tag", client, step)
+                         for client in range(4) for step in range(100)]
+        assert all(0.0 <= draw < 1.0 for draw in draws)
+        # key sensitivity: any component changing changes the draw
+        base = stable_uniform(7, "tag", 0, 0)
+        assert stable_uniform(8, "tag", 0, 0) != base
+        assert stable_uniform(7, "gat", 0, 0) != base
+        assert stable_uniform(7, "tag", 1, 0) != base
+        assert stable_uniform(7, "tag", 0, 1) != base
+
+    def test_roughly_uniform(self):
+        from repro.faults.plan import stable_uniform
+
+        draws = [stable_uniform("u", index) for index in range(4000)]
+        mean = sum(draws) / len(draws)
+        assert 0.45 < mean < 0.55
+        assert sum(1 for draw in draws if draw < 0.1) == pytest.approx(
+            400, rel=0.35
+        )
+
+
+# ---------------------------------------------------------------------------
 # the hook wrapper: instance-local, restorable, zero-cost when off
 # ---------------------------------------------------------------------------
 class TestInjectedWrapper:

@@ -363,3 +363,103 @@ def test_available_techniques_are_served_by_default():
     config = ServiceConfig(workers=1)
     service = EstimationService(figure1_graph(), config)
     assert service.techniques == list(available_techniques())
+
+
+# ---------------------------------------------------------------------------
+# /metrics: flat-text exposition of the same state as /stats
+# ---------------------------------------------------------------------------
+def test_metrics_text_parses_and_agrees_with_stats(backend_service):
+    from repro.obs.metrics import parse_metrics
+
+    _, _, service = backend_service
+    service.estimate("cset", figure1_query(), run=0)
+    stats = service.stats()
+    parsed = parse_metrics(service.metrics_text())
+    assert parsed["gcare_generation"] == stats["generation"]
+    assert parsed["gcare_workers"] == stats["workers"]
+    assert (
+        parsed['gcare_counter{name="serve.requests"}']
+        == stats["counters"]["serve.requests"]
+    )
+    assert parsed["gcare_cache_hits"] == stats["cache"]["hits"]
+    # breaker gauges are numeric-coded states, one per technique
+    for technique in service.techniques:
+        key = f'gcare_breaker_state{{technique="{technique}"}}'
+        assert parsed[key] in (0, 1, 2)
+    # latency shows up as cumulative histogram buckets ending at +Inf
+    assert 'gcare_request_latency_seconds_bucket{le="+Inf"}' in parsed
+
+
+def test_daemon_metrics_endpoint_is_plain_text(backend_service):
+    from repro.obs.metrics import parse_metrics
+
+    _, _, service = backend_service
+    with running_daemon(service) as daemon:
+        with urllib.request.urlopen(
+            daemon.address + "/metrics", timeout=30
+        ) as reply:
+            assert reply.status == 200
+            assert reply.headers["Content-Type"].startswith("text/plain")
+            parsed = parse_metrics(reply.read().decode())
+    assert "gcare_generation" in parsed
+    assert "gcare_uptime_seconds" in parsed
+
+
+def test_load_generator_scrapes_metrics(backend_service):
+    from repro.serve.loadgen import fetch_metrics
+
+    _, _, service = backend_service
+    with running_daemon(service) as daemon:
+        parsed = fetch_metrics(daemon.address)
+        assert parsed["gcare_generation"] >= 1
+    # unreachable endpoints degrade to an empty dict, never an exception
+    assert fetch_metrics("http://127.0.0.1:1") == {}
+
+
+# ---------------------------------------------------------------------------
+# client deadline propagation
+# ---------------------------------------------------------------------------
+def test_expired_deadline_is_a_fast_504(backend_service):
+    _, _, service = backend_service
+    # a deadline that has already passed at admission: rejected before
+    # any worker is touched (run index keeps it out of the cache)
+    response = service.estimate(
+        "cset", figure1_query(), run=971, deadline_s=-0.001
+    )
+    assert response["status"] == protocol.STATUS_TIMEOUT
+    assert "deadline" in response["error"]
+    assert response["estimate"] is None
+    assert service.stats()["counters"]["serve.deadline_rejected"] >= 1
+
+
+def test_generous_deadline_serves_normally(backend_service):
+    _, graph, service = backend_service
+    response = service.estimate(
+        "cset", figure1_query(), run=972, deadline_s=30.0
+    )
+    assert response["status"] == protocol.STATUS_OK
+    record = reference_record(graph, "cset", figure1_query(), 972)
+    assert response["estimate"] == record.estimate
+
+
+def test_deadline_ms_over_http(backend_service):
+    _, graph, service = backend_service
+    query = figure1_query()
+    with running_daemon(service) as daemon:
+        url = daemon.address + "/estimate"
+        ok = _post(url, {
+            "technique": "cset",
+            "query": protocol.query_to_payload(query),
+            "run": 973,
+            "deadline_ms": 30_000,
+        })
+        assert ok["status"] == protocol.STATUS_OK
+        record = reference_record(graph, "cset", query, 973)
+        assert ok["estimate"] == record.estimate
+        bad = _post(url, {
+            "technique": "cset",
+            "query": protocol.query_to_payload(query),
+            "deadline_ms": 0,
+        })
+        assert bad["status"] == protocol.STATUS_BAD_REQUEST
+        assert bad["field"] == "deadline_ms"

@@ -291,6 +291,304 @@ def test_swap_clears_and_refences_the_cache():
 
 
 # ---------------------------------------------------------------------------
+# circuit breaker through the service (crash-driven open / probe / close)
+# ---------------------------------------------------------------------------
+def crash_partition(plan, technique, query_name, runs=64):
+    """Split run indices by whether the plan's worker:crash fires —
+    deterministic, so the test can pick crashing and healthy cells."""
+    crashing, healthy = [], []
+    for run in range(runs):
+        spec = plan.decide("worker", technique, query_name, run)
+        (crashing if spec is not None else healthy).append(run)
+    return crashing, healthy
+
+
+def test_breaker_opens_rejects_then_probe_recovers():
+    plan = FaultPlan(
+        specs=(
+            FaultSpec(
+                fault="crash", site="worker",
+                probability=0.5, techniques=("wj",),
+            ),
+        ),
+        seed=3,
+    )
+    crashing, healthy = crash_partition(plan, "wj", "q")
+    assert len(crashing) >= 4 and len(healthy) >= 2
+    with make_service(
+        fault_plan=plan, techniques=("wj", "cset"),
+        breaker_threshold=3, breaker_cooldown=0.4,
+    ) as service:
+        query = figure1_query()
+        for run in crashing[:3]:
+            response = service.estimate("wj", query, run=run, name="q")
+            assert response["status"] == protocol.STATUS_WORKER_CRASHED
+        # threshold reached: the breaker is open, requests bounce with a
+        # 503 + retry_after before any worker is touched
+        rejected = service.estimate("wj", query, run=healthy[0], name="q")
+        assert rejected["status"] == protocol.STATUS_UNAVAILABLE
+        assert rejected["retry_after"] > 0
+        assert "breaker" in rejected["error"]
+        stats = service.stats()
+        assert stats["breakers"]["wj"]["state"] == "open"
+        assert stats["breakers"]["wj"]["opens"] == 1
+        assert stats["counters"]["serve.breaker_rejected"] >= 1
+        # the sibling technique is unaffected: breakers are per technique
+        assert service.estimate("cset", query, run=0)["status"] == (
+            protocol.STATUS_OK
+        )
+        # after the cooldown a single probe is admitted; a healthy cell
+        # closes the breaker and traffic flows again
+        time.sleep(0.5)
+        probe = service.estimate("wj", query, run=healthy[0], name="q")
+        assert probe["status"] == protocol.STATUS_OK
+        stats = service.stats()
+        assert stats["breakers"]["wj"]["state"] == "closed"
+        assert stats["breakers"]["wj"]["closes"] == 1
+        assert stats["breakers"]["wj"]["probes"] >= 1
+        follow_up = service.estimate("wj", query, run=healthy[1], name="q")
+        assert follow_up["status"] == protocol.STATUS_OK
+
+
+def test_failed_probe_reopens_the_breaker():
+    plan = FaultPlan(
+        specs=(
+            FaultSpec(
+                fault="crash", site="worker",
+                probability=0.5, techniques=("wj",),
+            ),
+        ),
+        seed=3,
+    )
+    crashing, _healthy = crash_partition(plan, "wj", "q")
+    with make_service(
+        fault_plan=plan, techniques=("wj",),
+        breaker_threshold=2, breaker_cooldown=0.3,
+    ) as service:
+        query = figure1_query()
+        for run in crashing[:2]:
+            service.estimate("wj", query, run=run, name="q")
+        assert service.stats()["breakers"]["wj"]["state"] == "open"
+        time.sleep(0.4)
+        # the probe is admitted but lands on another crashing cell: one
+        # failed probe reopens immediately, no second threshold needed
+        probe = service.estimate("wj", query, run=crashing[2], name="q")
+        assert probe["status"] == protocol.STATUS_WORKER_CRASHED
+        snapshot = service.stats()["breakers"]["wj"]
+        assert snapshot["state"] == "open"
+        assert snapshot["opens"] == 2
+
+
+def test_client_deadline_timeouts_do_not_trip_the_breaker():
+    """A 504 on a request with a client deadline is the client's own
+    budget choice, not service sickness — it must stay breaker-neutral."""
+    plan = FaultPlan(
+        specs=(
+            FaultSpec(
+                fault="hang", site="decompose_query",
+                probability=1.0, techniques=("wj",),
+            ),
+        ),
+        seed=0,
+    )
+    with make_service(
+        fault_plan=plan, techniques=("wj",), time_limit=10.0,
+        kill_grace=0.3, breaker_threshold=2,
+    ) as service:
+        query = figure1_query()
+        for run in range(3):
+            response = service.estimate(
+                "wj", query, run=run, deadline_s=0.3, timeout=60
+            )
+            assert response["status"] == protocol.STATUS_TIMEOUT
+        snapshot = service.stats()["breakers"]["wj"]
+        assert snapshot["state"] == "closed"
+        assert snapshot["opens"] == 0
+
+
+# ---------------------------------------------------------------------------
+# concurrent swaps: serialized, losers get a clean conflict
+# ---------------------------------------------------------------------------
+def test_swap_conflict_while_swap_lock_held():
+    from repro.serve import SwapInProgress
+
+    with make_service(techniques=("cset",)) as service:
+        assert service._swap_lock.acquire(blocking=False)
+        try:
+            with pytest.raises(SwapInProgress):
+                service.swap_graph(variant_graph())
+        finally:
+            service._swap_lock.release()
+        assert service.stats()["counters"]["serve.swap_conflicts"] == 1
+        # generation unchanged: the loser had no partial effect
+        assert service.stats()["generation"] == 1
+        result = service.swap_graph(variant_graph())
+        assert result["generation"] == 2
+
+
+def test_concurrent_swap_race_is_serialized():
+    from repro.serve import SwapInProgress
+
+    with make_service(techniques=("cset",), workers=2) as service:
+        graphs = [figure1_graph(), variant_graph()]
+        outcomes = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(4)
+
+        def racer(index: int) -> None:
+            barrier.wait()
+            try:
+                result = service.swap_graph(graphs[index % 2])
+                with lock:
+                    outcomes.append(("ok", result["generation"]))
+            except SwapInProgress:
+                with lock:
+                    outcomes.append(("conflict", None))
+
+        threads = [
+            threading.Thread(target=racer, args=(index,)) for index in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert len(outcomes) == 4
+        wins = sorted(gen for kind, gen in outcomes if kind == "ok")
+        assert wins, "at least one swap must win the race"
+        # serialization: the winners' generations are consecutive and
+        # unique — no two swaps ever built the same generation
+        assert wins == list(range(2, 2 + len(wins)))
+        assert service.stats()["generation"] == wins[-1]
+        conflicts = sum(1 for kind, _ in outcomes if kind == "conflict")
+        assert conflicts == 4 - len(wins)
+        assert (
+            service.stats()["counters"].get("serve.swap_conflicts", 0)
+            == conflicts
+        )
+        # the service still serves, on the final generation
+        response = service.estimate("cset", figure1_query(), run=0)
+        assert response["status"] == protocol.STATUS_OK
+        assert response["generation"] == wins[-1]
+
+
+def test_concurrent_swap_race_over_http(tmp_path):
+    """The daemon maps SwapInProgress to 409; a burst of concurrent POST
+    /swap yields exactly winners-plus-409s, nothing else."""
+    import asyncio
+    import json as json_mod
+    import urllib.request
+
+    from repro.graph.io import dump_graph
+    from repro.serve import ServeDaemon
+
+    graph_path = tmp_path / "graph.txt"
+    dump_graph(figure1_graph(), graph_path)
+    with make_service(techniques=("cset",), workers=2) as service:
+        loop = asyncio.new_event_loop()
+        daemon = ServeDaemon(service, port=0)
+        started = threading.Event()
+
+        def run_loop() -> None:
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(daemon.start())
+            started.set()
+            loop.run_forever()
+
+        thread = threading.Thread(target=run_loop, daemon=True)
+        thread.start()
+        assert started.wait(10)
+        try:
+            statuses = []
+            lock = threading.Lock()
+            barrier = threading.Barrier(4)
+            body = json_mod.dumps({"graph": str(graph_path)}).encode()
+
+            def poster() -> None:
+                barrier.wait()
+                request = urllib.request.Request(
+                    daemon.address + "/swap", data=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                try:
+                    with urllib.request.urlopen(request, timeout=60) as reply:
+                        with lock:
+                            statuses.append(reply.status)
+                except urllib.error.HTTPError as exc:
+                    envelope = json_mod.loads(exc.read().decode())
+                    assert envelope["status"] == exc.code
+                    with lock:
+                        statuses.append(exc.code)
+
+            posters = [threading.Thread(target=poster) for _ in range(4)]
+            for post in posters:
+                post.start()
+            for post in posters:
+                post.join(timeout=60)
+            assert len(statuses) == 4
+            assert set(statuses) <= {200, 409}
+            assert statuses.count(200) >= 1
+        finally:
+            asyncio.run_coroutine_threadsafe(daemon.stop(), loop).result(10)
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(10)
+            loop.close()
+
+
+# ---------------------------------------------------------------------------
+# worker watchdog through the service
+# ---------------------------------------------------------------------------
+def test_watchdog_recycles_after_request_cap():
+    with make_service(
+        techniques=("cset",), watchdog_interval=0.1, recycle_after=3,
+        cache_entries=0,
+    ) as service:
+        query = figure1_query()
+        for run in range(4):
+            assert service.estimate("cset", query, run=run)["status"] == (
+                protocol.STATUS_OK
+            )
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            counters = service.stats()["counters"]
+            if counters.get("watchdog.recycle.requests", 0) >= 1:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("watchdog never recycled the saturated worker")
+        counters = service.stats()["counters"]
+        assert counters["watchdog.recycles"] >= 1
+        # recycling is invisible to clients: the pool keeps serving
+        assert service.estimate("cset", query, run=99)["status"] == (
+            protocol.STATUS_OK
+        )
+
+
+def test_watchdog_respawns_a_sigkilled_idle_worker():
+    import os as os_mod
+    import signal
+
+    with make_service(
+        techniques=("cset",), watchdog_interval=0.1, workers=1
+    ) as service:
+        assert service.estimate("cset", figure1_query())["status"] == (
+            protocol.STATUS_OK
+        )
+        victim = service._workers[0]
+        os_mod.kill(victim.process.pid, signal.SIGKILL)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            if service.stats()["counters"].get(
+                "watchdog.recycle.dead", 0
+            ) >= 1:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("watchdog never noticed the dead worker")
+        response = service.estimate("cset", figure1_query(), run=5)
+        assert response["status"] == protocol.STATUS_OK
+
+
+# ---------------------------------------------------------------------------
 # ResultsLog fd-leak regression (the satellite fix): failed sweeps must
 # close the persistent append handle on every exit path
 # ---------------------------------------------------------------------------

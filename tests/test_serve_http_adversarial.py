@@ -1,0 +1,221 @@
+"""Adversarial HTTP frames against the daemon: nothing unhandled.
+
+The robustness contract of :mod:`repro.serve.daemon`: whatever bytes
+reach the socket, the daemon answers with a well-formed HTTP response
+carrying a protocol envelope (or closes cleanly), and the event loop
+survives to serve the next client.  Exercised with raw sockets — urllib
+would refuse to send most of these frames.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.datasets.example import figure1_graph, figure1_query
+from repro.serve import EstimationService, ServeDaemon, ServiceConfig, protocol
+from repro.serve.daemon import MAX_BODY_BYTES
+
+SEED = 7
+READ_TIMEOUT = 0.5
+
+
+@pytest.fixture(scope="module")
+def daemon_endpoint():
+    """One service + daemon for the whole module (ephemeral port)."""
+    config = ServiceConfig(
+        techniques=("cset",), seed=SEED, workers=1, time_limit=10.0
+    )
+    service = EstimationService(figure1_graph().seal(), config).start()
+    loop = asyncio.new_event_loop()
+    daemon = ServeDaemon(service, port=0, read_timeout=READ_TIMEOUT)
+    started = threading.Event()
+
+    def _run() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(daemon.start())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=_run, daemon=True)
+    thread.start()
+    assert started.wait(10), "daemon failed to start"
+    try:
+        yield daemon.host, daemon.port
+    finally:
+        asyncio.run_coroutine_threadsafe(daemon.stop(), loop).result(10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        loop.close()
+        service.close()
+
+
+def exchange(endpoint, frame: bytes, timeout: float = 10.0) -> bytes:
+    """Send raw bytes, read whatever comes back until close/timeout."""
+    host, port = endpoint
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        if frame:
+            sock.sendall(frame)
+        chunks = []
+        with contextlib.suppress(socket.timeout):
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+    return b"".join(chunks)
+
+
+def post_frame(path: str, body: bytes) -> bytes:
+    return (
+        f"POST {path} HTTP/1.1\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode() + body
+
+
+def status_of(raw: bytes) -> int:
+    assert raw, "connection closed without a response"
+    head = raw.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+    return int(head.split()[1])
+
+
+def envelope_of(raw: bytes) -> dict:
+    """The first response's JSON body; must parse (the contract).
+
+    Error paths that keep the connection alive may be followed by a 408
+    once the read deadline fires on the idle line, so only the leading
+    JSON document counts.
+    """
+    _, _, body = raw.partition(b"\r\n\r\n")
+    payload, _end = json.JSONDecoder().raw_decode(body.decode())
+    assert isinstance(payload.get("status"), int)
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# frame-level garbage
+# ---------------------------------------------------------------------------
+def test_garbage_request_line_gets_400(daemon_endpoint):
+    raw = exchange(daemon_endpoint, b"NOT-HTTP\r\n\r\n")
+    assert status_of(raw) == 400
+    assert "malformed request line" in envelope_of(raw)["error"]
+
+
+def test_header_flood_gets_400(daemon_endpoint):
+    frame = b"GET /healthz HTTP/1.1\r\n" + b"X-Flood: 1\r\n" * 200 + b"\r\n"
+    raw = exchange(daemon_endpoint, frame)
+    assert status_of(raw) == 400
+    assert "too many headers" in envelope_of(raw)["error"]
+
+
+def test_single_overlong_header_line_gets_400(daemon_endpoint):
+    frame = (
+        b"GET /healthz HTTP/1.1\r\nX-Big: " + b"a" * (1 << 17) + b"\r\n\r\n"
+    )
+    raw = exchange(daemon_endpoint, frame)
+    assert status_of(raw) == 400
+    assert "header line too long" in envelope_of(raw)["error"]
+
+
+def test_negative_content_length_gets_400(daemon_endpoint):
+    frame = b"POST /estimate HTTP/1.1\r\nContent-Length: -5\r\n\r\n"
+    raw = exchange(daemon_endpoint, frame)
+    assert status_of(raw) == 400
+    assert "negative Content-Length" in envelope_of(raw)["error"]
+
+
+def test_unparseable_content_length_gets_400(daemon_endpoint):
+    frame = b"POST /estimate HTTP/1.1\r\nContent-Length: lots\r\n\r\n"
+    raw = exchange(daemon_endpoint, frame)
+    assert status_of(raw) == 400
+
+
+def test_oversized_body_gets_413_not_a_reset(daemon_endpoint):
+    # the body really is sent; the daemon must drain it before answering
+    # or TCP resets the connection and the client never sees the 413
+    body = b"x" * (MAX_BODY_BYTES + 1)
+    raw = exchange(daemon_endpoint, post_frame("/estimate", body))
+    assert status_of(raw) == 413
+    assert envelope_of(raw)["status"] == 413
+
+
+def test_slow_loris_gets_408_after_read_timeout(daemon_endpoint):
+    # headers never finish arriving: the read deadline must fire
+    frame = b"POST /estimate HTTP/1.1\r\nContent-Length: 100\r\n"
+    raw = exchange(daemon_endpoint, frame, timeout=READ_TIMEOUT + 5.0)
+    assert status_of(raw) == 408
+    assert envelope_of(raw)["status"] == 408
+
+
+def test_idle_connection_is_not_held_open(daemon_endpoint):
+    # a client that connects and sends nothing: clean close, or a 408
+    # once the read deadline decides the request will never arrive
+    raw = exchange(daemon_endpoint, b"", timeout=READ_TIMEOUT + 5.0)
+    assert raw == b"" or status_of(raw) == 408
+
+
+# ---------------------------------------------------------------------------
+# per-field 400 diagnostics on /estimate
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "body, field",
+    [
+        (b"{nope", "body"),
+        (b"null", "body"),
+        (json.dumps({"query": {"vertex_labels": [], "edges": []}}).encode(),
+         "technique"),
+        (json.dumps({"technique": "cset", "query": "nope"}).encode(),
+         "query"),
+        (json.dumps({"technique": "cset",
+                     "query": {"vertex_labels": [], "edges": []},
+                     "run": "zero"}).encode(),
+         "run"),
+        (json.dumps({"technique": "cset",
+                     "query": {"vertex_labels": [], "edges": []},
+                     "deadline_ms": -5}).encode(),
+         "deadline_ms"),
+    ],
+)
+def test_estimate_400_names_the_offending_field(daemon_endpoint, body, field):
+    raw = exchange(daemon_endpoint, post_frame("/estimate", body))
+    assert status_of(raw) == 400
+    envelope = envelope_of(raw)
+    assert envelope["status"] == 400
+    assert envelope.get("field") == field
+
+
+# ---------------------------------------------------------------------------
+# method/route discipline + the loop survives all of the above
+# ---------------------------------------------------------------------------
+def test_wrong_methods_get_405(daemon_endpoint):
+    raw = exchange(daemon_endpoint, post_frame("/stats", b"{}"))
+    assert status_of(raw) == 405
+    raw = exchange(
+        daemon_endpoint, b"GET /estimate HTTP/1.1\r\nContent-Length: 0\r\n\r\n"
+    )
+    assert status_of(raw) == 405
+    raw = exchange(
+        daemon_endpoint, b"GET /metrics?x=1 HTTP/1.1\r\nContent-Length: 0\r\n\r\n"
+    )
+    assert status_of(raw) == 200  # query strings are stripped from routing
+
+
+def test_daemon_still_serves_after_the_hostile_parade(daemon_endpoint):
+    body = json.dumps(
+        {
+            "technique": "cset",
+            "query": protocol.query_to_payload(figure1_query()),
+            "run": 0,
+        }
+    ).encode()
+    raw = exchange(daemon_endpoint, post_frame("/estimate", body))
+    assert status_of(raw) == 200
+    envelope = envelope_of(raw)
+    assert envelope["status"] == protocol.STATUS_OK
+    assert isinstance(envelope["estimate"], float)

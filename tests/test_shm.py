@@ -134,6 +134,89 @@ class TestArena:
         finally:
             handle.release()
 
+    def test_reap_keep_list_spares_a_dead_pids_segment(self):
+        # the warm-restart path: the manifest's arenas belong to a dead
+        # daemon but must survive the boot-time sweep to be reattached
+        dead_pid = 1
+        while shm_mod._pid_alive(dead_pid):
+            dead_pid += 1
+        keeper = f"{shm_mod.SEGMENT_PREFIX}-{dead_pid}-cafe0001"
+        goner = f"{shm_mod.SEGMENT_PREFIX}-{dead_pid}-cafe0002"
+        for name in (keeper, goner):
+            with open(os.path.join(shm_mod.SHM_DIR, name), "wb") as fh:
+                fh.write(b"\x00" * 16)
+        try:
+            reaped = shm_mod.reap_orphans(keep=[keeper])
+            assert goner in reaped
+            assert keeper not in reaped
+            assert keeper in shm_mod.list_segments()
+        finally:
+            shm_mod.unlink_segment(keeper)
+            shm_mod.unlink_segment(goner)
+
+
+# ---------------------------------------------------------------------------
+# integrity + ownership-transfer primitives (the warm-restart substrate)
+# ---------------------------------------------------------------------------
+class TestIntegrityPrimitives:
+    def test_checksum_is_content_addressed(self):
+        segment = shm_mod.create_segment(32)
+        try:
+            segment.buf[:3] = b"abc"
+            first = shm_mod.checksum_segment(segment.name)
+            assert first == shm_mod.checksum_segment(segment.name)  # stable
+            segment.buf[0] = ord("z")
+            assert shm_mod.checksum_segment(segment.name) != first
+        finally:
+            shm_mod.release_segment(segment.name)
+
+    def test_checksum_of_missing_segment_raises_oserror(self):
+        with pytest.raises(OSError):
+            shm_mod.checksum_segment("gcare-1-no-such-segment")
+
+    def test_disown_keeps_the_segment_but_drops_ownership(self):
+        segment = shm_mod.create_segment(16)
+        name = segment.name
+        segment.buf[:2] = b"ok"
+        shm_mod.disown_segment(name)
+        try:
+            # no longer ours to clean up, but alive and attachable
+            assert name not in shm_mod.created_segments()
+            assert name in shm_mod.list_segments()
+            attachment = shm_mod.attach_segment(name)
+            try:
+                assert bytes(attachment.buf[:2]) == b"ok"
+            finally:
+                attachment.close()
+        finally:
+            shm_mod.unlink_segment(name)
+        assert name not in shm_mod.list_segments()
+
+    def test_adopt_registers_foreign_segment_for_unlink(self):
+        segment = shm_mod.create_segment(16)
+        name = segment.name
+        shm_mod.disown_segment(name)  # now foreign from our point of view
+        shm_mod.adopt_segment(name)
+        assert name in shm_mod._ADOPTED
+        shm_mod.unlink_segment(name)
+        assert name not in shm_mod._ADOPTED
+        assert name not in shm_mod.list_segments()
+
+    def test_quarantine_renames_and_adopts(self):
+        segment = shm_mod.create_segment(16)
+        name = segment.name
+        shm_mod.disown_segment(name)
+        quarantined = shm_mod.quarantine_segment(name)
+        try:
+            assert quarantined != name
+            assert "-quarantine-" in quarantined
+            assert name not in shm_mod.list_segments()
+            assert quarantined in shm_mod.list_segments()
+            # adopted: this process now owns the post-mortem copy
+            assert quarantined in shm_mod._ADOPTED
+        finally:
+            shm_mod.unlink_segment(quarantined)
+
 
 # ---------------------------------------------------------------------------
 # graph and summary transport

@@ -1,0 +1,140 @@
+"""The chaos-soak harness: short seeded runs must be violation-free.
+
+``run_soak`` boots a real daemon (sockets, worker processes, shared
+memory) and drives it through a deterministic fault schedule while
+checking the four service-level invariants (well-formed responses,
+bit-identical 200s, zero leaked segments, consistent supervision
+accounting).  These tests run it for a few seconds — long enough for
+every fault kind to fire at CI-sized rates — and assert the report came
+back clean.  A soak *failure* here is a real robustness regression, not
+flakiness: the schedule is a pure function of the seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import shm as shm_mod
+from repro.datasets.example import figure1_graph
+from repro.faults.plan import FaultPlan
+from repro.graph.io import dump_graph
+from repro.serve import SoakConfig, SoakReport, run_soak
+from repro.serve.loadgen import example_workload
+from repro.serve.soak import DEFAULT_PLAN_TOKENS, batch_references
+
+SEED = 17
+
+
+@pytest.fixture(scope="module")
+def graph_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("soak") / "graph.txt"
+    dump_graph(figure1_graph(), path)
+    return str(path)
+
+
+def soak_config(**overrides) -> SoakConfig:
+    return SoakConfig(
+        duration_s=overrides.pop("duration_s", 4.0),
+        seed=overrides.pop("seed", SEED),
+        clients=overrides.pop("clients", 3),
+        techniques=overrides.pop("techniques", ("cset", "wj", "impr")),
+        workers=overrides.pop("workers", 2),
+        runs=2,
+        read_timeout=0.5,
+        chaos_interval=0.1,
+        breaker_cooldown=0.5,
+        watchdog_interval=0.25,
+        **overrides,
+    )
+
+
+def test_soak_default_plan_zero_violations(graph_file):
+    """The CI soak profile: every hostile-client fault plus worker kills."""
+    config = soak_config(
+        plan=FaultPlan.parse(DEFAULT_PLAN_TOKENS, seed=SEED)
+    )
+    report = run_soak(
+        figure1_graph(), example_workload(), config, graph_path=graph_file
+    )
+    assert report.ok, report.violations
+    assert report.requests > 20
+    assert report.status_counts.get(200, 0) > 0
+    assert "estimate" in report.actions
+    assert report.leaked_segments == []
+    # the report is an artifact: it must serialize
+    payload = report.to_dict()
+    assert payload["ok"] is True
+    assert payload["requests"] == report.requests
+
+
+def test_soak_survives_aggressive_worker_kills(graph_file):
+    """A kill every ~0.2s against 2 workers: crashes surface as clean
+    500s, the watchdog respawns, and determinism still holds."""
+    config = soak_config(
+        plan=FaultPlan.parse("worker:crash:0.9", seed=SEED),
+        duration_s=5.0,
+    )
+    report = run_soak(
+        figure1_graph(), example_workload(), config, graph_path=graph_file
+    )
+    assert report.ok, report.violations
+    assert report.worker_kills >= 1
+    assert report.leaked_segments == []
+    # the supervision counters saw the carnage
+    assert (
+        report.counters.get("serve.crashes", 0)
+        + report.counters.get("watchdog.recycle.dead", 0)
+    ) >= 1
+
+
+def test_soak_without_faults_is_a_pure_conformance_run():
+    config = soak_config(plan=FaultPlan.parse("", seed=SEED), duration_s=2.0)
+    report = run_soak(figure1_graph(), example_workload(), config)
+    assert report.ok, report.violations
+    assert report.worker_kills == 0
+    assert set(report.actions) <= {"estimate"} | {
+        key for key in report.actions if key.startswith("transport-")
+    }
+
+
+def test_batch_references_cover_the_grid_and_record_errors():
+    workload = example_workload()
+    config = soak_config()
+    references = batch_references(
+        figure1_graph(), workload, ["cset", "impr"], config
+    )
+    assert set(references) == {
+        (technique, name, run)
+        for technique in ("cset", "impr")
+        for name in workload
+        for run in range(config.runs)
+    }
+    for estimate, error in references.values():
+        # exactly one of (estimate-repr, error) per cell
+        assert (estimate is None) != (error is None)
+    # impr cannot decompose single-edge queries: recorded as an error,
+    # which is what legitimizes a daemon-side 400 for the same cell
+    assert references[("impr", "edge0", 0)][1] is not None
+    assert references[("cset", "triangle", 0)][0] is not None
+
+
+def test_soak_report_ok_flips_on_violations():
+    report = SoakReport()
+    assert report.ok
+    report.violations.append("boom")
+    assert not report.ok
+    assert report.to_dict()["ok"] is False
+
+
+@pytest.mark.skipif(
+    not shm_mod.shm_supported(), reason="platform has no shared memory"
+)
+def test_soak_leaves_dev_shm_exactly_as_found(graph_file):
+    before = set(shm_mod.list_segments())
+    config = soak_config(
+        plan=FaultPlan.parse("worker:crash:0.5", seed=SEED), duration_s=2.0
+    )
+    run_soak(
+        figure1_graph(), example_workload(), config, graph_path=graph_file
+    )
+    assert set(shm_mod.list_segments()) == before

@@ -1,0 +1,387 @@
+"""Self-healing primitives: breaker, watchdog policy, warm restart.
+
+Three layers of contract:
+
+* the pure decision machinery — :class:`CircuitBreaker`'s state machine
+  under an injected clock, and :class:`WatchdogPolicy`'s recycle
+  verdicts — exhaustively, with no processes involved;
+* the :class:`GenerationManifest` persistence format — JSON round-trip
+  (including the pickled-base64 ShmRef payloads), atomic save, tolerant
+  load, and per-segment integrity verdicts against real segments;
+* warm restart end to end — a service closed with a ``state_dir`` hands
+  its arenas to a successor that must serve bit-identical estimates
+  without a cold ``prepare``; a flipped byte in any arena must be
+  detected, quarantined, and survived via cold rebuild.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import shm as shm_mod
+from repro.datasets.example import figure1_graph, figure1_query
+from repro.serve import EstimationService, ServiceConfig
+from repro.serve.supervisor import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    BREAKER_STATE_CODES,
+    CircuitBreaker,
+    GenerationManifest,
+    WatchdogPolicy,
+    discard_state,
+    manifest_path,
+    worker_rss_bytes,
+)
+from repro.shm import ShmRef
+
+SEED = 3
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ---------------------------------------------------------------------------
+# circuit breaker state machine (injected clock, fully deterministic)
+# ---------------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=10.0, clock=FakeClock())
+        assert breaker.state == BREAKER_CLOSED
+        allowed, retry_after = breaker.allow()
+        assert allowed and retry_after == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=0.0)
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=3, cooldown=10.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.opens == 1
+        allowed, retry_after = breaker.allow()
+        assert not allowed
+        assert 0.0 < retry_after <= 10.0
+        assert breaker.rejected == 1
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=10.0, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == BREAKER_CLOSED  # never two in a row
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == BREAKER_OPEN
+        clock.advance(10.1)
+        allowed, _ = breaker.allow()
+        assert allowed  # the probe
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert breaker.probes == 1
+        # while the probe is in flight, everything else bounces
+        allowed, retry_after = breaker.allow()
+        assert not allowed and retry_after > 0.0
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(10.1)
+        assert breaker.allow()[0]
+        breaker.record_success()
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.closes == 1
+        assert breaker.allow() == (True, 0.0)
+
+    def test_probe_failure_reopens_for_another_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=5, cooldown=10.0, clock=clock)
+        for _ in range(5):
+            breaker.record_failure()
+        clock.advance(10.1)
+        assert breaker.allow()[0]  # probe admitted
+        breaker.record_failure()  # one failed probe reopens, threshold or not
+        assert breaker.state == BREAKER_OPEN
+        assert breaker.opens == 2
+        assert not breaker.allow()[0]
+        # reopen-from-half-open is why opens can exceed closes forever
+        clock.advance(10.1)
+        assert breaker.allow()[0]
+        breaker.record_success()
+        assert (breaker.opens, breaker.closes) == (2, 1)
+
+    def test_snapshot_shape_and_retry_after(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(4.0)
+        snapshot = breaker.snapshot()
+        assert snapshot["state"] == BREAKER_OPEN
+        assert snapshot["retry_after_s"] == pytest.approx(6.0)
+        assert set(snapshot) == {
+            "state", "consecutive_failures", "opens", "closes",
+            "probes", "rejected", "retry_after_s",
+        }
+        assert snapshot["state"] in BREAKER_STATE_CODES
+
+
+# ---------------------------------------------------------------------------
+# watchdog policy (pure verdicts)
+# ---------------------------------------------------------------------------
+class TestWatchdogPolicy:
+    def test_dead_wins_over_everything(self):
+        policy = WatchdogPolicy(max_rss_bytes=1, recycle_after=1)
+        assert policy.verdict(alive=False, rss_bytes=10**9,
+                              requests_served=10**9) == "dead"
+
+    def test_request_cap(self):
+        policy = WatchdogPolicy(recycle_after=50)
+        assert policy.verdict(True, None, 49) is None
+        assert policy.verdict(True, None, 50) == "requests"
+
+    def test_rss_cap(self):
+        policy = WatchdogPolicy(max_rss_bytes=1 << 20)
+        assert policy.verdict(True, (1 << 20) - 1, 0) is None
+        assert policy.verdict(True, (1 << 20) + 1, 0) == "rss"
+        # an unreadable RSS (off-Linux) can never trigger the cap
+        assert policy.verdict(True, None, 0) is None
+
+    def test_disabled_checks_never_fire(self):
+        policy = WatchdogPolicy()
+        assert policy.verdict(True, 10**12, 10**9) is None
+
+
+def test_worker_rss_bytes_of_this_process():
+    rss = worker_rss_bytes(os.getpid())
+    if rss is None:
+        pytest.skip("no /proc statm on this platform")
+    assert rss > 1 << 20  # a running CPython is comfortably over 1 MiB
+    assert worker_rss_bytes(2**30) is None  # no such pid
+
+
+# ---------------------------------------------------------------------------
+# generation manifest: format + integrity verdicts
+# ---------------------------------------------------------------------------
+pytest_shm = pytest.mark.skipif(
+    not shm_mod.shm_supported(), reason="platform has no shared memory"
+)
+
+
+def _manifest(checksums=None, config=None) -> GenerationManifest:
+    # a ShmRef with tuple keys, like CompactGraph.to_shm produces — the
+    # part JSON cannot carry natively
+    ref = ShmRef("graph", {("csr", 0): "seg-a", "meta": b"\x00\x01"})
+    return GenerationManifest(
+        generation=3,
+        graph_fingerprint="fp123",
+        graph_ref=ref,
+        blob_ref=None,
+        checksums=checksums or {"seg-a": "d" * 32},
+        config=config or {"techniques": ["cset"], "seed": SEED},
+        pid=os.getpid(),
+        saved_at=123.5,
+    )
+
+
+class TestGenerationManifest:
+    def test_json_round_trip_preserves_refs(self):
+        manifest = _manifest()
+        back = GenerationManifest.from_json(manifest.to_json())
+        assert back.generation == 3
+        assert back.graph_fingerprint == "fp123"
+        assert back.graph_ref.kind == "graph"
+        assert back.graph_ref.manifest == manifest.graph_ref.manifest
+        assert back.blob_ref is None
+        assert back.checksums == manifest.checksums
+        assert back.config == manifest.config
+
+    def test_segments_are_sorted_checksum_keys(self):
+        manifest = _manifest(checksums={"b": "1", "a": "2"})
+        assert manifest.segments == ["a", "b"]
+
+    def test_config_matches_is_exact(self):
+        manifest = _manifest(config={"seed": 1})
+        assert manifest.config_matches({"seed": 1})
+        assert not manifest.config_matches({"seed": 2})
+        assert not manifest.config_matches({"seed": 1, "extra": 0})
+
+    def test_save_load_round_trip(self, tmp_path):
+        manifest = _manifest()
+        path = manifest.save(tmp_path)
+        assert path == manifest_path(tmp_path)
+        loaded = GenerationManifest.load(tmp_path)
+        assert loaded is not None
+        assert loaded.to_json() == manifest.to_json()
+
+    def test_load_absent_or_torn_is_none(self, tmp_path):
+        assert GenerationManifest.load(tmp_path) is None
+        manifest_path(tmp_path).write_text("{torn", encoding="utf-8")
+        assert GenerationManifest.load(tmp_path) is None
+        manifest_path(tmp_path).write_text(
+            '{"version": 999}', encoding="utf-8"
+        )
+        assert GenerationManifest.load(tmp_path) is None
+
+    @pytest_shm
+    def test_verify_ok_corrupt_missing(self):
+        segment = shm_mod.create_segment(64)
+        try:
+            segment.buf[:4] = b"abcd"
+            good = shm_mod.checksum_segment(segment.name)
+            manifest = _manifest(
+                checksums={segment.name: good, "gcare-1-gone": "0" * 32}
+            )
+            verdicts = manifest.verify()
+            assert verdicts[segment.name] == "ok"
+            assert verdicts["gcare-1-gone"] == "missing"
+            segment.buf[0] = 0xFF  # one flipped byte is corruption
+            assert manifest.verify()[segment.name] == "corrupt"
+        finally:
+            shm_mod.release_segment(segment.name)
+
+
+# ---------------------------------------------------------------------------
+# warm restart end to end (service lineage through a state_dir)
+# ---------------------------------------------------------------------------
+@pytest_shm
+class TestWarmRestart:
+    def _config(self, state_dir, **overrides) -> ServiceConfig:
+        return ServiceConfig(
+            techniques=overrides.pop("techniques", ("cset", "wj")),
+            seed=overrides.pop("seed", SEED),
+            workers=1,
+            state_dir=str(state_dir),
+            watchdog_interval=0.0,
+            **overrides,
+        )
+
+    def test_successor_reattaches_and_serves_identically(self, tmp_path):
+        graph = figure1_graph().seal()
+        query = figure1_query()
+        config = self._config(tmp_path)
+        try:
+            first = EstimationService(graph, config).start()
+            try:
+                reference = first.estimate("cset", query, run=0)
+                assert reference["status"] == 200
+                counters = first.stats()["counters"]
+                assert counters.get("serve.cold_starts") == 1
+            finally:
+                first.close()
+            # the handoff: manifest written, arenas still live
+            manifest = GenerationManifest.load(tmp_path)
+            assert manifest is not None
+            live = set(shm_mod.list_segments())
+            assert set(manifest.segments) <= live
+            assert all(v == "ok" for v in manifest.verify().values())
+
+            second = EstimationService(graph, config).start()
+            try:
+                counters = second.stats()["counters"]
+                assert counters.get("serve.warm_restarts") == 1
+                assert "serve.cold_starts" not in counters
+                again = second.estimate("cset", query, run=0)
+                assert again["estimate"] == reference["estimate"]
+                # same generation number continues the lineage
+                assert again["generation"] == reference["generation"]
+            finally:
+                second.close()
+        finally:
+            discard_state(tmp_path)
+        assert GenerationManifest.load(tmp_path) is None
+
+    def test_corrupt_segment_quarantined_then_cold_rebuild(self, tmp_path):
+        graph = figure1_graph().seal()
+        query = figure1_query()
+        config = self._config(tmp_path)
+        try:
+            first = EstimationService(graph, config).start()
+            try:
+                reference = first.estimate("cset", query, run=1)
+            finally:
+                first.close()
+            manifest = GenerationManifest.load(tmp_path)
+            victim = manifest.segments[0]
+            attachment = shm_mod.attach_segment(victim)
+            try:
+                attachment.buf[len(attachment.buf) // 2] ^= 0xFF
+            finally:
+                attachment.close()
+
+            second = EstimationService(graph, config).start()
+            try:
+                counters = second.stats()["counters"]
+                # detected, quarantined, rebuilt cold — never served corrupt
+                assert counters.get("restart.integrity_failures") == 1
+                assert counters.get("restart.quarantined") == 1
+                assert counters.get("serve.cold_starts") == 1
+                assert "serve.warm_restarts" not in counters
+                assert second.estimate("cset", query, run=1)["estimate"] == (
+                    reference["estimate"]
+                )
+            finally:
+                second.close()
+            # the corrupt arena is renamed aside, not attachable by name
+            quarantined = [
+                name for name in shm_mod.list_segments()
+                if "-quarantine-" in name
+            ]
+            assert quarantined
+            assert victim not in shm_mod.list_segments()
+            for name in quarantined:
+                shm_mod.unlink_segment(name)
+        finally:
+            discard_state(tmp_path)
+
+    def test_config_mismatch_declines_and_reclaims(self, tmp_path):
+        graph = figure1_graph().seal()
+        try:
+            first = EstimationService(graph, self._config(tmp_path)).start()
+            first.close()
+            stale = set(GenerationManifest.load(tmp_path).segments)
+            # a successor with different serving parameters must rebuild
+            second = EstimationService(
+                graph, self._config(tmp_path, seed=SEED + 1)
+            ).start()
+            try:
+                counters = second.stats()["counters"]
+                assert counters.get("restart.config_mismatch") == 1
+                assert counters.get("serve.cold_starts") == 1
+            finally:
+                second.close()
+            # and the declined lineage's arenas are reclaimed, not leaked
+            assert not stale & set(shm_mod.list_segments())
+        finally:
+            discard_state(tmp_path)
+
+    def test_discard_state_unlinks_segments_and_manifest(self, tmp_path):
+        graph = figure1_graph().seal()
+        service = EstimationService(graph, self._config(tmp_path)).start()
+        service.close()
+        segments = GenerationManifest.load(tmp_path).segments
+        assert segments
+        removed = discard_state(tmp_path)
+        assert sorted(removed) == sorted(segments)
+        assert not set(segments) & set(shm_mod.list_segments())
+        assert GenerationManifest.load(tmp_path) is None
+        assert discard_state(tmp_path) == []  # idempotent
