@@ -189,7 +189,7 @@ def _sweep(
 ) -> int:
     """Run the full (technique, query, run) grid, parallel and resumable."""
     from ..core.registry import available_techniques
-    from ..kernels import fallback_note
+    from ..kernels import active_backend, fallback_note
     from ..faults.plan import FaultPlan
     from ..metrics.report import render_table
     from . import workloads
@@ -198,6 +198,7 @@ def _sweep(
     from .runner import summarize
     from .summary_cache import SummaryCache
 
+    print(f"kernels: backend={active_backend()}")
     note = fallback_note()
     if note is not None:  # one line, once, when kernels run degraded
         print(note)
@@ -345,9 +346,10 @@ def _serve(
     """Boot the estimation daemon and serve until interrupted."""
     from ..core.registry import available_techniques
     from ..faults.plan import FaultPlan
-    from ..kernels import fallback_note
+    from ..kernels import active_backend, fallback_note
     from ..serve import EstimationService, ServiceConfig, run_daemon
 
+    print(f"kernels: backend={active_backend()}")
     note = fallback_note()
     if note is not None:
         print(note)
@@ -542,10 +544,11 @@ def _soak(
     import tempfile
 
     from ..faults.plan import FaultPlan
-    from ..kernels import fallback_note
+    from ..kernels import active_backend, fallback_note
     from ..serve import example_workload, load_workload
     from ..serve.soak import DEFAULT_PLAN_TOKENS, SoakConfig, run_soak
 
+    print(f"kernels: backend={active_backend()}")
     note = fallback_note()
     if note is not None:
         print(note)

@@ -36,6 +36,7 @@ factor (default 3x) so CI machines of different speeds don't flap.
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import platform
@@ -53,7 +54,7 @@ from ..obs.size import deep_sizeof
 from .workloads import workload
 
 #: benchmark schema version (bump when metrics change incompatibly)
-SCHEMA_VERSION = 8
+SCHEMA_VERSION = 9
 
 #: estimator constructor kwargs, fixed so runs are reproducible
 _TECH_KWARGS: Dict[str, dict] = {
@@ -168,6 +169,45 @@ def run_benchmarks(quick: bool = False, seed: int = 1) -> dict:
     speedups["matcher"] = round(matcher_dict / matcher_sealed, 2)
     speedups["matcher_bitset"] = round(matcher_dict / matcher_bitset, 2)
     speedups["matcher_kernels"] = round(matcher_dict / matcher_kernels, 2)
+
+    # pinned per-backend matcher passes, each on its own fresh seal.
+    # ``matcher_kernels`` above keeps its historical meaning (whatever
+    # the default dispatch resolves to); these pin the accelerated legs
+    # explicitly so the c-vs-numpy ratio is an apples-to-apples claim
+    matcher_backends: Dict[str, float] = {}
+    for backend in ("numpy", "c"):
+        available = (
+            _kernels.numpy_available()
+            if backend == "numpy"
+            else _kernels.native_available()
+        )
+        if not available:
+            continue
+        with _kernels.force_backend(backend):
+            graph_fresh = graph_dict.seal()
+            matcher_pass(graph_fresh)
+            elapsed = _median_time(lambda: matcher_pass(graph_fresh), reps)
+            del graph_fresh
+        matcher_backends[backend] = elapsed
+        timings[f"matcher_kernels_{backend}_per_query"] = (
+            elapsed / len(queries)
+        )
+        speedups[f"matcher_kernels_{backend}"] = round(
+            matcher_dict / elapsed, 2
+        )
+    # the per-backend seals are sizeable cyclic object graphs; reclaim
+    # them now so later allocation-heavy phases (summary hydration) are
+    # not taxed by gen-2 collections walking dead matcher state
+    gc.collect()
+    if "numpy" in matcher_backends and "c" in matcher_backends:
+        speedups["matcher_c_vs_numpy"] = round(
+            matcher_backends["numpy"] / matcher_backends["c"], 2
+        )
+        if not quick:
+            assert speedups["matcher_c_vs_numpy"] >= 2.0, (
+                "native matcher kernel must be >= 2x the numpy leg, got "
+                f"{speedups['matcher_c_vs_numpy']}x"
+            )
 
     # --- worker transport: shm attach vs unpickling the sealed graph --
     _bench_shm_transport(graph_sealed, timings, speedups, reps)

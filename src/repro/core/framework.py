@@ -27,6 +27,7 @@ from typing import Any, Iterable, Iterator, List, Optional, Sequence
 
 from ..graph.digraph import Graph
 from ..graph.query import QueryGraph
+from ..kernels import backend_code as kernel_backend_code
 from ..obs.size import deep_sizeof
 from ..obs.trace import NO_TRACE
 from .errors import EstimationTimeout, InvalidEstimateError
@@ -239,6 +240,7 @@ class Estimator(abc.ABC):
             obs.finish(span)
         if obs.enabled:
             obs.gauge("summary.bytes", deep_sizeof(self.summary_objects()))
+            obs.gauge("kernel.backend", kernel_backend_code())
         self.rng = random.Random(self.seed)  # reproducible per query
         start = time.monotonic()
         self._deadline = (

@@ -431,8 +431,17 @@ class CompactGraph(Graph):
         return (src, self._edst[label])
 
     def _targets_view(self, direction: _Direction):
-        """Cached int64 view over one direction's targets arena."""
-        key = ("kernels.targets", direction is self._fwd)
+        """Cached int64 view over one direction's targets arena.
+
+        Keyed by backend kind as well as direction: in-process backend
+        flips (``force_backend``) must never hand one leg's view type to
+        another leg's kernels.
+        """
+        key = (
+            "kernels.targets",
+            _kernels.active_backend(),
+            direction is self._fwd,
+        )
         view = self.shared_cache.get(key)
         if view is None:
             view = _kernels.as_int64(direction.targets)
@@ -739,7 +748,7 @@ class CompactGraph(Graph):
         if not member_sets:
             return list(smallest)
         member_arrs = None
-        if _kernels.get_numpy() is not None:
+        if _kernels.accelerated():
             member_arrs = [
                 _kviews.member_array(self, frozenset((label,)))
                 for _, label in ordered[1:]

@@ -13,18 +13,25 @@ and supplies the batch primitives the estimation hot loops are made of:
   preserves the per-cell deterministic ``random.Random`` streams.
 
 Every kernel has a pure-Python twin that produces **bit-identical**
-results, selected by the ``GCARE_KERNELS=numpy|python`` environment
+results, selected by the ``GCARE_KERNELS=c|numpy|python`` environment
 switch (auto-detection by default), so numpy stays an optional
-dependency.  Kernel outputs are always plain Python ints and lists at
-cache boundaries — downstream consumers never observe numpy scalars.
+dependency and the ``c`` leg (a lazily cc-compiled shared object, see
+:mod:`repro.kernels.native`) stays an optional toolchain.  Kernel
+outputs are always plain Python ints and lists at cache boundaries —
+downstream consumers never observe backend-native scalars.
 """
 
 from .backend import (
+    BACKEND_CODES,
     KERNELS_ENV,
+    accelerated,
     active_backend,
+    backend_code,
     fallback_note,
     force_backend,
+    get_native,
     get_numpy,
+    native_available,
     numpy_available,
     refresh_env,
 )
@@ -42,8 +49,11 @@ from .sampling import draw_indices, gather_pairs, interleave_pairs
 from .views import as_int64, member_array, pair_arrays
 
 __all__ = [
+    "BACKEND_CODES",
     "KERNELS_ENV",
+    "accelerated",
     "active_backend",
+    "backend_code",
     "as_int64",
     "bits_to_list",
     "count_members",
@@ -54,10 +64,12 @@ __all__ = [
     "filter_pairs",
     "force_backend",
     "gather_pairs",
+    "get_native",
     "get_numpy",
     "interleave_pairs",
     "intersect_sorted",
     "member_array",
+    "native_available",
     "numpy_available",
     "pack_bits",
     "pack_bits_from_set",

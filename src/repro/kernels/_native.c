@@ -1,0 +1,921 @@
+/* Native CSR kernels for the sealed graph substrate (GCARE_KERNELS=c).
+ *
+ * Compiled lazily by repro.kernels.native with the system `cc` and loaded
+ * via ctypes; every entry point operates on raw int64 buffers aliasing the
+ * sealed graph's array('q') arenas (local seals and read-only /dev/shm
+ * attachments look identical here — both are flat little-endian int64).
+ *
+ * Two families live in this file:
+ *
+ *  1. the PR 6 batch-op surface (intersect / membership filters / pair
+ *     filters / bit packing / slot-table interleave) plus an exact
+ *     CPython-Mersenne-Twister `draw_indices`, each the C twin of a
+ *     pure-Python kernel in repro.kernels.ops / repro.kernels.sampling;
+ *
+ *  2. `gc_match`, a full transliteration of the sealed matcher's
+ *     explicit-stack search loop (HomomorphismCounter._search_sealed),
+ *     producing bit-identical counts *and* backtracking step counts.
+ *     The count memo — the only memo that affects the observable step
+ *     count — replicates the Python dict's keying and its insertion cap
+ *     exactly; candidate/count memos are pure caches and only have to
+ *     preserve candidate ORDER, which the CSR segments give for free.
+ *
+ * Counts use saturating 128-bit arithmetic: Python promotes to big ints,
+ * but every value that is ever *stored* (memo entries) or *returned*
+ * (final counts) is provably below the count cap (<= 2^62) because the
+ * search aborts the moment the global count reaches the cap; only
+ * transient leaf products can exceed int64, and those only feed the
+ * cap comparison, where saturation at 2^100 preserves the outcome.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+#include <time.h>
+
+#define API __attribute__((visibility("default")))
+
+/* Bumped whenever any exported signature changes; the loader refuses a
+ * cached .so whose ABI does not match (belt to the source-hash braces). */
+#define GC_ABI_VERSION 1
+
+API int64_t gc_abi_version(void) { return GC_ABI_VERSION; }
+
+/* ------------------------------------------------------------------ */
+/* small shared helpers                                                */
+/* ------------------------------------------------------------------ */
+
+static int64_t lower_bound(const int64_t *arr, int64_t n, int64_t v) {
+    int64_t lo = 0, hi = n;
+    while (lo < hi) {
+        int64_t mid = (lo + hi) >> 1;
+        if (arr[mid] < v)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+static int contains_sorted(const int64_t *arr, int64_t n, int64_t v) {
+    int64_t i = lower_bound(arr, n, v);
+    return i < n && arr[i] == v;
+}
+
+/* ------------------------------------------------------------------ */
+/* batch ops (the repro.kernels.ops surface)                           */
+/* ------------------------------------------------------------------ */
+
+/* Ascending intersection of two sorted duplicate-free arrays. */
+API int64_t gc_intersect_sorted(const int64_t *a, int64_t na,
+                                const int64_t *b, int64_t nb, int64_t *out) {
+    int64_t i = 0, j = 0, k = 0;
+    while (i < na && j < nb) {
+        int64_t x = a[i], y = b[j];
+        if (x == y) {
+            out[k++] = x;
+            i++;
+            j++;
+        } else if (x < y) {
+            i++;
+        } else {
+            j++;
+        }
+    }
+    return k;
+}
+
+/* Order-preserving membership filter against a sorted domain. */
+API int64_t gc_filter_members(const int64_t *values, int64_t n,
+                              const int64_t *members, int64_t m,
+                              int64_t *out) {
+    int64_t k = 0;
+    for (int64_t i = 0; i < n; i++) {
+        int64_t v = values[i];
+        if (contains_sorted(members, m, v))
+            out[k++] = v;
+    }
+    return k;
+}
+
+API int64_t gc_count_members(const int64_t *values, int64_t n,
+                             const int64_t *members, int64_t m) {
+    int64_t k = 0;
+    for (int64_t i = 0; i < n; i++)
+        k += contains_sorted(members, m, values[i]);
+    return k;
+}
+
+/* Membership filter against several sorted domains at once. */
+API int64_t gc_filter_members_multi(const int64_t *values, int64_t n,
+                                    const int64_t *const *arrs,
+                                    const int64_t *lens, int64_t narrs,
+                                    int64_t *out) {
+    int64_t k = 0;
+    for (int64_t i = 0; i < n; i++) {
+        int64_t v = values[i];
+        int ok = 1;
+        for (int64_t a = 0; a < narrs; a++) {
+            if (!contains_sorted(arrs[a], lens[a], v)) {
+                ok = 0;
+                break;
+            }
+        }
+        if (ok)
+            out[k++] = v;
+    }
+    return k;
+}
+
+/* Endpoint-filtered pair list; a negative domain length means that
+ * endpoint is unconstrained.  Survivors are written interleaved
+ * [s0, d0, s1, d1, ...]; the return value is the surviving pair count. */
+API int64_t gc_filter_pairs(const int64_t *src, const int64_t *dst, int64_t n,
+                            const int64_t *src_members, int64_t nsrc,
+                            const int64_t *dst_members, int64_t ndst,
+                            int64_t *out) {
+    int64_t k = 0;
+    for (int64_t i = 0; i < n; i++) {
+        int64_t s = src[i], d = dst[i];
+        if (nsrc >= 0 && !contains_sorted(src_members, nsrc, s))
+            continue;
+        if (ndst >= 0 && !contains_sorted(dst_members, ndst, d))
+            continue;
+        out[2 * k] = s;
+        out[2 * k + 1] = d;
+        k++;
+    }
+    return k;
+}
+
+/* Scatter ids into a little-endian byte bitset (bit v of bits[] set). */
+API void gc_pack_bits(const int64_t *values, int64_t n, unsigned char *bits) {
+    for (int64_t i = 0; i < n; i++) {
+        int64_t v = values[i];
+        bits[v >> 3] |= (unsigned char)(1u << (v & 7));
+    }
+}
+
+/* Decode a little-endian byte bitset into ascending set positions. */
+API int64_t gc_bits_to_list(const unsigned char *bits, int64_t nbytes,
+                            int64_t *out) {
+    int64_t k = 0;
+    for (int64_t byte = 0; byte < nbytes; byte++) {
+        unsigned int b = bits[byte];
+        while (b) {
+            unsigned int low = b & (~b + 1u);
+            out[k++] = byte * 8 + __builtin_ctz(low);
+            b ^= low;
+        }
+    }
+    return k;
+}
+
+/* IMPR's slot-table shape: out[2i] = src[i], out[2i+1] = dst[i]. */
+API void gc_interleave(const int64_t *src, const int64_t *dst, int64_t n,
+                       int64_t *out) {
+    for (int64_t i = 0; i < n; i++) {
+        out[2 * i] = src[i];
+        out[2 * i + 1] = dst[i];
+    }
+}
+
+/* Byte-per-vertex membership mask from an (unordered) member list. */
+API void gc_build_mask(const int64_t *members, int64_t n,
+                       unsigned char *mask) {
+    for (int64_t i = 0; i < n; i++)
+        mask[members[i]] = 1;
+}
+
+/* ------------------------------------------------------------------ */
+/* Mersenne Twister: CPython's exact genrand_uint32 + _randbelow       */
+/* ------------------------------------------------------------------ */
+
+#define MT_N 624
+#define MT_M 397
+#define MT_MATRIX_A 0x9908b0dfU
+#define MT_UPPER_MASK 0x80000000U
+#define MT_LOWER_MASK 0x7fffffffU
+
+static uint32_t mt_genrand(uint32_t *mt, int64_t *index) {
+    uint32_t y;
+    static const uint32_t mag01[2] = {0x0U, MT_MATRIX_A};
+    if (*index >= MT_N) {
+        int kk;
+        for (kk = 0; kk < MT_N - MT_M; kk++) {
+            y = (mt[kk] & MT_UPPER_MASK) | (mt[kk + 1] & MT_LOWER_MASK);
+            mt[kk] = mt[kk + MT_M] ^ (y >> 1) ^ mag01[y & 0x1U];
+        }
+        for (; kk < MT_N - 1; kk++) {
+            y = (mt[kk] & MT_UPPER_MASK) | (mt[kk + 1] & MT_LOWER_MASK);
+            mt[kk] = mt[kk + (MT_M - MT_N)] ^ (y >> 1) ^ mag01[y & 0x1U];
+        }
+        y = (mt[MT_N - 1] & MT_UPPER_MASK) | (mt[0] & MT_LOWER_MASK);
+        mt[MT_N - 1] = mt[MT_M - 1] ^ (y >> 1) ^ mag01[y & 0x1U];
+        *index = 0;
+    }
+    y = mt[(*index)++];
+    y ^= (y >> 11);
+    y ^= (y << 7) & 0x9d2c5680U;
+    y ^= (y << 15) & 0xefc60000U;
+    y ^= (y >> 18);
+    return y;
+}
+
+/* k scalar randrange(n) draws: bit-exact CPython rejection sampling
+ * (getrandbits(bit_length(n)) redrawn while >= n), mutating the caller's
+ * 624-word state + index in place so Random.setstate() round-trips the
+ * stream.  Requires 1 <= n <= 2^32 (bit_length <= 32; the Python wrapper
+ * guards and falls back to scalar draws past that). */
+API int64_t gc_draw_indices(uint32_t *state, int64_t *index, int64_t n,
+                            int64_t k, int64_t *out) {
+    int bits = 0;
+    uint64_t top = (uint64_t)(n - 1);
+    do {
+        bits++;
+        top >>= 1;
+    } while (top);
+    int shift = 32 - bits;
+    for (int64_t i = 0; i < k; i++) {
+        uint32_t r = mt_genrand(state, index) >> shift;
+        while ((uint64_t)r >= (uint64_t)n)
+            r = mt_genrand(state, index) >> shift;
+        out[i] = (int64_t)r;
+    }
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* the sealed matcher                                                  */
+/* ------------------------------------------------------------------ */
+
+/* Saturating 128-bit counters: every stored/returned value is < cap
+ * (<= 2^62); the saturation ceiling only decides cap comparisons. */
+typedef __int128 gc_count_t;
+#define GC_SAT (((gc_count_t)1) << 100)
+
+static inline gc_count_t sat_add(gc_count_t a, gc_count_t b) {
+    gc_count_t s = a + b;
+    return s > GC_SAT ? GC_SAT : s;
+}
+
+static inline gc_count_t sat_mul(gc_count_t a, int64_t b) {
+    if (a == 0 || b == 0)
+        return 0;
+    if (a > GC_SAT / b)
+        return GC_SAT;
+    return a * b;
+}
+
+/* --- open-addressing hash map: int64[] key -> (v0, v1) -------------- */
+
+typedef struct {
+    uint64_t *hashes; /* 0 = empty slot; stored hashes have bit 0 set */
+    int64_t *koff;
+    int32_t *klen;
+    int64_t *v0;
+    int64_t *v1;
+    int64_t mask; /* capacity - 1 */
+    int64_t count;
+    int64_t limit; /* mirror of Python's len(memo) < _MEMO_MAX gate */
+    int64_t *keys; /* growable key arena (offsets stay valid on grow) */
+    int64_t keys_len, keys_cap;
+    int oom;
+} gc_map;
+
+static uint64_t gc_hash(const int64_t *key, int32_t klen) {
+    uint64_t h = 1469598103934665603ULL;
+    for (int32_t i = 0; i < klen; i++) {
+        uint64_t x = (uint64_t)key[i];
+        h ^= x;
+        h *= 1099511628211ULL;
+        h ^= h >> 29;
+    }
+    return h | 1ULL;
+}
+
+static int gc_map_init(gc_map *m, int64_t limit) {
+    m->mask = 1023;
+    m->count = 0;
+    m->limit = limit;
+    m->keys_len = 0;
+    m->keys_cap = 4096;
+    m->oom = 0;
+    m->hashes = calloc((size_t)(m->mask + 1), sizeof(uint64_t));
+    m->koff = malloc((size_t)(m->mask + 1) * sizeof(int64_t));
+    m->klen = malloc((size_t)(m->mask + 1) * sizeof(int32_t));
+    m->v0 = malloc((size_t)(m->mask + 1) * sizeof(int64_t));
+    m->v1 = malloc((size_t)(m->mask + 1) * sizeof(int64_t));
+    m->keys = malloc((size_t)m->keys_cap * sizeof(int64_t));
+    return m->hashes && m->koff && m->klen && m->v0 && m->v1 && m->keys;
+}
+
+static void gc_map_free(gc_map *m) {
+    free(m->hashes);
+    free(m->koff);
+    free(m->klen);
+    free(m->v0);
+    free(m->v1);
+    free(m->keys);
+}
+
+static int gc_map_get(const gc_map *m, const int64_t *key, int32_t klen,
+                      int64_t *v0, int64_t *v1) {
+    uint64_t h = gc_hash(key, klen);
+    int64_t i = (int64_t)(h & (uint64_t)m->mask);
+    while (m->hashes[i]) {
+        if (m->hashes[i] == h && m->klen[i] == klen &&
+            memcmp(m->keys + m->koff[i], key,
+                   (size_t)klen * sizeof(int64_t)) == 0) {
+            *v0 = m->v0[i];
+            *v1 = m->v1[i];
+            return 1;
+        }
+        i = (i + 1) & m->mask;
+    }
+    return 0;
+}
+
+static int gc_map_grow(gc_map *m) {
+    int64_t old_cap = m->mask + 1;
+    int64_t new_cap = old_cap * 2;
+    uint64_t *hashes = calloc((size_t)new_cap, sizeof(uint64_t));
+    int64_t *koff = malloc((size_t)new_cap * sizeof(int64_t));
+    int32_t *klen = malloc((size_t)new_cap * sizeof(int32_t));
+    int64_t *v0 = malloc((size_t)new_cap * sizeof(int64_t));
+    int64_t *v1 = malloc((size_t)new_cap * sizeof(int64_t));
+    if (!hashes || !koff || !klen || !v0 || !v1) {
+        free(hashes);
+        free(koff);
+        free(klen);
+        free(v0);
+        free(v1);
+        return 0;
+    }
+    int64_t mask = new_cap - 1;
+    for (int64_t i = 0; i < old_cap; i++) {
+        if (!m->hashes[i])
+            continue;
+        int64_t j = (int64_t)(m->hashes[i] & (uint64_t)mask);
+        while (hashes[j])
+            j = (j + 1) & mask;
+        hashes[j] = m->hashes[i];
+        koff[j] = m->koff[i];
+        klen[j] = m->klen[i];
+        v0[j] = m->v0[i];
+        v1[j] = m->v1[i];
+    }
+    free(m->hashes);
+    free(m->koff);
+    free(m->klen);
+    free(m->v0);
+    free(m->v1);
+    m->hashes = hashes;
+    m->koff = koff;
+    m->klen = klen;
+    m->v0 = v0;
+    m->v1 = v1;
+    m->mask = mask;
+    return 1;
+}
+
+/* Insert (caller guarantees the key is absent).  Skipped at the limit —
+ * exactly Python's `if len(memo) < _MEMO_MAX: memo[key] = value`. */
+static void gc_map_put(gc_map *m, const int64_t *key, int32_t klen,
+                       int64_t v0, int64_t v1) {
+    if (m->count >= m->limit || m->oom)
+        return;
+    if ((m->count + 1) * 2 > m->mask + 1 && !gc_map_grow(m)) {
+        m->oom = 1; /* stop caching; search results stay correct */
+        return;
+    }
+    if (m->keys_len + klen > m->keys_cap) {
+        int64_t cap = m->keys_cap * 2;
+        while (cap < m->keys_len + klen)
+            cap *= 2;
+        int64_t *keys = realloc(m->keys, (size_t)cap * sizeof(int64_t));
+        if (!keys) {
+            m->oom = 1;
+            return;
+        }
+        m->keys = keys;
+        m->keys_cap = cap;
+    }
+    uint64_t h = gc_hash(key, klen);
+    int64_t i = (int64_t)(h & (uint64_t)m->mask);
+    while (m->hashes[i])
+        i = (i + 1) & m->mask;
+    memcpy(m->keys + m->keys_len, key, (size_t)klen * sizeof(int64_t));
+    m->hashes[i] = h;
+    m->koff[i] = m->keys_len;
+    m->klen[i] = (int32_t)klen;
+    m->v0[i] = v0;
+    m->v1[i] = v1;
+    m->keys_len += klen;
+    m->count++;
+}
+
+/* --- chunked candidate arena (pointers stay valid forever) ---------- */
+
+typedef struct gc_chunk {
+    struct gc_chunk *prev;
+    int64_t used, cap;
+    int64_t data[];
+} gc_chunk;
+
+typedef struct {
+    gc_chunk *head;
+} gc_arena;
+
+#define GC_CHUNK_MIN (1 << 16)
+
+static int64_t *gc_arena_alloc(gc_arena *arena, int64_t n) {
+    gc_chunk *chunk = arena->head;
+    if (!chunk || chunk->used + n > chunk->cap) {
+        int64_t cap = n > GC_CHUNK_MIN ? n : GC_CHUNK_MIN;
+        gc_chunk *fresh =
+            malloc(sizeof(gc_chunk) + (size_t)cap * sizeof(int64_t));
+        if (!fresh)
+            return NULL;
+        fresh->prev = chunk;
+        fresh->used = 0;
+        fresh->cap = cap;
+        arena->head = fresh;
+        chunk = fresh;
+    }
+    int64_t *out = chunk->data + chunk->used;
+    chunk->used += n;
+    return out;
+}
+
+static void gc_arena_free(gc_arena *arena) {
+    gc_chunk *chunk = arena->head;
+    while (chunk) {
+        gc_chunk *prev = chunk->prev;
+        free(chunk);
+        chunk = prev;
+    }
+    arena->head = NULL;
+}
+
+/* --- descriptors ---------------------------------------------------- */
+
+typedef struct {
+    const int64_t *lab_off, *lab, *seg_off, *targets, *sorted_targets;
+} gc_csr;
+
+static void seg_lookup(const gc_csr *csr, int64_t v, int64_t label,
+                       int64_t *start, int64_t *stop) {
+    int64_t lo = csr->lab_off[v], hi = csr->lab_off[v + 1];
+    const int64_t *lab = csr->lab;
+    for (int64_t k = lo; k < hi; k++) {
+        if (lab[k] == label) {
+            *start = csr->seg_off[k];
+            *stop = csr->seg_off[k + 1];
+            return;
+        }
+    }
+    *start = 0;
+    *stop = 0;
+}
+
+typedef struct {
+    int64_t csr; /* 0 = fwd, 1 = rev */
+    int64_t label;
+    int64_t anchor; /* query vertex whose binding anchors this edge */
+} gc_constraint;
+
+typedef struct {
+    int64_t u;
+    int64_t nc;
+    const gc_constraint *cons;
+    const uint8_t *mask;    /* per-data-vertex label mask; NULL = none */
+    const int64_t *statics; /* anchor-free candidate list (nc == 0) */
+    int64_t static_len;
+    gc_map cand; /* anchor values -> (candidate ptr, len); pure cache */
+    gc_map cnt;  /* anchor values -> candidate count; pure cache */
+} gc_plan;
+
+typedef struct {
+    int64_t u;
+    int64_t plan;
+    const int64_t *sep; /* separator query vertices; len < 0 = no memo */
+    int64_t sep_len;
+    int64_t leaf_ok;
+} gc_depth;
+
+#define GC_MAX_KEY 33 /* depth + up to 32 separator values */
+
+typedef struct {
+    int64_t u;
+    int32_t key_len; /* < 0: this node's subtree is not memoizable */
+    int64_t key[GC_MAX_KEY];
+    const int64_t *cands;
+    int64_t ncand;
+    int64_t next;
+    gc_count_t total;
+} gc_frame;
+
+typedef struct {
+    gc_csr fwd, rev;
+    gc_plan *plans;
+    int64_t n_plans;
+    gc_depth *depths;
+    const int64_t *leaf_plan; /* per depth: leaf-product plan index */
+    int64_t nq;
+    int64_t *assignment;
+    gc_arena arena;
+    gc_map count_memo;
+} gc_ctx;
+
+/* Candidate list for one plan under the current assignment.  Order is
+ * the bit-identity contract:
+ *   nc == 0            -> the precomputed static list (Python computes
+ *                         label_members / vertices() once per plan);
+ *   nc == 1, no mask   -> the raw targets segment: insertion order,
+ *                         duplicates preserved (zero copy);
+ *   nc == 1, mask      -> the segment filtered by the mask, order and
+ *                         duplicates preserved (= graph-level filtered
+ *                         adjacency);
+ *   nc > 1             -> ascending duplicate-free intersection of the
+ *                         constraint sets (and the mask) — exactly the
+ *                         decoded big-int AND of the bitset kernel.
+ * Returns 0 on allocation failure. */
+static int plan_candidates(gc_ctx *ctx, gc_plan *plan, const int64_t **out,
+                           int64_t *out_len) {
+    if (plan->nc == 0) {
+        *out = plan->statics;
+        *out_len = plan->static_len;
+        return 1;
+    }
+    const gc_constraint *cons = plan->cons;
+    int64_t vals[GC_MAX_KEY];
+    for (int64_t i = 0; i < plan->nc; i++)
+        vals[i] = ctx->assignment[cons[i].anchor];
+    if (plan->nc == 1) {
+        const gc_csr *csr = cons[0].csr ? &ctx->rev : &ctx->fwd;
+        int64_t start, stop;
+        seg_lookup(csr, vals[0], cons[0].label, &start, &stop);
+        if (plan->mask == NULL) {
+            *out = csr->targets + start;
+            *out_len = stop - start;
+            return 1;
+        }
+        int64_t v0, v1;
+        if (gc_map_get(&plan->cand, vals, 1, &v0, &v1)) {
+            *out = (const int64_t *)(intptr_t)v0;
+            *out_len = v1;
+            return 1;
+        }
+        int64_t n = stop - start;
+        int64_t *buf = gc_arena_alloc(&ctx->arena, n);
+        if (n && !buf)
+            return 0;
+        const int64_t *targets = csr->targets;
+        const uint8_t *mask = plan->mask;
+        int64_t k = 0;
+        for (int64_t i = start; i < stop; i++) {
+            int64_t t = targets[i];
+            if (mask[t])
+                buf[k++] = t;
+        }
+        gc_map_put(&plan->cand, vals, 1, (int64_t)(intptr_t)buf, k);
+        *out = buf;
+        *out_len = k;
+        return 1;
+    }
+    int64_t v0, v1;
+    if (gc_map_get(&plan->cand, vals, (int32_t)plan->nc, &v0, &v1)) {
+        *out = (const int64_t *)(intptr_t)v0;
+        *out_len = v1;
+        return 1;
+    }
+    /* sparsest-first: iterate the smallest sorted segment, probe the rest */
+    int64_t starts[GC_MAX_KEY], stops[GC_MAX_KEY];
+    int64_t base = 0, base_len = -1;
+    for (int64_t i = 0; i < plan->nc; i++) {
+        const gc_csr *csr = cons[i].csr ? &ctx->rev : &ctx->fwd;
+        seg_lookup(csr, vals[i], cons[i].label, &starts[i], &stops[i]);
+        int64_t len = stops[i] - starts[i];
+        if (base_len < 0 || len < base_len) {
+            base_len = len;
+            base = i;
+        }
+    }
+    int64_t *buf = gc_arena_alloc(&ctx->arena, base_len);
+    if (base_len && !buf)
+        return 0;
+    const gc_csr *base_csr = cons[base].csr ? &ctx->rev : &ctx->fwd;
+    const int64_t *seg = base_csr->sorted_targets;
+    const uint8_t *mask = plan->mask;
+    int64_t k = 0;
+    int64_t prev = 0;
+    int have_prev = 0;
+    for (int64_t i = starts[base]; i < stops[base]; i++) {
+        int64_t t = seg[i];
+        if (have_prev && t == prev)
+            continue; /* sorted segment: duplicates are adjacent */
+        prev = t;
+        have_prev = 1;
+        if (mask && !mask[t])
+            continue;
+        int ok = 1;
+        for (int64_t c = 0; c < plan->nc; c++) {
+            if (c == base)
+                continue;
+            const gc_csr *csr = cons[c].csr ? &ctx->rev : &ctx->fwd;
+            if (!contains_sorted(csr->sorted_targets + starts[c],
+                                 stops[c] - starts[c], t)) {
+                ok = 0;
+                break;
+            }
+        }
+        if (ok)
+            buf[k++] = t;
+    }
+    gc_map_put(&plan->cand, vals, (int32_t)plan->nc, (int64_t)(intptr_t)buf,
+               k);
+    *out = buf;
+    *out_len = k;
+    return 1;
+}
+
+/* Candidate COUNT for one plan — the leaf product's only need.  Mirrors
+ * _plan_count: a single unlabeled constraint counts the raw segment
+ * (duplicates included); every other anchored shape counts the DISTINCT
+ * intersection (the bitset popcount dedups). */
+static int64_t plan_count(gc_ctx *ctx, gc_plan *plan) {
+    if (plan->nc == 0)
+        return plan->static_len;
+    const gc_constraint *cons = plan->cons;
+    int64_t vals[GC_MAX_KEY];
+    for (int64_t i = 0; i < plan->nc; i++)
+        vals[i] = ctx->assignment[cons[i].anchor];
+    if (plan->nc == 1 && plan->mask == NULL) {
+        const gc_csr *csr = cons[0].csr ? &ctx->rev : &ctx->fwd;
+        int64_t start, stop;
+        seg_lookup(csr, vals[0], cons[0].label, &start, &stop);
+        return stop - start;
+    }
+    int64_t v0, v1;
+    if (gc_map_get(&plan->cnt, vals, (int32_t)plan->nc, &v0, &v1))
+        return v0;
+    int64_t starts[GC_MAX_KEY], stops[GC_MAX_KEY];
+    int64_t base = 0, base_len = -1;
+    for (int64_t i = 0; i < plan->nc; i++) {
+        const gc_csr *csr = cons[i].csr ? &ctx->rev : &ctx->fwd;
+        seg_lookup(csr, vals[i], cons[i].label, &starts[i], &stops[i]);
+        int64_t len = stops[i] - starts[i];
+        if (base_len < 0 || len < base_len) {
+            base_len = len;
+            base = i;
+        }
+    }
+    const gc_csr *base_csr = cons[base].csr ? &ctx->rev : &ctx->fwd;
+    const int64_t *seg = base_csr->sorted_targets;
+    const uint8_t *mask = plan->mask;
+    int64_t count = 0;
+    int64_t prev = 0;
+    int have_prev = 0;
+    for (int64_t i = starts[base]; i < stops[base]; i++) {
+        int64_t t = seg[i];
+        if (have_prev && t == prev)
+            continue;
+        prev = t;
+        have_prev = 1;
+        if (mask && !mask[t])
+            continue;
+        int ok = 1;
+        for (int64_t c = 0; c < plan->nc; c++) {
+            if (c == base)
+                continue;
+            const gc_csr *csr = cons[c].csr ? &ctx->rev : &ctx->fwd;
+            if (!contains_sorted(csr->sorted_targets + starts[c],
+                                 stops[c] - starts[c], t)) {
+                ok = 0;
+                break;
+            }
+        }
+        count += ok;
+    }
+    gc_map_put(&plan->cnt, vals, (int32_t)plan->nc, count, 0);
+    return count;
+}
+
+static double monotonic_seconds(void) {
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return (double)ts.tv_sec + (double)ts.tv_nsec * 1e-9;
+}
+
+#define GC_MEMO_MAX (1 << 18) /* = HomomorphismCounter._MEMO_MAX */
+
+#define GC_OK 0
+#define GC_ERR_ALLOC 1
+
+/* The sealed search loop.  Descriptor layout (all int64 rows):
+ *   plan_flat:  [u, nc, cons_off, mask_idx, static_idx] per plan,
+ *               cons_flat holding [csr, label, anchor] triples;
+ *   depth_flat: [u, plan, sep_off, sep_len (< 0 = not memoizable),
+ *               leaf_ok] per depth, sep_flat holding separator vertices;
+ *   leaf_plan:  per depth, the leaf-product plan index.
+ * Outputs: out[0] = count, out[1] = steps, out[2] = complete. */
+API int gc_match(const int64_t *const *csr_bufs, int64_t n_data, int64_t nq,
+                 const int64_t *plan_flat, int64_t n_plans,
+                 const int64_t *cons_flat, const uint8_t *const *mask_ptrs,
+                 const int64_t *const *static_ptrs,
+                 const int64_t *static_lens, const int64_t *depth_flat,
+                 const int64_t *sep_flat, const int64_t *leaf_plan,
+                 int64_t cap, double time_limit, int64_t *out) {
+    (void)n_data;
+    gc_ctx ctx;
+    memset(&ctx, 0, sizeof(ctx));
+    ctx.fwd.lab_off = csr_bufs[0];
+    ctx.fwd.lab = csr_bufs[1];
+    ctx.fwd.seg_off = csr_bufs[2];
+    ctx.fwd.targets = csr_bufs[3];
+    ctx.fwd.sorted_targets = csr_bufs[4];
+    ctx.rev.lab_off = csr_bufs[5];
+    ctx.rev.lab = csr_bufs[6];
+    ctx.rev.seg_off = csr_bufs[7];
+    ctx.rev.targets = csr_bufs[8];
+    ctx.rev.sorted_targets = csr_bufs[9];
+    ctx.nq = nq;
+    ctx.leaf_plan = leaf_plan;
+
+    int rc = GC_ERR_ALLOC;
+    gc_frame *frames = NULL;
+    int64_t steps = 0;
+    gc_count_t count = 0;
+    int complete = 1;
+
+    ctx.plans = calloc((size_t)n_plans, sizeof(gc_plan));
+    ctx.depths = calloc((size_t)nq, sizeof(gc_depth));
+    ctx.assignment = calloc((size_t)nq, sizeof(int64_t));
+    frames = calloc((size_t)nq, sizeof(gc_frame));
+    if (!ctx.plans || !ctx.depths || !ctx.assignment || !frames)
+        goto done;
+    ctx.n_plans = n_plans;
+    for (int64_t p = 0; p < n_plans; p++) {
+        gc_plan *plan = &ctx.plans[p];
+        const int64_t *row = plan_flat + 5 * p;
+        plan->u = row[0];
+        plan->nc = row[1];
+        plan->cons = (const gc_constraint *)(cons_flat + row[2]);
+        plan->mask = row[3] >= 0 ? mask_ptrs[row[3]] : NULL;
+        if (row[4] >= 0) {
+            plan->statics = static_ptrs[row[4]];
+            plan->static_len = static_lens[row[4]];
+        }
+        if (!gc_map_init(&plan->cand, GC_MEMO_MAX) ||
+            !gc_map_init(&plan->cnt, GC_MEMO_MAX))
+            goto done;
+    }
+    for (int64_t d = 0; d < nq; d++) {
+        const int64_t *row = depth_flat + 5 * d;
+        ctx.depths[d].u = row[0];
+        ctx.depths[d].plan = row[1];
+        ctx.depths[d].sep = sep_flat + row[2];
+        ctx.depths[d].sep_len = row[3];
+        ctx.depths[d].leaf_ok = row[4];
+    }
+    if (!gc_map_init(&ctx.count_memo, GC_MEMO_MAX))
+        goto done;
+
+    double deadline = time_limit > 0 ? monotonic_seconds() + time_limit : 0;
+    int has_deadline = time_limit > 0;
+
+    /* --- the explicit-stack loop, node for node _search_sealed ------ */
+    int64_t depth = 0;
+    int nframes = 0;
+    int has_ret = 0;
+    gc_count_t ret = 0;
+    int aborted = 0;
+    rc = GC_OK;
+    for (;;) {
+        if (!has_ret) {
+            steps++;
+            if ((steps & 63) == 0 && has_deadline &&
+                monotonic_seconds() > deadline) {
+                aborted = 1;
+                break;
+            }
+            if (depth == nq) { /* one complete embedding */
+                count += 1;
+                if (count >= cap) {
+                    aborted = 1;
+                    break;
+                }
+                ret = 1;
+                has_ret = 1;
+                continue;
+            }
+            gc_depth *de = &ctx.depths[depth];
+            int64_t key[GC_MAX_KEY];
+            int32_t key_len = -1;
+            if (de->sep_len >= 0) { /* memoizable subtree */
+                key[0] = depth;
+                for (int64_t i = 0; i < de->sep_len; i++)
+                    key[1 + i] = ctx.assignment[de->sep[i]];
+                key_len = (int32_t)(de->sep_len + 1);
+                int64_t v0, v1;
+                if (gc_map_get(&ctx.count_memo, key, key_len, &v0, &v1)) {
+                    ret = v0;
+                    has_ret = 1;
+                    count = sat_add(count, ret);
+                    if (count >= cap) {
+                        count = cap;
+                        aborted = 1;
+                        break;
+                    }
+                    continue;
+                }
+            }
+            if (de->leaf_ok) { /* suffix independence: leaf product */
+                gc_count_t product = 1;
+                for (int64_t d = depth; d < nq; d++) {
+                    product = sat_mul(
+                        product, plan_count(&ctx, &ctx.plans[leaf_plan[d]]));
+                    if (product == 0)
+                        break;
+                }
+                count = sat_add(count, product);
+                if (count >= cap) {
+                    count = cap;
+                    aborted = 1;
+                    break;
+                }
+                if (key_len >= 0)
+                    gc_map_put(&ctx.count_memo, key, key_len,
+                               (int64_t)product, 0);
+                ret = product;
+                has_ret = 1;
+                continue;
+            }
+            const int64_t *cands;
+            int64_t ncand;
+            if (!plan_candidates(&ctx, &ctx.plans[de->plan], &cands,
+                                 &ncand)) {
+                rc = GC_ERR_ALLOC;
+                break;
+            }
+            if (ncand == 0) { /* empty subtree */
+                if (key_len >= 0)
+                    gc_map_put(&ctx.count_memo, key, key_len, 0, 0);
+                ret = 0;
+                has_ret = 1;
+                continue;
+            }
+            ctx.assignment[de->u] = cands[0];
+            gc_frame *frame = &frames[nframes++];
+            frame->u = de->u;
+            frame->key_len = key_len;
+            if (key_len > 0)
+                memcpy(frame->key, key, (size_t)key_len * sizeof(int64_t));
+            frame->cands = cands;
+            frame->ncand = ncand;
+            frame->next = 1;
+            frame->total = 0;
+            depth++;
+            continue;
+        }
+        /* a subtree finished with `ret` completions */
+        if (nframes == 0)
+            break; /* the root returned: search complete */
+        gc_frame *frame = &frames[nframes - 1];
+        frame->total = sat_add(frame->total, ret);
+        if (frame->next < frame->ncand) { /* next sibling binding */
+            ctx.assignment[frame->u] = frame->cands[frame->next++];
+            has_ret = 0;
+            continue;
+        }
+        nframes--;
+        if (frame->key_len >= 0)
+            gc_map_put(&ctx.count_memo, frame->key, frame->key_len,
+                       (int64_t)frame->total, 0);
+        ret = frame->total;
+        depth--;
+    }
+    if (aborted)
+        complete = 0;
+
+done:
+    if (ctx.plans) {
+        for (int64_t p = 0; p < ctx.n_plans; p++) {
+            gc_map_free(&ctx.plans[p].cand);
+            gc_map_free(&ctx.plans[p].cnt);
+        }
+        free(ctx.plans);
+    }
+    free(ctx.depths);
+    free(ctx.assignment);
+    free(frames);
+    gc_arena_free(&ctx.arena);
+    gc_map_free(&ctx.count_memo);
+    if (rc == GC_OK) {
+        out[0] = (int64_t)count;
+        out[1] = steps;
+        out[2] = complete;
+    }
+    return rc;
+}

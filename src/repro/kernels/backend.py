@@ -1,12 +1,14 @@
-"""Kernel backend selection: ``GCARE_KERNELS=numpy|python``.
+"""Kernel backend selection: ``GCARE_KERNELS=c|numpy|python``.
 
-numpy is an optional dependency (the ``[perf]`` extra).  The import is
-guarded once at module load; the *choice* of backend is re-read from the
-environment on every :func:`active_backend` call so tests (and the CLI)
-can flip modes without re-importing the package.  When numpy is
-requested but unavailable the backend silently degrades to the pure-
-Python fallback and :func:`fallback_note` explains why — the ``gcare
-sweep`` entry point surfaces that note once at startup.
+Three legs share one dispatch point.  numpy is an optional dependency
+(the ``[perf]`` extra) guarded once at module load.  The ``c`` leg is a
+small native library compiled lazily from :file:`_native.c` with the
+system ``cc`` and loaded via ctypes (see :mod:`repro.kernels.native`);
+requesting it without a toolchain — or with a failing compile — silently
+degrades to numpy-or-python and :func:`fallback_note` explains why.  The
+*choice* of backend is re-read from the environment on every
+:func:`active_backend` call so tests (and the CLI) can flip modes without
+re-importing the package.
 """
 
 from __future__ import annotations
@@ -17,6 +19,9 @@ from typing import Optional
 
 #: environment variable steering kernel dispatch
 KERNELS_ENV = "GCARE_KERNELS"
+
+#: numeric codes for the backend gauge/metric (stable across releases)
+BACKEND_CODES = {"python": 0, "numpy": 1, "c": 2}
 
 try:  # numpy is the optional [perf] extra; everything works without it
     import numpy as _np
@@ -32,6 +37,20 @@ _FORCED: Optional[str] = None
 #: :func:`refresh_env` re-reads it for tests and CLI entry points.
 _ENV_VALUE = ""
 
+#: memoized :func:`active_backend` resolution (+ the loaded native
+#: library when it resolves to ``c``).  Dispatch runs per kernel call,
+#: so resolution must be a couple of attribute reads — anything that
+#: can change the outcome (:func:`refresh_env`, :func:`force_backend`,
+#: ``native.reset_for_tests``) invalidates it.
+_RESOLVED: Optional[str] = None
+_RESOLVED_LIB = None
+
+
+def _invalidate() -> None:
+    global _RESOLVED, _RESOLVED_LIB
+    _RESOLVED = None
+    _RESOLVED_LIB = None
+
 
 def refresh_env() -> None:
     """Re-read ``GCARE_KERNELS`` from the environment.
@@ -42,6 +61,7 @@ def refresh_env() -> None:
     """
     global _ENV_VALUE
     _ENV_VALUE = os.environ.get(KERNELS_ENV, "").strip().lower()
+    _invalidate()
 
 
 refresh_env()
@@ -52,6 +72,13 @@ def numpy_available() -> bool:
     return _np is not None
 
 
+def native_available() -> bool:
+    """True when the native library compiles and loads on this machine."""
+    from . import native
+
+    return native.load() is not None
+
+
 def _requested() -> str:
     if _FORCED is not None:
         return _FORCED
@@ -59,31 +86,77 @@ def _requested() -> str:
 
 
 def active_backend() -> str:
-    """The backend kernels dispatch on right now: ``numpy`` or ``python``.
+    """The backend kernels dispatch on right now: ``c``/``numpy``/``python``.
 
     ``GCARE_KERNELS=python`` forces the fallback even with numpy
-    installed; ``GCARE_KERNELS=numpy`` (or no setting) uses numpy when
-    available.  Unknown values fall back to auto-detection.
+    installed; ``GCARE_KERNELS=c`` uses the native library when it
+    compiles and loads, degrading to numpy-or-python otherwise;
+    ``GCARE_KERNELS=numpy`` (or no setting) uses numpy when available.
+    Unknown values fall back to auto-detection.
     """
+    global _RESOLVED, _RESOLVED_LIB
+    if _RESOLVED is not None:
+        return _RESOLVED
     choice = _requested()
+    lib = None
     if choice == "python":
-        return "python"
-    return "numpy" if _np is not None else "python"
+        resolved = "python"
+    elif choice == "c":
+        from . import native
+
+        lib = native.load()
+        if lib is not None:
+            resolved = "c"
+        else:
+            resolved = "numpy" if _np is not None else "python"
+    else:
+        resolved = "numpy" if _np is not None else "python"
+    _RESOLVED, _RESOLVED_LIB = resolved, lib
+    return resolved
+
+
+def backend_code(name: Optional[str] = None) -> int:
+    """Numeric code for a backend name (default: the active one)."""
+    return BACKEND_CODES[name if name is not None else active_backend()]
 
 
 def get_numpy():
     """The numpy module when the active backend is ``numpy``, else None.
 
-    This is the single dispatch point of every kernel: a non-None return
-    means "vectorize", None means "pure-Python twin".
+    One of the two dispatch points of every kernel: a non-None return
+    means "vectorize with numpy"; see :func:`get_native` for the C leg.
     """
     return _np if active_backend() == "numpy" else None
+
+
+def get_native():
+    """The loaded native library when the active backend is ``c``.
+
+    Mutually exclusive with :func:`get_numpy` by construction — at most
+    one of them returns non-None for any given call.
+    """
+    if active_backend() != "c":
+        return None
+    return _RESOLVED_LIB
+
+
+def accelerated() -> bool:
+    """True when kernels dispatch to an accelerated leg (numpy or c)."""
+    return active_backend() != "python"
 
 
 def fallback_note() -> Optional[str]:
     """One-line explanation when running degraded, else None."""
     choice = _requested()
-    if _np is None and choice != "python":
+    if choice == "c" and not native_available():
+        from . import native
+
+        reason = native.fallback_reason() or "native kernels unavailable"
+        return (
+            f"kernels: {reason}; using the "
+            f"{'numpy' if _np is not None else 'pure-Python'} fallback"
+        )
+    if _np is None and choice not in ("python", "c"):
         return (
             "kernels: numpy not installed, using the pure-Python fallback "
             "(pip install 'gcare-repro[perf]' for vectorized kernels)"
@@ -95,18 +168,21 @@ def fallback_note() -> Optional[str]:
 
 @contextmanager
 def force_backend(name: str):
-    """Temporarily pin the backend (``numpy`` or ``python``).
+    """Temporarily pin the backend (``c``, ``numpy`` or ``python``).
 
     Used by the differential tests and the benchmark suite to measure
-    both paths in one process.  Forcing ``numpy`` without numpy
-    installed still degrades to ``python`` (the guard above wins).
+    all legs in one process.  Forcing ``numpy`` without numpy installed
+    (or ``c`` without a working toolchain) still degrades — the guards
+    in :func:`active_backend` win.
     """
     global _FORCED
-    if name not in ("numpy", "python"):
+    if name not in ("c", "numpy", "python"):
         raise ValueError(f"unknown kernel backend: {name!r}")
     previous = _FORCED
     _FORCED = name
+    _invalidate()
     try:
         yield
     finally:
         _FORCED = previous
+        _invalidate()

@@ -1,22 +1,27 @@
 """Batch set/bitset kernels with bit-identical pure-Python twins.
 
-Every function dispatches on :func:`~repro.kernels.backend.get_numpy`
-at call time and returns plain Python ints/lists either way, so cached
-results are interchangeable between backends.  The numpy paths only
-engage above small size thresholds: per-call numpy overhead (~1-2 us)
-loses to a C-level ``in`` test on the short adjacency segments that
-dominate the matcher, while the batch shapes (label member sets, bitset
-arenas, filtered pair lists) win by an order of magnitude.
+Every function dispatches on :func:`~repro.kernels.backend.get_numpy` /
+:func:`~repro.kernels.backend.get_native` at call time (at most one is
+non-None) and returns plain Python ints/lists either way, so cached
+results are interchangeable between backends.  The accelerated paths
+only engage above small size thresholds: per-call dispatch overhead
+(~1-2 us for numpy boxing, ~1 us for a ctypes call) loses to a C-level
+``in`` test on the short adjacency segments that dominate the matcher,
+while the batch shapes (label member sets, bitset arenas, filtered pair
+lists) win by an order of magnitude.  The same thresholds gate all
+accelerated legs, so backend parity tests cross every boundary at the
+same input sizes.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from .backend import get_numpy
+from .backend import get_native, get_numpy
 
 #: below this many input values the pure-Python twin is used even on the
-#: numpy backend — identical results, better constants on tiny inputs
+#: accelerated backends — identical results, better constants on tiny
+#: inputs
 SMALL_INPUT = 24
 #: below this popcount, bitset decoding stays on the bit-twiddling loop
 SMALL_BITS = 64
@@ -27,6 +32,11 @@ def intersect_sorted(a: Sequence[int], b: Sequence[int]) -> List[int]:
     np = get_numpy()
     if np is not None and min(len(a), len(b)) >= SMALL_INPUT:
         return np.intersect1d(a, b, assume_unique=True).tolist()
+    lib = get_native()
+    if lib is not None and min(len(a), len(b)) >= SMALL_INPUT:
+        from . import native
+
+        return native.intersect_sorted(lib, a, b)
     result: List[int] = []
     append = result.append
     i = j = 0
@@ -55,7 +65,7 @@ def filter_members(
     ``member_set`` drives the Python twin; ``member_arr`` is the same
     membership domain as a sorted int64 array for the vectorized path
     (binary-search mask).  ``values_arr`` optionally supplies ``values``
-    as an existing numpy view so no conversion is paid.
+    as an existing backend-native view so no conversion is paid.
     """
     np = get_numpy()
     n = len(values)
@@ -68,6 +78,16 @@ def filter_members(
         idx = np.searchsorted(member_arr, va)
         mask = np.take(member_arr, idx, mode="clip") == va
         return va[mask].tolist()
+    lib = get_native()
+    if lib is not None and member_arr is not None and n >= SMALL_INPUT:
+        from . import native
+
+        return native.filter_members(
+            lib,
+            values_arr if values_arr is not None else values,
+            member_set,
+            member_arr,
+        )
     return [v for v in values if v in member_set]
 
 
@@ -88,6 +108,16 @@ def count_members(
             va = np.fromiter(values, dtype=np.int64, count=n)
         idx = np.searchsorted(member_arr, va)
         return int((np.take(member_arr, idx, mode="clip") == va).sum())
+    lib = get_native()
+    if lib is not None and member_arr is not None and n >= SMALL_INPUT:
+        from . import native
+
+        return native.count_members(
+            lib,
+            values_arr if values_arr is not None else values,
+            member_set,
+            member_arr,
+        )
     count = 0
     for v in values:
         if v in member_set:
@@ -103,12 +133,10 @@ def filter_members_multi(
     """Order-preserving filter against *several* membership domains."""
     np = get_numpy()
     n = len(values)
-    if (
-        np is not None
-        and member_arrs is not None
-        and all(arr is not None for arr in member_arrs)
-        and n >= SMALL_INPUT
-    ):
+    have_arrs = member_arrs is not None and all(
+        arr is not None for arr in member_arrs
+    )
+    if np is not None and have_arrs and n >= SMALL_INPUT:
         va = np.fromiter(values, dtype=np.int64, count=n)
         mask = None
         for arr in member_arrs:
@@ -118,6 +146,13 @@ def filter_members_multi(
             m = np.take(arr, idx, mode="clip") == va
             mask = m if mask is None else (mask & m)
         return va[mask].tolist()
+    lib = get_native()
+    if lib is not None and have_arrs and n >= SMALL_INPUT:
+        from . import native
+
+        return native.filter_members_multi(
+            lib, values, member_sets, member_arrs
+        )
     return [v for v in values if all(v in s for s in member_sets)]
 
 
@@ -139,13 +174,13 @@ def filter_pairs(
     only the (typically much smaller) surviving pairs.
     """
     np = get_numpy()
-    if (
-        np is not None
-        and arrays is not None
+    usable = (
+        arrays is not None
         and len(pairs) >= SMALL_INPUT
         and (src_set is None or src_arr is not None)
         and (dst_set is None or dst_arr is not None)
-    ):
+    )
+    if np is not None and usable:
         src, dst = arrays
         mask = None
         for col, member_arr in ((src, src_arr), (dst, dst_arr)):
@@ -159,6 +194,15 @@ def filter_pairs(
         if mask is None:
             return list(pairs)
         return list(zip(src[mask].tolist(), dst[mask].tolist()))
+    lib = get_native()
+    if lib is not None and usable:
+        if src_set is None and dst_set is None:
+            return list(pairs)
+        from . import native
+
+        return native.filter_pairs(
+            lib, pairs, src_set, dst_set, arrays, src_arr, dst_arr
+        )
     return [
         (s, d)
         for s, d in pairs
@@ -186,6 +230,11 @@ def pack_bits(values: Sequence[int], nbits: int, values_arr=None) -> int:
         flags[va] = True
         packed = np.packbits(flags, bitorder="little")
         return int.from_bytes(packed.tobytes(), "little")
+    lib = get_native()
+    if lib is not None and n >= SMALL_INPUT * 2:
+        from . import native
+
+        return native.pack_bits(lib, values, nbits, values_arr)
     ba = bytearray((nbits + 7) >> 3)
     for t in values:
         ba[t >> 3] |= 1 << (t & 7)
@@ -211,6 +260,16 @@ def bits_to_list(bits: int, nbits: Optional[int] = None) -> List[int]:
             np.frombuffer(raw, dtype=np.uint8), bitorder="little", count=nbits
         )
         return np.flatnonzero(flags).tolist()
+    lib = get_native()
+    if (
+        lib is not None
+        and nbits is not None
+        and bits
+        and bits.bit_count() >= SMALL_BITS
+    ):
+        from . import native
+
+        return native.bits_to_list(lib, bits, nbits)
     result: List[int] = []
     append = result.append
     while bits:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-from .backend import get_numpy
+from .backend import get_native, get_numpy
 
 
 def draw_indices(rng, n: int, k: int) -> List[int]:
@@ -24,7 +24,18 @@ def draw_indices(rng, n: int, k: int) -> List[int]:
 
     One kernel call per frontier; element ``i`` equals the value the
     ``i``-th consecutive ``rng.randrange(n)`` call would have produced.
+    On the ``c`` backend large frontiers run the exact CPython
+    Mersenne-Twister rejection sampler natively and round-trip the
+    generator state, so the stream property holds bit-for-bit there too.
     """
+    lib = get_native()
+    if lib is not None:
+        from . import native
+
+        if k >= native.NATIVE_DRAW_MIN:
+            drawn = native.draw_indices(lib, rng, n, k)
+            if drawn is not None:
+                return drawn
     randrange = rng.randrange
     return [randrange(n) for _ in range(k)]
 
@@ -65,6 +76,12 @@ def interleave_pairs(
         merged[0::2] = src
         merged[1::2] = dst
         result.extend(merged.tolist())
+        return result
+    lib = get_native()
+    if lib is not None and arrays is not None and len(pairs) >= 8:
+        from . import native
+
+        result.extend(native.interleave_pairs(lib, pairs, arrays))
         return result
     for s, d in pairs:
         result.append(s)

@@ -1,34 +1,45 @@
-"""Zero-copy numpy views over the sealed graph's ``array('q')`` arenas.
+"""Zero-copy int64 views over the sealed graph's ``array('q')`` arenas.
 
 ``array('q')`` and the read-only shared-memory segments produced by
-:meth:`CompactGraph.to_shm` both expose the buffer protocol, so
-``np.frombuffer`` aliases them without copying — attaching to a
-shared-memory graph never duplicates an arena.  Views are marked
-read-only (the substrate is sealed; nothing may write through them) and
-cached in the graph's ``shared_cache`` so every consumer of one graph
-shares one view per arena.
+:meth:`CompactGraph.to_shm` both expose the buffer protocol, so both
+accelerated backends alias them without copying — numpy via
+``np.frombuffer``, the native leg via a pinned-buffer
+:class:`~repro.kernels.native.NativeView` — and attaching to a
+shared-memory graph never duplicates an arena.  Views are read-only
+(the substrate is sealed; nothing may write through them) and cached in
+the graph's ``shared_cache`` keyed by backend kind, so every consumer
+of one graph shares one view per arena and in-process backend flips
+(``force_backend``) never serve one leg's views to another.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Optional, Tuple
 
-from .backend import get_numpy
+from .backend import get_native, get_numpy
 
 
 def as_int64(buf):
-    """A read-only ``int64`` numpy view aliasing ``buf`` (no copy).
+    """A read-only ``int64`` view aliasing ``buf`` (no copy).
 
     ``buf`` is an ``array('q')`` or a (possibly read-only) memoryview of
-    one — the two buffer shapes the sealed substrate stores.  Returns
-    None when the active backend is pure-Python.
+    one — the two buffer shapes the sealed substrate stores.  Returns a
+    numpy view on the numpy backend, a :class:`NativeView` on the c
+    backend, and None when the active backend is pure-Python.
     """
     np = get_numpy()
-    if np is None:
-        return None
-    view = np.frombuffer(buf, dtype=np.int64)
-    view.flags.writeable = False
-    return view
+    if np is not None:
+        view = np.frombuffer(buf, dtype=np.int64)
+        view.flags.writeable = False
+        return view
+    if get_native() is not None:
+        from . import native
+
+        if isinstance(buf, array) and buf.typecode == "q":
+            return native.NativeView.from_array(buf)
+        return native.NativeView.from_buffer(buf)
+    return None
 
 
 def _cache_of(graph):
@@ -39,23 +50,30 @@ def member_array(graph, labels):
     """Sorted ``int64`` array of ``graph.labels_member_set(labels)``.
 
     The sorted-unique shape is what the membership kernels binary-search
-    against.  Cached per label set in the graph's shared cache; returns
-    None on the pure-Python backend.
+    against.  Cached per (backend kind, label set) in the graph's shared
+    cache; returns None on the pure-Python backend.
     """
     np = get_numpy()
-    if np is None:
+    lib = None if np is not None else get_native()
+    if np is None and lib is None:
         return None
+    kind = "numpy" if np is not None else "c"
     labels = frozenset(labels)
     cache = _cache_of(graph)
-    key = ("kernels.members", labels)
+    key = ("kernels.members", kind, labels)
     if cache is not None:
         arr = cache.get(key)
         if arr is not None:
             return arr
     members = graph.labels_member_set(labels)
-    arr = np.fromiter(members, dtype=np.int64, count=len(members))
-    arr.sort()
-    arr.flags.writeable = False
+    if np is not None:
+        arr = np.fromiter(members, dtype=np.int64, count=len(members))
+        arr.sort()
+        arr.flags.writeable = False
+    else:
+        from . import native
+
+        arr = native.NativeView.from_array(array("q", sorted(members)))
     if cache is not None:
         cache[key] = arr
     return arr
@@ -70,13 +88,15 @@ def pair_arrays(graph, label: int) -> Optional[Tuple[object, object]]:
     expose its pair buffers (dict-backed graphs).
     """
     np = get_numpy()
-    if np is None:
+    lib = None if np is not None else get_native()
+    if np is None and lib is None:
         return None
     buffers = getattr(graph, "edge_pair_buffers", None)
     if buffers is None:
         return None
+    kind = "numpy" if np is not None else "c"
     cache = _cache_of(graph)
-    key = ("kernels.pairs", label)
+    key = ("kernels.pairs", kind, label)
     if cache is not None:
         views = cache.get(key)
         if views is not None:

@@ -348,6 +348,15 @@ class HomomorphismCounter:
             for plan in self._plan_registry.values():
                 plan[9].clear()
                 plan[10].clear()
+            native = self._native_result()
+            if native is not None:
+                self._count, self._steps, complete = native
+                return MatchResult(
+                    self._count,
+                    complete,
+                    time.monotonic() - start,
+                    self._steps,
+                )
         assignment: Dict[int, int] = {}
         complete = True
         try:
@@ -360,6 +369,32 @@ class HomomorphismCounter:
         return MatchResult(
             self._count, complete, time.monotonic() - start, self._steps
         )
+
+    def _native_result(self) -> Optional[tuple]:
+        """``(count, steps, complete)`` from the native search kernel.
+
+        Engages only on the ``c`` kernel backend, and only for counter
+        shapes the C transliteration replicates bit-for-bit (bitset-mode
+        sealed search, no edge restrictions / vertex filters / self
+        loops — see :func:`repro.kernels.native_match.build_native_matcher`).
+        None means "run the Python loop" — including on a native
+        allocation failure mid-search, which is sound because all memo
+        state is per-:meth:`count`-run.
+        """
+        from ..kernels import backend as _kbackend
+
+        lib = _kbackend.get_native()
+        if lib is None:
+            return None
+        runner = getattr(self, "_native_runner", None)
+        if runner is None:
+            from ..kernels import native_match
+
+            runner = native_match.build_native_matcher(self, lib)
+            self._native_runner = runner if runner is not None else False
+        if not runner:
+            return None
+        return runner(self._deadline, self._cap)
 
     # ------------------------------------------------------------------
     def _matching_order(self) -> List[int]:

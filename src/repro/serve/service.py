@@ -51,7 +51,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from .. import shm as shm_mod
+from .. import kernels, shm as shm_mod
 from ..bench.runner import NamedQuery, derive_seed, run_cell
 from ..bench.summary_cache import (
     blobs_from_shm,
@@ -1015,6 +1015,7 @@ class EstimationService:
             "generation": generation,
             "workers": len(self._workers),
             "techniques": list(self.techniques),
+            "kernel_backend": kernels.active_backend(),
             "uptime_s": uptime,
             "counters": counters,
             "latency": latency,
@@ -1069,6 +1070,14 @@ class EstimationService:
         )
         lines.append(metrics_mod.format_line("gcare_uptime_seconds", uptime))
         lines.append(metrics_mod.format_line("gcare_generation", generation))
+        backend = kernels.active_backend()
+        lines.append(
+            metrics_mod.format_line(
+                "gcare_kernel_backend",
+                kernels.backend_code(backend),
+                {"backend": backend},
+            )
+        )
         lines.append(
             metrics_mod.format_line("gcare_workers", len(self._workers))
         )

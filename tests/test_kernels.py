@@ -112,7 +112,16 @@ GRAPH_BUILDERS = {
 
 
 def backends_under_test():
-    return BACKENDS if numpy_available() else ("python",)
+    """Every backend that can actually dispatch on this install.
+
+    The ``c`` leg joins automatically when a toolchain is present, so
+    all the property tests below cross every native kernel boundary
+    with the exact same inputs as the numpy/python twins.
+    """
+    backends = ("python",) + (BACKENDS[1:] if numpy_available() else ())
+    if kernels.native_available():
+        backends = backends + ("c",)
+    return backends
 
 
 def run_traced_estimate(name: str, backend: str, graph):
@@ -141,7 +150,7 @@ def run_traced_estimate(name: str, backend: str, graph):
 def test_every_technique_bit_identical_across_backends(name, scale):
     graph = GRAPH_BUILDERS[scale]()
     outcomes = {}
-    for backend in BACKENDS:
+    for backend in backends_under_test():
         result, counters = run_traced_estimate(name, backend, graph)
         outcomes[backend] = {
             "estimate": result.estimate,
@@ -149,7 +158,8 @@ def test_every_technique_bit_identical_across_backends(name, scale):
             "num_subqueries": result.num_subqueries,
             "counters": counters,
         }
-    assert outcomes["numpy"] == outcomes["python"]
+    for backend in backends_under_test():
+        assert outcomes[backend] == outcomes["python"], backend
 
 
 @pytest.mark.needs_numpy
@@ -158,14 +168,15 @@ def test_matcher_counts_and_steps_identical_across_backends(scale):
     graph = GRAPH_BUILDERS[scale]()
     dict_result = count_embeddings(graph, QUERY, time_limit=30.0)
     outcomes = {}
-    for backend in BACKENDS:
+    for backend in backends_under_test():
         with force_backend(backend):
             sealed = graph.seal()
             result = count_embeddings(sealed, QUERY, time_limit=30.0)
         outcomes[backend] = (result.count, result.complete, result.steps)
-    assert outcomes["numpy"] == outcomes["python"]
-    # and both agree with the dict-backed substrate on the answer
-    assert outcomes["numpy"][0] == dict_result.count
+    for backend in backends_under_test():
+        assert outcomes[backend] == outcomes["python"], backend
+    # and every leg agrees with the dict-backed substrate on the answer
+    assert outcomes["python"][0] == dict_result.count
 
 
 def test_estimates_stable_across_repeated_seals():
@@ -264,7 +275,7 @@ def test_traced_sweep_identical_across_transport_and_backends(tmp_path):
     techniques = ["wj", "jsub", "impr"]
     kw = dict(sampling_ratio=0.5, seed=11, time_limit=10)
     per_backend = {}
-    for backend in BACKENDS:
+    for backend in backends_under_test():
         previous = os.environ.get(KERNELS_ENV)
         os.environ[KERNELS_ENV] = backend  # workers inherit this
         refresh_env()
@@ -304,7 +315,8 @@ def test_traced_sweep_identical_across_transport_and_backends(tmp_path):
             else:
                 os.environ[KERNELS_ENV] = previous
             refresh_env()
-    assert per_backend["numpy"] == per_backend["python"]
+    for backend in backends_under_test():
+        assert per_backend[backend] == per_backend["python"], backend
 
 
 # ---------------------------------------------------------------------------
@@ -360,15 +372,36 @@ PAIRS = st.lists(st.tuples(VERTEX, VERTEX), max_size=80)
 
 
 def _member_arr(np, domain):
-    arr = np.fromiter(sorted(domain), dtype=np.int64, count=len(domain))
-    arr.flags.writeable = False
-    return arr
+    """The sorted membership domain in the active backend's array shape."""
+    if np is not None:
+        arr = np.fromiter(sorted(domain), dtype=np.int64, count=len(domain))
+        arr.flags.writeable = False
+        return arr
+    if kernels.get_native() is not None:
+        from repro.kernels.native import NativeView
+
+        return NativeView.from_array(array("q", sorted(domain)))
+    return None
 
 
 def _pair_cols(np, pairs):
-    src = np.fromiter((s for s, _ in pairs), dtype=np.int64, count=len(pairs))
-    dst = np.fromiter((d for _, d in pairs), dtype=np.int64, count=len(pairs))
-    return src, dst
+    """Pair columns in the active backend's array shape (None on python)."""
+    if np is not None:
+        src = np.fromiter(
+            (s for s, _ in pairs), dtype=np.int64, count=len(pairs)
+        )
+        dst = np.fromiter(
+            (d for _, d in pairs), dtype=np.int64, count=len(pairs)
+        )
+        return src, dst
+    if kernels.get_native() is not None:
+        from repro.kernels.native import NativeView
+
+        return (
+            NativeView.from_array(array("q", (s for s, _ in pairs))),
+            NativeView.from_array(array("q", (d for _, d in pairs))),
+        )
+    return None
 
 
 @given(a=ADJACENCY, b=ADJACENCY)
@@ -386,7 +419,7 @@ def test_filter_and_count_members_agree_across_backends(values, domain):
     for backend in backends_under_test():
         with force_backend(backend):
             np = kernels.get_numpy()
-            arr = _member_arr(np, domain) if np is not None else None
+            arr = _member_arr(np, domain)
             assert filter_members(values, domain, arr) == expected
             assert count_members(values, domain, arr) == len(expected)
 
@@ -400,11 +433,9 @@ def test_filter_members_multi_agrees_across_backends(values, domains):
     for backend in backends_under_test():
         with force_backend(backend):
             np = kernels.get_numpy()
-            arrs = (
-                [_member_arr(np, d) for d in domains]
-                if np is not None
-                else None
-            )
+            arrs = [_member_arr(np, d) for d in domains]
+            if arrs[0] is None:
+                arrs = None
             assert filter_members_multi(values, domains, arrs) == expected
 
 
@@ -423,9 +454,9 @@ def test_filter_pairs_agrees_across_backends(pairs, src_domain, dst_domain):
     for backend in backends_under_test():
         with force_backend(backend):
             np = kernels.get_numpy()
-            arrays = src_arr = dst_arr = None
-            if np is not None:
-                arrays = _pair_cols(np, pairs)
+            src_arr = dst_arr = None
+            arrays = _pair_cols(np, pairs)
+            if arrays is not None:
                 if src_domain is not None:
                     src_arr = _member_arr(np, src_domain)
                 if dst_domain is not None:
@@ -462,7 +493,7 @@ def test_interleave_pairs_agrees_across_backends(pairs):
     for backend in backends_under_test():
         with force_backend(backend):
             np = kernels.get_numpy()
-            arrays = _pair_cols(np, pairs) if np is not None else None
+            arrays = _pair_cols(np, pairs)
             assert interleave_pairs(pairs, arrays) == expected
             # the `out` accumulator appends after an existing prefix
             out = [-1, -2]

@@ -21,7 +21,7 @@ import pytest
 from repro.bench.runner import NamedQuery, run_cell
 from repro.core.registry import ALL_TECHNIQUES, available_techniques, create_estimator
 from repro.datasets.example import figure1_graph, figure1_query
-from repro.kernels import force_backend, numpy_available
+from repro.kernels import force_backend, native_available, numpy_available
 from repro.serve import (
     EstimationService,
     ResultCache,
@@ -34,7 +34,7 @@ SEED = 11
 SAMPLING_RATIO = 0.03
 TIME_LIMIT = 10.0
 
-BACKENDS = ["python", "numpy"]
+BACKENDS = ["python", "numpy", "c"]
 
 
 @pytest.fixture(scope="module", params=BACKENDS)
@@ -49,6 +49,8 @@ def backend_service(request):
     backend = request.param
     if backend == "numpy" and not numpy_available():
         pytest.skip("numpy backend requires numpy")
+    if backend == "c" and not native_available():
+        pytest.skip("c backend requires a working C toolchain")
     with force_backend(backend):
         graph = figure1_graph().seal()
         config = ServiceConfig(
@@ -345,13 +347,16 @@ def test_daemon_estimate_matches_service(backend_service):
 
 
 def test_service_stats_shape(backend_service):
-    _, _, service = backend_service
+    backend, _, service = backend_service
     service.estimate("cset", figure1_query())
     stats = service.stats()
     assert set(stats) >= {
         "generation", "workers", "techniques", "counters",
         "latency", "per_technique", "admission", "cache",
+        "kernel_backend",
     }
+    # the fixture pins the backend, so the reported one must match
+    assert stats["kernel_backend"] == backend
     assert stats["counters"]["serve.requests"] >= 1
     assert stats["latency"]["count"] >= 1
     admission = stats["admission"]["cset"]
@@ -369,14 +374,19 @@ def test_available_techniques_are_served_by_default():
 # /metrics: flat-text exposition of the same state as /stats
 # ---------------------------------------------------------------------------
 def test_metrics_text_parses_and_agrees_with_stats(backend_service):
+    from repro.kernels import BACKEND_CODES
     from repro.obs.metrics import parse_metrics
 
-    _, _, service = backend_service
+    backend, _, service = backend_service
     service.estimate("cset", figure1_query(), run=0)
     stats = service.stats()
     parsed = parse_metrics(service.metrics_text())
     assert parsed["gcare_generation"] == stats["generation"]
     assert parsed["gcare_workers"] == stats["workers"]
+    assert (
+        parsed[f'gcare_kernel_backend{{backend="{backend}"}}']
+        == BACKEND_CODES[backend]
+    )
     assert (
         parsed['gcare_counter{name="serve.requests"}']
         == stats["counters"]["serve.requests"]
