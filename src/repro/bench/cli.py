@@ -48,6 +48,13 @@ drive it with the seeded closed-loop load generator (in-process with no
     gcare load --url http://127.0.0.1:8642 --requests 200 --clients 4
     curl -s localhost:8642/stats | python -m json.tool
 
+Streaming updates: a seeded interleaving of graph mutations and
+estimates, in-process or against a daemon's ``POST /swap`` delta mode,
+reporting per-update latency, staleness, and summary-update modes::
+
+    gcare stream example --updates 50 --batch-size 8
+    gcare stream example --url http://127.0.0.1:8642
+
 Chaos-test the sweep pipeline itself with deterministic fault injection
 (see ``docs/robustness.md`` for the plan syntax and fault taxonomy)::
 
@@ -615,6 +622,80 @@ def _soak(
     return 1
 
 
+def _stream(
+    target: str,
+    url: str,
+    techniques: str,
+    updates: int,
+    batch_size: int,
+    estimates_per_update: int,
+    seed: int,
+    sampling_ratio: float,
+    time_limit: float,
+    out: str = None,
+) -> int:
+    """Drive a seeded streaming-update run, in-process or over HTTP."""
+    import json
+
+    from ..kernels import active_backend
+    from .stream import StreamConfig, run_stream
+
+    print(f"kernels: backend={active_backend()}")
+    names = (
+        [t.strip() for t in techniques.split(",") if t.strip()]
+        if techniques
+        else None
+    )
+    graph = _serve_target_graph(target or "example", seed)
+    config = StreamConfig(
+        techniques=names,
+        updates=updates,
+        batch_size=batch_size,
+        estimates_per_update=estimates_per_update,
+        seed=seed,
+        sampling_ratio=sampling_ratio,
+        time_limit=time_limit,
+        url=url,
+    )
+    report = run_stream(graph, config)
+    summary = report.to_dict()
+    source = url or "in-process"
+    print(
+        f"stream vs {source}: {summary['updates']} update(s), "
+        f"{summary['deltas']} delta(s), {summary['estimates']} estimate(s), "
+        f"seed {seed}"
+    )
+    latency = summary["update_latency"]
+    staleness = summary["staleness"]
+    print(
+        f"  update latency p50 {latency['p50_s'] * 1000:.3f} ms | "
+        f"p95 {latency['p95_s'] * 1000:.3f} ms | "
+        f"max {latency['max_s'] * 1000:.3f} ms"
+    )
+    print(
+        f"  staleness p50 {staleness['p50_s'] * 1000:.3f} ms | "
+        f"p95 {staleness['p95_s'] * 1000:.3f} ms | "
+        f"max {staleness['max_s'] * 1000:.3f} ms"
+    )
+    print(
+        f"  modes {summary['update_modes']} | "
+        f"generation {summary['generation']} | "
+        f"graph generation {summary['graph_generation']}"
+    )
+    if summary["cache_kept"] or summary["cache_dropped"]:
+        print(
+            f"  cache: {summary['cache_kept']} kept, "
+            f"{summary['cache_dropped']} dropped across swaps"
+        )
+    if summary["errors"]:
+        print(f"  errors: {summary['errors']}")
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+        print(f"wrote {out}")
+    return 1 if summary["errors"] and not summary["estimates"] else 0
+
+
 def _estimate(graph_path: str, query_path: str, technique: str,
               sampling_ratio: float, seed: int) -> int:
     from ..graph.io import load_graph, load_query
@@ -701,7 +782,7 @@ def main(argv=None) -> int:
         default="list",
         help=(
             "experiment id (t2, f6a..f11, s63, t3), 'sweep', 'serve', "
-            "'load', 'soak', 'bench', 'trace', 'validate', "
+            "'load', 'stream', 'soak', 'bench', 'trace', 'validate', "
             "'export-dataset', 'export-workload', or 'list'"
         ),
     )
@@ -891,6 +972,18 @@ def main(argv=None) -> int:
         help="soak: wall-clock seconds to drive the daemon (default 60)",
     )
     parser.add_argument(
+        "--updates", type=int, default=20,
+        help="stream: delta batches applied over the run",
+    )
+    parser.add_argument(
+        "--batch-deltas", type=int, default=8,
+        help="stream: mutations per delta batch",
+    )
+    parser.add_argument(
+        "--estimates-per-update", type=int, default=4,
+        help="stream: estimation requests after each batch",
+    )
+    parser.add_argument(
         "--dataset", default=None, help="dataset override for s63"
     )
     parser.add_argument(
@@ -995,6 +1088,20 @@ def main(argv=None) -> int:
             inject=args.inject,
             inject_seed=args.inject_seed,
             queries=args.load_queries,
+            out=args.out,
+        )
+
+    if args.experiment == "stream":
+        return _stream(
+            args.target,
+            args.url,
+            args.techniques,
+            args.updates,
+            args.batch_deltas,
+            args.estimates_per_update,
+            args.seed,
+            args.sampling_ratio or 0.1,
+            args.time_limit,
             out=args.out,
         )
 

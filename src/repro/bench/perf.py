@@ -2,7 +2,7 @@
 
 ``gcare bench`` (and ``benchmarks/perf_bench.py``) run a fixed-seed suite
 over the bundled AIDS-like dataset and emit a JSON report — checked in as
-``BENCH_PR8.json`` (``BENCH_PR7.json`` is the previous baseline) —
+``BENCH_PR10.json`` (``BENCH_PR9.json`` is the previous baseline) —
 covering:
 
 * graph build + seal time and the ``deep_sizeof`` shrink factor,
@@ -24,6 +24,10 @@ covering:
 * warm restart: boot time of a service reattaching a predecessor's
   checksummed shared-memory arenas versus a cold boot that must prepare
   every summary from scratch (``speedups["warm_restart"]``),
+* incremental update: absorbing a delta batch via ``reseal`` + per-
+  technique ``apply_deltas`` versus rebuilding the sealed substrate and
+  every summary from scratch (``speedups["incremental_update"]``, on a
+  ~10x ``aids`` generation so the cold path has real work to skip),
 * in full mode, a real ``--workers 4`` sweep wall-clock + peak worker
   RSS with shared memory on vs. off.
 
@@ -54,7 +58,7 @@ from ..obs.size import deep_sizeof
 from .workloads import workload
 
 #: benchmark schema version (bump when metrics change incompatibly)
-SCHEMA_VERSION = 9
+SCHEMA_VERSION = 10
 
 #: estimator constructor kwargs, fixed so runs are reproducible
 _TECH_KWARGS: Dict[str, dict] = {
@@ -220,6 +224,9 @@ def run_benchmarks(quick: bool = False, seed: int = 1) -> dict:
 
     # --- warm restart: manifest reattach vs cold prepare-and-publish --
     _bench_warm_restart(graph_sealed, timings, speedups, quick, seed)
+
+    # --- incremental update: O(delta) reseal+maintain vs cold rebuild --
+    _bench_incremental(timings, speedups, quick, seed)
 
     if not quick:
         # --- real parallel sweep: wall clock + peak worker RSS --------
@@ -527,6 +534,90 @@ def _bench_warm_restart(
         assert warm * 5 <= cold, (
             "warm restart must reattach at least 5x faster than a cold "
             f"boot: cold {cold * 1e3:.1f}ms vs warm {warm * 1e3:.1f}ms"
+        )
+
+
+def _bench_incremental(
+    timings: dict, speedups: dict, quick: bool, seed: int
+) -> None:
+    """Absorbing a delta batch: incremental path versus cold rebuild.
+
+    The incremental-graph subsystem's headline claim.  Both paths start
+    from identical state — a sealed graph with prepared ``cset`` and
+    ``sumrdf`` summaries (the two prepare-heaviest always-available
+    techniques, both of which maintain their summaries in place) — and
+    absorb the same seeded 32-delta batch:
+
+    * **cold** re-seals the mutated dict graph from scratch and
+      re-prepares every summary — the only option before the mutation
+      journal existed, and still the fallback for techniques without an
+      ``update_summary`` hook;
+    * **incremental** patches the CSR arenas (``reseal``, amortized
+      O(delta)) and repairs each summary through
+      ``Estimator.apply_deltas``.
+
+    The graph is a ~10x ``aids`` generation so the cold path's O(V+E)
+    work dwarfs fixed overheads; on it the incremental path must win by
+    at least **10x** (asserted in full mode; quick runs use a smaller
+    generation and only record).  Differential tests in
+    ``tests/test_incremental.py`` prove the two paths produce
+    bit-identical sealed graphs and estimates — this benchmark is purely
+    about the time the journal saves.
+    """
+    from .stream import MutationStream
+
+    techniques = ("cset", "sumrdf")
+    num_graphs = 600 if quick else 3000
+    reps = 1 if quick else 3
+    batch_size = 32
+
+    dataset = load_dataset(
+        "aids", seed=seed, num_graphs=num_graphs, seal=False
+    )
+    stream = MutationStream(dataset.graph, seed=seed)
+    sealed = stream.twin.seal()
+    estimators = {}
+    for name in techniques:
+        estimator = create_estimator(
+            name, sealed, **_TECH_KWARGS.get(name, {})
+        )
+        estimator.prepare()
+        estimators[name] = estimator
+
+    cold_samples: List[float] = []
+    incremental_samples: List[float] = []
+    for _ in range(reps):
+        deltas = stream.next_batch(batch_size)
+        # cold: rebuild the sealed substrate + every summary from scratch
+        start = time.perf_counter()
+        cold_sealed = stream.twin.seal()
+        for name in techniques:
+            fresh = create_estimator(
+                name, cold_sealed, **_TECH_KWARGS.get(name, {})
+            )
+            fresh.prepare()
+        cold_samples.append(time.perf_counter() - start)
+        # incremental: patch the arenas + repair the summaries in place
+        start = time.perf_counter()
+        sealed = sealed.reseal(deltas)
+        for estimator in estimators.values():
+            mode = estimator.apply_deltas(sealed, deltas)
+            assert mode == "incremental", (
+                f"{estimator.name} fell back to a re-prepare; the metric "
+                "would measure the wrong path"
+            )
+        incremental_samples.append(time.perf_counter() - start)
+
+    cold = statistics.median(cold_samples)
+    incremental = statistics.median(incremental_samples)
+    timings["update_cold_rebuild"] = cold
+    timings["update_incremental"] = incremental
+    speedups["incremental_update"] = round(cold / max(incremental, 1e-9), 2)
+    if not quick:
+        assert incremental * 10 <= cold, (
+            "incremental update must absorb a delta batch at least 10x "
+            f"faster than a cold rebuild: cold {cold * 1e3:.1f}ms vs "
+            f"incremental {incremental * 1e3:.1f}ms"
         )
 
 

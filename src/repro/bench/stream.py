@@ -1,0 +1,364 @@
+"""``gcare stream``: a seeded streaming-update workload driver.
+
+The incremental-graph subsystem's load tool: a deterministic interleaving
+of graph mutations and estimation requests, driven either against an
+in-process incremental runner (mutable journaled twin + ``reseal`` +
+``Estimator.apply_deltas``) or against a running daemon's ``POST /swap``
+delta mode.  It answers the operational questions the batch ``gcare
+load`` cannot:
+
+* **per-update latency** — how long one delta batch takes to become
+  servable (reseal + summary maintenance locally; the ``/swap``
+  round-trip remotely);
+* **staleness** — how far estimation lags the mutation stream: the age
+  of the oldest unapplied delta at the moment each update completes;
+* **update modes** — how often techniques advanced incrementally versus
+  falling back to a re-prepare.
+
+Everything is derived from one seed: the mutation stream, the query
+picks, and the interleaving are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graph.delta import Delta, deltas_to_payload
+from ..graph.digraph import Graph
+from ..graph.query import QueryGraph
+from ..serve import protocol
+
+
+@dataclass
+class StreamConfig:
+    """Tunables of one streaming run."""
+
+    #: technique names driven (None = every available technique)
+    techniques: Optional[Sequence[str]] = None
+    #: delta batches applied over the run
+    updates: int = 20
+    #: mutations per batch
+    batch_size: int = 8
+    #: estimation requests issued after each batch
+    estimates_per_update: int = 4
+    seed: int = 0
+    sampling_ratio: float = 0.1
+    time_limit: Optional[float] = 30.0
+    #: daemon base URL; None drives the in-process incremental runner
+    url: Optional[str] = None
+    #: HTTP timeout per request (daemon mode)
+    http_timeout: float = 60.0
+
+
+@dataclass
+class StreamReport:
+    """The JSON-serializable outcome of one streaming run."""
+
+    updates: int = 0
+    deltas: int = 0
+    estimates: int = 0
+    errors: int = 0
+    #: seconds each batch took to become servable
+    update_latencies: List[float] = field(default_factory=list)
+    #: age of the oldest delta in each batch when its update completed
+    staleness: List[float] = field(default_factory=list)
+    update_modes: Dict[str, int] = field(default_factory=dict)
+    generation: int = 0
+    graph_generation: int = 0
+    cache_kept: int = 0
+    cache_dropped: int = 0
+
+    @staticmethod
+    def _quantiles(values: List[float]) -> Dict[str, float]:
+        if not values:
+            return {"p50_s": 0.0, "p95_s": 0.0, "max_s": 0.0}
+        ordered = sorted(values)
+        pick = lambda q: ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+        return {
+            "p50_s": pick(0.50),
+            "p95_s": pick(0.95),
+            "max_s": ordered[-1],
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "updates": self.updates,
+            "deltas": self.deltas,
+            "estimates": self.estimates,
+            "errors": self.errors,
+            "update_latency": self._quantiles(self.update_latencies),
+            "staleness": self._quantiles(self.staleness),
+            "update_modes": dict(self.update_modes),
+            "generation": self.generation,
+            "graph_generation": self.graph_generation,
+            "cache_kept": self.cache_kept,
+            "cache_dropped": self.cache_dropped,
+        }
+
+
+# ---------------------------------------------------------------------------
+# the seeded mutation stream
+# ---------------------------------------------------------------------------
+class MutationStream:
+    """Deterministic delta batches against a mutable journaled twin.
+
+    The twin graph mirrors the served graph's content; every batch is
+    recorded through the twin's journal, so the emitted slices are
+    guaranteed effective (no duplicate adds, no phantom removes) and
+    contiguous — exactly what ``reseal``/``apply_deltas`` require.
+    """
+
+    def __init__(self, graph, seed: int) -> None:
+        self.twin: Graph = graph.thaw() if hasattr(graph, "thaw") else graph
+        self.twin.enable_journal()
+        self.rng = random.Random(seed)
+        labels = {label for _, _, label in self.twin.edges()}
+        self._edge_labels: List[int] = sorted(labels) or [0]
+        vlabels = {
+            label
+            for v in self.twin.vertices()
+            for label in self.twin.vertex_labels(v)
+        }
+        self._vertex_labels: List[int] = sorted(vlabels) or [0]
+
+    def next_batch(self, size: int) -> List[Delta]:
+        rng = self.rng
+        twin = self.twin
+        base = twin.generation
+        made = 0
+        attempts = 0
+        while made < size and attempts < size * 20:
+            attempts += 1
+            roll = rng.random()
+            if roll < 0.45:
+                u = rng.randrange(twin.num_vertices)
+                v = rng.randrange(twin.num_vertices)
+                label = rng.choice(self._edge_labels)
+                if twin.add_edge(u, v, label):
+                    made += 1
+            elif roll < 0.80:
+                edges = list(twin.edges())
+                if not edges:
+                    continue
+                u, v, label = edges[rng.randrange(len(edges))]
+                if twin.remove_edge(u, v, label):
+                    made += 1
+            elif roll < 0.95:
+                count = rng.randint(0, 2)
+                twin.add_vertex(
+                    tuple(
+                        rng.choice(self._vertex_labels) for _ in range(count)
+                    )
+                )
+                made += 1
+            else:
+                v = rng.randrange(twin.num_vertices)
+                label = rng.choice(self._vertex_labels)
+                if label not in twin.vertex_labels(v):
+                    twin.add_vertex_label(v, label)
+                    made += 1
+        return twin.deltas_since(base)
+
+    def pick_query(self) -> QueryGraph:
+        """A small query over the twin's current content.
+
+        Single edges, 2-paths, and out-stars anchored on live edges, so
+        the stream keeps asking about data the mutations churn.
+        """
+        rng = self.rng
+        edges = list(self.twin.edges())
+        if not edges:
+            label = rng.choice(self._edge_labels)
+            return QueryGraph([frozenset(), frozenset()], [(0, 1, label)])
+        u, v, label = edges[rng.randrange(len(edges))]
+        shape = rng.random()
+        if shape < 0.4:
+            return QueryGraph([frozenset(), frozenset()], [(0, 1, label)])
+        if shape < 0.7:
+            onward = [
+                lab for src, _, lab in self.twin.edges() if src == v
+            ]
+            label2 = (
+                onward[rng.randrange(len(onward))]
+                if onward
+                else rng.choice(self._edge_labels)
+            )
+            return QueryGraph(
+                [frozenset(), frozenset(), frozenset()],
+                [(0, 1, label), (1, 2, label2)],
+            )
+        out = [lab for src, _, lab in self.twin.edges() if src == u]
+        label2 = (
+            out[rng.randrange(len(out))]
+            if out
+            else rng.choice(self._edge_labels)
+        )
+        return QueryGraph(
+            [frozenset(), frozenset(), frozenset()],
+            [(0, 1, label), (0, 2, label2)],
+        )
+
+
+# ---------------------------------------------------------------------------
+# runners
+# ---------------------------------------------------------------------------
+def run_local(graph, config: StreamConfig) -> StreamReport:
+    """Drive the incremental runner in-process.
+
+    The servable state is a sealed graph plus one prepared estimator per
+    technique; each batch goes through ``reseal`` + ``apply_deltas``,
+    i.e. exactly the daemon's delta-swap path minus the transport.
+    """
+    from ..core.registry import available_techniques, create_estimator
+
+    names = list(
+        config.techniques
+        if config.techniques is not None
+        else available_techniques()
+    )
+    stream = MutationStream(graph, config.seed)
+    sealed = stream.twin.seal()
+    estimators = {}
+    for name in names:
+        estimator = create_estimator(
+            name,
+            sealed,
+            sampling_ratio=config.sampling_ratio,
+            seed=config.seed,
+            time_limit=config.time_limit,
+        )
+        estimator.prepare()
+        estimators[name] = estimator
+    report = StreamReport()
+    rng = random.Random(config.seed ^ 0x5EED)
+    for _ in range(config.updates):
+        batch_started = time.perf_counter()
+        deltas = stream.next_batch(config.batch_size)
+        if not deltas:
+            continue
+        update_started = time.perf_counter()
+        sealed = sealed.reseal(deltas)
+        for estimator in estimators.values():
+            mode = estimator.apply_deltas(sealed, deltas)
+            report.update_modes[mode] = report.update_modes.get(mode, 0) + 1
+        finished = time.perf_counter()
+        report.update_latencies.append(finished - update_started)
+        report.staleness.append(finished - batch_started)
+        report.updates += 1
+        report.deltas += len(deltas)
+        for _ in range(config.estimates_per_update):
+            query = stream.pick_query()
+            name = names[rng.randrange(len(names))]
+            try:
+                estimators[name].estimate(query)
+                report.estimates += 1
+            except Exception:
+                report.errors += 1
+    report.generation = report.updates
+    report.graph_generation = getattr(sealed, "generation", 0)
+    return report
+
+
+def run_daemon(graph, config: StreamConfig) -> StreamReport:
+    """Drive a running daemon's ``POST /swap`` delta mode.
+
+    ``graph`` must mirror the daemon's served graph (same target file or
+    dataset + seed), otherwise the very first batch is a torn journal
+    and the run reports nothing but errors — which is itself the signal.
+    """
+    assert config.url is not None
+    base = config.url.rstrip("/")
+    stream = MutationStream(graph, config.seed)
+    names = list(config.techniques or []) or _served_techniques(
+        base, config.http_timeout
+    )
+    report = StreamReport()
+    rng = random.Random(config.seed ^ 0x5EED)
+    for _ in range(config.updates):
+        batch_started = time.perf_counter()
+        deltas = stream.next_batch(config.batch_size)
+        if not deltas:
+            continue
+        update_started = time.perf_counter()
+        reply = _post_json(
+            base + "/swap",
+            {"deltas": deltas_to_payload(deltas)},
+            config.http_timeout,
+        )
+        finished = time.perf_counter()
+        if reply.get("status", 500) != 200:
+            # torn journal / diverged twin / transport failure: the error
+            # envelope carries generation=None, so never read it as state
+            report.errors += 1
+            continue
+        report.update_latencies.append(finished - update_started)
+        report.staleness.append(finished - batch_started)
+        report.updates += 1
+        report.deltas += len(deltas)
+        report.generation = int(reply.get("generation", report.generation))
+        report.graph_generation = int(
+            reply.get("graph_generation", report.graph_generation)
+        )
+        report.cache_kept += int(reply.get("cache_kept", 0))
+        report.cache_dropped += int(reply.get("cache_dropped", 0))
+        mode = str(reply.get("mode", "delta"))
+        report.update_modes[mode] = report.update_modes.get(mode, 0) + 1
+        for _ in range(config.estimates_per_update):
+            query = stream.pick_query()
+            name = names[rng.randrange(len(names))] if names else "wj"
+            answer = _post_json(
+                base + "/estimate",
+                {
+                    "technique": name,
+                    "query": protocol.query_to_payload(query),
+                    "run": 0,
+                },
+                config.http_timeout,
+            )
+            if answer.get("status") == 200:
+                report.estimates += 1
+            else:
+                report.errors += 1
+    return report
+
+
+def run_stream(graph, config: StreamConfig) -> StreamReport:
+    """Dispatch on config: daemon mode with a URL, local otherwise."""
+    if config.url:
+        return run_daemon(graph, config)
+    return run_local(graph, config)
+
+
+# ---------------------------------------------------------------------------
+# HTTP plumbing (urllib only, mirroring loadgen)
+# ---------------------------------------------------------------------------
+def _post_json(url: str, payload: dict, timeout: float) -> dict:
+    body = json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as reply:
+            return json.loads(reply.read().decode())
+    except urllib.error.HTTPError as exc:
+        try:
+            return json.loads(exc.read().decode())
+        except Exception:
+            return {"status": exc.code}
+    except (OSError, ValueError) as exc:
+        return {"status": 500, "error": str(exc)}
+
+
+def _served_techniques(base: str, timeout: float) -> List[str]:
+    try:
+        with urllib.request.urlopen(base + "/stats", timeout=timeout) as reply:
+            payload = json.loads(reply.read().decode())
+        return [str(name) for name in payload.get("techniques", [])]
+    except Exception:
+        return []

@@ -41,7 +41,9 @@ PathLike = Union[str, Path]
 
 #: bump when the payload layout or fingerprint definition changes; keyed
 #: into every cache entry so stale on-disk payloads miss instead of load
-CACHE_VERSION = 1
+#: (v2: summaries carry the delta-generation stamp incremental
+#: maintenance keys its contiguity check on)
+CACHE_VERSION = 2
 
 
 def graph_fingerprint(graph: Graph) -> str:
@@ -78,11 +80,21 @@ def summary_key(
     estimator: Estimator,
     extra: Optional[Mapping] = None,
 ) -> str:
-    """Cache key: graph content + technique identity + parameters."""
+    """Cache key: graph content + generation + technique + parameters.
+
+    The generation component makes incremental updates first-class: after
+    ``apply(deltas)`` the graph's fingerprint alone may collide with an
+    unrelated state (fingerprints of mutable graphs re-hash content, and
+    a delta batch that nets out restores the content), so summaries are
+    keyed by the ``(fingerprint, generation)`` pair and a delta swap
+    invalidates exactly the entries of the superseded generation instead
+    of forcing a wholesale clear.
+    """
     cls = type(estimator)
     parts = [
         f"v{CACHE_VERSION}",
         graph_fingerprint(graph),
+        f"g{getattr(graph, 'generation', 0)}",
         technique,
         f"{cls.__module__}.{cls.__qualname__}",
         f"p={estimator.sampling_ratio!r}",

@@ -65,6 +65,20 @@ class Estimator(abc.ABC):
     display_name: str = "Base"
     #: whether the technique draws samples at estimation time
     is_sampling_based: bool = False
+    #: True when estimates depend only on the query's own label scopes:
+    #: a graph delta whose edge *and* vertex labels are disjoint from a
+    #: query's cannot change this technique's estimate for it.  The serve
+    #: result cache uses this to let entries survive a delta swap.  False
+    #: for techniques with global normalization terms (WanderJoin budgets
+    #: scale with |E|; C-SET redistributes counts between characteristic
+    #: sets), which any delta can perturb.
+    delta_local: bool = False
+    #: generation stamp of the graph the prepared summary describes
+    #: (None until prepared); ``apply_deltas`` checks slice contiguity
+    #: against it before attempting an incremental update
+    _summary_generation: Optional[int] = None
+    #: how the last ``apply_deltas`` resolved ("incremental"/"reprepare")
+    last_update_mode: Optional[str] = None
 
     def __init__(
         self,
@@ -133,7 +147,79 @@ class Estimator(abc.ABC):
             self.prepare_summary_structure()
             self.preparation_time = time.monotonic() - start
             self._prepared = True
+            self._summary_generation = getattr(self.graph, "generation", 0)
         return self.preparation_time
+
+    # ------------------------------------------------------------------
+    # incremental summary maintenance (the optional sixth hook)
+    # ------------------------------------------------------------------
+    def update_summary(self, deltas: Sequence[Any]) -> None:
+        """Advance the prepared summary by one contiguous delta slice.
+
+        Techniques that can maintain their summary in O(delta) override
+        this; the contract is strict equivalence — after the update, the
+        estimator must produce bit-identical estimates (and identical
+        diagnostic counters) to one cold-prepared on the post-delta
+        graph, for every query (``tests/test_incremental.py`` enforces
+        it per registered technique).  ``self.graph`` is already the
+        post-delta graph when this runs.  Techniques without the hook
+        inherit this default and degrade to a full re-prepare.
+        """
+        raise NotImplementedError
+
+    @property
+    def supports_incremental_update(self) -> bool:
+        """Whether this technique overrides :meth:`update_summary`."""
+        return type(self).update_summary is not Estimator.update_summary
+
+    def reset_summary(self) -> None:
+        """Drop the prepared summary so the next estimate cold-prepares.
+
+        Subclasses that memoize graph-derived structures *outside* the
+        summary built by ``prepare_summary_structure`` (per-query plan
+        caches keyed on data-graph labels, sampler index tables) must
+        override this to clear them — after a graph swap those caches
+        describe a world that no longer exists.
+        """
+        self._prepared = False
+        self.preparation_time = 0.0
+        self._summary_generation = None
+
+    def apply_deltas(self, graph: Graph, deltas: Sequence[Any]) -> str:
+        """Rebind to the post-delta graph, maintaining the summary.
+
+        ``graph`` is the new (sealed) graph, ``deltas`` the journal slice
+        that produced it from the graph the summary describes.  Takes the
+        incremental path — O(delta) summary maintenance via
+        :meth:`update_summary` — when the technique supports it and the
+        slice is contiguous (``summary generation + len(deltas) ==
+        graph.generation``); anything else falls back to dropping the
+        summary for a cold re-prepare on next use.  Returns the mode
+        taken, ``"incremental"`` or ``"reprepare"``, and mirrors it into
+        the ``summary.update.{incremental,reprepare}`` trace counters.
+        """
+        deltas = list(deltas)
+        new_generation = getattr(graph, "generation", 0)
+        contiguous = (
+            self._prepared
+            and self._summary_generation is not None
+            and self._summary_generation + len(deltas) == new_generation
+        )
+        obs = self.obs
+        if contiguous and self.supports_incremental_update:
+            self.graph = graph
+            self.update_summary(deltas)
+            self._summary_generation = new_generation
+            if obs.enabled:
+                obs.incr("summary.update.incremental")
+            self.last_update_mode = "incremental"
+            return "incremental"
+        self.graph = graph
+        self.reset_summary()
+        if obs.enabled:
+            obs.incr("summary.update.reprepare")
+        self.last_update_mode = "reprepare"
+        return "reprepare"
 
     # ------------------------------------------------------------------
     # summary serialization (prepare-once sharing)
@@ -212,6 +298,10 @@ class Estimator(abc.ABC):
         state = unpickler.load()
         self.__dict__.update(state)
         self._prepared = True
+        if "_summary_generation" not in state:
+            # payloads predating generation stamps: the cache key already
+            # guarantees the graph matches, so stamp the current one
+            self._summary_generation = getattr(self.graph, "generation", 0)
         self.rng = random.Random(self.seed)
 
     def estimate(self, query: QueryGraph) -> EstimationResult:
@@ -241,6 +331,7 @@ class Estimator(abc.ABC):
         if obs.enabled:
             obs.gauge("summary.bytes", deep_sizeof(self.summary_objects()))
             obs.gauge("kernel.backend", kernel_backend_code())
+            obs.gauge("graph.generation", getattr(self.graph, "generation", 0))
         self.rng = random.Random(self.seed)  # reproducible per query
         start = time.monotonic()
         self._deadline = (

@@ -34,6 +34,12 @@ class BernoulliSampling(Estimator):
     name = "bernoulli"
     display_name = "Bernoulli"
     is_sampling_based = True
+    # samples are drawn per query edge relation with a per-relation seed;
+    # deltas in disjoint label scopes leave every draw unchanged
+    delta_local = True
+
+    def update_summary(self, deltas) -> None:
+        """Bernoulli holds no offline summary; samples are per-estimate."""
 
     def decompose_query(self, query: QueryGraph) -> Sequence[QueryGraph]:
         self._sampled_tuples = 0

@@ -141,6 +141,14 @@ class BoundSketch(Estimator):
             for label in self.graph.all_vertex_labels():
                 self._vertex_sketches(label, partitions)
 
+    def reset_summary(self) -> None:
+        # no update_summary hook: max-degree sketch cells are not
+        # incrementally maintainable under deletions without per-value
+        # degree maps, so BS degrades to a full re-prepare — which must
+        # not serve sketches built from the pre-delta graph
+        super().reset_summary()
+        self._sketches.clear()
+
     def partitions_for(self, num_attrs: int) -> int:
         """M = floor(budget^(1/|A_Q|)), at least 1."""
         if num_attrs <= 0:

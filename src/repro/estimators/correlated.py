@@ -50,6 +50,12 @@ class CorrelatedSampling(Estimator):
     name = "cs"
     display_name = "CS"
     is_sampling_based = True
+    # hash filters are seeded per query vertex; the sampled join reads
+    # only query-scoped relations, so disjoint deltas cannot change it
+    delta_local = True
+
+    def update_summary(self, deltas) -> None:
+        """CS holds no offline summary; hash filters are per-estimate."""
 
     def decompose_query(self, query: QueryGraph) -> Sequence[QueryGraph]:
         self._last_sampled_count = 0

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterator, List, Sequence, Tuple
 
 from ..core.framework import Estimator
+from ..graph.delta import Delta, DeltaSummary
 from ..graph.digraph import Graph
 from ..graph.query import QueryGraph
 
@@ -104,6 +105,126 @@ class CharacteristicSets(Estimator):
             self._distinct_dst[label] = len({d for _, d in pairs})
 
     # ------------------------------------------------------------------
+    # incremental maintenance (the optional Algorithm-1 hook)
+    # ------------------------------------------------------------------
+    def update_summary(self, deltas: Sequence[Delta]) -> None:
+        """Patch the characteristic-set tables in O(delta).
+
+        A vertex belongs to exactly one out (and one in) characteristic
+        set, determined by its vertex labels and incident edge-label
+        multiset — so a delta slice *moves* each touched vertex between
+        two table entries per direction.  The per-label edge counts and
+        distinct-endpoint counts follow from the slice's net degree
+        changes; no entry outside the touched key space is read.
+        """
+        graph = self.graph
+        info = DeltaSummary(deltas, graph.num_vertices)
+        for v in info.touched_vertices():
+            new_vl = graph.vertex_labels(v)
+            old_vl = info.old_vertex_labels(v, new_vl)
+            for table, old_counts, label_map in (
+                (self._out_sets, info.old_out_counts(v, graph),
+                 graph.out_label_map(v)),
+                (self._in_sets, info.old_in_counts(v, graph),
+                 graph.in_label_map(v)),
+            ):
+                self._retire(table, old_vl, old_counts)
+                self._enroll(
+                    table,
+                    new_vl,
+                    {label: len(others) for label, others in label_map.items()},
+                )
+        for v in range(info.old_num_vertices, graph.num_vertices):
+            vlabels = graph.vertex_labels(v)
+            for table, label_map in (
+                (self._out_sets, graph.out_label_map(v)),
+                (self._in_sets, graph.in_label_map(v)),
+            ):
+                self._enroll(
+                    table,
+                    vlabels,
+                    {label: len(others) for label, others in label_map.items()},
+                )
+        net: Dict[int, int] = {}
+        for _, _, label in info.added_edges:
+            net[label] = net.get(label, 0) + 1
+        for _, _, label in info.removed_edges:
+            net[label] = net.get(label, 0) - 1
+        for label, change in net.items():
+            if change:
+                self._shift(self._label_counts, label, change)
+        # a (vertex, label) pair contributes to the distinct src/dst count
+        # of `label` iff its degree under that label is positive: only
+        # pairs whose count crossed zero during the slice shift the count
+        for change_map, distinct, old_counts_of, label_map_of in (
+            (info.out_change, self._distinct_src,
+             info.old_out_counts, graph.out_label_map),
+            (info.in_change, self._distinct_dst,
+             info.old_in_counts, graph.in_label_map),
+        ):
+            for v, changes in change_map.items():
+                old_counts = old_counts_of(v, graph)
+                current = label_map_of(v)
+                for label in changes:
+                    flip = (1 if current.get(label) else 0) - (
+                        1 if old_counts.get(label) else 0
+                    )
+                    if flip:
+                        self._shift(distinct, label, flip)
+
+    @staticmethod
+    def _shift(counts: Dict[int, int], label: int, change: int) -> None:
+        total = counts.get(label, 0) + change
+        if total > 0:
+            counts[label] = total
+        else:
+            counts.pop(label, None)
+
+    @staticmethod
+    def _retire(
+        table: Dict[CsKey, CharacteristicSet],
+        vlabels: FrozenSet[int],
+        counts: Dict[int, int],
+    ) -> None:
+        """Remove one member vertex with the given pre-slice star shape."""
+        if not counts:
+            return  # prepare never enrolled edge-less vertices
+        key = (vlabels, frozenset(counts))
+        cs = table[key]
+        if cs.count == 1:
+            del table[key]
+            return
+        cs.count -= 1
+        for label, n in counts.items():
+            cs.freq[label] -= n
+
+    @staticmethod
+    def _enroll(
+        table: Dict[CsKey, CharacteristicSet],
+        vlabels: FrozenSet[int],
+        counts: Dict[int, int],
+    ) -> None:
+        """Add one member vertex with the given post-slice star shape."""
+        if not counts:
+            return
+        key = (vlabels, frozenset(counts))
+        cs = table.get(key)
+        if cs is None:
+            cs = CharacteristicSet(key[0], key[1])
+            table[key] = cs
+        cs.count += 1
+        for label, n in counts.items():
+            cs.freq[label] = cs.freq.get(label, 0) + n
+
+    def reset_summary(self) -> None:
+        super().reset_summary()
+        self._out_sets.clear()
+        self._in_sets.clear()
+        self._label_counts.clear()
+        self._distinct_src.clear()
+        self._distinct_dst.clear()
+
+    # ------------------------------------------------------------------
     # DecomposeQuery — greedy star decomposition
     # ------------------------------------------------------------------
     def decompose_query(self, query: QueryGraph) -> Sequence[Subquery]:
@@ -183,7 +304,10 @@ class CharacteristicSets(Estimator):
         return estimate
 
     def agg_card(self, card_vec: Sequence[float]) -> float:
-        return float(sum(card_vec))
+        # summed in sorted order: the estimate must not depend on table
+        # iteration order, which an incrementally maintained summary does
+        # not preserve (update_summary moves entries between keys)
+        return float(sum(sorted(card_vec)))
 
     # ------------------------------------------------------------------
     # observability

@@ -58,7 +58,18 @@ class CSetWanderJoinHybrid(Estimator):
 
     # ------------------------------------------------------------------
     def prepare_summary_structure(self) -> None:
+        self._cset.graph = self.graph
         self._cset.prepare()
+
+    def update_summary(self, deltas) -> None:
+        """Patch the inner C-SET summary in place (WJ correction walks
+        always read the live graph and need no summary work)."""
+        self._cset.apply_deltas(self.graph, deltas)
+
+    def reset_summary(self) -> None:
+        super().reset_summary()
+        self._cset.graph = self.graph
+        self._cset.reset_summary()
 
     def decompose_query(self, query: QueryGraph) -> Sequence[object]:
         self._correction_walks = 0

@@ -49,6 +49,9 @@ class Impr(Estimator):
     name = "impr"
     display_name = "IMPR"
     is_sampling_based = True
+    # the walk structure and every label test are filtered to the query's
+    # label sets, so deltas in disjoint scopes cannot change an estimate
+    delta_local = True
 
     def __init__(self, graph: Graph, **kwargs) -> None:
         super().__init__(graph, **kwargs)
@@ -58,6 +61,25 @@ class Impr(Estimator):
         self._num_edges = 0
         self._failures = 0
         self._samples = 0
+
+    def update_summary(self, deltas) -> None:
+        """Invalidate the label-filtered walk structure.
+
+        The structure is a per-query-label-set cache, rebuilt lazily on
+        the next estimate from the rebound graph (whose fresh
+        ``shared_cache`` cannot serve a stale copy either).
+        """
+        self._reset_walk_structure()
+
+    def reset_summary(self) -> None:
+        super().reset_summary()
+        self._reset_walk_structure()
+
+    def _reset_walk_structure(self) -> None:
+        self._labels = frozenset()
+        self._slots = {}
+        self._slot_table = []
+        self._num_edges = 0
 
     # ------------------------------------------------------------------
     # label-filtered walking structure (rebuilt per query label set)

@@ -252,6 +252,9 @@ class Jsub(Estimator):
     name = "jsub"
     display_name = "JSUB"
     is_sampling_based = True
+    # estimates only read relations and label memberships named by the
+    # query, so a delta touching disjoint label scopes cannot change them
+    delta_local = True
 
     def __init__(self, graph: Graph, **kwargs) -> None:
         super().__init__(graph, **kwargs)
@@ -264,6 +267,22 @@ class Jsub(Estimator):
         # estimates over the same query shape skip the per-call rebuild
         # (the BENCH_PR5 sealed-hot-loop regression)
         self._decomp_cache: Dict[tuple, List[tuple]] = {}
+
+    def update_summary(self, deltas) -> None:
+        """Drop graph-derived decomposition state; keep the pure plans.
+
+        Spanning trees and orientations are functions of the query alone
+        and survive any delta; the cached label-membership structures
+        read the graph and are rebuilt lazily against the rebound one.
+        (Exact-weight memos live in ``graph.shared_cache``, which a
+        reseal replaces wholesale.)
+        """
+        for key in [k for k in self._decomp_cache if k[0] == "jsub.labels"]:
+            del self._decomp_cache[key]
+
+    def reset_summary(self) -> None:
+        super().reset_summary()
+        self._decomp_cache.clear()
 
     # ------------------------------------------------------------------
     # DecomposeQuery: pick (q_1, o) = argmin of trial estimates

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.framework import Estimator
+from ..graph.delta import Delta, DeltaSummary
 from ..graph.digraph import Graph
 from ..graph.query import QueryGraph
 
@@ -66,12 +67,41 @@ class SummaryGraph:
         )
 
 
+@dataclass
+class _LevelState:
+    """One maintained coarsening level: summary plus its bucket mapping.
+
+    A cold :meth:`SumRDF.prepare_summary_structure` evaluates levels
+    ``0..chosen`` and would normally discard everything but the chosen
+    summary; the incremental path keeps every evaluated level alive —
+    with the vertex-type -> bucket map and per-vertex assignment that
+    built it — so a delta slice can patch all of them and re-run the
+    budget selection exactly as a cold prepare over the new graph would.
+
+    Level states are process-local: they are excluded from exported
+    summary blobs (they would dominate the payload ~70x and slow every
+    worker boot), so a hydrated estimator rebuilds them lazily on its
+    first ``update_summary`` — one prepare-equivalent rebuild against
+    the already post-delta graph, exact by construction, after which
+    maintenance is O(delta) again.
+    """
+
+    level: int
+    summary: SummaryGraph
+    bucket_of: Dict[object, int]
+    assignment: List[int]
+
+
 class SumRDF(Estimator):
     """The SumRDF technique expressed in the G-CARE framework."""
 
     name = "sumrdf"
     display_name = "SumRDF"
     is_sampling_based = False
+
+    #: maintained level states never travel in summary blobs — they are
+    #: rebuilt lazily by the first post-hydration ``update_summary``
+    _SUMMARY_EXCLUDED_STATE = Estimator._SUMMARY_EXCLUDED_STATE + ("_levels",)
 
     def __init__(
         self,
@@ -88,6 +118,9 @@ class SumRDF(Estimator):
         self.max_embeddings = max_embeddings
         self.summary: Optional[SummaryGraph] = None
         self._coarsening_level = 0
+        #: every coarsening level the last prepare evaluated, maintained
+        #: through update_summary so budget re-selection stays exact
+        self._levels: List[_LevelState] = []
         # observability: work done by the current estimate
         self._summary_embeddings = 0
         self._buckets_scanned = 0
@@ -133,7 +166,7 @@ class SumRDF(Estimator):
         # (paper, Section 6.2.1)
         return hash(vlabels) % parameter if parameter > 1 else 0
 
-    def _build_summary(self, level: int) -> SummaryGraph:
+    def _build_level(self, level: int) -> _LevelState:
         graph = self.graph
         bucket_of: Dict[object, int] = {}
         summary = SummaryGraph()
@@ -158,17 +191,232 @@ class SumRDF(Estimator):
                 summary.out_adj.setdefault((key[0], label), []).append(key[1])
                 summary.in_adj.setdefault((key[1], label), []).append(key[0])
             summary.edge_weights[key] += 1
-        return summary
+        return _LevelState(level, summary, bucket_of, assignment)
+
+    def _build_summary(self, level: int) -> SummaryGraph:
+        return self._build_level(level).summary
+
+    def _budget(self) -> int:
+        return max(1, int(self.size_threshold * self.graph.num_edges))
 
     def prepare_summary_structure(self) -> None:
-        budget = max(1, int(self.size_threshold * self.graph.num_edges))
+        budget = self._budget()
         last = len(self.COARSENING_LEVELS) - 1
+        self._levels = []
         for level in range(len(self.COARSENING_LEVELS)):
-            summary = self._build_summary(level)
-            if summary.num_edges <= budget or level == last:
-                self.summary = summary
+            state = self._build_level(level)
+            self._levels.append(state)
+            if state.summary.num_edges <= budget or level == last:
+                self.summary = state.summary
                 self._coarsening_level = level
                 return
+
+    # ------------------------------------------------------------------
+    # incremental maintenance (the optional Algorithm-1 hook)
+    # ------------------------------------------------------------------
+    def import_summary(self, payload: bytes) -> None:
+        super().import_summary(payload)
+        # the payload never carries level states; drop any stale ones a
+        # previous prepare left on this instance so maintenance rebuilds
+        # from the imported summary's graph, not a superseded one
+        self._levels = []
+
+    def update_summary(self, deltas: Sequence[Delta]) -> None:
+        """Patch every maintained coarsening level, then re-run selection.
+
+        Per level: each touched vertex whose type moved is taken out of
+        its old bucket (with its old incident edges, under the old
+        assignment) and re-enrolled in its new one (with its new incident
+        edges); untouched buckets and summary edges are never read.  The
+        chosen level is then re-selected against the new size budget over
+        the maintained levels — building deeper levels only if the budget
+        shrank past all of them, exactly as a cold prepare would.
+        """
+        if not self._levels:
+            # hydrated from a blob (level states are never exported):
+            # rebuild from the already post-delta graph — a one-off
+            # prepare-equivalent cost that restores O(delta) maintenance
+            self.prepare_summary_structure()
+            return
+        graph = self.graph
+        info = DeltaSummary(deltas, graph.num_vertices)
+        for state in self._levels:
+            self._update_level(state, info)
+        budget = self._budget()
+        last = len(self.COARSENING_LEVELS) - 1
+        for state in self._levels:
+            if state.summary.num_edges <= budget or state.level == last:
+                self.summary = state.summary
+                self._coarsening_level = state.level
+                return
+        for level in range(self._levels[-1].level + 1,
+                           len(self.COARSENING_LEVELS)):
+            state = self._build_level(level)
+            self._levels.append(state)
+            if state.summary.num_edges <= budget or level == last:
+                self.summary = state.summary
+                self._coarsening_level = level
+                return
+
+    def _update_level(self, state: _LevelState, info: DeltaSummary) -> None:
+        graph = self.graph
+        summary = state.summary
+        bucket_of = state.bucket_of
+        assignment = state.assignment
+        # net slice effect per edge: +1 newly present, -1 newly absent;
+        # batch-internal churn (add then remove of an absent edge) nets
+        # to zero and must not touch the summary at all
+        churn: Dict[Tuple[int, int, int], int] = {}
+        for edge in info.added_edges:
+            churn[edge] = churn.get(edge, 0) + 1
+        for edge in info.removed_edges:
+            churn[edge] = churn.get(edge, 0) - 1
+        net_added = frozenset(e for e, n in churn.items() if n > 0)
+        rm = {e for e, n in churn.items() if n < 0}
+        ad = set(net_added)
+        # classify touched vertices: bucket moves need their incident
+        # edges re-keyed; label-only changes just shift a profile entry
+        moving: List[int] = []
+        for v in sorted(info.touched_vertices()):
+            current = graph.vertex_labels(v)
+            new_bucket = bucket_of.get(self._vertex_type(v, state.level))
+            if new_bucket == assignment[v]:
+                old_labels = info.old_vertex_labels(v, current)
+                if old_labels != current:
+                    profile = summary.label_profiles[new_bucket]
+                    count = profile[old_labels]
+                    if count == 1:
+                        del profile[old_labels]
+                    else:
+                        profile[old_labels] = count - 1
+                    profile[current] = profile.get(current, 0) + 1
+                continue
+            moving.append(v)
+        removed_incident: Dict[int, List[Tuple[int, int, int]]] = {}
+        for edge in rm:
+            removed_incident.setdefault(edge[0], []).append(edge)
+            removed_incident.setdefault(edge[1], []).append(edge)
+        for v in moving:
+            post = {
+                (v, dst, label)
+                for label, dsts in graph.out_label_map(v).items()
+                for dst in dsts
+            }
+            post |= {
+                (src, v, label)
+                for label, srcs in graph.in_label_map(v).items()
+                for src in srcs
+            }
+            # pre-slice incident edges: post minus slice-added, plus
+            # slice-removed — subtracted under the old assignment below
+            rm |= post - net_added
+            rm.update(removed_incident.get(v, ()))
+            ad |= post
+        # --- phase A: retire edges, then vertices, under old buckets ---
+        drained: List[int] = []
+        for src, dst, label in rm:
+            key = (assignment[src], assignment[dst], label)
+            weight = summary.edge_weights[key]
+            if weight == 1:
+                del summary.edge_weights[key]
+                self._drop_adjacency(summary, key, label)
+            else:
+                summary.edge_weights[key] = weight - 1
+        for v in moving:
+            bucket = assignment[v]
+            drained.append(bucket)
+            summary.weights[bucket] -= 1
+            old_labels = info.old_vertex_labels(v, graph.vertex_labels(v))
+            profile = summary.label_profiles[bucket]
+            count = profile[old_labels]
+            if count == 1:
+                del profile[old_labels]
+            else:
+                profile[old_labels] = count - 1
+        # --- phase B: enroll vertices under new buckets, then edges ---
+        for v in moving:
+            self._enroll_vertex(state, v)
+        for v in range(info.old_num_vertices, graph.num_vertices):
+            assignment.append(0)  # placeholder; _enroll_vertex overwrites
+            self._enroll_vertex(state, v)
+        for src, dst, label in ad:
+            key = (assignment[src], assignment[dst], label)
+            weight = summary.edge_weights.get(key)
+            if weight is None:
+                summary.edge_weights[key] = 1
+                summary.out_adj.setdefault((key[0], label), []).append(key[1])
+                summary.in_adj.setdefault((key[1], label), []).append(key[0])
+            else:
+                summary.edge_weights[key] = weight + 1
+        if any(summary.weights[bucket] == 0 for bucket in drained):
+            self._compact_level(state)
+
+    def _enroll_vertex(self, state: _LevelState, v: int) -> None:
+        summary = state.summary
+        vtype = self._vertex_type(v, state.level)
+        bucket = state.bucket_of.get(vtype)
+        if bucket is None:
+            bucket = len(summary.weights)
+            state.bucket_of[vtype] = bucket
+            summary.weights.append(0)
+            summary.label_profiles.append({})
+        state.assignment[v] = bucket
+        summary.weights[bucket] += 1
+        labels = self.graph.vertex_labels(v)
+        profile = summary.label_profiles[bucket]
+        profile[labels] = profile.get(labels, 0) + 1
+
+    @staticmethod
+    def _drop_adjacency(
+        summary: SummaryGraph, key: Tuple[int, int, int], label: int
+    ) -> None:
+        for adj, anchor, other in (
+            (summary.out_adj, key[0], key[1]),
+            (summary.in_adj, key[1], key[0]),
+        ):
+            entries = adj[(anchor, label)]
+            entries.remove(other)
+            if not entries:
+                del adj[(anchor, label)]
+
+    def _compact_level(self, state: _LevelState) -> None:
+        """Renumber away drained buckets so candidate scans match a cold
+        build (an empty bucket would otherwise survive as a candidate for
+        unconstrained query vertices, skewing scan counters and
+        zero-cardinality diagnostics)."""
+        summary = state.summary
+        keep = [b for b, weight in enumerate(summary.weights) if weight > 0]
+        if len(keep) == len(summary.weights):
+            return
+        remap = {b: i for i, b in enumerate(keep)}
+        state.summary = SummaryGraph(
+            weights=[summary.weights[b] for b in keep],
+            label_profiles=[summary.label_profiles[b] for b in keep],
+            edge_weights={
+                (remap[s], remap[d], label): weight
+                for (s, d, label), weight in summary.edge_weights.items()
+            },
+            out_adj={
+                (remap[b], label): [remap[x] for x in others]
+                for (b, label), others in summary.out_adj.items()
+            },
+            in_adj={
+                (remap[b], label): [remap[x] for x in others]
+                for (b, label), others in summary.in_adj.items()
+            },
+        )
+        state.bucket_of = {
+            vtype: remap[b]
+            for vtype, b in state.bucket_of.items()
+            if b in remap
+        }
+        state.assignment = [remap[b] for b in state.assignment]
+
+    def reset_summary(self) -> None:
+        super().reset_summary()
+        self.summary = None
+        self._levels = []
+        self._coarsening_level = 0
 
     # ------------------------------------------------------------------
     # DecomposeQuery / GetSubstructure / EstCard / AggCard
@@ -290,7 +538,10 @@ class SumRDF(Estimator):
         return estimate
 
     def agg_card(self, card_vec: Sequence[float]) -> float:
-        return float(sum(card_vec))
+        # summed in sorted order: embedding enumeration order depends on
+        # summary adjacency-list order, which incremental maintenance
+        # permutes (same embedding multiset, different sequence)
+        return float(sum(sorted(card_vec)))
 
     def summary_objects(self) -> tuple:
         return (self.summary,) if self.summary is not None else ()

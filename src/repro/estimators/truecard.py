@@ -28,6 +28,12 @@ class TrueCardinality(Estimator):
     name = "tc"
     display_name = "TC"
     is_sampling_based = False
+    # the exact count only reads adjacency under the query's edge labels
+    # and membership of the query's vertex labels (connected queries)
+    delta_local = True
+
+    def update_summary(self, deltas) -> None:
+        """TC has no summary; the matcher always reads the live graph."""
 
     def decompose_query(self, query: QueryGraph) -> Sequence[QueryGraph]:
         self._backtrack_steps = 0

@@ -79,6 +79,11 @@ class WanderJoin(Estimator):
         self._walks = 0
         self._valid_walks = 0
 
+    def update_summary(self, deltas) -> None:
+        """WJ holds no offline summary: every estimate walks the live
+        graph, so a delta slice needs no summary work at all (the walk
+        budget tracks ``graph.num_edges`` through the rebound graph)."""
+
     # ------------------------------------------------------------------
     def decompose_query(self, query: QueryGraph) -> Sequence[JoinQueryGraph]:
         # one relation instance per query edge, with the query's vertex

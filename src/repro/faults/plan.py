@@ -70,7 +70,17 @@ EFFECT_FAULTS = ("exception", "hang", "slowdown", "memory")
 #: the worker boundary's only fault: a hard process death
 WORKER_FAULTS = ("crash",)
 #: service-site faults (what a hostile/broken client does to the daemon)
-SERVICE_FAULTS = ("malformed", "expired_deadline", "slowloris", "swap")
+#: — ``delta_swap`` streams a content-neutral mutation batch through the
+#: incremental swap path; ``torn_journal`` sends delta payloads the
+#: daemon must reject without publishing anything
+SERVICE_FAULTS = (
+    "malformed",
+    "expired_deadline",
+    "slowloris",
+    "swap",
+    "delta_swap",
+    "torn_journal",
+)
 
 ALL_FAULTS = EFFECT_FAULTS + VALUE_FAULTS + WORKER_FAULTS + SERVICE_FAULTS
 

@@ -43,6 +43,13 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 from .. import kernels as _kernels
 from ..kernels import ops as _kops
 from ..kernels import views as _kviews
+from .delta import (
+    DeltaError,
+    OP_ADD_EDGE,
+    OP_ADD_VERTEX,
+    OP_ADD_VERTEX_LABEL,
+    OP_REMOVE_EDGE,
+)
 from .digraph import Edge, Graph, GraphStats, UNLABELED
 
 
@@ -224,7 +231,9 @@ class _Direction:
 
     def __getstate__(self):
         state = {}
-        for slot in self.__slots__:
+        # the class constant, not self.__slots__: a subclass instance's
+        # __slots__ names only the subclass additions
+        for slot in _Direction.__slots__:
             if slot == "seg_cache":
                 continue
             value = getattr(self, slot)
@@ -263,6 +272,205 @@ class _Direction:
             return False
         index = bisect_left(self.sorted_targets, target, start, stop)
         return index < stop and self.sorted_targets[index] == target
+
+    def patch_row(self, v: int):
+        """Reseal overlay row for ``v`` (None on a pristine direction).
+
+        The patched subclass returns the copy-on-write adjacency row of a
+        vertex touched by :meth:`CompactGraph.reseal`; accessors consult
+        it before touching the CSR offsets (which still describe the
+        *base* generation for patched vertices).
+        """
+        return None
+
+
+#: shared immutable row for vertices added by a reseal and never touched
+#: again — real rows replace it on first mutation
+_EMPTY_ROW: Dict[int, Tuple[int, ...]] = {}
+
+
+class _PatchedDirection(_Direction):
+    """A direction with copy-on-write rows over a pristine base.
+
+    Shares the base CSR arenas (which may be read-only shared-memory
+    views — in-place mutation is impossible by construction) and carries
+    a ``rows`` dict holding the full ``label -> targets`` adjacency of
+    every vertex a reseal touched, in exactly the order a freshly sealed
+    graph would hold it.  Chained reseals stack onto the *same* base:
+    ``rows`` accumulates, and the compaction threshold in ``reseal``
+    bounds how far it can grow before a full rebuild.
+    """
+
+    __slots__ = ("rows", "base_n")
+
+    def __init__(
+        self,
+        base: _Direction,
+        rows: Dict[int, Dict[int, Tuple[int, ...]]],
+        base_n: int,
+    ) -> None:
+        # share the base arenas; no super().__init__() (it would rebuild)
+        self.lab_off = base.lab_off
+        self.lab = base.lab
+        self.seg_off = base.seg_off
+        self.targets = base.targets
+        self.sorted_targets = base.sorted_targets
+        self.seg_cache = {}
+        self.rows = rows
+        self.base_n = base_n
+
+    def patch_row(self, v: int):
+        row = self.rows.get(v)
+        if row is None and v >= self.base_n:
+            return _EMPTY_ROW
+        return row
+
+    def segment(self, v: int, label: int) -> Tuple[int, int]:
+        if self.patch_row(v) is not None:  # pragma: no cover - guarded
+            raise SealedGraphError(
+                "CSR segment offsets are undefined for a patched vertex"
+            )
+        return super().segment(v, label)
+
+    def neighbors(self, v: int, label: int) -> Tuple[int, ...]:
+        row = self.patch_row(v)
+        if row is None:
+            return super().neighbors(v, label)
+        return row.get(label, ())
+
+    def all_neighbors(self, v: int) -> List[int]:
+        row = self.patch_row(v)
+        if row is None:
+            return super().all_neighbors(v)
+        result: List[int] = []
+        for targets in row.values():
+            result.extend(targets)
+        return result
+
+    def degree(self, v: int) -> int:
+        row = self.patch_row(v)
+        if row is None:
+            return super().degree(v)
+        return sum(len(targets) for targets in row.values())
+
+    def label_map(self, v: int) -> Dict[int, Sequence[int]]:
+        row = self.patch_row(v)
+        if row is None:
+            return super().label_map(v)
+        return dict(row)
+
+    def contains(self, v: int, label: int, target: int) -> bool:
+        row = self.patch_row(v)
+        if row is None:
+            return super().contains(v, label, target)
+        return target in row.get(label, ())
+
+    def __getstate__(self):
+        state = super().__getstate__()
+        state["rows"] = self.rows
+        state["base_n"] = self.base_n
+        return state
+
+
+class _OverlayMap:
+    """Label-keyed mapping with copy-on-write overrides over a base map.
+
+    Backs the patched graph's ``_vindex_arrays`` / ``_esrc`` / ``_edst``:
+    untouched labels read straight from the base (a plain dict or a
+    :class:`_LazyShmMap` over a shared segment), touched labels from
+    private ``array('q')`` copies.  Iteration follows the patched
+    graph's label order so serialization and ``values()`` scans see the
+    same world the accessors do.
+    """
+
+    __slots__ = ("_base", "_over", "_order")
+
+    def __init__(self, base, over: Dict[int, array], order) -> None:
+        self._base = base
+        self._over = over
+        #: a callable returning the *current* label order — the graph's
+        #: order tuple is only final once reseal finishes building it
+        self._order = order
+
+    def get(self, label, default=None):
+        # order gate first: a label emptied by deletes keeps its (empty)
+        # override array, but must read as absent — like a fresh seal
+        if label not in self._order():
+            return default
+        data = self._over.get(label)
+        if data is not None:
+            return data
+        return self._base.get(label, default)
+
+    def __getitem__(self, label):
+        data = self.get(label)
+        if data is None:
+            raise KeyError(label)
+        return data
+
+    def __contains__(self, label) -> bool:
+        return label in self._order()
+
+    def __len__(self) -> int:
+        return len(self._order())
+
+    def __iter__(self):
+        return iter(self._order())
+
+    def keys(self):
+        return tuple(self._order())
+
+    def values(self):
+        return [self[label] for label in self._order()]
+
+    def items(self):
+        return [(label, self[label]) for label in self._order()]
+
+    def __getstate__(self):
+        # materialize: the base may hold shm memoryviews, and the lambda
+        # order closure is unpicklable anyway
+        return {label: array("q", data) for label, data in self.items()}
+
+    def __setstate__(self, state):
+        self._base = state
+        self._over = {}
+        order = tuple(state)
+        self._order = lambda: order
+
+
+class _OverlayVLabels(Sequence):
+    """Per-vertex label sets with overrides + appended vertices.
+
+    ``base`` is the sealed original's container (list or
+    :class:`_SharedVLabels`); ``over`` holds label sets changed by
+    ``add_vertex_label`` deltas; ``extra`` the sets of vertices added
+    after the base was sealed.
+    """
+
+    __slots__ = ("base", "over", "extra", "_base_n")
+
+    def __init__(self, base, over: Dict[int, FrozenSet[int]], extra) -> None:
+        self.base = base
+        self.over = over
+        self.extra = extra
+        self._base_n = len(base)
+
+    def __len__(self) -> int:
+        return self._base_n + len(self.extra)
+
+    def __getitem__(self, v):
+        if isinstance(v, slice):
+            return [self[i] for i in range(*v.indices(len(self)))]
+        if v >= self._base_n:
+            return self.extra[v - self._base_n]
+        override = self.over.get(v)
+        if override is not None:
+            return override
+        return self.base[v]
+
+    def __iter__(self):
+        for v in range(len(self)):
+            yield self[v]
 
 
 class _LazyShmMap:
@@ -364,6 +572,17 @@ class CompactGraph(Graph):
     """
 
     sealed = True
+    #: set (as an instance attribute) on graphs produced by the patching
+    #: fast path of :meth:`reseal`; kernels that bind raw CSR offsets
+    #: (the native matcher) key off it to fall back to accessor paths
+    _patched = False
+    #: provenance of the last reseal that produced this graph:
+    #: ``{"mode": "patched"|"compacted", "rows": ...}`` (None if sealed
+    #: from scratch) — observability counters read it at the call sites
+    last_reseal: Optional[dict] = None
+    #: mutation-count stamp mirrored from the source graph (class-level
+    #: default covers pickles from before generations existed)
+    generation = 0
 
     def __init__(self, source: Graph) -> None:
         # deliberately no super().__init__(): the dict containers never exist
@@ -413,6 +632,7 @@ class CompactGraph(Graph):
         #: instances; keys are namespaced tuples, values treated read-only
         self.shared_cache: Dict[tuple, object] = {}
         self._fingerprint: Optional[str] = None
+        self.generation = source.generation
 
     # ------------------------------------------------------------------
     # kernel hooks (zero-copy arena access for repro.kernels)
@@ -550,8 +770,12 @@ class CompactGraph(Graph):
         key = (v, label)
         cached = self._out_set_cache.get(key)
         if cached is None:
-            start, stop = self._fwd.segment(v, label)
-            cached = frozenset(self._fwd.targets[start:stop])
+            row = self._fwd.patch_row(v)
+            if row is not None:
+                cached = frozenset(row.get(label, ()))
+            else:
+                start, stop = self._fwd.segment(v, label)
+                cached = frozenset(self._fwd.targets[start:stop])
             self._out_set_cache[key] = cached
         return cached
 
@@ -560,8 +784,12 @@ class CompactGraph(Graph):
         key = (v, label)
         cached = self._in_set_cache.get(key)
         if cached is None:
-            start, stop = self._rev.segment(v, label)
-            cached = frozenset(self._rev.targets[start:stop])
+            row = self._rev.patch_row(v)
+            if row is not None:
+                cached = frozenset(row.get(label, ()))
+            else:
+                start, stop = self._rev.segment(v, label)
+                cached = frozenset(self._rev.targets[start:stop])
             self._in_set_cache[key] = cached
         return cached
 
@@ -603,6 +831,12 @@ class CompactGraph(Graph):
     # adjacency bitsets (the exact matcher's intersection kernel)
     # ------------------------------------------------------------------
     def _segment_bits(self, direction: _Direction, v: int, label: int) -> int:
+        row = direction.patch_row(v)
+        if row is not None:
+            ba = bytearray((self._n + 7) >> 3)
+            for t in row.get(label, ()):
+                ba[t >> 3] |= 1 << (t & 7)
+            return int.from_bytes(ba, "little")
         start, stop = direction.segment(v, label)
         if stop - start >= _kops.SMALL_INPUT * 2:
             view = self._targets_view(direction)
@@ -667,7 +901,10 @@ class CompactGraph(Graph):
         member = self.labels_member_set(vlabels)
         neighbors = direction.neighbors(v, label)
         values_arr = None
-        if len(neighbors) >= _kops.SMALL_INPUT:
+        if (
+            len(neighbors) >= _kops.SMALL_INPUT
+            and direction.patch_row(v) is None
+        ):
             view = self._targets_view(direction)
             if view is not None:
                 start, stop = direction.segment(v, label)
@@ -800,6 +1037,358 @@ class CompactGraph(Graph):
         )
 
     # ------------------------------------------------------------------
+    # incremental re-seal (the O(delta) alternative to thaw + seal)
+    # ------------------------------------------------------------------
+    @property
+    def is_patched(self) -> bool:
+        """True when this graph overlays delta patches on shared arenas."""
+        return self._patched
+
+    def thaw(self) -> Graph:
+        """Reconstruct the mutable dict-backed graph, orders preserved.
+
+        The exact inverse of sealing: every adjacency dict, index list
+        and label order comes back in the iteration order the accessors
+        expose, so ``thaw().seal()`` round-trips to an equivalent sealed
+        graph (same elements, same orders, same generation).  Cost is a
+        full O(n + m) rebuild — ``reseal`` uses it only past the patch
+        budget, and streaming callers only to branch a mutable copy.
+        """
+        graph = Graph(self.num_graphs)
+        graph._vlabels = [self.vertex_labels(v) for v in range(self._n)]
+        graph._out = [
+            {label: list(view) for label, view in self.out_label_map(v).items()}
+            for v in range(self._n)
+        ]
+        graph._in = [
+            {label: list(view) for label, view in self.in_label_map(v).items()}
+            for v in range(self._n)
+        ]
+        graph._vindex = {
+            label: list(self.vertices_with_label(label))
+            for label in self._vlabel_order
+        }
+        graph._eindex = {
+            label: list(self.edges_with_label(label))
+            for label in self._elabel_order
+        }
+        graph._edge_set = {
+            (src, dst, label)
+            for label, pairs in graph._eindex.items()
+            for src, dst in pairs
+        }
+        graph._num_edges = self._m
+        graph.generation = self.generation
+        return graph
+
+    def compacted(self) -> "CompactGraph":
+        """Rebuild a patched graph into pristine CSR arenas (same content).
+
+        A no-op on unpatched graphs.  The rebuilt graph keeps this
+        graph's fingerprint — content is identical, so summary-cache
+        identity must not change.
+        """
+        if not self._patched:
+            return self
+        new = CompactGraph(self.thaw())
+        new._fingerprint = self._fingerprint
+        new.last_reseal = {"mode": "compacted", "rows": 0}
+        return new
+
+    def _lineage_fingerprint(self, deltas) -> Optional[str]:
+        """Fingerprint of ``self`` advanced by ``deltas`` — O(delta).
+
+        Derived from the parent fingerprint plus the delta payloads, so
+        stamping it never costs a content walk; None when the parent was
+        never fingerprinted (the summary cache will content-hash the
+        patched graph lazily, which also works).
+        """
+        if self._fingerprint is None:
+            return None
+        from hashlib import blake2b
+
+        digest = blake2b(digest_size=16)
+        digest.update(b"reseal:")
+        digest.update(str(self._fingerprint).encode())
+        for delta in deltas:
+            digest.update(repr(delta.to_payload()).encode())
+        return digest.hexdigest()
+
+    def reseal(self, deltas, max_patch_fraction: float = 0.25) -> "CompactGraph":
+        """A new sealed graph = this graph advanced by a delta slice.
+
+        The fast path never rebuilds the CSR arenas: vertices the slice
+        touches get full copy-on-write adjacency rows (the arenas may be
+        read-only shared-memory pages, so in-place slack slots are off
+        the table), per-label index arrays are copied only for touched
+        labels, and everything else keeps aliasing the base buffers.
+        Cost is O(delta x degree + touched labels), independent of graph
+        size, and query-visible behavior is bit-identical to sealing the
+        mutated graph from scratch (``tests/test_incremental.py``).
+
+        Patches accumulate across chained reseals; once touched rows
+        exceed ``max_patch_fraction`` of all rows, falls back to a full
+        ``thaw + apply + seal`` rebuild (``last_reseal["mode"]`` says
+        which path ran).  ``self`` is unchanged and stays queryable at
+        its own generation; the result is ``len(deltas)`` generations
+        ahead and carries an O(delta) lineage fingerprint.
+
+        Raises :class:`~repro.graph.delta.DeltaError` (before any state
+        is visible anywhere) when the slice does not apply cleanly.
+        """
+        deltas = list(deltas)
+        if not deltas:
+            return self
+        touched = set()
+        for delta in deltas:
+            if delta.op in (OP_ADD_EDGE, OP_REMOVE_EDGE):
+                touched.add(delta.src)
+                touched.add(delta.dst)
+        carried = (
+            len(self._fwd.rows) + len(self._rev.rows)
+            if isinstance(self._fwd, _PatchedDirection)
+            else 0
+        )
+        if carried + 2 * len(touched) > max_patch_fraction * max(2 * self._n, 1):
+            graph = self.thaw()
+            graph.apply(deltas)
+            new = CompactGraph(graph)
+            new._fingerprint = self._lineage_fingerprint(deltas)
+            new.last_reseal = {"mode": "compacted", "rows": len(touched)}
+            return new
+        return self._reseal_patch(deltas)
+
+    def _reseal_patch(self, deltas) -> "CompactGraph":
+        """The copy-on-write fast path of :meth:`reseal`."""
+        # -- working state, branched copy-on-write off the current graph --
+        if isinstance(self._fwd, _PatchedDirection):
+            fwd_rows = dict(self._fwd.rows)
+            rev_rows = dict(self._rev.rows)
+            fwd_base_n = self._fwd.base_n
+            rev_base_n = self._rev.base_n
+        else:
+            fwd_rows = {}
+            rev_rows = {}
+            fwd_base_n = rev_base_n = self._n
+        edited_fwd: set = set()
+        edited_rev: set = set()
+
+        if isinstance(self._vlabels, _OverlayVLabels):
+            vl_base = self._vlabels.base
+            vl_over = dict(self._vlabels.over)
+            vl_extra = list(self._vlabels.extra)
+        else:
+            vl_base = self._vlabels
+            vl_over = {}
+            vl_extra = []
+        base_vl_n = len(vl_base)
+
+        def _split(mapping):
+            if isinstance(mapping, _OverlayMap):
+                return mapping._base, dict(mapping._over)
+            return mapping, {}
+
+        vindex_base, vindex_over = _split(self._vindex_arrays)
+        esrc_base, esrc_over = _split(self._esrc)
+        edst_base, edst_over = _split(self._edst)
+        # labels whose override arrays are private to THIS reseal; a
+        # parent's override must be copied before the first mutation so
+        # the parent generation stays queryable
+        edited_vlabels: set = set()
+        edited_elabels: set = set()
+        vlabel_order = list(self._vlabel_order)
+        elabel_order = list(self._elabel_order)
+        n = self._n
+        m = self._m
+
+        def edit_row(rows, edited, direction, base_n, v):
+            if v in edited:
+                return rows[v]
+            row = rows.get(v)
+            if row is not None:
+                row = {label: list(t) for label, t in row.items()}
+            elif v >= base_n:
+                row = {}
+            else:
+                row = {
+                    label: list(view)
+                    for label, view in direction.label_map(v).items()
+                }
+            rows[v] = row
+            edited.add(v)
+            return row
+
+        def edit_vindex(label):
+            if label not in edited_vlabels:
+                current = vindex_over.get(label)
+                if current is None:
+                    current = vindex_base.get(label)
+                vindex_over[label] = (
+                    array("q", current) if current is not None else array("q")
+                )
+                edited_vlabels.add(label)
+            return vindex_over[label]
+
+        def edit_pairs(label):
+            if label not in edited_elabels:
+                src = esrc_over.get(label)
+                dst = edst_over.get(label)
+                if src is None and label in elabel_order:
+                    src = esrc_base.get(label)
+                    dst = edst_base.get(label)
+                esrc_over[label] = (
+                    array("q", src) if src is not None else array("q")
+                )
+                edst_over[label] = (
+                    array("q", dst) if dst is not None else array("q")
+                )
+                edited_elabels.add(label)
+            return esrc_over[label], edst_over[label]
+
+        for delta in deltas:
+            op = delta.op
+            if op == OP_ADD_EDGE:
+                s, d, label = delta.src, delta.dst, delta.label
+                if not (0 <= s < n and 0 <= d < n):
+                    raise DeltaError(
+                        f"add_edge({s}, {d}, {label}): vertex out of range"
+                    )
+                frow = edit_row(fwd_rows, edited_fwd, self._fwd, fwd_base_n, s)
+                dsts = frow.get(label)
+                if dsts is None:
+                    frow[label] = dsts = []
+                elif d in dsts:
+                    raise DeltaError(
+                        f"add_edge({s}, {d}, {label}): edge already present"
+                    )
+                dsts.append(d)
+                rrow = edit_row(rev_rows, edited_rev, self._rev, rev_base_n, d)
+                srcs = rrow.get(label)
+                if srcs is None:
+                    rrow[label] = srcs = []
+                srcs.append(s)
+                src_arr, dst_arr = edit_pairs(label)
+                src_arr.append(s)
+                dst_arr.append(d)
+                if label not in elabel_order:
+                    elabel_order.append(label)
+                m += 1
+            elif op == OP_REMOVE_EDGE:
+                s, d, label = delta.src, delta.dst, delta.label
+                frow = (
+                    edit_row(fwd_rows, edited_fwd, self._fwd, fwd_base_n, s)
+                    if 0 <= s < n
+                    else None
+                )
+                dsts = frow.get(label) if frow is not None else None
+                if dsts is None or d not in dsts:
+                    raise DeltaError(
+                        f"remove_edge({s}, {d}, {label}): no such edge"
+                    )
+                dsts.remove(d)
+                if not dsts:
+                    del frow[label]
+                rrow = edit_row(rev_rows, edited_rev, self._rev, rev_base_n, d)
+                srcs = rrow[label]
+                srcs.remove(s)
+                if not srcs:
+                    del rrow[label]
+                src_arr, dst_arr = edit_pairs(label)
+                for i in range(len(src_arr)):
+                    if src_arr[i] == s and dst_arr[i] == d:
+                        del src_arr[i]
+                        del dst_arr[i]
+                        break
+                if not src_arr:
+                    elabel_order.remove(label)
+                m -= 1
+            elif op == OP_ADD_VERTEX:
+                if delta.src >= 0 and delta.src != n:
+                    raise DeltaError(
+                        f"add_vertex assigned id {n}, journal recorded "
+                        f"{delta.src} (slice from a different base?)"
+                    )
+                labels = frozenset(delta.labels)
+                vl_extra.append(labels)
+                for label in labels:
+                    edit_vindex(label).append(n)
+                    if label not in vlabel_order:
+                        vlabel_order.append(label)
+                n += 1
+            else:  # OP_ADD_VERTEX_LABEL
+                v, label = delta.src, delta.label
+                if not 0 <= v < n:
+                    raise DeltaError(
+                        f"add_vertex_label({v}, {label}): no such vertex"
+                    )
+                if v >= base_vl_n:
+                    current = vl_extra[v - base_vl_n]
+                else:
+                    current = vl_over.get(v)
+                    if current is None:
+                        current = vl_base[v]
+                if label in current:
+                    raise DeltaError(
+                        f"add_vertex_label({v}, {label}): label already "
+                        f"attached"
+                    )
+                updated = current | {label}
+                if v >= base_vl_n:
+                    vl_extra[v - base_vl_n] = updated
+                else:
+                    vl_over[v] = updated
+                edit_vindex(label).append(v)
+                if label not in vlabel_order:
+                    vlabel_order.append(label)
+
+        # -- freeze and assemble the new sealed graph --
+        for v in edited_fwd:
+            fwd_rows[v] = {lbl: tuple(t) for lbl, t in fwd_rows[v].items()}
+        for v in edited_rev:
+            rev_rows[v] = {lbl: tuple(t) for lbl, t in rev_rows[v].items()}
+
+        new = CompactGraph.__new__(CompactGraph)
+        new.num_graphs = self.num_graphs
+        new._n = n
+        new._m = m
+        new._vlabels = (
+            _OverlayVLabels(vl_base, vl_over, vl_extra)
+            if (vl_over or vl_extra)
+            else self._vlabels
+        )
+        new._fwd = _PatchedDirection(self._fwd, fwd_rows, fwd_base_n)
+        new._rev = _PatchedDirection(self._rev, rev_rows, rev_base_n)
+        new._vlabel_order = tuple(vlabel_order)
+        new._elabel_order = tuple(elabel_order)
+        new._vindex_arrays = _OverlayMap(
+            vindex_base, vindex_over, lambda: new._vlabel_order
+        )
+        new._esrc = _OverlayMap(esrc_base, esrc_over, lambda: new._elabel_order)
+        new._edst = _OverlayMap(edst_base, edst_over, lambda: new._elabel_order)
+        new._out_set_cache = {}
+        new._in_set_cache = {}
+        new._vlabel_set_cache = {}
+        new._vlabels_members_cache = {}
+        new._labels_set_cache = {}
+        new._edge_pairs_cache = {}
+        new._out_bits_cache = {}
+        new._in_bits_cache = {}
+        new._labels_bits_cache = {}
+        new._filtered_cache = {}
+        new.shared_cache = {}
+        # keep the shared segment mapped while the overlay aliases it
+        new._shm_view = self._shm_view
+        new._fingerprint = self._lineage_fingerprint(deltas)
+        new.generation = self.generation + len(deltas)
+        new._patched = True
+        new.last_reseal = {
+            "mode": "patched",
+            "rows": len(edited_fwd) + len(edited_rev),
+            "carried_rows": len(fwd_rows) + len(rev_rows),
+        }
+        return new
+
+    # ------------------------------------------------------------------
     # shared memory (zero-copy publication to worker processes)
     # ------------------------------------------------------------------
     def to_shm(self):
@@ -815,6 +1404,11 @@ class CompactGraph(Graph):
         """
         from ..shm import ShmArena, ShmRef
 
+        if self._patched:
+            # a patched graph aliases buffers it does not own (possibly
+            # pages of the segment being replaced); publish a compacted
+            # rebuild so the new segment is self-contained
+            return self.compacted().to_shm()
         arena = ShmArena()
         for tag, direction in (("f", self._fwd), ("r", self._rev)):
             arena.add_ints((tag, "lab_off"), direction.lab_off)
@@ -848,6 +1442,7 @@ class CompactGraph(Graph):
             "elabel_order": self._elabel_order,
             "vsets": tuple(table),
             "fingerprint": self._fingerprint,
+            "generation": self.generation,
         }
         return handle, ShmRef("graph", manifest)
 
@@ -898,6 +1493,7 @@ class CompactGraph(Graph):
         self._filtered_cache = {}
         self.shared_cache = {}
         self._fingerprint = meta["fingerprint"]
+        self.generation = meta.get("generation", 0)
         self._shm_view = view
         return self
 

@@ -1,0 +1,259 @@
+"""Typed mutation records for the incremental-graph subsystem.
+
+A :class:`Delta` is one effective mutation of a :class:`~repro.graph.
+digraph.Graph` — an edge insert/delete, a new vertex, or a vertex-label
+attachment.  Graphs with journaling enabled (``graph.enable_journal()``)
+append one record per successful mutation, so a *journal slice* between
+two generation stamps replays the exact mutation sequence:
+
+* ``Graph.apply(deltas)`` re-runs the slice against a mutable graph,
+* ``CompactGraph.reseal(deltas)`` patches a sealed graph's CSR arenas
+  in amortized O(delta) instead of resealing from scratch,
+* ``Estimator.apply_deltas(graph, deltas)`` updates per-technique
+  summaries in place (the optional ``update_summary`` Algorithm-1 hook).
+
+Every consumer relies on the same contract: the slice is **contiguous**
+(its first record is the mutation that produced ``base_generation + 1``)
+and every record was **effective** (duplicate edge adds and no-op removes
+are never journaled, so replays apply cleanly or fail loudly with
+:class:`DeltaError`).  Generations are therefore pure mutation counts:
+applying ``k`` deltas to a graph at generation ``g`` always yields
+generation ``g + k``, on the mutable and the sealed substrate alike.
+
+Records serialize to plain JSON lists (``to_payload`` /
+``deltas_from_payload``) so the serve daemon's ``POST /swap`` delta mode
+can ship a journal over HTTP without shipping arenas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..core.errors import GCareError
+
+#: delta record kinds, in the order the journal may contain them
+OP_ADD_EDGE = "add_edge"
+OP_REMOVE_EDGE = "remove_edge"
+OP_ADD_VERTEX = "add_vertex"
+OP_ADD_VERTEX_LABEL = "add_vertex_label"
+
+_OPS = (OP_ADD_EDGE, OP_REMOVE_EDGE, OP_ADD_VERTEX, OP_ADD_VERTEX_LABEL)
+
+
+class DeltaError(GCareError):
+    """A delta slice does not apply cleanly to the graph it was given.
+
+    Raised on non-effective records (inserting an edge that already
+    exists, removing one that does not), vertex-id mismatches (the slice
+    was recorded against a different base), and malformed payloads from
+    the wire.  Consumers treat it as a torn journal: the batch is
+    rejected as a whole, nothing is partially applied to any published
+    structure.
+    """
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One effective graph mutation.
+
+    ``src``/``dst``/``label`` describe edge ops; vertex ops use ``src``
+    as the vertex id, ``labels`` as the (unordered) vertex label set of
+    an ``add_vertex``, and ``label`` as the attached label of an
+    ``add_vertex_label``.
+    """
+
+    op: str
+    src: int = -1
+    dst: int = -1
+    label: int = -1
+    labels: Tuple[int, ...] = ()
+
+    def apply_to(self, graph) -> None:
+        """Replay this record against a mutable graph (or raise)."""
+        if self.op == OP_ADD_EDGE:
+            if not graph.add_edge(self.src, self.dst, self.label):
+                raise DeltaError(
+                    f"add_edge({self.src}, {self.dst}, {self.label}): "
+                    "edge already present"
+                )
+        elif self.op == OP_REMOVE_EDGE:
+            if not graph.remove_edge(self.src, self.dst, self.label):
+                raise DeltaError(
+                    f"remove_edge({self.src}, {self.dst}, {self.label}): "
+                    "no such edge"
+                )
+        elif self.op == OP_ADD_VERTEX:
+            vid = graph.add_vertex(self.labels)
+            if self.src >= 0 and vid != self.src:
+                raise DeltaError(
+                    f"add_vertex assigned id {vid}, journal recorded "
+                    f"{self.src} (slice replayed against a different base?)"
+                )
+        elif self.op == OP_ADD_VERTEX_LABEL:
+            if self.label in graph.vertex_labels(self.src):
+                raise DeltaError(
+                    f"add_vertex_label({self.src}, {self.label}): "
+                    "label already attached"
+                )
+            graph.add_vertex_label(self.src, self.label)
+        else:  # pragma: no cover - constructor validates in from_payload
+            raise DeltaError(f"unknown delta op {self.op!r}")
+
+    # ------------------------------------------------------------------
+    # wire format
+    # ------------------------------------------------------------------
+    def to_payload(self) -> list:
+        """JSON-serializable form: ``[op, ...operands]``."""
+        if self.op == OP_ADD_VERTEX:
+            return [self.op, self.src, sorted(self.labels)]
+        if self.op == OP_ADD_VERTEX_LABEL:
+            return [self.op, self.src, self.label]
+        return [self.op, self.src, self.dst, self.label]
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "Delta":
+        """Parse one wire record; raises :class:`DeltaError` when torn."""
+        if not isinstance(payload, (list, tuple)) or not payload:
+            raise DeltaError(f"malformed delta record: {payload!r}")
+        op = payload[0]
+        if op not in _OPS:
+            raise DeltaError(f"unknown delta op {op!r}")
+        try:
+            if op == OP_ADD_VERTEX:
+                _, vid, labels = payload
+                labels = tuple(int(label) for label in labels)
+                return cls(op=op, src=int(vid), labels=labels)
+            if op == OP_ADD_VERTEX_LABEL:
+                _, vid, label = payload
+                return cls(op=op, src=int(vid), label=int(label))
+            _, src, dst, label = payload
+            return cls(op=op, src=int(src), dst=int(dst), label=int(label))
+        except (TypeError, ValueError) as exc:
+            raise DeltaError(
+                f"malformed delta record {payload!r}: {exc}"
+            ) from None
+
+
+def deltas_to_payload(deltas: Sequence[Delta]) -> List[list]:
+    return [delta.to_payload() for delta in deltas]
+
+
+def deltas_from_payload(payload: object) -> List[Delta]:
+    if not isinstance(payload, (list, tuple)):
+        raise DeltaError("deltas must be a JSON list of records")
+    return [Delta.from_payload(record) for record in payload]
+
+
+def touched_labels(
+    deltas: Sequence[Delta],
+) -> Tuple[Set[int], Set[int]]:
+    """The ``(edge_labels, vertex_labels)`` a delta slice touches.
+
+    This is the invalidation scope of the slice for delta-local
+    consumers (see :attr:`repro.core.framework.Estimator.delta_local`):
+    a cached estimate of a connected query whose label sets are disjoint
+    from both is unaffected by the slice.
+    """
+    edge_labels: Set[int] = set()
+    vertex_labels: Set[int] = set()
+    for delta in deltas:
+        if delta.op in (OP_ADD_EDGE, OP_REMOVE_EDGE):
+            edge_labels.add(delta.label)
+        elif delta.op == OP_ADD_VERTEX:
+            vertex_labels.update(delta.labels)
+        elif delta.op == OP_ADD_VERTEX_LABEL:
+            vertex_labels.add(delta.label)
+    return edge_labels, vertex_labels
+
+
+class DeltaSummary:
+    """Aggregate view of one delta slice, for summary maintenance.
+
+    Incremental ``update_summary`` implementations need the *pre-slice*
+    state of every touched vertex, but only hold the *post-slice* graph.
+    This helper reverse-applies the slice: per-vertex out/in degree
+    changes by edge label, vertex labels attached mid-slice, which
+    vertices are new, and the label scopes the slice touched (the serve
+    cache's per-entry invalidation fence).
+    """
+
+    def __init__(self, deltas: Sequence[Delta], new_num_vertices: int) -> None:
+        self.deltas = list(deltas)
+        self.added_edges: List[Tuple[int, int, int]] = []
+        self.removed_edges: List[Tuple[int, int, int]] = []
+        #: v -> {edge label -> net out/in degree change over the slice}
+        self.out_change: Dict[int, Dict[int, int]] = {}
+        self.in_change: Dict[int, Dict[int, int]] = {}
+        #: v -> vertex labels attached during the slice (existing vertices)
+        self.vlabels_added: Dict[int, Set[int]] = {}
+        new_vertices = 0
+        touched_elabels: Set[int] = set()
+        touched_vlabels: Set[int] = set()
+        for delta in self.deltas:
+            if delta.op == OP_ADD_EDGE or delta.op == OP_REMOVE_EDGE:
+                sign = 1 if delta.op == OP_ADD_EDGE else -1
+                edge = (delta.src, delta.dst, delta.label)
+                (self.added_edges if sign > 0 else self.removed_edges).append(
+                    edge
+                )
+                out = self.out_change.setdefault(delta.src, {})
+                out[delta.label] = out.get(delta.label, 0) + sign
+                inn = self.in_change.setdefault(delta.dst, {})
+                inn[delta.label] = inn.get(delta.label, 0) + sign
+                touched_elabels.add(delta.label)
+            elif delta.op == OP_ADD_VERTEX:
+                new_vertices += 1
+                touched_vlabels.update(delta.labels)
+            else:  # OP_ADD_VERTEX_LABEL
+                self.vlabels_added.setdefault(delta.src, set()).add(
+                    delta.label
+                )
+                touched_vlabels.add(delta.label)
+        #: first vertex id that did not exist before the slice
+        self.old_num_vertices = new_num_vertices - new_vertices
+        self.touched_edge_labels = frozenset(touched_elabels)
+        self.touched_vertex_labels = frozenset(touched_vlabels)
+
+    def is_new(self, v: int) -> bool:
+        return v >= self.old_num_vertices
+
+    def touched_vertices(self) -> Set[int]:
+        """Every pre-existing vertex whose key state may have moved."""
+        touched = set(self.out_change) | set(self.in_change)
+        touched.update(self.vlabels_added)
+        return {v for v in touched if v < self.old_num_vertices}
+
+    def old_vertex_labels(self, v: int, current: frozenset) -> frozenset:
+        """``v``'s vertex label set before the slice."""
+        added = self.vlabels_added.get(v)
+        if not added:
+            return current
+        return current - added
+
+    @staticmethod
+    def _rewind(current: Iterable[Tuple[int, int]], change: Dict[int, int]):
+        """Label->count map before the slice, from post-slice (label, n)."""
+        counts = {label: n for label, n in current}
+        for label, net in change.items():
+            old = counts.get(label, 0) - net
+            if old > 0:
+                counts[label] = old
+            else:
+                counts.pop(label, None)
+        return counts
+
+    def old_out_counts(self, v: int, graph) -> Dict[int, int]:
+        """``v``'s out-degree per edge label before the slice."""
+        return self._rewind(
+            ((label, len(dsts)) for label, dsts in
+             graph.out_label_map(v).items()),
+            self.out_change.get(v, {}),
+        )
+
+    def old_in_counts(self, v: int, graph) -> Dict[int, int]:
+        return self._rewind(
+            ((label, len(srcs)) for label, srcs in
+             graph.in_label_map(v).items()),
+            self.in_change.get(v, {}),
+        )

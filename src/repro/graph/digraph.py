@@ -81,6 +81,14 @@ class Graph:
         self._vwl_cache: Dict[int, Tuple[int, ...]] = {}
         self._ewl_cache: Dict[int, Tuple[Tuple[int, int], ...]] = {}
         self._vset_cache: Dict[int, FrozenSet[int]] = {}
+        #: monotonically increasing mutation count; every effective
+        #: mutation (edge add/remove, vertex add, label attach) bumps it
+        self.generation = 0
+        #: mutation journal (None until :meth:`enable_journal`); entries
+        #: are :class:`~repro.graph.delta.Delta` records, one per bump of
+        #: ``generation`` past ``_journal_base``
+        self._journal = None
+        self._journal_base = 0
         #: number of member graphs when this graph is a disjoint union of a
         #: collection (the AIDS dataset); embeddings aggregate across members.
         self.num_graphs = num_graphs
@@ -99,6 +107,13 @@ class Graph:
             self._vindex.setdefault(label, []).append(vid)
             self._vwl_cache.pop(label, None)
             self._vset_cache.pop(label, None)
+        self.generation += 1
+        if self._journal is not None:
+            from .delta import OP_ADD_VERTEX, Delta
+
+            self._journal.append(
+                Delta(op=OP_ADD_VERTEX, src=vid, labels=tuple(labels))
+            )
         return vid
 
     def add_vertex_label(self, v: int, label: int) -> None:
@@ -109,6 +124,13 @@ class Graph:
         self._vindex.setdefault(label, []).append(v)
         self._vwl_cache.pop(label, None)
         self._vset_cache.pop(label, None)
+        self.generation += 1
+        if self._journal is not None:
+            from .delta import OP_ADD_VERTEX_LABEL, Delta
+
+            self._journal.append(
+                Delta(op=OP_ADD_VERTEX_LABEL, src=v, label=label)
+            )
 
     def add_edge(self, src: int, dst: int, label: int = UNLABELED) -> bool:
         """Add a directed labeled edge; return False if it already existed."""
@@ -121,7 +143,98 @@ class Graph:
         self._eindex.setdefault(label, []).append((src, dst))
         self._ewl_cache.pop(label, None)
         self._num_edges += 1
+        self.generation += 1
+        if self._journal is not None:
+            from .delta import OP_ADD_EDGE, Delta
+
+            self._journal.append(
+                Delta(op=OP_ADD_EDGE, src=src, dst=dst, label=label)
+            )
         return True
+
+    def remove_edge(self, src: int, dst: int, label: int = UNLABELED) -> bool:
+        """Remove a directed labeled edge; return False if it was absent.
+
+        Exactly undoes :meth:`add_edge`, including the dict-shape
+        effects the sealed substrate's order contract keys on: an
+        adjacency or index list emptied by the removal has its *key*
+        deleted too, so a later re-add appends the label at the end of
+        the label map again (first-insertion order, like a fresh graph).
+        """
+        key = (src, dst, label)
+        if key not in self._edge_set:
+            return False
+        self._edge_set.discard(key)
+        outs = self._out[src]
+        outs[label].remove(dst)
+        if not outs[label]:
+            del outs[label]
+        ins = self._in[dst]
+        ins[label].remove(src)
+        if not ins[label]:
+            del ins[label]
+        pairs = self._eindex[label]
+        pairs.remove((src, dst))
+        if not pairs:
+            del self._eindex[label]
+        self._ewl_cache.pop(label, None)
+        self._num_edges -= 1
+        self.generation += 1
+        if self._journal is not None:
+            from .delta import OP_REMOVE_EDGE, Delta
+
+            self._journal.append(
+                Delta(op=OP_REMOVE_EDGE, src=src, dst=dst, label=label)
+            )
+        return True
+
+    # ------------------------------------------------------------------
+    # mutation journal
+    # ------------------------------------------------------------------
+    def enable_journal(self) -> "Graph":
+        """Start recording mutations as typed delta records.
+
+        Off by default so bulk loaders don't pay one record per edge;
+        streaming callers enable it once after the initial load.  The
+        journal records every mutation from this point on, indexed by
+        generation: ``deltas_since(g)`` is the exact slice that advanced
+        the graph from generation ``g`` to the present.
+        """
+        if self._journal is None:
+            self._journal = []
+            self._journal_base = self.generation
+        return self
+
+    @property
+    def journal(self):
+        """The recorded delta records (a tuple; empty until enabled)."""
+        return tuple(self._journal) if self._journal is not None else ()
+
+    def deltas_since(self, generation: int):
+        """Journal slice that advanced ``generation`` -> ``self.generation``."""
+        if self._journal is None:
+            raise ValueError("journaling is not enabled on this graph")
+        if generation < self._journal_base or generation > self.generation:
+            raise ValueError(
+                f"generation {generation} outside journal coverage "
+                f"[{self._journal_base}, {self.generation}]"
+            )
+        return list(self._journal[generation - self._journal_base:])
+
+    def apply(self, deltas) -> int:
+        """Apply a batch of delta records; returns how many were applied.
+
+        Every record must be effective (the contract journals guarantee);
+        a record that does not apply cleanly raises
+        :class:`~repro.graph.delta.DeltaError` — by then earlier records
+        of the batch *have* been applied, so callers treating batches as
+        transactions must validate first or work on a copy.
+        """
+        applied = 0
+        for delta in deltas:
+            delta.apply_to(self)
+            applied += 1
+        return applied
 
     def add_undirected_edge(self, u: int, v: int, label: int = UNLABELED) -> None:
         """Add both directions of an undirected edge (paper, Section 2)."""

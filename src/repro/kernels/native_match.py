@@ -232,6 +232,10 @@ def build_native_matcher(counter, lib: NativeLib):
     rev = getattr(graph, "_rev", None)
     if fwd is None or rev is None:
         return None
+    if getattr(graph, "_patched", False):
+        # a resealed graph's CSR offsets do not cover its patched rows;
+        # the Python loop reads through the overlay accessors instead
+        return None
     if not counter._bitsets:
         # non-bitset counters use a different (insertion-order) candidate
         # pipeline for multi-constraint nodes; the C kernel replicates

@@ -21,6 +21,12 @@ Semantics:
   entries additionally remember the generation that produced them so a
   racing put from an in-flight old-generation request can never resurrect
   a stale result after the swap (:meth:`put` drops mismatched writes).
+* **delta retargeting** — a *delta* swap (an incremental update shipping
+  a mutation journal instead of a whole graph) calls :meth:`retarget`
+  instead of :meth:`clear`: entries whose technique is delta-local and
+  whose recorded label scope is disjoint from the labels the batch
+  touched are provably unaffected, so they survive re-stamped to the new
+  generation; everything else (and every unscoped entry) is dropped.
 
 Thread safety: one lock around every operation; the critical sections
 are dictionary moves, so contention is negligible next to an estimate.
@@ -31,7 +37,49 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from typing import Callable, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class CacheScope:
+    """What one cached estimate provably depends on.
+
+    ``delta_local`` mirrors the technique's
+    :attr:`~repro.core.framework.Estimator.delta_local` contract: the
+    estimate reads only graph state within the query's label scope
+    (assuming connected queries).  ``edge_labels`` / ``vertex_labels``
+    are the query's label sets.  An entry survives a delta swap iff the
+    technique is delta-local and both scopes are disjoint from the labels
+    the delta batch touched.
+    """
+
+    delta_local: bool
+    edge_labels: frozenset
+    vertex_labels: frozenset
+
+    @classmethod
+    def for_query(cls, delta_local: bool, query) -> "CacheScope":
+        return cls(
+            delta_local=bool(delta_local),
+            edge_labels=frozenset(label for _, _, label in query.edges),
+            vertex_labels=frozenset(
+                label
+                for labels in query.vertex_labels
+                for label in labels
+            ),
+        )
+
+    def survives(
+        self,
+        touched_edge_labels: frozenset,
+        touched_vertex_labels: frozenset,
+    ) -> bool:
+        return (
+            self.delta_local
+            and not (self.edge_labels & touched_edge_labels)
+            and not (self.vertex_labels & touched_vertex_labels)
+        )
 
 
 class ResultCache:
@@ -50,8 +98,10 @@ class ResultCache:
         self.max_entries = max_entries
         self.ttl = ttl
         self.clock = clock
-        #: fingerprint -> (stored_at, generation, payload)
-        self._entries: "OrderedDict[str, Tuple[float, int, dict]]" = OrderedDict()
+        #: fingerprint -> (stored_at, generation, payload, scope)
+        self._entries: "OrderedDict[str, Tuple[float, int, dict, Optional[CacheScope]]]" = (
+            OrderedDict()
+        )
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -77,7 +127,8 @@ class ResultCache:
             if entry is None:
                 self.misses += 1
                 return None
-            stored_at, generation, payload = entry
+            stored_at = entry[0]
+            payload = entry[2]
             if self.ttl is not None and now - stored_at >= self.ttl:
                 del self._entries[fingerprint]
                 self.expirations += 1
@@ -87,20 +138,31 @@ class ResultCache:
             self.hits += 1
             return dict(payload)
 
-    def put(self, fingerprint: str, payload: dict, generation: int) -> bool:
+    def put(
+        self,
+        fingerprint: str,
+        payload: dict,
+        generation: int,
+        scope: Optional[CacheScope] = None,
+    ) -> bool:
         """Store a payload; returns False when the write was fenced off.
 
         ``generation`` must match the cache's current generation —
         an in-flight request that started before a graph swap completes
         after :meth:`clear` ran, and its stale result must not be cached
         against the new graph.
+
+        ``scope`` (optional) records what the estimate depends on; only
+        scoped entries are eligible to survive a :meth:`retarget`.
         """
         if self.max_entries == 0:
             return False
         with self._lock:
             if generation != self.generation:
                 return False
-            self._entries[fingerprint] = (self.clock(), generation, dict(payload))
+            self._entries[fingerprint] = (
+                self.clock(), generation, dict(payload), scope,
+            )
             self._entries.move_to_end(fingerprint)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
@@ -129,6 +191,42 @@ class ResultCache:
             self._entries.clear()
             if new_generation is not None:
                 self.generation = new_generation
+
+    def retarget(
+        self,
+        new_generation: int,
+        touched_edge_labels: Iterable[int] = (),
+        touched_vertex_labels: Iterable[int] = (),
+    ) -> Tuple[int, int]:
+        """Delta swap: keep provably-unaffected entries, drop the rest.
+
+        An entry survives iff its :class:`CacheScope` says the producing
+        technique is delta-local *and* the entry's label scopes are
+        disjoint from the labels the delta batch touched.  Survivors are
+        re-stamped to ``new_generation`` (their payload's ``generation``
+        field still names the generation that computed them — a truthful
+        provenance, since delta-locality guarantees the estimate is
+        bit-identical under the new one).  Returns ``(kept, dropped)``.
+        """
+        edge_labels = frozenset(touched_edge_labels)
+        vertex_labels = frozenset(touched_vertex_labels)
+        kept = 0
+        dropped = 0
+        with self._lock:
+            for fingerprint in list(self._entries):
+                stored_at, _, payload, scope = self._entries[fingerprint]
+                if scope is not None and scope.survives(
+                    edge_labels, vertex_labels
+                ):
+                    self._entries[fingerprint] = (
+                        stored_at, new_generation, payload, scope,
+                    )
+                    kept += 1
+                else:
+                    del self._entries[fingerprint]
+                    dropped += 1
+            self.generation = new_generation
+        return kept, dropped
 
     # ------------------------------------------------------------------
     def keys(self):

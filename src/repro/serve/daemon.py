@@ -17,7 +17,11 @@ one :class:`~repro.serve.service.EstimationService`:
 * ``GET /healthz`` — liveness probe;
 * ``POST /swap`` — ``{"graph": "<path>"}``: hot-reload the service onto
   a new data graph file without dropping the listener (a concurrent
-  swap gets a 409).
+  swap gets a 409).  Delta mode — ``{"deltas": [[op, ...], ...]}`` (the
+  wire form of :func:`repro.graph.delta.deltas_to_payload`) — advances
+  the served graph by a mutation journal instead: O(delta) reseal +
+  incremental summary maintenance, with the result cache retargeted
+  rather than cleared.  A torn journal gets a 400 and changes nothing.
 
 Blocking service calls never run on the event loop: estimation futures
 are bridged with :func:`asyncio.wrap_future` and the (slow, summary-
@@ -306,25 +310,44 @@ class ServeDaemon:
         return int(response["status"]), response
 
     async def _swap(self, body: bytes) -> Tuple[int, dict]:
+        from ..graph.delta import DeltaError, deltas_from_payload
+
         try:
             payload = json.loads(body.decode() or "null")
-            if not isinstance(payload, dict) or not isinstance(
-                payload.get("graph"), str
+            if not isinstance(payload, dict) or (
+                isinstance(payload.get("graph"), str)
+                == isinstance(payload.get("deltas"), (list, tuple))
             ):
-                raise ValueError("body must be {'graph': '<path>'}")
+                raise ValueError(
+                    "body must be {'graph': '<path>'} or "
+                    "{'deltas': [[op, ...], ...]}"
+                )
         except (ValueError, UnicodeDecodeError) as exc:
             return 400, protocol.error_response(400, f"bad swap request: {exc}")
         loop = asyncio.get_running_loop()
 
-        def _do_swap() -> dict:
-            from ..graph.io import load_graph
+        if payload.get("deltas") is not None:
+            try:
+                deltas = deltas_from_payload(payload["deltas"])
+            except DeltaError as exc:
+                return 400, protocol.error_response(
+                    400, f"torn journal: {exc}"
+                )
 
-            graph = load_graph(payload["graph"])
-            return self.service.swap_graph(graph)
+            def _do_swap() -> dict:
+                return self.service.swap_deltas(deltas)
+
+        else:
+
+            def _do_swap() -> dict:
+                from ..graph.io import load_graph
+
+                graph = load_graph(payload["graph"])
+                return self.service.swap_graph(graph)
 
         try:
             result = await loop.run_in_executor(None, _do_swap)
-        except FileNotFoundError as exc:
+        except (FileNotFoundError, DeltaError, ValueError) as exc:
             return 400, protocol.error_response(400, str(exc))
         except SwapInProgress as exc:
             return 409, protocol.error_response(409, str(exc))

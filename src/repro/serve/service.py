@@ -33,6 +33,18 @@ class; everything contractual lives here:
   generation, clears the cache, and lets workers reload between requests
   — a response always comes from one coherent (graph, summary)
   generation, never a torn mix;
+* **delta swap** — :meth:`EstimationService.swap_deltas` ships a
+  mutation journal instead of a graph: the parent reseals its graph in
+  O(delta), maintains its prepared summaries via
+  ``Estimator.apply_deltas``, and publishes a generation that *shares*
+  the base arenas plus the accumulated journal.  Live workers advance
+  with a ``reload_delta`` message (reseal + summary update, no arena
+  re-publication); respawned workers replay the journal on top of the
+  base payloads.  The result cache is *retargeted*, not cleared:
+  entries of delta-local techniques whose query labels are disjoint
+  from the touched labels survive.  Once the accumulated journal
+  exceeds ``delta_compact_after``, the swap compacts into a full
+  publish;
 * **observability** — request/latency accounting in
   :class:`~repro.obs.histogram.LatencyHistogram` per technique plus
   counters, exported by :meth:`stats` (the daemon's ``/stats``).
@@ -59,15 +71,20 @@ from ..bench.summary_cache import (
     graph_fingerprint,
     hydrate_from_blob,
 )
-from ..core.registry import available_techniques, create_estimator
+from ..core.registry import (
+    available_techniques,
+    create_estimator,
+    estimator_class,
+)
 from ..faults.inject import maybe_die
 from ..faults.plan import FaultPlan
+from ..graph.delta import touched_labels
 from ..graph.query import QueryGraph
 from ..obs import metrics as metrics_mod
 from ..obs.histogram import LatencyHistogram
 from ..shm import ShmRef
 from . import protocol
-from .cache import ResultCache
+from .cache import CacheScope, ResultCache
 from .supervisor import (
     BREAKER_STATE_CODES,
     CircuitBreaker,
@@ -144,6 +161,9 @@ class ServiceConfig:
     #: directory for the warm-restart generation manifest (None = the
     #: arenas die with the service, exactly the pre-supervision behavior)
     state_dir: Optional[str] = None
+    #: accumulated journal length past which a delta swap compacts into
+    #: a full publish (bounds worker-respawn replay cost)
+    delta_compact_after: int = 256
 
 
 @dataclass
@@ -161,6 +181,33 @@ class _Generation:
     blob_payload: object  # blob mapping, ShmRef, or None
     handles: List[object] = field(default_factory=list)
     inherited: List[str] = field(default_factory=list)
+    #: delta-chain metadata, set on generations made by ``swap_deltas``:
+    #: ``base_number`` names the full publish whose payloads this
+    #: generation shares, ``batches`` the per-swap journal slices since
+    #: it (``(generation_number, deltas)`` pairs, oldest first)
+    base_number: Optional[int] = None
+    batches: List[Tuple[int, list]] = field(default_factory=list)
+
+    def journal(self) -> list:
+        """The accumulated deltas since the base publish, flattened."""
+        return [delta for _, batch in self.batches for delta in batch]
+
+    def delta_suffix(self, since: int) -> Optional[list]:
+        """Deltas advancing a worker at generation ``since`` to this one.
+
+        None means the worker's state is not on this delta chain (or
+        this is a full generation) and a full reload is required.
+        """
+        if not self.batches or self.base_number is None:
+            return None
+        if not (self.base_number <= since <= self.number):
+            return None
+        return [
+            delta
+            for number, batch in self.batches
+            if number > since
+            for delta in batch
+        ]
 
     def segment_names(self) -> List[str]:
         return [handle.name for handle in self.handles] + list(self.inherited)
@@ -215,6 +262,7 @@ class _Request:
 
 
 _SHUTDOWN = object()
+_UNSET = object()
 
 
 # ---------------------------------------------------------------------------
@@ -231,6 +279,48 @@ def _materialize(graph_payload, blob_payload):
     if isinstance(blobs, ShmRef):
         blobs = blobs_from_shm(blobs)
     return graph, blobs
+
+
+def _advance(graph, deltas):
+    """The post-delta graph: O(delta) reseal on sealed graphs.
+
+    Sealed graphs (including shm-attached ones, whose base arenas are
+    read-only — reseal is copy-on-write) go through ``reseal``; a
+    mutable graph applies the journal in place.
+    """
+    if not deltas:
+        return graph
+    if hasattr(graph, "reseal"):
+        return graph.reseal(deltas)
+    graph.apply(deltas)
+    return graph
+
+
+def _apply_or_reset(estimator, graph, deltas) -> str:
+    """``apply_deltas`` with a cold-prepare fallback that cannot fail.
+
+    Any maintenance error degrades to dropping the summary — the next
+    request pays a cold prepare against the post-delta graph, which is
+    always sound.
+    """
+    try:
+        if estimator.prepared:
+            return estimator.apply_deltas(graph, deltas)
+    except Exception:
+        pass
+    estimator.graph = graph
+    estimator.reset_summary()
+    return "reprepare"
+
+
+def _replay_journal(graph, estimators, journal):
+    """Advance base-state graph + estimators by an accumulated journal."""
+    if not journal:
+        return graph
+    graph = _advance(graph, journal)
+    for estimator in estimators.values():
+        _apply_or_reset(estimator, graph, journal)
+    return graph
 
 
 def _build_estimators(
@@ -270,6 +360,7 @@ def _serve_worker(
     conn,
     graph_payload,
     blob_payload,
+    journal,
     generation: int,
     techniques: Sequence[str],
     sampling_ratio: float,
@@ -294,10 +385,16 @@ def _serve_worker(
       change a completed estimate, which keeps caching sound;
     * ``("ping", token)`` — watchdog heartbeat; reply
       ``("pong", token, rss_bytes)``;
-    * ``("reload", generation, graph_payload, blob_payload)`` — swap to
-      a new graph generation between requests (messages are processed
-      strictly sequentially, so a request never observes half a swap)
-      and reply ``("reloaded", generation)``;
+    * ``("reload", generation, graph_payload, blob_payload, journal)`` —
+      swap to a new graph generation between requests (messages are
+      processed strictly sequentially, so a request never observes half
+      a swap) and reply ``("reloaded", generation)``; a non-empty
+      ``journal`` means the payloads are a delta generation's *base*
+      state and the worker replays the journal on top;
+    * ``("reload_delta", generation, deltas)`` — advance the *live*
+      state by a journal suffix: O(delta) reseal plus per-estimator
+      ``apply_deltas``, no payload re-materialization.  Reply
+      ``("reloaded", generation)``;
     * ``None`` — exit.
 
     The worker acknowledges startup with ``("ready", generation)`` once
@@ -309,6 +406,7 @@ def _serve_worker(
             graph, techniques, sampling_ratio, seed, time_limit,
             estimator_kwargs, blobs,
         )
+        graph = _replay_journal(graph, estimators, journal)
         conn.send(("ready", generation))
         while True:
             message = conn.recv()
@@ -319,12 +417,20 @@ def _serve_worker(
                 conn.send(("pong", message[1], worker_rss_bytes(os.getpid())))
                 continue
             if kind == "reload":
-                _, generation, graph_payload, blob_payload = message
+                _, generation, graph_payload, blob_payload, journal = message
                 graph, blobs = _materialize(graph_payload, blob_payload)
                 estimators = _build_estimators(
                     graph, techniques, sampling_ratio, seed, time_limit,
                     estimator_kwargs, blobs,
                 )
+                graph = _replay_journal(graph, estimators, journal)
+                conn.send(("reloaded", generation))
+                continue
+            if kind == "reload_delta":
+                _, generation, deltas = message
+                graph = _advance(graph, deltas)
+                for estimator in estimators.values():
+                    _apply_or_reset(estimator, graph, deltas)
                 conn.send(("reloaded", generation))
                 continue
             _, req_id, technique, query, run, name, budget = message
@@ -472,6 +578,9 @@ class EstimationService:
         self._started = False
         self._closed = False
         self._started_at: Optional[float] = None
+        #: prepared estimators kept by ``_build_blobs`` so delta swaps
+        #: can maintain summaries incrementally in the parent
+        self._parent_estimators: Dict[str, object] = {}
         graph = self._sealed(graph)
         self.graph = graph
 
@@ -625,6 +734,7 @@ class EstimationService:
         ``run_cell`` so prepare-site faults can reach them.
         """
         plan = self.config.fault_plan
+        self._parent_estimators = {}
         if plan is not None and plan.enabled:
             return None
         blobs: Dict[str, bytes] = {}
@@ -641,13 +751,22 @@ class EstimationService:
                 )
                 estimator.prepare()
                 blobs[name] = estimator.export_summary()
+                self._parent_estimators[name] = estimator
             except Exception:
                 continue  # worker prepares locally; requests may still fail
         return blobs
 
-    def _publish(self, graph, number: int) -> _Generation:
-        """Build one immutable generation: summaries + shm publication."""
-        blobs = self._build_blobs(graph)
+    def _publish(
+        self, graph, number: int, blobs: object = _UNSET
+    ) -> _Generation:
+        """Build one immutable generation: summaries + shm publication.
+
+        ``blobs`` overrides the cold ``_build_blobs`` pass — the delta
+        compaction path exports the parent's incrementally-maintained
+        summaries instead of re-preparing from scratch.
+        """
+        if blobs is _UNSET:
+            blobs = self._build_blobs(graph)
         graph_payload: object = graph
         blob_payload: object = blobs
         handles: List[object] = []
@@ -743,6 +862,11 @@ class EstimationService:
             self._incr("restart.attach_failures")
             self._reclaim_stale(manifest, verdicts)
             return None
+        # the checksum-verified arenas *are* the content the manifest
+        # fingerprinted: stamp the memo instead of re-hashing every
+        # vertex and edge (otherwise the dominant cost of a warm boot,
+        # paid again by _persist_manifest moments later)
+        self.graph._fingerprint = manifest.graph_fingerprint
         self._incr("serve.warm_restarts")
         return _Generation(
             manifest.generation,
@@ -781,6 +905,12 @@ class EstimationService:
         if self._state_dir is None or self._generation is None:
             return
         generation = self._generation
+        if generation.batches:
+            # delta generations are ephemeral: the manifest keeps
+            # describing the last full publish (whose arenas this chain
+            # shares, unmodified — reseal is copy-on-write), and a warm
+            # successor resumes from that state
+            return
         if not isinstance(generation.graph_payload, ShmRef):
             return  # nothing shm-published, nothing a successor could reuse
         checksums: Dict[str, str] = {}
@@ -811,6 +941,7 @@ class EstimationService:
             (
                 generation.graph_payload,
                 generation.blob_payload,
+                generation.journal(),
                 generation.number,
                 tuple(self.techniques),
                 self.config.sampling_ratio,
@@ -846,15 +977,23 @@ class EstimationService:
             return worker
         if worker.generation == current.number:
             return worker
+        # delta-chain fast path: a worker whose live state is on the
+        # current chain advances by the journal suffix alone (O(delta));
+        # everything else pays the full payload reload + journal replay
+        suffix = current.delta_suffix(worker.generation)
         try:
-            worker.conn.send(
-                (
-                    "reload",
-                    current.number,
-                    current.graph_payload,
-                    current.blob_payload,
+            if suffix is not None:
+                worker.conn.send(("reload_delta", current.number, suffix))
+            else:
+                worker.conn.send(
+                    (
+                        "reload",
+                        current.number,
+                        current.graph_payload,
+                        current.blob_payload,
+                        current.journal(),
+                    )
                 )
-            )
             ok = self._await(worker, "reloaded", self.config.reload_timeout)
         except (OSError, BrokenPipeError):
             ok = False
@@ -863,6 +1002,8 @@ class EstimationService:
             return self._respawn(slot)
         worker.generation = current.number
         self._incr("serve.reloads")
+        if suffix is not None:
+            self._incr("serve.delta_reloads")
         return worker
 
     def _respawn(self, slot: int, count_respawn: bool = True) -> _ServeWorker:
@@ -1006,6 +1147,9 @@ class EstimationService:
                 for name in self.techniques
             }
         generation = self._generation.number if self._generation else 0
+        journal_len = (
+            len(self._generation.journal()) if self._generation else 0
+        )
         uptime = (
             self.clock() - self._started_at
             if self._started_at is not None
@@ -1013,6 +1157,8 @@ class EstimationService:
         )
         return {
             "generation": generation,
+            "graph_generation": getattr(self.graph, "generation", 0),
+            "journal_len": journal_len,
             "workers": len(self._workers),
             "techniques": list(self.techniques),
             "kernel_backend": kernels.active_backend(),
@@ -1070,6 +1216,18 @@ class EstimationService:
         )
         lines.append(metrics_mod.format_line("gcare_uptime_seconds", uptime))
         lines.append(metrics_mod.format_line("gcare_generation", generation))
+        lines.append(
+            metrics_mod.format_line(
+                "gcare_graph_generation",
+                getattr(self.graph, "generation", 0),
+            )
+        )
+        lines.append(
+            metrics_mod.format_line(
+                "gcare_journal_length",
+                len(self._generation.journal()) if self._generation else 0,
+            )
+        )
         backend = kernels.active_backend()
         lines.append(
             metrics_mod.format_line(
@@ -1460,6 +1618,14 @@ class EstimationService:
             # mis-deliver
             continue
 
+    def _cache_scope(self, request: _Request) -> Optional[CacheScope]:
+        """The entry's dependence scope, for delta-swap retargeting."""
+        try:
+            delta_local = bool(estimator_class(request.technique).delta_local)
+        except Exception:
+            delta_local = False
+        return CacheScope.for_query(delta_local, request.query)
+
     def _response_from_record(
         self, request: _Request, record, generation: int
     ) -> dict:
@@ -1474,7 +1640,12 @@ class EstimationService:
                 generation,
                 cached=False,
             )
-            self.cache.put(request.fingerprint, response, generation)
+            self.cache.put(
+                request.fingerprint,
+                response,
+                generation,
+                scope=self._cache_scope(request),
+            )
             self._incr("serve.estimates")
             return response
         self._incr("serve.errors")
@@ -1529,3 +1700,120 @@ class EstimationService:
         finally:
             self._swap_lock.release()
         return {"generation": new.number, "graph": repr(graph)}
+
+    def swap_deltas(self, deltas) -> dict:
+        """Hot-advance the service by a mutation journal (delta swap).
+
+        The O(delta) sibling of :meth:`swap_graph`: instead of a new
+        graph, the caller ships the journal slice that produced it.  The
+        parent reseals its graph, maintains its prepared summaries via
+        ``Estimator.apply_deltas`` (incremental where the technique
+        supports it, re-prepare otherwise), and publishes a generation
+        that *shares* the base arenas — nothing is re-serialized or
+        re-published; the shm handle ownership simply moves forward
+        along the chain.  Workers advance lazily: live ones by the
+        journal suffix, respawned ones by replaying the accumulated
+        journal on the base payloads.  The result cache is retargeted,
+        keeping provably-unaffected entries.
+
+        Once the accumulated journal exceeds
+        ``config.delta_compact_after``, the swap compacts: the parent's
+        maintained summaries are exported and a full generation is
+        published (no cold re-prepare).
+
+        Delta generations are **ephemeral**: the warm-restart manifest
+        keeps describing the last full publish, so a daemon restart
+        resumes from that state and the journal since it is lost.
+
+        Raises :class:`~repro.graph.delta.DeltaError` when the slice
+        does not apply cleanly (torn journal — nothing is published),
+        ``ValueError`` when the served graph cannot reseal, and
+        :class:`SwapInProgress` on a concurrent swap.
+        """
+        if not self._started or self._closed:
+            raise RuntimeError("service is not running")
+        if not self._swap_lock.acquire(blocking=False):
+            self._incr("serve.swap_conflicts")
+            raise SwapInProgress("a graph swap is already in progress")
+        try:
+            deltas = list(deltas)
+            current = self._generation
+            if not deltas:
+                return {
+                    "generation": current.number,
+                    "applied": 0,
+                    "mode": "noop",
+                    "cache_kept": len(self.cache),
+                    "cache_dropped": 0,
+                }
+            if not hasattr(self.graph, "reseal"):
+                raise ValueError(
+                    "delta swap requires a sealed (reseal-capable) graph"
+                )
+            # DeltaError here aborts the swap with nothing published
+            new_graph = self.graph.reseal(deltas)
+            number = current.number + 1
+            # parent-side summary maintenance (empty under fault plans
+            # and after warm attach — workers then own their summaries)
+            for estimator in self._parent_estimators.values():
+                mode = _apply_or_reset(estimator, new_graph, deltas)
+                self._incr(f"serve.summary_update.{mode}")
+            base_number = (
+                current.base_number if current.batches else current.number
+            )
+            batches = list(current.batches) + [(number, deltas)]
+            journal_len = sum(len(batch) for _, batch in batches)
+            compacted = journal_len > max(0, self.config.delta_compact_after)
+            if compacted:
+                if self._parent_estimators:
+                    blobs: Dict[str, bytes] = {}
+                    for name, estimator in self._parent_estimators.items():
+                        try:
+                            if not estimator.prepared:
+                                estimator.prepare()
+                            blobs[name] = estimator.export_summary()
+                        except Exception:
+                            continue
+                    new = self._publish(new_graph, number=number, blobs=blobs)
+                else:
+                    new = self._publish(new_graph, number=number)
+                self._incr("serve.delta_compacts")
+            else:
+                new = _Generation(
+                    number,
+                    current.graph_payload,
+                    current.blob_payload,
+                    handles=current.handles,
+                    inherited=current.inherited,
+                    base_number=base_number,
+                    batches=batches,
+                )
+                # ownership transfer: the retired generation must not
+                # release the arenas the chain still shares
+                current.handles = []
+                current.inherited = []
+            self.graph = new_graph
+            self._generation = new
+            edge_labels, vertex_labels = touched_labels(deltas)
+            kept, dropped = self.cache.retarget(
+                number, edge_labels, vertex_labels
+            )
+            self._incr("serve.cache_retained", kept)
+            self._incr("serve.cache_retarget_dropped", dropped)
+            self._retired.append(current)
+            while len(self._retired) > 1:
+                self._retired.pop(0).release()
+            self._incr("serve.delta_swaps")
+            if compacted:
+                self._persist_manifest()
+        finally:
+            self._swap_lock.release()
+        return {
+            "generation": new.number,
+            "applied": len(deltas),
+            "mode": "compacted" if compacted else "delta",
+            "graph_generation": getattr(new_graph, "generation", 0),
+            "journal_len": 0 if compacted else journal_len,
+            "cache_kept": kept,
+            "cache_dropped": dropped,
+        }

@@ -30,8 +30,19 @@ whatever happened, not over an exact transcript.
 
 Faults come from a :class:`~repro.faults.plan.FaultPlan` with
 ``service``-site specs (``malformed`` / ``expired_deadline`` /
-``slowloris`` / ``swap``) plus optionally ``worker:crash`` specs, which
-the harness realizes by SIGKILLing live worker processes mid-run.
+``slowloris`` / ``swap`` / ``delta_swap`` / ``torn_journal``) plus
+optionally ``worker:crash`` specs, which the harness realizes by
+SIGKILLing live worker processes mid-run.
+
+The two incremental-graph faults churn the update boundary:
+``delta_swap`` streams *content-neutral* mutation batches (add an absent
+edge, remove it again) through ``POST /swap``'s delta mode — the graph's
+generation advances, summaries are maintained in place, caches retarget,
+workers take the ``reload_delta`` fast path, yet every estimate must
+stay bit-identical to the pre-computed batch references because the
+content never changes; ``torn_journal`` sends delta payloads the daemon
+must reject with a 400 envelope and *no* published generation (unknown
+ops, truncated records, phantom removes, both-modes-at-once).
 """
 
 from __future__ import annotations
@@ -67,7 +78,9 @@ from .service import EstimationService, ServiceConfig
 #: occasional worker kills — roughly one perturbation per ten requests
 DEFAULT_PLAN_TOKENS = (
     "service:malformed:0.04,service:expired_deadline:0.04,"
-    "service:slowloris:0.02,service:swap:0.02,worker:crash:0.03"
+    "service:slowloris:0.02,service:swap:0.02,"
+    "service:delta_swap:0.04,service:torn_journal:0.02,"
+    "worker:crash:0.03"
 )
 
 _MAX_VIOLATIONS = 50
@@ -265,6 +278,64 @@ class _SoakState:
                 self.violations.append(message)
 
 
+def _neutral_batches(
+    graph, seed: int, count: int = 64
+) -> List[List[List[int]]]:
+    """Content-neutral delta payloads: add an absent edge, remove it.
+
+    Each batch leaves the graph's *content* exactly where it was while
+    still driving the whole delta-swap machinery (reseal, summary
+    maintenance, cache retargeting, worker ``reload_delta``), so batch
+    references stay valid across any number of them.  Candidate edges
+    are drawn deterministically from the seed and are guaranteed absent
+    from the served graph — and each batch restores that absence, so
+    batches can repeat and interleave freely (swaps are serialized by
+    the service's swap lock).
+    """
+    try:
+        n = int(graph.num_vertices)
+        present = set(graph.edges())
+    except Exception:
+        return []
+    if not n:
+        return []
+    labels = sorted({label for _, _, label in present}) or [0]
+    batches: List[List[List[int]]] = []
+    seen = set()
+    attempts = 0
+    while len(batches) < count and attempts < count * 50:
+        attempts += 1
+        candidate = (
+            int(stable_uniform(seed, "nb-src", attempts) * n) % n,
+            int(stable_uniform(seed, "nb-dst", attempts) * n) % n,
+            labels[
+                int(stable_uniform(seed, "nb-lab", attempts) * len(labels))
+                % len(labels)
+            ],
+        )
+        if candidate in present or candidate in seen:
+            continue
+        seen.add(candidate)
+        src, dst, label = candidate
+        batches.append(
+            [["add_edge", src, dst, label],
+             ["remove_edge", src, dst, label]]
+        )
+    return batches
+
+
+def _torn_case(draw: float) -> Tuple[str, dict]:
+    """One torn-journal ``/swap`` payload the daemon must reject."""
+    cases = [
+        ("unknown-op", {"deltas": [["frobnicate", 1, 2, 3]]}),
+        ("short-record", {"deltas": [["add_edge", 1]]}),
+        ("phantom-remove", {"deltas": [["remove_edge", 0, 0, 999983]]}),
+        ("both-modes", {"graph": "/nonexistent", "deltas": []}),
+        ("non-list", {"deltas": "nope"}),
+    ]
+    return cases[int(draw * len(cases)) % len(cases)]
+
+
 def _malformed_case(draw: float, body_cap: int) -> Tuple[str, bytes, Tuple[int, ...]]:
     """One malformed-request case chosen by a uniform draw.
 
@@ -341,6 +412,7 @@ def run_soak(
         name: protocol.query_to_payload(query)
         for name, query in workload.items()
     }
+    neutral_batches = _neutral_batches(graph, config.seed)
 
     state = _SoakState()
     report = SoakReport()
@@ -437,6 +509,8 @@ def run_soak(
             fault = spec.fault if spec is not None else None
             if fault == "swap" and graph_path is None:
                 fault = None
+            if fault == "delta_swap" and not neutral_batches:
+                fault = None
             try:
                 if fault is None:
                     body = {"technique": technique, "query": payloads[name],
@@ -525,6 +599,48 @@ def run_soak(
                         state.violate("swap: non-envelope response")
                     elif status not in (200, 409):
                         state.violate(f"swap: unexpected status {status}")
+                elif fault == "delta_swap":
+                    batch = neutral_batches[
+                        int(stable_uniform(config.seed, "nb", client, step)
+                            * len(neutral_batches)) % len(neutral_batches)
+                    ]
+                    status, raw = _post_json(
+                        base + "/swap",
+                        json.dumps({"deltas": batch}).encode(),
+                        config.request_timeout,
+                    )
+                    state.record("delta-swap", status)
+                    envelope = _envelope_of(raw)
+                    if envelope is None:
+                        state.violate("delta-swap: non-envelope response")
+                    elif status not in (200, 409):
+                        state.violate(
+                            f"delta-swap: unexpected status {status}"
+                        )
+                    elif status == 200 and envelope.get("applied") != len(
+                        batch
+                    ):
+                        state.violate(
+                            "delta-swap: 200 applied "
+                            f"{envelope.get('applied')!r} of {len(batch)}"
+                        )
+                elif fault == "torn_journal":
+                    kind, payload = _torn_case(
+                        stable_uniform(config.seed, "torn", client, step)
+                    )
+                    status, raw = _post_json(
+                        base + "/swap", json.dumps(payload).encode(),
+                        config.request_timeout,
+                    )
+                    state.record(f"torn-{kind}", status)
+                    envelope = _envelope_of(raw)
+                    if envelope is None:
+                        state.violate(f"torn-{kind}: non-envelope response")
+                    elif status not in (400, 409):
+                        state.violate(
+                            f"torn-{kind}: status {status}, expected a 400 "
+                            "rejection (or 409 mid-swap)"
+                        )
             except (OSError, socket.timeout) as exc:
                 # transport failures are recorded, not violations: a
                 # worker kill can reset an in-flight connection

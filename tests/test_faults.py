@@ -257,7 +257,7 @@ class TestServiceSite:
         assert "service" in plan.sites()
 
     def test_default_soak_plan_parses_and_fires(self):
-        from repro.faults.plan import SERVICE_SITE
+        from repro.faults.plan import SERVICE_FAULTS, SERVICE_SITE
         from repro.serve.soak import DEFAULT_PLAN_TOKENS
 
         plan = FaultPlan.parse(DEFAULT_PLAN_TOKENS, seed=0)
@@ -265,12 +265,12 @@ class TestServiceSite:
         assert set(plan.sites()) == {"service", "worker"}
         fired = {
             plan.decide(SERVICE_SITE, "wj", "q", 0, invocation=inv).fault
-            for inv in range(3000)
+            for inv in range(6000)
             if plan.decide(SERVICE_SITE, "wj", "q", 0, invocation=inv)
             is not None
         }
         # every service fault kind fires somewhere in a few thousand draws
-        assert fired == {"malformed", "expired_deadline", "slowloris", "swap"}
+        assert fired == set(SERVICE_FAULTS)
 
 
 class TestStableUniform:

@@ -473,3 +473,270 @@ def test_deadline_ms_over_http(backend_service):
         })
         assert bad["status"] == protocol.STATUS_BAD_REQUEST
         assert bad["field"] == "deadline_ms"
+
+
+# ---------------------------------------------------------------------------
+# delta swaps: the journal path answers like a freshly booted service
+# ---------------------------------------------------------------------------
+DELTA_TECHNIQUES = ["cset", "jsub"]  # maintained summary + a delta-local one
+
+
+def _delta_graph(seed: int = 21):
+    import random
+
+    rng = random.Random(seed)
+    graph = figure1_graph()
+    # grow the figure-1 example so delta batches have room to churn
+    base = graph.num_vertices
+    for _ in range(40):
+        graph.add_vertex([rng.randrange(3)])
+    for _ in range(120):
+        graph.add_edge(
+            rng.randrange(base + 40), rng.randrange(base + 40),
+            rng.randrange(3),
+        )
+    return graph
+
+
+def _delta_queries():
+    return [
+        QueryGraphForDeltas([frozenset(), frozenset()], [(0, 1, 0)]),
+        QueryGraphForDeltas(
+            [frozenset(), frozenset(), frozenset()], [(0, 1, 1), (1, 2, 2)]
+        ),
+    ]
+
+
+from repro.graph.query import QueryGraph as QueryGraphForDeltas  # noqa: E402
+from repro.bench.stream import MutationStream  # noqa: E402
+from repro.graph.delta import Delta, DeltaError  # noqa: E402
+
+
+@contextlib.contextmanager
+def _delta_service(graph, **overrides):
+    config = ServiceConfig(
+        techniques=DELTA_TECHNIQUES,
+        workers=overrides.pop("workers", 1),
+        seed=SEED,
+        sampling_ratio=0.5,
+        time_limit=TIME_LIMIT,
+        watchdog_interval=0,
+        delta_compact_after=overrides.pop("delta_compact_after", 10_000),
+        **overrides,
+    )
+    service = EstimationService(graph, config).start()
+    try:
+        yield service
+    finally:
+        service.close()
+
+
+def _all_estimates(service, queries):
+    return {
+        (technique, index): service.estimate(technique, query)["estimate"]
+        for technique in DELTA_TECHNIQUES
+        for index, query in enumerate(queries)
+    }
+
+
+def test_swap_deltas_matches_cold_service_through_worker_death():
+    graph = _delta_graph().seal()
+    stream = MutationStream(graph, seed=13)
+    queries = _delta_queries()
+    with _delta_service(graph) as service:
+        _all_estimates(service, queries)  # warm the cache pre-swap
+        first = stream.next_batch(12)
+        result = service.swap_deltas(first)
+        assert result["mode"] == "delta"
+        assert result["applied"] == len(first)
+        assert result["journal_len"] == len(first)
+        after_first = _all_estimates(service, queries)
+        second = stream.next_batch(12)
+        service.swap_deltas(second)
+        # SIGKILL the only worker: the respawn must replay the
+        # accumulated journal on the base arenas before answering
+        service._workers[0].process.kill()
+        service._workers[0].process.join()
+        after_second = _all_estimates(service, queries)
+        stats = service.stats()
+        assert stats["graph_generation"] == stream.twin.generation
+        assert stats["journal_len"] == len(first) + len(second)
+        assert stats["counters"]["serve.delta_swaps"] == 2
+    # ground truth for both intermediate states: cold services booted on
+    # mutable replicas advanced to the same content
+    replica = _delta_graph()
+    replica.enable_journal()
+    for delta in first:
+        delta.apply_to(replica)
+    with _delta_service(replica.seal()) as cold:
+        assert _all_estimates(cold, queries) == after_first
+    for delta in second:
+        delta.apply_to(replica)
+    with _delta_service(replica.seal()) as cold:
+        assert _all_estimates(cold, queries) == after_second
+
+
+def test_swap_deltas_rejects_torn_journal_atomically():
+    graph = _delta_graph().seal()
+    queries = _delta_queries()
+    with _delta_service(graph) as service:
+        before = _all_estimates(service, queries)
+        generation = service.stats()["generation"]
+        src, dst, label = sorted(graph.edges())[0]
+        with pytest.raises(DeltaError):
+            service.swap_deltas([Delta("add_edge", src, dst, label)])
+        with pytest.raises(DeltaError):
+            service.swap_deltas([Delta("remove_edge", 0, 0, 999983)])
+        stats = service.stats()
+        assert stats["generation"] == generation
+        assert stats["counters"].get("serve.delta_swaps", 0) == 0
+        assert _all_estimates(service, queries) == before
+
+
+def test_swap_deltas_empty_batch_is_a_noop():
+    graph = _delta_graph().seal()
+    with _delta_service(graph) as service:
+        generation = service.stats()["generation"]
+        result = service.swap_deltas([])
+        assert result["mode"] == "noop"
+        assert result["applied"] == 0
+        assert service.stats()["generation"] == generation
+
+
+def test_swap_deltas_compacts_past_the_journal_threshold():
+    graph = _delta_graph().seal()
+    stream = MutationStream(graph, seed=5)
+    with _delta_service(graph, delta_compact_after=8) as service:
+        result = service.swap_deltas(stream.next_batch(12))
+        assert result["mode"] == "compacted"
+        assert result["journal_len"] == 0
+        assert service.stats()["journal_len"] == 0
+        assert service.stats()["counters"]["serve.delta_compacts"] == 1
+        # and the compacted generation still answers like a cold boot
+        queries = _delta_queries()
+        compacted = _all_estimates(service, queries)
+    with _delta_service(stream.twin.seal()) as cold:
+        assert _all_estimates(cold, queries) == compacted
+
+
+def test_delta_swap_keeps_provably_unaffected_cache_entries():
+    graph = _delta_graph().seal()
+    queries = _delta_queries()
+    with _delta_service(graph) as service:
+        _all_estimates(service, queries)
+        # a batch whose scope is a label no query uses: add a brand-new
+        # vertex and wire it up under edge label 2 only
+        new_id = graph.num_vertices
+        deltas = [
+            Delta("add_vertex", src=new_id, labels=(2,)),
+            Delta("add_edge", src=new_id, dst=0, label=2),
+        ]
+        result = service.swap_deltas(deltas)
+        # jsub is delta-local: its entry for the label-0 single-edge
+        # query (disjoint from {2}) survives; cset's entries (not
+        # delta-local) and jsub's label-{1,2} query are dropped
+        assert result["cache_kept"] == 1
+        assert result["cache_dropped"] == len(queries) * 2 - 1
+        response = service.estimate("jsub", queries[0])
+        assert response["cached"] is True
+        # the survivor is still the right answer under the new graph
+        replica = _delta_graph()
+        replica.enable_journal()
+        for delta in deltas:
+            delta.apply_to(replica)
+        with _delta_service(replica.seal()) as cold:
+            assert (
+                cold.estimate("jsub", queries[0])["estimate"]
+                == response["estimate"]
+            )
+
+
+def test_daemon_swap_delta_mode_over_http(backend_service):
+    _, _, service = backend_service
+    with running_daemon(service) as daemon:
+        url = daemon.address + "/swap"
+        stream = MutationStream(service.graph, seed=9)
+        batch = stream.next_batch(6)
+        from repro.graph.delta import deltas_to_payload
+
+        ok = _post(url, {"deltas": deltas_to_payload(batch)})
+        assert ok["status"] == 200
+        assert ok["applied"] == len(batch)
+        assert ok["mode"] in ("delta", "compacted")
+        # torn journals and malformed envelopes are 400s, never applied
+        for payload in (
+            {"deltas": [["frobnicate", 1, 2, 3]]},
+            {"deltas": [["add_edge", 1]]},
+            {"deltas": [["remove_edge", 0, 0, 999983]]},
+            {"deltas": "nope"},
+            {"graph": "/nonexistent", "deltas": []},
+        ):
+            rejected = _post(url, payload)
+            assert rejected["status"] == 400, payload
+            assert "error" in rejected
+        # nothing after the good batch moved the generation
+        stats = _get(daemon.address + "/stats")
+        assert stats["graph_generation"] == stream.twin.generation
+
+
+def test_metrics_expose_generation_gauges(backend_service):
+    _, _, service = backend_service
+    with running_daemon(service) as daemon:
+        raw = urllib.request.urlopen(
+            daemon.address + "/metrics", timeout=10
+        ).read().decode()
+    assert "gcare_graph_generation" in raw
+    assert "gcare_journal_length" in raw
+
+
+# ---------------------------------------------------------------------------
+# ResultCache retargeting (the delta swap's cache semantics, in isolation)
+# ---------------------------------------------------------------------------
+def _scope(delta_local, edge_labels=(), vertex_labels=()):
+    from repro.serve.cache import CacheScope
+
+    return CacheScope(
+        delta_local=delta_local,
+        edge_labels=frozenset(edge_labels),
+        vertex_labels=frozenset(vertex_labels),
+    )
+
+
+def test_retarget_keeps_only_delta_local_disjoint_entries():
+    cache = ResultCache(max_entries=8, ttl=None)
+    cache.put("disjoint", {"estimate": 1.0}, 0, scope=_scope(True, {0}, {5}))
+    cache.put("edge-overlap", {"estimate": 2.0}, 0, scope=_scope(True, {3}))
+    cache.put(
+        "vertex-overlap", {"estimate": 3.0}, 0,
+        scope=_scope(True, (), {7}),
+    )
+    cache.put("not-local", {"estimate": 4.0}, 0, scope=_scope(False, {0}))
+    cache.put("unscoped", {"estimate": 5.0}, 0, scope=None)
+    kept, dropped = cache.retarget(
+        3, touched_edge_labels={3}, touched_vertex_labels={7}
+    )
+    assert (kept, dropped) == (1, 4)
+    assert cache.keys() == ["disjoint"]
+    assert cache.generation == 3
+    # the survivor serves at the new generation...
+    assert cache.get("disjoint") == {"estimate": 1.0}
+    # ...and writes from the superseded generation are fenced off
+    assert not cache.put("stale", {"estimate": 9.0}, 0)
+    assert cache.put("fresh", {"estimate": 9.0}, 3)
+
+
+def test_cache_scope_for_query_collects_label_sets():
+    from repro.serve.cache import CacheScope
+
+    query = QueryGraphForDeltas(
+        [frozenset({4}), frozenset(), frozenset({6})], [(0, 1, 0), (1, 2, 2)]
+    )
+    scope = CacheScope.for_query(True, query)
+    assert scope.edge_labels == {0, 2}
+    assert scope.vertex_labels == {4, 6}
+    assert scope.survives(frozenset({1}), frozenset({5}))
+    assert not scope.survives(frozenset({0}), frozenset())
+    assert not scope.survives(frozenset(), frozenset({4}))
+    assert not CacheScope.for_query(False, query).survives(
+        frozenset(), frozenset()
+    )

@@ -1,0 +1,128 @@
+"""The streaming workload driver: seeded, effective, contiguous.
+
+``gcare stream`` rides on :class:`repro.bench.stream.MutationStream` — a
+deterministic generator of delta batches recorded through a journaled
+twin graph.  The properties the delta consumers rely on are enforced
+here: one seed reproduces one mutation sequence exactly, every emitted
+record is effective (it replays cleanly on a replica of the pre-batch
+content), and consecutive batches are contiguous in generations.  The
+in-process runner is the daemon's delta-swap loop minus the transport,
+so its report doubles as a shape test for the CI streaming job's
+artifact.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.stream import MutationStream, StreamConfig, run_local, run_stream
+from repro.graph.digraph import Graph
+from repro.graph.query import QueryGraph
+
+
+def seeded_graph(seed: int = 11, n: int = 50, m: int = 120) -> Graph:
+    rng = random.Random(seed)
+    graph = Graph()
+    for _ in range(n):
+        graph.add_vertex(rng.sample(range(4), rng.randint(1, 2)))
+    added = 0
+    while added < m:
+        if graph.add_edge(rng.randrange(n), rng.randrange(n), rng.randrange(5)):
+            added += 1
+    return graph
+
+
+class TestMutationStream:
+    def test_same_seed_reproduces_the_same_batches(self):
+        streams = [
+            MutationStream(seeded_graph().seal(), seed=7) for _ in range(2)
+        ]
+        for _ in range(4):
+            batches = [stream.next_batch(10) for stream in streams]
+            assert batches[0] == batches[1]
+
+    def test_batches_are_effective_and_contiguous(self):
+        stream = MutationStream(seeded_graph().seal(), seed=3)
+        replica = seeded_graph()
+        replica.enable_journal()
+        generation = stream.twin.generation
+        assert replica.generation == generation
+        for _ in range(5):
+            batch = stream.next_batch(8)
+            assert batch
+            # every record replays cleanly on a replica of the pre-batch
+            # content (DeltaError would propagate otherwise)...
+            assert replica.apply(batch) == len(batch)
+            # ...and the slice is exactly the generation gap it claims
+            generation += len(batch)
+            assert stream.twin.generation == generation
+
+    def test_twin_starts_from_the_sealed_graphs_content(self):
+        sealed = seeded_graph().seal()
+        stream = MutationStream(sealed, seed=1)
+        assert sorted(stream.twin.edges()) == sorted(sealed.edges())
+        stream.next_batch(6)
+        assert sorted(stream.twin.edges()) != sorted(sealed.edges())
+
+    def test_queries_draw_from_live_content(self):
+        stream = MutationStream(seeded_graph().seal(), seed=5)
+        live_labels = {label for _, _, label in stream.twin.edges()}
+        for _ in range(20):
+            query = stream.pick_query()
+            assert isinstance(query, QueryGraph)
+            assert 2 <= len(query.vertex_labels) <= 3
+            assert {label for _, _, label in query.edges} <= live_labels
+
+
+class TestLocalRunner:
+    def test_report_counts_and_modes(self):
+        config = StreamConfig(
+            techniques=["cset", "jsub"],
+            updates=4,
+            batch_size=6,
+            estimates_per_update=2,
+            seed=11,
+            sampling_ratio=0.5,
+        )
+        report = run_local(seeded_graph().seal(), config)
+        assert report.updates == 4
+        assert report.deltas >= 4 * 6
+        assert report.estimates == 4 * 2
+        assert report.errors == 0
+        # both techniques maintain summaries: every update is incremental
+        assert report.update_modes == {"incremental": 2 * 4}
+        assert len(report.update_latencies) == 4
+        assert report.graph_generation > 0
+
+    def test_report_serializes_with_quantiles(self):
+        config = StreamConfig(
+            techniques=["cset"], updates=2, batch_size=4,
+            estimates_per_update=1, seed=2, sampling_ratio=0.5,
+        )
+        payload = run_local(seeded_graph().seal(), config).to_dict()
+        for section in ("update_latency", "staleness"):
+            assert set(payload[section]) == {"p50_s", "p95_s", "max_s"}
+            assert payload[section]["max_s"] >= payload[section]["p50_s"]
+        assert payload["updates"] == 2
+        assert payload["update_modes"]["incremental"] == 2
+
+    def test_run_stream_dispatches_local_without_a_url(self):
+        config = StreamConfig(
+            techniques=["cset"], updates=1, batch_size=4,
+            estimates_per_update=1, seed=4, sampling_ratio=0.5, url=None,
+        )
+        report = run_stream(seeded_graph().seal(), config)
+        assert report.updates == 1
+
+    def test_mutable_input_graph_is_accepted(self):
+        # the CLI hands run_local whatever _serve_target_graph loaded;
+        # a mutable graph must work (the stream seals its own twin)
+        config = StreamConfig(
+            techniques=["cset"], updates=1, batch_size=4,
+            estimates_per_update=1, seed=6, sampling_ratio=0.5,
+        )
+        report = run_local(seeded_graph(), config)
+        assert report.updates == 1
+        assert report.errors == 0
